@@ -1,0 +1,33 @@
+// Figure 15: clustering (CL) vs. error % for the MEDIAN technique
+// (Sec. 5.6; error is the rank deviation |rank(answer) - N/2| / N).
+//
+// Expected shape: within ~10% rank error across the sweep, hardest at CL=0
+// where per-peer medians span the whole domain.
+#include "harness.h"
+
+namespace p2paqp::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  RunConfig base;
+  base.op = query::AggregateOp::kMedian;
+  base.selectivity = 1.0;
+  base.required_error = 0.10;
+  auto rows = SweepClusterLevel({0.0, 0.25, 0.5, 0.75, 1.0}, base);
+
+  util::AsciiTable table({"clustering", "error_synthetic", "error_gnutella"});
+  for (const SweepRow& row : rows) {
+    table.AddRow({util::AsciiTable::FormatDouble(row.x, 2),
+                  util::AsciiTable::FormatPercent(row.synthetic.mean_error),
+                  util::AsciiTable::FormatPercent(row.gnutella.mean_error)});
+  }
+  EmitFigure("Figure 15: Clustering vs Error % (MEDIAN)",
+             "Z=0.2, required accuracy=0.10, j=10", table,
+             WantCsv(argc, argv));
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp::bench
+
+int main(int argc, char** argv) { return p2paqp::bench::Run(argc, argv); }

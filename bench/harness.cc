@@ -1,0 +1,326 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace p2paqp::bench {
+
+namespace {
+
+size_t Scaled(size_t value, double scale, size_t floor_value) {
+  auto scaled = static_cast<size_t>(static_cast<double>(value) * scale);
+  return std::max(scaled, floor_value);
+}
+
+// Normalized error per op (Sec. 5.5: errors in [0, 1]).
+double NormalizedError(const World& world, const query::AggregateQuery& query,
+                       double estimate) {
+  const net::SimulatedNetwork& network = world.network;
+  switch (query.op) {
+    case query::AggregateOp::kCount: {
+      double truth = static_cast<double>(
+          network.ExactCount(query.predicate.lo, query.predicate.hi));
+      return std::fabs(estimate - truth) /
+             static_cast<double>(world.total_tuples);
+    }
+    case query::AggregateOp::kSum: {
+      double truth = static_cast<double>(
+          network.ExactSum(query.predicate.lo, query.predicate.hi));
+      return std::fabs(estimate - truth) /
+             static_cast<double>(world.total_sum);
+    }
+    case query::AggregateOp::kAvg: {
+      double count = static_cast<double>(
+          network.ExactCount(query.predicate.lo, query.predicate.hi));
+      if (count == 0.0) return std::fabs(estimate);
+      double truth = static_cast<double>(network.ExactSum(
+                         query.predicate.lo, query.predicate.hi)) /
+                     count;
+      return truth == 0.0 ? std::fabs(estimate)
+                          : std::fabs(estimate - truth) / std::fabs(truth);
+    }
+    case query::AggregateOp::kMedian:
+    case query::AggregateOp::kQuantile: {
+      // Rank deviation |rank(est) - phi*N| / N (Sec. 5.6: "the difference
+      // between the true rank of the median that the algorithm returns, and
+      // N/2").
+      double phi = query.op == query::AggregateOp::kQuantile
+                       ? query.quantile_phi
+                       : 0.5;
+      int64_t below = 0;
+      for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+        if (!network.IsAlive(p)) continue;
+        for (const data::Tuple& t : network.peer(p).database().tuples()) {
+          if (static_cast<double>(t.value) < estimate) ++below;
+        }
+      }
+      double rank = static_cast<double>(below) /
+                    static_cast<double>(world.total_tuples);
+      return std::fabs(rank - phi);
+    }
+    case query::AggregateOp::kDistinct: {
+      std::vector<bool> seen(256, false);
+      size_t distinct = 0;
+      for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+        if (!network.IsAlive(p)) continue;
+        for (const data::Tuple& t : network.peer(p).database().tuples()) {
+          if (!query.predicate.Matches(t.value)) continue;
+          auto index = static_cast<size_t>(t.value) & 0xff;
+          if (!seen[index]) {
+            seen[index] = true;
+            ++distinct;
+          }
+        }
+      }
+      if (distinct == 0) return std::fabs(estimate);
+      return std::fabs(estimate - static_cast<double>(distinct)) /
+             static_cast<double>(distinct);
+    }
+  }
+  return 0.0;
+}
+
+RunStats RunWithEngine(World& world, const RunConfig& config,
+                       core::TwoPhaseEngine& engine) {
+  query::AggregateQuery query;
+  query.op = config.op;
+  query.predicate = ResolvePredicate(world, config);
+  query.required_error = config.required_error;
+
+  RunStats stats;
+  double error_sum = 0.0;
+  size_t successes = 0;
+  for (size_t rep = 0; rep < config.repetitions; ++rep) {
+    util::Rng rng(config.base_seed + rep * 1099511628211ULL);
+    auto sink = static_cast<graph::NodeId>(
+        rng.UniformIndex(world.network.num_peers()));
+    while (!world.network.IsAlive(sink)) {
+      sink = static_cast<graph::NodeId>(
+          rng.UniformIndex(world.network.num_peers()));
+    }
+    auto answer = engine.Execute(query, sink, rng);
+    if (!answer.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    double error = NormalizedError(world, query, answer->estimate);
+    error_sum += error;
+    stats.max_error = std::max(stats.max_error, error);
+    stats.mean_sample_tuples += static_cast<double>(answer->sample_tuples);
+    stats.mean_phase2_peers += static_cast<double>(answer->phase2_peers);
+    stats.mean_peers_visited +=
+        static_cast<double>(answer->cost.peers_visited);
+    stats.mean_messages += static_cast<double>(answer->cost.messages);
+    stats.mean_bytes += static_cast<double>(answer->cost.bytes_shipped);
+    stats.mean_latency_ms += answer->cost.latency_ms;
+    ++successes;
+  }
+  if (successes > 0) {
+    auto n = static_cast<double>(successes);
+    stats.mean_error = error_sum / n;
+    stats.mean_sample_tuples /= n;
+    stats.mean_phase2_peers /= n;
+    stats.mean_peers_visited /= n;
+    stats.mean_messages /= n;
+    stats.mean_bytes /= n;
+    stats.mean_latency_ms /= n;
+  }
+  return stats;
+}
+
+core::EngineParams MakeEngineParams(const RunConfig& config) {
+  core::EngineParams params;
+  params.tuples_per_peer = config.tuples_per_peer_sample;
+  params.phase1_peers = std::max<size_t>(
+      4, config.initial_sample_tuples /
+             std::max<uint64_t>(1, config.tuples_per_peer_sample));
+  params.cv_repeats = 10;
+  params.normalization = config.normalization;
+  // Visiting more than ~1600 peers stops being "sampling"; the paper's
+  // largest reported plans are ~560 peers (14k tuples at t=25). The cap
+  // also bounds the jump=10000 sweeps of Figure 12.
+  params.max_phase2_peers = 1600;
+  return params;
+}
+
+core::SystemCatalog CatalogFor(const World& world, const RunConfig& config) {
+  core::SystemCatalog catalog = world.catalog;
+  catalog.suggested_jump = config.jump;
+  catalog.suggested_burn_in = config.burn_in;
+  return catalog;
+}
+
+}  // namespace
+
+double ScaleFactor() {
+  const char* env = std::getenv("P2PAQP_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+World BuildWorld(const WorldConfig& config) {
+  double scale = ScaleFactor();
+  util::Rng rng(config.seed);
+
+  size_t peers;
+  size_t edges;
+  graph::Graph overlay;
+  if (config.kind == WorldKind::kGnutella) {
+    peers = Scaled(config.num_peers != 0 ? config.num_peers
+                                         : topology::kGnutella2001Peers,
+                   scale, 64);
+    edges = Scaled(config.num_edges != 0 ? config.num_edges
+                                         : topology::kGnutella2001Edges,
+                   scale, peers + 32);
+    topology::GnutellaParams params;
+    params.num_nodes = peers;
+    params.num_edges = edges;
+    auto graph = topology::MakeGnutellaSnapshot(params, rng);
+    P2PAQP_CHECK(graph.ok()) << graph.status().ToString();
+    overlay = std::move(*graph);
+  } else {
+    peers = Scaled(config.num_peers != 0 ? config.num_peers : 10000, scale,
+                   64);
+    edges = Scaled(config.num_edges != 0 ? config.num_edges : 100000, scale,
+                   peers + 32);
+    if (config.num_subgraphs > 1) {
+      topology::ClusteredParams params;
+      params.num_nodes = peers;
+      params.num_edges = edges;
+      params.num_subgraphs = config.num_subgraphs;
+      // The cut participates in the topology scaling, clamped into the
+      // feasible band (connectivity floor below, edge budget above).
+      size_t cut = Scaled(config.cut_edges, scale, 1);
+      size_t cut_floor = config.num_subgraphs - 1;
+      size_t cut_ceiling =
+          params.num_edges > params.num_nodes
+              ? params.num_edges - params.num_nodes
+              : cut_floor;
+      params.cut_edges =
+          std::clamp(cut, cut_floor, std::max(cut_floor, cut_ceiling));
+      auto topo = topology::MakeClustered(params, rng);
+      P2PAQP_CHECK(topo.ok()) << topo.status().ToString();
+      overlay = std::move(topo->graph);
+    } else {
+      auto graph = topology::MakePowerLawWithEdgeCount(peers, edges, rng);
+      P2PAQP_CHECK(graph.ok()) << graph.status().ToString();
+      overlay = std::move(*graph);
+    }
+  }
+
+  data::DatasetParams dataset;
+  dataset.num_tuples = peers * config.tuples_per_peer;
+  dataset.skew = config.skew;
+  auto table = data::GenerateDataset(dataset, rng);
+  P2PAQP_CHECK(table.ok()) << table.status().ToString();
+
+  data::PartitionParams partition;
+  partition.cluster_level = config.cluster_level;
+  partition.sort_local_tables = config.sort_local_tables;
+  auto databases = data::PartitionAcrossPeers(*table, overlay, partition, rng);
+  P2PAQP_CHECK(databases.ok()) << databases.status().ToString();
+
+  core::SystemCatalog catalog = core::MakeCatalog(overlay, 10, 50);
+  auto network = net::SimulatedNetwork::Make(
+      std::move(overlay), std::move(*databases), net::NetworkParams{},
+      config.seed + 1);
+  P2PAQP_CHECK(network.ok()) << network.status().ToString();
+
+  World world{std::move(*network), catalog, config.skew, 0, 0};
+  world.total_tuples = world.network.TotalTuples();
+  world.total_sum = world.network.ExactSum(
+      std::numeric_limits<data::Value>::min(),
+      std::numeric_limits<data::Value>::max());
+  return world;
+}
+
+query::RangePredicate ResolvePredicate(const World& world,
+                                       const RunConfig& config) {
+  if (config.predicate.has_value()) return *config.predicate;
+  if (config.selectivity >= 1.0) return query::RangePredicate{1, 100};
+  auto zipf = util::ZipfGenerator::Make(100, world.zipf_skew);
+  P2PAQP_CHECK(zipf.ok());
+  return query::PredicateForSelectivity(*zipf, 1, config.selectivity);
+}
+
+RunStats RunExperiment(World& world, const RunConfig& config) {
+  core::TwoPhaseEngine engine(&world.network, CatalogFor(world, config),
+                              MakeEngineParams(config));
+  return RunWithEngine(world, config, engine);
+}
+
+RunStats RunBaselineExperiment(World& world, const RunConfig& config,
+                               core::BaselineKind baseline) {
+  auto engine =
+      core::MakeBaselineEngine(&world.network, CatalogFor(world, config),
+                               MakeEngineParams(config), baseline);
+  return RunWithEngine(world, config, *engine);
+}
+
+std::vector<SweepRow> SweepClusterLevel(const std::vector<double>& levels,
+                                        const RunConfig& base) {
+  std::vector<SweepRow> rows;
+  for (double level : levels) {
+    WorldConfig synthetic;
+    synthetic.cluster_level = level;
+    synthetic.skew = 0.2;
+    WorldConfig gnutella = synthetic;
+    gnutella.kind = WorldKind::kGnutella;
+    World world_s = BuildWorld(synthetic);
+    World world_g = BuildWorld(gnutella);
+    SweepRow row;
+    row.x = level;
+    row.synthetic = RunExperiment(world_s, base);
+    row.gnutella = RunExperiment(world_g, base);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SweepRow> SweepSkew(const std::vector<double>& skews,
+                                const RunConfig& base) {
+  std::vector<SweepRow> rows;
+  for (double skew : skews) {
+    WorldConfig synthetic;
+    synthetic.cluster_level = 0.25;
+    synthetic.skew = skew;
+    WorldConfig gnutella = synthetic;
+    gnutella.kind = WorldKind::kGnutella;
+    World world_s = BuildWorld(synthetic);
+    World world_g = BuildWorld(gnutella);
+    SweepRow row;
+    row.x = skew;
+    row.synthetic = RunExperiment(world_s, base);
+    row.gnutella = RunExperiment(world_g, base);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+bool WantCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+void EmitFigure(const std::string& title, const std::string& setup,
+                const util::AsciiTable& table, bool csv) {
+  if (csv) {
+    std::fputs(table.ToCsv().c_str(), stdout);
+    return;
+  }
+  std::printf("=== %s ===\n", title.c_str());
+  if (!setup.empty()) std::printf("%s\n", setup.c_str());
+  std::printf("(scale=%.2f; set P2PAQP_SCALE to shrink/grow)\n\n",
+              ScaleFactor());
+  std::fputs(table.ToString().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace p2paqp::bench

@@ -1,0 +1,154 @@
+// Shared experiment harness for the figure-reproduction benchmarks.
+//
+// Reproduces the evaluation setup of Sec. 5: synthetic power-law and
+// calibrated Gnutella-2001 overlays populated with Zipf data distributed
+// breadth-first at a configurable cluster level, queried by the two-phase
+// engine with the paper's default knobs (t = 25, j = 10, r_orig = 2000,
+// five repetitions averaged, errors normalized to [0, 1] against the total
+// aggregate).
+//
+// Every figXX binary builds worlds through this harness and prints the rows
+// the corresponding figure plots. `P2PAQP_SCALE` (default 1 = paper scale)
+// shrinks the simulated network for quick runs; `--csv` emits
+// machine-readable output.
+#ifndef P2PAQP_BENCH_HARNESS_H_
+#define P2PAQP_BENCH_HARNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aqp.h"
+#include "util/ascii_table.h"
+
+namespace p2paqp::bench {
+
+// ---------------------------------------------------------------------------
+// World construction
+// ---------------------------------------------------------------------------
+
+enum class WorldKind {
+  // Sec. 5.2.1 synthetic topology: 10,000 peers / 100,000 edges. Figures
+  // 2-6 and 8-16 use the plain power-law overlay; figures 7 and 12 use the
+  // clustered two-sub-graph variant (set `num_subgraphs` > 1).
+  kSynthetic,
+  // Calibrated 2001 Gnutella crawl stand-in: 22,556 peers / 52,321 edges.
+  kGnutella,
+};
+
+struct WorldConfig {
+  WorldKind kind = WorldKind::kSynthetic;
+  // Zero means "paper default for the kind".
+  size_t num_peers = 0;
+  size_t num_edges = 0;
+  // Two-sub-graph topology (figures 7 and 12). 1 = single power-law graph.
+  size_t num_subgraphs = 1;
+  size_t cut_edges = 0;
+  // Tuples per peer (paper: 100 synthetic / ~97 Gnutella; figures 4-5 use
+  // 50).
+  size_t tuples_per_peer = 100;
+  double cluster_level = 0.25;  // CL.
+  double skew = 0.2;            // Z.
+  // Physical layout: sort each peer's local table (clustered local index).
+  bool sort_local_tables = false;
+  uint64_t seed = 20060403;     // ICDE 2006 vintage.
+};
+
+struct World {
+  net::SimulatedNetwork network;
+  core::SystemCatalog catalog;  // Walk parameters pinned per experiment.
+  double zipf_skew = 0.2;
+  // Oracle ground truths for error normalization.
+  int64_t total_tuples = 0;
+  int64_t total_sum = 0;
+};
+
+// Builds the world, applying P2PAQP_SCALE to peers/edges/tuples. Aborts on
+// misconfiguration (benchmarks only).
+World BuildWorld(const WorldConfig& config);
+
+// Scale factor from the environment (default 1.0).
+double ScaleFactor();
+
+// ---------------------------------------------------------------------------
+// Experiment execution
+// ---------------------------------------------------------------------------
+
+struct RunConfig {
+  query::AggregateOp op = query::AggregateOp::kCount;
+  // Either an explicit predicate or a target selectivity resolved against
+  // the world's Zipf distribution.
+  std::optional<query::RangePredicate> predicate;
+  double selectivity = 0.30;
+  double required_error = 0.10;  // Delta_req.
+  uint64_t tuples_per_peer_sample = 25;  // t.
+  size_t jump = 10;                      // j.
+  size_t burn_in = 50;
+  core::ErrorNormalization normalization =
+      core::ErrorNormalization::kTotalAggregate;
+  size_t initial_sample_tuples = 2000;   // r_orig; m = r_orig / t.
+  // The paper averages 5 independent runs; the error distribution is
+  // heavy-tailed, so we default to 11 for smoother rows (set 5 to mimic
+  // the paper exactly).
+  size_t repetitions = 11;
+  uint64_t base_seed = 7;
+};
+
+struct RunStats {
+  double mean_error = 0.0;         // Normalized to [0,1] (paper metric).
+  double max_error = 0.0;
+  double mean_sample_tuples = 0.0; // The paper's latency surrogate.
+  double mean_phase2_peers = 0.0;
+  double mean_peers_visited = 0.0;
+  double mean_messages = 0.0;
+  double mean_bytes = 0.0;
+  double mean_latency_ms = 0.0;
+  size_t failures = 0;             // Runs that returned an error status.
+};
+
+// Runs `config.repetitions` independent queries from random sinks and
+// averages, like Sec. 5.5 ("five independent experiments and averaged").
+// The engine is the paper's random-walk engine; `baseline` switches to the
+// BFS/DFS baselines for Fig. 7.
+RunStats RunExperiment(World& world, const RunConfig& config);
+RunStats RunBaselineExperiment(World& world, const RunConfig& config,
+                               core::BaselineKind baseline);
+
+// Resolves the predicate for a run (explicit predicate wins; otherwise the
+// target selectivity against Zipf(world.zipf_skew)).
+query::RangePredicate ResolvePredicate(const World& world,
+                                       const RunConfig& config);
+
+// ---------------------------------------------------------------------------
+// Parameter sweeps shared by the clustering/skew figures (8-11, 13-16)
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+  double x = 0.0;        // Swept parameter value (CL or Z).
+  RunStats synthetic;
+  RunStats gnutella;
+};
+
+// Rebuilds both worlds at each cluster level and runs `base` on them.
+std::vector<SweepRow> SweepClusterLevel(const std::vector<double>& levels,
+                                        const RunConfig& base);
+
+// Rebuilds both worlds at each skew and runs `base` on them (the predicate
+// is re-resolved per skew so the target selectivity stays fixed).
+std::vector<SweepRow> SweepSkew(const std::vector<double>& skews,
+                                const RunConfig& base);
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+// True if argv contains --csv.
+bool WantCsv(int argc, char** argv);
+
+// Prints the figure banner + the table (ASCII or CSV).
+void EmitFigure(const std::string& title, const std::string& setup,
+                const util::AsciiTable& table, bool csv);
+
+}  // namespace p2paqp::bench
+
+#endif  // P2PAQP_BENCH_HARNESS_H_

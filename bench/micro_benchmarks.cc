@@ -1,0 +1,129 @@
+// google-benchmark micro-benchmarks of the library's hot paths: walker
+// hops, local execution, estimation and topology/data generation.
+#include <benchmark/benchmark.h>
+
+#include "core/aqp.h"
+
+namespace p2paqp {
+namespace {
+
+net::SimulatedNetwork& SharedNetwork() {
+  static net::SimulatedNetwork* network = [] {
+    util::Rng rng(1);
+    auto graph = topology::MakeBarabasiAlbert(5000, 10, rng);
+    P2PAQP_CHECK(graph.ok());
+    data::DatasetParams dataset;
+    dataset.num_tuples = 500000;
+    auto table = data::GenerateDataset(dataset, rng);
+    P2PAQP_CHECK(table.ok());
+    auto dbs = data::PartitionAcrossPeers(*table, *graph,
+                                          data::PartitionParams{}, rng);
+    P2PAQP_CHECK(dbs.ok());
+    auto net_result = net::SimulatedNetwork::Make(
+        std::move(*graph), std::move(*dbs), net::NetworkParams{}, 2);
+    P2PAQP_CHECK(net_result.ok());
+    return new net::SimulatedNetwork(std::move(*net_result));
+  }();
+  return *network;
+}
+
+void BM_WalkerHops(benchmark::State& state) {
+  net::SimulatedNetwork& network = SharedNetwork();
+  sampling::RandomWalk walk(&network,
+                            sampling::WalkParams{.jump = state.range(0) > 0
+                                                     ? static_cast<size_t>(
+                                                           state.range(0))
+                                                     : 1});
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto visits = walk.Collect(0, 10, rng);
+    benchmark::DoNotOptimize(visits);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * state.range(0));
+}
+BENCHMARK(BM_WalkerHops)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_LocalExecute(benchmark::State& state) {
+  net::SimulatedNetwork& network = SharedNetwork();
+  query::AggregateQuery query;
+  query.predicate = {1, 30};
+  util::Rng rng(4);
+  auto t = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = query::ExecuteLocal(network.peer(7).database(), query, t,
+                                      rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LocalExecute)->Arg(0)->Arg(25);
+
+void BM_HorvitzThompson(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<core::WeightedObservation> observations;
+  for (int i = 0; i < state.range(0); ++i) {
+    observations.push_back({rng.UniformDouble(0, 100),
+                            static_cast<double>(rng.UniformInt(1, 40))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::HorvitzThompson(observations, 1e5));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HorvitzThompson)->Arg(80)->Arg(1000);
+
+void BM_CrossValidate(benchmark::State& state) {
+  util::Rng make_rng(6);
+  std::vector<core::WeightedObservation> observations;
+  for (int i = 0; i < 80; ++i) {
+    observations.push_back({make_rng.UniformDouble(0, 100),
+                            static_cast<double>(make_rng.UniformInt(1, 40))});
+  }
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CrossValidate(observations, 1e5, 10, rng));
+  }
+}
+BENCHMARK(BM_CrossValidate);
+
+void BM_ZipfSample(benchmark::State& state) {
+  auto zipf = util::ZipfGenerator::Make(100, 1.0);
+  util::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf->Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_BuildPowerLawGraph(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(9);
+    auto graph = topology::MakePowerLawWithEdgeCount(n, n * 10, rng);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 10);
+}
+BENCHMARK(BM_BuildPowerLawGraph)->Arg(1000)->Arg(10000);
+
+void BM_EndToEndCountQuery(benchmark::State& state) {
+  net::SimulatedNetwork& network = SharedNetwork();
+  core::SystemCatalog catalog = core::MakeCatalog(network.graph(), 10, 50);
+  core::EngineParams params;
+  params.phase1_peers = 80;
+  core::TwoPhaseEngine engine(&network, catalog, params);
+  query::AggregateQuery query;
+  query.predicate = {1, 30};
+  query.required_error = 0.1;
+  util::Rng rng(10);
+  for (auto _ : state) {
+    auto answer = engine.Execute(query, 0, rng);
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_EndToEndCountQuery);
+
+}  // namespace
+}  // namespace p2paqp
+
+BENCHMARK_MAIN();

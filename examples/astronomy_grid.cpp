@@ -1,0 +1,136 @@
+// Decision support over a scientific P2P grid — the paper's motivating
+// scenario: "millions of peers across the world may be cooperating on a
+// grand experiment in astronomy, and astronomers may be interested in asking
+// decision support queries that require the aggregation of vast amounts of
+// data covering thousands of peers."
+//
+// Here, observatories share sky-survey detections (the single attribute is
+// an apparent-magnitude bucket, 1 = brightest .. 100 = faintest; faint
+// detections are far more common, i.e. skewed). Detections cluster by sky
+// region, and observatories scanning nearby regions peer with each other —
+// strong data clustering across the overlay. An astronomer at one
+// observatory runs a sequence of decision-support aggregates without any
+// central catalog server.
+#include <cstdio>
+
+#include "core/aqp.h"
+
+using namespace p2paqp;  // Example code only.
+
+namespace {
+
+void Report(const char* label, const core::ApproximateAnswer& answer,
+            double truth) {
+  std::printf("%-38s %12.0f   truth %12.0f   err %5.2f%%   peers %4llu   "
+              "tuples %6llu\n",
+              label, answer.estimate, truth,
+              truth == 0.0 ? 0.0
+                           : 100.0 * std::fabs(answer.estimate - truth) /
+                                 truth,
+              static_cast<unsigned long long>(answer.cost.peers_visited),
+              static_cast<unsigned long long>(answer.sample_tuples));
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(1054);  // Crab supernova vintage.
+
+  std::puts("== p2paqp: decision support on an astronomy P2P grid ==\n");
+
+  // 5,000 observatories; regional peering yields four loose communities.
+  topology::ClusteredParams topo;
+  topo.num_nodes = 5000;
+  topo.num_edges = 40000;
+  topo.num_subgraphs = 4;
+  topo.cut_edges = 900;
+  auto overlay = topology::MakeClustered(topo, rng);
+  if (!overlay.ok()) return 1;
+
+  // 1.5M detections, magnitude-bucket values, heavy faint-end skew, and
+  // near-perfect clustering: each observatory archives one sky region.
+  data::DatasetParams dataset;
+  dataset.num_tuples = 1500000;
+  dataset.skew = 0.8;
+  auto detections = data::GenerateDataset(dataset, rng);
+  data::PartitionParams placement;
+  placement.cluster_level = 0.1;
+  placement.size_policy =
+      data::PartitionParams::SizePolicy::kDegreeProportional;
+  auto archives =
+      data::PartitionAcrossPeers(*detections, overlay->graph, placement, rng);
+
+  auto network = net::SimulatedNetwork::Make(
+      std::move(overlay->graph), std::move(*archives), net::NetworkParams{},
+      1054);
+
+  core::SystemCatalog catalog = core::Preprocess(network->graph(), 0.05, rng);
+  std::printf("preprocessed catalog: %s\n\n", catalog.ToString().c_str());
+
+  core::EngineParams params;
+  params.phase1_peers = 100;
+  params.include_phase1_observations = true;  // Combined estimator.
+  core::TwoPhaseEngine engine(&*network, catalog, params);
+  graph::NodeId my_observatory = 137;
+
+  std::printf("%-38s %12s   %18s   %10s\n\n", "decision-support query",
+              "estimate", "", "cost");
+
+  // Q1: how many bright detections (candidate transients) network-wide?
+  query::AggregateQuery bright;
+  bright.op = query::AggregateOp::kCount;
+  bright.predicate = {1, 10};
+  bright.required_error = 0.10;
+  auto a1 = engine.Execute(bright, my_observatory, rng);
+  if (a1.ok()) {
+    Report("COUNT bright detections (mag<=10)", *a1,
+           static_cast<double>(network->ExactCount(1, 10)));
+  }
+
+  // Q2: total integrated signal (SUM over every detection).
+  query::AggregateQuery total;
+  total.op = query::AggregateOp::kSum;
+  total.predicate = query::RangePredicate{1, 100};
+  total.required_error = 0.10;
+  auto a2 = engine.Execute(total, my_observatory, rng);
+  if (a2.ok()) {
+    Report("SUM magnitude buckets (all sky)", *a2,
+           static_cast<double>(network->ExactSum(1, 100)));
+  }
+
+  // Q3: the median magnitude — where does the survey's sensitivity sit?
+  // (Median accuracy is judged in rank space: how far from the 50th
+  // percentile does the returned value actually sit?)
+  query::AggregateQuery median;
+  median.op = query::AggregateOp::kMedian;
+  median.required_error = 0.10;
+  auto a3 = engine.Execute(median, my_observatory, rng);
+  if (a3.ok()) {
+    int64_t below = network->ExactCount(
+        std::numeric_limits<data::Value>::min(),
+        static_cast<data::Value>(a3->estimate) - 1);
+    double rank = static_cast<double>(below) /
+                  static_cast<double>(network->TotalTuples());
+    std::printf("%-38s %12.0f   true median %7.0f   rank %.3f (target "
+                "0.500)   peers %4llu\n",
+                "MEDIAN magnitude bucket", a3->estimate,
+                network->ExactMedian(), rank,
+                static_cast<unsigned long long>(a3->cost.peers_visited));
+  }
+
+  // Q4: average magnitude of the bright population only.
+  query::AggregateQuery avg;
+  avg.op = query::AggregateOp::kAvg;
+  avg.predicate = {1, 20};
+  avg.required_error = 0.10;
+  auto a4 = engine.Execute(avg, my_observatory, rng);
+  if (a4.ok()) {
+    double truth = static_cast<double>(network->ExactSum(1, 20)) /
+                   static_cast<double>(network->ExactCount(1, 20));
+    Report("AVG magnitude (mag<=20)", *a4, truth);
+  }
+
+  std::puts("\nNo observatory scanned more than a few thousand of the 1.5M");
+  std::puts("detections, and no central index was consulted.");
+  return 0;
+}

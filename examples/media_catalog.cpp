@@ -1,0 +1,106 @@
+// Genre analytics over a file-sharing network — the paper's running data
+// model: "if the P2P database contained listings of, say movies, the movies
+// stored on a specific peer are likely to be of the same genre", and real
+// Gnutella-scale workloads cluster by music genre (Le Fessant et al.,
+// IPTPS 2004).
+//
+// The attribute is a genre/catalog bucket in [1, 100]; popularity is
+// Zipf-distributed (hits dominate) and peers hold genre-coherent libraries
+// (CL = 0). The example contrasts the adaptive walk against the naive
+// BFS/DFS sampling a lazy client might try, and shows the distinct-values
+// extension ("how many genres circulate at all?").
+#include <cstdio>
+
+#include "core/aqp.h"
+
+using namespace p2paqp;  // Example code only.
+
+int main() {
+  util::Rng rng(1984);
+
+  std::puts("== p2paqp: genre analytics on a file-sharing overlay ==\n");
+
+  // Gnutella-like overlay at 2001 crawl proportions (scaled to 1/4).
+  topology::GnutellaParams topo;
+  topo.num_nodes = 5639;
+  topo.num_edges = 13080;
+  auto overlay = topology::MakeGnutellaSnapshot(topo, rng);
+  if (!overlay.ok()) return 1;
+
+  data::DatasetParams dataset;
+  dataset.num_tuples = 550000;  // ~97 files per peer, like the crawl.
+  dataset.skew = 1.0;           // Hit-dominated popularity.
+  auto files = data::GenerateDataset(dataset, rng);
+  data::PartitionParams placement;
+  placement.cluster_level = 0.0;  // Genre-coherent libraries.
+  auto libraries =
+      data::PartitionAcrossPeers(*files, *overlay, placement, rng);
+
+  auto network = net::SimulatedNetwork::Make(
+      std::move(*overlay), std::move(*libraries), net::NetworkParams{}, 3);
+
+  core::SystemCatalog catalog = core::Preprocess(network->graph(), 0.05, rng);
+  core::EngineParams params;
+  params.phase1_peers = 100;
+
+  // The question: what share of the network's files are "top-10" genres?
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = {1, 10};
+  query.required_error = 0.10;
+  double truth = static_cast<double>(network->ExactCount(1, 10));
+  auto total = static_cast<double>(network->TotalTuples());
+  std::printf("query: %s\n", query.ToSql().c_str());
+  std::printf("truth: %.0f of %.0f files (%.1f%%)\n\n", truth, total,
+              100.0 * truth / total);
+
+  std::printf("%-22s %12s %9s %9s %10s\n", "sampling strategy", "estimate",
+              "err/ans", "messages", "latency");
+  auto report = [&](const char* name, const core::ApproximateAnswer& a) {
+    std::printf("%-22s %12.0f %8.2f%% %9llu %8.0fms\n", name, a.estimate,
+                100.0 * std::fabs(a.estimate - truth) / truth,
+                static_cast<unsigned long long>(a.cost.messages),
+                a.cost.latency_ms);
+  };
+
+  graph::NodeId sink = 99;
+  {
+    core::TwoPhaseEngine engine(&*network, catalog, params);
+    auto answer = engine.Execute(query, sink, rng);
+    if (answer.ok()) report("adaptive random walk", *answer);
+  }
+  {
+    auto engine = core::MakeBaselineEngine(&*network, catalog, params,
+                                           core::BaselineKind::kBfs);
+    auto answer = engine->Execute(query, sink, rng);
+    if (answer.ok()) report("BFS neighborhood", *answer);
+  }
+  {
+    auto engine = core::MakeBaselineEngine(&*network, catalog, params,
+                                           core::BaselineKind::kDfs);
+    auto answer = engine->Execute(query, sink, rng);
+    if (answer.ok()) report("DFS (jump-less walk)", *answer);
+  }
+
+  // Extension: how many distinct genre buckets circulate at all?
+  {
+    core::TwoPhaseEngine engine(&*network, catalog, params);
+    query::AggregateQuery distinct;
+    distinct.op = query::AggregateOp::kDistinct;
+    distinct.predicate = {1, 100};
+    distinct.required_error = 0.10;
+    auto answer = engine.Execute(distinct, sink, rng);
+    if (answer.ok()) {
+      std::printf("\ndistinct genre buckets: >= ~%.0f (Chao lower-bound "
+                  "estimate from %llu shipped tuples; genre-clustered "
+                  "libraries hide rare genres from small peer samples)\n",
+                  answer->estimate,
+                  static_cast<unsigned long long>(answer->sample_tuples));
+    }
+  }
+
+  std::puts("\nBFS sees only the sink's genre cluster; the jump-less DFS");
+  std::puts("walk double-counts whatever cluster it wanders through. The");
+  std::puts("adaptive walk pays a few thousand messages to stay honest.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Umbrella header: everything a client needs to run approximate aggregation
+// queries over a simulated unstructured P2P network.
+//
+//   #include "core/aqp.h"
+//
+//   util::Rng rng(42);
+//   auto topo = topology::MakeTopology({...}, rng);
+//   auto db = data::GenerateDataset({...}, rng);
+//   auto parts = data::PartitionAcrossPeers(*db, topo->graph, {...}, rng);
+//   auto net = net::SimulatedNetwork::Make(std::move(topo->graph),
+//                                          std::move(*parts), {}, 7);
+//   core::SystemCatalog cat = core::MakeCatalog(net->graph(), 10, 50);
+//   core::TwoPhaseEngine engine(&*net, cat, {});
+//   auto answer = engine.Execute({.op = query::AggregateOp::kCount,
+//                                 .predicate = {1, 30},
+//                                 .required_error = 0.1},
+//                                /*sink=*/0, rng);
+#ifndef P2PAQP_CORE_AQP_H_
+#define P2PAQP_CORE_AQP_H_
+
+#include "core/async_engine.h"
+#include "core/baselines.h"
+#include "core/biased.h"
+#include "core/catalog.h"
+#include "core/cross_validation.h"
+#include "core/decentralized_catalog.h"
+#include "core/distinct.h"
+#include "core/estimator.h"
+#include "core/histogram_estimator.h"
+#include "core/hybrid.h"
+#include "core/median.h"
+#include "core/two_phase.h"
+#include "data/generator.h"
+#include "data/partitioner.h"
+#include "net/churn.h"
+#include "net/event_sim.h"
+#include "net/network.h"
+#include "net/overlay_manager.h"
+#include "net/protocol.h"
+#include "query/local_executor.h"
+#include "query/query.h"
+#include "sampling/convergence.h"
+#include "sampling/samplers.h"
+#include "topology/clustered.h"
+#include "topology/factory.h"
+#include "topology/gnutella.h"
+#include "topology/power_law.h"
+#include "topology/random.h"
+
+#endif  // P2PAQP_CORE_AQP_H_

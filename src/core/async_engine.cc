@@ -1,0 +1,237 @@
+#include "core/async_engine.h"
+
+#include <cmath>
+#include <memory>
+
+namespace p2paqp::core {
+
+namespace {
+
+// Mirrors two_phase.cc's total-aggregate normalizer (N for COUNT, the
+// all-tuples sum for SUM) for the error normalization.
+double EstimateTotal(const std::vector<PeerObservation>& observations,
+                     query::AggregateOp op, double total_weight) {
+  std::vector<WeightedObservation> totals;
+  totals.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    double value = op == query::AggregateOp::kSum
+                       ? obs.aggregate.total_sum_value
+                       : static_cast<double>(obs.aggregate.local_tuples);
+    totals.push_back({value, obs.stationary_weight});
+  }
+  return HorvitzThompson(totals, total_weight);
+}
+
+std::vector<WeightedObservation> ToWeighted(
+    const std::vector<PeerObservation>& observations, query::AggregateOp op) {
+  std::vector<WeightedObservation> weighted;
+  weighted.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    weighted.push_back({obs.aggregate.ValueFor(op), obs.stationary_weight});
+  }
+  return weighted;
+}
+
+// All state one in-flight phase shares across its event callbacks.
+struct PhaseState {
+  std::vector<PeerObservation> observations;
+  size_t expected = 0;
+  size_t hops_left = 0;  // Global hop budget across all walkers.
+  bool failed = false;
+  std::string failure;
+};
+
+}  // namespace
+
+AsyncQuerySession::AsyncQuerySession(net::SimulatedNetwork* network,
+                                     const SystemCatalog& catalog,
+                                     const AsyncParams& params)
+    : network_(network), catalog_(catalog), params_(params) {
+  P2PAQP_CHECK(network_ != nullptr);
+  P2PAQP_CHECK_GE(params_.walkers, 1u);
+  P2PAQP_CHECK_GE(params_.walk.jump, 1u);
+  P2PAQP_CHECK(params_.walk.variant == sampling::WalkVariant::kSimple)
+      << "async session supports the simple walk only";
+}
+
+util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
+    net::EventQueue& events, const query::AggregateQuery& query,
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  auto state = std::make_shared<PhaseState>();
+  state->expected = count;
+  state->hops_left =
+      100 * (params_.walk.burn_in * params_.walkers +
+             count * params_.walk.jump) +
+      1000;
+
+  // One selected peer: scan locally (scan-time delay), then the reply races
+  // back to the sink over direct IP (half-hop delay, like SendDirect).
+  auto select_peer = [this, &events, &query, sink, state,
+                      &rng](graph::NodeId peer) {
+    auto aggregate = query::ExecuteLocal(
+        network_->peer(peer).database(), query,
+        query::SubSamplePolicy{.t = params_.engine.tuples_per_peer,
+                               .mode = params_.engine.subsample_mode,
+                               .block_size = params_.engine.block_size},
+        rng);
+    network_->cost().RecordPeerVisit();
+    network_->cost().RecordTuplesScanned(aggregate.processed_tuples);
+    network_->cost().RecordTuplesSampled(aggregate.processed_tuples);
+    network_->cost().RecordMessage(
+        net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
+    double scan_ms =
+        network_->LocalScanLatency(peer, aggregate.processed_tuples);
+    double reply_ms = network_->DrawHopLatency() * 0.5;
+    PeerObservation obs;
+    obs.peer = peer;
+    obs.degree = network_->AliveDegree(peer);
+    obs.stationary_weight = static_cast<double>(obs.degree);
+    obs.aggregate = aggregate;
+    events.ScheduleAfter(scan_ms + reply_ms, [state, obs]() {
+      state->observations.push_back(obs);  // Reply reached the sink.
+    });
+  };
+
+  // Walker loop: each invocation is one hop arriving at a new peer.
+  struct Walker {
+    graph::NodeId current;
+    size_t burn_left;
+    size_t since_selection = 0;
+    size_t remaining;
+  };
+  auto hop = std::make_shared<std::function<void(std::shared_ptr<Walker>)>>();
+  *hop = [this, &events, sink, state, &rng, select_peer,
+          hop](std::shared_ptr<Walker> walker) {
+    if (state->failed || walker->remaining == 0) return;
+    if (state->hops_left == 0) {
+      state->failed = true;
+      state->failure = "walk exceeded hop budget";
+      return;
+    }
+    --state->hops_left;
+    std::vector<graph::NodeId> neighbors =
+        network_->AliveNeighbors(walker->current);
+    if (neighbors.empty()) {
+      if (walker->current == sink || !network_->IsAlive(sink)) {
+        state->failed = true;
+        state->failure = "walker stranded with no live route";
+        return;
+      }
+      walker->current = sink;  // The sink re-issues the walker.
+      events.ScheduleAfter(network_->DrawHopLatency(),
+                           [hop, walker]() { (*hop)(walker); });
+      return;
+    }
+    graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
+    util::Status sent = network_->SendAlongEdge(net::MessageType::kWalker,
+                                                walker->current, next);
+    if (!sent.ok()) {
+      state->failed = true;
+      state->failure = sent.ToString();
+      return;
+    }
+    // The synchronous ledger summed this hop's latency; the event clock is
+    // authoritative here, so draw the event delay independently.
+    walker->current = next;
+    if (walker->burn_left > 0) {
+      --walker->burn_left;
+    } else if (++walker->since_selection >= params_.walk.jump) {
+      walker->since_selection = 0;
+      --walker->remaining;
+      select_peer(next);
+    }
+    if (walker->remaining > 0) {
+      events.ScheduleAfter(network_->DrawHopLatency(),
+                           [hop, walker]() { (*hop)(walker); });
+    }
+  };
+
+  // Launch the walkers with near-even selection shares.
+  size_t remaining = count;
+  for (size_t w = 0; w < params_.walkers && remaining > 0; ++w) {
+    size_t share = remaining / (params_.walkers - w);
+    if (share == 0) continue;
+    remaining -= share;
+    auto walker = std::make_shared<Walker>(
+        Walker{sink, params_.walk.burn_in, 0, share});
+    events.ScheduleAfter(network_->DrawHopLatency(),
+                         [hop, walker]() { (*hop)(walker); });
+  }
+
+  events.RunUntilEmpty();
+  if (state->failed) return util::Status::Unavailable(state->failure);
+  if (state->observations.size() != count) {
+    return util::Status::Internal("async phase lost replies");
+  }
+  return std::move(state->observations);
+}
+
+util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
+    const query::AggregateQuery& query, graph::NodeId sink, util::Rng& rng) {
+  if (query.op != query::AggregateOp::kCount &&
+      query.op != query::AggregateOp::kSum) {
+    return util::Status::InvalidArgument(
+        "async session supports COUNT and SUM");
+  }
+  if (sink >= network_->num_peers() || !network_->IsAlive(sink)) {
+    return util::Status::FailedPrecondition("sink peer is not live");
+  }
+  net::CostSnapshot before = network_->cost_snapshot();
+  net::EventQueue events;
+
+  // ---- Phase I ----
+  auto phase1 = RunPhase(events, query, sink, params_.engine.phase1_peers,
+                         rng);
+  if (!phase1.ok()) return phase1.status();
+  double phase1_done = events.now();
+
+  double total_weight = catalog_.total_degree_weight();
+  CrossValidationResult cv = CrossValidate(ToWeighted(*phase1, query.op),
+                                           total_weight,
+                                           params_.engine.cv_repeats, rng);
+  double estimated_total = EstimateTotal(*phase1, query.op, total_weight);
+  if (estimated_total <= 0.0 ||
+      params_.engine.normalization == ErrorNormalization::kQueryAnswer) {
+    estimated_total = std::fabs(cv.estimate);
+  }
+  double cv_normalized =
+      estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
+  size_t phase2_peers = PhaseTwoSampleSize(
+      params_.engine.phase1_peers, cv_normalized, query.required_error,
+      params_.engine.min_phase2_peers,
+      params_.engine.max_phase2_peers == 0 ? network_->num_peers()
+                                           : params_.engine.max_phase2_peers);
+
+  // ---- Phase II ----
+  auto phase2 = RunPhase(events, query, sink, phase2_peers, rng);
+  if (!phase2.ok()) return phase2.status();
+
+  std::vector<PeerObservation> final_set;
+  if (params_.engine.include_phase1_observations) {
+    final_set = *phase1;
+    final_set.insert(final_set.end(), phase2->begin(), phase2->end());
+  } else {
+    final_set = *phase2;
+  }
+  auto weighted = ToWeighted(final_set, query.op);
+
+  AsyncQueryReport report;
+  report.answer.estimate = HorvitzThompson(weighted, total_weight);
+  report.answer.variance = HorvitzThompsonVariance(weighted, total_weight);
+  report.answer.ci_half_width_95 =
+      1.959963984540054 * std::sqrt(report.answer.variance);
+  report.answer.estimated_total = estimated_total;
+  report.answer.cv_error_relative = cv_normalized;
+  report.answer.phase1_peers = phase1->size();
+  report.answer.phase2_peers = phase2->size();
+  report.answer.cost = net::CostDelta(network_->cost_snapshot(), before);
+  report.answer.sample_tuples = report.answer.cost.tuples_sampled;
+  // The event clock, not the sequential sum, is the real latency.
+  report.answer.cost.latency_ms = events.now();
+  report.makespan_ms = events.now();
+  report.phase1_done_ms = phase1_done;
+  report.events = events.executed();
+  return report;
+}
+
+}  // namespace p2paqp::core

@@ -1,0 +1,62 @@
+// Event-driven execution of the two-phase plan (makespan-accurate latency).
+//
+// The synchronous TwoPhaseEngine models one walker whose hops, local scans
+// and replies happen back-to-back, so its latency ledger is a straight sum.
+// In a real deployment the activity overlaps: W walkers advance in parallel,
+// a selected peer scans its table while the walker already moved on, and the
+// (y(p), deg(p)) replies race back to the sink over direct IP. The
+// AsyncQuerySession replays exactly the same statistical plan (same sampler
+// semantics, same cross-validation sizing, same estimates) on a
+// discrete-event clock, so the reported makespan is the true end-to-end
+// latency the paper's cost model cares about (Sec. 3.2).
+#ifndef P2PAQP_CORE_ASYNC_ENGINE_H_
+#define P2PAQP_CORE_ASYNC_ENGINE_H_
+
+#include "core/two_phase.h"
+#include "net/event_sim.h"
+
+namespace p2paqp::core {
+
+struct AsyncParams {
+  EngineParams engine;
+  // Concurrent walkers per phase.
+  size_t walkers = 4;
+  // Walk mechanics (jump/burn-in); variant must be kSimple.
+  sampling::WalkParams walk;
+};
+
+struct AsyncQueryReport {
+  ApproximateAnswer answer;
+  // True end-to-end simulated time from query issue to the arrival of the
+  // last phase-II reply at the sink.
+  double makespan_ms = 0.0;
+  // Phase boundaries (when the last reply of each phase arrived).
+  double phase1_done_ms = 0.0;
+  uint64_t events = 0;
+};
+
+class AsyncQuerySession {
+ public:
+  AsyncQuerySession(net::SimulatedNetwork* network,
+                    const SystemCatalog& catalog, const AsyncParams& params);
+
+  // Runs the full adaptive two-phase COUNT/SUM/AVG plan event-driven.
+  // (Median/distinct/histogram stay on the synchronous engine.)
+  util::Result<AsyncQueryReport> Execute(const query::AggregateQuery& query,
+                                         graph::NodeId sink, util::Rng& rng);
+
+ private:
+  // Runs one phase: `count` selections spread over the walkers; returns the
+  // collected observations and completes when the last reply arrives.
+  util::Result<std::vector<PeerObservation>> RunPhase(
+      net::EventQueue& events, const query::AggregateQuery& query,
+      graph::NodeId sink, size_t count, util::Rng& rng);
+
+  net::SimulatedNetwork* network_;
+  SystemCatalog catalog_;
+  AsyncParams params_;
+};
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_ASYNC_ENGINE_H_

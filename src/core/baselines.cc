@@ -1,0 +1,33 @@
+#include "core/baselines.h"
+
+namespace p2paqp::core {
+
+const char* BaselineKindToString(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kBfs:
+      return "bfs";
+    case BaselineKind::kDfs:
+      return "dfs";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<TwoPhaseEngine> MakeBaselineEngine(
+    net::SimulatedNetwork* network, const SystemCatalog& catalog,
+    const EngineParams& params, BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kBfs:
+      return std::make_unique<TwoPhaseEngine>(
+          network, catalog, params,
+          std::make_unique<sampling::BfsSampler>(network),
+          static_cast<double>(catalog.num_peers));
+    case BaselineKind::kDfs:
+      return std::make_unique<TwoPhaseEngine>(
+          network, catalog, params,
+          std::make_unique<sampling::DfsSampler>(network),
+          catalog.total_degree_weight());
+  }
+  return nullptr;
+}
+
+}  // namespace p2paqp::core

@@ -1,0 +1,32 @@
+// Naive sampling baselines for Fig. 7: the same adaptive two-phase plan but
+// fed by BFS (sink-neighborhood flooding) or DFS (jump-less walk) samples.
+// Both violate the stationary-sample assumption — BFS sees only the data
+// cluster around the sink, DFS selects heavily correlated consecutive peers —
+// so they miss the required error bound on clustered data while the random
+// walk meets it.
+#ifndef P2PAQP_CORE_BASELINES_H_
+#define P2PAQP_CORE_BASELINES_H_
+
+#include <memory>
+
+#include "core/two_phase.h"
+
+namespace p2paqp::core {
+
+enum class BaselineKind {
+  kBfs = 0,  // Sample = peers nearest the sink.
+  kDfs,      // Sample = every peer on a random walk path (j = 0).
+};
+
+const char* BaselineKindToString(BaselineKind kind);
+
+// Builds a TwoPhaseEngine wired to the requested baseline sampler.
+// BFS peers are weighted uniformly (total weight M); DFS peers keep the
+// degree weighting of the walk they ride (total weight 2|E|).
+std::unique_ptr<TwoPhaseEngine> MakeBaselineEngine(
+    net::SimulatedNetwork* network, const SystemCatalog& catalog,
+    const EngineParams& params, BaselineKind kind);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_BASELINES_H_

@@ -1,0 +1,81 @@
+// Biased sampling extension (the paper's future-work question: "Is it
+// possible for sampling-based algorithms to perform 'biased sampling', i.e.,
+// focus the samples from regions of the database where tuples that satisfy
+// the query are likely to exist?").
+//
+// Each peer advertises a one-number synopsis: the fraction of its tuples
+// matching the predicate (in a deployment this comes from a per-peer value
+// histogram). The walker chooses the next hop proportionally to
+// c(v) = floor + match_fraction(v), steering toward data-rich regions.
+//
+// Because transition weights factor as w(u,v) = c(u)c(v), the walk is a
+// reversible Markov chain with stationary weight
+//   pi(p)  proportional to  c(p) * sum_{v in N(p)} c(v),
+// which each peer computes locally and ships with its reply — so the sink
+// can de-bias exactly using a self-normalized Horvitz-Thompson ratio
+// (the global normalizer is unknown; M from the catalog anchors the scale).
+#ifndef P2PAQP_CORE_BIASED_H_
+#define P2PAQP_CORE_BIASED_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/two_phase.h"
+#include "sampling/samplers.h"
+
+namespace p2paqp::core {
+
+// Walker that biases hops toward predicate-matching neighborhoods.
+class BiasedWalkSampler : public sampling::PeerSampler {
+ public:
+  // `floor` > 0 keeps every neighbor reachable (irreducibility); higher
+  // floors mean weaker bias. Synopses are computed once per query from the
+  // live databases — the stand-in for peers' advertised histograms.
+  BiasedWalkSampler(net::SimulatedNetwork* network,
+                    const query::RangePredicate& predicate, size_t jump,
+                    double floor);
+
+  util::Result<std::vector<sampling::PeerVisit>> SamplePeers(
+      graph::NodeId sink, size_t count, util::Rng& rng) override;
+
+  // Exact stationary weight c(p) * sum of neighbor synopses.
+  double StationaryWeight(graph::NodeId node) const override;
+
+  std::string name() const override { return "biased_walk"; }
+
+  // Sum of StationaryWeight over all peers — the exact normalizer. A real
+  // sink cannot compute this (it is exposed for validation); production use
+  // goes through EstimateBiased below, which self-normalizes instead.
+  double ExactTotalWeight() const;
+
+ private:
+  net::SimulatedNetwork* network_;
+  size_t jump_;
+  std::vector<double> synopsis_;  // c(p) per peer.
+};
+
+// Self-normalized estimate from biased-walk observations:
+//   y_hat = M * sum(y_i / w_i) / sum(1 / w_i),
+// consistent without knowing the normalizer (bias O(1/m)).
+double SelfNormalizedEstimate(const std::vector<PeerObservation>& observations,
+                              size_t num_peers, query::AggregateOp op);
+
+struct BiasedAnswer {
+  double estimate = 0.0;
+  size_t peers_visited = 0;
+  net::CostSnapshot cost;
+};
+
+// One-shot biased estimate with a fixed peer budget (the extension is a
+// cost-focusing heuristic; it reuses the fixed budget the caller measured
+// with the unbiased engine to show the variance win on selective queries).
+util::Result<BiasedAnswer> EstimateBiased(net::SimulatedNetwork* network,
+                                          const SystemCatalog& catalog,
+                                          const query::AggregateQuery& query,
+                                          graph::NodeId sink, size_t num_peers,
+                                          uint64_t tuples_per_peer,
+                                          double floor, util::Rng& rng);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_BIASED_H_

@@ -1,0 +1,61 @@
+#include "core/catalog.h"
+
+#include <cstdio>
+
+#include "sampling/convergence.h"
+
+namespace p2paqp::core {
+
+std::string SystemCatalog::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "M=%zu |E|=%zu avg_deg=%.2f lambda2=%.4f burn_in=%zu jump=%zu",
+                num_peers, num_edges, average_degree, lambda2,
+                suggested_burn_in, suggested_jump);
+  return buf;
+}
+
+SystemCatalog Preprocess(const graph::Graph& graph, double epsilon,
+                         util::Rng& rng) {
+  SystemCatalog catalog;
+  catalog.num_peers = graph.num_nodes();
+  catalog.num_edges = graph.num_edges();
+  catalog.average_degree = graph.average_degree();
+  sampling::WalkTuning tuning = sampling::TuneWalk(graph, epsilon, 1, rng);
+  catalog.lambda2 = tuning.lambda2;
+  catalog.suggested_burn_in = tuning.burn_in;
+  catalog.suggested_jump = tuning.jump;
+  return catalog;
+}
+
+SystemCatalog MakeLiveCatalog(const net::SimulatedNetwork& network,
+                              size_t jump, size_t burn_in) {
+  SystemCatalog catalog;
+  catalog.num_peers = network.num_alive();
+  size_t live_degree_sum = 0;
+  for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+    if (network.IsAlive(p)) live_degree_sum += network.AliveDegree(p);
+  }
+  catalog.num_edges = live_degree_sum / 2;
+  catalog.average_degree =
+      catalog.num_peers == 0
+          ? 0.0
+          : static_cast<double>(live_degree_sum) /
+                static_cast<double>(catalog.num_peers);
+  catalog.suggested_jump = jump;
+  catalog.suggested_burn_in = burn_in;
+  return catalog;
+}
+
+SystemCatalog MakeCatalog(const graph::Graph& graph, size_t jump,
+                          size_t burn_in) {
+  SystemCatalog catalog;
+  catalog.num_peers = graph.num_nodes();
+  catalog.num_edges = graph.num_edges();
+  catalog.average_degree = graph.average_degree();
+  catalog.suggested_burn_in = burn_in;
+  catalog.suggested_jump = jump;
+  return catalog;
+}
+
+}  // namespace p2paqp::core

@@ -1,0 +1,58 @@
+// Preprocessed system catalog (Sec. 1 / Sec. 3.3).
+//
+// The paper assumes a handful of slow-changing network constants — peer
+// count M, edge count |E|, average degree, connectivity (second eigenvalue)
+// and the derived walk parameters — are estimated offline and known to all
+// peers. Only the fast-changing *data* is sampled at query time.
+#ifndef P2PAQP_CORE_CATALOG_H_
+#define P2PAQP_CORE_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace p2paqp::core {
+
+struct SystemCatalog {
+  size_t num_peers = 0;       // M.
+  size_t num_edges = 0;       // |E|.
+  double average_degree = 0.0;
+  double lambda2 = 0.0;       // Second eigenvalue of the walk matrix.
+  size_t suggested_burn_in = 0;
+  size_t suggested_jump = 1;
+
+  // Normalizer for degree-proportional stationary probabilities:
+  // prob(p) = deg(p) / (2|E|).
+  double total_degree_weight() const {
+    return 2.0 * static_cast<double>(num_edges);
+  }
+
+  std::string ToString() const;
+};
+
+// Runs the offline preprocessing pass over the (assumed slow-changing)
+// topology: spectral estimate, mixing-time bound for total-variation
+// `epsilon`, jump recommendation. Deterministic given `rng`.
+SystemCatalog Preprocess(const graph::Graph& graph, double epsilon,
+                         util::Rng& rng);
+
+// Catalog without the (relatively costly) spectral pass: exact counts only,
+// with the caller supplying walk parameters. Useful for tests and benches
+// that pin j explicitly like the paper does.
+SystemCatalog MakeCatalog(const graph::Graph& graph, size_t jump,
+                          size_t burn_in);
+
+// Refreshed catalog over the *live* overlay: counts only peers currently in
+// the network and edges whose endpoints are both live. Models the paper's
+// periodic re-estimation of the slow-changing parameters — under sustained
+// churn the degree-weight normalizer 2|E| must track the live edge set or
+// Horvitz-Thompson estimates drift by the dead-edge fraction.
+SystemCatalog MakeLiveCatalog(const net::SimulatedNetwork& network,
+                              size_t jump, size_t burn_in);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_CATALOG_H_

@@ -1,0 +1,58 @@
+#include "core/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace p2paqp::core {
+
+CrossValidationResult CrossValidate(
+    const std::vector<WeightedObservation>& observations, double total_weight,
+    size_t repeats, util::Rng& rng) {
+  P2PAQP_CHECK_GE(observations.size(), 2u);
+  P2PAQP_CHECK_GE(repeats, 1u);
+  CrossValidationResult result;
+  result.estimate = HorvitzThompson(observations, total_weight);
+
+  size_t m = observations.size();
+  size_t half = m / 2;
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+
+  double squared_sum = 0.0;
+  std::vector<WeightedObservation> group1(half);
+  std::vector<WeightedObservation> group2;
+  for (size_t r = 0; r < repeats; ++r) {
+    rng.Shuffle(order);
+    group2.clear();
+    for (size_t i = 0; i < half; ++i) group1[i] = observations[order[i]];
+    // Both groups get exactly `half` observations; with odd m one
+    // observation sits out this round (a different one each shuffle).
+    for (size_t i = half; i < 2 * half; ++i) {
+      group2.push_back(observations[order[i]]);
+    }
+    double y1 = HorvitzThompson(group1, total_weight);
+    double y2 = HorvitzThompson(group2, total_weight);
+    squared_sum += (y1 - y2) * (y1 - y2);
+  }
+  result.cv_error = std::sqrt(squared_sum / static_cast<double>(repeats));
+  result.cv_error_relative =
+      result.estimate == 0.0 ? 0.0
+                             : result.cv_error / std::fabs(result.estimate);
+  return result;
+}
+
+size_t PhaseTwoSampleSize(size_t phase1_peers, double cv_error_relative,
+                          double required_error, size_t min_peers,
+                          size_t max_peers) {
+  P2PAQP_CHECK_GT(required_error, 0.0);
+  P2PAQP_CHECK_GE(max_peers, min_peers);
+  double ratio = cv_error_relative / required_error;
+  double sized = static_cast<double>(phase1_peers) / 2.0 * ratio * ratio;
+  if (sized >= static_cast<double>(max_peers)) return max_peers;
+  auto rounded = static_cast<size_t>(std::ceil(sized));
+  return std::clamp(rounded, min_peers, max_peers);
+}
+
+}  // namespace p2paqp::core

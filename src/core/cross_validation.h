@@ -1,0 +1,46 @@
+// Cross-validation sizing of the second phase (Sec. 3.4, Theorem 3).
+//
+// The phase-I sample is split into random halves; the gap between the two
+// half-sample estimates obeys E[CVError^2] = 2 E[err^2], so the measured gap
+// calibrates how many peers phase II must visit for the requested accuracy.
+// Because the CV error over-states the true error, the resulting plan is
+// conservative — exactly the behaviour the paper reports.
+#ifndef P2PAQP_CORE_CROSS_VALIDATION_H_
+#define P2PAQP_CORE_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/rng.h"
+
+namespace p2paqp::core {
+
+struct CrossValidationResult {
+  // Full-sample Horvitz-Thompson estimate (all m observations).
+  double estimate = 0.0;
+  // Root of the average squared half-vs-half gap |y1'' - y2''| across
+  // `repeats` random halvings, in the aggregate's units.
+  double cv_error = 0.0;
+  // cv_error / |estimate| (0 when the estimate is 0): the normalized form
+  // compared against the user's required_error.
+  double cv_error_relative = 0.0;
+};
+
+// Requires at least two observations. `repeats` >= 1 random halvings are
+// averaged (in squared error) for robustness, per Sec. 4 ("steps 2-4 ...
+// can be repeated a few times").
+CrossValidationResult CrossValidate(
+    const std::vector<WeightedObservation>& observations, double total_weight,
+    size_t repeats, util::Rng& rng);
+
+// The paper's phase-II sizing rule m' = (m/2) * (CVError / delta_req)^2 with
+// CVError and delta_req in the same (relative) units, clamped to
+// [min_peers, max_peers].
+size_t PhaseTwoSampleSize(size_t phase1_peers, double cv_error_relative,
+                          double required_error, size_t min_peers,
+                          size_t max_peers);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_CROSS_VALIDATION_H_

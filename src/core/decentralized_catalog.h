@@ -1,0 +1,77 @@
+// Decentralized estimation of the preprocessed catalog.
+//
+// The paper assumes every peer knows M, |E| and walk tuning, and waves the
+// estimation off as "interesting problems in their own right" (Sec. 1). This
+// module closes that gap with two classical random-walk estimators a sink
+// can run with zero global knowledge:
+//
+//  * |E| via RETURN TIMES: for a reversible chain the expected time for a
+//    walker to return to its start s is 1/pi(s) = 2|E|/deg(s), and deg(s)
+//    is locally known. Averaging R independent return times gives
+//    |E|_hat = deg(s) * mean(T_return) / 2.
+//
+//  * M via BIRTHDAY COLLISIONS: k near-uniform peer samples (a
+//    Metropolis-Hastings walk makes the stationary distribution uniform)
+//    contain on expectation k(k-1)/(2M) pairwise collisions, so
+//    M_hat = k(k-1) / (2 * #collisions).
+//
+// Accuracy matters directly: the Horvitz-Thompson normalizer is 2|E|, so a
+// b% error in |E|_hat becomes a b% multiplicative bias on COUNT/SUM
+// estimates (tested in DecentralizedCatalogTest.BiasTracksEdgeError).
+#ifndef P2PAQP_CORE_DECENTRALIZED_CATALOG_H_
+#define P2PAQP_CORE_DECENTRALIZED_CATALOG_H_
+
+#include "core/catalog.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::core {
+
+struct DecentralizedConfig {
+  // Return-time walks for the edge estimate. Mean return time is
+  // 2|E|/deg(sink) hops, so the total hop bill is ~ walks * 2|E|/deg(sink);
+  // medians of means over `walks` runs tame the heavy return-time tail.
+  size_t return_walks = 32;
+  // Hard per-walk cap (0 = automatic).
+  size_t max_hops_per_walk = 0;
+  // Uniform (Metropolis-Hastings) samples for the birthday estimate; needs
+  // roughly sqrt(20 M) samples for ~10 expected collisions.
+  size_t birthday_samples = 600;
+  size_t birthday_jump = 10;
+  // Walk tuning copied into the resulting catalog.
+  size_t suggested_jump = 10;
+  size_t suggested_burn_in = 50;
+};
+
+struct DecentralizedEstimates {
+  SystemCatalog catalog;      // num_peers/num_edges/average_degree estimated.
+  size_t collisions = 0;      // Birthday collisions observed.
+  double mean_return_time = 0.0;
+  net::CostSnapshot cost;     // Hops/messages the estimation itself spent.
+};
+
+// Estimates |E| from return times of walks started at `sink`.
+// Unavailable if walks repeatedly exceed the hop cap (disconnected or
+// pathological overlays).
+util::Result<double> EstimateEdgesViaReturnTimes(
+    net::SimulatedNetwork& network, graph::NodeId sink,
+    const DecentralizedConfig& config, util::Rng& rng);
+
+// Estimates M from pairwise collisions among uniform MH samples.
+// Unavailable when no collision is observed (sample too small for the
+// network — caller should raise birthday_samples). `collisions_out`
+// (optional) receives the observed collision count.
+util::Result<double> EstimatePeersViaCollisions(
+    net::SimulatedNetwork& network, graph::NodeId sink,
+    const DecentralizedConfig& config, util::Rng& rng,
+    size_t* collisions_out = nullptr);
+
+// Runs both estimators and assembles a catalog usable by TwoPhaseEngine.
+util::Result<DecentralizedEstimates> DecentralizedPreprocess(
+    net::SimulatedNetwork& network, graph::NodeId sink,
+    const DecentralizedConfig& config, util::Rng& rng);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_DECENTRALIZED_CATALOG_H_

@@ -1,0 +1,36 @@
+// Distinct-value estimation (the paper lists distinct values among the
+// "more complex aggregates ... part of ongoing work"; this module implements
+// a credible realization of that direction).
+//
+// Visited peers ship their *raw sub-sampled tuples* to the sink (unlike
+// COUNT/SUM, distinctness cannot be composed from local scalars), incurring
+// the nontrivial bandwidth cost Sec. 3.2 warns about — charged faithfully.
+// The sink pools the samples and applies the Chao (1984) richness estimator
+//   D_hat = d_obs + f1^2 / (2 f2)
+// where f1/f2 are the counts of values seen exactly once/twice.
+#ifndef P2PAQP_CORE_DISTINCT_H_
+#define P2PAQP_CORE_DISTINCT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/two_phase.h"
+#include "data/tuple.h"
+
+namespace p2paqp::core {
+
+// Chao-84 lower-bound estimator over a pooled sample of values. Exposed for
+// tests.
+double ChaoDistinctEstimate(const std::vector<data::Value>& sample);
+
+// Two-phase distinct-values plan: phase I gauges sample-coverage stability
+// via the same half-vs-half cross-validation, phase II collects the sized
+// sample and returns the Chao estimate of the number of distinct values
+// matching the predicate.
+util::Result<ApproximateAnswer> EstimateDistinctTwoPhase(
+    TwoPhaseEngine& engine, const query::AggregateQuery& query,
+    graph::NodeId sink, util::Rng& rng);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_DISTINCT_H_

@@ -1,0 +1,46 @@
+#include "core/estimator.h"
+
+#include "util/logging.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+
+namespace {
+
+// Per-peer estimate value/prob = value * total_weight / weight.
+double PerPeerEstimate(const WeightedObservation& obs, double total_weight) {
+  if (obs.weight <= 0.0) return 0.0;
+  return obs.value * total_weight / obs.weight;
+}
+
+}  // namespace
+
+double HorvitzThompson(const std::vector<WeightedObservation>& observations,
+                       double total_weight) {
+  P2PAQP_CHECK(!observations.empty());
+  P2PAQP_CHECK_GT(total_weight, 0.0);
+  double sum = 0.0;
+  for (const WeightedObservation& obs : observations) {
+    sum += PerPeerEstimate(obs, total_weight);
+  }
+  return sum / static_cast<double>(observations.size());
+}
+
+double HorvitzThompsonVariance(
+    const std::vector<WeightedObservation>& observations,
+    double total_weight) {
+  if (observations.size() < 2) return 0.0;
+  util::RunningStat stat;
+  for (const WeightedObservation& obs : observations) {
+    stat.Add(PerPeerEstimate(obs, total_weight));
+  }
+  return stat.variance() / static_cast<double>(observations.size());
+}
+
+double EstimateBadnessC(const std::vector<WeightedObservation>& observations,
+                        double total_weight) {
+  return HorvitzThompsonVariance(observations, total_weight) *
+         static_cast<double>(observations.size());
+}
+
+}  // namespace p2paqp::core

@@ -1,0 +1,45 @@
+// Horvitz-Thompson estimation over stationary-distribution peer samples
+// (Sec. 3.4, Theorems 1 and 2).
+//
+// Each sampled peer s contributes y(s)/prob(s) — its local aggregate scaled
+// by the inverse of its selection probability. The mean of these per-peer
+// estimates is unbiased for the global aggregate (Theorem 1) and its
+// variance is C/m (Theorem 2), where C measures how badly the data is
+// clustered across peers.
+#ifndef P2PAQP_CORE_ESTIMATOR_H_
+#define P2PAQP_CORE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace p2paqp::core {
+
+// One sampled peer, as seen by the sink.
+struct WeightedObservation {
+  // y(s): the peer's (scaled) local aggregate.
+  double value = 0.0;
+  // Unnormalized stationary weight w(s); prob(s) = w(s) / total_weight
+  // (degree for the simple walk with total 2|E|, 1 with total M for
+  // uniform samplers).
+  double weight = 1.0;
+};
+
+// y'' = (1/m) * sum value_i / prob_i. Observations with weight <= 0 are
+// counted in m but contribute 0 (an isolated peer is unreachable anyway).
+double HorvitzThompson(const std::vector<WeightedObservation>& observations,
+                       double total_weight);
+
+// Unbiased estimate of Var[y''] = C/m: the sample variance of the per-peer
+// estimates divided by m. Returns 0 for fewer than two observations.
+double HorvitzThompsonVariance(
+    const std::vector<WeightedObservation>& observations,
+    double total_weight);
+
+// The clustering "badness" C from Theorem 2, i.e. the per-sample variance
+// (m times HorvitzThompsonVariance).
+double EstimateBadnessC(const std::vector<WeightedObservation>& observations,
+                        double total_weight);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_ESTIMATOR_H_

@@ -1,0 +1,48 @@
+// Approximate value-distribution histograms (the paper's "statistics
+// computations such as ... histograms", Sec. 3.2).
+//
+// Like median/distinct, histograms cannot be composed from per-peer scalars;
+// visited peers ship their raw sub-sampled tuples (bandwidth charged) and
+// the sink builds a Horvitz-Thompson weighted histogram: each shipped tuple
+// from peer s contributes weight
+//     (local_tuples(s) / processed(s)) / prob(s)
+// — the sub-sample scale-up times the inverse selection probability — so
+// every bucket count is an unbiased estimate of that bucket's global count.
+//
+// Phase sizing reuses the cross-validation idea with the normalized L1
+// distance between half-sample histograms as the error functional.
+#ifndef P2PAQP_CORE_HISTOGRAM_ESTIMATOR_H_
+#define P2PAQP_CORE_HISTOGRAM_ESTIMATOR_H_
+
+#include "core/two_phase.h"
+#include "util/histogram.h"
+
+namespace p2paqp::core {
+
+struct HistogramAnswer {
+  util::Histogram histogram;
+  // Phase-I half-vs-half normalized L1 cross-validation distance in [0, 2].
+  double cv_l1 = 0.0;
+  size_t phase1_peers = 0;
+  size_t phase2_peers = 0;
+  uint64_t sample_tuples = 0;
+  net::CostSnapshot cost;
+};
+
+struct HistogramRequest {
+  // Bucketization of the value domain.
+  data::Value lo = 1;
+  data::Value hi = 100;
+  size_t num_buckets = 10;
+  // Required normalized-L1 accuracy (plays the role of Delta_req).
+  double required_l1 = 0.1;
+};
+
+// Two-phase approximate histogram through `engine`'s sampler/network.
+util::Result<HistogramAnswer> EstimateHistogramTwoPhase(
+    TwoPhaseEngine& engine, const HistogramRequest& request,
+    graph::NodeId sink, util::Rng& rng);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_HISTOGRAM_ESTIMATOR_H_

@@ -1,0 +1,40 @@
+#include "core/hybrid.h"
+
+#include "util/rng.h"
+
+namespace p2paqp::core {
+
+uint64_t FreshnessCache::Key(graph::NodeId peer,
+                             const query::AggregateQuery& query) {
+  // Mix peer id, op and predicate bounds into one 64-bit key.
+  uint64_t h = peer;
+  h = util::MixSeed(h ^ (static_cast<uint64_t>(query.op) << 32));
+  h = util::MixSeed(h ^ (static_cast<uint64_t>(
+                             static_cast<uint32_t>(query.predicate.lo))
+                         << 16));
+  h = util::MixSeed(h ^ static_cast<uint64_t>(
+                            static_cast<uint32_t>(query.predicate.hi)));
+  return h;
+}
+
+bool FreshnessCache::Lookup(graph::NodeId peer,
+                            const query::AggregateQuery& query,
+                            query::LocalAggregate* out) {
+  auto it = entries_.find(Key(peer, query));
+  if (it == entries_.end() ||
+      epoch_ - it->second.stored_epoch > ttl_epochs_) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second.aggregate;
+  return true;
+}
+
+void FreshnessCache::Store(graph::NodeId peer,
+                           const query::AggregateQuery& query,
+                           const query::LocalAggregate& aggregate) {
+  entries_[Key(peer, query)] = Entry{aggregate, epoch_};
+}
+
+}  // namespace p2paqp::core

@@ -1,0 +1,58 @@
+// Hybrid pre-computation extension (the paper's future-work question: "Is it
+// possible to build hybrid solutions that do some amount of pre-computations
+// of samples, in addition to 'on-the-fly' sampling?").
+//
+// Peers opportunistically cache the local aggregate they computed for a
+// query; while the cache entry is fresh (a bounded number of epochs — data
+// churn ticks — old), a revisit answers from the cache with zero local I/O.
+// The walker cost is unchanged, but repeated/refining queries get cheaper,
+// and the staleness window bounds the error the cache can introduce.
+#ifndef P2PAQP_CORE_HYBRID_H_
+#define P2PAQP_CORE_HYBRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/two_phase.h"
+
+namespace p2paqp::core {
+
+// Epoch-based freshness cache implementing TwoPhaseEngine's cache hook.
+class FreshnessCache : public LocalResultCache {
+ public:
+  // Entries older than `ttl_epochs` epochs are treated as missing.
+  explicit FreshnessCache(uint64_t ttl_epochs) : ttl_epochs_(ttl_epochs) {}
+
+  // Advance simulated time; call whenever peer data may have changed
+  // (e.g., after a churn step or a data refresh).
+  void AdvanceEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  bool Lookup(graph::NodeId peer, const query::AggregateQuery& query,
+              query::LocalAggregate* out) override;
+  void Store(graph::NodeId peer, const query::AggregateQuery& query,
+             const query::LocalAggregate& aggregate) override;
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    query::LocalAggregate aggregate;
+    uint64_t stored_epoch = 0;
+  };
+
+  // Cache key: peer + the query signature that determines the local answer.
+  static uint64_t Key(graph::NodeId peer, const query::AggregateQuery& query);
+
+  uint64_t ttl_epochs_;
+  uint64_t epoch_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_HYBRID_H_

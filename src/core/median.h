@@ -1,0 +1,38 @@
+// Median / quantile estimation (Sec. 5.6).
+//
+// Unlike COUNT/SUM, the aggregation cannot be pushed to peers and composed
+// linearly. The paper's algorithm instead works with *weighted medians of
+// local medians*: phase I collects per-peer medians weighted by 1/prob(s),
+// cross-validates the weighted rank of one half's weighted median inside the
+// other half, sizes phase II from that rank discrepancy, and returns the
+// weighted median over the phase-II peers.
+#ifndef P2PAQP_CORE_MEDIAN_H_
+#define P2PAQP_CORE_MEDIAN_H_
+
+#include "core/two_phase.h"
+
+namespace p2paqp::core {
+
+// Runs the two-phase quantile plan through `engine`'s sampler/network.
+// query.op must be kMedian or kQuantile; for kQuantile the target rank is
+// query.quantile_phi. The answer's estimate is the value; its
+// cv_error_relative is the phase-I rank discrepancy (already a fraction of
+// N, the natural normalization for rank error).
+util::Result<ApproximateAnswer> EstimateQuantileTwoPhase(
+    TwoPhaseEngine& engine, const query::AggregateQuery& query,
+    graph::NodeId sink, util::Rng& rng);
+
+// Weighted phi-quantile of per-peer local medians; exposed for tests.
+// `values[i]` with weight `weights[i]` (> 0).
+double WeightedQuantileOfMedians(const std::vector<double>& values,
+                                 const std::vector<double>& weights,
+                                 double phi);
+
+// Weighted rank fraction of `x` within (values, weights): the fraction of
+// total weight carried by entries strictly below x. Exposed for tests.
+double WeightedRankFraction(const std::vector<double>& values,
+                            const std::vector<double>& weights, double x);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_MEDIAN_H_

@@ -1,0 +1,276 @@
+#include "core/two_phase.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/distinct.h"
+#include "core/median.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+
+namespace {
+
+constexpr double kZ95 = 1.959963984540054;
+
+// Horvitz-Thompson estimate of SUM/COUNT (the AVG ratio) over a slice of
+// observations.
+double RatioEstimate(const std::vector<PeerObservation>& observations,
+                     double total_weight) {
+  std::vector<WeightedObservation> counts;
+  std::vector<WeightedObservation> sums;
+  counts.reserve(observations.size());
+  sums.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    counts.push_back({obs.aggregate.count_value, obs.stationary_weight});
+    sums.push_back({obs.aggregate.sum_value, obs.stationary_weight});
+  }
+  double count = HorvitzThompson(counts, total_weight);
+  if (count == 0.0) return 0.0;
+  return HorvitzThompson(sums, total_weight) / count;
+}
+
+// Cross-validation for the AVG ratio (the linear CrossValidate in
+// cross_validation.h does not apply to a ratio of two estimators).
+CrossValidationResult CrossValidateRatio(
+    const std::vector<PeerObservation>& observations, double total_weight,
+    size_t repeats, util::Rng& rng) {
+  P2PAQP_CHECK_GE(observations.size(), 2u);
+  CrossValidationResult result;
+  result.estimate = RatioEstimate(observations, total_weight);
+  size_t m = observations.size();
+  size_t half = m / 2;
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+  double squared_sum = 0.0;
+  for (size_t r = 0; r < repeats; ++r) {
+    rng.Shuffle(order);
+    std::vector<PeerObservation> g1;
+    std::vector<PeerObservation> g2;
+    g1.reserve(half);
+    g2.reserve(half);
+    for (size_t i = 0; i < half; ++i) g1.push_back(observations[order[i]]);
+    for (size_t i = half; i < 2 * half; ++i) {
+      g2.push_back(observations[order[i]]);
+    }
+    double y1 = RatioEstimate(g1, total_weight);
+    double y2 = RatioEstimate(g2, total_weight);
+    squared_sum += (y1 - y2) * (y1 - y2);
+  }
+  result.cv_error = std::sqrt(squared_sum / static_cast<double>(repeats));
+  result.cv_error_relative =
+      result.estimate == 0.0 ? 0.0
+                             : result.cv_error / std::fabs(result.estimate);
+  return result;
+}
+
+// Horvitz-Thompson estimate of the total aggregate over the database:
+// total tuple count for COUNT/AVG, all-tuples sum for SUM. Used only for
+// error normalization.
+double EstimateTotal(const std::vector<PeerObservation>& observations,
+                     query::AggregateOp op, double total_weight) {
+  std::vector<WeightedObservation> totals;
+  totals.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    double value = op == query::AggregateOp::kSum
+                       ? obs.aggregate.total_sum_value
+                       : static_cast<double>(obs.aggregate.local_tuples);
+    totals.push_back({value, obs.stationary_weight});
+  }
+  return HorvitzThompson(totals, total_weight);
+}
+
+}  // namespace
+
+std::string ApproximateAnswer::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "estimate=%.2f (+/-%.2f @95%%) cv_rel=%.4f m=%zu m'=%zu "
+                "sample_tuples=%llu | %s",
+                estimate, ci_half_width_95, cv_error_relative, phase1_peers,
+                phase2_peers,
+                static_cast<unsigned long long>(sample_tuples),
+                cost.ToString().c_str());
+  return buf;
+}
+
+TwoPhaseEngine::TwoPhaseEngine(net::SimulatedNetwork* network,
+                               const SystemCatalog& catalog,
+                               const EngineParams& params)
+    : network_(network),
+      catalog_(catalog),
+      params_(params),
+      sampler_(std::make_unique<sampling::RandomWalkSampler>(
+          network,
+          sampling::WalkParams{.jump = std::max<size_t>(1,
+                                                        catalog.suggested_jump),
+                               .burn_in = catalog.suggested_burn_in,
+                               .variant = sampling::WalkVariant::kSimple,
+                               .max_hops = 0})),
+      total_weight_(catalog.total_degree_weight()) {
+  P2PAQP_CHECK(network_ != nullptr);
+  P2PAQP_CHECK_GE(params_.phase1_peers, 2u);
+}
+
+TwoPhaseEngine::TwoPhaseEngine(net::SimulatedNetwork* network,
+                               const SystemCatalog& catalog,
+                               const EngineParams& params,
+                               std::unique_ptr<sampling::PeerSampler> sampler,
+                               double total_weight)
+    : network_(network),
+      catalog_(catalog),
+      params_(params),
+      sampler_(std::move(sampler)),
+      total_weight_(total_weight) {
+  P2PAQP_CHECK(network_ != nullptr);
+  P2PAQP_CHECK(sampler_ != nullptr);
+  P2PAQP_CHECK_GT(total_weight_, 0.0);
+  P2PAQP_CHECK_GE(params_.phase1_peers, 2u);
+}
+
+size_t TwoPhaseEngine::MaxPhase2Peers() const {
+  return params_.max_phase2_peers == 0 ? network_->num_peers()
+                                       : params_.max_phase2_peers;
+}
+
+util::Result<std::vector<PeerObservation>>
+TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
+                                    graph::NodeId sink, size_t count,
+                                    util::Rng& rng) {
+  auto visits = sampler_->SamplePeers(sink, count, rng);
+  if (!visits.ok()) return visits.status();
+  std::vector<PeerObservation> observations;
+  observations.reserve(visits->size());
+  for (const sampling::PeerVisit& visit : *visits) {
+    PeerObservation obs;
+    obs.peer = visit.peer;
+    obs.degree = visit.degree;
+    obs.stationary_weight = sampler_->StationaryWeight(visit.peer);
+    bool from_cache =
+        cache_ != nullptr && cache_->Lookup(visit.peer, query, &obs.aggregate);
+    if (from_cache) {
+      // The visit happened (walker hop costs are already charged) but the
+      // peer answers from its cache: no local scan.
+      network_->cost().RecordPeerVisit();
+    } else {
+      obs.aggregate = query::ExecuteLocal(
+          network_->peer(visit.peer).database(), query,
+          query::SubSamplePolicy{.t = params_.tuples_per_peer,
+                                 .mode = params_.subsample_mode,
+                                 .block_size = params_.block_size},
+          rng);
+      network_->RecordLocalExecution(visit.peer, obs.aggregate.processed_tuples,
+                                     obs.aggregate.processed_tuples);
+      if (cache_ != nullptr) cache_->Store(visit.peer, query, obs.aggregate);
+    }
+    // (y(p), deg(p)) straight back to the sink over direct IP (Sec. 3.2).
+    util::Status sent = network_->SendDirect(net::MessageType::kAggregateReply,
+                                             visit.peer, sink);
+    if (!sent.ok()) return sent;
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+std::vector<WeightedObservation> TwoPhaseEngine::ToWeighted(
+    const std::vector<PeerObservation>& observations, query::AggregateOp op) {
+  std::vector<WeightedObservation> weighted;
+  weighted.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    weighted.push_back(
+        {obs.aggregate.ValueFor(op), obs.stationary_weight});
+  }
+  return weighted;
+}
+
+util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
+    const query::AggregateQuery& query, graph::NodeId sink, util::Rng& rng) {
+  net::CostSnapshot before = network_->cost_snapshot();
+
+  // ---- Phase I: sniff the network. ----
+  auto phase1 =
+      CollectObservations(query, sink, params_.phase1_peers, rng);
+  if (!phase1.ok()) return phase1.status();
+
+  const bool is_avg = query.op == query::AggregateOp::kAvg;
+  CrossValidationResult cv =
+      is_avg ? CrossValidateRatio(*phase1, total_weight_, params_.cv_repeats,
+                                  rng)
+             : CrossValidate(ToWeighted(*phase1, query.op), total_weight_,
+                             params_.cv_repeats, rng);
+
+  // The paper normalizes errors to [0,1] against the *total* aggregate
+  // (N for COUNT; Sec. 3.4: dividing the variance by N^2 yields the squared
+  // relative-count error). Estimate that total from the same phase-I
+  // sample: every reply already carries the peer's tuple count and scaled
+  // all-tuples sum.
+  double estimated_total = EstimateTotal(*phase1, query.op, total_weight_);
+  if (is_avg || estimated_total <= 0.0 ||
+      params_.normalization == ErrorNormalization::kQueryAnswer) {
+    // AVG never scales with selectivity; kQueryAnswer opts COUNT/SUM into
+    // the same answer-relative guarantee.
+    estimated_total = std::fabs(cv.estimate);
+  }
+  double cv_normalized =
+      estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
+
+  // ---- Plan: size phase II from the cross-validation error. ----
+  size_t phase2_peers = PhaseTwoSampleSize(
+      params_.phase1_peers, cv_normalized, query.required_error,
+      params_.min_phase2_peers, MaxPhase2Peers());
+
+  // ---- Phase II: execute the plan. ----
+  auto phase2 = CollectObservations(query, sink, phase2_peers, rng);
+  if (!phase2.ok()) return phase2.status();
+
+  std::vector<PeerObservation> final_set;
+  if (params_.include_phase1_observations) {
+    final_set = *phase1;
+    final_set.insert(final_set.end(), phase2->begin(), phase2->end());
+  } else {
+    final_set = *phase2;
+  }
+
+  ApproximateAnswer answer;
+  if (is_avg) {
+    answer.estimate = RatioEstimate(final_set, total_weight_);
+    // Delta-method style variability proxy: variance of the ratio across
+    // the CV halves is already folded into cv_error; report the count-based
+    // variance scaled by the ratio as a conservative stand-in.
+    answer.variance = 0.0;
+  } else {
+    auto weighted = ToWeighted(final_set, query.op);
+    answer.estimate = HorvitzThompson(weighted, total_weight_);
+    answer.variance = HorvitzThompsonVariance(weighted, total_weight_);
+  }
+  answer.ci_half_width_95 = kZ95 * std::sqrt(answer.variance);
+  answer.estimated_total = estimated_total;
+  answer.cv_error_relative = cv_normalized;
+  answer.phase1_peers = phase1->size();
+  answer.phase2_peers = phase2->size();
+  answer.cost = net::CostDelta(network_->cost_snapshot(), before);
+  answer.sample_tuples = answer.cost.tuples_sampled;
+  return answer;
+}
+
+util::Result<ApproximateAnswer> TwoPhaseEngine::Execute(
+    const query::AggregateQuery& query, graph::NodeId sink, util::Rng& rng) {
+  if (sink >= network_->num_peers() || !network_->IsAlive(sink)) {
+    return util::Status::FailedPrecondition("sink peer is not live");
+  }
+  switch (query.op) {
+    case query::AggregateOp::kCount:
+    case query::AggregateOp::kSum:
+    case query::AggregateOp::kAvg:
+      return ExecuteCentral(query, sink, rng);
+    case query::AggregateOp::kMedian:
+    case query::AggregateOp::kQuantile:
+      return EstimateQuantileTwoPhase(*this, query, sink, rng);
+    case query::AggregateOp::kDistinct:
+      return EstimateDistinctTwoPhase(*this, query, sink, rng);
+  }
+  return util::Status::InvalidArgument("unknown aggregate operator");
+}
+
+}  // namespace p2paqp::core

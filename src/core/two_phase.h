@@ -1,0 +1,164 @@
+// The paper's primary contribution: the adaptive two-phase sampling engine
+// for approximate aggregation queries over an unstructured P2P network
+// (Sec. 4).
+//
+// Phase I walks the overlay, collecting scaled local aggregates and degrees
+// from m peers; the sink cross-validates the half-sample estimates to gauge
+// how badly the data is clustered, sizes phase II accordingly, re-walks, and
+// returns the Horvitz-Thompson estimate with the requested error bound met
+// with high probability.
+#ifndef P2PAQP_CORE_TWO_PHASE_H_
+#define P2PAQP_CORE_TWO_PHASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/cross_validation.h"
+#include "core/estimator.h"
+#include "net/network.h"
+#include "query/local_executor.h"
+#include "query/query.h"
+#include "sampling/samplers.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::core {
+
+// What the required error (and the cross-validation error driving phase-II
+// sizing) is measured relative to.
+enum class ErrorNormalization {
+  // |err| / total aggregate (N for COUNT): the paper's Sec. 3.4 derivation
+  // ("divide the variance by N^2 ... the relative count aggregate") and its
+  // [0,1]-normalized figures. Low-selectivity queries get loose absolute
+  // targets.
+  kTotalAggregate = 0,
+  // |err| / query answer: a constant *relative* guarantee regardless of
+  // selectivity; low-selectivity queries get proportionally tight absolute
+  // targets (and bigger phase-II plans).
+  kQueryAnswer,
+};
+
+struct EngineParams {
+  // m: peers selected in phase I (the paper derives it from the initial
+  // sample size r_orig as m = r_orig / t).
+  size_t phase1_peers = 80;
+  ErrorNormalization normalization = ErrorNormalization::kTotalAggregate;
+  // t: sub-sampling budget per visited peer (0 = scan everything).
+  uint64_t tuples_per_peer = 25;
+  // How peers draw the t tuples: independent uniform tuples, or whole disk
+  // blocks (cheaper local I/O; the intra-block correlation surfaces in the
+  // cross-validation and is paid for with extra peers — Sec. 4).
+  query::SubSampleMode subsample_mode = query::SubSampleMode::kUniformTuples;
+  size_t block_size = 8;
+  // Random halvings averaged by the cross-validation step.
+  size_t cv_repeats = 10;
+  // Clamps on the phase-II peer count m'.
+  size_t min_phase2_peers = 4;
+  size_t max_phase2_peers = 0;  // 0 = number of peers in the network.
+  // If true, phase-I observations join the final estimate (cheaper but the
+  // paper's plan uses phase II only; kept as an ablation switch).
+  bool include_phase1_observations = false;
+};
+
+// Pluggable peer-side result cache enabling the hybrid pre-computation
+// extension (core/hybrid.h). Not owned by the engine.
+class LocalResultCache {
+ public:
+  virtual ~LocalResultCache() = default;
+  // Returns true and fills `out` when `peer` holds a fresh cached result
+  // for this query.
+  virtual bool Lookup(graph::NodeId peer, const query::AggregateQuery& query,
+                      query::LocalAggregate* out) = 0;
+  virtual void Store(graph::NodeId peer, const query::AggregateQuery& query,
+                     const query::LocalAggregate& aggregate) = 0;
+};
+
+struct ApproximateAnswer {
+  double estimate = 0.0;
+  // Estimated Var[y''] and the derived 95% normal confidence half-width.
+  double variance = 0.0;
+  double ci_half_width_95 = 0.0;
+  // Estimated total aggregate over the whole database (N for COUNT, the
+  // all-tuples sum for SUM): errors are normalized against this, matching
+  // the paper's [0,1] error scale (Sec. 3.4 / Sec. 5.5).
+  double estimated_total = 0.0;
+  // Normalized cross-validation error measured in phase I (cv / total).
+  double cv_error_relative = 0.0;
+  size_t phase1_peers = 0;
+  size_t phase2_peers = 0;
+  // Tuples drawn into the sample across both phases — the paper's latency
+  // surrogate ("sample size" in Figs. 4-16).
+  uint64_t sample_tuples = 0;
+  // Full cost vector attributed to this query.
+  net::CostSnapshot cost;
+
+  std::string ToString() const;
+};
+
+// Everything phase I ships to the sink for one selected peer.
+struct PeerObservation {
+  graph::NodeId peer = graph::kInvalidNode;
+  uint32_t degree = 0;
+  double stationary_weight = 0.0;
+  query::LocalAggregate aggregate;
+};
+
+class TwoPhaseEngine {
+ public:
+  // Uses the paper's sampler: a jump-`catalog.suggested_jump` random walk.
+  TwoPhaseEngine(net::SimulatedNetwork* network, const SystemCatalog& catalog,
+                 const EngineParams& params);
+
+  // Custom sampler (baselines, biased walks, oracle). `total_weight` is the
+  // normalizer turning the sampler's stationary weights into probabilities
+  // (2|E| for degree weights, M for uniform weights).
+  TwoPhaseEngine(net::SimulatedNetwork* network, const SystemCatalog& catalog,
+                 const EngineParams& params,
+                 std::unique_ptr<sampling::PeerSampler> sampler,
+                 double total_weight);
+
+  // Answers COUNT / SUM / AVG / MEDIAN / QUANTILE / DISTINCT queries with
+  // the adaptive two-phase plan. The error target is query.required_error.
+  util::Result<ApproximateAnswer> Execute(const query::AggregateQuery& query,
+                                          graph::NodeId sink, util::Rng& rng);
+
+  // Visits `count` peers via the engine's sampler and returns their shipped
+  // observations (local execution, cost accounting and reply messages
+  // included). Exposed for the median/distinct paths and for tests.
+  util::Result<std::vector<PeerObservation>> CollectObservations(
+      const query::AggregateQuery& query, graph::NodeId sink, size_t count,
+      util::Rng& rng);
+
+  // Hybrid extension hook; pass nullptr to disable. Not owned.
+  void set_cache(LocalResultCache* cache) { cache_ = cache; }
+
+  double total_weight() const { return total_weight_; }
+  const EngineParams& params() const { return params_; }
+  const SystemCatalog& catalog() const { return catalog_; }
+  net::SimulatedNetwork* network() { return network_; }
+
+ private:
+  // COUNT / SUM / AVG common path.
+  util::Result<ApproximateAnswer> ExecuteCentral(
+      const query::AggregateQuery& query, graph::NodeId sink, util::Rng& rng);
+
+  // Turns observations into per-op WeightedObservations.
+  static std::vector<WeightedObservation> ToWeighted(
+      const std::vector<PeerObservation>& observations,
+      query::AggregateOp op);
+
+  size_t MaxPhase2Peers() const;
+
+  net::SimulatedNetwork* network_;
+  SystemCatalog catalog_;
+  EngineParams params_;
+  std::unique_ptr<sampling::PeerSampler> sampler_;
+  double total_weight_;
+  LocalResultCache* cache_ = nullptr;
+};
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_TWO_PHASE_H_

@@ -1,0 +1,54 @@
+#include "data/generator.h"
+
+#include "util/zipf.h"
+
+namespace p2paqp::data {
+
+util::Result<Table> GenerateDataset(const DatasetParams& params,
+                                    util::Rng& rng) {
+  if (params.max_value < params.min_value) {
+    return util::Status::InvalidArgument("empty value domain");
+  }
+  auto domain =
+      static_cast<uint32_t>(params.max_value - params.min_value + 1);
+  auto zipf = util::ZipfGenerator::Make(domain, params.skew);
+  if (!zipf.ok()) return zipf.status();
+  if (params.b_correlation < 0.0 || params.b_correlation > 1.0) {
+    return util::Status::InvalidArgument("b_correlation outside [0,1]");
+  }
+  auto zipf_b = util::ZipfGenerator::Make(domain, params.b_skew);
+  if (!zipf_b.ok()) return zipf_b.status();
+  Table table;
+  table.reserve(params.num_tuples);
+  for (size_t i = 0; i < params.num_tuples; ++i) {
+    uint32_t rank = zipf->Sample(rng);
+    Tuple tuple{params.min_value + static_cast<Value>(rank) - 1, 0};
+    if (params.fill_b) {
+      // With probability b_correlation, B copies A; otherwise independent.
+      tuple.b = rng.Bernoulli(params.b_correlation)
+                    ? tuple.value
+                    : params.min_value +
+                          static_cast<Value>(zipf_b->Sample(rng)) - 1;
+    }
+    table.push_back(tuple);
+  }
+  return table;
+}
+
+int64_t ExactCount(const Table& table, Value lo, Value hi) {
+  int64_t count = 0;
+  for (const Tuple& t : table) {
+    if (t.value >= lo && t.value <= hi) ++count;
+  }
+  return count;
+}
+
+int64_t ExactSum(const Table& table, Value lo, Value hi) {
+  int64_t sum = 0;
+  for (const Tuple& t : table) {
+    if (t.value >= lo && t.value <= hi) sum += t.value;
+  }
+  return sum;
+}
+
+}  // namespace p2paqp::data

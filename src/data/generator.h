@@ -1,0 +1,40 @@
+// Synthetic dataset generation (Sec. 5.2.2).
+#ifndef P2PAQP_DATA_GENERATOR_H_
+#define P2PAQP_DATA_GENERATOR_H_
+
+#include <cstddef>
+
+#include "data/tuple.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::data {
+
+struct DatasetParams {
+  size_t num_tuples = 1000000;
+  // Attribute domain [min_value, max_value]; the paper uses [1, 100].
+  Value min_value = 1;
+  Value max_value = 100;
+  // Zipf skew Z; 0 = uniform frequencies, larger = more slanted.
+  double skew = 0.2;
+  // Secondary measure column B (0 = leave B at zero). B is drawn from the
+  // same domain with skew `b_skew`, blended with A by `b_correlation` in
+  // [0, 1]: 0 = independent, 1 = B == A.
+  bool fill_b = false;
+  double b_skew = 0.2;
+  double b_correlation = 0.0;
+};
+
+// Draws `num_tuples` values i.i.d. Zipf(skew) over the domain. The Zipf rank
+// r in [1, domain] maps to value min_value + r - 1, so low values are the
+// frequent ones — matching the paper's skew semantics.
+util::Result<Table> GenerateDataset(const DatasetParams& params,
+                                    util::Rng& rng);
+
+// Exact aggregates over a table, used for ground truth in tests/benches.
+int64_t ExactCount(const Table& table, Value lo, Value hi);
+int64_t ExactSum(const Table& table, Value lo, Value hi);
+
+}  // namespace p2paqp::data
+
+#endif  // P2PAQP_DATA_GENERATOR_H_

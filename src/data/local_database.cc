@@ -1,0 +1,67 @@
+#include "data/local_database.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2paqp::data {
+
+int64_t LocalDatabase::Count(Value lo, Value hi) const {
+  int64_t count = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.value >= lo && t.value <= hi) ++count;
+  }
+  return count;
+}
+
+int64_t LocalDatabase::Sum(Value lo, Value hi) const {
+  int64_t sum = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.value >= lo && t.value <= hi) sum += t.value;
+  }
+  return sum;
+}
+
+double LocalDatabase::MedianValue() const {
+  P2PAQP_CHECK(!tuples_.empty());
+  std::vector<Value> values;
+  values.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) values.push_back(t.value);
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  if (values.size() % 2 == 1) return values[mid];
+  auto upper = values[mid];
+  std::nth_element(values.begin(), values.begin() + mid - 1,
+                   values.begin() + mid);
+  return (static_cast<double>(values[mid - 1]) + upper) / 2.0;
+}
+
+Table LocalDatabase::SampleBlockLevel(size_t k, size_t block_size,
+                                      util::Rng& rng) const {
+  P2PAQP_CHECK_GT(block_size, 0u);
+  if (k >= tuples_.size()) return tuples_;
+  size_t num_blocks = (tuples_.size() + block_size - 1) / block_size;
+  size_t want_blocks =
+      std::min(num_blocks, (k + block_size - 1) / block_size);
+  Table out;
+  out.reserve(want_blocks * block_size);
+  for (size_t block : rng.SampleIndices(num_blocks, want_blocks)) {
+    size_t begin = block * block_size;
+    size_t end = std::min(begin + block_size, tuples_.size());
+    out.insert(out.end(), tuples_.begin() + static_cast<ptrdiff_t>(begin),
+               tuples_.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return out;
+}
+
+Table LocalDatabase::Sample(size_t k, util::Rng& rng) const {
+  if (k >= tuples_.size()) return tuples_;
+  Table out;
+  out.reserve(k);
+  for (size_t index : rng.SampleIndices(tuples_.size(), k)) {
+    out.push_back(tuples_[index]);
+  }
+  return out;
+}
+
+}  // namespace p2paqp::data

@@ -1,0 +1,57 @@
+// Per-peer horizontal partition of the global table.
+#ifndef P2PAQP_DATA_LOCAL_DATABASE_H_
+#define P2PAQP_DATA_LOCAL_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/tuple.h"
+#include "util/rng.h"
+
+namespace p2paqp::data {
+
+// Owns a peer's tuples and answers local scans. Deliberately simple: the
+// paper treats each peer's database as a flat, scannable relation.
+class LocalDatabase {
+ public:
+  LocalDatabase() = default;
+  explicit LocalDatabase(Table tuples) : tuples_(std::move(tuples)) {}
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Table& tuples() const { return tuples_; }
+
+  void Append(Tuple tuple) { tuples_.push_back(tuple); }
+  void Append(const Table& tuples) {
+    tuples_.insert(tuples_.end(), tuples.begin(), tuples.end());
+  }
+  void Clear() { tuples_.clear(); }
+
+  // COUNT(*) WHERE value BETWEEN lo AND hi over all local tuples.
+  int64_t Count(Value lo, Value hi) const;
+
+  // SUM(value) WHERE value BETWEEN lo AND hi over all local tuples.
+  int64_t Sum(Value lo, Value hi) const;
+
+  // Local exact median value; requires non-empty database.
+  double MedianValue() const;
+
+  // Uniform sample of min(k, size()) tuples without replacement.
+  Table Sample(size_t k, util::Rng& rng) const;
+
+  // Block-level sample (Sec. 4: "sub-sampling can be more efficient than
+  // scanning the entire local database — e.g., by block-level sampling in
+  // which only a small number of disk blocks are retrieved"): the table is
+  // viewed as consecutive blocks of `block_size` tuples and whole random
+  // blocks are fetched until at least min(k, size()) tuples are collected.
+  // Cheaper I/O, but intra-block correlation raises estimator variance —
+  // which the engine's cross-validation then pays for in extra peers.
+  Table SampleBlockLevel(size_t k, size_t block_size, util::Rng& rng) const;
+
+ private:
+  Table tuples_;
+};
+
+}  // namespace p2paqp::data
+
+#endif  // P2PAQP_DATA_LOCAL_DATABASE_H_

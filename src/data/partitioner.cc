@@ -1,0 +1,104 @@
+#include "data/partitioner.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace p2paqp::data {
+
+util::Result<std::vector<LocalDatabase>> PartitionAcrossPeers(
+    const Table& table, const graph::Graph& graph,
+    const PartitionParams& params, util::Rng& rng) {
+  if (graph.num_nodes() == 0) {
+    return util::Status::InvalidArgument("graph has no peers");
+  }
+  if (params.cluster_level < 0.0 || params.cluster_level > 1.0) {
+    return util::Status::InvalidArgument("cluster level outside [0,1]");
+  }
+  size_t num_peers = graph.num_nodes();
+
+  // 1. Sort, then destroy a CL-fraction of the order.
+  Table ordered = table;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Tuple& a, const Tuple& b) { return a.value < b.value; });
+  rng.PartialShuffle(ordered, params.cluster_level);
+
+  // 2. Per-peer quotas.
+  std::vector<size_t> quota(num_peers, 0);
+  if (params.size_policy == PartitionParams::SizePolicy::kUniform) {
+    size_t base = ordered.size() / num_peers;
+    size_t remainder = ordered.size() % num_peers;
+    for (size_t i = 0; i < num_peers; ++i) {
+      quota[i] = base + (i < remainder ? 1 : 0);
+    }
+  } else {
+    // Degree-proportional with largest-remainder rounding.
+    double total_degree = 2.0 * static_cast<double>(graph.num_edges());
+    if (total_degree == 0.0) {
+      return util::Status::InvalidArgument(
+          "degree-proportional sizing requires edges");
+    }
+    std::vector<std::pair<double, size_t>> remainders;
+    size_t assigned = 0;
+    for (size_t i = 0; i < num_peers; ++i) {
+      double exact = static_cast<double>(ordered.size()) *
+                     static_cast<double>(graph.degree(
+                         static_cast<graph::NodeId>(i))) /
+                     total_degree;
+      quota[i] = static_cast<size_t>(exact);
+      assigned += quota[i];
+      remainders.emplace_back(exact - static_cast<double>(quota[i]), i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t k = 0; assigned < ordered.size(); ++k) {
+      ++quota[remainders[k % remainders.size()].second];
+      ++assigned;
+    }
+  }
+
+  // 3. Hand out contiguous chunks in breadth-first order, so peers that are
+  // topology neighbors receive value-adjacent chunks ("when loading a peer,
+  // the adjacent peers are also loaded with similarly clustered data").
+  graph::NodeId root = params.bfs_root;
+  if (root == graph::kInvalidNode) {
+    root = static_cast<graph::NodeId>(rng.UniformIndex(num_peers));
+  }
+  if (root >= num_peers) {
+    return util::Status::InvalidArgument("BFS root out of range");
+  }
+  std::vector<graph::NodeId> order = graph::BfsOrder(graph, root);
+  if (order.size() < num_peers) {
+    // Disconnected graph: append unreached peers in id order so every tuple
+    // still lands somewhere.
+    std::vector<bool> seen(num_peers, false);
+    for (graph::NodeId v : order) seen[v] = true;
+    for (graph::NodeId v = 0; v < num_peers; ++v) {
+      if (!seen[v]) order.push_back(v);
+    }
+  }
+
+  std::vector<LocalDatabase> databases(num_peers);
+  size_t cursor = 0;
+  for (graph::NodeId peer : order) {
+    size_t take = std::min(quota[peer], ordered.size() - cursor);
+    Table chunk(ordered.begin() + static_cast<ptrdiff_t>(cursor),
+                ordered.begin() + static_cast<ptrdiff_t>(cursor + take));
+    databases[peer] = LocalDatabase(std::move(chunk));
+    cursor += take;
+  }
+  P2PAQP_CHECK_EQ(cursor, ordered.size());
+  if (params.sort_local_tables) {
+    for (LocalDatabase& db : databases) {
+      Table sorted = db.tuples();
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Tuple& a, const Tuple& b) {
+                  return a.value < b.value;
+                });
+      db = LocalDatabase(std::move(sorted));
+    }
+  }
+  return databases;
+}
+
+}  // namespace p2paqp::data

@@ -1,0 +1,50 @@
+// Clustered distribution of the global table across peers (Sec. 5.2.2).
+//
+// The paper emphasizes that real P2P content is strongly clustered (peers in
+// a neighborhood share genres). Its loader reproduces that: the dataset is
+// sorted, a "cluster level" CL in [0,1] controls how much of the sorted order
+// survives (CL=0 perfectly clustered, CL=1 random permutation), and tuples
+// are then handed out to peers in breadth-first topology order so adjacent
+// peers receive adjacent (hence similar) chunks.
+#ifndef P2PAQP_DATA_PARTITIONER_H_
+#define P2PAQP_DATA_PARTITIONER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/local_database.h"
+#include "data/tuple.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::data {
+
+struct PartitionParams {
+  // Cluster level: 0 = sorted then chunked (max correlation within peers),
+  // 1 = fully shuffled (no correlation).
+  double cluster_level = 0.25;
+  // Peer database sizes. kUniform gives every peer floor(N/M) tuples (the
+  // remainder spread one-each from the BFS root); kDegreeProportional sizes
+  // a peer's share by its degree ("varying sizes" from the introduction).
+  enum class SizePolicy { kUniform, kDegreeProportional };
+  SizePolicy size_policy = SizePolicy::kUniform;
+  // Root of the breadth-first placement order; kInvalidNode = random root.
+  graph::NodeId bfs_root = graph::kInvalidNode;
+  // Sort each peer's local table by value after placement — the physical
+  // layout a clustered local index produces. Irrelevant to tuple-level
+  // sampling, but it makes disk *blocks* internally correlated, which is
+  // what block-level sub-sampling (Sec. 4) trades accuracy against.
+  bool sort_local_tables = false;
+};
+
+// Distributes `table` over the peers of `graph`. Returns one LocalDatabase
+// per node (index = NodeId). The multiset of all distributed tuples equals
+// the input table exactly.
+util::Result<std::vector<LocalDatabase>> PartitionAcrossPeers(
+    const Table& table, const graph::Graph& graph,
+    const PartitionParams& params, util::Rng& rng);
+
+}  // namespace p2paqp::data
+
+#endif  // P2PAQP_DATA_PARTITIONER_H_

@@ -1,0 +1,30 @@
+// Tuple model for the horizontally partitioned table T.
+//
+// The paper's experiments use single-attribute tuples with values in
+// [1, 100] drawn from a Zipf distribution (Sec. 5.2.2); the general model
+// allows "any numeric measure column of T, or even an expression involving
+// multiple columns" (Sec. 1), so tuples carry a second measure column `b`
+// (0 unless the generator is asked for it). Values are 32-bit; every
+// aggregation accumulates in 64-bit/double, leaving SUM headroom.
+#ifndef P2PAQP_DATA_TUPLE_H_
+#define P2PAQP_DATA_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace p2paqp::data {
+
+using Value = int32_t;
+
+struct Tuple {
+  Value value = 0;  // Column A: the paper's attribute.
+  Value b = 0;      // Column B: secondary measure for expressions.
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+using Table = std::vector<Tuple>;
+
+}  // namespace p2paqp::data
+
+#endif  // P2PAQP_DATA_TUPLE_H_

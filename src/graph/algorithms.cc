@@ -1,0 +1,128 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace p2paqp::graph {
+
+std::vector<NodeId> BfsOrder(const Graph& graph, NodeId root) {
+  P2PAQP_CHECK(root < graph.num_nodes()) << root;
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<NodeId> order;
+  order.reserve(graph.num_nodes());
+  std::deque<NodeId> queue = {root};
+  seen[root] = true;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : graph.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId root) {
+  P2PAQP_CHECK(root < graph.num_nodes()) << root;
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue = {root};
+  dist[root] = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> DfsOrder(const Graph& graph, NodeId root) {
+  P2PAQP_CHECK(root < graph.num_nodes()) << root;
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::vector<NodeId> order;
+  std::vector<NodeId> stack = {root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    auto span = graph.neighbors(u);
+    // Push in reverse so the smallest-id neighbor is expanded first.
+    for (auto it = span.rbegin(); it != span.rend(); ++it) {
+      if (!seen[*it]) {
+        seen[*it] = true;
+        stack.push_back(*it);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& graph) {
+  std::vector<uint32_t> component(graph.num_nodes(), kUnreachable);
+  uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    if (component[root] != kUnreachable) continue;
+    component[root] = next;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : graph.neighbors(u)) {
+        if (component[v] == kUnreachable) {
+          component[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+size_t CountComponents(const Graph& graph) {
+  auto component = ConnectedComponents(graph);
+  if (component.empty()) return 0;
+  return static_cast<size_t>(
+             *std::max_element(component.begin(), component.end())) +
+         1;
+}
+
+bool IsConnected(const Graph& graph) {
+  return graph.num_nodes() == 0 || CountComponents(graph) == 1;
+}
+
+uint32_t EstimateDiameter(const Graph& graph, size_t num_probes,
+                          util::Rng& rng) {
+  if (graph.num_nodes() == 0) return 0;
+  uint32_t best = 0;
+  for (size_t probe = 0; probe < num_probes; ++probe) {
+    auto root = static_cast<NodeId>(rng.UniformIndex(graph.num_nodes()));
+    for (uint32_t d : BfsDistances(graph, root)) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+size_t CutSize(const Graph& graph, const std::vector<uint32_t>& partition) {
+  P2PAQP_CHECK_EQ(partition.size(), graph.num_nodes());
+  size_t cut = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && partition[u] != partition[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace p2paqp::graph

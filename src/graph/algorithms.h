@@ -1,0 +1,46 @@
+// Classic graph traversals and connectivity utilities.
+#ifndef P2PAQP_GRAPH_ALGORITHMS_H_
+#define P2PAQP_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::graph {
+
+// Nodes in breadth-first order from `root` (root first). Only reachable
+// nodes are included. Used by the paper's BFS data-placement scheme and the
+// BFS sampling baseline.
+std::vector<NodeId> BfsOrder(const Graph& graph, NodeId root);
+
+// Nodes and their hop distance from `root`; unreachable nodes get distance
+// kUnreachable.
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId root);
+
+// Nodes in (iterative) depth-first preorder from `root`.
+std::vector<NodeId> DfsOrder(const Graph& graph, NodeId root);
+
+// Component id per node (0-based, dense).
+std::vector<uint32_t> ConnectedComponents(const Graph& graph);
+
+// Number of connected components.
+size_t CountComponents(const Graph& graph);
+
+// True iff every node is reachable from node 0 (or the graph is empty).
+bool IsConnected(const Graph& graph);
+
+// Approximate diameter: max BFS eccentricity over `num_probes` random roots.
+uint32_t EstimateDiameter(const Graph& graph, size_t num_probes,
+                          util::Rng& rng);
+
+// Number of edges with endpoints in different blocks of `partition`
+// (partition[v] = block id). This is the paper's "cut size" between
+// sub-graphs (Fig. 12).
+size_t CutSize(const Graph& graph, const std::vector<uint32_t>& partition);
+
+}  // namespace p2paqp::graph
+
+#endif  // P2PAQP_GRAPH_ALGORITHMS_H_

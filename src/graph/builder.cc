@@ -1,0 +1,35 @@
+#include "graph/builder.h"
+
+#include <utility>
+
+namespace p2paqp::graph {
+
+GraphBuilder::GraphBuilder(size_t num_nodes) : adjacency_(num_nodes) {}
+
+uint64_t GraphBuilder::EdgeKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+bool GraphBuilder::AddEdge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  if (!edges_.insert(EdgeKey(a, b)).second) return false;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+  return true;
+}
+
+bool GraphBuilder::HasEdge(NodeId a, NodeId b) const {
+  if (a == b || a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  return edges_.count(EdgeKey(a, b)) > 0;
+}
+
+Graph GraphBuilder::Build() {
+  edges_.clear();
+  num_edges_ = 0;
+  return Graph(std::exchange(adjacency_, {}));
+}
+
+}  // namespace p2paqp::graph

@@ -1,0 +1,42 @@
+// Incremental construction of immutable Graphs with edge deduplication.
+#ifndef P2PAQP_GRAPH_BUILDER_H_
+#define P2PAQP_GRAPH_BUILDER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace p2paqp::graph {
+
+// Accumulates undirected edges; ignores self loops and duplicates.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_nodes);
+
+  // Adds {a, b}; returns false (and does nothing) if the edge is a self loop,
+  // already present, or out of range.
+  bool AddEdge(NodeId a, NodeId b);
+
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  uint32_t degree(NodeId node) const {
+    return static_cast<uint32_t>(adjacency_[node].size());
+  }
+
+  // Finalizes into a CSR Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  static uint64_t EdgeKey(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_set<uint64_t> edges_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace p2paqp::graph
+
+#endif  // P2PAQP_GRAPH_BUILDER_H_

@@ -1,0 +1,52 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace p2paqp::graph {
+
+Graph::Graph(std::vector<std::vector<NodeId>> adjacency) {
+  size_t n = adjacency.size();
+  offsets_.resize(n + 1, 0);
+  size_t total = 0;
+  for (size_t u = 0; u < n; ++u) {
+    total += adjacency[u].size();
+    offsets_[u + 1] = total;
+  }
+  neighbors_.reserve(total);
+  min_degree_ = n == 0 ? 0 : static_cast<uint32_t>(-1);
+  max_degree_ = 0;
+  for (size_t u = 0; u < n; ++u) {
+    auto& list = adjacency[u];
+    std::sort(list.begin(), list.end());
+    for (NodeId v : list) {
+      P2PAQP_DCHECK(v < n) << "edge endpoint out of range: " << v;
+      P2PAQP_DCHECK(v != u) << "self loop at node " << u;
+      neighbors_.push_back(v);
+    }
+    auto deg = static_cast<uint32_t>(list.size());
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+  }
+  P2PAQP_CHECK_EQ(neighbors_.size() % 2, 0u)
+      << "adjacency lists are not symmetric";
+}
+
+bool Graph::HasEdge(NodeId a, NodeId b) const {
+  if (a >= num_nodes() || b >= num_nodes()) return false;
+  auto span = neighbors(a);
+  return std::binary_search(span.begin(), span.end(), b);
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
+}
+
+double Graph::StationaryProbability(NodeId node) const {
+  P2PAQP_CHECK_GT(num_edges(), 0u);
+  return static_cast<double>(degree(node)) /
+         (2.0 * static_cast<double>(num_edges()));
+}
+
+}  // namespace p2paqp::graph

@@ -1,0 +1,66 @@
+// Compact undirected graph in compressed-sparse-row form.
+//
+// Models the unstructured P2P overlay G = (P, E) from Sec. 3.1 of the paper:
+// vertices are peers, edges are open connections. The representation is
+// immutable once built (see graph/builder.h); topology changes from churn are
+// layered on top by net::SimulatedNetwork via liveness masks rather than by
+// mutating the graph.
+#ifndef P2PAQP_GRAPH_GRAPH_H_
+#define P2PAQP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace p2paqp::graph {
+
+using NodeId = uint32_t;
+
+// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// Immutable undirected simple graph (no self edges, no parallel edges).
+class Graph {
+ public:
+  Graph() = default;
+
+  // `adjacency[u]` lists the neighbors of u; must be symmetric and free of
+  // self loops / duplicates (GraphBuilder guarantees this).
+  explicit Graph(std::vector<std::vector<NodeId>> adjacency);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  uint32_t degree(NodeId node) const {
+    P2PAQP_DCHECK(node < num_nodes()) << node;
+    return static_cast<uint32_t>(offsets_[node + 1] - offsets_[node]);
+  }
+
+  std::span<const NodeId> neighbors(NodeId node) const {
+    P2PAQP_DCHECK(node < num_nodes()) << node;
+    return {neighbors_.data() + offsets_[node],
+            neighbors_.data() + offsets_[node + 1]};
+  }
+
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  uint32_t min_degree() const { return min_degree_; }
+  uint32_t max_degree() const { return max_degree_; }
+  double average_degree() const;
+
+  // Stationary probability of `node` under the simple random walk:
+  // deg(node) / 2|E| (Sec. 3.3).
+  double StationaryProbability(NodeId node) const;
+
+ private:
+  std::vector<size_t> offsets_;     // num_nodes()+1 entries.
+  std::vector<NodeId> neighbors_;  // Sorted within each node's range.
+  uint32_t min_degree_ = 0;
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace p2paqp::graph
+
+#endif  // P2PAQP_GRAPH_GRAPH_H_

@@ -1,0 +1,84 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2paqp::graph {
+
+std::vector<size_t> DegreeHistogram(const Graph& graph) {
+  std::vector<size_t> histogram(graph.max_degree() + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    ++histogram[graph.degree(u)];
+  }
+  return histogram;
+}
+
+double FitPowerLawExponent(const Graph& graph, uint32_t d_min) {
+  P2PAQP_CHECK_GE(d_min, 1u);
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t d = graph.degree(u);
+    if (d >= d_min) {
+      // Continuous approximation with the standard +0.5 offset.
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(d_min) - 0.5));
+      ++n;
+    }
+  }
+  if (n == 0 || log_sum == 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+double EstimateClusteringCoefficient(const Graph& graph, size_t num_probes,
+                                     util::Rng& rng) {
+  if (graph.num_nodes() == 0) return 0.0;
+  std::vector<NodeId> probes;
+  if (num_probes >= graph.num_nodes()) {
+    probes.resize(graph.num_nodes());
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) probes[u] = u;
+  } else {
+    for (size_t index : rng.SampleIndices(graph.num_nodes(), num_probes)) {
+      probes.push_back(static_cast<NodeId>(index));
+    }
+  }
+  double total = 0.0;
+  size_t counted = 0;
+  for (NodeId u : probes) {
+    auto nbrs = graph.neighbors(u);
+    if (nbrs.size() < 2) continue;
+    size_t closed = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    double pairs = static_cast<double>(nbrs.size()) *
+                   (static_cast<double>(nbrs.size()) - 1.0) / 2.0;
+    total += static_cast<double>(closed) / pairs;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double Conductance(const Graph& graph, const std::vector<bool>& side) {
+  P2PAQP_CHECK_EQ(side.size(), graph.num_nodes());
+  size_t cut = 0;
+  size_t vol_s = 0;
+  size_t vol_rest = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (side[u]) {
+      vol_s += graph.degree(u);
+    } else {
+      vol_rest += graph.degree(u);
+    }
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && side[u] != side[v]) ++cut;
+    }
+  }
+  size_t denom = std::min(vol_s, vol_rest);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+}  // namespace p2paqp::graph

@@ -1,0 +1,35 @@
+// Structural metrics of P2P overlay graphs: degree statistics, power-law
+// exponent fitting, clustering coefficient and conductance. Used by the
+// preprocessing step (core/catalog) and by topology-generator tests.
+#ifndef P2PAQP_GRAPH_METRICS_H_
+#define P2PAQP_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::graph {
+
+// Histogram of node degrees: result[d] = #nodes with degree d.
+std::vector<size_t> DegreeHistogram(const Graph& graph);
+
+// Maximum-likelihood estimate of the exponent alpha of a discrete power law
+// P(deg = d) ~ d^-alpha for degrees >= d_min (Clauset-Shalizi-Newman
+// approximation). Returns 0 when no node has degree >= d_min.
+double FitPowerLawExponent(const Graph& graph, uint32_t d_min = 2);
+
+// Average local clustering coefficient estimated from `num_probes` random
+// nodes (exact if num_probes >= num_nodes).
+double EstimateClusteringCoefficient(const Graph& graph, size_t num_probes,
+                                     util::Rng& rng);
+
+// Conductance of the node set `side` (true = in S):
+//   cut(S, V\S) / min(vol(S), vol(V\S)).
+// Small conductance <=> small cut <=> slow random-walk mixing (Sec. 3.3).
+double Conductance(const Graph& graph, const std::vector<bool>& side);
+
+}  // namespace p2paqp::graph
+
+#endif  // P2PAQP_GRAPH_METRICS_H_

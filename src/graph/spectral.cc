@@ -1,0 +1,149 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace p2paqp::graph {
+
+namespace {
+
+// y = N x where N = D^-1/2 A D^-1/2 (same spectrum as the walk matrix).
+void ApplyNormalizedAdjacency(const Graph& graph,
+                              const std::vector<double>& sqrt_deg,
+                              const std::vector<double>& x,
+                              std::vector<double>& y) {
+  std::fill(y.begin(), y.end(), 0.0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (sqrt_deg[u] == 0.0) continue;
+    double xu = x[u] / sqrt_deg[u];
+    for (NodeId v : graph.neighbors(u)) {
+      y[v] += xu / sqrt_deg[v];
+    }
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace
+
+double EstimateSecondEigenvalue(const Graph& graph, size_t iterations,
+                                util::Rng& rng) {
+  size_t n = graph.num_nodes();
+  if (n < 2 || graph.num_edges() == 0) return 0.0;
+  std::vector<double> sqrt_deg(n);
+  for (NodeId u = 0; u < n; ++u) {
+    sqrt_deg[u] = std::sqrt(static_cast<double>(graph.degree(u)));
+  }
+  // Principal eigenvector of N is proportional to sqrt(deg), eigenvalue 1.
+  std::vector<double> principal = sqrt_deg;
+  double pn = Norm(principal);
+  for (double& p : principal) p /= pn;
+
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.UniformDouble(-1.0, 1.0);
+  std::vector<double> y(n);
+  double lambda = 0.0;
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    // Deflate the principal component, then apply N.
+    double proj = Dot(x, principal);
+    for (size_t i = 0; i < n; ++i) x[i] -= proj * principal[i];
+    double norm = Norm(x);
+    if (norm < 1e-300) {
+      // Degenerate start vector; re-randomize.
+      for (double& v : x) v = rng.UniformDouble(-1.0, 1.0);
+      continue;
+    }
+    for (double& v : x) v /= norm;
+    ApplyNormalizedAdjacency(graph, sqrt_deg, x, y);
+    lambda = Dot(x, y);  // Rayleigh quotient; signed.
+    x.swap(y);
+  }
+  return std::min(1.0, std::fabs(lambda));
+}
+
+std::vector<double> WalkDistribution(const Graph& graph, NodeId start,
+                                     size_t steps, bool lazy) {
+  size_t n = graph.num_nodes();
+  P2PAQP_CHECK(start < n) << start;
+  std::vector<double> dist(n, 0.0);
+  dist[start] = 1.0;
+  std::vector<double> next(n, 0.0);
+  for (size_t step = 0; step < steps; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      double mass = dist[u];
+      if (mass == 0.0) continue;
+      uint32_t deg = graph.degree(u);
+      if (deg == 0) {
+        next[u] += mass;
+        continue;
+      }
+      if (lazy) {
+        next[u] += mass * 0.5;
+        mass *= 0.5;
+      }
+      double share = mass / static_cast<double>(deg);
+      for (NodeId v : graph.neighbors(u)) next[v] += share;
+    }
+    dist.swap(next);
+  }
+  return dist;
+}
+
+double TotalVariationFromStationary(const Graph& graph,
+                                    const std::vector<double>& distribution) {
+  P2PAQP_CHECK_EQ(distribution.size(), graph.num_nodes());
+  double tv = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    tv += std::fabs(distribution[u] - graph.StationaryProbability(u));
+  }
+  return tv / 2.0;
+}
+
+size_t MeasureMixingTime(const Graph& graph, NodeId start, double epsilon,
+                         size_t max_steps) {
+  size_t n = graph.num_nodes();
+  P2PAQP_CHECK(start < n) << start;
+  std::vector<double> dist(n, 0.0);
+  dist[start] = 1.0;
+  std::vector<double> next(n, 0.0);
+  for (size_t step = 0; step <= max_steps; ++step) {
+    if (TotalVariationFromStationary(graph, dist) <= epsilon) return step;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      double mass = dist[u];
+      if (mass == 0.0) continue;
+      uint32_t deg = graph.degree(u);
+      if (deg == 0) {
+        next[u] += mass;
+        continue;
+      }
+      next[u] += mass * 0.5;
+      double share = mass * 0.5 / static_cast<double>(deg);
+      for (NodeId v : graph.neighbors(u)) next[v] += share;
+    }
+    dist.swap(next);
+  }
+  return max_steps;
+}
+
+size_t MixingTimeBound(size_t num_nodes, double lambda2, double epsilon) {
+  P2PAQP_CHECK(epsilon > 0.0 && epsilon < 1.0) << epsilon;
+  if (num_nodes < 2) return 0;
+  double gap = 1.0 - std::clamp(lambda2, 0.0, 1.0 - 1e-12);
+  double bound =
+      std::log(static_cast<double>(num_nodes) / epsilon) / std::max(gap, 1e-12);
+  if (bound >= static_cast<double>(std::numeric_limits<size_t>::max() / 2)) {
+    return std::numeric_limits<size_t>::max() / 2;
+  }
+  return static_cast<size_t>(std::ceil(bound));
+}
+
+}  // namespace p2paqp::graph

@@ -1,0 +1,50 @@
+// Spectral properties of the random-walk transition matrix.
+//
+// The paper (Sec. 3.3) ties the convergence speed of the Markov-chain random
+// walk to the second eigenvalue of the MxM transition matrix: graphs with
+// small cuts have lambda_2 close to 1 and mix slowly. These routines power
+// the preprocessing step that picks the walk's burn-in and jump parameters.
+#ifndef P2PAQP_GRAPH_SPECTRAL_H_
+#define P2PAQP_GRAPH_SPECTRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::graph {
+
+// Estimates |lambda_2| of the *simple* walk transition matrix
+// P = D^-1 A via power iteration on the symmetrically normalized adjacency
+// with the principal eigenvector deflated. Deterministic given `rng`.
+// Returns a value in [0, 1]; graphs with small cuts return values near 1.
+double EstimateSecondEigenvalue(const Graph& graph, size_t iterations,
+                                util::Rng& rng);
+
+// Walk-distribution evolution: starting from a point mass at `start`,
+// applies `steps` steps of the (optionally lazy) walk and returns the
+// distribution over nodes. Lazy walks stay put with probability 1/2,
+// guaranteeing aperiodicity.
+std::vector<double> WalkDistribution(const Graph& graph, NodeId start,
+                                     size_t steps, bool lazy);
+
+// Total variation distance between `distribution` and the walk's stationary
+// distribution deg(v)/2|E|.
+double TotalVariationFromStationary(const Graph& graph,
+                                    const std::vector<double>& distribution);
+
+// Number of lazy-walk steps until the distribution from `start` is within
+// `epsilon` total variation of stationary (measured empirically, capped at
+// `max_steps`). This is the "speed of convergence ... determined in this
+// preprocessing step" from Sec. 3.3.
+size_t MeasureMixingTime(const Graph& graph, NodeId start, double epsilon,
+                         size_t max_steps);
+
+// Analytic upper bound on the mixing time from the spectral gap:
+// ceil(ln(M/epsilon) / (1 - lambda2)). Returns max_value-capped size_t.
+size_t MixingTimeBound(size_t num_nodes, double lambda2, double epsilon);
+
+}  // namespace p2paqp::graph
+
+#endif  // P2PAQP_GRAPH_SPECTRAL_H_

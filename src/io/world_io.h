@@ -1,0 +1,36 @@
+// Serialization of simulated worlds (overlay + per-peer data + liveness).
+//
+// Building a paper-scale world (22k-node calibrated crawl + 2.2M tuples)
+// takes seconds and a seed; sharing *exactly* the same world across machines
+//, experiments and bug reports is what this file format is for. The format
+// is a little-endian binary stream:
+//
+//   magic "P2PW" | u32 version | u64 num_nodes | u64 num_edges
+//   num_edges * (u32 a, u32 b)            edges, a < b
+//   num_nodes * (u8 alive, u64 num_tuples, num_tuples * (i32 a, i32 b))
+//
+// Peer addresses/capabilities are regenerated from the load-time seed (they
+// are simulation flavor, not experimental state).
+#ifndef P2PAQP_IO_WORLD_IO_H_
+#define P2PAQP_IO_WORLD_IO_H_
+
+#include <string>
+
+#include "net/network.h"
+#include "util/status.h"
+
+namespace p2paqp::io {
+
+// Writes the network's overlay, liveness and local databases to `path`.
+util::Status SaveWorld(const std::string& path,
+                       const net::SimulatedNetwork& network);
+
+// Reconstructs a network from `path`. `params`/`seed` configure the
+// regenerated latency model and peer identities.
+util::Result<net::SimulatedNetwork> LoadWorld(const std::string& path,
+                                              const net::NetworkParams& params,
+                                              uint64_t seed);
+
+}  // namespace p2paqp::io
+
+#endif  // P2PAQP_IO_WORLD_IO_H_

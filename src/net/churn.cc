@@ -1,0 +1,29 @@
+#include "net/churn.h"
+
+#include <algorithm>
+
+namespace p2paqp::net {
+
+bool ChurnModel::IsPinned(graph::NodeId id) const {
+  return std::find(params_.pinned.begin(), params_.pinned.end(), id) !=
+         params_.pinned.end();
+}
+
+size_t ChurnModel::Step(SimulatedNetwork& network) {
+  size_t changes = 0;
+  for (graph::NodeId id = 0; id < network.num_peers(); ++id) {
+    if (IsPinned(id)) continue;
+    if (network.IsAlive(id)) {
+      if (rng_.Bernoulli(params_.leave_probability)) {
+        network.SetAlive(id, false);
+        ++changes;
+      }
+    } else if (rng_.Bernoulli(params_.rejoin_probability)) {
+      network.SetAlive(id, true);
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,43 @@
+// Churn: peers departing and (re)joining between queries.
+//
+// Unstructured overlays explicitly tolerate nodes leaving without notice
+// (Sec. 1); the walker must route around departed peers. The model keeps the
+// underlying graph fixed and toggles liveness, mirroring short-lived Gnutella
+// sessions where a peer's connections simply go dark until it returns.
+#ifndef P2PAQP_NET_CHURN_H_
+#define P2PAQP_NET_CHURN_H_
+
+#include <cstddef>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace p2paqp::net {
+
+struct ChurnParams {
+  // Per-step probability that a live peer departs / a departed peer returns.
+  double leave_probability = 0.02;
+  double rejoin_probability = 0.2;
+  // Peers never taken down (e.g., the query sink).
+  std::vector<graph::NodeId> pinned;
+};
+
+class ChurnModel {
+ public:
+  ChurnModel(ChurnParams params, uint64_t seed)
+      : params_(std::move(params)), rng_(seed) {}
+
+  // One churn epoch: every peer independently flips state per the params.
+  // Returns the number of state changes applied.
+  size_t Step(SimulatedNetwork& network);
+
+ private:
+  bool IsPinned(graph::NodeId id) const;
+
+  ChurnParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_CHURN_H_

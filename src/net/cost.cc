@@ -1,0 +1,44 @@
+#include "net/cost.h"
+
+#include <cstdio>
+
+namespace p2paqp::net {
+
+CostSnapshot& CostSnapshot::operator+=(const CostSnapshot& other) {
+  peers_visited += other.peers_visited;
+  walker_hops += other.walker_hops;
+  messages += other.messages;
+  bytes_shipped += other.bytes_shipped;
+  tuples_scanned += other.tuples_scanned;
+  tuples_sampled += other.tuples_sampled;
+  latency_ms += other.latency_ms;
+  return *this;
+}
+
+CostSnapshot CostDelta(const CostSnapshot& after, const CostSnapshot& before) {
+  CostSnapshot delta;
+  delta.peers_visited = after.peers_visited - before.peers_visited;
+  delta.walker_hops = after.walker_hops - before.walker_hops;
+  delta.messages = after.messages - before.messages;
+  delta.bytes_shipped = after.bytes_shipped - before.bytes_shipped;
+  delta.tuples_scanned = after.tuples_scanned - before.tuples_scanned;
+  delta.tuples_sampled = after.tuples_sampled - before.tuples_sampled;
+  delta.latency_ms = after.latency_ms - before.latency_ms;
+  return delta;
+}
+
+std::string CostSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "peers=%llu hops=%llu msgs=%llu bytes=%llu scanned=%llu "
+                "sampled=%llu latency=%.1fms",
+                static_cast<unsigned long long>(peers_visited),
+                static_cast<unsigned long long>(walker_hops),
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(bytes_shipped),
+                static_cast<unsigned long long>(tuples_scanned),
+                static_cast<unsigned long long>(tuples_sampled), latency_ms);
+  return buf;
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,56 @@
+// Query-cost accounting (Sec. 3.2).
+//
+// In a P2P database the cost of a query is a vector, not a scalar: peers
+// visited, messages, bandwidth, latency, local I/O. The tracker accumulates
+// all of them; the experiments use tuples-sampled as the latency surrogate
+// (Sec. 5.4) but every component is available.
+#ifndef P2PAQP_NET_COST_H_
+#define P2PAQP_NET_COST_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p2paqp::net {
+
+struct CostSnapshot {
+  uint64_t peers_visited = 0;     // Peers that executed the query locally.
+  uint64_t walker_hops = 0;       // Overlay hops taken by walk tokens.
+  uint64_t messages = 0;          // All protocol messages.
+  uint64_t bytes_shipped = 0;     // Total payload bytes.
+  uint64_t tuples_scanned = 0;    // Tuples read by local executors.
+  uint64_t tuples_sampled = 0;    // Tuples contributing to the sample.
+  double latency_ms = 0.0;        // Simulated end-to-end latency.
+
+  CostSnapshot& operator+=(const CostSnapshot& other);
+  std::string ToString() const;
+};
+
+// Component-wise `after - before`; used to attribute costs to one query out
+// of a long-lived tracker.
+CostSnapshot CostDelta(const CostSnapshot& after, const CostSnapshot& before);
+
+// Mutable accumulator handed through the network layer.
+class CostTracker {
+ public:
+  void RecordPeerVisit() { ++snapshot_.peers_visited; }
+  void RecordWalkerHops(uint64_t hops) { snapshot_.walker_hops += hops; }
+  void RecordMessage(uint64_t bytes) {
+    ++snapshot_.messages;
+    snapshot_.bytes_shipped += bytes;
+  }
+  void RecordTuplesScanned(uint64_t n) { snapshot_.tuples_scanned += n; }
+  void RecordTuplesSampled(uint64_t n) { snapshot_.tuples_sampled += n; }
+  // Adds latency on the critical path (sequential operations accumulate;
+  // concurrent fan-out should add only the max — callers decide).
+  void RecordLatency(double ms) { snapshot_.latency_ms += ms; }
+
+  const CostSnapshot& snapshot() const { return snapshot_; }
+  void Reset() { snapshot_ = CostSnapshot{}; }
+
+ private:
+  CostSnapshot snapshot_;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_COST_H_

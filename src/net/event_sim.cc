@@ -1,0 +1,34 @@
+#include "net/event_sim.h"
+
+#include <utility>
+
+namespace p2paqp::net {
+
+void EventQueue::ScheduleAt(double at, Callback callback) {
+  P2PAQP_CHECK_GE(at, now_) << "cannot schedule in the past";
+  heap_.push(Event{at, next_sequence_++, std::move(callback)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via the
+  // const_cast idiom (the element is popped immediately after).
+  auto& top = const_cast<Event&>(heap_.top());
+  double at = top.at;
+  Callback callback = std::move(top.callback);
+  heap_.pop();
+  now_ = at;
+  ++executed_;
+  callback();
+  return true;
+}
+
+double EventQueue::RunUntilEmpty(uint64_t max_events) {
+  uint64_t budget = max_events;
+  while (RunOne()) {
+    P2PAQP_CHECK_GT(budget--, 0u) << "event cascade exceeded budget";
+  }
+  return now_;
+}
+
+}  // namespace p2paqp::net

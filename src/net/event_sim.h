@@ -1,0 +1,65 @@
+// Minimal discrete-event scheduler with a simulated clock.
+//
+// The synchronous SimulatedNetwork charges latency as a running sum, which
+// models a single sequential walker. For concurrent activity — parallel
+// walkers, overlapping local scans, replies in flight while the walk
+// continues — the event queue executes callbacks in simulated-time order so
+// the *makespan* falls out naturally. Used by core::AsyncQuerySession.
+#ifndef P2PAQP_NET_EVENT_SIM_H_
+#define P2PAQP_NET_EVENT_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace p2paqp::net {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+  uint64_t executed() const { return executed_; }
+
+  // Schedules `callback` at absolute simulated time `at` (>= now).
+  void ScheduleAt(double at, Callback callback);
+
+  // Schedules `callback` `delay` ms from the current simulated time.
+  void ScheduleAfter(double delay, Callback callback) {
+    P2PAQP_CHECK_GE(delay, 0.0);
+    ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  // Pops and executes the earliest event; returns false when idle.
+  bool RunOne();
+
+  // Drains the queue (events may schedule more events); returns the final
+  // simulated time. `max_events` guards against runaway cascades.
+  double RunUntilEmpty(uint64_t max_events = 100000000);
+
+ private:
+  struct Event {
+    double at;
+    uint64_t sequence;  // FIFO tie-break for simultaneous events.
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_EVENT_SIM_H_

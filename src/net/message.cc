@@ -1,0 +1,50 @@
+#include "net/message.h"
+
+namespace p2paqp::net {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kPing:
+      return "PING";
+    case MessageType::kPong:
+      return "PONG";
+    case MessageType::kQuery:
+      return "QUERY";
+    case MessageType::kQueryHit:
+      return "QUERY_HIT";
+    case MessageType::kWalker:
+      return "WALKER";
+    case MessageType::kAggregateReply:
+      return "AGGREGATE_REPLY";
+    case MessageType::kSampleRequest:
+      return "SAMPLE_REQUEST";
+    case MessageType::kSampleReply:
+      return "SAMPLE_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t DefaultPayloadBytes(MessageType type) {
+  constexpr uint32_t kHeader = 23;  // Gnutella 0.4 descriptor header.
+  switch (type) {
+    case MessageType::kPing:
+      return kHeader;
+    case MessageType::kPong:
+      return kHeader + 14;  // ip, port, #files, #kb.
+    case MessageType::kQuery:
+      return kHeader + 64;  // Min speed + selection predicate text.
+    case MessageType::kQueryHit:
+      return kHeader + 32;
+    case MessageType::kWalker:
+      return kHeader + 80;  // Query + walk bookkeeping (sink addr, j, t).
+    case MessageType::kAggregateReply:
+      return kHeader + 24;  // y(p) (8) + degree (4) + local count (8) + tag.
+    case MessageType::kSampleRequest:
+      return kHeader + 16;
+    case MessageType::kSampleReply:
+      return kHeader;  // Caller adds 4 bytes per shipped tuple.
+  }
+  return kHeader;
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,42 @@
+// Message vocabulary of the simulated overlay.
+//
+// Mirrors the Gnutella protocol the paper builds on (Sec. 3.1): Ping/Pong for
+// membership, Query/QueryHit for flooding search — plus the paper's walker
+// message and the direct aggregate replies sent back to the sink.
+#ifndef P2PAQP_NET_MESSAGE_H_
+#define P2PAQP_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace p2paqp::net {
+
+enum class MessageType : uint8_t {
+  kPing = 0,       // Neighbor liveness / discovery probe.
+  kPong,           // Reply to kPing.
+  kQuery,          // Flooded query (BFS baseline & Gnutella search).
+  kQueryHit,       // Reply to kQuery.
+  kWalker,         // The random-walk token carrying the query.
+  kAggregateReply, // (y(p), deg(p)) pushed straight to the sink.
+  kSampleRequest,  // Sink asks a peer for raw sub-sampled tuples.
+  kSampleReply,    // Raw tuples back to the sink (median/quantiles path).
+};
+
+const char* MessageTypeToString(MessageType type);
+
+// Nominal wire sizes (bytes) used by the bandwidth accounting. Derived from
+// the Gnutella 0.4 header (23 bytes) plus typed payloads.
+uint32_t DefaultPayloadBytes(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kPing;
+  graph::NodeId src = graph::kInvalidNode;
+  graph::NodeId dst = graph::kInvalidNode;
+  uint32_t payload_bytes = 0;
+  uint32_t hops = 1;  // Overlay hops this message traversed.
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_MESSAGE_H_

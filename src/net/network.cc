@@ -1,0 +1,184 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2paqp::net {
+
+util::Result<SimulatedNetwork> SimulatedNetwork::Make(
+    graph::Graph graph, std::vector<data::LocalDatabase> databases,
+    const NetworkParams& params, uint64_t seed) {
+  if (graph.num_nodes() == 0) {
+    return util::Status::InvalidArgument("empty overlay");
+  }
+  if (!databases.empty() && databases.size() != graph.num_nodes()) {
+    return util::Status::InvalidArgument(
+        "database count must match peer count");
+  }
+  if (params.hop_latency_ms < 0.0 || params.hop_latency_jitter_ms < 0.0 ||
+      params.tuples_scanned_per_ms <= 0.0) {
+    return util::Status::InvalidArgument("bad network parameters");
+  }
+  util::Rng rng(seed);
+  std::vector<Peer> peers;
+  peers.reserve(graph.num_nodes());
+  for (graph::NodeId id = 0; id < graph.num_nodes(); ++id) {
+    auto ipv4 = static_cast<uint32_t>(rng.Next64());
+    auto port = static_cast<uint16_t>(rng.UniformInt(1024, 65535));
+    peers.emplace_back(id, ipv4, port, RandomCapabilities(rng));
+    if (!databases.empty()) {
+      peers.back().set_database(std::move(databases[id]));
+    }
+  }
+  return SimulatedNetwork(std::move(graph), std::move(peers), params,
+                          std::move(rng));
+}
+
+const Peer& SimulatedNetwork::peer(graph::NodeId id) const {
+  P2PAQP_CHECK(id < peers_.size()) << id;
+  return peers_[id];
+}
+
+Peer& SimulatedNetwork::mutable_peer(graph::NodeId id) {
+  P2PAQP_CHECK(id < peers_.size()) << id;
+  return peers_[id];
+}
+
+void SimulatedNetwork::SetAlive(graph::NodeId id, bool alive) {
+  Peer& p = mutable_peer(id);
+  if (p.alive() == alive) return;
+  p.set_alive(alive);
+  num_alive_ += alive ? 1 : -1;
+}
+
+std::vector<graph::NodeId> SimulatedNetwork::AliveNeighbors(
+    graph::NodeId id) const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v : graph_.neighbors(id)) {
+    if (peers_[v].alive()) out.push_back(v);
+  }
+  return out;
+}
+
+uint32_t SimulatedNetwork::AliveDegree(graph::NodeId id) const {
+  uint32_t deg = 0;
+  for (graph::NodeId v : graph_.neighbors(id)) {
+    if (peers_[v].alive()) ++deg;
+  }
+  return deg;
+}
+
+util::Status SimulatedNetwork::InstallDatabases(
+    std::vector<data::LocalDatabase> databases) {
+  if (databases.size() != peers_.size()) {
+    return util::Status::InvalidArgument(
+        "database count must match peer count");
+  }
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    peers_[i].set_database(std::move(databases[i]));
+  }
+  return util::Status::Ok();
+}
+
+double SimulatedNetwork::SampleHopLatency() {
+  double jitter = 0.0;
+  if (params_.hop_latency_jitter_ms > 0.0) {
+    // Exponential jitter with the configured mean.
+    double u = rng_.UniformDouble(1e-12, 1.0);
+    jitter = -params_.hop_latency_jitter_ms * std::log(u);
+  }
+  return params_.hop_latency_ms + jitter;
+}
+
+util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
+                                             graph::NodeId from,
+                                             graph::NodeId to) {
+  if (from >= peers_.size() || to >= peers_.size()) {
+    return util::Status::InvalidArgument("endpoint out of range");
+  }
+  if (!graph_.HasEdge(from, to)) {
+    return util::Status::InvalidArgument("no overlay connection");
+  }
+  if (!peers_[from].alive() || !peers_[to].alive()) {
+    return util::Status::Unavailable("endpoint departed");
+  }
+  cost_.RecordMessage(DefaultPayloadBytes(type));
+  cost_.RecordWalkerHops(1);
+  cost_.RecordLatency(SampleHopLatency());
+  return util::Status::Ok();
+}
+
+util::Status SimulatedNetwork::SendDirect(MessageType type,
+                                          graph::NodeId from,
+                                          graph::NodeId to,
+                                          uint32_t extra_payload_bytes) {
+  if (from >= peers_.size() || to >= peers_.size()) {
+    return util::Status::InvalidArgument("endpoint out of range");
+  }
+  if (!peers_[from].alive() || !peers_[to].alive()) {
+    return util::Status::Unavailable("endpoint departed");
+  }
+  cost_.RecordMessage(DefaultPayloadBytes(type) + extra_payload_bytes);
+  // Direct IP replies do not ride the overlay but still cross the Internet
+  // once; replies overlap the walk, so only the message cost (not latency on
+  // the critical path) is charged beyond a single hop-equivalent.
+  cost_.RecordLatency(SampleHopLatency() * 0.5);
+  return util::Status::Ok();
+}
+
+double SimulatedNetwork::LocalScanLatency(graph::NodeId peer_id,
+                                          uint64_t tuples) const {
+  const Peer& p = peer(peer_id);
+  double cpu_scale = std::max(0.1, p.capabilities().cpu_ghz);
+  return static_cast<double>(tuples) /
+         (params_.tuples_scanned_per_ms * cpu_scale);
+}
+
+void SimulatedNetwork::RecordLocalExecution(graph::NodeId peer_id,
+                                            uint64_t tuples_scanned,
+                                            uint64_t tuples_sampled) {
+  cost_.RecordPeerVisit();
+  cost_.RecordTuplesScanned(tuples_scanned);
+  cost_.RecordTuplesSampled(tuples_sampled);
+  cost_.RecordLatency(LocalScanLatency(peer_id, tuples_scanned));
+}
+
+int64_t SimulatedNetwork::TotalTuples() const {
+  int64_t total = 0;
+  for (const Peer& p : peers_) {
+    if (p.alive()) total += static_cast<int64_t>(p.database().size());
+  }
+  return total;
+}
+
+int64_t SimulatedNetwork::ExactCount(data::Value lo, data::Value hi) const {
+  int64_t total = 0;
+  for (const Peer& p : peers_) {
+    if (p.alive()) total += p.database().Count(lo, hi);
+  }
+  return total;
+}
+
+int64_t SimulatedNetwork::ExactSum(data::Value lo, data::Value hi) const {
+  int64_t total = 0;
+  for (const Peer& p : peers_) {
+    if (p.alive()) total += p.database().Sum(lo, hi);
+  }
+  return total;
+}
+
+double SimulatedNetwork::ExactMedian() const {
+  std::vector<double> values;
+  for (const Peer& p : peers_) {
+    if (!p.alive()) continue;
+    for (const data::Tuple& t : p.database().tuples()) {
+      values.push_back(static_cast<double>(t.value));
+    }
+  }
+  P2PAQP_CHECK(!values.empty());
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,122 @@
+// In-process simulation of the unstructured P2P overlay.
+//
+// Owns the topology graph plus one Peer per node, routes typed messages with
+// full cost accounting (messages, bytes, hops, simulated latency) and models
+// churn through per-peer liveness. All higher layers (random walks, flooding,
+// the two-phase engine) speak to the overlay exclusively through this class,
+// so every cost the paper discusses in Sec. 3.2 is captured in one place.
+#ifndef P2PAQP_NET_NETWORK_H_
+#define P2PAQP_NET_NETWORK_H_
+
+#include <vector>
+
+#include "data/local_database.h"
+#include "graph/graph.h"
+#include "net/cost.h"
+#include "net/message.h"
+#include "net/peer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::net {
+
+struct NetworkParams {
+  // Per-overlay-hop latency: base plus exponential jitter (mean `jitter`).
+  double hop_latency_ms = 40.0;
+  double hop_latency_jitter_ms = 20.0;
+  // Local scan speed used for the CPU-cost component of latency.
+  double tuples_scanned_per_ms = 5000.0;
+};
+
+class SimulatedNetwork {
+ public:
+  // `databases` is optional; pass an empty vector for a data-less overlay
+  // (databases can be installed later via InstallDatabases).
+  static util::Result<SimulatedNetwork> Make(
+      graph::Graph graph, std::vector<data::LocalDatabase> databases,
+      const NetworkParams& params, uint64_t seed);
+
+  SimulatedNetwork(SimulatedNetwork&&) = default;
+  SimulatedNetwork& operator=(SimulatedNetwork&&) = default;
+
+  const graph::Graph& graph() const { return graph_; }
+  size_t num_peers() const { return peers_.size(); }
+  size_t num_alive() const { return num_alive_; }
+
+  const Peer& peer(graph::NodeId id) const;
+  Peer& mutable_peer(graph::NodeId id);
+
+  bool IsAlive(graph::NodeId id) const { return peers_[id].alive(); }
+  // Marks a peer as departed/re-joined (Gnutella-style churn: connections of
+  // a dead peer are simply unusable until it returns). Updates num_alive().
+  void SetAlive(graph::NodeId id, bool alive);
+
+  // Neighbors of `id` that are currently alive.
+  std::vector<graph::NodeId> AliveNeighbors(graph::NodeId id) const;
+
+  // Degree counting only alive neighbors — what a live walker observes.
+  uint32_t AliveDegree(graph::NodeId id) const;
+
+  // Replaces all local databases (index = NodeId).
+  util::Status InstallDatabases(std::vector<data::LocalDatabase> databases);
+
+  // --- Message transport -------------------------------------------------
+  // One overlay hop between adjacent live peers (walker forwarding).
+  // Returns InvalidArgument for non-edges, Unavailable for dead endpoints.
+  util::Status SendAlongEdge(MessageType type, graph::NodeId from,
+                             graph::NodeId to);
+
+  // Direct IP transport (no overlay routing): visited peers know the sink's
+  // address from the walker and reply straight back (Sec. 3.2).
+  // `extra_payload_bytes` rides on top of the type's nominal size.
+  util::Status SendDirect(MessageType type, graph::NodeId from,
+                          graph::NodeId to, uint32_t extra_payload_bytes = 0);
+
+  // Accounts a local scan of `tuples` rows at `peer` (latency scaled by the
+  // peer's CPU speed) and marks the peer visited.
+  void RecordLocalExecution(graph::NodeId peer, uint64_t tuples_scanned,
+                            uint64_t tuples_sampled);
+
+  // --- Latency model (exposed for event-driven execution) ----------------
+  // One overlay-hop latency draw (base + jitter). Stateful: advances the
+  // network's RNG.
+  double DrawHopLatency() { return SampleHopLatency(); }
+  // Deterministic local-scan latency for `tuples` rows at `peer` (CPU-speed
+  // scaled), matching what RecordLocalExecution charges.
+  double LocalScanLatency(graph::NodeId peer, uint64_t tuples) const;
+
+  CostTracker& cost() { return cost_; }
+  const CostSnapshot& cost_snapshot() const { return cost_.snapshot(); }
+  void ResetCost() { cost_.Reset(); }
+
+  // --- Ground truth (oracle access for evaluation only) -------------------
+  int64_t TotalTuples() const;
+  int64_t ExactCount(data::Value lo, data::Value hi) const;
+  int64_t ExactSum(data::Value lo, data::Value hi) const;
+  // Exact median of all tuple values across alive peers.
+  double ExactMedian() const;
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  SimulatedNetwork(graph::Graph graph, std::vector<Peer> peers,
+                   const NetworkParams& params, util::Rng rng)
+      : graph_(std::move(graph)),
+        peers_(std::move(peers)),
+        params_(params),
+        num_alive_(peers_.size()),
+        rng_(std::move(rng)) {}
+
+  double SampleHopLatency();
+
+  graph::Graph graph_;
+  std::vector<Peer> peers_;
+  NetworkParams params_;
+  size_t num_alive_;
+  CostTracker cost_;
+  util::Rng rng_;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_NETWORK_H_

@@ -1,0 +1,147 @@
+#include "net/overlay_manager.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace p2paqp::net {
+
+OverlayManager::OverlayManager(const graph::Graph& seed)
+    : adjacency_(seed.num_nodes()),
+      active_(seed.num_nodes(), true),
+      num_active_(seed.num_nodes()),
+      num_edges_(seed.num_edges()) {
+  for (graph::NodeId u = 0; u < seed.num_nodes(); ++u) {
+    auto span = seed.neighbors(u);
+    adjacency_[u].assign(span.begin(), span.end());
+  }
+}
+
+uint32_t OverlayManager::Degree(graph::NodeId id) const {
+  P2PAQP_CHECK(id < adjacency_.size()) << id;
+  return static_cast<uint32_t>(adjacency_[id].size());
+}
+
+const std::vector<graph::NodeId>& OverlayManager::Neighbors(
+    graph::NodeId id) const {
+  P2PAQP_CHECK(id < adjacency_.size()) << id;
+  return adjacency_[id];
+}
+
+graph::NodeId OverlayManager::PickContact(util::Rng& rng) const {
+  P2PAQP_CHECK_GT(num_active_, 0u);
+  // Rejection sampling against the max weight keeps this O(1)-ish without
+  // materializing a weight vector on every join.
+  size_t max_degree = 1;
+  for (graph::NodeId v = 0; v < adjacency_.size(); ++v) {
+    if (active_[v]) max_degree = std::max(max_degree, adjacency_[v].size() + 1);
+  }
+  while (true) {
+    auto candidate =
+        static_cast<graph::NodeId>(rng.UniformIndex(adjacency_.size()));
+    if (!active_[candidate]) continue;
+    double weight = static_cast<double>(adjacency_[candidate].size() + 1);
+    if (rng.UniformDouble(0.0, static_cast<double>(max_degree)) < weight) {
+      return candidate;
+    }
+  }
+}
+
+bool OverlayManager::AddEdge(graph::NodeId a, graph::NodeId b) {
+  if (a == b || a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  if (!active_[a] || !active_[b]) return false;
+  auto& list = adjacency_[a];
+  if (std::find(list.begin(), list.end(), b) != list.end()) return false;
+  list.push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+  return true;
+}
+
+bool OverlayManager::RemoveEdge(graph::NodeId a, graph::NodeId b) {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  auto& la = adjacency_[a];
+  auto it = std::find(la.begin(), la.end(), b);
+  if (it == la.end()) return false;
+  la.erase(it);
+  auto& lb = adjacency_[b];
+  lb.erase(std::find(lb.begin(), lb.end(), a));
+  --num_edges_;
+  return true;
+}
+
+util::Result<graph::NodeId> OverlayManager::Join(size_t connections,
+                                                 util::Rng& rng) {
+  if (num_active_ == 0) {
+    return util::Status::FailedPrecondition("no active peers to contact");
+  }
+  auto id = static_cast<graph::NodeId>(adjacency_.size());
+  adjacency_.emplace_back();
+  active_.push_back(true);
+  ++num_active_;
+  size_t want = std::min(connections, num_active_ - 1);
+  size_t attempts = 0;
+  while (Degree(id) < want && attempts < 50 * want + 50) {
+    ++attempts;
+    AddEdge(id, PickContact(rng));
+  }
+  return id;
+}
+
+void OverlayManager::Leave(graph::NodeId id) {
+  if (id >= adjacency_.size() || !active_[id]) return;
+  // Detach all edges (copy: RemoveEdge mutates the list).
+  std::vector<graph::NodeId> neighbors = adjacency_[id];
+  for (graph::NodeId v : neighbors) RemoveEdge(id, v);
+  active_[id] = false;
+  --num_active_;
+}
+
+util::Status OverlayManager::Rejoin(graph::NodeId id, size_t connections,
+                                    util::Rng& rng) {
+  if (id >= adjacency_.size()) {
+    return util::Status::InvalidArgument("unknown node");
+  }
+  if (active_[id]) {
+    return util::Status::FailedPrecondition("node is already active");
+  }
+  if (num_active_ == 0) {
+    return util::Status::FailedPrecondition("no active peers to contact");
+  }
+  active_[id] = true;
+  ++num_active_;
+  size_t want = std::min(connections, num_active_ - 1);
+  size_t attempts = 0;
+  while (Degree(id) < want && attempts < 50 * want + 50) {
+    ++attempts;
+    AddEdge(id, PickContact(rng));
+  }
+  return util::Status::Ok();
+}
+
+graph::Graph OverlayManager::Snapshot() const {
+  return graph::Graph(adjacency_);
+}
+
+bool OverlayManager::ActiveIsConnected() const {
+  if (num_active_ == 0) return true;
+  graph::NodeId start = 0;
+  while (start < active_.size() && !active_[start]) ++start;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::deque<graph::NodeId> queue = {start};
+  seen[start] = true;
+  size_t visited = 1;
+  while (!queue.empty()) {
+    graph::NodeId u = queue.front();
+    queue.pop_front();
+    for (graph::NodeId v : adjacency_[u]) {
+      if (!seen[v] && active_[v]) {
+        seen[v] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == num_active_;
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,75 @@
+// Mutable unstructured overlay with node join/leave — the topology-evolution
+// side of P2P dynamics (liveness churn between queries is handled separately
+// by net::ChurnModel).
+//
+// "A node becomes a member of the network by establishing a connection with
+// at least one peer currently in the network" (Sec. 3.1): Join() implements
+// that bootstrap, picking contact points with degree-biased discovery (what
+// Ping/Pong host caches effectively do), which preserves the power-law shape
+// of long-running overlays. Snapshot() freezes the current topology into the
+// immutable graph::Graph the rest of the stack consumes, mirroring the
+// paper's assumption that topology changes slowly relative to data.
+#ifndef P2PAQP_NET_OVERLAY_MANAGER_H_
+#define P2PAQP_NET_OVERLAY_MANAGER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::net {
+
+class OverlayManager {
+ public:
+  // Seeds the overlay from an existing topology.
+  explicit OverlayManager(const graph::Graph& seed);
+
+  // Number of node slots ever allocated (departed nodes keep their id).
+  size_t num_nodes() const { return adjacency_.size(); }
+  // Nodes currently in the overlay.
+  size_t num_active() const { return num_active_; }
+  size_t num_edges() const { return num_edges_; }
+
+  bool IsActive(graph::NodeId id) const {
+    return id < active_.size() && active_[id];
+  }
+  uint32_t Degree(graph::NodeId id) const;
+  const std::vector<graph::NodeId>& Neighbors(graph::NodeId id) const;
+
+  // Adds a brand-new node connected to min(connections, num_active) distinct
+  // active peers chosen proportionally to their degree (+1). Returns its id.
+  // Fails if the overlay has no active peers to bootstrap from.
+  util::Result<graph::NodeId> Join(size_t connections, util::Rng& rng);
+
+  // Removes a node and all its edges. Idempotent on inactive nodes.
+  void Leave(graph::NodeId id);
+
+  // Re-activates a departed node, re-bootstrapping its connections like a
+  // fresh join (real peers rarely get their old neighbors back).
+  util::Status Rejoin(graph::NodeId id, size_t connections, util::Rng& rng);
+
+  // Explicit edge edits between active nodes.
+  bool AddEdge(graph::NodeId a, graph::NodeId b);
+  bool RemoveEdge(graph::NodeId a, graph::NodeId b);
+
+  // Immutable snapshot over all node slots (departed nodes appear isolated).
+  graph::Graph Snapshot() const;
+
+  // True if every active node can reach every other active node.
+  bool ActiveIsConnected() const;
+
+ private:
+  // Degree-biased draw over active nodes (weight deg+1 so newborn leaves
+  // remain reachable targets).
+  graph::NodeId PickContact(util::Rng& rng) const;
+
+  std::vector<std::vector<graph::NodeId>> adjacency_;
+  std::vector<bool> active_;
+  size_t num_active_ = 0;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_OVERLAY_MANAGER_H_

@@ -1,0 +1,27 @@
+#include "net/peer.h"
+
+#include <cstdio>
+
+namespace p2paqp::net {
+
+PeerCapabilities RandomCapabilities(util::Rng& rng) {
+  PeerCapabilities caps;
+  caps.cpu_ghz = rng.UniformDouble(0.3, 3.2);
+  caps.memory_mb = static_cast<uint32_t>(rng.UniformInt(64, 2048));
+  caps.disk_gb = static_cast<uint32_t>(rng.UniformInt(4, 250));
+  // Mix of dial-up, DSL and LAN peers, as in early-2000s Gnutella crawls.
+  static constexpr uint32_t kTiers[] = {56, 128, 768, 1500, 10000};
+  caps.bandwidth_kbps = kTiers[rng.UniformIndex(5)];
+  caps.max_connections = static_cast<uint16_t>(rng.UniformInt(4, 32));
+  return caps;
+}
+
+std::string Peer::address() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ipv4_ >> 24) & 0xff,
+                (ipv4_ >> 16) & 0xff, (ipv4_ >> 8) & 0xff, ipv4_ & 0xff,
+                port_);
+  return buf;
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,59 @@
+#include "net/protocol.h"
+
+#include <deque>
+#include <limits>
+
+namespace p2paqp::net {
+
+FloodResult GnutellaProtocol::Flood(MessageType request, MessageType reply,
+                                    graph::NodeId origin, uint32_t ttl,
+                                    size_t max_peers) {
+  FloodResult result;
+  if (!network_->IsAlive(origin)) return result;
+  std::vector<bool> seen(network_->num_peers(), false);
+  seen[origin] = true;
+  // Queue of (node, depth).
+  std::deque<std::pair<graph::NodeId, uint32_t>> queue = {{origin, 0}};
+  while (!queue.empty() && result.reached.size() < max_peers) {
+    auto [u, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= ttl) continue;
+    for (graph::NodeId v : network_->graph().neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      if (!network_->IsAlive(v)) continue;
+      // Request hop u -> v, then the reply goes straight back to the origin
+      // (Gnutella routes replies on the reverse path; we charge one message
+      // per reverse hop in bulk as depth+1 messages).
+      if (!network_->SendAlongEdge(request, u, v).ok()) continue;
+      for (uint32_t h = 0; h < depth + 1; ++h) {
+        network_->cost().RecordMessage(DefaultPayloadBytes(reply));
+      }
+      result.reached.push_back(v);
+      result.max_depth = std::max(result.max_depth, depth + 1);
+      queue.emplace_back(v, depth + 1);
+      if (result.reached.size() >= max_peers) break;
+    }
+  }
+  return result;
+}
+
+FloodResult GnutellaProtocol::Ping(graph::NodeId origin, uint32_t ttl) {
+  return Flood(MessageType::kPing, MessageType::kPong, origin, ttl,
+               std::numeric_limits<size_t>::max());
+}
+
+FloodResult GnutellaProtocol::FloodQuery(graph::NodeId origin, uint32_t ttl) {
+  return Flood(MessageType::kQuery, MessageType::kQueryHit, origin, ttl,
+               std::numeric_limits<size_t>::max());
+}
+
+std::vector<graph::NodeId> GnutellaProtocol::FloodCollect(
+    graph::NodeId origin, size_t min_peers) {
+  FloodResult result =
+      Flood(MessageType::kQuery, MessageType::kQueryHit, origin,
+            std::numeric_limits<uint32_t>::max(), min_peers);
+  return std::move(result.reached);
+}
+
+}  // namespace p2paqp::net

@@ -1,0 +1,52 @@
+// Gnutella-style control protocol over the simulated overlay.
+//
+// Implements the four Gnutella message flows from Sec. 3.1: Ping/Pong
+// neighborhood discovery and TTL-bounded Query flooding (the "naive BFS"
+// search the paper contrasts its walker against). The BFS sampling baseline
+// (Fig. 7) gathers its peers with FloodCollect.
+#ifndef P2PAQP_NET_PROTOCOL_H_
+#define P2PAQP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace p2paqp::net {
+
+struct FloodResult {
+  // Peers reached (excluding the origin), in BFS discovery order.
+  std::vector<graph::NodeId> reached;
+  uint32_t max_depth = 0;
+};
+
+class GnutellaProtocol {
+ public:
+  explicit GnutellaProtocol(SimulatedNetwork* network) : network_(network) {}
+
+  // Ping flood with the given TTL; every reached live peer answers with a
+  // Pong routed back along the reverse path (costs accounted per hop).
+  // Returns discovered peers.
+  FloodResult Ping(graph::NodeId origin, uint32_t ttl);
+
+  // Query flood (BFS) with TTL; reached peers send a QueryHit. This is the
+  // resource-hungry baseline the paper criticizes.
+  FloodResult FloodQuery(graph::NodeId origin, uint32_t ttl);
+
+  // Floods outward from `origin` until at least `min_peers` live peers are
+  // collected (or the reachable set is exhausted), charging message costs.
+  // Used by the BFS sampling baseline: "collect our sample from the peers in
+  // the neighborhood of the querying peer".
+  std::vector<graph::NodeId> FloodCollect(graph::NodeId origin,
+                                          size_t min_peers);
+
+ private:
+  FloodResult Flood(MessageType request, MessageType reply,
+                    graph::NodeId origin, uint32_t ttl, size_t max_peers);
+
+  SimulatedNetwork* network_;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_PROTOCOL_H_

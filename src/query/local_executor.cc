@@ -1,0 +1,92 @@
+#include "query/local_executor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace p2paqp::query {
+
+namespace {
+
+// Scans `rows` once, filling the unscaled count/sum of predicate matches.
+// Sums evaluate the query's measure expression; the all-tuples total rides
+// along for error normalization.
+void ScanRows(const data::Table& rows, const AggregateQuery& query,
+              int64_t* count, double* sum, double* total_sum) {
+  *count = 0;
+  *sum = 0.0;
+  *total_sum = 0.0;
+  for (const data::Tuple& t : rows) {
+    double measure = EvaluateExpression(query.expr, t);
+    *total_sum += measure;
+    if (query.Matches(t)) {
+      ++*count;
+      *sum += measure;
+    }
+  }
+}
+
+double QuantileOfRows(const data::Table& rows, Expression expr, double phi) {
+  if (rows.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const data::Tuple& t : rows) {
+    values.push_back(EvaluateExpression(expr, t));
+  }
+  auto k = static_cast<size_t>(phi * static_cast<double>(values.size()));
+  k = std::min(k, values.size() - 1);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(k), values.end());
+  return values[k];
+}
+
+}  // namespace
+
+LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
+                            const AggregateQuery& query, uint64_t t,
+                            util::Rng& rng) {
+  return ExecuteLocal(db, query, SubSamplePolicy{.t = t}, rng);
+}
+
+LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
+                            const AggregateQuery& query,
+                            const SubSamplePolicy& policy, util::Rng& rng) {
+  const uint64_t t = policy.t;
+  LocalAggregate result;
+  result.local_tuples = db.size();
+  if (db.empty()) return result;
+
+  const bool subsample = t > 0 && db.size() > t;
+  double phi =
+      query.op == AggregateOp::kQuantile ? query.quantile_phi : 0.5;
+  int64_t count = 0;
+  double sum = 0.0;
+  double total_sum = 0.0;
+  if (!subsample) {
+    result.processed_tuples = db.size();
+    ScanRows(db.tuples(), query, &count, &sum, &total_sum);
+    result.count_value = static_cast<double>(count);
+    result.sum_value = sum;
+    result.total_sum_value = total_sum;
+    result.local_median = QuantileOfRows(db.tuples(), query.expr, phi);
+    return result;
+  }
+
+  data::Table rows =
+      policy.mode == SubSampleMode::kBlockLevel
+          ? db.SampleBlockLevel(t, policy.block_size, rng)
+          : db.Sample(t, rng);
+  result.processed_tuples = rows.size();
+  // y(Curr) = (#tuples / #processedTuples) * result_of_Q.
+  double scale =
+      static_cast<double>(db.size()) / static_cast<double>(rows.size());
+  ScanRows(rows, query, &count, &sum, &total_sum);
+  result.count_value = static_cast<double>(count) * scale;
+  result.sum_value = sum * scale;
+  result.total_sum_value = total_sum * scale;
+  result.local_median = QuantileOfRows(rows, query.expr, phi);
+  return result;
+}
+
+}  // namespace p2paqp::query

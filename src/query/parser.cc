@@ -1,0 +1,221 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace p2paqp::query {
+
+namespace {
+
+// Whitespace-and-punctuation tokenizer: identifiers/numbers plus the single
+// characters ( ) * + % kept as their own tokens. Keywords are upcased.
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    auto c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      flush();
+    } else if (c == '(' || c == ')' || c == '*' || c == '+' || c == '%') {
+      flush();
+      tokens.push_back(std::string(1, static_cast<char>(c)));
+    } else if (std::isalnum(c) || c == '.' || c == '-' || c == '_') {
+      current.push_back(
+          static_cast<char>(std::isalpha(c) ? std::toupper(c) : c));
+    } else {
+      flush();
+      tokens.push_back(std::string(1, static_cast<char>(c)));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+// Cursor over the token stream with one-line error reporting.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool Done() const { return pos_ >= tokens_.size(); }
+  const std::string& Peek() const {
+    static const std::string kEnd = "<end>";
+    return Done() ? kEnd : tokens_[pos_];
+  }
+  std::string Take() {
+    std::string token = Peek();
+    if (!Done()) ++pos_;
+    return token;
+  }
+  bool TakeIf(const std::string& expected) {
+    if (Peek() == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  util::Status Expect(const std::string& expected) {
+    if (TakeIf(expected)) return util::Status::Ok();
+    return util::Status::InvalidArgument("expected '" + expected +
+                                         "' but found '" + Peek() + "'");
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+util::Result<int64_t> ParseInt(TokenCursor& cursor) {
+  std::string token = cursor.Take();
+  char* end = nullptr;
+  long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("expected an integer, found '" +
+                                         token + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+util::Result<double> ParseNumber(TokenCursor& cursor) {
+  std::string token = cursor.Take();
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("expected a number, found '" +
+                                         token + "'");
+  }
+  return value;
+}
+
+util::Result<AggregateOp> ParseOp(TokenCursor& cursor) {
+  std::string token = cursor.Take();
+  if (token == "COUNT") return AggregateOp::kCount;
+  if (token == "SUM") return AggregateOp::kSum;
+  if (token == "AVG") return AggregateOp::kAvg;
+  if (token == "MEDIAN") return AggregateOp::kMedian;
+  if (token == "QUANTILE") return AggregateOp::kQuantile;
+  if (token == "DISTINCT") return AggregateOp::kDistinct;
+  return util::Status::InvalidArgument("unknown aggregate '" + token + "'");
+}
+
+util::Result<Expression> ParseExpr(TokenCursor& cursor, AggregateOp op) {
+  std::string token = cursor.Take();
+  if (token == "*") {
+    if (op == AggregateOp::kCount || op == AggregateOp::kDistinct) {
+      return Expression::kColA;  // COUNT(*)/DISTINCT(*): measure unused.
+    }
+    return util::Status::InvalidArgument(
+        "'*' is only valid for COUNT/DISTINCT");
+  }
+  if (token == "A") {
+    if (cursor.TakeIf("+")) {
+      util::Status tail = cursor.Expect("B");
+      if (!tail.ok()) return tail;
+      return Expression::kAPlusB;
+    }
+    if (cursor.TakeIf("*")) {
+      util::Status tail = cursor.Expect("B");
+      if (!tail.ok()) return tail;
+      return Expression::kATimesB;
+    }
+    return Expression::kColA;
+  }
+  if (token == "B") return Expression::kColB;
+  return util::Status::InvalidArgument("unknown column '" + token + "'");
+}
+
+// cond := (A|B) BETWEEN int AND int
+util::Status ParseCondition(TokenCursor& cursor, AggregateQuery& query) {
+  std::string column = cursor.Take();
+  if (column != "A" && column != "B") {
+    return util::Status::InvalidArgument("unknown predicate column '" +
+                                         column + "'");
+  }
+  util::Status between = cursor.Expect("BETWEEN");
+  if (!between.ok()) return between;
+  auto lo = ParseInt(cursor);
+  if (!lo.ok()) return lo.status();
+  util::Status and_kw = cursor.Expect("AND");
+  if (!and_kw.ok()) return and_kw;
+  auto hi = ParseInt(cursor);
+  if (!hi.ok()) return hi.status();
+  if (*hi < *lo) {
+    return util::Status::InvalidArgument("empty range in BETWEEN");
+  }
+  RangePredicate range{static_cast<data::Value>(*lo),
+                       static_cast<data::Value>(*hi)};
+  if (column == "A") {
+    query.predicate = range;
+  } else {
+    query.predicate_b = range;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<AggregateQuery> ParseQuery(const std::string& text) {
+  TokenCursor cursor(Tokenize(text));
+  util::Status select = cursor.Expect("SELECT");
+  if (!select.ok()) return select;
+
+  AggregateQuery query;
+  query.predicate = RangePredicate::All();
+  auto op = ParseOp(cursor);
+  if (!op.ok()) return op.status();
+  query.op = *op;
+
+  util::Status open = cursor.Expect("(");
+  if (!open.ok()) return open;
+  auto expr = ParseExpr(cursor, query.op);
+  if (!expr.ok()) return expr.status();
+  query.expr = *expr;
+  util::Status close = cursor.Expect(")");
+  if (!close.ok()) return close;
+
+  util::Status from = cursor.Expect("FROM");
+  if (!from.ok()) return from;
+  util::Status table = cursor.Expect("T");
+  if (!table.ok()) return table;
+
+  if (cursor.TakeIf("WHERE")) {
+    do {
+      util::Status cond = ParseCondition(cursor, query);
+      if (!cond.ok()) return cond;
+    } while (cursor.TakeIf("AND"));
+  }
+
+  while (!cursor.Done()) {
+    if (cursor.TakeIf("WITHIN")) {
+      auto number = ParseNumber(cursor);
+      if (!number.ok()) return number.status();
+      double error = *number;
+      if (cursor.TakeIf("%")) error /= 100.0;
+      if (error <= 0.0 || error >= 1.0) {
+        return util::Status::InvalidArgument(
+            "WITHIN must be in (0,1) or (0,100)%");
+      }
+      query.required_error = error;
+    } else if (cursor.TakeIf("AT")) {
+      auto number = ParseNumber(cursor);
+      if (!number.ok()) return number.status();
+      if (*number <= 0.0 || *number >= 1.0) {
+        return util::Status::InvalidArgument("AT phi must be in (0,1)");
+      }
+      query.quantile_phi = *number;
+    } else {
+      return util::Status::InvalidArgument("unexpected trailing token '" +
+                                           cursor.Peek() + "'");
+    }
+  }
+  return query;
+}
+
+}  // namespace p2paqp::query

@@ -1,0 +1,35 @@
+// Text form of the paper's aggregation queries:
+//
+//   SELECT Agg-Op(Col) FROM T WHERE selection-condition
+//
+// Grammar (keywords case-insensitive, whitespace free-form):
+//
+//   query     := SELECT op '(' expr ')' FROM T [where] [within] [quantile]
+//   op        := COUNT | SUM | AVG | MEDIAN | QUANTILE | DISTINCT
+//   expr      := A | B | A+B | A*B | *          (* only for COUNT/DISTINCT)
+//   where     := WHERE cond [AND cond]
+//   cond      := A BETWEEN int AND int | B BETWEEN int AND int
+//   within    := WITHIN number['%']             (required error, default 10%)
+//   quantile  := AT number                      (phi for QUANTILE)
+//
+// Examples:
+//   SELECT COUNT(*) FROM T WHERE A BETWEEN 1 AND 30 WITHIN 10%
+//   SELECT SUM(A*B) FROM T WHERE A BETWEEN 1 AND 50 AND B BETWEEN 1 AND 10
+//   SELECT QUANTILE(A) FROM T AT 0.75 WITHIN 5%
+#ifndef P2PAQP_QUERY_PARSER_H_
+#define P2PAQP_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace p2paqp::query {
+
+// Parses `text` into a query; InvalidArgument with a readable message on
+// syntax errors.
+util::Result<AggregateQuery> ParseQuery(const std::string& text);
+
+}  // namespace p2paqp::query
+
+#endif  // P2PAQP_QUERY_PARSER_H_

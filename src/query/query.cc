@@ -1,0 +1,91 @@
+#include "query/query.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace p2paqp::query {
+
+const char* AggregateOpToString(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kCount:
+      return "COUNT";
+    case AggregateOp::kSum:
+      return "SUM";
+    case AggregateOp::kAvg:
+      return "AVG";
+    case AggregateOp::kMedian:
+      return "MEDIAN";
+    case AggregateOp::kQuantile:
+      return "QUANTILE";
+    case AggregateOp::kDistinct:
+      return "DISTINCT";
+  }
+  return "UNKNOWN";
+}
+
+const char* ExpressionToString(Expression expr) {
+  switch (expr) {
+    case Expression::kColA:
+      return "A";
+    case Expression::kColB:
+      return "B";
+    case Expression::kAPlusB:
+      return "A+B";
+    case Expression::kATimesB:
+      return "A*B";
+  }
+  return "?";
+}
+
+double EvaluateExpression(Expression expr, const data::Tuple& tuple) {
+  switch (expr) {
+    case Expression::kColA:
+      return static_cast<double>(tuple.value);
+    case Expression::kColB:
+      return static_cast<double>(tuple.b);
+    case Expression::kAPlusB:
+      return static_cast<double>(tuple.value) + static_cast<double>(tuple.b);
+    case Expression::kATimesB:
+      return static_cast<double>(tuple.value) * static_cast<double>(tuple.b);
+  }
+  return 0.0;
+}
+
+std::string AggregateQuery::ToSql() const {
+  char buf[224];
+  if (predicate_b.has_value()) {
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT %s(%s) FROM T WHERE A BETWEEN %d AND %d "
+                  "AND B BETWEEN %d AND %d",
+                  AggregateOpToString(op), ExpressionToString(expr),
+                  predicate.lo, predicate.hi, predicate_b->lo,
+                  predicate_b->hi);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT %s(%s) FROM T WHERE A BETWEEN %d AND %d",
+                  AggregateOpToString(op), ExpressionToString(expr),
+                  predicate.lo, predicate.hi);
+  }
+  return buf;
+}
+
+RangePredicate PredicateForSelectivity(const util::ZipfGenerator& zipf,
+                                       data::Value min_value,
+                                       double target_selectivity) {
+  double mass = 0.0;
+  double best_gap = 2.0;
+  uint32_t best_rank = 1;
+  for (uint32_t rank = 1; rank <= zipf.n(); ++rank) {
+    mass += zipf.Probability(rank);
+    double gap = std::fabs(mass - target_selectivity);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_rank = rank;
+    }
+    if (mass >= target_selectivity) break;
+  }
+  return RangePredicate{min_value,
+                        min_value + static_cast<data::Value>(best_rank) - 1};
+}
+
+}  // namespace p2paqp::query

@@ -1,0 +1,85 @@
+// Aggregation query model:
+//   SELECT Agg-Op(Col) FROM T WHERE selection-condition
+// with a per-query required error threshold (Sec. 1, "Goal of Paper").
+#ifndef P2PAQP_QUERY_QUERY_H_
+#define P2PAQP_QUERY_QUERY_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "data/tuple.h"
+#include "util/zipf.h"
+
+namespace p2paqp::query {
+
+enum class AggregateOp {
+  kCount = 0,
+  kSum,
+  kAvg,
+  kMedian,
+  kQuantile,
+  kDistinct,
+};
+
+const char* AggregateOpToString(AggregateOp op);
+
+// WHERE value BETWEEN lo AND hi (inclusive), the paper's range selection.
+struct RangePredicate {
+  data::Value lo = 1;
+  data::Value hi = 100;
+
+  bool Matches(data::Value v) const { return v >= lo && v <= hi; }
+
+  // Predicate matching every tuple (selectivity 1.0).
+  static RangePredicate All() {
+    return RangePredicate{std::numeric_limits<data::Value>::min(),
+                          std::numeric_limits<data::Value>::max()};
+  }
+};
+
+// The measure being aggregated: a column of T "or even an expression
+// involving multiple columns" (Sec. 1).
+enum class Expression {
+  kColA = 0,  // The paper's single attribute (default).
+  kColB,
+  kAPlusB,
+  kATimesB,
+};
+
+const char* ExpressionToString(Expression expr);
+
+// Evaluates `expr` on one tuple.
+double EvaluateExpression(Expression expr, const data::Tuple& tuple);
+
+struct AggregateQuery {
+  AggregateOp op = AggregateOp::kCount;
+  RangePredicate predicate;  // On column A.
+  // Optional conjunctive range on column B ("A BETWEEN .. AND B BETWEEN ..").
+  std::optional<RangePredicate> predicate_b;
+  // Measure fed to SUM/AVG/MEDIAN/QUANTILE (COUNT/DISTINCT ignore it).
+  Expression expr = Expression::kColA;
+  // Desired maximum relative error Delta_req, normalized to [0, 1].
+  double required_error = 0.1;
+  // Only for kQuantile: the target rank fraction phi in (0, 1).
+  double quantile_phi = 0.5;
+
+  bool Matches(const data::Tuple& tuple) const {
+    return predicate.Matches(tuple.value) &&
+           (!predicate_b.has_value() || predicate_b->Matches(tuple.b));
+  }
+
+  std::string ToSql() const;
+};
+
+// Builds a prefix range [min_value, A2] whose probability mass under the
+// Zipf(value-domain) distribution is as close as possible to
+// `target_selectivity`. Benches use this to hit the paper's selectivity
+// knobs (2.5% ... 40%).
+RangePredicate PredicateForSelectivity(const util::ZipfGenerator& zipf,
+                                       data::Value min_value,
+                                       double target_selectivity);
+
+}  // namespace p2paqp::query
+
+#endif  // P2PAQP_QUERY_QUERY_H_

@@ -1,0 +1,57 @@
+#include "sampling/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/spectral.h"
+#include "util/statistics.h"
+
+namespace p2paqp::sampling {
+
+WalkTuning TuneWalk(const graph::Graph& graph, double epsilon,
+                    size_t min_jump, util::Rng& rng) {
+  WalkTuning tuning;
+  tuning.lambda2 = graph::EstimateSecondEigenvalue(graph, 60, rng);
+  tuning.burn_in = graph::MixingTimeBound(graph.num_nodes(), tuning.lambda2,
+                                          epsilon);
+  double gap = std::max(1.0 - tuning.lambda2, 1e-6);
+  // Correlation between selections decays like lambda2^jump; jump = 3/gap
+  // pushes it to ~e^-3, small enough for the cross-validation halves to be
+  // treated as independent.
+  auto jump = static_cast<size_t>(std::ceil(3.0 / gap));
+  tuning.jump = std::clamp(jump, std::max<size_t>(1, min_jump),
+                           std::max<size_t>(1, tuning.burn_in));
+  return tuning;
+}
+
+double MeasureDegreeAutocorrelation(const graph::Graph& graph, size_t jump,
+                                    size_t num_selections, util::Rng& rng) {
+  if (graph.num_nodes() == 0 || num_selections < 3 || jump == 0) return 0.0;
+  // Plain in-graph walk (no network layer) for preprocessing probes.
+  auto current = static_cast<graph::NodeId>(rng.UniformIndex(
+      graph.num_nodes()));
+  std::vector<double> series;
+  series.reserve(num_selections);
+  while (series.size() < num_selections) {
+    for (size_t h = 0; h < jump; ++h) {
+      auto nbrs = graph.neighbors(current);
+      if (nbrs.empty()) return 0.0;
+      current = nbrs[rng.UniformIndex(nbrs.size())];
+    }
+    series.push_back(static_cast<double>(graph.degree(current)));
+  }
+  util::RunningStat stat;
+  for (double x : series) stat.Add(x);
+  double var = stat.variance();
+  if (var <= 0.0) return 0.0;
+  double mean = stat.mean();
+  double cov = 0.0;
+  for (size_t i = 0; i + 1 < series.size(); ++i) {
+    cov += (series[i] - mean) * (series[i + 1] - mean);
+  }
+  cov /= static_cast<double>(series.size() - 2);
+  return cov / var;
+}
+
+}  // namespace p2paqp::sampling

@@ -1,0 +1,39 @@
+// Preprocessing-time walk tuning (Sec. 3.3).
+//
+// The paper assumes slow-changing topology constants (peer count, edge
+// count, connectivity) are estimated offline and shared with all peers.
+// These helpers derive the walk's burn-in and jump parameters from the
+// graph's spectral gap, plus an empirical autocorrelation probe that tests
+// use to confirm the jump decorrelates consecutive selections.
+#ifndef P2PAQP_SAMPLING_CONVERGENCE_H_
+#define P2PAQP_SAMPLING_CONVERGENCE_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::sampling {
+
+struct WalkTuning {
+  double lambda2 = 0.0;   // Second eigenvalue of the walk matrix.
+  size_t burn_in = 0;     // Hops to forget the sink.
+  size_t jump = 1;        // Hops between selections.
+};
+
+// Derives tuning from the spectral gap: burn_in = mixing-time bound for the
+// requested total-variation epsilon, jump = ceil(3 / (1 - lambda2)) clamped
+// to [min_jump, burn_in] (consecutive-sample correlation decays like
+// lambda2^jump, so 3/gap leaves ~e^-3 residual correlation).
+WalkTuning TuneWalk(const graph::Graph& graph, double epsilon,
+                    size_t min_jump, util::Rng& rng);
+
+// Empirical lag-1 autocorrelation of deg(selected peer) along a walk with
+// the given jump: near zero for well-tuned jumps, strongly positive when
+// consecutive selections are neighbors in a clustered graph.
+double MeasureDegreeAutocorrelation(const graph::Graph& graph, size_t jump,
+                                    size_t num_selections, util::Rng& rng);
+
+}  // namespace p2paqp::sampling
+
+#endif  // P2PAQP_SAMPLING_CONVERGENCE_H_

@@ -1,0 +1,106 @@
+#include "sampling/random_walk.h"
+
+#include <algorithm>
+
+namespace p2paqp::sampling {
+
+const char* WalkVariantToString(WalkVariant variant) {
+  switch (variant) {
+    case WalkVariant::kSimple:
+      return "simple";
+    case WalkVariant::kLazy:
+      return "lazy";
+    case WalkVariant::kMetropolisHastings:
+      return "metropolis_hastings";
+  }
+  return "unknown";
+}
+
+RandomWalk::RandomWalk(net::SimulatedNetwork* network,
+                       const WalkParams& params)
+    : network_(network), params_(params) {
+  P2PAQP_CHECK(network_ != nullptr);
+  P2PAQP_CHECK_GE(params_.jump, 1u) << "jump must be >= 1";
+}
+
+double RandomWalk::StationaryWeight(graph::NodeId node) const {
+  switch (params_.variant) {
+    case WalkVariant::kSimple:
+    case WalkVariant::kLazy:
+      return static_cast<double>(network_->AliveDegree(node));
+    case WalkVariant::kMetropolisHastings:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
+                                             util::Rng& rng) {
+  if (params_.variant == WalkVariant::kLazy && rng.Bernoulli(0.5)) {
+    return current;  // Lazy self-loop: no traffic.
+  }
+  std::vector<graph::NodeId> neighbors = network_->AliveNeighbors(current);
+  if (neighbors.empty()) {
+    return util::Status::Unavailable("walker stranded: no live neighbors");
+  }
+  graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
+  if (params_.variant == WalkVariant::kMetropolisHastings) {
+    // Accept with min(1, deg(u)/deg(v)); rejection = stay (no traffic).
+    double du = network_->AliveDegree(current);
+    double dv = network_->AliveDegree(next);
+    if (dv > du && !rng.Bernoulli(du / dv)) return current;
+  }
+  util::Status sent =
+      network_->SendAlongEdge(net::MessageType::kWalker, current, next);
+  if (!sent.ok()) return sent;
+  return next;
+}
+
+util::Result<std::vector<PeerVisit>> RandomWalk::Collect(
+    graph::NodeId sink, size_t num_selections, util::Rng& rng) {
+  if (sink >= network_->num_peers() || !network_->IsAlive(sink)) {
+    return util::Status::FailedPrecondition("sink peer is not live");
+  }
+  size_t max_hops = params_.max_hops;
+  if (max_hops == 0) {
+    max_hops = 100 * (params_.burn_in + num_selections * params_.jump) + 1000;
+  }
+
+  std::vector<PeerVisit> visits;
+  visits.reserve(num_selections);
+  graph::NodeId current = sink;
+  size_t hops = 0;
+  size_t since_selection = 0;
+  bool warm = params_.burn_in == 0;
+  size_t burn_left = params_.burn_in;
+
+  while (visits.size() < num_selections) {
+    if (hops >= max_hops) {
+      return util::Status::OutOfRange("walk exceeded hop budget");
+    }
+    auto next = Step(current, rng);
+    if (!next.ok()) {
+      if (next.status().code() == util::StatusCode::kUnavailable &&
+          current != sink && network_->IsAlive(sink)) {
+        // Stranded mid-walk (churn): the sink re-issues the walker.
+        current = sink;
+        ++hops;
+        continue;
+      }
+      return next.status();
+    }
+    current = next.value();
+    ++hops;
+    if (!warm) {
+      if (--burn_left == 0) warm = true;
+      continue;
+    }
+    if (++since_selection >= params_.jump) {
+      since_selection = 0;
+      visits.push_back(PeerVisit{current, network_->AliveDegree(current)});
+    }
+  }
+  return visits;
+}
+
+}  // namespace p2paqp::sampling

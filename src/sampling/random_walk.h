@@ -1,0 +1,85 @@
+// Markov-chain random walk over the live overlay (Sec. 3.3 / Sec. 4 Phase I).
+//
+// The walker message moves one uniformly chosen live neighbor per hop;
+// every `jump`-th visited peer is *selected* into the sample and the peers in
+// between are passed over, which decorrelates consecutive selections. An
+// optional burn-in prefix lets the walk approach the stationary distribution
+// before the first selection.
+#ifndef P2PAQP_SAMPLING_RANDOM_WALK_H_
+#define P2PAQP_SAMPLING_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::sampling {
+
+enum class WalkVariant {
+  // Uniform over live neighbors; stationary prob(p) = deg(p)/2|E|.
+  kSimple = 0,
+  // Stays put with probability 1/2 (aperiodicity guard); same stationary
+  // distribution, lazy steps cost no network traffic.
+  kLazy,
+  // Metropolis-Hastings degree correction; *uniform* stationary
+  // distribution. Used by the ablation benchmarks.
+  kMetropolisHastings,
+};
+
+const char* WalkVariantToString(WalkVariant variant);
+
+struct WalkParams {
+  // Hops between consecutive selections (the paper's jump size j >= 1;
+  // j = 1 selects every peer on the path, the paper's "DFS"/j=0 baseline).
+  size_t jump = 10;
+  // Hops taken before the first selection so the walk forgets the sink.
+  size_t burn_in = 0;
+  WalkVariant variant = WalkVariant::kSimple;
+  // Abort guard: the walk fails after this many hops without completing
+  // (0 = automatic: 100 * (burn_in + selections * jump) + 1000).
+  size_t max_hops = 0;
+};
+
+// One selected peer. `degree` is the live degree observed at selection time,
+// from which the sink reconstructs prob(p) in the stationary distribution.
+struct PeerVisit {
+  graph::NodeId peer = graph::kInvalidNode;
+  uint32_t degree = 0;
+};
+
+class RandomWalk {
+ public:
+  // `network` must outlive the walk.
+  RandomWalk(net::SimulatedNetwork* network, const WalkParams& params);
+
+  // Runs the walker from `sink` until `num_selections` peers are selected.
+  // Selection is with replacement (the same peer may appear repeatedly),
+  // matching the paper's statistical model. Walker-hop messages are charged
+  // to the network's cost tracker. Fails with FailedPrecondition if the sink
+  // is dead, Unavailable if the walk strands (no live neighbors anywhere),
+  // or OutOfRange if max_hops is exhausted.
+  util::Result<std::vector<PeerVisit>> Collect(graph::NodeId sink,
+                                               size_t num_selections,
+                                               util::Rng& rng);
+
+  // Stationary weight of `node` under this walk's variant; selections are
+  // distributed proportionally to this (degree for simple/lazy, constant
+  // for Metropolis-Hastings). Estimators divide by it.
+  double StationaryWeight(graph::NodeId node) const;
+
+  const WalkParams& params() const { return params_; }
+
+ private:
+  // One walker transition from `current`; returns the next peer (may equal
+  // `current` for lazy/rejected steps). Charges message costs for real hops.
+  util::Result<graph::NodeId> Step(graph::NodeId current, util::Rng& rng);
+
+  net::SimulatedNetwork* network_;
+  WalkParams params_;
+};
+
+}  // namespace p2paqp::sampling
+
+#endif  // P2PAQP_SAMPLING_RANDOM_WALK_H_

@@ -1,0 +1,103 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+
+namespace p2paqp::sampling {
+
+util::Result<std::vector<PeerVisit>> RandomWalkSampler::SamplePeers(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  return walk_.Collect(sink, count, rng);
+}
+
+util::Result<std::vector<PeerVisit>> BfsSampler::SamplePeers(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  (void)rng;
+  if (sink >= network_->num_peers() || !network_->IsAlive(sink)) {
+    return util::Status::FailedPrecondition("sink peer is not live");
+  }
+  std::vector<graph::NodeId> reached = protocol_.FloodCollect(sink, count);
+  std::vector<PeerVisit> visits;
+  visits.reserve(reached.size());
+  for (graph::NodeId peer : reached) {
+    visits.push_back(PeerVisit{peer, network_->AliveDegree(peer)});
+  }
+  if (visits.size() < count) {
+    // Neighborhood exhausted: repeat from the start (with replacement) so
+    // the caller still gets `count` observations, as a real BFS baseline
+    // would re-query its neighborhood.
+    if (visits.empty()) {
+      return util::Status::Unavailable("sink has no reachable neighborhood");
+    }
+    size_t base = visits.size();
+    while (visits.size() < count) {
+      visits.push_back(visits[visits.size() % base]);
+    }
+  }
+  return visits;
+}
+
+DfsSampler::DfsSampler(net::SimulatedNetwork* network)
+    : walk_(network, WalkParams{.jump = 1,
+                                .burn_in = 0,
+                                .variant = WalkVariant::kSimple,
+                                .max_hops = 0}) {}
+
+util::Result<std::vector<PeerVisit>> DfsSampler::SamplePeers(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  return walk_.Collect(sink, count, rng);
+}
+
+ParallelWalkSampler::ParallelWalkSampler(net::SimulatedNetwork* network,
+                                         const WalkParams& params,
+                                         size_t num_walkers)
+    : network_(network), walk_(network, params), num_walkers_(num_walkers) {
+  P2PAQP_CHECK_GE(num_walkers_, 1u);
+}
+
+util::Result<std::vector<PeerVisit>> ParallelWalkSampler::SamplePeers(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  std::vector<PeerVisit> visits;
+  visits.reserve(count);
+  // The walkers run concurrently in the simulated network; we execute them
+  // sequentially and then collapse the latency ledger from the sum of all
+  // walker paths to the slowest single path (messages/hops stay summed).
+  double latency_sum = 0.0;
+  double latency_max = 0.0;
+  size_t remaining = count;
+  for (size_t w = 0; w < num_walkers_ && remaining > 0; ++w) {
+    size_t share = remaining / (num_walkers_ - w);
+    if (share == 0) continue;
+    remaining -= share;
+    double before = network_->cost_snapshot().latency_ms;
+    auto part = walk_.Collect(sink, share, rng);
+    if (!part.ok()) return part.status();
+    double elapsed = network_->cost_snapshot().latency_ms - before;
+    latency_sum += elapsed;
+    latency_max = std::max(latency_max, elapsed);
+    visits.insert(visits.end(), part->begin(), part->end());
+  }
+  network_->cost().RecordLatency(latency_max - latency_sum);
+  return visits;
+}
+
+util::Result<std::vector<PeerVisit>> UniformOracleSampler::SamplePeers(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  (void)sink;
+  std::vector<graph::NodeId> alive;
+  alive.reserve(network_->num_peers());
+  for (graph::NodeId id = 0; id < network_->num_peers(); ++id) {
+    if (network_->IsAlive(id)) alive.push_back(id);
+  }
+  if (alive.empty()) {
+    return util::Status::Unavailable("no live peers");
+  }
+  std::vector<PeerVisit> visits;
+  visits.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    graph::NodeId peer = alive[rng.UniformIndex(alive.size())];
+    visits.push_back(PeerVisit{peer, network_->AliveDegree(peer)});
+  }
+  return visits;
+}
+
+}  // namespace p2paqp::sampling

@@ -1,0 +1,134 @@
+// Peer-sampling strategies behind one interface: the paper's random walk and
+// the two naive baselines it is compared against in Fig. 7, plus an oracle
+// uniform sampler used only for validation.
+#ifndef P2PAQP_SAMPLING_SAMPLERS_H_
+#define P2PAQP_SAMPLING_SAMPLERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/protocol.h"
+#include "sampling/random_walk.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::sampling {
+
+// Strategy interface: produce `count` peer selections starting at `sink`.
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  virtual util::Result<std::vector<PeerVisit>> SamplePeers(
+      graph::NodeId sink, size_t count, util::Rng& rng) = 0;
+
+  // Stationary weight the estimator should divide by for peers returned by
+  // this sampler (see RandomWalk::StationaryWeight).
+  virtual double StationaryWeight(graph::NodeId node) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The paper's sampler: jump-thinned Markov random walk.
+class RandomWalkSampler : public PeerSampler {
+ public:
+  RandomWalkSampler(net::SimulatedNetwork* network, const WalkParams& params)
+      : walk_(network, params) {}
+
+  util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  double StationaryWeight(graph::NodeId node) const override {
+    return walk_.StationaryWeight(node);
+  }
+  std::string name() const override { return "random_walk"; }
+
+ private:
+  RandomWalk walk_;
+};
+
+// Baseline: peers nearest to the sink, gathered by Gnutella-style flooding.
+// Cheap but badly biased when data is clustered around the sink.
+class BfsSampler : public PeerSampler {
+ public:
+  explicit BfsSampler(net::SimulatedNetwork* network)
+      : network_(network), protocol_(network) {}
+
+  util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  // BFS gathers a contiguous neighborhood; there is no importance weight
+  // that can fix its bias, so the estimator treats peers uniformly.
+  double StationaryWeight(graph::NodeId) const override { return 1.0; }
+  std::string name() const override { return "bfs"; }
+
+ private:
+  net::SimulatedNetwork* network_;
+  net::GnutellaProtocol protocol_;
+};
+
+// Baseline: random walk with no jump ("j = 0" in the paper): consecutive
+// walk positions are selected, so selections are heavily correlated.
+class DfsSampler : public PeerSampler {
+ public:
+  explicit DfsSampler(net::SimulatedNetwork* network);
+
+  util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  double StationaryWeight(graph::NodeId node) const override {
+    return walk_.StationaryWeight(node);
+  }
+  std::string name() const override { return "dfs"; }
+
+ private:
+  RandomWalk walk_;
+};
+
+// Latency optimization: W independent walkers dispatched from the sink in
+// parallel, each collecting count/W selections. Messages and hops are
+// unchanged, but the end-to-end latency — the paper's primary cost metric
+// (Sec. 3.2) — is the *slowest walker's* path instead of the sum of all
+// hops. Stationary weighting is identical to the single walker's.
+class ParallelWalkSampler : public PeerSampler {
+ public:
+  // `num_walkers` >= 1; each walker runs the given WalkParams.
+  ParallelWalkSampler(net::SimulatedNetwork* network, const WalkParams& params,
+                      size_t num_walkers);
+
+  util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  double StationaryWeight(graph::NodeId node) const override {
+    return walk_.StationaryWeight(node);
+  }
+  std::string name() const override { return "parallel_walk"; }
+
+ private:
+  net::SimulatedNetwork* network_;
+  RandomWalk walk_;
+  size_t num_walkers_;
+};
+
+// Oracle: samples live peers uniformly using global knowledge no real peer
+// has. Validation/testing only — quantifies the cost of *not* having it.
+class UniformOracleSampler : public PeerSampler {
+ public:
+  explicit UniformOracleSampler(net::SimulatedNetwork* network)
+      : network_(network) {}
+
+  util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  double StationaryWeight(graph::NodeId) const override { return 1.0; }
+  std::string name() const override { return "uniform_oracle"; }
+
+ private:
+  net::SimulatedNetwork* network_;
+};
+
+}  // namespace p2paqp::sampling
+
+#endif  // P2PAQP_SAMPLING_SAMPLERS_H_

@@ -1,0 +1,90 @@
+#include "topology/clustered.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::topology {
+
+util::Result<ClusteredTopology> MakeClustered(const ClusteredParams& params,
+                                              util::Rng& rng) {
+  size_t s = params.num_subgraphs;
+  if (s == 0 || s > params.num_nodes) {
+    return util::Status::InvalidArgument("bad sub-graph count");
+  }
+  if (params.cut_edges < s - 1) {
+    return util::Status::InvalidArgument(
+        "need at least num_subgraphs-1 cut edges for connectivity");
+  }
+  if (s == 1 && params.cut_edges > 0) {
+    return util::Status::InvalidArgument(
+        "cut edges require at least two sub-graphs");
+  }
+  if (params.num_edges < params.cut_edges + (params.num_nodes - s)) {
+    return util::Status::InvalidArgument("edge budget too small");
+  }
+
+  // Node ranges per sub-graph: contiguous, near-even blocks.
+  std::vector<size_t> block_start(s + 1, 0);
+  for (size_t b = 0; b < s; ++b) {
+    block_start[b + 1] =
+        block_start[b] + params.num_nodes / s + (b < params.num_nodes % s);
+  }
+  std::vector<uint32_t> partition(params.num_nodes);
+  for (size_t b = 0; b < s; ++b) {
+    for (size_t v = block_start[b]; v < block_start[b + 1]; ++v) {
+      partition[v] = static_cast<uint32_t>(b);
+    }
+  }
+
+  size_t internal_budget = params.num_edges - params.cut_edges;
+  graph::GraphBuilder builder(params.num_nodes);
+
+  // Internal edges: each block gets a power-law sub-graph sized by its share
+  // of nodes. Remainders are distributed to the earliest blocks.
+  size_t assigned = 0;
+  for (size_t b = 0; b < s; ++b) {
+    size_t block_nodes = block_start[b + 1] - block_start[b];
+    size_t share = internal_budget * block_nodes / params.num_nodes;
+    if (b + 1 == s) share = internal_budget - assigned;
+    share = std::max(share, block_nodes > 0 ? block_nodes - 1 : 0);
+    share = std::min(share, block_nodes * (block_nodes - 1) / 2);
+    assigned += share;
+    if (block_nodes < 2) continue;
+    auto sub = MakePowerLawWithEdgeCount(block_nodes, share, rng);
+    if (!sub.ok()) return sub.status();
+    const graph::Graph& g = sub.value();
+    auto base = static_cast<graph::NodeId>(block_start[b]);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v : g.neighbors(u)) {
+        if (u < v) builder.AddEdge(base + u, base + v);
+      }
+    }
+  }
+
+  // Cut edges. A chain of consecutive-block links guarantees connectivity;
+  // the rest land on uniform cross-block pairs.
+  auto random_in_block = [&](size_t b) {
+    size_t span = block_start[b + 1] - block_start[b];
+    return static_cast<graph::NodeId>(block_start[b] + rng.UniformIndex(span));
+  };
+  size_t cut_added = 0;
+  for (size_t b = 0; b + 1 < s; ++b) {
+    while (!builder.AddEdge(random_in_block(b), random_in_block(b + 1))) {
+    }
+    ++cut_added;
+  }
+  while (cut_added < params.cut_edges) {
+    size_t b1 = rng.UniformIndex(s);
+    size_t b2 = rng.UniformIndex(s);
+    if (b1 == b2) continue;
+    if (builder.AddEdge(random_in_block(b1), random_in_block(b2))) {
+      ++cut_added;
+    }
+  }
+
+  return ClusteredTopology{builder.Build(), std::move(partition)};
+}
+
+}  // namespace p2paqp::topology

@@ -1,0 +1,43 @@
+// Clustered topologies: s power-law sub-graphs joined by a controlled number
+// of cut edges (Sec. 5.2.1 of the paper). Small cuts slow random-walk mixing
+// (Fig. 1 / Fig. 12); the cut size parameter `e` controls exactly that.
+#ifndef P2PAQP_TOPOLOGY_CLUSTERED_H_
+#define P2PAQP_TOPOLOGY_CLUSTERED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+struct ClusteredParams {
+  size_t num_nodes = 10000;
+  size_t num_edges = 100000;   // Total, including cut edges.
+  size_t num_subgraphs = 2;    // The paper's parameter s.
+  size_t cut_edges = 1000;     // The paper's parameter e (inter-subgraph).
+};
+
+struct ClusteredTopology {
+  graph::Graph graph;
+  // partition[v] = sub-graph id in [0, num_subgraphs); drives clustered data
+  // placement and cut-size verification.
+  std::vector<uint32_t> partition;
+};
+
+// Splits nodes evenly into `num_subgraphs` power-law sub-graphs, spends
+// `cut_edges` of the edge budget on uniform inter-sub-graph edges (at least
+// one between consecutive sub-graphs so the overlay stays connected), and the
+// rest inside sub-graphs.
+//
+// Returns InvalidArgument when the budget cannot satisfy connectivity
+// (roughly: num_edges >= num_nodes + cut_edges and cut_edges >=
+// num_subgraphs - 1).
+util::Result<ClusteredTopology> MakeClustered(const ClusteredParams& params,
+                                              util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_CLUSTERED_H_

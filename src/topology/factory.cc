@@ -1,0 +1,64 @@
+#include "topology/factory.h"
+
+#include "topology/clustered.h"
+#include "topology/gnutella.h"
+#include "topology/power_law.h"
+#include "topology/random.h"
+
+namespace p2paqp::topology {
+
+const char* TopologyKindToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kPowerLaw:
+      return "power_law";
+    case TopologyKind::kClustered:
+      return "clustered";
+    case TopologyKind::kErdosRenyi:
+      return "erdos_renyi";
+    case TopologyKind::kGnutella:
+      return "gnutella";
+  }
+  return "unknown";
+}
+
+util::Result<Topology> MakeTopology(const TopologyConfig& config,
+                                    util::Rng& rng) {
+  switch (config.kind) {
+    case TopologyKind::kPowerLaw: {
+      auto graph =
+          MakePowerLawWithEdgeCount(config.num_nodes, config.num_edges, rng);
+      if (!graph.ok()) return graph.status();
+      return Topology{std::move(graph).value(),
+                      std::vector<uint32_t>(config.num_nodes, 0)};
+    }
+    case TopologyKind::kClustered: {
+      ClusteredParams params;
+      params.num_nodes = config.num_nodes;
+      params.num_edges = config.num_edges;
+      params.num_subgraphs = config.num_subgraphs;
+      params.cut_edges = config.cut_edges;
+      auto result = MakeClustered(params, rng);
+      if (!result.ok()) return result.status();
+      return Topology{std::move(result.value().graph),
+                      std::move(result.value().partition)};
+    }
+    case TopologyKind::kErdosRenyi: {
+      auto graph = MakeErdosRenyi(config.num_nodes, config.num_edges, rng);
+      if (!graph.ok()) return graph.status();
+      return Topology{std::move(graph).value(),
+                      std::vector<uint32_t>(config.num_nodes, 0)};
+    }
+    case TopologyKind::kGnutella: {
+      GnutellaParams params;
+      params.num_nodes = config.num_nodes;
+      params.num_edges = config.num_edges;
+      auto graph = MakeGnutellaSnapshot(params, rng);
+      if (!graph.ok()) return graph.status();
+      return Topology{std::move(graph).value(),
+                      std::vector<uint32_t>(config.num_nodes, 0)};
+    }
+  }
+  return util::Status::InvalidArgument("unknown topology kind");
+}
+
+}  // namespace p2paqp::topology

@@ -1,0 +1,45 @@
+// Uniform entry point over every topology generator.
+#ifndef P2PAQP_TOPOLOGY_FACTORY_H_
+#define P2PAQP_TOPOLOGY_FACTORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+enum class TopologyKind {
+  kPowerLaw,    // Single Barabasi-Albert component.
+  kClustered,   // s power-law sub-graphs + cut edges (paper's synthetic).
+  kErdosRenyi,  // Uniform random control.
+  kGnutella,    // Calibrated 2001 crawl stand-in.
+};
+
+const char* TopologyKindToString(TopologyKind kind);
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kClustered;
+  size_t num_nodes = 10000;
+  size_t num_edges = 100000;
+  // Only for kClustered:
+  size_t num_subgraphs = 2;
+  size_t cut_edges = 1000;
+};
+
+struct Topology {
+  graph::Graph graph;
+  // Sub-graph id per node; all-zero for non-clustered kinds.
+  std::vector<uint32_t> partition;
+};
+
+// Builds the requested overlay. Deterministic given `rng` state.
+util::Result<Topology> MakeTopology(const TopologyConfig& config,
+                                    util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_FACTORY_H_

@@ -1,0 +1,135 @@
+#include "topology/gnutella.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+
+namespace p2paqp::topology {
+
+namespace {
+
+// Draws one degree from the two-regime crawl distribution.
+uint32_t DrawDegree(const GnutellaParams& params,
+                    const std::vector<double>& tail_cdf, util::Rng& rng) {
+  if (rng.Bernoulli(params.head_fraction)) {
+    return static_cast<uint32_t>(
+        rng.UniformInt(1, static_cast<int64_t>(params.head_max_degree)));
+  }
+  double u = rng.UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(tail_cdf.begin(), tail_cdf.end(), u);
+  return static_cast<uint32_t>(it - tail_cdf.begin()) + 1;
+}
+
+}  // namespace
+
+util::Result<graph::Graph> MakeGnutellaSnapshot(const GnutellaParams& params,
+                                                util::Rng& rng) {
+  size_t n = params.num_nodes;
+  size_t target_edges = params.num_edges;
+  if (n < 2 || target_edges < n - 1 ||
+      target_edges > n * (n - 1) / 2) {
+    return util::Status::InvalidArgument("unachievable snapshot size");
+  }
+  if (params.head_fraction < 0.0 || params.head_fraction > 1.0 ||
+      params.tail_exponent <= 1.0 || params.head_max_degree == 0) {
+    return util::Status::InvalidArgument("bad degree-regime parameters");
+  }
+
+  // Power-law tail CDF over degrees [1, d_max].
+  auto d_max = static_cast<uint32_t>(
+      std::min<size_t>(n - 1, 2 * static_cast<size_t>(std::sqrt(n)) + 16));
+  std::vector<double> tail_cdf(d_max);
+  double total = 0.0;
+  for (uint32_t d = 1; d <= d_max; ++d) {
+    total += std::pow(static_cast<double>(d), -params.tail_exponent);
+    tail_cdf[d - 1] = total;
+  }
+  for (double& c : tail_cdf) c /= total;
+  tail_cdf[d_max - 1] = 1.0;
+
+  // Degree sequence whose stub total undershoots 2*target_edges slightly;
+  // the gap is filled by uniform top-up edges after wiring.
+  size_t stub_budget = 2 * target_edges;
+  size_t slack = std::max<size_t>(64, target_edges / 50);
+  P2PAQP_CHECK_GT(stub_budget, 2 * slack);
+  size_t usable = stub_budget - 2 * slack;
+  std::vector<uint32_t> degree(n, 1);  // Everyone has at least one link.
+  size_t stubs = n;
+  P2PAQP_CHECK_GE(usable, n) << "edge budget below one stub per node";
+  // Re-draw degrees round-robin until the usable budget is spent.
+  size_t cursor = 0;
+  while (stubs < usable) {
+    uint32_t extra = DrawDegree(params, tail_cdf, rng);
+    size_t room = usable - stubs;
+    if (extra > room) extra = static_cast<uint32_t>(room);
+    degree[cursor % n] += extra;
+    stubs += extra;
+    ++cursor;
+  }
+  if (stubs % 2 == 1) {
+    ++degree[rng.UniformIndex(n)];
+  }
+
+  // Configuration-model pairing with self-loop/duplicate rejection.
+  std::vector<graph::NodeId> stub_list;
+  stub_list.reserve(stubs + 1);
+  for (size_t v = 0; v < n; ++v) {
+    stub_list.insert(stub_list.end(), degree[v],
+                     static_cast<graph::NodeId>(v));
+  }
+  rng.Shuffle(stub_list);
+  graph::GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < stub_list.size(); i += 2) {
+    builder.AddEdge(stub_list[i], stub_list[i + 1]);  // Rejects dup/self.
+  }
+
+  // Connectivity repair: attach every secondary component to the largest one.
+  {
+    graph::Graph snapshot = builder.Build();
+    auto component = graph::ConnectedComponents(snapshot);
+    size_t num_components =
+        component.empty()
+            ? 0
+            : *std::max_element(component.begin(), component.end()) + 1;
+    // Rebuild the builder from the snapshot (Build() drained it).
+    builder = graph::GraphBuilder(n);
+    for (graph::NodeId u = 0; u < snapshot.num_nodes(); ++u) {
+      for (graph::NodeId v : snapshot.neighbors(u)) {
+        if (u < v) builder.AddEdge(u, v);
+      }
+    }
+    if (num_components > 1) {
+      std::vector<size_t> size(num_components, 0);
+      for (uint32_t c : component) ++size[c];
+      uint32_t giant = static_cast<uint32_t>(
+          std::max_element(size.begin(), size.end()) - size.begin());
+      std::vector<graph::NodeId> giant_nodes;
+      std::vector<std::vector<graph::NodeId>> members(num_components);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        members[component[v]].push_back(v);
+        if (component[v] == giant) giant_nodes.push_back(v);
+      }
+      for (uint32_t c = 0; c < num_components; ++c) {
+        if (c == giant) continue;
+        graph::NodeId a = members[c][rng.UniformIndex(members[c].size())];
+        graph::NodeId b = giant_nodes[rng.UniformIndex(giant_nodes.size())];
+        builder.AddEdge(a, b);
+      }
+    }
+  }
+
+  // Top up to the exact edge count with uniform random edges.
+  while (builder.num_edges() < target_edges) {
+    auto a = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    builder.AddEdge(a, b);
+  }
+  P2PAQP_CHECK_EQ(builder.num_edges(), target_edges)
+      << "snapshot generation overshot the edge budget";
+  return builder.Build();
+}
+
+}  // namespace p2paqp::topology

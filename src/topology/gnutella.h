@@ -1,0 +1,46 @@
+// Synthetic stand-in for the 2001 Gnutella crawl snapshot.
+//
+// The paper's "real-world" experiments use a topology captured by M. Ripeanu
+// (U. Chicago) in 2001: 22,556 peers and 52,321 edges. That trace is not
+// redistributable, so we synthesize a topology calibrated to its published
+// statistics (Ripeanu, Foster, Iamnitchi, "Mapping the Gnutella Network",
+// IEEE Internet Computing 2002):
+//   * identical node and edge counts,
+//   * a two-regime degree distribution — roughly uniform mass over small
+//     degrees (the crawl found low-degree nodes far more common than a pure
+//     power law predicts) and a power-law tail with exponent ~2.3,
+//   * a single connected component with small diameter (~12).
+// The aggregation algorithm only senses degree structure, connectivity and
+// size, so this preserves the experimental behaviour (see DESIGN.md).
+#ifndef P2PAQP_TOPOLOGY_GNUTELLA_H_
+#define P2PAQP_TOPOLOGY_GNUTELLA_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+// Node/edge counts of the 2001 crawl used throughout the paper.
+inline constexpr size_t kGnutella2001Peers = 22556;
+inline constexpr size_t kGnutella2001Edges = 52321;
+
+struct GnutellaParams {
+  size_t num_nodes = kGnutella2001Peers;
+  size_t num_edges = kGnutella2001Edges;
+  // Fraction of edge mass assigned by the flat low-degree regime; the rest
+  // follows the power-law tail.
+  double head_fraction = 0.5;
+  double tail_exponent = 2.3;
+  uint32_t head_max_degree = 5;
+};
+
+// Builds the calibrated snapshot: exact node and edge counts, connected.
+util::Result<graph::Graph> MakeGnutellaSnapshot(const GnutellaParams& params,
+                                                util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_GNUTELLA_H_

@@ -1,0 +1,114 @@
+#include "topology/power_law.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace p2paqp::topology {
+
+namespace {
+
+// Preferential-attachment core shared by both entry points. Builds the graph
+// into `builder`. `repeated_nodes` holds one entry per edge endpoint, so a
+// uniform draw from it is a degree-proportional draw over nodes.
+void RunBarabasiAlbert(size_t num_nodes, size_t edges_per_node,
+                       util::Rng& rng, graph::GraphBuilder& builder) {
+  std::vector<graph::NodeId> repeated_nodes;
+  repeated_nodes.reserve(num_nodes * edges_per_node * 2);
+  // Seed: a (edges_per_node+1)-clique guarantees enough attachment targets.
+  size_t seed_size = std::min(num_nodes, edges_per_node + 1);
+  for (graph::NodeId a = 0; a < seed_size; ++a) {
+    for (graph::NodeId b = a + 1; b < seed_size; ++b) {
+      if (builder.AddEdge(a, b)) {
+        repeated_nodes.push_back(a);
+        repeated_nodes.push_back(b);
+      }
+    }
+  }
+  for (graph::NodeId u = static_cast<graph::NodeId>(seed_size); u < num_nodes;
+       ++u) {
+    size_t attached = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = 50 * edges_per_node + 50;
+    while (attached < edges_per_node && attempts < max_attempts) {
+      ++attempts;
+      graph::NodeId target =
+          repeated_nodes[rng.UniformIndex(repeated_nodes.size())];
+      if (builder.AddEdge(u, target)) {
+        repeated_nodes.push_back(u);
+        repeated_nodes.push_back(target);
+        ++attached;
+      }
+    }
+    if (attached == 0) {
+      // Degenerate corner (tiny graphs): attach to the previous node.
+      builder.AddEdge(u, u - 1);
+      repeated_nodes.push_back(u);
+      repeated_nodes.push_back(u - 1);
+    }
+  }
+}
+
+}  // namespace
+
+util::Result<graph::Graph> MakeBarabasiAlbert(size_t num_nodes,
+                                              size_t edges_per_node,
+                                              util::Rng& rng) {
+  if (edges_per_node < 1) {
+    return util::Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (num_nodes <= edges_per_node) {
+    return util::Status::InvalidArgument(
+        "num_nodes must exceed edges_per_node");
+  }
+  graph::GraphBuilder builder(num_nodes);
+  RunBarabasiAlbert(num_nodes, edges_per_node, rng, builder);
+  return builder.Build();
+}
+
+util::Result<graph::Graph> MakePowerLawWithEdgeCount(size_t num_nodes,
+                                                     size_t num_edges,
+                                                     util::Rng& rng) {
+  if (num_nodes < 2) {
+    return util::Status::InvalidArgument("need at least two nodes");
+  }
+  size_t min_edges = num_nodes - 1;  // Connectivity floor.
+  size_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  if (num_edges < min_edges || num_edges > max_edges) {
+    return util::Status::InvalidArgument("edge count unachievable");
+  }
+  size_t per_node = std::max<size_t>(1, num_edges / num_nodes);
+  if (per_node >= num_nodes) per_node = num_nodes - 1;
+  graph::GraphBuilder builder(num_nodes);
+  RunBarabasiAlbert(num_nodes, per_node, rng, builder);
+
+  // Top up with degree-biased edges (preserves the power-law shape better
+  // than uniform edges).
+  std::vector<graph::NodeId> repeated;
+  auto rebuild_repeated = [&]() {
+    repeated.clear();
+    for (graph::NodeId u = 0; u < num_nodes; ++u) {
+      repeated.insert(repeated.end(), builder.degree(u), u);
+    }
+  };
+  rebuild_repeated();
+  size_t stall = 0;
+  while (builder.num_edges() < num_edges) {
+    graph::NodeId a = repeated[rng.UniformIndex(repeated.size())];
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(num_nodes));
+    if (builder.AddEdge(a, b)) {
+      repeated.push_back(a);
+      repeated.push_back(b);
+      stall = 0;
+    } else if (++stall > 10000) {
+      // Dense corner: fall back to uniform pairs.
+      a = static_cast<graph::NodeId>(rng.UniformIndex(num_nodes));
+      b = static_cast<graph::NodeId>(rng.UniformIndex(num_nodes));
+      if (builder.AddEdge(a, b)) stall = 0;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace p2paqp::topology

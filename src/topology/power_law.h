@@ -1,0 +1,37 @@
+// Power-law overlay generation via Barabasi-Albert preferential attachment.
+//
+// [12] (Faloutsos et al.) showed Internet topologies obey power laws and [2]
+// (Adamic et al.) confirmed the same for P2P overlays; the paper's synthetic
+// topologies are power-law graphs generated with JUNG. This generator is the
+// C++ replacement.
+#ifndef P2PAQP_TOPOLOGY_POWER_LAW_H_
+#define P2PAQP_TOPOLOGY_POWER_LAW_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+// Barabasi-Albert graph: starts from a small seed clique and attaches each
+// new node to `edges_per_node` existing nodes chosen proportionally to their
+// current degree. Always connected. Final edge count is approximately
+// edges_per_node * num_nodes.
+//
+// Returns InvalidArgument unless num_nodes > edges_per_node >= 1.
+util::Result<graph::Graph> MakeBarabasiAlbert(size_t num_nodes,
+                                              size_t edges_per_node,
+                                              util::Rng& rng);
+
+// Power-law graph with an explicit target edge count: runs Barabasi-Albert
+// with floor(num_edges/num_nodes) attachments (which never overshoots), then
+// adds degree-biased extra edges until exactly `num_edges` are present.
+util::Result<graph::Graph> MakePowerLawWithEdgeCount(size_t num_nodes,
+                                                     size_t num_edges,
+                                                     util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_POWER_LAW_H_

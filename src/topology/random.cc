@@ -1,0 +1,39 @@
+#include "topology/random.h"
+
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace p2paqp::topology {
+
+util::Result<graph::Graph> MakeErdosRenyi(size_t num_nodes, size_t num_edges,
+                                          util::Rng& rng) {
+  if (num_nodes < 2) {
+    return util::Status::InvalidArgument("need at least two nodes");
+  }
+  size_t max_edges = num_nodes * (num_nodes - 1) / 2;
+  if (num_edges < num_nodes - 1 || num_edges > max_edges) {
+    return util::Status::InvalidArgument("edge count unachievable");
+  }
+  graph::GraphBuilder builder(num_nodes);
+  // Connectivity first: a uniform random recursive tree over a random node
+  // relabeling, so low-index nodes carry no structural bias.
+  std::vector<graph::NodeId> label(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    label[i] = static_cast<graph::NodeId>(i);
+  }
+  rng.Shuffle(label);
+  for (size_t i = 1; i < num_nodes; ++i) {
+    builder.AddEdge(label[i], label[rng.UniformIndex(i)]);
+  }
+  // Remaining edges uniform over non-present pairs (rejection sampling; fine
+  // for the sparse graphs P2P overlays are).
+  while (builder.num_edges() < num_edges) {
+    auto a = static_cast<graph::NodeId>(rng.UniformIndex(num_nodes));
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(num_nodes));
+    builder.AddEdge(a, b);
+  }
+  return builder.Build();
+}
+
+}  // namespace p2paqp::topology

@@ -1,0 +1,24 @@
+// Uniform random (Erdos-Renyi) overlays, used as a non-power-law control in
+// ablation experiments and tests.
+#ifndef P2PAQP_TOPOLOGY_RANDOM_H_
+#define P2PAQP_TOPOLOGY_RANDOM_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+// G(n, m): exactly `num_edges` distinct uniform edges, then patched to a
+// single connected component by re-wiring one edge per extra component
+// (the final edge count stays exactly `num_edges`).
+//
+// Requires num_nodes >= 2 and num_edges in [num_nodes-1, n(n-1)/2].
+util::Result<graph::Graph> MakeErdosRenyi(size_t num_nodes, size_t num_edges,
+                                          util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_RANDOM_H_

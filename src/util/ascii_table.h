@@ -1,0 +1,39 @@
+// Fixed-width ASCII table printer used by the experiment harness to emit the
+// rows/series the paper's figures report.
+#ifndef P2PAQP_UTIL_ASCII_TABLE_H_
+#define P2PAQP_UTIL_ASCII_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace p2paqp::util {
+
+// Collects rows of string cells and renders them with aligned columns.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatPercent(double fraction, int precision = 2);
+  static std::string FormatInt(int64_t value);
+
+  // Renders with a header rule, e.g.
+  //   col_a     col_b
+  //   -------   -----
+  //   1.00      2
+  std::string ToString() const;
+
+  // Comma-separated rendering (header + rows) for machine consumption.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_ASCII_TABLE_H_

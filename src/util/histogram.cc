@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace p2paqp::util {
+
+Result<Histogram> Histogram::Make(int64_t lo, int64_t hi,
+                                  size_t num_buckets) {
+  if (hi < lo) {
+    return Status::InvalidArgument("empty histogram domain");
+  }
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  auto domain = static_cast<uint64_t>(hi - lo + 1);
+  if (num_buckets > domain) num_buckets = domain;
+  return Histogram(lo, hi, num_buckets);
+}
+
+size_t Histogram::BucketFor(int64_t value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  auto bucket = static_cast<size_t>((value - lo_) / width_);
+  return std::min(bucket, counts_.size() - 1);
+}
+
+void Histogram::Add(int64_t value, double weight) {
+  counts_[BucketFor(value)] += weight;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  P2PAQP_CHECK_EQ(lo_, other.lo_);
+  P2PAQP_CHECK_EQ(hi_, other.hi_);
+  P2PAQP_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+}
+
+void Histogram::Scale(double factor) {
+  for (double& c : counts_) c *= factor;
+}
+
+double Histogram::total() const {
+  double t = 0.0;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+std::pair<int64_t, int64_t> Histogram::BucketRange(size_t bucket) const {
+  P2PAQP_CHECK(bucket < counts_.size()) << bucket;
+  int64_t b_lo = lo_ + static_cast<int64_t>(bucket) * width_;
+  int64_t b_hi =
+      bucket + 1 == counts_.size() ? hi_ : b_lo + width_ - 1;
+  return {b_lo, b_hi};
+}
+
+double Histogram::NormalizedL1Distance(const Histogram& other) const {
+  P2PAQP_CHECK_EQ(counts_.size(), other.counts_.size());
+  double mine = total();
+  double theirs = other.total();
+  if (mine == 0.0 || theirs == 0.0) {
+    return (mine == 0.0 && theirs == 0.0) ? 0.0 : 2.0;
+  }
+  double distance = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    distance += std::fabs(counts_[b] / mine - other.counts_[b] / theirs);
+  }
+  return distance;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    auto [b_lo, b_hi] = BucketRange(b);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "[%lld,%lld]=%.1f ",
+                  static_cast<long long>(b_lo), static_cast<long long>(b_hi),
+                  counts_[b]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace p2paqp::util

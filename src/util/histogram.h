@@ -1,0 +1,64 @@
+// Equi-width histograms over integer value domains.
+//
+// Used by the approximate-histogram estimator (core/histogram.h) — one of
+// the "statistics computations such as medians, quantiles, histograms, and
+// distinct values" the paper targets beyond plain SQL aggregates — and by
+// the biased-walk synopses.
+#ifndef P2PAQP_UTIL_HISTOGRAM_H_
+#define P2PAQP_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace p2paqp::util {
+
+// Fixed-bucket histogram over [lo, hi] with `num_buckets` equal-width
+// buckets (the last bucket absorbs rounding remainder).
+class Histogram {
+ public:
+  // Returns InvalidArgument for empty domains or zero buckets.
+  static Result<Histogram> Make(int64_t lo, int64_t hi, size_t num_buckets);
+
+  // Bucket index for `value`; values outside [lo, hi] clamp to the edge
+  // buckets.
+  size_t BucketFor(int64_t value) const;
+
+  void Add(int64_t value, double weight = 1.0);
+  // Merges another histogram with identical shape (checked).
+  void Merge(const Histogram& other);
+  void Scale(double factor);
+
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+  double count(size_t bucket) const { return counts_[bucket]; }
+  double total() const;
+
+  // Inclusive value range covered by a bucket.
+  std::pair<int64_t, int64_t> BucketRange(size_t bucket) const;
+
+  // L1 distance between the *normalized* (unit-mass) versions of the two
+  // histograms, in [0, 2]. The standard histogram-estimation error metric.
+  double NormalizedL1Distance(const Histogram& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Histogram(int64_t lo, int64_t hi, size_t num_buckets)
+      : lo_(lo), hi_(hi), width_((hi - lo + 1 + static_cast<int64_t>(
+                                      num_buckets) - 1) /
+                                 static_cast<int64_t>(num_buckets)),
+        counts_(num_buckets, 0.0) {}
+
+  int64_t lo_;
+  int64_t hi_;
+  int64_t width_;
+  std::vector<double> counts_;
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_HISTOGRAM_H_

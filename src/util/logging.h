@@ -1,0 +1,78 @@
+// Lightweight CHECK/LOG macros.
+//
+// The library is exception-free (Google style); programmer errors and broken
+// invariants abort with a message, recoverable errors travel through
+// util::Status / util::Result.
+#ifndef P2PAQP_UTIL_LOGGING_H_
+#define P2PAQP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace p2paqp::util {
+
+namespace internal_logging {
+
+// Accumulates a message and aborts the process when destroyed.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+}  // namespace p2paqp::util
+
+// Aborts with a diagnostic when `condition` is false. Extra context can be
+// streamed: CHECK(x > 0) << "x=" << x;
+#define P2PAQP_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::p2paqp::util::internal_logging::FatalMessage(__FILE__, __LINE__, \
+                                                   #condition)        \
+        .stream()
+
+#define P2PAQP_CHECK_EQ(a, b) P2PAQP_CHECK((a) == (b))
+#define P2PAQP_CHECK_NE(a, b) P2PAQP_CHECK((a) != (b))
+#define P2PAQP_CHECK_LT(a, b) P2PAQP_CHECK((a) < (b))
+#define P2PAQP_CHECK_LE(a, b) P2PAQP_CHECK((a) <= (b))
+#define P2PAQP_CHECK_GT(a, b) P2PAQP_CHECK((a) > (b))
+#define P2PAQP_CHECK_GE(a, b) P2PAQP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define P2PAQP_DCHECK(condition) \
+  if (true) {                    \
+  } else /* NOLINT */            \
+    ::p2paqp::util::internal_logging::NullStream()
+#else
+#define P2PAQP_DCHECK(condition) P2PAQP_CHECK(condition)
+#endif
+
+#endif  // P2PAQP_UTIL_LOGGING_H_

@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace p2paqp::util {
+
+uint64_t MixSeed(uint64_t seed) {
+  // splitmix64 finalizer (Steele et al.); spreads low-entropy seeds.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  P2PAQP_CHECK_LE(lo, hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  P2PAQP_CHECK_GT(n, 0u);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+int64_t Rng::Geometric(double p) {
+  P2PAQP_CHECK(p > 0.0 && p <= 1.0) << p;
+  return std::geometric_distribution<int64_t>(p)(engine_);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  P2PAQP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    P2PAQP_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  P2PAQP_CHECK_GT(total, 0.0);
+  double target = UniformDouble(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  P2PAQP_CHECK_LE(k, n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the identity permutation.
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + UniformIndex(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling against a hash set.
+  std::unordered_set<size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    size_t candidate = UniformIndex(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace p2paqp::util

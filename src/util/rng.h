@@ -1,0 +1,110 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the library takes an explicit Rng&, so whole
+// simulations are reproducible from a single seed. Child generators (Fork)
+// give independent streams for sub-components without sharing state.
+#ifndef P2PAQP_UTIL_RNG_H_
+#define P2PAQP_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace p2paqp::util {
+
+// Mixes a 64-bit seed (splitmix64 finalizer); used for seed derivation.
+uint64_t MixSeed(uint64_t seed);
+
+// Seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(MixSeed(seed)) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform size_t in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo = 0.0, double hi = 1.0);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Standard normal deviate.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  // Geometric: number of failures before first success, success prob p.
+  int64_t Geometric(double p);
+
+  // Uniformly chosen element index weighted by `weights` (all >= 0, sum > 0).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of the whole container.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Shuffles only a random `fraction` of positions (partial Fisher-Yates):
+  // fraction 0 leaves the vector untouched, fraction 1 is a full shuffle.
+  // Used by the cluster-level data partitioner.
+  template <typename T>
+  void PartialShuffle(std::vector<T>& items, double fraction) {
+    P2PAQP_CHECK(fraction >= 0.0 && fraction <= 1.0) << fraction;
+    if (items.size() < 2 || fraction == 0.0) return;
+    // Pick round(fraction*n) positions and randomly permute them among
+    // themselves; expected displacement grows smoothly with `fraction`.
+    size_t n = items.size();
+    auto k = static_cast<size_t>(fraction * static_cast<double>(n) + 0.5);
+    if (k < 2) return;
+    std::vector<size_t> positions = SampleIndices(n, k);
+    std::vector<size_t> shuffled = positions;
+    Shuffle(shuffled);
+    std::vector<T> tmp(k);
+    for (size_t i = 0; i < k; ++i) tmp[i] = std::move(items[positions[i]]);
+    for (size_t i = 0; i < k; ++i) items[shuffled[i]] = std::move(tmp[i]);
+  }
+
+  // k distinct indices uniformly from [0, n), in random order. Requires
+  // k <= n. O(k) expected time for k << n, O(n) otherwise.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  // Floyd's algorithm-backed sample of k elements without replacement.
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(const std::vector<T>& items,
+                                          size_t k) {
+    std::vector<size_t> indices = SampleIndices(items.size(), k);
+    std::vector<T> out;
+    out.reserve(k);
+    for (size_t index : indices) out.push_back(items[index]);
+    return out;
+  }
+
+  // Independent generator derived from this one's stream.
+  Rng Fork();
+
+  // Raw 64 random bits.
+  uint64_t Next64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_RNG_H_

@@ -1,0 +1,125 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace p2paqp::util {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return std::fabs(estimate);
+  return std::fabs(estimate - truth) / std::fabs(truth);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  P2PAQP_CHECK(!values.empty());
+  P2PAQP_CHECK(p >= 0.0 && p <= 1.0) << p;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = p * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 0.5);
+}
+
+double WeightedQuantile(const std::vector<double>& values,
+                        const std::vector<double>& weights, double phi) {
+  P2PAQP_CHECK(!values.empty());
+  P2PAQP_CHECK_EQ(values.size(), weights.size());
+  P2PAQP_CHECK(phi > 0.0 && phi < 1.0) << phi;
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  double total = 0.0;
+  for (double w : weights) {
+    P2PAQP_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  P2PAQP_CHECK_GT(total, 0.0);
+  double acc = 0.0;
+  for (size_t index : order) {
+    acc += weights[index];
+    if (acc >= phi * total) return values[index];
+  }
+  return values[order.back()];
+}
+
+double WeightedMedian(const std::vector<double>& values,
+                      const std::vector<double>& weights) {
+  return WeightedQuantile(values, weights, 0.5);
+}
+
+double InverseNormalCdf(double p) {
+  P2PAQP_CHECK(p > 0.0 && p < 1.0) << p;
+  // Peter Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double ConfidenceHalfWidth(double stddev, size_t n, double confidence) {
+  P2PAQP_CHECK(confidence > 0.0 && confidence < 1.0) << confidence;
+  if (n == 0) return 0.0;
+  double z = InverseNormalCdf(0.5 + confidence / 2.0);
+  return z * stddev / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace p2paqp::util

@@ -1,0 +1,64 @@
+// Streaming and batch statistics helpers shared across the library.
+#ifndef P2PAQP_UTIL_STATISTICS_H_
+#define P2PAQP_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace p2paqp::util {
+
+// Welford-style streaming mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// |estimate - truth| / |truth|; returns |estimate| when truth == 0 (so a
+// correct zero estimate reports zero error).
+double RelativeError(double estimate, double truth);
+
+// p-th percentile (p in [0,1]) with linear interpolation. Copies + sorts.
+double Percentile(std::vector<double> values, double p);
+
+// Exact median of a copied vector (convenience over Percentile 0.5).
+double Median(std::vector<double> values);
+
+// Weighted median: smallest value v such that the weight of items <= v is at
+// least half the total weight. Weights must be non-negative with positive
+// total. O(n log n).
+double WeightedMedian(const std::vector<double>& values,
+                      const std::vector<double>& weights);
+
+// Weighted quantile (phi in (0,1)); WeightedMedian == WeightedQuantile(0.5).
+double WeightedQuantile(const std::vector<double>& values,
+                        const std::vector<double>& weights, double phi);
+
+// Two-sided normal-approximation confidence interval half-width for a mean
+// estimated from `n` samples with sample stddev `stddev`.
+// confidence is e.g. 0.95.
+double ConfidenceHalfWidth(double stddev, size_t n, double confidence);
+
+// Inverse standard normal CDF (Acklam's rational approximation, ~1e-9 abs
+// error); used for confidence intervals.
+double InverseNormalCdf(double p);
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_STATISTICS_H_

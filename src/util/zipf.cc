@@ -1,0 +1,46 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2paqp::util {
+
+Result<ZipfGenerator> ZipfGenerator::Make(uint32_t n, double skew) {
+  if (n == 0) {
+    return Status::InvalidArgument("Zipf range must be non-empty");
+  }
+  if (skew < 0.0 || !std::isfinite(skew)) {
+    return Status::InvalidArgument("Zipf skew must be finite and >= 0");
+  }
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (uint32_t v = 1; v <= n; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v), skew);
+    cdf[v - 1] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf[n - 1] = 1.0;  // Guard against accumulated rounding.
+  return ZipfGenerator(n, skew, std::move(cdf));
+}
+
+uint32_t ZipfGenerator::Sample(Rng& rng) const {
+  double u = rng.UniformDouble(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfGenerator::Probability(uint32_t v) const {
+  P2PAQP_CHECK(v >= 1 && v <= n_) << v;
+  double below = (v == 1) ? 0.0 : cdf_[v - 2];
+  return cdf_[v - 1] - below;
+}
+
+double ZipfGenerator::Mean() const {
+  double mean = 0.0;
+  for (uint32_t v = 1; v <= n_; ++v) {
+    mean += static_cast<double>(v) * Probability(v);
+  }
+  return mean;
+}
+
+}  // namespace p2paqp::util

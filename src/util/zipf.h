@@ -1,0 +1,46 @@
+// Zipf-distributed integer generation.
+//
+// The paper's synthetic databases draw single-attribute tuple values from a
+// Zipf distribution over [1, 100] with skew parameter Z (Z = 0 is uniform).
+#ifndef P2PAQP_UTIL_ZIPF_H_
+#define P2PAQP_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::util {
+
+// Samples values v in [1, n] with P(v) proportional to 1 / v^skew.
+// Precomputes the CDF once; each draw is a binary search (O(log n)).
+class ZipfGenerator {
+ public:
+  // Returns InvalidArgument for n == 0 or negative skew.
+  static Result<ZipfGenerator> Make(uint32_t n, double skew);
+
+  // Next value in [1, n].
+  uint32_t Sample(Rng& rng) const;
+
+  uint32_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+  // P(value == v); v in [1, n].
+  double Probability(uint32_t v) const;
+
+  // Distribution mean, sum(v * P(v)).
+  double Mean() const;
+
+ private:
+  ZipfGenerator(uint32_t n, double skew, std::vector<double> cdf)
+      : n_(n), skew_(skew), cdf_(std::move(cdf)) {}
+
+  uint32_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= i + 1); cdf_[n-1] == 1.
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_ZIPF_H_

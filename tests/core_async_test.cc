@@ -1,0 +1,181 @@
+// Tests for the discrete-event scheduler and the event-driven query session.
+#include "core/async_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+#include "util/statistics.h"
+
+namespace p2paqp {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  net::EventQueue events;
+  std::vector<int> order;
+  events.ScheduleAt(30.0, [&] { order.push_back(3); });
+  events.ScheduleAt(10.0, [&] { order.push_back(1); });
+  events.ScheduleAt(20.0, [&] { order.push_back(2); });
+  events.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(events.now(), 30.0);
+  EXPECT_EQ(events.executed(), 3u);
+}
+
+TEST(EventQueueTest, SimultaneousEventsAreFifo) {
+  net::EventQueue events;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    events.ScheduleAt(7.0, [&order, i] { order.push_back(i); });
+  }
+  events.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  net::EventQueue events;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 10) events.ScheduleAfter(5.0, chain);
+  };
+  events.ScheduleAfter(5.0, chain);
+  events.RunUntilEmpty();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(events.now(), 50.0);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  net::EventQueue events;
+  double observed = -1.0;
+  events.ScheduleAt(100.0, [&] {
+    events.ScheduleAfter(2.5, [&] { observed = events.now(); });
+  });
+  events.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(observed, 102.5);
+}
+
+TEST(EventQueueDeathTest, RefusesToScheduleInThePast) {
+  net::EventQueue events;
+  events.ScheduleAt(10.0, [] {});
+  events.RunUntilEmpty();
+  EXPECT_DEATH(events.ScheduleAt(5.0, [] {}), "CHECK failed");
+}
+
+class AsyncSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tn_ = std::make_unique<TestNetwork>(MakeTestNetwork(TestNetworkParams{}));
+  }
+
+  core::AsyncParams MakeParams(size_t walkers) {
+    core::AsyncParams params;
+    params.engine.phase1_peers = 60;
+    params.engine.include_phase1_observations = true;  // Combined estimate.
+    params.walkers = walkers;
+    params.walk.jump = tn_->catalog.suggested_jump;
+    params.walk.burn_in = tn_->catalog.suggested_burn_in;
+    return params;
+  }
+
+  query::AggregateQuery CountQuery() {
+    query::AggregateQuery q;
+    q.op = query::AggregateOp::kCount;
+    q.predicate = {1, 30};
+    q.required_error = 0.1;
+    return q;
+  }
+
+  std::unique_ptr<TestNetwork> tn_;
+};
+
+TEST_F(AsyncSessionTest, MatchesSynchronousAccuracy) {
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(4));
+  util::Rng rng(1);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  double err = p2paqp::testing::NormalizedCountError(
+      tn_->network, report->answer.estimate, 1, 30);
+  EXPECT_LT(err, 0.12);
+  EXPECT_EQ(report->answer.phase1_peers, 60u);
+  EXPECT_GT(report->events, 0u);
+}
+
+TEST_F(AsyncSessionTest, MakespanShrinksWithWalkers) {
+  util::Rng rng_a(2);
+  util::Rng rng_b(2);
+  core::AsyncQuerySession one(&tn_->network, tn_->catalog, MakeParams(1));
+  core::AsyncQuerySession eight(&tn_->network, tn_->catalog, MakeParams(8));
+  auto slow = one.Execute(CountQuery(), 0, rng_a);
+  auto fast = eight.Execute(CountQuery(), 0, rng_b);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(fast->makespan_ms, slow->makespan_ms / 3.0);
+  // Same statistical work: peer visits are of the same order.
+  EXPECT_NEAR(static_cast<double>(fast->answer.cost.peers_visited),
+              static_cast<double>(slow->answer.cost.peers_visited),
+              0.5 * static_cast<double>(slow->answer.cost.peers_visited));
+}
+
+TEST_F(AsyncSessionTest, PhaseOneCompletesBeforeQueryEnds) {
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(4));
+  util::Rng rng(3);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->phase1_done_ms, 0.0);
+  EXPECT_GT(report->makespan_ms, report->phase1_done_ms);
+  EXPECT_DOUBLE_EQ(report->answer.cost.latency_ms, report->makespan_ms);
+}
+
+TEST_F(AsyncSessionTest, MakespanIsFarBelowSequentialSum) {
+  // The sequential engine's latency is the sum of every hop and scan; the
+  // event-driven makespan with 8 walkers must be a small fraction of it.
+  core::EngineParams engine_params;
+  engine_params.phase1_peers = 60;
+  core::TwoPhaseEngine sync_engine(&tn_->network, tn_->catalog,
+                                   engine_params);
+  util::Rng rng_a(4);
+  auto sync_answer = sync_engine.Execute(CountQuery(), 0, rng_a);
+  ASSERT_TRUE(sync_answer.ok());
+
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(8));
+  util::Rng rng_b(4);
+  auto report = session.Execute(CountQuery(), 0, rng_b);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->makespan_ms, sync_answer->cost.latency_ms / 2.0);
+}
+
+TEST_F(AsyncSessionTest, RejectsUnsupportedOps) {
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(2));
+  util::Rng rng(5);
+  query::AggregateQuery q = CountQuery();
+  q.op = query::AggregateOp::kMedian;
+  EXPECT_FALSE(session.Execute(q, 0, rng).ok());
+}
+
+TEST_F(AsyncSessionTest, RejectsDeadSink) {
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(2));
+  tn_->network.SetAlive(0, false);
+  util::Rng rng(6);
+  EXPECT_FALSE(session.Execute(CountQuery(), 0, rng).ok());
+}
+
+TEST_F(AsyncSessionTest, SumQueriesWork) {
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(4));
+  util::Rng rng(7);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kSum;
+  q.predicate = query::RangePredicate{1, 100};
+  q.required_error = 0.1;
+  auto report = session.Execute(q, 0, rng);
+  ASSERT_TRUE(report.ok());
+  double err = p2paqp::testing::NormalizedSumError(
+      tn_->network, report->answer.estimate, 1, 100);
+  EXPECT_LT(err, 0.12);
+}
+
+}  // namespace
+}  // namespace p2paqp

@@ -1,0 +1,97 @@
+// Tests for the preprocessed system catalog (offline + live refresh).
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "net/network.h"
+#include "topology/clustered.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::core {
+namespace {
+
+TEST(CatalogTest, MakeCatalogCopiesGraphConstants) {
+  util::Rng rng(1);
+  auto graph = topology::MakeBarabasiAlbert(500, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  SystemCatalog catalog = MakeCatalog(*graph, /*jump=*/7, /*burn_in=*/33);
+  EXPECT_EQ(catalog.num_peers, 500u);
+  EXPECT_EQ(catalog.num_edges, graph->num_edges());
+  EXPECT_DOUBLE_EQ(catalog.average_degree, graph->average_degree());
+  EXPECT_EQ(catalog.suggested_jump, 7u);
+  EXPECT_EQ(catalog.suggested_burn_in, 33u);
+  EXPECT_DOUBLE_EQ(catalog.total_degree_weight(),
+                   2.0 * static_cast<double>(graph->num_edges()));
+}
+
+TEST(CatalogTest, PreprocessFillsSpectralFields) {
+  util::Rng rng(2);
+  auto graph = topology::MakeBarabasiAlbert(400, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  SystemCatalog catalog = Preprocess(*graph, 0.05, rng);
+  EXPECT_GT(catalog.lambda2, 0.0);
+  EXPECT_LT(catalog.lambda2, 1.0);
+  EXPECT_GE(catalog.suggested_jump, 1u);
+  EXPECT_GE(catalog.suggested_burn_in, catalog.suggested_jump);
+  EXPECT_NE(catalog.ToString().find("lambda2"), std::string::npos);
+}
+
+TEST(CatalogTest, PreprocessSuggestsLongerWalksForSmallCuts) {
+  util::Rng rng(3);
+  topology::ClusteredParams tight;
+  tight.num_nodes = 400;
+  tight.num_edges = 2400;
+  tight.num_subgraphs = 2;
+  tight.cut_edges = 2;
+  auto tight_topo = topology::MakeClustered(tight, rng);
+  ASSERT_TRUE(tight_topo.ok());
+  auto expander = topology::MakeBarabasiAlbert(400, 6, rng);
+  ASSERT_TRUE(expander.ok());
+  util::Rng rng2(4);
+  SystemCatalog tight_catalog = Preprocess(tight_topo->graph, 0.05, rng2);
+  SystemCatalog loose_catalog = Preprocess(*expander, 0.05, rng2);
+  EXPECT_GT(tight_catalog.suggested_jump, loose_catalog.suggested_jump);
+  EXPECT_GT(tight_catalog.suggested_burn_in, loose_catalog.suggested_burn_in);
+}
+
+TEST(CatalogTest, LiveCatalogTracksDepartures) {
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  auto network = net::SimulatedNetwork::Make(builder.Build(), {},
+                                             net::NetworkParams{}, 5);
+  ASSERT_TRUE(network.ok());
+
+  SystemCatalog full = MakeLiveCatalog(*network, 10, 20);
+  EXPECT_EQ(full.num_peers, 4u);
+  EXPECT_EQ(full.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(full.average_degree, 2.0);
+
+  network->SetAlive(0, false);
+  SystemCatalog live = MakeLiveCatalog(*network, 10, 20);
+  EXPECT_EQ(live.num_peers, 3u);
+  // Edges 0-1 and 3-0 died with peer 0.
+  EXPECT_EQ(live.num_edges, 2u);
+  EXPECT_EQ(live.suggested_jump, 10u);
+  EXPECT_EQ(live.suggested_burn_in, 20u);
+}
+
+TEST(CatalogTest, LiveCatalogOnEmptyNetworkIsZero) {
+  graph::GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  auto network = net::SimulatedNetwork::Make(builder.Build(), {},
+                                             net::NetworkParams{}, 6);
+  ASSERT_TRUE(network.ok());
+  network->SetAlive(0, false);
+  network->SetAlive(1, false);
+  SystemCatalog live = MakeLiveCatalog(*network, 1, 1);
+  EXPECT_EQ(live.num_peers, 0u);
+  EXPECT_EQ(live.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(live.average_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace p2paqp::core

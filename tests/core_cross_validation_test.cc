@@ -1,0 +1,132 @@
+// Validation of the cross-validation machinery against Theorem 3
+// (E[CVError^2] = 2 E[err^2]) and of the phase-II sizing rule.
+#include "core/cross_validation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+namespace {
+
+TEST(CrossValidateTest, ZeroVarianceDataHasZeroCvError) {
+  // Identical peers: any halving gives identical estimates.
+  std::vector<WeightedObservation> obs(20, WeightedObservation{5.0, 1.0});
+  util::Rng rng(1);
+  CrossValidationResult cv = CrossValidate(obs, 20.0, 5, rng);
+  EXPECT_DOUBLE_EQ(cv.cv_error, 0.0);
+  EXPECT_DOUBLE_EQ(cv.cv_error_relative, 0.0);
+  EXPECT_DOUBLE_EQ(cv.estimate, 100.0);
+}
+
+TEST(CrossValidateTest, HeterogeneousDataHasPositiveCvError) {
+  std::vector<WeightedObservation> obs;
+  for (int i = 0; i < 20; ++i) {
+    obs.push_back({i < 10 ? 0.0 : 10.0, 1.0});
+  }
+  util::Rng rng(2);
+  CrossValidationResult cv = CrossValidate(obs, 20.0, 10, rng);
+  EXPECT_GT(cv.cv_error, 0.0);
+  EXPECT_GT(cv.cv_error_relative, 0.0);
+}
+
+// Theorem 3: E[CV^2] = 2 E[(y'' - y)^2] when the halves are independent
+// stationary samples. We verify the ratio statistically.
+TEST(CrossValidateTest, TheoremThreeRatioHolds) {
+  util::Rng rng(3);
+  std::vector<double> values(60);
+  std::vector<double> weights(60);
+  double truth = 0.0;
+  double total_weight = 0.0;
+  for (int p = 0; p < 60; ++p) {
+    values[p] = rng.UniformDouble(0.0, 20.0);
+    weights[p] = static_cast<double>(rng.UniformInt(1, 8));
+    truth += values[p];
+    total_weight += weights[p];
+  }
+  const size_t kHalf = 12;
+  util::RunningStat cv_sq;
+  util::RunningStat err_sq;
+  for (int trial = 0; trial < 30000; ++trial) {
+    auto draw = [&](size_t m) {
+      std::vector<WeightedObservation> obs;
+      for (size_t i = 0; i < m; ++i) {
+        size_t p = rng.WeightedIndex(weights);
+        obs.push_back({values[p], weights[p]});
+      }
+      return obs;
+    };
+    double y1 = HorvitzThompson(draw(kHalf), total_weight);
+    double y2 = HorvitzThompson(draw(kHalf), total_weight);
+    cv_sq.Add((y1 - y2) * (y1 - y2));
+    err_sq.Add((y1 - truth) * (y1 - truth));
+  }
+  EXPECT_NEAR(cv_sq.mean() / err_sq.mean(), 2.0, 0.15);
+}
+
+TEST(PhaseTwoSampleSizeTest, FormulaMatchesPaper) {
+  // m' = (m/2) * (cv / delta)^2: m=100, cv=0.2, delta=0.1 -> 200.
+  EXPECT_EQ(PhaseTwoSampleSize(100, 0.2, 0.1, 1, 100000), 200u);
+  // cv == delta -> m/2.
+  EXPECT_EQ(PhaseTwoSampleSize(100, 0.1, 0.1, 1, 100000), 50u);
+}
+
+TEST(PhaseTwoSampleSizeTest, ClampsToBounds) {
+  EXPECT_EQ(PhaseTwoSampleSize(100, 0.0, 0.1, 7, 1000), 7u);
+  EXPECT_EQ(PhaseTwoSampleSize(100, 10.0, 0.01, 1, 500), 500u);
+}
+
+TEST(PhaseTwoSampleSizeTest, MonotoneInCvError) {
+  size_t prev = 0;
+  for (double cv : {0.05, 0.1, 0.2, 0.4}) {
+    size_t m = PhaseTwoSampleSize(80, cv, 0.1, 1, 1000000);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(PhaseTwoSampleSizeTest, QuadraticInInverseDelta) {
+  size_t m_01 = PhaseTwoSampleSize(80, 0.3, 0.1, 1, 100000000);
+  size_t m_005 = PhaseTwoSampleSize(80, 0.3, 0.05, 1, 100000000);
+  EXPECT_NEAR(static_cast<double>(m_005) / static_cast<double>(m_01), 4.0,
+              0.1);
+}
+
+TEST(PhaseTwoSampleSizeTest, HugeRatioDoesNotOverflow) {
+  EXPECT_EQ(PhaseTwoSampleSize(1000000, 1e9, 1e-9, 1, 22556), 22556u);
+}
+
+TEST(CrossValidateTest, OddSampleSizeHandled) {
+  std::vector<WeightedObservation> obs;
+  for (int i = 0; i < 21; ++i) {
+    obs.push_back({static_cast<double>(i), 1.0});
+  }
+  util::Rng rng(4);
+  CrossValidationResult cv = CrossValidate(obs, 21.0, 7, rng);
+  EXPECT_GE(cv.cv_error, 0.0);
+  EXPECT_GT(cv.estimate, 0.0);
+}
+
+TEST(CrossValidateTest, MoreRepeatsStabilizeTheEstimate) {
+  util::Rng make_rng(5);
+  std::vector<WeightedObservation> obs;
+  for (int i = 0; i < 30; ++i) {
+    obs.push_back({make_rng.UniformDouble(0.0, 10.0), 1.0});
+  }
+  // Variance of cv_error across re-runs should drop with repeats.
+  auto spread = [&](size_t repeats) {
+    util::RunningStat stat;
+    for (uint64_t seed = 0; seed < 60; ++seed) {
+      util::Rng rng(seed);
+      stat.Add(CrossValidate(obs, 30.0, repeats, rng).cv_error);
+    }
+    return stat.variance();
+  };
+  EXPECT_LT(spread(20), spread(1));
+}
+
+}  // namespace
+}  // namespace p2paqp::core

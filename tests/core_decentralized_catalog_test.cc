@@ -1,0 +1,145 @@
+// Tests for decentralized catalog estimation (return-time and birthday
+// estimators).
+#include "core/decentralized_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "core/two_phase.h"
+#include "graph/builder.h"
+#include "test_common.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+net::SimulatedNetwork MakeBaNetwork(size_t n, size_t m, uint64_t seed) {
+  util::Rng rng(seed);
+  auto graph = topology::MakeBarabasiAlbert(n, m, rng);
+  EXPECT_TRUE(graph.ok());
+  auto network = net::SimulatedNetwork::Make(std::move(*graph), {},
+                                             net::NetworkParams{}, seed);
+  EXPECT_TRUE(network.ok());
+  return std::move(*network);
+}
+
+TEST(DecentralizedCatalogTest, ReturnTimeEstimatesEdges) {
+  net::SimulatedNetwork network = MakeBaNetwork(600, 5, 1);
+  double truth = static_cast<double>(network.graph().num_edges());
+  DecentralizedConfig config;
+  config.return_walks = 48;
+  util::Rng rng(2);
+  auto estimate = EstimateEdgesViaReturnTimes(network, 0, config, rng);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_NEAR(*estimate, truth, 0.35 * truth);
+}
+
+TEST(DecentralizedCatalogTest, BirthdayEstimatesPeers) {
+  net::SimulatedNetwork network = MakeBaNetwork(800, 4, 3);
+  DecentralizedConfig config;
+  config.birthday_samples = 400;  // ~100 expected collisions at M=800.
+  config.birthday_jump = 8;
+  util::Rng rng(4);
+  auto estimate = EstimatePeersViaCollisions(network, 0, config, rng);
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_NEAR(*estimate, 800.0, 0.35 * 800.0);
+}
+
+TEST(DecentralizedCatalogTest, PreprocessAssemblesUsableCatalog) {
+  TestNetworkParams net_params;
+  net_params.num_peers = 600;
+  net_params.num_edges = 3600;
+  net_params.cut_edges = 300;  // Keep the overlay well mixed.
+  TestNetwork tn = MakeTestNetwork(net_params);
+  DecentralizedConfig config;
+  config.return_walks = 48;
+  config.birthday_samples = 400;
+  config.suggested_jump = tn.catalog.suggested_jump;
+  config.suggested_burn_in = tn.catalog.suggested_burn_in;
+  util::Rng rng(5);
+  auto estimates = DecentralizedPreprocess(tn.network, 0, config, rng);
+  ASSERT_TRUE(estimates.ok()) << estimates.status().ToString();
+  EXPECT_NEAR(static_cast<double>(estimates->catalog.num_edges), 3600.0,
+              0.4 * 3600.0);
+  EXPECT_NEAR(static_cast<double>(estimates->catalog.num_peers), 600.0,
+              0.4 * 600.0);
+  EXPECT_GT(estimates->cost.walker_hops, 0u);
+  EXPECT_GT(estimates->collisions, 0u);
+
+  // The estimated catalog drives the engine end-to-end; the residual error
+  // includes the |E|-estimate bias, so the band is wider than with the
+  // oracle catalog.
+  EngineParams params;
+  params.phase1_peers = 60;
+  params.include_phase1_observations = true;
+  TwoPhaseEngine engine(&tn.network, estimates->catalog, params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.1;
+  util::Rng query_rng(6);
+  auto answer = engine.Execute(q, 0, query_rng);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_LT(p2paqp::testing::NormalizedCountError(tn.network,
+                                                  answer->estimate, 1, 30),
+            0.45);
+}
+
+TEST(DecentralizedCatalogTest, BiasTracksEdgeError) {
+  // The Horvitz-Thompson normalizer is 2|E|: feeding the engine a catalog
+  // whose edge count is off by +25% must inflate COUNT estimates by ~25%.
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  SystemCatalog inflated = tn.catalog;
+  inflated.num_edges =
+      static_cast<size_t>(1.25 * static_cast<double>(inflated.num_edges));
+  EngineParams params;
+  params.phase1_peers = 80;
+  params.include_phase1_observations = true;
+  TwoPhaseEngine honest(&tn.network, tn.catalog, params);
+  TwoPhaseEngine biased(&tn.network, inflated, params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.1;
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  auto honest_answer = honest.Execute(q, 0, rng_a);
+  auto biased_answer = biased.Execute(q, 0, rng_b);
+  ASSERT_TRUE(honest_answer.ok());
+  ASSERT_TRUE(biased_answer.ok());
+  EXPECT_NEAR(biased_answer->estimate / honest_answer->estimate, 1.25, 0.02);
+}
+
+TEST(DecentralizedCatalogTest, FailureModes) {
+  net::SimulatedNetwork network = MakeBaNetwork(50, 3, 8);
+  DecentralizedConfig config;
+  util::Rng rng(9);
+  // Dead sink.
+  network.SetAlive(0, false);
+  EXPECT_FALSE(EstimateEdgesViaReturnTimes(network, 0, config, rng).ok());
+  network.SetAlive(0, true);
+  // Degenerate sample size.
+  config.birthday_samples = 1;
+  EXPECT_FALSE(EstimatePeersViaCollisions(network, 0, config, rng).ok());
+  // Impossible hop cap: every walk dies.
+  config = DecentralizedConfig{};
+  config.max_hops_per_walk = 1;
+  EXPECT_FALSE(EstimateEdgesViaReturnTimes(network, 0, config, rng).ok());
+}
+
+TEST(DecentralizedCatalogTest, IsolatedSinkIsRejected) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(1, 2);
+  auto network = net::SimulatedNetwork::Make(builder.Build(), {},
+                                             net::NetworkParams{}, 10);
+  ASSERT_TRUE(network.ok());
+  DecentralizedConfig config;
+  util::Rng rng(11);
+  EXPECT_FALSE(EstimateEdgesViaReturnTimes(*network, 0, config, rng).ok());
+}
+
+}  // namespace
+}  // namespace p2paqp::core

@@ -1,0 +1,134 @@
+// Statistical validation of the Horvitz-Thompson estimator against the
+// paper's Theorems 1 (unbiasedness) and 2 (variance = C/m).
+#include "core/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+namespace {
+
+TEST(HorvitzThompsonTest, ExactWhenSamplingWholePopulationOnce) {
+  // Population of 4 "peers" with weights equal to their degrees; sampling
+  // each exactly once with the right weight reproduces y exactly when
+  // values are proportional to weights.
+  std::vector<WeightedObservation> obs = {
+      {2.0, 2.0}, {3.0, 3.0}, {1.0, 1.0}, {4.0, 4.0}};
+  double total_weight = 10.0;
+  // Each term: value/ (w/W) = value*W/w = W when value == w. Mean = W = 10
+  // = sum of values.
+  EXPECT_DOUBLE_EQ(HorvitzThompson(obs, total_weight), 10.0);
+}
+
+TEST(HorvitzThompsonTest, SingleObservationScalesInverseProbability) {
+  std::vector<WeightedObservation> obs = {{5.0, 2.0}};
+  EXPECT_DOUBLE_EQ(HorvitzThompson(obs, 20.0), 50.0);
+}
+
+TEST(HorvitzThompsonTest, ZeroWeightObservationsContributeZero) {
+  std::vector<WeightedObservation> obs = {{5.0, 0.0}, {5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(HorvitzThompson(obs, 10.0), 5.0);
+}
+
+// Theorem 1: E[y''] = y over the randomness of degree-proportional sampling.
+TEST(HorvitzThompsonTest, UnbiasedUnderDegreeProportionalSampling) {
+  // Synthetic population: 50 peers, value y(p) and weight deg(p) arbitrary.
+  util::Rng rng(1);
+  std::vector<double> values(50);
+  std::vector<double> weights(50);
+  double truth = 0.0;
+  double total_weight = 0.0;
+  for (int p = 0; p < 50; ++p) {
+    values[p] = rng.UniformDouble(0.0, 100.0);
+    weights[p] = static_cast<double>(rng.UniformInt(1, 20));
+    truth += values[p];
+    total_weight += weights[p];
+  }
+  // Empirical mean of y'' over many independent m=10 samples.
+  util::RunningStat stat;
+  const int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<WeightedObservation> obs;
+    for (int i = 0; i < 10; ++i) {
+      size_t p = rng.WeightedIndex(weights);
+      obs.push_back({values[p], weights[p]});
+    }
+    stat.Add(HorvitzThompson(obs, total_weight));
+  }
+  double se = stat.stddev() / std::sqrt(static_cast<double>(kTrials));
+  EXPECT_NEAR(stat.mean(), truth, 4.0 * se)
+      << "bias beyond 4 standard errors";
+}
+
+// Theorem 2: Var[y''] = C/m — doubling m halves the variance.
+TEST(HorvitzThompsonTest, VarianceScalesInverselyWithSampleSize) {
+  util::Rng rng(2);
+  std::vector<double> values(40);
+  std::vector<double> weights(40);
+  for (int p = 0; p < 40; ++p) {
+    values[p] = rng.UniformDouble(0.0, 50.0);
+    weights[p] = static_cast<double>(rng.UniformInt(1, 10));
+  }
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  auto empirical_variance = [&](size_t m) {
+    util::RunningStat stat;
+    for (int trial = 0; trial < 12000; ++trial) {
+      std::vector<WeightedObservation> obs;
+      for (size_t i = 0; i < m; ++i) {
+        size_t p = rng.WeightedIndex(weights);
+        obs.push_back({values[p], weights[p]});
+      }
+      stat.Add(HorvitzThompson(obs, total_weight));
+    }
+    return stat.variance();
+  };
+  double var8 = empirical_variance(8);
+  double var32 = empirical_variance(32);
+  EXPECT_NEAR(var8 / var32, 4.0, 0.7);
+}
+
+// The estimator's internal variance estimate must track the empirical one.
+TEST(HorvitzThompsonTest, VarianceEstimateMatchesEmpirical) {
+  util::Rng rng(3);
+  std::vector<double> values(30);
+  std::vector<double> weights(30);
+  for (int p = 0; p < 30; ++p) {
+    values[p] = rng.UniformDouble(0.0, 10.0);
+    weights[p] = static_cast<double>(rng.UniformInt(1, 6));
+  }
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  const size_t kM = 25;
+  util::RunningStat outer;
+  util::RunningStat estimated;
+  for (int trial = 0; trial < 8000; ++trial) {
+    std::vector<WeightedObservation> obs;
+    for (size_t i = 0; i < kM; ++i) {
+      size_t p = rng.WeightedIndex(weights);
+      obs.push_back({values[p], weights[p]});
+    }
+    outer.Add(HorvitzThompson(obs, total_weight));
+    estimated.Add(HorvitzThompsonVariance(obs, total_weight));
+  }
+  EXPECT_NEAR(estimated.mean(), outer.variance(), outer.variance() * 0.15);
+}
+
+TEST(HorvitzThompsonTest, BadnessCIsVarianceTimesM) {
+  std::vector<WeightedObservation> obs = {
+      {1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}, {10.0, 1.0}};
+  double var = HorvitzThompsonVariance(obs, 4.0);
+  EXPECT_DOUBLE_EQ(EstimateBadnessC(obs, 4.0), 4.0 * var);
+}
+
+TEST(HorvitzThompsonTest, FewerThanTwoObservationsHaveZeroVariance) {
+  std::vector<WeightedObservation> obs = {{5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(HorvitzThompsonVariance(obs, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace p2paqp::core

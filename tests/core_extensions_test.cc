@@ -1,0 +1,199 @@
+// Tests for the future-work extensions: hybrid cached sampling and biased
+// sampling.
+#include <gtest/gtest.h>
+
+#include "core/biased.h"
+#include "core/hybrid.h"
+#include "test_common.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+query::AggregateQuery CountQuery() {
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.1;
+  return q;
+}
+
+TEST(FreshnessCacheTest, MissThenHit) {
+  FreshnessCache cache(/*ttl_epochs=*/2);
+  query::AggregateQuery q = CountQuery();
+  query::LocalAggregate agg;
+  agg.count_value = 7.0;
+  query::LocalAggregate out;
+  EXPECT_FALSE(cache.Lookup(3, q, &out));
+  cache.Store(3, q, agg);
+  ASSERT_TRUE(cache.Lookup(3, q, &out));
+  EXPECT_DOUBLE_EQ(out.count_value, 7.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FreshnessCacheTest, DistinguishesPeersAndQueries) {
+  FreshnessCache cache(5);
+  query::AggregateQuery q1 = CountQuery();
+  query::AggregateQuery q2 = CountQuery();
+  q2.predicate = {1, 60};
+  query::LocalAggregate agg;
+  cache.Store(1, q1, agg);
+  query::LocalAggregate out;
+  EXPECT_TRUE(cache.Lookup(1, q1, &out));
+  EXPECT_FALSE(cache.Lookup(2, q1, &out));
+  EXPECT_FALSE(cache.Lookup(1, q2, &out));
+}
+
+TEST(FreshnessCacheTest, EntriesExpireAfterTtl) {
+  FreshnessCache cache(2);
+  query::AggregateQuery q = CountQuery();
+  query::LocalAggregate agg;
+  cache.Store(0, q, agg);
+  query::LocalAggregate out;
+  cache.AdvanceEpoch();
+  cache.AdvanceEpoch();
+  EXPECT_TRUE(cache.Lookup(0, q, &out));  // Exactly at TTL: still fresh.
+  cache.AdvanceEpoch();
+  EXPECT_FALSE(cache.Lookup(0, q, &out));  // Past TTL.
+}
+
+TEST(HybridEngineTest, SecondQueryScansFewerTuplesPerVisit) {
+  // Small network so repeat visits are common and the cache can shine.
+  TestNetworkParams net_params;
+  net_params.num_peers = 150;
+  net_params.num_edges = 700;
+  net_params.cut_edges = 60;
+  TestNetwork tn = MakeTestNetwork(net_params);
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  FreshnessCache cache(10);
+  engine.set_cache(&cache);
+  query::AggregateQuery q = CountQuery();
+  util::Rng rng(1);
+  auto first = engine.Execute(q, 0, rng);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Execute(q, 0, rng);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(cache.hits(), 0u);
+  auto scans_per_visit = [](const ApproximateAnswer& a) {
+    return static_cast<double>(a.cost.tuples_scanned) /
+           static_cast<double>(a.cost.peers_visited);
+  };
+  EXPECT_LT(scans_per_visit(*second), scans_per_visit(*first));
+  // Accuracy holds: cached local aggregates are real answers.
+  EXPECT_LT(p2paqp::testing::NormalizedCountError(tn.network,
+                                                  second->estimate, 1, 30),
+            0.15);
+}
+
+TEST(HybridEngineTest, DisablingCacheRestoresFullScans) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  EngineParams params;
+  params.phase1_peers = 40;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  FreshnessCache cache(10);
+  engine.set_cache(&cache);
+  query::AggregateQuery q = CountQuery();
+  util::Rng rng(2);
+  ASSERT_TRUE(engine.Execute(q, 0, rng).ok());
+  engine.set_cache(nullptr);
+  auto before_hits = cache.hits();
+  ASSERT_TRUE(engine.Execute(q, 0, rng).ok());
+  EXPECT_EQ(cache.hits(), before_hits);
+}
+
+TEST(BiasedWalkTest, SynopsisWeightsAreExactStationaryWeights) {
+  // Analytic check on a tiny graph: the biased walk is reversible with
+  // pi(p) ~ c(p) * sum_{v in N(p)} c(v). We verify empirically.
+  TestNetworkParams net_params;
+  net_params.num_peers = 120;
+  net_params.num_edges = 500;
+  net_params.cluster_level = 0.0;
+  TestNetwork tn = MakeTestNetwork(net_params);
+  query::RangePredicate predicate{1, 30};
+  BiasedWalkSampler sampler(&tn.network, predicate, /*jump=*/6,
+                            /*floor=*/0.2);
+  util::Rng rng(3);
+  const size_t kSelections = 60000;
+  auto visits = sampler.SamplePeers(0, kSelections, rng);
+  ASSERT_TRUE(visits.ok());
+  std::vector<size_t> counts(tn.network.num_peers(), 0);
+  for (const auto& v : *visits) ++counts[v.peer];
+  double total_weight = sampler.ExactTotalWeight();
+  // Chi-square-ish check: aggregate absolute deviation small.
+  double deviation = 0.0;
+  for (graph::NodeId p = 0; p < tn.network.num_peers(); ++p) {
+    double expected = sampler.StationaryWeight(p) / total_weight;
+    double observed =
+        static_cast<double>(counts[p]) / static_cast<double>(kSelections);
+    deviation += std::fabs(expected - observed);
+  }
+  EXPECT_LT(deviation / 2.0, 0.08);  // Total variation distance.
+}
+
+TEST(BiasedWalkTest, VisitsMatchingRegionsMoreOften) {
+  TestNetworkParams net_params;
+  net_params.cluster_level = 0.0;
+  TestNetwork tn = MakeTestNetwork(net_params);
+  query::RangePredicate predicate{1, 10};
+  BiasedWalkSampler sampler(&tn.network, predicate, 5, 0.05);
+  util::Rng rng(4);
+  auto visits = sampler.SamplePeers(0, 2000, rng);
+  ASSERT_TRUE(visits.ok());
+  size_t matching_visits = 0;
+  for (const auto& v : *visits) {
+    const auto& db = tn.network.peer(v.peer).database();
+    if (!db.empty() &&
+        db.Count(predicate.lo, predicate.hi) * 2 >
+            static_cast<int64_t>(db.size())) {
+      ++matching_visits;
+    }
+  }
+  // Fraction of peers whose data is mostly matching ~ selectivity of the
+  // predicate under unbiased walking; the biased walk must exceed it.
+  double fraction =
+      static_cast<double>(matching_visits) / static_cast<double>(2000);
+  auto zipf = util::ZipfGenerator::Make(100, 0.2);
+  double selectivity = 0.0;
+  for (uint32_t v = 1; v <= 10; ++v) selectivity += zipf->Probability(v);
+  EXPECT_GT(fraction, selectivity * 1.5);
+}
+
+TEST(BiasedWalkTest, SelfNormalizedEstimateIsConsistent) {
+  TestNetworkParams net_params;
+  net_params.cluster_level = 0.5;
+  TestNetwork tn = MakeTestNetwork(net_params);
+  query::AggregateQuery q = CountQuery();
+  double truth = static_cast<double>(tn.network.ExactCount(1, 30));
+  util::RunningStat errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(seed);
+    auto answer = EstimateBiased(&tn.network, tn.catalog, q, 0,
+                                 /*num_peers=*/300, /*tuples_per_peer=*/25,
+                                 /*floor=*/0.2, rng);
+    ASSERT_TRUE(answer.ok());
+    errors.Add(util::RelativeError(answer->estimate, truth));
+  }
+  EXPECT_LT(errors.mean(), 0.15);
+}
+
+TEST(BiasedWalkTest, ReportsCost) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  query::AggregateQuery q = CountQuery();
+  util::Rng rng(9);
+  auto answer = EstimateBiased(&tn.network, tn.catalog, q, 0, 50, 25, 0.2,
+                               rng);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->peers_visited, 50u);
+  EXPECT_GT(answer->cost.walker_hops, 0u);
+  EXPECT_EQ(answer->cost.peers_visited, 50u);
+}
+
+}  // namespace
+}  // namespace p2paqp::core

@@ -1,0 +1,142 @@
+// Tests for the approximate-histogram estimator.
+#include "core/histogram_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace p2paqp::core {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+// Exact histogram oracle over the live network.
+util::Histogram ExactHistogram(const net::SimulatedNetwork& network,
+                               const HistogramRequest& request) {
+  auto histogram =
+      util::Histogram::Make(request.lo, request.hi, request.num_buckets);
+  for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+    if (!network.IsAlive(p)) continue;
+    for (const data::Tuple& t : network.peer(p).database().tuples()) {
+      histogram->Add(t.value);
+    }
+  }
+  return std::move(*histogram);
+}
+
+TEST(HistogramEstimatorTest, RejectsBadRequests) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  TwoPhaseEngine engine(&tn.network, tn.catalog, EngineParams{});
+  util::Rng rng(1);
+  HistogramRequest bad;
+  bad.required_l1 = 0.0;
+  EXPECT_FALSE(EstimateHistogramTwoPhase(engine, bad, 0, rng).ok());
+  bad = HistogramRequest{};
+  bad.num_buckets = 0;
+  EXPECT_FALSE(EstimateHistogramTwoPhase(engine, bad, 0, rng).ok());
+  bad = HistogramRequest{};
+  bad.lo = 50;
+  bad.hi = 10;
+  EXPECT_FALSE(EstimateHistogramTwoPhase(engine, bad, 0, rng).ok());
+}
+
+TEST(HistogramEstimatorTest, ApproximatesValueDistribution) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  HistogramRequest request;
+  request.num_buckets = 10;
+  request.required_l1 = 0.10;
+  util::Rng rng(2);
+  auto answer = EstimateHistogramTwoPhase(engine, request, 0, rng);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  util::Histogram truth = ExactHistogram(tn.network, request);
+  EXPECT_LT(answer->histogram.NormalizedL1Distance(truth), 0.15);
+  // Total mass should approximate the table size (HT-weighted counts).
+  EXPECT_NEAR(answer->histogram.total(),
+              static_cast<double>(tn.network.TotalTuples()),
+              0.25 * static_cast<double>(tn.network.TotalTuples()));
+}
+
+TEST(HistogramEstimatorTest, SkewShowsUpInBuckets) {
+  TestNetworkParams net_params;
+  net_params.skew = 1.5;
+  TestNetwork tn = MakeTestNetwork(net_params);
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  HistogramRequest request;
+  request.num_buckets = 10;
+  util::Rng rng(3);
+  auto answer = EstimateHistogramTwoPhase(engine, request, 0, rng);
+  ASSERT_TRUE(answer.ok());
+  // Heavy skew: the first bucket dominates every later bucket.
+  for (size_t b = 1; b < answer->histogram.num_buckets(); ++b) {
+    EXPECT_GT(answer->histogram.count(0), answer->histogram.count(b))
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramEstimatorTest, TighterL1CostsMorePeers) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  HistogramRequest loose;
+  loose.required_l1 = 0.30;
+  HistogramRequest tight = loose;
+  tight.required_l1 = 0.05;
+  util::Rng rng_a(4);
+  util::Rng rng_b(4);
+  auto loose_answer = EstimateHistogramTwoPhase(engine, loose, 0, rng_a);
+  auto tight_answer = EstimateHistogramTwoPhase(engine, tight, 0, rng_b);
+  ASSERT_TRUE(loose_answer.ok());
+  ASSERT_TRUE(tight_answer.ok());
+  EXPECT_GE(tight_answer->phase2_peers, loose_answer->phase2_peers);
+}
+
+TEST(HistogramEstimatorTest, ShipsRawBytes) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  EngineParams params;
+  params.phase1_peers = 40;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  HistogramRequest request;
+  util::Rng rng(5);
+  auto answer = EstimateHistogramTwoPhase(engine, request, 0, rng);
+  ASSERT_TRUE(answer.ok());
+  // Every visited peer ships ~t raw values of 4 bytes on top of headers.
+  EXPECT_GT(answer->cost.bytes_shipped,
+            answer->cost.peers_visited * 4 * 20);
+  EXPECT_GT(answer->sample_tuples, 0u);
+}
+
+TEST(HistogramEstimatorTest, ClusteredDataRaisesCvDistance) {
+  TestNetworkParams clustered;
+  clustered.cluster_level = 0.0;
+  TestNetworkParams shuffled;
+  shuffled.cluster_level = 1.0;
+  TestNetwork tn_clustered = MakeTestNetwork(clustered);
+  TestNetwork tn_shuffled = MakeTestNetwork(shuffled);
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine_c(&tn_clustered.network, tn_clustered.catalog, params);
+  TwoPhaseEngine engine_s(&tn_shuffled.network, tn_shuffled.catalog, params);
+  HistogramRequest request;
+  util::Rng rng_a(6);
+  util::Rng rng_b(6);
+  auto clustered_answer =
+      EstimateHistogramTwoPhase(engine_c, request, 0, rng_a);
+  auto shuffled_answer =
+      EstimateHistogramTwoPhase(engine_s, request, 0, rng_b);
+  ASSERT_TRUE(clustered_answer.ok());
+  ASSERT_TRUE(shuffled_answer.ok());
+  // Perfectly clustered peers give wildly different half-sample histograms;
+  // shuffled peers are microcosms with near-zero CV distance.
+  EXPECT_GT(clustered_answer->cv_l1, 3.0 * shuffled_answer->cv_l1);
+}
+
+}  // namespace
+}  // namespace p2paqp::core

@@ -1,0 +1,370 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/local_database.h"
+#include "data/partitioner.h"
+#include "topology/clustered.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::data {
+namespace {
+
+std::map<Value, size_t> ValueCounts(const Table& table) {
+  std::map<Value, size_t> counts;
+  for (const Tuple& t : table) ++counts[t.value];
+  return counts;
+}
+
+TEST(GeneratorTest, ProducesRequestedTuplesInDomain) {
+  util::Rng rng(1);
+  DatasetParams params;
+  params.num_tuples = 10000;
+  auto table = GenerateDataset(params, rng);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 10000u);
+  for (const Tuple& t : *table) {
+    EXPECT_GE(t.value, 1);
+    EXPECT_LE(t.value, 100);
+  }
+}
+
+TEST(GeneratorTest, SkewSlantsFrequencies) {
+  util::Rng rng(2);
+  DatasetParams flat;
+  flat.num_tuples = 50000;
+  flat.skew = 0.0;
+  DatasetParams steep = flat;
+  steep.skew = 2.0;
+  auto flat_table = GenerateDataset(flat, rng);
+  auto steep_table = GenerateDataset(steep, rng);
+  ASSERT_TRUE(flat_table.ok());
+  ASSERT_TRUE(steep_table.ok());
+  auto flat_counts = ValueCounts(*flat_table);
+  auto steep_counts = ValueCounts(*steep_table);
+  // Under heavy skew the most frequent value dominates; under zero skew it
+  // holds ~1% of the mass.
+  EXPECT_GT(steep_counts[1], flat_counts[1] * 10);
+}
+
+TEST(GeneratorTest, CustomDomain) {
+  util::Rng rng(3);
+  DatasetParams params;
+  params.num_tuples = 1000;
+  params.min_value = -10;
+  params.max_value = 10;
+  params.skew = 0.5;
+  auto table = GenerateDataset(params, rng);
+  ASSERT_TRUE(table.ok());
+  for (const Tuple& t : *table) {
+    EXPECT_GE(t.value, -10);
+    EXPECT_LE(t.value, 10);
+  }
+}
+
+TEST(GeneratorTest, ColumnBDefaultsToZero) {
+  util::Rng rng(30);
+  DatasetParams params;
+  params.num_tuples = 500;
+  auto table = GenerateDataset(params, rng);
+  ASSERT_TRUE(table.ok());
+  for (const Tuple& t : *table) EXPECT_EQ(t.b, 0);
+}
+
+TEST(GeneratorTest, ColumnBCorrelationKnob) {
+  util::Rng rng(31);
+  DatasetParams params;
+  params.num_tuples = 20000;
+  params.fill_b = true;
+  params.b_correlation = 0.0;
+  auto independent = GenerateDataset(params, rng);
+  ASSERT_TRUE(independent.ok());
+  params.b_correlation = 1.0;
+  auto copied = GenerateDataset(params, rng);
+  ASSERT_TRUE(copied.ok());
+  size_t equal_independent = 0;
+  for (const Tuple& t : *independent) {
+    EXPECT_GE(t.b, 1);
+    EXPECT_LE(t.b, 100);
+    if (t.b == t.value) ++equal_independent;
+  }
+  for (const Tuple& t : *copied) EXPECT_EQ(t.b, t.value);
+  // Independent draws coincide with A only occasionally.
+  EXPECT_LT(equal_independent, independent->size() / 2);
+}
+
+TEST(GeneratorTest, RejectsBadBCorrelation) {
+  util::Rng rng(32);
+  DatasetParams params;
+  params.fill_b = true;
+  params.b_correlation = 1.5;
+  EXPECT_FALSE(GenerateDataset(params, rng).ok());
+}
+
+TEST(GeneratorTest, RejectsEmptyDomain) {
+  util::Rng rng(4);
+  DatasetParams params;
+  params.min_value = 5;
+  params.max_value = 4;
+  EXPECT_FALSE(GenerateDataset(params, rng).ok());
+}
+
+TEST(GeneratorTest, ExactAggregatesAgree) {
+  Table table = {{1}, {5}, {5}, {30}, {99}};
+  EXPECT_EQ(ExactCount(table, 1, 10), 3);
+  EXPECT_EQ(ExactSum(table, 1, 10), 11);
+  EXPECT_EQ(ExactCount(table, 50, 100), 1);
+  EXPECT_EQ(ExactSum(table, 50, 100), 99);
+  EXPECT_EQ(ExactCount(table, 200, 300), 0);
+}
+
+TEST(LocalDatabaseTest, CountSumMedian) {
+  LocalDatabase db(Table{{2}, {4}, {6}, {8}, {10}});
+  EXPECT_EQ(db.Count(4, 8), 3);
+  EXPECT_EQ(db.Sum(4, 8), 18);
+  EXPECT_DOUBLE_EQ(db.MedianValue(), 6.0);
+  LocalDatabase even(Table{{1}, {3}, {5}, {7}});
+  EXPECT_DOUBLE_EQ(even.MedianValue(), 4.0);
+}
+
+TEST(LocalDatabaseTest, SampleSizesAndMembership) {
+  LocalDatabase db(Table{{1}, {2}, {3}, {4}, {5}});
+  util::Rng rng(5);
+  Table sample = db.Sample(3, rng);
+  EXPECT_EQ(sample.size(), 3u);
+  for (const Tuple& t : sample) {
+    EXPECT_GE(t.value, 1);
+    EXPECT_LE(t.value, 5);
+  }
+  // Requesting more than available returns everything.
+  EXPECT_EQ(db.Sample(10, rng).size(), 5u);
+}
+
+TEST(LocalDatabaseTest, AppendAndClear) {
+  LocalDatabase db;
+  EXPECT_TRUE(db.empty());
+  db.Append(Tuple{7});
+  db.Append(Table{{8}, {9}});
+  EXPECT_EQ(db.size(), 3u);
+  db.Clear();
+  EXPECT_TRUE(db.empty());
+}
+
+class PartitionerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(7);
+    auto graph = topology::MakeBarabasiAlbert(200, 3, rng);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::move(*graph);
+    DatasetParams params;
+    params.num_tuples = 10000;
+    auto table = GenerateDataset(params, rng);
+    ASSERT_TRUE(table.ok());
+    table_ = std::move(*table);
+  }
+
+  graph::Graph graph_;
+  Table table_;
+};
+
+TEST_F(PartitionerTest, PreservesTupleMultiset) {
+  util::Rng rng(8);
+  PartitionParams params;
+  params.cluster_level = 0.3;
+  auto dbs = PartitionAcrossPeers(table_, graph_, params, rng);
+  ASSERT_TRUE(dbs.ok());
+  Table reassembled;
+  for (const LocalDatabase& db : *dbs) {
+    reassembled.insert(reassembled.end(), db.tuples().begin(),
+                       db.tuples().end());
+  }
+  EXPECT_EQ(ValueCounts(reassembled), ValueCounts(table_));
+}
+
+TEST_F(PartitionerTest, UniformQuotas) {
+  util::Rng rng(9);
+  PartitionParams params;
+  auto dbs = PartitionAcrossPeers(table_, graph_, params, rng);
+  ASSERT_TRUE(dbs.ok());
+  for (const LocalDatabase& db : *dbs) {
+    EXPECT_EQ(db.size(), 50u);  // 10000 tuples / 200 peers.
+  }
+}
+
+TEST_F(PartitionerTest, DegreeProportionalQuotas) {
+  util::Rng rng(10);
+  PartitionParams params;
+  params.size_policy = PartitionParams::SizePolicy::kDegreeProportional;
+  auto dbs = PartitionAcrossPeers(table_, graph_, params, rng);
+  ASSERT_TRUE(dbs.ok());
+  size_t total = 0;
+  for (const LocalDatabase& db : *dbs) total += db.size();
+  EXPECT_EQ(total, table_.size());
+  // The highest-degree peer holds more than the lowest-degree peer.
+  graph::NodeId hub = 0;
+  graph::NodeId leaf = 0;
+  for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (graph_.degree(v) > graph_.degree(hub)) hub = v;
+    if (graph_.degree(v) < graph_.degree(leaf)) leaf = v;
+  }
+  EXPECT_GT((*dbs)[hub].size(), (*dbs)[leaf].size());
+}
+
+// The key clustering property: at CL=0 each peer sees a narrow slice of the
+// sorted value space; at CL=1 each peer sees a cross-section of everything.
+TEST_F(PartitionerTest, ClusterLevelControlsPerPeerSpread) {
+  auto average_spread = [&](double cl) {
+    util::Rng rng(11);
+    PartitionParams params;
+    params.cluster_level = cl;
+    params.bfs_root = 0;
+    auto dbs = PartitionAcrossPeers(table_, graph_, params, rng);
+    EXPECT_TRUE(dbs.ok());
+    double total = 0.0;
+    for (const LocalDatabase& db : *dbs) {
+      Value lo = 1000;
+      Value hi = -1000;
+      for (const Tuple& t : db.tuples()) {
+        lo = std::min(lo, t.value);
+        hi = std::max(hi, t.value);
+      }
+      total += static_cast<double>(hi - lo);
+    }
+    return total / static_cast<double>(dbs->size());
+  };
+  double spread_clustered = average_spread(0.0);
+  double spread_mixed = average_spread(0.5);
+  double spread_random = average_spread(1.0);
+  EXPECT_LT(spread_clustered, spread_mixed);
+  EXPECT_LT(spread_mixed, spread_random);
+  // Perfectly clustered peers hold essentially one value run.
+  EXPECT_LT(spread_clustered, 3.0);
+}
+
+TEST(PartitionerClusteringTest, AdjacentPeersGetSimilarDataWhenClustered) {
+  // On a community-structured overlay with CL=0 and breadth-first handout,
+  // peers connected in the overlay must hold more similar data than random
+  // peer pairs ("when loading a peer, the adjacent peers are also loaded
+  // with similarly clustered data").
+  util::Rng rng(12);
+  topology::ClusteredParams topo_params;
+  topo_params.num_nodes = 400;
+  topo_params.num_edges = 2000;
+  topo_params.num_subgraphs = 4;
+  topo_params.cut_edges = 12;
+  auto topo = topology::MakeClustered(topo_params, rng);
+  ASSERT_TRUE(topo.ok());
+  DatasetParams data_params;
+  data_params.num_tuples = 20000;
+  auto table = GenerateDataset(data_params, rng);
+  ASSERT_TRUE(table.ok());
+  PartitionParams params;
+  params.cluster_level = 0.0;
+  params.bfs_root = 0;
+  auto dbs = PartitionAcrossPeers(*table, topo->graph, params, rng);
+  ASSERT_TRUE(dbs.ok());
+
+  double neighbor_gap = 0.0;
+  size_t neighbor_pairs = 0;
+  for (graph::NodeId u = 0; u < topo->graph.num_nodes(); ++u) {
+    for (graph::NodeId v : topo->graph.neighbors(u)) {
+      if (u < v) {
+        neighbor_gap +=
+            std::abs((*dbs)[u].MedianValue() - (*dbs)[v].MedianValue());
+        ++neighbor_pairs;
+      }
+    }
+  }
+  neighbor_gap /= static_cast<double>(neighbor_pairs);
+
+  double random_gap = 0.0;
+  const size_t kRandomPairs = 4000;
+  for (size_t i = 0; i < kRandomPairs; ++i) {
+    auto a = static_cast<graph::NodeId>(rng.UniformIndex(400));
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(400));
+    random_gap += std::abs((*dbs)[a].MedianValue() - (*dbs)[b].MedianValue());
+  }
+  random_gap /= static_cast<double>(kRandomPairs);
+
+  EXPECT_LT(neighbor_gap, 0.8 * random_gap);
+}
+
+TEST_F(PartitionerTest, RejectsBadClusterLevel) {
+  util::Rng rng(13);
+  PartitionParams params;
+  params.cluster_level = 1.5;
+  EXPECT_FALSE(PartitionAcrossPeers(table_, graph_, params, rng).ok());
+}
+
+TEST_F(PartitionerTest, RejectsBadRoot) {
+  util::Rng rng(14);
+  PartitionParams params;
+  params.bfs_root = 9999;
+  EXPECT_FALSE(PartitionAcrossPeers(table_, graph_, params, rng).ok());
+}
+
+TEST(BlockSamplingTest, ReturnsWholeBlocks) {
+  data::Table table;
+  for (int i = 0; i < 64; ++i) table.push_back({i});
+  LocalDatabase db(std::move(table));
+  util::Rng rng(21);
+  Table sample = db.SampleBlockLevel(20, 8, rng);
+  // ceil(20/8) = 3 blocks of 8.
+  ASSERT_EQ(sample.size(), 24u);
+  // Values arrive in runs of 8 consecutive integers (block structure).
+  for (size_t i = 0; i < sample.size(); i += 8) {
+    for (size_t j = 1; j < 8; ++j) {
+      EXPECT_EQ(sample[i + j].value, sample[i].value + static_cast<int>(j));
+    }
+    EXPECT_EQ(sample[i].value % 8, 0);  // Aligned block start.
+  }
+}
+
+TEST(BlockSamplingTest, OversizedRequestReturnsEverything) {
+  LocalDatabase db(Table{{1}, {2}, {3}});
+  util::Rng rng(22);
+  EXPECT_EQ(db.SampleBlockLevel(10, 4, rng).size(), 3u);
+}
+
+TEST(BlockSamplingTest, TailBlockMayBeShort) {
+  data::Table table;
+  for (int i = 0; i < 10; ++i) table.push_back({i});
+  LocalDatabase db(std::move(table));
+  util::Rng rng(23);
+  // 3 blocks: [0..3], [4..7], [8..9]. Ask for enough to need all blocks
+  // minus one; sizes are 4, 4 and 2 in some order.
+  Table sample = db.SampleBlockLevel(8, 4, rng);
+  EXPECT_GE(sample.size(), 6u);
+  EXPECT_LE(sample.size(), 8u);
+}
+
+TEST(BlockSamplingTest, BlocksAreDrawnUniformly) {
+  data::Table table;
+  for (int i = 0; i < 100; ++i) table.push_back({i});
+  LocalDatabase db(std::move(table));
+  util::Rng rng(24);
+  std::vector<int> block_hits(10, 0);
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (const Tuple& t : db.SampleBlockLevel(10, 10, rng)) {
+      if (t.value % 10 == 0) ++block_hits[t.value / 10];
+    }
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(block_hits[b] / 5000.0, 0.1, 0.02) << "block " << b;
+  }
+}
+
+TEST(PartitionerEdgeTest, EmptyTableGivesEmptyDatabases) {
+  util::Rng rng(15);
+  auto graph = topology::MakeBarabasiAlbert(10, 2, rng);
+  ASSERT_TRUE(graph.ok());
+  auto dbs = PartitionAcrossPeers(Table{}, *graph, PartitionParams{}, rng);
+  ASSERT_TRUE(dbs.ok());
+  for (const LocalDatabase& db : *dbs) EXPECT_TRUE(db.empty());
+}
+
+}  // namespace
+}  // namespace p2paqp::data

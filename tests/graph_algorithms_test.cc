@@ -1,0 +1,123 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace p2paqp::graph {
+namespace {
+
+// Path 0-1-2-3-4.
+Graph MakePath(size_t n = 5) {
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+// Two triangles {0,1,2} and {3,4,5}.
+Graph MakeTwoTriangles() {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 3);
+  return builder.Build();
+}
+
+TEST(BfsTest, OrderStartsAtRootAndCoversComponent) {
+  Graph g = MakePath();
+  auto order = BfsOrder(g, 2);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 2u);
+  std::set<NodeId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = MakePath();
+  auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  Graph g = MakeTwoTriangles();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsTest, LevelsAreNonDecreasingInOrder) {
+  Graph g = MakeTwoTriangles();
+  auto order = BfsOrder(g, 0);
+  auto dist = BfsDistances(g, 0);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(dist[order[i]], dist[order[i - 1]]);
+  }
+}
+
+TEST(DfsTest, PreorderCoversComponent) {
+  Graph g = MakePath();
+  auto order = DfsOrder(g, 0);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  // On a path from an endpoint, DFS == the path itself.
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(order[v], v);
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  Graph g = MakeTwoTriangles();
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(CountComponents(g), 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ComponentsTest, ConnectedGraph) {
+  EXPECT_TRUE(IsConnected(MakePath()));
+  EXPECT_FALSE(IsConnected(MakeTwoTriangles()));
+  EXPECT_TRUE(IsConnected(Graph{}));
+}
+
+TEST(ComponentsTest, IsolatedNodesAreOwnComponents) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(CountComponents(g), 3u);
+}
+
+TEST(DiameterTest, PathDiameter) {
+  Graph g = MakePath(10);
+  util::Rng rng(5);
+  // With enough probes, some BFS hits an endpoint-ish node; the estimate is
+  // a lower bound on the true diameter 9 and can reach it.
+  uint32_t est = EstimateDiameter(g, 20, rng);
+  EXPECT_GE(est, 5u);
+  EXPECT_LE(est, 9u);
+}
+
+TEST(CutSizeTest, CountsCrossEdgesOnly) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);  // Inside block 0.
+  builder.AddEdge(2, 3);  // Inside block 1.
+  builder.AddEdge(1, 2);  // Cross.
+  builder.AddEdge(0, 3);  // Cross.
+  Graph g = builder.Build();
+  std::vector<uint32_t> partition = {0, 0, 1, 1};
+  EXPECT_EQ(CutSize(g, partition), 2u);
+}
+
+TEST(CutSizeTest, SingleBlockHasZeroCut) {
+  Graph g = MakePath();
+  std::vector<uint32_t> partition(5, 0);
+  EXPECT_EQ(CutSize(g, partition), 0u);
+}
+
+}  // namespace
+}  // namespace p2paqp::graph

@@ -1,0 +1,108 @@
+#include "graph/metrics.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "topology/power_law.h"
+#include "topology/random.h"
+
+namespace p2paqp::graph {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  return builder.Build();
+}
+
+Graph MakeStar(size_t leaves) {
+  GraphBuilder builder(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+TEST(DegreeHistogramTest, CountsNodesPerDegree) {
+  Graph g = MakeStar(4);
+  auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 5u);  // Degrees 0..4.
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), size_t{0}),
+            g.num_nodes());
+}
+
+TEST(PowerLawFitTest, BaGraphExponentInPlausibleRange) {
+  util::Rng rng(3);
+  auto graph = topology::MakeBarabasiAlbert(3000, 3, rng);
+  ASSERT_TRUE(graph.ok());
+  double alpha = FitPowerLawExponent(*graph, 3);
+  // BA attachment yields alpha ~= 3 asymptotically; finite graphs drift.
+  EXPECT_GT(alpha, 1.8);
+  EXPECT_LT(alpha, 4.5);
+}
+
+TEST(PowerLawFitTest, UniformRandomGraphFitsSteeper) {
+  // ER degree tails decay much faster than a power law; the MLE "alpha"
+  // comes out larger than for a genuinely heavy-tailed graph.
+  util::Rng rng(5);
+  auto ba = topology::MakeBarabasiAlbert(2000, 3, rng);
+  auto er = topology::MakeErdosRenyi(2000, 6000, rng);
+  ASSERT_TRUE(ba.ok());
+  ASSERT_TRUE(er.ok());
+  EXPECT_LT(FitPowerLawExponent(*ba, 4), FitPowerLawExponent(*er, 4));
+}
+
+TEST(PowerLawFitTest, NoQualifyingNodesReturnsZero) {
+  Graph g = MakeStar(2);
+  EXPECT_DOUBLE_EQ(FitPowerLawExponent(g, 10), 0.0);
+}
+
+TEST(ClusteringCoefficientTest, TriangleIsOne) {
+  util::Rng rng(7);
+  EXPECT_DOUBLE_EQ(EstimateClusteringCoefficient(MakeTriangle(), 10, rng),
+                   1.0);
+}
+
+TEST(ClusteringCoefficientTest, StarIsZero) {
+  util::Rng rng(9);
+  EXPECT_DOUBLE_EQ(EstimateClusteringCoefficient(MakeStar(5), 10, rng), 0.0);
+}
+
+TEST(ConductanceTest, KnownSplit) {
+  // Two triangles joined by one edge: cut = 1, vol(S) = 7 (triangle plus
+  // bridge endpoint degree 3).
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 3);
+  builder.AddEdge(2, 3);
+  Graph g = builder.Build();
+  std::vector<bool> side = {true, true, true, false, false, false};
+  EXPECT_NEAR(Conductance(g, side), 1.0 / 7.0, 1e-12);
+}
+
+TEST(ConductanceTest, EmptySideIsZero) {
+  Graph g = MakeTriangle();
+  std::vector<bool> side(3, false);
+  EXPECT_DOUBLE_EQ(Conductance(g, side), 0.0);
+}
+
+TEST(ConductanceTest, WellMixedSplitHasHighConductance) {
+  util::Rng rng(11);
+  auto graph = topology::MakeErdosRenyi(400, 2400, rng);
+  ASSERT_TRUE(graph.ok());
+  std::vector<bool> side(400);
+  for (size_t v = 0; v < 400; ++v) side[v] = (v % 2 == 0);
+  // A random split of a random graph cuts ~half the edges.
+  EXPECT_GT(Conductance(*graph, side), 0.3);
+}
+
+}  // namespace
+}  // namespace p2paqp::graph

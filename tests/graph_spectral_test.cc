@@ -1,0 +1,136 @@
+// Spectral estimation and mixing-time tests. Complete graphs and clustered
+// graphs have known spectral behaviour, pinning the estimator down.
+#include "graph/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/metrics.h"
+#include "topology/clustered.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::graph {
+namespace {
+
+Graph MakeComplete(size_t n) {
+  GraphBuilder builder(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) builder.AddEdge(a, b);
+  }
+  return builder.Build();
+}
+
+Graph MakeCycle(size_t n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 0; v < n; ++v) {
+    builder.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return builder.Build();
+}
+
+TEST(SpectralTest, CompleteGraphSecondEigenvalue) {
+  // K_n walk matrix eigenvalues: 1 and -1/(n-1).
+  Graph g = MakeComplete(10);
+  util::Rng rng(3);
+  double lambda2 = EstimateSecondEigenvalue(g, 200, rng);
+  EXPECT_NEAR(lambda2, 1.0 / 9.0, 0.01);
+}
+
+TEST(SpectralTest, OddCycleSecondEigenvalueMagnitude) {
+  // Cycle C_n has walk-matrix spectrum {cos(2 pi k / n)}. For odd n the
+  // largest magnitude below 1 is |cos(pi (n-1) / n)| = cos(pi / n)
+  // (even cycles are bipartite and would give exactly 1).
+  Graph g = MakeCycle(21);
+  util::Rng rng(5);
+  double lambda2 = EstimateSecondEigenvalue(g, 600, rng);
+  EXPECT_NEAR(lambda2, std::cos(M_PI / 21.0), 0.01);
+}
+
+TEST(SpectralTest, SmallCutRaisesLambda2) {
+  util::Rng rng(7);
+  topology::ClusteredParams tight;
+  tight.num_nodes = 300;
+  tight.num_edges = 1500;
+  tight.num_subgraphs = 2;
+  tight.cut_edges = 1;  // Nearly disconnected.
+  auto tight_graph = topology::MakeClustered(tight, rng);
+  ASSERT_TRUE(tight_graph.ok());
+
+  topology::ClusteredParams loose = tight;
+  loose.cut_edges = 300;
+  auto loose_graph = topology::MakeClustered(loose, rng);
+  ASSERT_TRUE(loose_graph.ok());
+
+  util::Rng rng2(11);
+  double lambda_tight =
+      EstimateSecondEigenvalue(tight_graph->graph, 150, rng2);
+  double lambda_loose =
+      EstimateSecondEigenvalue(loose_graph->graph, 150, rng2);
+  EXPECT_GT(lambda_tight, lambda_loose);
+  EXPECT_GT(lambda_tight, 0.9);  // Small cut => nearly reducible chain.
+}
+
+TEST(WalkDistributionTest, ConservesProbabilityMass) {
+  Graph g = MakeCycle(11);
+  auto dist = WalkDistribution(g, 0, 25, /*lazy=*/true);
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WalkDistributionTest, LazyWalkConvergesToStationary) {
+  util::Rng rng(13);
+  auto graph = topology::MakeBarabasiAlbert(200, 3, rng);
+  ASSERT_TRUE(graph.ok());
+  auto dist = WalkDistribution(*graph, 0, 200, /*lazy=*/true);
+  EXPECT_LT(TotalVariationFromStationary(*graph, dist), 0.01);
+}
+
+TEST(WalkDistributionTest, TvDistanceDecreasesWithSteps) {
+  util::Rng rng(17);
+  auto graph = topology::MakeBarabasiAlbert(100, 3, rng);
+  ASSERT_TRUE(graph.ok());
+  double tv5 = TotalVariationFromStationary(
+      *graph, WalkDistribution(*graph, 0, 5, true));
+  double tv50 = TotalVariationFromStationary(
+      *graph, WalkDistribution(*graph, 0, 50, true));
+  EXPECT_GT(tv5, tv50);
+}
+
+TEST(MixingTimeTest, ExpanderMixesInLogSteps) {
+  // The paper cites [14]: expanders mix in O(log M) steps.
+  util::Rng rng(19);
+  auto graph = topology::MakeBarabasiAlbert(500, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  size_t t = MeasureMixingTime(*graph, 0, 0.05, 2000);
+  EXPECT_LT(t, 120u);  // Generous constant times log2(500) ~ 9.
+}
+
+TEST(MixingTimeTest, MeasuredWithinAnalyticBound) {
+  util::Rng rng(23);
+  auto graph = topology::MakeBarabasiAlbert(300, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  util::Rng rng2(29);
+  double lambda2 = EstimateSecondEigenvalue(*graph, 200, rng2);
+  // The lazy chain's eigenvalue is (1 + lambda2) / 2.
+  double lazy_lambda2 = (1.0 + lambda2) / 2.0;
+  size_t bound = MixingTimeBound(graph->num_nodes(), lazy_lambda2, 0.05);
+  size_t measured = MeasureMixingTime(*graph, 0, 0.05, 5000);
+  EXPECT_LE(measured, bound);
+}
+
+TEST(MixingTimeBoundTest, MonotoneInLambda) {
+  EXPECT_LT(MixingTimeBound(1000, 0.5, 0.01),
+            MixingTimeBound(1000, 0.9, 0.01));
+  EXPECT_LT(MixingTimeBound(1000, 0.9, 0.01),
+            MixingTimeBound(1000, 0.999, 0.01));
+}
+
+TEST(MixingTimeBoundTest, TinyGraphIsZero) {
+  EXPECT_EQ(MixingTimeBound(1, 0.5, 0.01), 0u);
+}
+
+}  // namespace
+}  // namespace p2paqp::graph

@@ -1,0 +1,115 @@
+// Graph representation + builder tests.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace p2paqp::graph {
+namespace {
+
+// Triangle plus a pendant: 0-1, 1-2, 2-0, 2-3.
+Graph MakeDiamond() {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_TRUE(builder.AddEdge(1, 2));
+  EXPECT_TRUE(builder.AddEdge(2, 0));
+  EXPECT_TRUE(builder.AddEdge(2, 3));
+  return builder.Build();
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.AddEdge(1, 1));
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicatesBothDirections) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(1, 0));
+  EXPECT_EQ(builder.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.AddEdge(0, 3));
+  EXPECT_FALSE(builder.AddEdge(7, 1));
+}
+
+TEST(GraphBuilderTest, HasEdgeTracksInsertions) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 2);
+  EXPECT_TRUE(builder.HasEdge(0, 2));
+  EXPECT_TRUE(builder.HasEdge(2, 0));
+  EXPECT_FALSE(builder.HasEdge(1, 3));
+}
+
+TEST(GraphTest, DegreesAndCounts) {
+  Graph g = MakeDiamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = MakeDiamond();
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = MakeDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(GraphTest, StationaryProbabilitiesSumToOne) {
+  Graph g = MakeDiamond();
+  double total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    total += g.StationaryProbability(v);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // prob(v) = deg(v) / 2|E| = deg(v) / 8.
+  EXPECT_DOUBLE_EQ(g.StationaryProbability(2), 3.0 / 8.0);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GraphTest, IsolatedNodesAllowed) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+  EXPECT_EQ(g.min_degree(), 0u);
+}
+
+TEST(GraphBuilderTest, BuildDrainsBuilder) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace p2paqp::graph

@@ -1,0 +1,163 @@
+// Cross-module integration tests: full pipeline from topology generation
+// through data placement, preprocessing, querying and churn.
+#include <gtest/gtest.h>
+
+#include "core/aqp.h"
+#include "test_common.h"
+#include "util/statistics.h"
+
+namespace p2paqp {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnGnutellaStyleTopology) {
+  util::Rng rng(1);
+  topology::GnutellaParams topo_params;
+  topo_params.num_nodes = 2000;
+  topo_params.num_edges = 4640;  // Crawl-like average degree.
+  auto graph = topology::MakeGnutellaSnapshot(topo_params, rng);
+  ASSERT_TRUE(graph.ok());
+
+  data::DatasetParams data_params;
+  data_params.num_tuples = 100000;
+  data_params.skew = 0.2;
+  auto table = data::GenerateDataset(data_params, rng);
+  ASSERT_TRUE(table.ok());
+
+  data::PartitionParams part_params;
+  part_params.cluster_level = 0.25;
+  auto dbs = data::PartitionAcrossPeers(*table, *graph, part_params, rng);
+  ASSERT_TRUE(dbs.ok());
+
+  auto network = net::SimulatedNetwork::Make(std::move(*graph),
+                                             std::move(*dbs),
+                                             net::NetworkParams{}, 2);
+  ASSERT_TRUE(network.ok());
+
+  // Full preprocessing pass (spectral estimate included).
+  util::Rng preprocess_rng(3);
+  core::SystemCatalog catalog =
+      core::Preprocess(network->graph(), 0.05, preprocess_rng);
+  EXPECT_EQ(catalog.num_peers, 2000u);
+  EXPECT_GT(catalog.lambda2, 0.0);
+  EXPECT_GE(catalog.suggested_jump, 1u);
+  EXPECT_FALSE(catalog.ToString().empty());
+
+  core::EngineParams engine_params;
+  engine_params.phase1_peers = 60;
+  core::TwoPhaseEngine engine(&*network, catalog, engine_params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.1;
+  double truth = static_cast<double>(network->ExactCount(1, 30));
+  util::Rng query_rng(4);
+  auto answer = engine.Execute(q, /*sink=*/42, query_rng);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_LT(util::RelativeError(answer->estimate, truth), 0.15);
+}
+
+TEST(IntegrationTest, QueriesSurviveChurn) {
+  testing::TestNetworkParams params;
+  params.num_peers = 800;
+  params.num_edges = 4000;
+  testing::TestNetwork tn = testing::MakeTestNetwork(params);
+
+  net::ChurnParams churn_params;
+  churn_params.leave_probability = 0.1;
+  churn_params.rejoin_probability = 0.3;
+  churn_params.pinned = {0};
+  net::ChurnModel churn(churn_params, 5);
+
+  core::EngineParams engine_params;
+  engine_params.phase1_peers = 60;
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.1;
+
+  util::Rng rng(6);
+  util::RunningStat errors;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    churn.Step(tn.network);
+    ASSERT_GT(tn.network.num_alive(), tn.network.num_peers() / 2);
+    // Periodic preprocessing refresh (Sec. 3.3): the slow-changing catalog
+    // is re-estimated so the stationary normalizer 2|E| tracks live edges.
+    core::SystemCatalog live_catalog = core::MakeLiveCatalog(
+        tn.network, tn.catalog.suggested_jump, tn.catalog.suggested_burn_in);
+    core::TwoPhaseEngine engine(&tn.network, live_catalog, engine_params);
+    auto answer = engine.Execute(q, 0, rng);
+    ASSERT_TRUE(answer.ok()) << "epoch " << epoch << ": "
+                             << answer.status().ToString();
+    // Truth shifts with the live set; individual epochs can be noisy under
+    // 25% churn, but the average must track it.
+    double truth = static_cast<double>(tn.network.ExactCount(1, 30));
+    errors.Add(util::RelativeError(answer->estimate, truth));
+  }
+  EXPECT_LT(errors.mean(), 0.3);
+}
+
+TEST(IntegrationTest, EveryAggregateOpRunsOnOneNetwork) {
+  testing::TestNetwork tn =
+      testing::MakeTestNetwork(testing::TestNetworkParams{});
+  core::EngineParams engine_params;
+  engine_params.phase1_peers = 40;
+  core::TwoPhaseEngine engine(&tn.network, tn.catalog, engine_params);
+  util::Rng rng(7);
+  for (query::AggregateOp op :
+       {query::AggregateOp::kCount, query::AggregateOp::kSum,
+        query::AggregateOp::kAvg, query::AggregateOp::kMedian,
+        query::AggregateOp::kQuantile, query::AggregateOp::kDistinct}) {
+    query::AggregateQuery q;
+    q.op = op;
+    q.predicate = {1, 100};
+    q.required_error = 0.15;
+    q.quantile_phi = 0.5;
+    auto answer = engine.Execute(q, 0, rng);
+    ASSERT_TRUE(answer.ok()) << query::AggregateOpToString(op) << ": "
+                             << answer.status().ToString();
+    EXPECT_GT(answer->estimate, 0.0) << query::AggregateOpToString(op);
+  }
+}
+
+TEST(IntegrationTest, DeterministicGivenSeeds) {
+  auto run = []() {
+    testing::TestNetwork tn =
+        testing::MakeTestNetwork(testing::TestNetworkParams{});
+    core::EngineParams engine_params;
+    engine_params.phase1_peers = 40;
+    core::TwoPhaseEngine engine(&tn.network, tn.catalog, engine_params);
+    query::AggregateQuery q;
+    q.op = query::AggregateOp::kCount;
+    q.predicate = {1, 30};
+    q.required_error = 0.1;
+    util::Rng rng(123);
+    auto answer = engine.Execute(q, 0, rng);
+    EXPECT_TRUE(answer.ok());
+    return answer->estimate;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(IntegrationTest, GnutellaProtocolCoexistsWithWalkQueries) {
+  testing::TestNetwork tn =
+      testing::MakeTestNetwork(testing::TestNetworkParams{});
+  // Gnutella search floods share the same cost ledger as walk queries.
+  net::GnutellaProtocol protocol(&tn.network);
+  net::FloodResult flood = protocol.Ping(0, 3);
+  EXPECT_GT(flood.reached.size(), 0u);
+  core::EngineParams engine_params;
+  engine_params.phase1_peers = 30;
+  core::TwoPhaseEngine engine(&tn.network, tn.catalog, engine_params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.2;
+  util::Rng rng(8);
+  auto answer = engine.Execute(q, 0, rng);
+  ASSERT_TRUE(answer.ok());
+  // The per-query cost delta excludes the earlier flood's messages.
+  EXPECT_LT(answer->cost.messages, tn.network.cost_snapshot().messages);
+}
+
+}  // namespace
+}  // namespace p2paqp

@@ -1,0 +1,119 @@
+// Round-trip and corruption tests for world serialization.
+#include "io/world_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "test_common.h"
+
+namespace p2paqp::io {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir().empty() ? "/tmp"
+                                                  : ::testing::TempDir()) +
+         "/" + name;
+}
+
+class WorldIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TestNetworkParams params;
+    params.num_peers = 300;
+    params.num_edges = 1500;
+    params.tuples_per_peer = 20;
+    tn_ = std::make_unique<TestNetwork>(MakeTestNetwork(params));
+    path_ = TempPath("world_io_test.p2pw");
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::unique_ptr<TestNetwork> tn_;
+  std::string path_;
+};
+
+TEST_F(WorldIoTest, RoundTripPreservesEverything) {
+  tn_->network.SetAlive(7, false);
+  tn_->network.SetAlive(123, false);
+  ASSERT_TRUE(SaveWorld(path_, tn_->network).ok());
+
+  auto loaded = LoadWorld(path_, net::NetworkParams{}, 99);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Topology identical.
+  EXPECT_EQ(loaded->graph().num_nodes(), tn_->network.graph().num_nodes());
+  EXPECT_EQ(loaded->graph().num_edges(), tn_->network.graph().num_edges());
+  for (graph::NodeId u = 0; u < loaded->graph().num_nodes(); ++u) {
+    EXPECT_EQ(loaded->graph().degree(u), tn_->network.graph().degree(u));
+  }
+  // Liveness identical.
+  EXPECT_FALSE(loaded->IsAlive(7));
+  EXPECT_FALSE(loaded->IsAlive(123));
+  EXPECT_EQ(loaded->num_alive(), tn_->network.num_alive());
+  // Data identical, tuple for tuple.
+  for (graph::NodeId p = 0; p < loaded->num_peers(); ++p) {
+    EXPECT_EQ(loaded->peer(p).database().tuples(),
+              tn_->network.peer(p).database().tuples());
+  }
+  // Aggregates therefore agree exactly.
+  EXPECT_EQ(loaded->ExactCount(1, 30), tn_->network.ExactCount(1, 30));
+  EXPECT_EQ(loaded->ExactSum(1, 100), tn_->network.ExactSum(1, 100));
+}
+
+TEST_F(WorldIoTest, LoadedWorldAnswersQueries) {
+  ASSERT_TRUE(SaveWorld(path_, tn_->network).ok());
+  auto loaded = LoadWorld(path_, net::NetworkParams{}, 5);
+  ASSERT_TRUE(loaded.ok());
+  core::SystemCatalog catalog = core::MakeCatalog(loaded->graph(), 10, 30);
+  core::EngineParams params;
+  params.phase1_peers = 40;
+  params.include_phase1_observations = true;
+  core::TwoPhaseEngine engine(&*loaded, catalog, params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 30};
+  q.required_error = 0.15;
+  util::Rng rng(6);
+  auto answer = engine.Execute(q, 0, rng);
+  ASSERT_TRUE(answer.ok());
+  double truth = static_cast<double>(loaded->ExactCount(1, 30));
+  double total = static_cast<double>(loaded->TotalTuples());
+  EXPECT_LT(std::fabs(answer->estimate - truth) / total, 0.2);
+}
+
+TEST_F(WorldIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadWorld(TempPath("does_not_exist.p2pw"),
+                          net::NetworkParams{}, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(WorldIoTest, RejectsForeignFiles) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("definitely not a world file", f);
+  std::fclose(f);
+  auto loaded = LoadWorld(path_, net::NetworkParams{}, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorldIoTest, RejectsTruncatedFiles) {
+  ASSERT_TRUE(SaveWorld(path_, tn_->network).ok());
+  // Truncate the file to half: must fail cleanly, not crash.
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 0);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  auto loaded = LoadWorld(path_, net::NetworkParams{}, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace p2paqp::io

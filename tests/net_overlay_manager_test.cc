@@ -1,0 +1,146 @@
+#include "net/overlay_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::net {
+namespace {
+
+graph::Graph MakeTriangle() {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  return builder.Build();
+}
+
+TEST(OverlayManagerTest, SeedsFromGraph) {
+  OverlayManager overlay(MakeTriangle());
+  EXPECT_EQ(overlay.num_nodes(), 3u);
+  EXPECT_EQ(overlay.num_active(), 3u);
+  EXPECT_EQ(overlay.num_edges(), 3u);
+  EXPECT_EQ(overlay.Degree(0), 2u);
+  EXPECT_TRUE(overlay.IsActive(2));
+  EXPECT_TRUE(overlay.ActiveIsConnected());
+}
+
+TEST(OverlayManagerTest, JoinAttachesRequestedConnections) {
+  OverlayManager overlay(MakeTriangle());
+  util::Rng rng(1);
+  auto id = overlay.Join(2, rng);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 3u);
+  EXPECT_EQ(overlay.Degree(*id), 2u);
+  EXPECT_EQ(overlay.num_active(), 4u);
+  EXPECT_EQ(overlay.num_edges(), 5u);
+  EXPECT_TRUE(overlay.ActiveIsConnected());
+}
+
+TEST(OverlayManagerTest, JoinClampsToAvailablePeers) {
+  OverlayManager overlay(MakeTriangle());
+  util::Rng rng(2);
+  auto id = overlay.Join(50, rng);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(overlay.Degree(*id), 3u);  // Only 3 existing peers.
+}
+
+TEST(OverlayManagerTest, LeaveDetachesEdges) {
+  OverlayManager overlay(MakeTriangle());
+  overlay.Leave(1);
+  EXPECT_FALSE(overlay.IsActive(1));
+  EXPECT_EQ(overlay.num_active(), 2u);
+  EXPECT_EQ(overlay.num_edges(), 1u);  // Only 0-2 remains.
+  EXPECT_EQ(overlay.Degree(1), 0u);
+  EXPECT_EQ(overlay.Degree(0), 1u);
+  overlay.Leave(1);  // Idempotent.
+  EXPECT_EQ(overlay.num_active(), 2u);
+}
+
+TEST(OverlayManagerTest, RejoinBootstrapsFreshConnections) {
+  OverlayManager overlay(MakeTriangle());
+  overlay.Leave(1);
+  util::Rng rng(3);
+  EXPECT_FALSE(overlay.Rejoin(0, 2, rng).ok());  // Already active.
+  ASSERT_TRUE(overlay.Rejoin(1, 2, rng).ok());
+  EXPECT_TRUE(overlay.IsActive(1));
+  EXPECT_EQ(overlay.Degree(1), 2u);
+  EXPECT_TRUE(overlay.ActiveIsConnected());
+}
+
+TEST(OverlayManagerTest, EdgeEditsRespectActivation) {
+  OverlayManager overlay(MakeTriangle());
+  overlay.Leave(2);
+  EXPECT_FALSE(overlay.AddEdge(0, 2));  // Dead endpoint.
+  EXPECT_FALSE(overlay.AddEdge(0, 1));  // Duplicate.
+  EXPECT_TRUE(overlay.RemoveEdge(0, 1));
+  EXPECT_FALSE(overlay.RemoveEdge(0, 1));
+  EXPECT_EQ(overlay.num_edges(), 0u);
+}
+
+TEST(OverlayManagerTest, SnapshotMatchesState) {
+  OverlayManager overlay(MakeTriangle());
+  util::Rng rng(4);
+  overlay.Join(2, rng).ok();
+  overlay.Leave(0);
+  graph::Graph snapshot = overlay.Snapshot();
+  EXPECT_EQ(snapshot.num_nodes(), overlay.num_nodes());
+  EXPECT_EQ(snapshot.num_edges(), overlay.num_edges());
+  EXPECT_EQ(snapshot.degree(0), 0u);  // Departed node is isolated.
+}
+
+TEST(OverlayManagerTest, GrowthPreservesHeavyTail) {
+  // Degree-biased bootstrap should keep the overlay power-law-ish as it
+  // doubles in size.
+  util::Rng rng(5);
+  auto seed = topology::MakeBarabasiAlbert(500, 3, rng);
+  ASSERT_TRUE(seed.ok());
+  OverlayManager overlay(*seed);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(overlay.Join(3, rng).ok());
+  }
+  graph::Graph grown = overlay.Snapshot();
+  EXPECT_EQ(grown.num_nodes(), 1000u);
+  EXPECT_GT(grown.max_degree(), 5 * grown.average_degree());
+  EXPECT_TRUE(overlay.ActiveIsConnected());
+}
+
+TEST(OverlayManagerTest, SustainedChurnKeepsOverlayUsable) {
+  util::Rng rng(6);
+  auto seed = topology::MakeBarabasiAlbert(300, 4, rng);
+  ASSERT_TRUE(seed.ok());
+  OverlayManager overlay(*seed);
+  for (int round = 0; round < 200; ++round) {
+    auto victim =
+        static_cast<graph::NodeId>(rng.UniformIndex(overlay.num_nodes()));
+    if (overlay.IsActive(victim) && overlay.num_active() > 10) {
+      overlay.Leave(victim);
+    }
+    if (rng.Bernoulli(0.7)) {
+      ASSERT_TRUE(overlay.Join(4, rng).ok());
+    }
+  }
+  EXPECT_GT(overlay.num_active(), 100u);
+  // Every active node kept at least one connection (bootstrap guarantees).
+  size_t isolated = 0;
+  for (graph::NodeId v = 0; v < overlay.num_nodes(); ++v) {
+    if (overlay.IsActive(v) && overlay.Degree(v) == 0) ++isolated;
+  }
+  // Leaves can orphan nodes whose only neighbor departed; they should be
+  // rare relative to the population.
+  EXPECT_LT(isolated, overlay.num_active() / 10);
+}
+
+TEST(OverlayManagerTest, JoinFailsOnEmptyOverlay) {
+  OverlayManager overlay(MakeTriangle());
+  overlay.Leave(0);
+  overlay.Leave(1);
+  overlay.Leave(2);
+  util::Rng rng(7);
+  EXPECT_FALSE(overlay.Join(2, rng).ok());
+}
+
+}  // namespace
+}  // namespace p2paqp::net

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "net/churn.h"
+#include "net/network.h"
+#include "net/protocol.h"
+
+namespace p2paqp::net {
+namespace {
+
+graph::Graph MakePath(size_t n) {
+  graph::GraphBuilder builder(n);
+  for (graph::NodeId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+SimulatedNetwork MakePathNetwork(size_t n, uint64_t seed = 1) {
+  auto network = SimulatedNetwork::Make(MakePath(n), {}, NetworkParams{}, seed);
+  EXPECT_TRUE(network.ok());
+  return std::move(*network);
+}
+
+TEST(NetworkTest, RejectsEmptyOverlay) {
+  EXPECT_FALSE(SimulatedNetwork::Make(graph::Graph{}, {}, NetworkParams{}, 1)
+                   .ok());
+}
+
+TEST(NetworkTest, RejectsMismatchedDatabases) {
+  std::vector<data::LocalDatabase> dbs(3);
+  EXPECT_FALSE(
+      SimulatedNetwork::Make(MakePath(5), std::move(dbs), NetworkParams{}, 1)
+          .ok());
+}
+
+TEST(NetworkTest, RejectsBadLatencyParams) {
+  NetworkParams params;
+  params.hop_latency_ms = -1.0;
+  EXPECT_FALSE(SimulatedNetwork::Make(MakePath(3), {}, params, 1).ok());
+}
+
+TEST(NetworkTest, PeersHaveDistinctAddresses) {
+  SimulatedNetwork network = MakePathNetwork(10);
+  EXPECT_NE(network.peer(0).address(), network.peer(1).address());
+  EXPECT_EQ(network.peer(3).id(), 3u);
+}
+
+TEST(NetworkTest, AliveBookkeeping) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  EXPECT_EQ(network.num_alive(), 5u);
+  network.SetAlive(2, false);
+  EXPECT_EQ(network.num_alive(), 4u);
+  EXPECT_FALSE(network.IsAlive(2));
+  network.SetAlive(2, false);  // Idempotent.
+  EXPECT_EQ(network.num_alive(), 4u);
+  network.SetAlive(2, true);
+  EXPECT_EQ(network.num_alive(), 5u);
+}
+
+TEST(NetworkTest, AliveNeighborsSkipDeparted) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  network.SetAlive(1, false);
+  auto nbrs = network.AliveNeighbors(2);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 3u);
+  EXPECT_EQ(network.AliveDegree(2), 1u);
+  EXPECT_EQ(network.AliveDegree(0), 0u);
+}
+
+TEST(NetworkTest, SendAlongEdgeValidation) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  EXPECT_TRUE(network.SendAlongEdge(MessageType::kWalker, 0, 1).ok());
+  EXPECT_FALSE(network.SendAlongEdge(MessageType::kWalker, 0, 2).ok());
+  EXPECT_FALSE(network.SendAlongEdge(MessageType::kWalker, 0, 99).ok());
+  network.SetAlive(1, false);
+  auto status = network.SendAlongEdge(MessageType::kWalker, 0, 1);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+}
+
+TEST(NetworkTest, CostAccountingAccumulates) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  network.SendAlongEdge(MessageType::kWalker, 0, 1).ok();
+  network.SendAlongEdge(MessageType::kWalker, 1, 2).ok();
+  network.SendDirect(MessageType::kAggregateReply, 2, 0).ok();
+  network.RecordLocalExecution(2, 100, 25);
+  const CostSnapshot& cost = network.cost_snapshot();
+  EXPECT_EQ(cost.walker_hops, 2u);
+  EXPECT_EQ(cost.messages, 3u);
+  EXPECT_EQ(cost.peers_visited, 1u);
+  EXPECT_EQ(cost.tuples_scanned, 100u);
+  EXPECT_EQ(cost.tuples_sampled, 25u);
+  EXPECT_GT(cost.bytes_shipped, 0u);
+  EXPECT_GT(cost.latency_ms, 0.0);
+  network.ResetCost();
+  EXPECT_EQ(network.cost_snapshot().messages, 0u);
+}
+
+TEST(NetworkTest, CostDeltaSubtracts) {
+  CostSnapshot before;
+  before.messages = 5;
+  before.latency_ms = 10.0;
+  CostSnapshot after;
+  after.messages = 9;
+  after.latency_ms = 25.0;
+  CostSnapshot delta = CostDelta(after, before);
+  EXPECT_EQ(delta.messages, 4u);
+  EXPECT_DOUBLE_EQ(delta.latency_ms, 15.0);
+}
+
+TEST(NetworkTest, ExactOracleAggregates) {
+  std::vector<data::LocalDatabase> dbs;
+  dbs.emplace_back(data::Table{{1}, {2}});
+  dbs.emplace_back(data::Table{{3}});
+  dbs.emplace_back(data::Table{{4}, {5}});
+  auto network =
+      SimulatedNetwork::Make(MakePath(3), std::move(dbs), NetworkParams{}, 2);
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->TotalTuples(), 5);
+  EXPECT_EQ(network->ExactCount(2, 4), 3);
+  EXPECT_EQ(network->ExactSum(2, 4), 9);
+  EXPECT_DOUBLE_EQ(network->ExactMedian(), 3.0);
+  // Departed peers drop out of the oracle view.
+  network->SetAlive(2, false);
+  EXPECT_EQ(network->TotalTuples(), 3);
+  EXPECT_EQ(network->ExactCount(2, 4), 2);
+}
+
+TEST(NetworkTest, InstallDatabasesReplacesData) {
+  SimulatedNetwork network = MakePathNetwork(3);
+  EXPECT_EQ(network.TotalTuples(), 0);
+  std::vector<data::LocalDatabase> dbs(3);
+  dbs[1] = data::LocalDatabase(data::Table{{10}, {20}});
+  EXPECT_TRUE(network.InstallDatabases(std::move(dbs)).ok());
+  EXPECT_EQ(network.TotalTuples(), 2);
+  EXPECT_FALSE(network.InstallDatabases({}).ok());
+}
+
+TEST(MessageTest, TypeNamesAndSizes) {
+  EXPECT_STREQ(MessageTypeToString(MessageType::kWalker), "WALKER");
+  EXPECT_STREQ(MessageTypeToString(MessageType::kPong), "PONG");
+  // Every type carries at least the Gnutella header.
+  for (auto type : {MessageType::kPing, MessageType::kPong,
+                    MessageType::kQuery, MessageType::kQueryHit,
+                    MessageType::kWalker, MessageType::kAggregateReply,
+                    MessageType::kSampleRequest, MessageType::kSampleReply}) {
+    EXPECT_GE(DefaultPayloadBytes(type), 23u);
+  }
+}
+
+TEST(ProtocolTest, PingReachesTtlNeighborhood) {
+  SimulatedNetwork network = MakePathNetwork(10);
+  GnutellaProtocol protocol(&network);
+  FloodResult result = protocol.Ping(5, 2);
+  // Path graph: within 2 hops of node 5 live nodes 3,4,6,7.
+  EXPECT_EQ(result.reached.size(), 4u);
+  EXPECT_EQ(result.max_depth, 2u);
+}
+
+TEST(ProtocolTest, FloodQueryChargesMessages) {
+  SimulatedNetwork network = MakePathNetwork(10);
+  GnutellaProtocol protocol(&network);
+  uint64_t before = network.cost_snapshot().messages;
+  protocol.FloodQuery(0, 3);
+  EXPECT_GT(network.cost_snapshot().messages, before + 3);
+}
+
+TEST(ProtocolTest, FloodCollectGathersRequestedPeers) {
+  SimulatedNetwork network = MakePathNetwork(20);
+  GnutellaProtocol protocol(&network);
+  auto reached = protocol.FloodCollect(10, 6);
+  EXPECT_EQ(reached.size(), 6u);
+  // Nearest-first: all within 3 hops of the origin.
+  for (graph::NodeId peer : reached) {
+    EXPECT_LE(std::abs(static_cast<int>(peer) - 10), 3);
+  }
+}
+
+TEST(ProtocolTest, FloodSkipsDeadRegions) {
+  SimulatedNetwork network = MakePathNetwork(10);
+  network.SetAlive(3, false);
+  GnutellaProtocol protocol(&network);
+  FloodResult result = protocol.Ping(5, 5);
+  for (graph::NodeId peer : result.reached) {
+    EXPECT_GT(peer, 3u);  // Dead node 3 blocks everything to its left.
+  }
+}
+
+TEST(ChurnTest, StepTogglesStates) {
+  SimulatedNetwork network = MakePathNetwork(200, 3);
+  ChurnParams params;
+  params.leave_probability = 0.5;
+  params.rejoin_probability = 0.0;
+  params.pinned = {0};
+  ChurnModel churn(params, 7);
+  size_t changes = churn.Step(network);
+  EXPECT_GT(changes, 50u);
+  EXPECT_TRUE(network.IsAlive(0));  // Pinned sink survives.
+  EXPECT_LT(network.num_alive(), 200u);
+}
+
+TEST(ChurnTest, RejoinRecovers) {
+  SimulatedNetwork network = MakePathNetwork(100, 4);
+  for (graph::NodeId v = 0; v < 100; ++v) network.SetAlive(v, false);
+  ChurnParams params;
+  params.leave_probability = 0.0;
+  params.rejoin_probability = 1.0;
+  ChurnModel churn(params, 9);
+  churn.Step(network);
+  EXPECT_EQ(network.num_alive(), 100u);
+}
+
+}  // namespace
+}  // namespace p2paqp::net

@@ -1,0 +1,107 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace p2paqp::query {
+namespace {
+
+TEST(ParserTest, MinimalCount) {
+  auto q = ParseQuery("SELECT COUNT(*) FROM T");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->op, AggregateOp::kCount);
+  EXPECT_TRUE(q->Matches({-999999, 0}));
+  EXPECT_DOUBLE_EQ(q->required_error, 0.1);
+}
+
+TEST(ParserTest, PaperQueryForm) {
+  auto q = ParseQuery("SELECT COUNT(A) FROM T WHERE A BETWEEN 1 AND 30");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicate.lo, 1);
+  EXPECT_EQ(q->predicate.hi, 30);
+  EXPECT_FALSE(q->predicate_b.has_value());
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("select sum(a) from t where a between 5 and 9");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kSum);
+  EXPECT_EQ(q->predicate.lo, 5);
+}
+
+TEST(ParserTest, ExpressionForms) {
+  EXPECT_EQ(ParseQuery("SELECT SUM(A) FROM T")->expr, Expression::kColA);
+  EXPECT_EQ(ParseQuery("SELECT SUM(B) FROM T")->expr, Expression::kColB);
+  EXPECT_EQ(ParseQuery("SELECT SUM(A+B) FROM T")->expr, Expression::kAPlusB);
+  EXPECT_EQ(ParseQuery("SELECT SUM(A*B) FROM T")->expr,
+            Expression::kATimesB);
+}
+
+TEST(ParserTest, ConjunctiveWhere) {
+  auto q = ParseQuery(
+      "SELECT AVG(A*B) FROM T WHERE A BETWEEN 1 AND 50 "
+      "AND B BETWEEN 2 AND 20");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->predicate_b.has_value());
+  EXPECT_EQ(q->predicate_b->lo, 2);
+  EXPECT_EQ(q->predicate_b->hi, 20);
+}
+
+TEST(ParserTest, WithinPercentAndFraction) {
+  auto pct = ParseQuery("SELECT COUNT(*) FROM T WITHIN 5%");
+  ASSERT_TRUE(pct.ok());
+  EXPECT_DOUBLE_EQ(pct->required_error, 0.05);
+  auto fraction = ParseQuery("SELECT COUNT(*) FROM T WITHIN 0.15");
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_DOUBLE_EQ(fraction->required_error, 0.15);
+}
+
+TEST(ParserTest, QuantileWithPhi) {
+  auto q = ParseQuery("SELECT QUANTILE(A) FROM T AT 0.75 WITHIN 5%");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->op, AggregateOp::kQuantile);
+  EXPECT_DOUBLE_EQ(q->quantile_phi, 0.75);
+  EXPECT_DOUBLE_EQ(q->required_error, 0.05);
+}
+
+TEST(ParserTest, NegativeBoundsParse) {
+  auto q = ParseQuery("SELECT COUNT(A) FROM T WHERE A BETWEEN -10 AND -1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicate.lo, -10);
+  EXPECT_EQ(q->predicate.hi, -1);
+}
+
+TEST(ParserTest, RoundTripsWithToSql) {
+  const std::string sql =
+      "SELECT SUM(A*B) FROM T WHERE A BETWEEN 1 AND 10 "
+      "AND B BETWEEN 2 AND 20";
+  auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToSql(), sql);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("COUNT(*) FROM T").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROB(A) FROM T").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(A FROM T").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(A) FROM U").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(A) FROM T WHERE A BETWEEN 1").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(A) FROM T WHERE A BETWEEN 9 AND 1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(A) FROM T WHERE C BETWEEN 1 AND 2")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM T").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM T WITHIN 150%").ok());
+  EXPECT_FALSE(ParseQuery("SELECT QUANTILE(A) FROM T AT 2").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM T GARBAGE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM T WITHIN x").ok());
+}
+
+TEST(ParserTest, ErrorsAreReadable) {
+  auto q = ParseQuery("SELECT COUNT(A) FRUM T");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("FROM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2paqp::query

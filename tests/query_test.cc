@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "query/local_executor.h"
+#include "query/query.h"
+#include "util/statistics.h"
+
+namespace p2paqp::query {
+namespace {
+
+TEST(PredicateTest, MatchesInclusiveRange) {
+  RangePredicate p{10, 20};
+  EXPECT_TRUE(p.Matches(10));
+  EXPECT_TRUE(p.Matches(20));
+  EXPECT_TRUE(p.Matches(15));
+  EXPECT_FALSE(p.Matches(9));
+  EXPECT_FALSE(p.Matches(21));
+}
+
+TEST(PredicateTest, AllMatchesEverything) {
+  RangePredicate p = RangePredicate::All();
+  EXPECT_TRUE(p.Matches(-1000000));
+  EXPECT_TRUE(p.Matches(0));
+  EXPECT_TRUE(p.Matches(1000000));
+}
+
+TEST(QueryTest, SqlRendering) {
+  AggregateQuery q;
+  q.op = AggregateOp::kSum;
+  q.predicate = {5, 42};
+  EXPECT_EQ(q.ToSql(), "SELECT SUM(A) FROM T WHERE A BETWEEN 5 AND 42");
+}
+
+TEST(QueryTest, OpNames) {
+  EXPECT_STREQ(AggregateOpToString(AggregateOp::kCount), "COUNT");
+  EXPECT_STREQ(AggregateOpToString(AggregateOp::kMedian), "MEDIAN");
+  EXPECT_STREQ(AggregateOpToString(AggregateOp::kDistinct), "DISTINCT");
+}
+
+TEST(ExpressionTest, EvaluatesEveryForm) {
+  data::Tuple t{6, 7};
+  EXPECT_DOUBLE_EQ(EvaluateExpression(Expression::kColA, t), 6.0);
+  EXPECT_DOUBLE_EQ(EvaluateExpression(Expression::kColB, t), 7.0);
+  EXPECT_DOUBLE_EQ(EvaluateExpression(Expression::kAPlusB, t), 13.0);
+  EXPECT_DOUBLE_EQ(EvaluateExpression(Expression::kATimesB, t), 42.0);
+}
+
+TEST(ExpressionTest, Names) {
+  EXPECT_STREQ(ExpressionToString(Expression::kColA), "A");
+  EXPECT_STREQ(ExpressionToString(Expression::kATimesB), "A*B");
+}
+
+TEST(QueryTest, ConjunctivePredicateOnBothColumns) {
+  AggregateQuery q;
+  q.predicate = {1, 10};
+  q.predicate_b = RangePredicate{5, 5};
+  EXPECT_TRUE(q.Matches({3, 5}));
+  EXPECT_FALSE(q.Matches({3, 6}));
+  EXPECT_FALSE(q.Matches({11, 5}));
+  q.predicate_b.reset();
+  EXPECT_TRUE(q.Matches({3, 999}));
+}
+
+TEST(QueryTest, SqlRenderingWithExpressionAndBPredicate) {
+  AggregateQuery q;
+  q.op = AggregateOp::kSum;
+  q.expr = Expression::kATimesB;
+  q.predicate = {1, 10};
+  q.predicate_b = RangePredicate{2, 20};
+  EXPECT_EQ(q.ToSql(),
+            "SELECT SUM(A*B) FROM T WHERE A BETWEEN 1 AND 10 "
+            "AND B BETWEEN 2 AND 20");
+}
+
+TEST(SelectivityTest, PrefixMassApproximatesTarget) {
+  auto zipf = util::ZipfGenerator::Make(100, 0.2);
+  ASSERT_TRUE(zipf.ok());
+  for (double target : {0.025, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    RangePredicate p = PredicateForSelectivity(*zipf, 1, target);
+    double mass = 0.0;
+    for (data::Value v = p.lo; v <= p.hi; ++v) {
+      mass += zipf->Probability(static_cast<uint32_t>(v));
+    }
+    EXPECT_NEAR(mass, target, 0.02) << "target " << target;
+    EXPECT_EQ(p.lo, 1);
+  }
+}
+
+TEST(SelectivityTest, FullSelectivityCoversDomain) {
+  auto zipf = util::ZipfGenerator::Make(100, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  RangePredicate p = PredicateForSelectivity(*zipf, 1, 1.0);
+  EXPECT_EQ(p.hi, 100);
+}
+
+class LocalExecutorTest : public ::testing::Test {
+ protected:
+  // 100 tuples: values 1..100 exactly once.
+  void SetUp() override {
+    data::Table table;
+    for (data::Value v = 1; v <= 100; ++v) table.push_back({v});
+    db_ = data::LocalDatabase(std::move(table));
+  }
+  data::LocalDatabase db_;
+};
+
+TEST_F(LocalExecutorTest, FullScanWhenUnderBudget) {
+  AggregateQuery q;
+  q.predicate = {1, 30};
+  util::Rng rng(1);
+  LocalAggregate agg = ExecuteLocal(db_, q, /*t=*/200, rng);
+  EXPECT_EQ(agg.processed_tuples, 100u);
+  EXPECT_DOUBLE_EQ(agg.count_value, 30.0);
+  EXPECT_DOUBLE_EQ(agg.sum_value, 30.0 * 31.0 / 2.0);
+  EXPECT_EQ(agg.local_tuples, 100u);
+}
+
+TEST_F(LocalExecutorTest, ZeroBudgetDisablesSubsampling) {
+  AggregateQuery q;
+  q.predicate = {1, 100};
+  util::Rng rng(2);
+  LocalAggregate agg = ExecuteLocal(db_, q, /*t=*/0, rng);
+  EXPECT_EQ(agg.processed_tuples, 100u);
+  EXPECT_DOUBLE_EQ(agg.count_value, 100.0);
+}
+
+TEST_F(LocalExecutorTest, SubsampleScalesToFullDatabase) {
+  AggregateQuery q;
+  q.predicate = {1, 100};  // Everything matches.
+  util::Rng rng(3);
+  LocalAggregate agg = ExecuteLocal(db_, q, /*t=*/25, rng);
+  EXPECT_EQ(agg.processed_tuples, 25u);
+  // All 25 sampled tuples match, so the scaled count is exactly 100.
+  EXPECT_DOUBLE_EQ(agg.count_value, 100.0);
+  EXPECT_GT(agg.sum_value, 0.0);
+}
+
+TEST_F(LocalExecutorTest, SubsampledCountIsUnbiased) {
+  AggregateQuery q;
+  q.predicate = {1, 40};
+  double total = 0.0;
+  const int kTrials = 3000;
+  util::Rng rng(4);
+  for (int i = 0; i < kTrials; ++i) {
+    total += ExecuteLocal(db_, q, 25, rng).count_value;
+  }
+  EXPECT_NEAR(total / kTrials, 40.0, 1.0);
+}
+
+TEST_F(LocalExecutorTest, MedianOfFullScan) {
+  AggregateQuery q;
+  q.op = AggregateOp::kMedian;
+  util::Rng rng(5);
+  LocalAggregate agg = ExecuteLocal(db_, q, 0, rng);
+  EXPECT_NEAR(agg.local_median, 50.5, 1.0);
+}
+
+TEST_F(LocalExecutorTest, QuantileUsesPhi) {
+  AggregateQuery q;
+  q.op = AggregateOp::kQuantile;
+  q.quantile_phi = 0.9;
+  util::Rng rng(6);
+  LocalAggregate agg = ExecuteLocal(db_, q, 0, rng);
+  EXPECT_NEAR(agg.local_median, 90.0, 2.0);
+}
+
+TEST_F(LocalExecutorTest, EmptyDatabase) {
+  data::LocalDatabase empty;
+  AggregateQuery q;
+  util::Rng rng(7);
+  LocalAggregate agg = ExecuteLocal(empty, q, 25, rng);
+  EXPECT_EQ(agg.processed_tuples, 0u);
+  EXPECT_DOUBLE_EQ(agg.count_value, 0.0);
+  EXPECT_DOUBLE_EQ(agg.sum_value, 0.0);
+}
+
+TEST_F(LocalExecutorTest, BlockLevelSamplingIsAlsoUnbiased) {
+  // db_ holds values 1..100 in sorted order, so blocks are maximally
+  // correlated — the mean must still be right even if the variance is not.
+  AggregateQuery q;
+  q.predicate = {1, 40};
+  SubSamplePolicy policy;
+  policy.t = 24;
+  policy.mode = SubSampleMode::kBlockLevel;
+  policy.block_size = 8;
+  util::Rng rng(8);
+  double total = 0.0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    total += ExecuteLocal(db_, q, policy, rng).count_value;
+  }
+  EXPECT_NEAR(total / kTrials, 40.0, 1.5);
+}
+
+TEST_F(LocalExecutorTest, BlockLevelHasHigherVarianceOnSortedData) {
+  AggregateQuery q;
+  q.predicate = {1, 40};
+  SubSamplePolicy uniform;
+  uniform.t = 24;
+  SubSamplePolicy blocks = uniform;
+  blocks.mode = SubSampleMode::kBlockLevel;
+  blocks.block_size = 8;
+  util::Rng rng(9);
+  util::RunningStat uniform_stat;
+  util::RunningStat block_stat;
+  for (int i = 0; i < 3000; ++i) {
+    uniform_stat.Add(ExecuteLocal(db_, q, uniform, rng).count_value);
+    block_stat.Add(ExecuteLocal(db_, q, blocks, rng).count_value);
+  }
+  // Whole sorted blocks are all-match or no-match: variance far above the
+  // hypergeometric variance of independent tuples.
+  EXPECT_GT(block_stat.variance(), 2.0 * uniform_stat.variance());
+}
+
+TEST_F(LocalExecutorTest, ExpressionSumOverBothColumns) {
+  // Table where b = 2*a for a in 1..10.
+  data::Table table;
+  for (data::Value a = 1; a <= 10; ++a) table.push_back({a, 2 * a});
+  data::LocalDatabase db(std::move(table));
+  AggregateQuery q;
+  q.op = AggregateOp::kSum;
+  q.expr = Expression::kATimesB;
+  q.predicate = {1, 10};
+  util::Rng rng(10);
+  LocalAggregate agg = ExecuteLocal(db, q, 0, rng);
+  // Sum of a * 2a = 2 * sum(a^2) for a = 1..10 = 2 * 385.
+  EXPECT_DOUBLE_EQ(agg.sum_value, 770.0);
+  EXPECT_DOUBLE_EQ(agg.count_value, 10.0);
+}
+
+TEST_F(LocalExecutorTest, BPredicateFiltersRows) {
+  data::Table table = {{1, 1}, {2, 1}, {3, 9}, {4, 9}};
+  data::LocalDatabase db(std::move(table));
+  AggregateQuery q;
+  q.predicate = {1, 10};
+  q.predicate_b = RangePredicate{9, 9};
+  util::Rng rng(11);
+  LocalAggregate agg = ExecuteLocal(db, q, 0, rng);
+  EXPECT_DOUBLE_EQ(agg.count_value, 2.0);
+  EXPECT_DOUBLE_EQ(agg.sum_value, 7.0);  // Values 3 + 4 (expr = column A).
+}
+
+TEST_F(LocalExecutorTest, ValueForSelectsComponent) {
+  LocalAggregate agg;
+  agg.count_value = 3.0;
+  agg.sum_value = 99.0;
+  EXPECT_DOUBLE_EQ(agg.ValueFor(AggregateOp::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(agg.ValueFor(AggregateOp::kSum), 99.0);
+  EXPECT_DOUBLE_EQ(agg.ValueFor(AggregateOp::kAvg), 3.0);
+}
+
+}  // namespace
+}  // namespace p2paqp::query

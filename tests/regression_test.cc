@@ -1,0 +1,218 @@
+// Assorted regression and edge-case tests that close remaining coverage
+// gaps across modules.
+#include <gtest/gtest.h>
+
+#include "core/aqp.h"
+#include "graph/builder.h"
+#include "graph/spectral.h"
+#include "io/world_io.h"
+#include "query/parser.h"
+#include "util/ascii_table.h"
+#include "test_common.h"
+#include "util/statistics.h"
+
+namespace p2paqp {
+namespace {
+
+// --- Non-lazy walk distribution ------------------------------------------
+
+TEST(WalkDistributionRegression, NonLazyConservesMass) {
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  graph::Graph g = builder.Build();
+  auto dist = graph::WalkDistribution(g, 0, 7, /*lazy=*/false);
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Even cycle + odd steps: all mass sits on the odd bipartition class.
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_NEAR(dist[1] + dist[3], 1.0, 1e-12);
+}
+
+TEST(WalkDistributionRegression, IsolatedNodeKeepsItsMass) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  graph::Graph g = builder.Build();
+  auto dist = graph::WalkDistribution(g, 2, 5, /*lazy=*/true);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+}
+
+// --- Flooding on clustered overlays --------------------------------------
+
+TEST(ProtocolRegression, FloodCrossesSmallCuts) {
+  util::Rng rng(1);
+  topology::ClusteredParams params;
+  params.num_nodes = 200;
+  params.num_edges = 1200;
+  params.num_subgraphs = 2;
+  params.cut_edges = 1;  // Single bridge.
+  auto topo = topology::MakeClustered(params, rng);
+  ASSERT_TRUE(topo.ok());
+  auto network = net::SimulatedNetwork::Make(std::move(topo->graph), {},
+                                             net::NetworkParams{}, 2);
+  ASSERT_TRUE(network.ok());
+  net::GnutellaProtocol protocol(&*network);
+  // Unlimited TTL reaches every other peer despite the 1-edge cut.
+  net::FloodResult result = protocol.Ping(0, 1000);
+  EXPECT_EQ(result.reached.size(), network->num_peers() - 1);
+  EXPECT_GE(result.max_depth, 2u);
+}
+
+// --- World IO across topology kinds --------------------------------------
+
+class WorldIoKindSweep
+    : public ::testing::TestWithParam<topology::TopologyKind> {};
+
+TEST_P(WorldIoKindSweep, RoundTripsEveryTopologyKind) {
+  util::Rng rng(3);
+  topology::TopologyConfig config;
+  config.kind = GetParam();
+  config.num_nodes = 150;
+  config.num_edges = 700;
+  config.num_subgraphs = 2;
+  config.cut_edges = 20;
+  auto topo = topology::MakeTopology(config, rng);
+  ASSERT_TRUE(topo.ok());
+  data::DatasetParams dataset;
+  dataset.num_tuples = 3000;
+  dataset.fill_b = true;
+  dataset.b_correlation = 0.3;
+  auto table = data::GenerateDataset(dataset, rng);
+  ASSERT_TRUE(table.ok());
+  auto dbs = data::PartitionAcrossPeers(*table, topo->graph,
+                                        data::PartitionParams{}, rng);
+  ASSERT_TRUE(dbs.ok());
+  auto network = net::SimulatedNetwork::Make(std::move(topo->graph),
+                                             std::move(*dbs),
+                                             net::NetworkParams{}, 4);
+  ASSERT_TRUE(network.ok());
+
+  std::string path = ::testing::TempDir() + "/roundtrip_" +
+                     topology::TopologyKindToString(GetParam()) + ".p2pw";
+  ASSERT_TRUE(io::SaveWorld(path, *network).ok());
+  auto loaded = io::LoadWorld(path, net::NetworkParams{}, 5);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph().num_edges(), network->graph().num_edges());
+  EXPECT_EQ(loaded->TotalTuples(), network->TotalTuples());
+  // Column B survives the round trip.
+  EXPECT_EQ(loaded->peer(3).database().tuples(),
+            network->peer(3).database().tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WorldIoKindSweep,
+                         ::testing::Values(topology::TopologyKind::kPowerLaw,
+                                           topology::TopologyKind::kClustered,
+                                           topology::TopologyKind::kErdosRenyi,
+                                           topology::TopologyKind::kGnutella),
+                         [](const auto& info) {
+                           return topology::TopologyKindToString(info.param);
+                         });
+
+TEST(WorldIoRegression, UnwritablePathFailsCleanly) {
+  testing::TestNetworkParams params;
+  params.num_peers = 50;
+  params.num_edges = 200;
+  params.cut_edges = 10;
+  params.tuples_per_peer = 5;
+  testing::TestNetwork tn = testing::MakeTestNetwork(params);
+  util::Status status =
+      io::SaveWorld("/nonexistent_dir/world.p2pw", tn.network);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+}
+
+// --- Parser robustness ----------------------------------------------------
+
+TEST(ParserRegression, ToleratesMessyWhitespaceAndCase) {
+  auto q = query::ParseQuery(
+      "   sElEcT   sum( a * b )FROM    t WHERE a BETWEEN 1 AND 9   ");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->expr, query::Expression::kATimesB);
+  EXPECT_EQ(q->predicate.hi, 9);
+}
+
+TEST(ParserRegression, ClausesComposeInAnyTrailerOrder) {
+  auto q = query::ParseQuery(
+      "SELECT QUANTILE(B) FROM T WHERE B BETWEEN 2 AND 7 WITHIN 5% AT 0.9");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->quantile_phi, 0.9);
+  EXPECT_DOUBLE_EQ(q->required_error, 0.05);
+  auto q2 = query::ParseQuery("SELECT QUANTILE(B) FROM T AT 0.9 WITHIN 5%");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_DOUBLE_EQ(q2->quantile_phi, 0.9);
+}
+
+// --- Engine with a predicate on column B ----------------------------------
+
+TEST(EngineRegression, CountWithConjunctiveBPredicate) {
+  util::Rng rng(6);
+  auto graph = topology::MakeBarabasiAlbert(600, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  data::DatasetParams dataset;
+  dataset.num_tuples = 30000;
+  dataset.fill_b = true;
+  dataset.b_skew = 0.5;
+  auto table = data::GenerateDataset(dataset, rng);
+  ASSERT_TRUE(table.ok());
+  int64_t truth = 0;
+  for (const data::Tuple& t : *table) {
+    if (t.value >= 1 && t.value <= 40 && t.b >= 1 && t.b <= 20) ++truth;
+  }
+  ASSERT_GT(truth, 0);
+  auto dbs = data::PartitionAcrossPeers(*table, *graph,
+                                        data::PartitionParams{}, rng);
+  ASSERT_TRUE(dbs.ok());
+  auto network = net::SimulatedNetwork::Make(std::move(*graph),
+                                             std::move(*dbs),
+                                             net::NetworkParams{}, 7);
+  ASSERT_TRUE(network.ok());
+  core::SystemCatalog catalog = core::MakeCatalog(network->graph(), 8, 30);
+  core::EngineParams params;
+  params.phase1_peers = 60;
+  params.include_phase1_observations = true;
+  core::TwoPhaseEngine engine(&*network, catalog, params);
+  query::AggregateQuery q;
+  q.op = query::AggregateOp::kCount;
+  q.predicate = {1, 40};
+  q.predicate_b = query::RangePredicate{1, 20};
+  q.required_error = 0.1;
+  util::Rng query_rng(8);
+  auto answer = engine.Execute(q, 0, query_rng);
+  ASSERT_TRUE(answer.ok());
+  double total = static_cast<double>(network->TotalTuples());
+  EXPECT_LT(std::fabs(answer->estimate - static_cast<double>(truth)) / total,
+            0.1);
+}
+
+// --- ASCII table formatter corners ----------------------------------------
+
+TEST(FormatterRegression, NegativeAndZeroValues) {
+  EXPECT_EQ(util::AsciiTable::FormatDouble(-2.5, 1), "-2.5");
+  EXPECT_EQ(util::AsciiTable::FormatPercent(0.0), "0.00%");
+  EXPECT_EQ(util::AsciiTable::FormatInt(0), "0");
+}
+
+// --- CostSnapshot arithmetic ----------------------------------------------
+
+TEST(CostRegression, AccumulateThenDiffIsConsistent) {
+  net::CostSnapshot a;
+  a.messages = 10;
+  a.bytes_shipped = 100;
+  net::CostSnapshot b;
+  b.messages = 3;
+  b.bytes_shipped = 30;
+  net::CostSnapshot sum = a;
+  sum += b;
+  net::CostSnapshot back = net::CostDelta(sum, b);
+  EXPECT_EQ(back.messages, a.messages);
+  EXPECT_EQ(back.bytes_shipped, a.bytes_shipped);
+  EXPECT_FALSE(sum.ToString().empty());
+}
+
+}  // namespace
+}  // namespace p2paqp

@@ -1,0 +1,329 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "sampling/convergence.h"
+#include "sampling/random_walk.h"
+#include "sampling/samplers.h"
+#include "topology/clustered.h"
+#include "topology/power_law.h"
+
+namespace p2paqp::sampling {
+namespace {
+
+net::SimulatedNetwork MakeNetwork(graph::Graph graph, uint64_t seed = 1) {
+  auto network =
+      net::SimulatedNetwork::Make(std::move(graph), {}, net::NetworkParams{},
+                                  seed);
+  EXPECT_TRUE(network.ok());
+  return std::move(*network);
+}
+
+net::SimulatedNetwork MakeBaNetwork(size_t n, size_t m, uint64_t seed = 1) {
+  util::Rng rng(seed);
+  auto graph = topology::MakeBarabasiAlbert(n, m, rng);
+  EXPECT_TRUE(graph.ok());
+  return MakeNetwork(std::move(*graph), seed);
+}
+
+TEST(RandomWalkTest, CollectsRequestedSelections) {
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3);
+  RandomWalk walk(&network, WalkParams{.jump = 5});
+  util::Rng rng(2);
+  auto visits = walk.Collect(0, 40, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 40u);
+  for (const PeerVisit& v : *visits) {
+    EXPECT_LT(v.peer, 300u);
+    EXPECT_EQ(v.degree, network.graph().degree(v.peer));
+  }
+}
+
+TEST(RandomWalkTest, HopAccountingMatchesJumpTimesSelections) {
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3);
+  RandomWalk walk(&network, WalkParams{.jump = 7});
+  util::Rng rng(3);
+  network.ResetCost();
+  auto visits = walk.Collect(0, 20, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(network.cost_snapshot().walker_hops, 7u * 20u);
+}
+
+TEST(RandomWalkTest, BurnInAddsHopsBeforeFirstSelection) {
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3);
+  RandomWalk walk(&network, WalkParams{.jump = 1, .burn_in = 50});
+  util::Rng rng(4);
+  network.ResetCost();
+  auto visits = walk.Collect(0, 10, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(network.cost_snapshot().walker_hops, 60u);
+}
+
+TEST(RandomWalkTest, FailsOnDeadSink) {
+  net::SimulatedNetwork network = MakeBaNetwork(100, 3);
+  network.SetAlive(0, false);
+  RandomWalk walk(&network, WalkParams{});
+  util::Rng rng(5);
+  EXPECT_FALSE(walk.Collect(0, 5, rng).ok());
+}
+
+TEST(RandomWalkTest, RestartsWhenStranded) {
+  // Star: kill all leaves but one; the walk must still make progress by
+  // restarting from the sink when it strands on the live leaf... the live
+  // leaf's only neighbor is the hub, so it never strands. Instead, strand by
+  // making an isolated live pocket unreachable: path 0-1-2 with 2's far side
+  // dead.
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  network.SetAlive(3, false);
+  RandomWalk walk(&network, WalkParams{.jump = 2});
+  util::Rng rng(6);
+  auto visits = walk.Collect(0, 10, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 10u);
+  for (const PeerVisit& v : *visits) EXPECT_NE(v.peer, 3u);
+}
+
+TEST(RandomWalkTest, HopBudgetGuardsInfiniteWalks) {
+  // Sink whose only neighbor is dead: every step fails, the sink restart
+  // loop burns hops until the budget trips.
+  graph::GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  network.SetAlive(1, false);
+  RandomWalk walk(&network, WalkParams{.jump = 1, .max_hops = 100});
+  util::Rng rng(7);
+  auto visits = walk.Collect(0, 5, rng);
+  EXPECT_FALSE(visits.ok());
+}
+
+// The statistical heart: selection frequency must track the stationary
+// distribution deg(p)/2|E|.
+TEST(RandomWalkTest, SelectionFrequencyMatchesStationaryDistribution) {
+  // Lollipop-ish graph with strongly uneven degrees.
+  graph::GraphBuilder builder(6);
+  // Clique on {0,1,2,3} plus path 3-4-5.
+  for (graph::NodeId a = 0; a < 4; ++a) {
+    for (graph::NodeId b = a + 1; b < 4; ++b) builder.AddEdge(a, b);
+  }
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  RandomWalk walk(&network, WalkParams{.jump = 4, .burn_in = 30});
+  util::Rng rng(8);
+  const size_t kSelections = 60000;
+  auto visits = walk.Collect(0, kSelections, rng);
+  ASSERT_TRUE(visits.ok());
+  std::map<graph::NodeId, size_t> counts;
+  for (const PeerVisit& v : *visits) ++counts[v.peer];
+  for (graph::NodeId p = 0; p < 6; ++p) {
+    double expected = network.graph().StationaryProbability(p);
+    double observed =
+        static_cast<double>(counts[p]) / static_cast<double>(kSelections);
+    EXPECT_NEAR(observed, expected, 0.015) << "peer " << p;
+  }
+}
+
+TEST(RandomWalkTest, MetropolisHastingsIsUniform) {
+  graph::GraphBuilder builder(6);
+  for (graph::NodeId a = 0; a < 4; ++a) {
+    for (graph::NodeId b = a + 1; b < 4; ++b) builder.AddEdge(a, b);
+  }
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  RandomWalk walk(&network,
+                  WalkParams{.jump = 6,
+                             .burn_in = 30,
+                             .variant = WalkVariant::kMetropolisHastings});
+  util::Rng rng(9);
+  const size_t kSelections = 60000;
+  auto visits = walk.Collect(0, kSelections, rng);
+  ASSERT_TRUE(visits.ok());
+  std::map<graph::NodeId, size_t> counts;
+  for (const PeerVisit& v : *visits) ++counts[v.peer];
+  for (graph::NodeId p = 0; p < 6; ++p) {
+    double observed =
+        static_cast<double>(counts[p]) / static_cast<double>(kSelections);
+    EXPECT_NEAR(observed, 1.0 / 6.0, 0.02) << "peer " << p;
+  }
+  EXPECT_DOUBLE_EQ(walk.StationaryWeight(0), 1.0);
+}
+
+TEST(RandomWalkTest, LazyVariantStillCollects) {
+  net::SimulatedNetwork network = MakeBaNetwork(200, 3);
+  RandomWalk walk(&network,
+                  WalkParams{.jump = 3, .variant = WalkVariant::kLazy});
+  util::Rng rng(10);
+  auto visits = walk.Collect(0, 25, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 25u);
+}
+
+TEST(RandomWalkTest, StationaryWeightIsAliveDegree) {
+  net::SimulatedNetwork network = MakeBaNetwork(50, 2);
+  RandomWalk walk(&network, WalkParams{});
+  EXPECT_DOUBLE_EQ(walk.StationaryWeight(7),
+                   static_cast<double>(network.graph().degree(7)));
+}
+
+TEST(SamplersTest, BfsSamplerReturnsSinkNeighborhood) {
+  util::Rng seed_rng(11);
+  auto graph = topology::MakeBarabasiAlbert(500, 3, seed_rng);
+  ASSERT_TRUE(graph.ok());
+  auto distances = graph::BfsDistances(*graph, 0);
+  net::SimulatedNetwork network = MakeNetwork(std::move(*graph));
+  BfsSampler sampler(&network);
+  util::Rng rng(12);
+  auto visits = sampler.SamplePeers(0, 30, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 30u);
+  for (const PeerVisit& v : *visits) {
+    EXPECT_LE(distances[v.peer], 4u);  // Collected near the sink.
+  }
+}
+
+TEST(SamplersTest, BfsSamplerRepeatsWhenNeighborhoodExhausted) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  BfsSampler sampler(&network);
+  util::Rng rng(13);
+  auto visits = sampler.SamplePeers(0, 10, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 10u);
+}
+
+TEST(SamplersTest, DfsSamplerSelectsEveryHop) {
+  net::SimulatedNetwork network = MakeBaNetwork(200, 3, 14);
+  DfsSampler sampler(&network);
+  util::Rng rng(14);
+  network.ResetCost();
+  auto visits = sampler.SamplePeers(0, 25, rng);
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 25u);
+  EXPECT_EQ(network.cost_snapshot().walker_hops, 25u);
+}
+
+TEST(SamplersTest, UniformOracleIsUniform) {
+  net::SimulatedNetwork network = MakeBaNetwork(50, 2, 15);
+  UniformOracleSampler sampler(&network);
+  util::Rng rng(15);
+  auto visits = sampler.SamplePeers(0, 50000, rng);
+  ASSERT_TRUE(visits.ok());
+  std::map<graph::NodeId, size_t> counts;
+  for (const PeerVisit& v : *visits) ++counts[v.peer];
+  for (graph::NodeId p = 0; p < 50; ++p) {
+    EXPECT_NEAR(static_cast<double>(counts[p]) / 50000.0, 0.02, 0.005);
+  }
+}
+
+TEST(SamplersTest, NamesAreStable) {
+  net::SimulatedNetwork network = MakeBaNetwork(50, 2, 16);
+  EXPECT_EQ(RandomWalkSampler(&network, WalkParams{}).name(), "random_walk");
+  EXPECT_EQ(BfsSampler(&network).name(), "bfs");
+  EXPECT_EQ(DfsSampler(&network).name(), "dfs");
+  EXPECT_EQ(UniformOracleSampler(&network).name(), "uniform_oracle");
+}
+
+TEST(ParallelWalkTest, CollectsFullCountAcrossWalkers) {
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3, 30);
+  ParallelWalkSampler sampler(&network, WalkParams{.jump = 5},
+                              /*num_walkers=*/7);
+  util::Rng rng(31);
+  auto visits = sampler.SamplePeers(0, 50, rng);  // 50 not divisible by 7.
+  ASSERT_TRUE(visits.ok());
+  EXPECT_EQ(visits->size(), 50u);
+  EXPECT_EQ(sampler.name(), "parallel_walk");
+}
+
+TEST(ParallelWalkTest, CutsLatencyButNotMessages) {
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3, 32);
+  util::Rng rng_a(33);
+  util::Rng rng_b(33);
+  const size_t kCount = 64;
+
+  network.ResetCost();
+  RandomWalkSampler single(&network, WalkParams{.jump = 5});
+  ASSERT_TRUE(single.SamplePeers(0, kCount, rng_a).ok());
+  net::CostSnapshot sequential = network.cost_snapshot();
+
+  network.ResetCost();
+  ParallelWalkSampler parallel(&network, WalkParams{.jump = 5},
+                               /*num_walkers=*/8);
+  ASSERT_TRUE(parallel.SamplePeers(0, kCount, rng_b).ok());
+  net::CostSnapshot fanned = network.cost_snapshot();
+
+  // Same total work...
+  EXPECT_EQ(fanned.walker_hops, sequential.walker_hops);
+  EXPECT_EQ(fanned.messages, sequential.messages);
+  // ...but the critical path shrinks by roughly the walker count.
+  EXPECT_LT(fanned.latency_ms, sequential.latency_ms / 4.0);
+  EXPECT_GT(fanned.latency_ms, 0.0);
+}
+
+TEST(ParallelWalkTest, SingleWalkerMatchesPlainWalkLatency) {
+  net::SimulatedNetwork network = MakeBaNetwork(200, 3, 34);
+  util::Rng rng(35);
+  network.ResetCost();
+  ParallelWalkSampler sampler(&network, WalkParams{.jump = 3}, 1);
+  ASSERT_TRUE(sampler.SamplePeers(0, 20, rng).ok());
+  // With one walker the max == sum correction is a no-op.
+  EXPECT_GT(network.cost_snapshot().latency_ms, 0.0);
+  EXPECT_EQ(network.cost_snapshot().walker_hops, 60u);
+}
+
+TEST(ConvergenceTest, TuneWalkProducesUsableParameters) {
+  util::Rng rng(17);
+  auto graph = topology::MakeBarabasiAlbert(500, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  WalkTuning tuning = TuneWalk(*graph, 0.05, 1, rng);
+  EXPECT_GT(tuning.lambda2, 0.0);
+  EXPECT_LT(tuning.lambda2, 1.0);
+  EXPECT_GE(tuning.jump, 1u);
+  EXPECT_GT(tuning.burn_in, 0u);
+  EXPECT_LE(tuning.jump, tuning.burn_in);
+}
+
+TEST(ConvergenceTest, ClusteredGraphsNeedLongerWalks) {
+  util::Rng rng(18);
+  topology::ClusteredParams tight;
+  tight.num_nodes = 400;
+  tight.num_edges = 2000;
+  tight.num_subgraphs = 2;
+  tight.cut_edges = 1;
+  auto tight_topo = topology::MakeClustered(tight, rng);
+  ASSERT_TRUE(tight_topo.ok());
+  auto loose_graph = topology::MakeBarabasiAlbert(400, 5, rng);
+  ASSERT_TRUE(loose_graph.ok());
+  util::Rng rng2(19);
+  WalkTuning tight_tuning = TuneWalk(tight_topo->graph, 0.05, 1, rng2);
+  WalkTuning loose_tuning = TuneWalk(*loose_graph, 0.05, 1, rng2);
+  EXPECT_GT(tight_tuning.burn_in, loose_tuning.burn_in);
+}
+
+TEST(ConvergenceTest, JumpKillsDegreeAutocorrelation) {
+  util::Rng rng(20);
+  topology::ClusteredParams params;
+  params.num_nodes = 400;
+  params.num_edges = 2400;
+  params.num_subgraphs = 2;
+  params.cut_edges = 10;
+  auto topo = topology::MakeClustered(params, rng);
+  ASSERT_TRUE(topo.ok());
+  util::Rng rng_a(21);
+  util::Rng rng_b(21);
+  double rho1 = MeasureDegreeAutocorrelation(topo->graph, 1, 20000, rng_a);
+  double rho20 = MeasureDegreeAutocorrelation(topo->graph, 20, 20000, rng_b);
+  EXPECT_LT(std::fabs(rho20), std::fabs(rho1) + 0.02);
+  EXPECT_LT(std::fabs(rho20), 0.05);
+}
+
+}  // namespace
+}  // namespace p2paqp::sampling

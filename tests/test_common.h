@@ -1,0 +1,100 @@
+// Shared fixtures for p2paqp tests: small deterministic networks with
+// clustered data, mirroring the paper's setup at test-friendly scale.
+#ifndef P2PAQP_TESTS_TEST_COMMON_H_
+#define P2PAQP_TESTS_TEST_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/aqp.h"
+#include "util/logging.h"
+
+namespace p2paqp::testing {
+
+struct TestNetworkParams {
+  size_t num_peers = 1000;
+  size_t num_edges = 5000;
+  size_t num_subgraphs = 2;
+  size_t cut_edges = 200;
+  size_t tuples_per_peer = 50;
+  double cluster_level = 0.25;
+  double skew = 0.2;
+  bool sort_local_tables = false;
+  uint64_t seed = 42;
+};
+
+struct TestNetwork {
+  net::SimulatedNetwork network;
+  core::SystemCatalog catalog;
+  std::vector<uint32_t> partition;
+};
+
+// Builds a clustered two-sub-graph overlay with Zipf data distributed
+// breadth-first, like Sec. 5.2. Aborts on any setup failure (tests only).
+inline TestNetwork MakeTestNetwork(const TestNetworkParams& params) {
+  util::Rng rng(params.seed);
+  topology::TopologyConfig config;
+  config.kind = topology::TopologyKind::kClustered;
+  config.num_nodes = params.num_peers;
+  config.num_edges = params.num_edges;
+  config.num_subgraphs = params.num_subgraphs;
+  config.cut_edges = params.cut_edges;
+  auto topo = topology::MakeTopology(config, rng);
+  P2PAQP_CHECK(topo.ok()) << topo.status().ToString();
+
+  data::DatasetParams dataset_params;
+  dataset_params.num_tuples = params.num_peers * params.tuples_per_peer;
+  dataset_params.skew = params.skew;
+  auto table = data::GenerateDataset(dataset_params, rng);
+  P2PAQP_CHECK(table.ok()) << table.status().ToString();
+
+  data::PartitionParams partition_params;
+  partition_params.cluster_level = params.cluster_level;
+  partition_params.bfs_root = 0;
+  partition_params.sort_local_tables = params.sort_local_tables;
+  auto databases = data::PartitionAcrossPeers(*table, topo->graph,
+                                              partition_params, rng);
+  P2PAQP_CHECK(databases.ok()) << databases.status().ToString();
+
+  // The paper determines walk parameters in a preprocessing step from the
+  // topology's connectivity; do the same here (spectral tuning), capping the
+  // burn-in so tests stay fast.
+  core::SystemCatalog catalog = core::Preprocess(topo->graph, 0.05, rng);
+  catalog.suggested_burn_in = std::min<size_t>(catalog.suggested_burn_in, 400);
+  catalog.suggested_jump = std::min<size_t>(catalog.suggested_jump, 300);
+  auto network =
+      net::SimulatedNetwork::Make(std::move(topo->graph),
+                                  std::move(*databases), net::NetworkParams{},
+                                  params.seed + 1);
+  P2PAQP_CHECK(network.ok()) << network.status().ToString();
+  return TestNetwork{std::move(*network), catalog, std::move(topo->partition)};
+}
+
+// The paper's error metric (Sec. 5.5, "errors are normalized between 0 and
+// 1"): |estimate - truth| / total, where total is the exact aggregate at
+// selectivity 1 (N for COUNT, the all-tuples sum for SUM).
+inline double NormalizedCountError(const net::SimulatedNetwork& network,
+                                   double estimate, data::Value lo,
+                                   data::Value hi) {
+  double truth = static_cast<double>(network.ExactCount(lo, hi));
+  double total = static_cast<double>(network.TotalTuples());
+  P2PAQP_CHECK_GT(total, 0.0);
+  return std::fabs(estimate - truth) / total;
+}
+
+inline double NormalizedSumError(const net::SimulatedNetwork& network,
+                                 double estimate, data::Value lo,
+                                 data::Value hi) {
+  double truth = static_cast<double>(network.ExactSum(lo, hi));
+  auto total = static_cast<double>(
+      network.ExactSum(std::numeric_limits<data::Value>::min(),
+                       std::numeric_limits<data::Value>::max()));
+  P2PAQP_CHECK_GT(total, 0.0);
+  return std::fabs(estimate - truth) / total;
+}
+
+}  // namespace p2paqp::testing
+
+#endif  // P2PAQP_TESTS_TEST_COMMON_H_

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+#include "topology/clustered.h"
+#include "topology/factory.h"
+#include "topology/gnutella.h"
+#include "topology/power_law.h"
+#include "topology/random.h"
+
+namespace p2paqp::topology {
+namespace {
+
+TEST(BarabasiAlbertTest, NodeCountAndConnectivity) {
+  util::Rng rng(1);
+  auto graph = MakeBarabasiAlbert(1000, 4, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 1000u);
+  EXPECT_TRUE(graph::IsConnected(*graph));
+  // Roughly 4 edges per attached node.
+  EXPECT_NEAR(static_cast<double>(graph->num_edges()), 4.0 * 1000, 120.0);
+}
+
+TEST(BarabasiAlbertTest, HasHeavyTail) {
+  util::Rng rng(2);
+  auto graph = MakeBarabasiAlbert(2000, 3, rng);
+  ASSERT_TRUE(graph.ok());
+  // Hubs exist: max degree far above the average.
+  EXPECT_GT(graph->max_degree(), 5 * graph->average_degree());
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  util::Rng rng(3);
+  EXPECT_FALSE(MakeBarabasiAlbert(5, 0, rng).ok());
+  EXPECT_FALSE(MakeBarabasiAlbert(3, 3, rng).ok());
+}
+
+TEST(PowerLawEdgeCountTest, HitsExactEdgeCount) {
+  util::Rng rng(4);
+  for (size_t edges : {999u, 5000u, 12345u}) {
+    auto graph = MakePowerLawWithEdgeCount(1000, edges, rng);
+    ASSERT_TRUE(graph.ok()) << edges;
+    EXPECT_EQ(graph->num_edges(), edges);
+    EXPECT_EQ(graph->num_nodes(), 1000u);
+  }
+}
+
+TEST(PowerLawEdgeCountTest, PaperScaleTopology) {
+  util::Rng rng(5);
+  auto graph = MakePowerLawWithEdgeCount(10000, 100000, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 10000u);
+  EXPECT_EQ(graph->num_edges(), 100000u);
+  EXPECT_TRUE(graph::IsConnected(*graph));
+}
+
+TEST(PowerLawEdgeCountTest, RejectsUnachievableCounts) {
+  util::Rng rng(6);
+  EXPECT_FALSE(MakePowerLawWithEdgeCount(10, 8, rng).ok());   // < n-1.
+  EXPECT_FALSE(MakePowerLawWithEdgeCount(10, 46, rng).ok());  // > n(n-1)/2.
+  EXPECT_FALSE(MakePowerLawWithEdgeCount(1, 0, rng).ok());
+}
+
+TEST(ErdosRenyiTest, ExactEdgesAndConnected) {
+  util::Rng rng(7);
+  auto graph = MakeErdosRenyi(500, 2000, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 2000u);
+  EXPECT_TRUE(graph::IsConnected(*graph));
+}
+
+TEST(ErdosRenyiTest, SpanningTreeCorner) {
+  util::Rng rng(8);
+  auto graph = MakeErdosRenyi(100, 99, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 99u);
+  EXPECT_TRUE(graph::IsConnected(*graph));
+}
+
+TEST(ClusteredTest, PartitionAndCutSize) {
+  util::Rng rng(9);
+  ClusteredParams params;
+  params.num_nodes = 1000;
+  params.num_edges = 6000;
+  params.num_subgraphs = 2;
+  params.cut_edges = 100;
+  auto topo = MakeClustered(params, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->graph.num_nodes(), 1000u);
+  EXPECT_TRUE(graph::IsConnected(topo->graph));
+  // Partition blocks are near-even.
+  size_t block0 = 0;
+  for (uint32_t b : topo->partition) block0 += (b == 0);
+  EXPECT_EQ(block0, 500u);
+  // The materialized cut matches the requested cut size exactly.
+  EXPECT_EQ(graph::CutSize(topo->graph, topo->partition), 100u);
+}
+
+TEST(ClusteredTest, ManySubgraphs) {
+  util::Rng rng(10);
+  ClusteredParams params;
+  params.num_nodes = 900;
+  params.num_edges = 5000;
+  params.num_subgraphs = 6;
+  params.cut_edges = 60;
+  auto topo = MakeClustered(params, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_TRUE(graph::IsConnected(topo->graph));
+  EXPECT_EQ(graph::CutSize(topo->graph, topo->partition), 60u);
+  EXPECT_EQ(*std::max_element(topo->partition.begin(), topo->partition.end()),
+            5u);
+}
+
+TEST(ClusteredTest, RejectsInsufficientCutEdges) {
+  util::Rng rng(11);
+  ClusteredParams params;
+  params.num_nodes = 100;
+  params.num_edges = 600;
+  params.num_subgraphs = 4;
+  params.cut_edges = 2;  // Needs >= 3 for a connected chain.
+  EXPECT_FALSE(MakeClustered(params, rng).ok());
+}
+
+TEST(ClusteredTest, RejectsCutEdgesWithSingleSubgraph) {
+  util::Rng rng(12);
+  ClusteredParams params;
+  params.num_nodes = 100;
+  params.num_edges = 600;
+  params.num_subgraphs = 1;
+  params.cut_edges = 10;
+  EXPECT_FALSE(MakeClustered(params, rng).ok());
+}
+
+TEST(GnutellaTest, ExactCrawlScaleCounts) {
+  util::Rng rng(13);
+  GnutellaParams params;  // Defaults = 2001 crawl sizes.
+  auto graph = MakeGnutellaSnapshot(params, rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), kGnutella2001Peers);
+  EXPECT_EQ(graph->num_edges(), kGnutella2001Edges);
+  EXPECT_TRUE(graph::IsConnected(*graph));
+}
+
+TEST(GnutellaTest, TwoRegimeDegreeShape) {
+  util::Rng rng(14);
+  GnutellaParams params;
+  params.num_nodes = 5000;
+  params.num_edges = 11600;  // Crawl-like average degree ~4.6.
+  auto graph = MakeGnutellaSnapshot(params, rng);
+  ASSERT_TRUE(graph.ok());
+  // Heavy tail present...
+  EXPECT_GT(graph->max_degree(), 8 * graph->average_degree());
+  // ...while most nodes are low degree.
+  auto hist = graph::DegreeHistogram(*graph);
+  size_t low = 0;
+  for (size_t d = 0; d <= 5 && d < hist.size(); ++d) low += hist[d];
+  EXPECT_GT(low, graph->num_nodes() / 2);
+}
+
+TEST(GnutellaTest, RejectsBadParams) {
+  util::Rng rng(15);
+  GnutellaParams params;
+  params.num_nodes = 10;
+  params.num_edges = 5;  // < n-1.
+  EXPECT_FALSE(MakeGnutellaSnapshot(params, rng).ok());
+  params = GnutellaParams{};
+  params.tail_exponent = 0.5;
+  EXPECT_FALSE(MakeGnutellaSnapshot(params, rng).ok());
+}
+
+// Factory sweep: every kind builds a connected overlay at modest scale.
+class TopologyFactoryTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyFactoryTest, BuildsConnectedOverlay) {
+  util::Rng rng(16);
+  TopologyConfig config;
+  config.kind = GetParam();
+  config.num_nodes = 800;
+  config.num_edges = 4000;
+  config.num_subgraphs = 2;
+  config.cut_edges = 50;
+  auto topo = MakeTopology(config, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->graph.num_nodes(), 800u);
+  EXPECT_TRUE(graph::IsConnected(topo->graph));
+  EXPECT_EQ(topo->partition.size(), 800u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyFactoryTest,
+                         ::testing::Values(TopologyKind::kPowerLaw,
+                                           TopologyKind::kClustered,
+                                           TopologyKind::kErdosRenyi,
+                                           TopologyKind::kGnutella),
+                         [](const auto& info) {
+                           return TopologyKindToString(info.param);
+                         });
+
+TEST(TopologyFactoryTest, KindNames) {
+  EXPECT_STREQ(TopologyKindToString(TopologyKind::kGnutella), "gnutella");
+  EXPECT_STREQ(TopologyKindToString(TopologyKind::kClustered), "clustered");
+}
+
+}  // namespace
+}  // namespace p2paqp::topology

@@ -1,0 +1,127 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace p2paqp::util {
+namespace {
+
+TEST(HistogramTest, RejectsBadShapes) {
+  EXPECT_FALSE(Histogram::Make(10, 9, 4).ok());
+  EXPECT_FALSE(Histogram::Make(1, 100, 0).ok());
+}
+
+TEST(HistogramTest, ClampsBucketCountToDomain) {
+  auto h = Histogram::Make(1, 4, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 4u);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  auto h = Histogram::Make(1, 100, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->BucketFor(1), 0u);
+  EXPECT_EQ(h->BucketFor(10), 0u);
+  EXPECT_EQ(h->BucketFor(11), 1u);
+  EXPECT_EQ(h->BucketFor(100), 9u);
+  // Out-of-domain values clamp.
+  EXPECT_EQ(h->BucketFor(-5), 0u);
+  EXPECT_EQ(h->BucketFor(1000), 9u);
+}
+
+TEST(HistogramTest, BucketRangesTileTheDomain) {
+  auto h = Histogram::Make(1, 100, 7);
+  ASSERT_TRUE(h.ok());
+  int64_t expected_lo = 1;
+  for (size_t b = 0; b < h->num_buckets(); ++b) {
+    auto [lo, hi] = h->BucketRange(b);
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_GE(hi, lo);
+    expected_lo = hi + 1;
+  }
+  EXPECT_EQ(expected_lo, 101);
+}
+
+TEST(HistogramTest, AddAndTotal) {
+  auto h = Histogram::Make(1, 10, 2);
+  ASSERT_TRUE(h.ok());
+  h->Add(1);
+  h->Add(3, 2.5);
+  h->Add(9);
+  EXPECT_DOUBLE_EQ(h->count(0), 3.5);
+  EXPECT_DOUBLE_EQ(h->count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h->total(), 4.5);
+}
+
+TEST(HistogramTest, MergeAndScale) {
+  auto a = Histogram::Make(1, 10, 2);
+  auto b = Histogram::Make(1, 10, 2);
+  a->Add(2);
+  b->Add(2);
+  b->Add(8, 4.0);
+  a->Merge(*b);
+  EXPECT_DOUBLE_EQ(a->count(0), 2.0);
+  EXPECT_DOUBLE_EQ(a->count(1), 4.0);
+  a->Scale(0.5);
+  EXPECT_DOUBLE_EQ(a->total(), 3.0);
+}
+
+TEST(HistogramTest, L1DistanceIdenticalShapesIsZero) {
+  auto a = Histogram::Make(1, 100, 10);
+  auto b = Histogram::Make(1, 100, 10);
+  for (int v = 1; v <= 100; ++v) {
+    a->Add(v);
+    b->Add(v, 7.0);  // Same shape, different mass: normalized distance 0.
+  }
+  EXPECT_NEAR(a->NormalizedL1Distance(*b), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, L1DistanceDisjointIsTwo) {
+  auto a = Histogram::Make(1, 100, 10);
+  auto b = Histogram::Make(1, 100, 10);
+  a->Add(5);
+  b->Add(95);
+  EXPECT_DOUBLE_EQ(a->NormalizedL1Distance(*b), 2.0);
+}
+
+TEST(HistogramTest, L1DistanceEmptyCases) {
+  auto a = Histogram::Make(1, 10, 2);
+  auto b = Histogram::Make(1, 10, 2);
+  EXPECT_DOUBLE_EQ(a->NormalizedL1Distance(*b), 0.0);
+  b->Add(3);
+  EXPECT_DOUBLE_EQ(a->NormalizedL1Distance(*b), 2.0);
+}
+
+TEST(HistogramTest, EmpiricalZipfShapeConverges) {
+  // Two independent large samples from the same distribution must be close
+  // in normalized L1 — the property the histogram CV step relies on.
+  auto zipf = ZipfGenerator::Make(100, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  auto a = Histogram::Make(1, 100, 10);
+  auto b = Histogram::Make(1, 100, 10);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    a->Add(zipf->Sample(rng));
+    b->Add(zipf->Sample(rng));
+  }
+  EXPECT_LT(a->NormalizedL1Distance(*b), 0.03);
+}
+
+TEST(HistogramTest, ToStringListsBuckets) {
+  auto h = Histogram::Make(1, 10, 2);
+  h->Add(1);
+  std::string s = h->ToString();
+  EXPECT_NE(s.find("[1,5]"), std::string::npos);
+  EXPECT_NE(s.find("[6,10]"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedShapes) {
+  auto a = Histogram::Make(1, 10, 2);
+  auto b = Histogram::Make(1, 20, 2);
+  EXPECT_DEATH(a->Merge(*b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace p2paqp::util

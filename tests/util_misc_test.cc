@@ -1,0 +1,95 @@
+// Tests for Status/Result and the ASCII table printer.
+#include <gtest/gtest.h>
+
+#include "util/ascii_table.h"
+#include "util/status.h"
+
+namespace p2paqp::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad jump");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad jump");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad jump");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::OutOfRange("too big"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line has the same column start for "value" data.
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(AsciiTableTest, CsvOutput) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(AsciiTableTest, Formatters) {
+  EXPECT_EQ(AsciiTable::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::FormatPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(AsciiTable::FormatInt(-42), "-42");
+}
+
+TEST(AsciiTableDeathTest, RejectsWrongArity) {
+  AsciiTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace p2paqp::util

@@ -1,0 +1,208 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace p2paqp::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntHitsBothEndpoints) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000 && !(saw_lo && saw_hi); ++i) {
+    int64_t v = rng.UniformInt(0, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(2.0, 4.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double fraction = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kTrials;
+  double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexFavorsHeavyWeight) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 10000.0, 0.9, 0.03);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(19);
+  for (size_t n : {size_t{10}, size_t{100}, size_t{1000}}) {
+    for (size_t k : {size_t{0}, size_t{1}, size_t{5}, n / 2, n}) {
+      auto indices = rng.SampleIndices(n, k);
+      ASSERT_EQ(indices.size(), k);
+      std::set<size_t> unique(indices.begin(), indices.end());
+      EXPECT_EQ(unique.size(), k);
+      for (size_t index : indices) EXPECT_LT(index, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleIndicesIsUniform) {
+  Rng rng(23);
+  std::map<size_t, int> counts;
+  const int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (size_t index : rng.SampleIndices(10, 3)) ++counts[index];
+  }
+  // Each index should appear with probability 3/10.
+  for (const auto& [index, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kTrials, 0.3, 0.02)
+        << "index " << index;
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> items = {1, 2, 2, 3, 5, 8, 13};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, PartialShuffleZeroIsIdentity) {
+  Rng rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> copy = items;
+  rng.PartialShuffle(copy, 0.0);
+  EXPECT_EQ(copy, items);
+}
+
+TEST(RngTest, PartialShuffleOnePermutesMultiset) {
+  Rng rng(37);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  std::vector<int> copy = items;
+  rng.PartialShuffle(copy, 1.0);
+  EXPECT_NE(copy, items);  // Astronomically unlikely to be identity.
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(RngTest, PartialShuffleDisplacementGrowsWithFraction) {
+  auto displacement = [](double fraction) {
+    Rng rng(41);
+    std::vector<int> items(1000);
+    for (int i = 0; i < 1000; ++i) items[i] = i;
+    rng.PartialShuffle(items, fraction);
+    double total = 0.0;
+    for (int i = 0; i < 1000; ++i) total += std::abs(items[i] - i);
+    return total;
+  };
+  double d_small = displacement(0.1);
+  double d_large = displacement(0.9);
+  EXPECT_LT(d_small, d_large);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent's continuing stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next64() == child.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(47);
+  double sum = 0.0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.25));
+  }
+  // Mean of failures-before-success geometric = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kTrials, 3.0, 0.15);
+}
+
+TEST(RngTest, MixSeedSpreadsNearbySeeds) {
+  // Consecutive seeds must land far apart after mixing.
+  uint64_t a = MixSeed(1);
+  uint64_t b = MixSeed(2);
+  int differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 10);
+}
+
+}  // namespace
+}  // namespace p2paqp::util

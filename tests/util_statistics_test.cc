@@ -1,0 +1,151 @@
+#include "util/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace p2paqp::util {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MatchesBatchFormulas) {
+  RunningStat stat;
+  std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) stat.Add(v);
+  EXPECT_EQ(stat.count(), values.size());
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(42.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 42.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-90.0, -100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 100.0), 0.0);
+}
+
+TEST(RelativeErrorTest, ZeroTruthReportsMagnitude) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 5.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Median(values), 25.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(WeightedMedianTest, EqualWeightsMatchPlainMedian) {
+  std::vector<double> values = {5.0, 1.0, 9.0, 3.0, 7.0};
+  std::vector<double> weights(5, 1.0);
+  EXPECT_DOUBLE_EQ(WeightedMedian(values, weights), 5.0);
+}
+
+TEST(WeightedMedianTest, DominantWeightWins) {
+  std::vector<double> values = {1.0, 2.0, 100.0};
+  std::vector<double> weights = {0.1, 0.1, 10.0};
+  EXPECT_DOUBLE_EQ(WeightedMedian(values, weights), 100.0);
+}
+
+TEST(WeightedMedianTest, IgnoresZeroWeightEntries) {
+  std::vector<double> values = {1.0, 50.0, 2.0, 3.0};
+  std::vector<double> weights = {1.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(WeightedMedian(values, weights), 2.0);
+}
+
+TEST(WeightedQuantileTest, MonotoneInPhi) {
+  std::vector<double> values = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  std::vector<double> weights = {1.0, 2.0, 1.0, 3.0, 1.0, 2.0};
+  double prev = -1e300;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double q = WeightedQuantile(values, weights, phi);
+    EXPECT_GE(q, prev) << "phi " << phi;
+    prev = q;
+  }
+}
+
+TEST(WeightedQuantileTest, MatchesExpandedMultiset) {
+  // Integer weights == multiset repetition.
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  std::vector<double> weights = {1.0, 2.0, 1.0};
+  // Expanded multiset {1, 2, 2, 3}: half the weight is reached at 2.
+  EXPECT_DOUBLE_EQ(WeightedMedian(values, weights), 2.0);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.090232306, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.001), -3.090232306, 1e-5);
+}
+
+TEST(InverseNormalCdfTest, SymmetricAboutHalf) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-7);
+  }
+}
+
+TEST(ConfidenceHalfWidthTest, ShrinksWithSqrtN) {
+  double w100 = ConfidenceHalfWidth(10.0, 100, 0.95);
+  double w400 = ConfidenceHalfWidth(10.0, 400, 0.95);
+  EXPECT_NEAR(w100 / w400, 2.0, 1e-9);
+  EXPECT_NEAR(w100, 1.96 * 10.0 / 10.0, 0.01);
+}
+
+TEST(ConfidenceHalfWidthTest, WiderForHigherConfidence) {
+  EXPECT_LT(ConfidenceHalfWidth(1.0, 50, 0.90),
+            ConfidenceHalfWidth(1.0, 50, 0.99));
+}
+
+TEST(ConfidenceHalfWidthTest, ZeroSamplesGiveZero) {
+  EXPECT_DOUBLE_EQ(ConfidenceHalfWidth(5.0, 0, 0.95), 0.0);
+}
+
+// Property sweep: weighted quantile of i.i.d. uniform data approaches phi.
+class WeightedQuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightedQuantileSweep, ApproachesPopulationQuantile) {
+  double phi = GetParam();
+  Rng rng(99);
+  std::vector<double> values;
+  std::vector<double> weights;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(rng.UniformDouble(0.0, 1.0));
+    weights.push_back(1.0);
+  }
+  EXPECT_NEAR(WeightedQuantile(values, weights, phi), phi, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phis, WeightedQuantileSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace p2paqp::util

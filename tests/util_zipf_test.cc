@@ -1,0 +1,121 @@
+#include "util/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace p2paqp::util {
+namespace {
+
+TEST(ZipfTest, RejectsEmptyRange) {
+  EXPECT_FALSE(ZipfGenerator::Make(0, 1.0).ok());
+}
+
+TEST(ZipfTest, RejectsNegativeSkew) {
+  EXPECT_FALSE(ZipfGenerator::Make(100, -0.5).ok());
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  for (double skew : {0.0, 0.2, 1.0, 2.0}) {
+    auto zipf = ZipfGenerator::Make(100, skew);
+    ASSERT_TRUE(zipf.ok());
+    double total = 0.0;
+    for (uint32_t v = 1; v <= 100; ++v) total += zipf->Probability(v);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "skew " << skew;
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  auto zipf = ZipfGenerator::Make(50, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  for (uint32_t v = 1; v <= 50; ++v) {
+    EXPECT_NEAR(zipf->Probability(v), 0.02, 1e-9);
+  }
+}
+
+TEST(ZipfTest, ProbabilityDecreasesWithValue) {
+  auto zipf = ZipfGenerator::Make(100, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  for (uint32_t v = 1; v < 100; ++v) {
+    EXPECT_GT(zipf->Probability(v), zipf->Probability(v + 1));
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesOnHead) {
+  auto mild = ZipfGenerator::Make(100, 0.5);
+  auto heavy = ZipfGenerator::Make(100, 2.0);
+  ASSERT_TRUE(mild.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_GT(heavy->Probability(1), mild->Probability(1));
+  EXPECT_LT(heavy->Probability(100), mild->Probability(100));
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  auto zipf = ZipfGenerator::Make(10, 1.2);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t v = zipf->Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchProbabilities) {
+  auto zipf = ZipfGenerator::Make(20, 1.0);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(11);
+  std::vector<int> counts(21, 0);
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf->Sample(rng)];
+  for (uint32_t v = 1; v <= 20; ++v) {
+    double empirical = static_cast<double>(counts[v]) / kTrials;
+    EXPECT_NEAR(empirical, zipf->Probability(v), 0.01) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, MeanMatchesEmpiricalMean) {
+  auto zipf = ZipfGenerator::Make(100, 0.8);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(13);
+  double sum = 0.0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(zipf->Sample(rng));
+  }
+  EXPECT_NEAR(sum / kTrials, zipf->Mean(), zipf->Mean() * 0.02);
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  auto zipf = ZipfGenerator::Make(1, 1.5);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(17);
+  EXPECT_EQ(zipf->Sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(zipf->Probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(zipf->Mean(), 1.0);
+}
+
+// Parameterized sweep: the CDF must be valid for every (n, skew) corner.
+class ZipfSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double>> {};
+
+TEST_P(ZipfSweepTest, CdfIsMonotoneAndComplete) {
+  auto [n, skew] = GetParam();
+  auto zipf = ZipfGenerator::Make(n, skew);
+  ASSERT_TRUE(zipf.ok());
+  double acc = 0.0;
+  for (uint32_t v = 1; v <= n; ++v) {
+    double p = zipf->Probability(v);
+    EXPECT_GE(p, 0.0);
+    acc += p;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ZipfSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 10u, 100u, 1000u),
+                       ::testing::Values(0.0, 0.2, 0.5, 1.0, 1.5, 2.0)));
+
+}  // namespace
+}  // namespace p2paqp::util

@@ -1,0 +1,377 @@
+// p2paqp command-line driver: build a simulated P2P world from flags, then
+// answer SQL-ish aggregation queries against it — one-shot or as a REPL.
+//
+//   p2paqp_cli --peers=2000 --edges=20000 --query="SELECT COUNT(A) ..."
+//
+//   p2paqp_cli --topology=gnutella --repl
+//   p2paqp> SELECT MEDIAN(A) FROM T WITHIN 10%
+//   p2paqp> \churn 0.1 0.3
+//   p2paqp> \catalog
+//   p2paqp> \quit
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/aqp.h"
+#include "io/world_io.h"
+#include "query/parser.h"
+#include "util/statistics.h"
+
+namespace p2paqp {
+namespace {
+
+struct CliOptions {
+  std::string topology = "power_law";
+  size_t peers = 2000;
+  size_t edges = 20000;
+  size_t subgraphs = 2;
+  size_t cut = 200;
+  size_t tuples_per_peer = 100;
+  double cluster_level = 0.25;
+  double skew = 0.2;
+  bool fill_b = false;
+  uint64_t seed = 42;
+  size_t phase1_peers = 80;
+  uint64_t t = 25;
+  size_t walkers = 1;
+  bool combined = true;  // Fold phase-I observations into the answer.
+  bool oracle = true;    // Print exact answers next to estimates.
+  bool repl = false;
+  std::string query;
+  std::string save_world;  // Write the built world to this path.
+  std::string load_world;  // Load the world from this path instead of
+                           // generating one.
+};
+
+void PrintHelp() {
+  std::puts(
+      "p2paqp_cli — approximate aggregation queries over a simulated "
+      "unstructured P2P network\n\n"
+      "World flags:\n"
+      "  --topology=power_law|clustered|erdos_renyi|gnutella\n"
+      "  --peers=N --edges=N --subgraphs=N --cut=N\n"
+      "  --tuples-per-peer=N --cl=F --skew=F --fill-b --seed=N\n"
+      "Engine flags:\n"
+      "  --phase1=N --t=N --walkers=N --no-combined --no-oracle\n"
+      "Modes:\n"
+      "  --query=\"SELECT ...\"   answer one query and exit\n"
+      "  --repl                  interactive prompt\n"
+      "  --save-world=F / --load-world=F   persist/restore the exact world\n\n"
+      "Query syntax:\n"
+      "  SELECT COUNT|SUM|AVG|MEDIAN|QUANTILE|DISTINCT(A|B|A+B|A*B|*)\n"
+      "  FROM T [WHERE A BETWEEN x AND y [AND B BETWEEN u AND v]]\n"
+      "  [WITHIN e%] [AT phi]\n\n"
+      "REPL commands: \\catalog \\cost \\churn <leave> <rejoin> \\help "
+      "\\quit");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+util::Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      std::exit(0);
+    } else if (ParseFlag(arg, "topology", &value)) {
+      options.topology = value;
+    } else if (ParseFlag(arg, "peers", &value)) {
+      options.peers = std::stoul(value);
+    } else if (ParseFlag(arg, "edges", &value)) {
+      options.edges = std::stoul(value);
+    } else if (ParseFlag(arg, "subgraphs", &value)) {
+      options.subgraphs = std::stoul(value);
+    } else if (ParseFlag(arg, "cut", &value)) {
+      options.cut = std::stoul(value);
+    } else if (ParseFlag(arg, "tuples-per-peer", &value)) {
+      options.tuples_per_peer = std::stoul(value);
+    } else if (ParseFlag(arg, "cl", &value)) {
+      options.cluster_level = std::stod(value);
+    } else if (ParseFlag(arg, "skew", &value)) {
+      options.skew = std::stod(value);
+    } else if (arg == "--fill-b") {
+      options.fill_b = true;
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options.seed = std::stoull(value);
+    } else if (ParseFlag(arg, "phase1", &value)) {
+      options.phase1_peers = std::stoul(value);
+    } else if (ParseFlag(arg, "t", &value)) {
+      options.t = std::stoull(value);
+    } else if (ParseFlag(arg, "walkers", &value)) {
+      options.walkers = std::stoul(value);
+    } else if (arg == "--no-combined") {
+      options.combined = false;
+    } else if (arg == "--no-oracle") {
+      options.oracle = false;
+    } else if (arg == "--repl") {
+      options.repl = true;
+    } else if (ParseFlag(arg, "query", &value)) {
+      options.query = value;
+    } else if (ParseFlag(arg, "save-world", &value)) {
+      options.save_world = value;
+    } else if (ParseFlag(arg, "load-world", &value)) {
+      options.load_world = value;
+    } else {
+      return util::Status::InvalidArgument("unknown flag: " + arg +
+                                           " (try --help)");
+    }
+  }
+  if (options.query.empty() && !options.repl) {
+    options.repl = true;  // No one-shot query: drop into the REPL.
+  }
+  return options;
+}
+
+util::Result<topology::TopologyKind> KindFromName(const std::string& name) {
+  if (name == "power_law") return topology::TopologyKind::kPowerLaw;
+  if (name == "clustered") return topology::TopologyKind::kClustered;
+  if (name == "erdos_renyi") return topology::TopologyKind::kErdosRenyi;
+  if (name == "gnutella") return topology::TopologyKind::kGnutella;
+  return util::Status::InvalidArgument("unknown topology '" + name + "'");
+}
+
+struct Session {
+  net::SimulatedNetwork network;
+  core::SystemCatalog catalog;
+  CliOptions options;
+  util::Rng rng;
+
+  double OracleAnswer(const query::AggregateQuery& q) const {
+    double count = 0.0;
+    double sum = 0.0;
+    std::vector<double> values;
+    bool need_values = q.op == query::AggregateOp::kMedian ||
+                       q.op == query::AggregateOp::kQuantile;
+    std::map<data::Value, bool> distinct;
+    for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+      if (!network.IsAlive(p)) continue;
+      for (const data::Tuple& t : network.peer(p).database().tuples()) {
+        if (!q.Matches(t)) continue;
+        double measure = query::EvaluateExpression(q.expr, t);
+        count += 1.0;
+        sum += measure;
+        if (need_values) values.push_back(measure);
+        if (q.op == query::AggregateOp::kDistinct) distinct[t.value] = true;
+      }
+    }
+    switch (q.op) {
+      case query::AggregateOp::kCount:
+        return count;
+      case query::AggregateOp::kSum:
+        return sum;
+      case query::AggregateOp::kAvg:
+        return count == 0.0 ? 0.0 : sum / count;
+      case query::AggregateOp::kMedian:
+        return values.empty() ? 0.0 : util::Median(values);
+      case query::AggregateOp::kQuantile:
+        return values.empty() ? 0.0
+                              : util::Percentile(values, q.quantile_phi);
+      case query::AggregateOp::kDistinct:
+        return static_cast<double>(distinct.size());
+    }
+    return 0.0;
+  }
+
+  void RunQuery(const std::string& text) {
+    auto parsed = query::ParseQuery(text);
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    core::EngineParams params;
+    params.phase1_peers = options.phase1_peers;
+    params.tuples_per_peer = options.t;
+    params.include_phase1_observations = options.combined;
+    std::unique_ptr<core::TwoPhaseEngine> engine;
+    if (options.walkers > 1) {
+      engine = std::make_unique<core::TwoPhaseEngine>(
+          &network, catalog, params,
+          std::make_unique<sampling::ParallelWalkSampler>(
+              &network,
+              sampling::WalkParams{.jump = catalog.suggested_jump,
+                                   .burn_in = catalog.suggested_burn_in},
+              options.walkers),
+          catalog.total_degree_weight());
+    } else {
+      engine =
+          std::make_unique<core::TwoPhaseEngine>(&network, catalog, params);
+    }
+    graph::NodeId sink = 0;
+    while (!network.IsAlive(sink)) ++sink;
+    auto answer = engine->Execute(*parsed, sink, rng);
+    if (!answer.ok()) {
+      std::printf("query failed: %s\n", answer.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", parsed->ToSql().c_str());
+    std::printf("  estimate : %.2f (+/- %.2f @95%%)\n", answer->estimate,
+                answer->ci_half_width_95);
+    if (options.oracle) {
+      double truth = OracleAnswer(*parsed);
+      std::printf("  oracle   : %.2f (error %.2f%% of answer)\n", truth,
+                  truth == 0.0 ? 0.0
+                               : 100.0 * std::fabs(answer->estimate - truth) /
+                                     std::fabs(truth));
+    }
+    std::printf("  plan     : m=%zu m'=%zu cv=%.4f sample=%llu tuples\n",
+                answer->phase1_peers, answer->phase2_peers,
+                answer->cv_error_relative,
+                static_cast<unsigned long long>(answer->sample_tuples));
+    std::printf("  cost     : %s\n", answer->cost.ToString().c_str());
+  }
+
+  void Repl() {
+    std::printf("p2paqp REPL — \\help for commands, \\quit to exit\n");
+    std::string line;
+    while (true) {
+      std::printf("p2paqp> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (line.empty()) continue;
+      if (line[0] == '\\') {
+        if (line == "\\quit" || line == "\\q") break;
+        if (line == "\\help") {
+          PrintHelp();
+        } else if (line == "\\catalog") {
+          std::printf("%s\n", catalog.ToString().c_str());
+        } else if (line == "\\cost") {
+          std::printf("%s\n", network.cost_snapshot().ToString().c_str());
+        } else if (line.rfind("\\churn", 0) == 0) {
+          double leave = 0.05;
+          double rejoin = 0.2;
+          std::sscanf(line.c_str(), "\\churn %lf %lf", &leave, &rejoin);
+          net::ChurnParams churn_params;
+          churn_params.leave_probability = leave;
+          churn_params.rejoin_probability = rejoin;
+          net::ChurnModel churn(churn_params, rng.Next64());
+          size_t changes = churn.Step(network);
+          catalog = core::MakeLiveCatalog(network, catalog.suggested_jump,
+                                          catalog.suggested_burn_in);
+          std::printf("churn: %zu peers changed state; %zu live; "
+                      "catalog refreshed (%s)\n",
+                      changes, network.num_alive(),
+                      catalog.ToString().c_str());
+        } else {
+          std::printf("unknown command %s (\\help)\n", line.c_str());
+        }
+        continue;
+      }
+      RunQuery(line);
+    }
+  }
+};
+
+int Run(int argc, char** argv) {
+  auto options = ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  auto kind = KindFromName(options->topology);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+
+  util::Rng rng(options->seed);
+  if (!options->load_world.empty()) {
+    std::fprintf(stderr, "loading world from %s...\n",
+                 options->load_world.c_str());
+    auto loaded = io::LoadWorld(options->load_world, net::NetworkParams{},
+                                options->seed + 1);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "preprocessing (spectral walk tuning)...\n");
+    core::SystemCatalog catalog =
+        core::Preprocess(loaded->graph(), 0.05, rng);
+    std::fprintf(stderr, "catalog: %s\n", catalog.ToString().c_str());
+    Session session{std::move(*loaded), catalog, *options,
+                    util::Rng(options->seed + 2)};
+    if (!session.options.query.empty()) session.RunQuery(session.options.query);
+    if (session.options.repl) session.Repl();
+    return 0;
+  }
+  topology::TopologyConfig config;
+  config.kind = *kind;
+  config.num_nodes = options->peers;
+  config.num_edges = options->edges;
+  config.num_subgraphs = options->subgraphs;
+  config.cut_edges = options->cut;
+  std::fprintf(stderr, "building %s overlay: %zu peers / %zu edges...\n",
+               options->topology.c_str(), options->peers, options->edges);
+  auto topo = topology::MakeTopology(config, rng);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topo.status().ToString().c_str());
+    return 1;
+  }
+
+  data::DatasetParams dataset;
+  dataset.num_tuples = options->peers * options->tuples_per_peer;
+  dataset.skew = options->skew;
+  dataset.fill_b = options->fill_b;
+  dataset.b_correlation = options->fill_b ? 0.5 : 0.0;
+  auto table = data::GenerateDataset(dataset, rng);
+  if (!table.ok()) {
+    std::fprintf(stderr, "data: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  data::PartitionParams placement;
+  placement.cluster_level = options->cluster_level;
+  auto databases =
+      data::PartitionAcrossPeers(*table, topo->graph, placement, rng);
+  if (!databases.ok()) {
+    std::fprintf(stderr, "placement: %s\n",
+                 databases.status().ToString().c_str());
+    return 1;
+  }
+  auto network = net::SimulatedNetwork::Make(std::move(topo->graph),
+                                             std::move(*databases),
+                                             net::NetworkParams{},
+                                             options->seed + 1);
+  if (!network.ok()) {
+    std::fprintf(stderr, "network: %s\n",
+                 network.status().ToString().c_str());
+    return 1;
+  }
+  if (!options->save_world.empty()) {
+    util::Status saved = io::SaveWorld(options->save_world, *network);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "world saved to %s\n",
+                 options->save_world.c_str());
+  }
+  std::fprintf(stderr, "preprocessing (spectral walk tuning)...\n");
+  core::SystemCatalog catalog = core::Preprocess(network->graph(), 0.05, rng);
+  std::fprintf(stderr, "catalog: %s\n", catalog.ToString().c_str());
+
+  Session session{std::move(*network), catalog, *options,
+                  util::Rng(options->seed + 2)};
+  if (!session.options.query.empty()) {
+    session.RunQuery(session.options.query);
+  }
+  if (session.options.repl) session.Repl();
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp
+
+int main(int argc, char** argv) { return p2paqp::Run(argc, argv); }
