@@ -1,7 +1,11 @@
 #include "core/async_engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 
 namespace p2paqp::core {
 
@@ -36,9 +40,14 @@ std::vector<WeightedObservation> ToWeighted(
 struct PhaseState {
   std::vector<PeerObservation> observations;
   size_t expected = 0;
-  size_t hops_left = 0;  // Global hop budget across all walkers.
-  bool failed = false;
-  std::string failure;
+  size_t hops_left = 0;      // Global hop budget across all walkers.
+  size_t restarts_left = 0;  // Global token-restart budget.
+  size_t restarts = 0;
+  size_t retransmits = 0;
+  // In-flight work, for the mid-query churn stop condition: walkers still
+  // holding a token plus replies racing back to the sink.
+  size_t active_walkers = 0;
+  size_t pending_replies = 0;
 };
 
 }  // namespace
@@ -56,16 +65,21 @@ AsyncQuerySession::AsyncQuerySession(net::SimulatedNetwork* network,
 
 util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     net::EventQueue& events, const query::AggregateQuery& query,
-    graph::NodeId sink, size_t count, util::Rng& rng) {
+    graph::NodeId sink, size_t count, util::Rng& rng,
+    TwoPhaseEngine::CollectionStats* stats) {
   auto state = std::make_shared<PhaseState>();
   state->expected = count;
   state->hops_left =
       100 * (params_.walk.burn_in * params_.walkers +
              count * params_.walk.jump) +
       1000;
+  state->restarts_left = sampling::AutoMaxRestarts(count);
 
   // One selected peer: scan locally (scan-time delay), then the reply races
-  // back to the sink over direct IP (half-hop delay, like SendDirect).
+  // back to the sink over direct IP (half-hop delay, like SendDirect). A
+  // reply lost to faults is retransmitted after a sink-side timeout (each
+  // attempt adds its own wire delay); a crashed endpoint cannot retry and
+  // the observation is lost.
   auto select_peer = [this, &events, &query, sink, state,
                       &rng](graph::NodeId peer) {
     auto aggregate = query::ExecuteLocal(
@@ -77,17 +91,33 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     network_->cost().RecordPeerVisit();
     network_->cost().RecordTuplesScanned(aggregate.processed_tuples);
     network_->cost().RecordTuplesSampled(aggregate.processed_tuples);
-    network_->cost().RecordMessage(
-        net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
     double scan_ms =
         network_->LocalScanLatency(peer, aggregate.processed_tuples);
-    double reply_ms = network_->DrawHopLatency() * 0.5;
     PeerObservation obs;
     obs.peer = peer;
     obs.degree = network_->AliveDegree(peer);
     obs.stationary_weight = static_cast<double>(obs.degree);
     obs.aggregate = aggregate;
-    events.ScheduleAfter(scan_ms + reply_ms, [state, obs]() {
+    double delay = scan_ms;
+    bool delivered = false;
+    for (size_t attempt = 0; attempt <= params_.engine.reply_retransmits;
+         ++attempt) {
+      if (attempt > 0) ++state->retransmits;
+      network_->cost().RecordMessage(
+          net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
+      net::FaultDecision faults = network_->ApplyFaults(
+          net::MessageType::kAggregateReply, peer, sink, peer);
+      delay += network_->DrawHopLatency() * 0.5 + faults.extra_latency_ms;
+      if (!network_->IsAlive(peer) || !network_->IsAlive(sink)) break;
+      if (faults.deliver) {
+        delivered = true;
+        break;
+      }
+    }
+    if (!delivered) return;  // Observation lost; the quorum check decides.
+    ++state->pending_replies;
+    events.ScheduleAfter(delay, [state, obs]() {
+      --state->pending_replies;
       state->observations.push_back(obs);  // Reply reached the sink.
     });
   };
@@ -99,51 +129,76 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     size_t since_selection = 0;
     size_t remaining;
   };
-  auto hop = std::make_shared<std::function<void(std::shared_ptr<Walker>)>>();
+  using HopFn = std::function<void(std::shared_ptr<Walker>)>;
+  auto hop = std::make_shared<HopFn>();
+  // The closure holds only a weak self-reference; the strong references
+  // live in the queued events, so the chain frees once the queue drains.
+  std::weak_ptr<HopFn> weak_hop = hop;
   *hop = [this, &events, sink, state, &rng, select_peer,
-          hop](std::shared_ptr<Walker> walker) {
-    if (state->failed || walker->remaining == 0) return;
+          weak_hop](std::shared_ptr<Walker> walker) {
+    auto reschedule = [&events, weak_hop](std::shared_ptr<Walker> w,
+                                          double delay) {
+      if (auto strong = weak_hop.lock()) {
+        events.ScheduleAfter(delay, [strong, w]() { (*strong)(w); });
+      }
+    };
     if (state->hops_left == 0) {
-      state->failed = true;
-      state->failure = "walk exceeded hop budget";
+      // Hop budget exhausted: the token expires and its remaining
+      // selections are lost (the quorum check decides the phase's fate).
+      --state->active_walkers;
       return;
     }
     --state->hops_left;
     std::vector<graph::NodeId> neighbors =
         network_->AliveNeighbors(walker->current);
-    if (neighbors.empty()) {
-      if (walker->current == sink || !network_->IsAlive(sink)) {
-        state->failed = true;
-        state->failure = "walker stranded with no live route";
+    bool token_lost =
+        !network_->IsAlive(walker->current) || neighbors.empty();
+    if (!token_lost) {
+      graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
+      util::Status sent = network_->SendAlongEdge(net::MessageType::kWalker,
+                                                  walker->current, next);
+      if (sent.ok()) {
+        // The synchronous ledger summed this hop's latency; the event clock
+        // is authoritative here, so draw the event delay independently.
+        walker->current = next;
+        if (walker->burn_left > 0) {
+          --walker->burn_left;
+        } else if (++walker->since_selection >= params_.walk.jump) {
+          walker->since_selection = 0;
+          --walker->remaining;
+          select_peer(next);
+        }
+        if (walker->remaining > 0) {
+          reschedule(walker, network_->DrawHopLatency());
+        } else {
+          --state->active_walkers;  // All selections gathered.
+        }
         return;
       }
-      walker->current = sink;  // The sink re-issues the walker.
-      events.ScheduleAfter(network_->DrawHopLatency(),
-                           [hop, walker]() { (*hop)(walker); });
+      // The hop was lost in transit (drop, or the chosen neighbor crashed
+      // on receipt). A live holder with a live route still has the token:
+      // link-level retransmit after a timeout.
+      if (network_->IsAlive(walker->current) &&
+          network_->AliveDegree(walker->current) > 0) {
+        reschedule(walker, network_->DrawHopLatency());
+        return;
+      }
+      token_lost = true;
+    }
+    // The token is gone: its holder crashed or stranded with no live
+    // route. The sink re-issues it with a *fresh burn-in* — a token
+    // restarted at the sink is no longer stationary-distributed.
+    if (!network_->IsAlive(sink) || network_->AliveDegree(sink) == 0 ||
+        state->restarts_left == 0) {
+      --state->active_walkers;  // Unrecoverable: selections lost.
       return;
     }
-    graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
-    util::Status sent = network_->SendAlongEdge(net::MessageType::kWalker,
-                                                walker->current, next);
-    if (!sent.ok()) {
-      state->failed = true;
-      state->failure = sent.ToString();
-      return;
-    }
-    // The synchronous ledger summed this hop's latency; the event clock is
-    // authoritative here, so draw the event delay independently.
-    walker->current = next;
-    if (walker->burn_left > 0) {
-      --walker->burn_left;
-    } else if (++walker->since_selection >= params_.walk.jump) {
-      walker->since_selection = 0;
-      --walker->remaining;
-      select_peer(next);
-    }
-    if (walker->remaining > 0) {
-      events.ScheduleAfter(network_->DrawHopLatency(),
-                           [hop, walker]() { (*hop)(walker); });
-    }
+    --state->restarts_left;
+    ++state->restarts;
+    walker->current = sink;
+    walker->burn_left = params_.walk.burn_in;
+    walker->since_selection = 0;
+    reschedule(walker, network_->DrawHopLatency());
   };
 
   // Launch the walkers with near-even selection shares.
@@ -154,14 +209,36 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     remaining -= share;
     auto walker = std::make_shared<Walker>(
         Walker{sink, params_.walk.burn_in, 0, share});
+    ++state->active_walkers;
     events.ScheduleAfter(network_->DrawHopLatency(),
                          [hop, walker]() { (*hop)(walker); });
   }
 
+  // Mid-query churn rides the same event clock, stepping while the phase
+  // still has in-flight work.
+  if (params_.churn != nullptr && params_.churn_interval_ms > 0.0) {
+    params_.churn->RunOnEventQueue(
+        events, network_, params_.churn_interval_ms, [state]() {
+          return state->active_walkers > 0 || state->pending_replies > 0;
+        });
+  }
+
   events.RunUntilEmpty();
-  if (state->failed) return util::Status::Unavailable(state->failure);
-  if (state->observations.size() != count) {
-    return util::Status::Internal("async phase lost replies");
+  const size_t delivered = state->observations.size();
+  const auto quorum = static_cast<size_t>(
+      std::ceil(params_.engine.min_observation_quorum *
+                static_cast<double>(count)));
+  if (count > 0 && delivered < quorum) {
+    return util::Status::Unavailable(
+        "async observation quorum not met: " + std::to_string(delivered) +
+        "/" + std::to_string(count) + " delivered");
+  }
+  if (stats != nullptr) {
+    stats->requested = count;
+    stats->delivered = delivered;
+    stats->lost = count - delivered;
+    stats->reply_retransmits = state->retransmits;
+    stats->walk_restarts = state->restarts;
   }
   return std::move(state->observations);
 }
@@ -180,9 +257,14 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
   net::EventQueue events;
 
   // ---- Phase I ----
+  TwoPhaseEngine::CollectionStats phase1_stats;
   auto phase1 = RunPhase(events, query, sink, params_.engine.phase1_peers,
-                         rng);
+                         rng, &phase1_stats);
   if (!phase1.ok()) return phase1.status();
+  if (phase1->size() < 2) {
+    return util::Status::Unavailable(
+        "phase I delivered too few observations to cross-validate");
+  }
   double phase1_done = events.now();
 
   double total_weight = catalog_.total_degree_weight();
@@ -196,14 +278,18 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
   }
   double cv_normalized =
       estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
+  // Sized from the observations that actually arrived (== phase1_peers on
+  // the fault-free path): the cross-validation error was measured on those.
   size_t phase2_peers = PhaseTwoSampleSize(
-      params_.engine.phase1_peers, cv_normalized, query.required_error,
+      phase1->size(), cv_normalized, query.required_error,
       params_.engine.min_phase2_peers,
       params_.engine.max_phase2_peers == 0 ? network_->num_peers()
                                            : params_.engine.max_phase2_peers);
 
   // ---- Phase II ----
-  auto phase2 = RunPhase(events, query, sink, phase2_peers, rng);
+  TwoPhaseEngine::CollectionStats phase2_stats;
+  auto phase2 = RunPhase(events, query, sink, phase2_peers, rng,
+                         &phase2_stats);
   if (!phase2.ok()) return phase2.status();
 
   std::vector<PeerObservation> final_set;
@@ -218,10 +304,27 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
   AsyncQueryReport report;
   report.answer.estimate = HorvitzThompson(weighted, total_weight);
   report.answer.variance = HorvitzThompsonVariance(weighted, total_weight);
+  // Degradation accounting mirrors the synchronous engine: reweight over
+  // the survivors, widen the CI by the root of the loss ratio.
+  report.answer.observations_lost = phase1_stats.lost + phase2_stats.lost;
+  report.answer.walk_restarts =
+      phase1_stats.walk_restarts + phase2_stats.walk_restarts;
+  report.answer.degraded = report.answer.observations_lost > 0;
+  double inflation = 1.0;
+  if (report.answer.degraded) {
+    size_t requested = phase1_stats.requested + phase2_stats.requested;
+    size_t arrived = phase1_stats.delivered + phase2_stats.delivered;
+    inflation = std::sqrt(static_cast<double>(requested) /
+                          static_cast<double>(std::max<size_t>(arrived, 1)));
+  }
   report.answer.ci_half_width_95 =
-      1.959963984540054 * std::sqrt(report.answer.variance);
+      1.959963984540054 * std::sqrt(report.answer.variance) * inflation;
   report.answer.estimated_total = estimated_total;
   report.answer.cv_error_relative = cv_normalized;
+  double denom = estimated_total > 0.0 ? estimated_total
+                                       : std::fabs(report.answer.estimate);
+  report.answer.achieved_error =
+      denom > 0.0 ? report.answer.ci_half_width_95 / denom : 0.0;
   report.answer.phase1_peers = phase1->size();
   report.answer.phase2_peers = phase2->size();
   report.answer.cost = net::CostDelta(network_->cost_snapshot(), before);

@@ -13,6 +13,7 @@
 #define P2PAQP_CORE_ASYNC_ENGINE_H_
 
 #include "core/two_phase.h"
+#include "net/churn.h"
 #include "net/event_sim.h"
 
 namespace p2paqp::core {
@@ -23,6 +24,12 @@ struct AsyncParams {
   size_t walkers = 4;
   // Walk mechanics (jump/burn-in); variant must be kSimple.
   sampling::WalkParams walk;
+  // Mid-query churn (crash-while-walking, crash-after-sampling-before-
+  // reply): when `churn` is set, it steps one epoch every
+  // `churn_interval_ms` of *simulated* time while the phase has in-flight
+  // work, so peers depart during the query itself. Not owned.
+  net::ChurnModel* churn = nullptr;
+  double churn_interval_ms = 0.0;
 };
 
 struct AsyncQueryReport {
@@ -48,9 +55,14 @@ class AsyncQuerySession {
  private:
   // Runs one phase: `count` selections spread over the walkers; returns the
   // collected observations and completes when the last reply arrives.
+  // Fault-tolerant like TwoPhaseEngine::CollectObservations: lost walker
+  // tokens are re-issued by the sink with a fresh burn-in, lost replies are
+  // retransmitted, and residual losses are reported through `stats` —
+  // hard-failing only below engine.min_observation_quorum.
   util::Result<std::vector<PeerObservation>> RunPhase(
       net::EventQueue& events, const query::AggregateQuery& query,
-      graph::NodeId sink, size_t count, util::Rng& rng);
+      graph::NodeId sink, size_t count, util::Rng& rng,
+      TwoPhaseEngine::CollectionStats* stats);
 
   net::SimulatedNetwork* network_;
   SystemCatalog catalog_;

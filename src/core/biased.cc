@@ -65,7 +65,14 @@ util::Result<std::vector<sampling::PeerVisit>> BiasedWalkSampler::SamplePeers(
     graph::NodeId next = neighbors[rng.WeightedIndex(weights)];
     util::Status sent =
         network_->SendAlongEdge(net::MessageType::kWalker, current, next);
-    if (!sent.ok()) return sent;
+    if (!sent.ok()) {
+      // Lossy transport: a live holder retries (the loop re-picks a live
+      // neighbor); a crashed holder's token is re-issued by the sink. Both
+      // stay bounded by the hop budget above.
+      if (!network_->IsAlive(sink)) return sent;
+      if (!network_->IsAlive(current)) current = sink;
+      continue;
+    }
     current = next;
     if (++since_selection >= jump_) {
       since_selection = 0;
@@ -113,7 +120,8 @@ util::Result<BiasedAnswer> EstimateBiased(net::SimulatedNetwork* network,
                                   obs.aggregate.processed_tuples);
     util::Status sent = network->SendDirect(net::MessageType::kAggregateReply,
                                             visit.peer, sink);
-    if (!sent.ok()) return sent;
+    // The self-normalized estimator tolerates lost replies: skip them.
+    if (!sent.ok()) continue;
     observations.push_back(obs);
   }
   BiasedAnswer answer;

@@ -61,7 +61,9 @@ util::Result<PeerSampleSet> CollectRawSamples(
     util::Status sent = network->SendDirect(
         net::MessageType::kSampleReply, obs.peer, sink,
         static_cast<uint32_t>(4 * matching.size()));
-    if (!sent.ok()) return sent;
+    // A reply lost to faults simply removes that peer's sub-sample; the
+    // estimator runs on whatever reached the sink.
+    if (!sent.ok()) continue;
     set.per_peer.push_back(std::move(matching));
   }
   return set;

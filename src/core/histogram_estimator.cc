@@ -44,7 +44,8 @@ util::Result<std::vector<PeerHistogramSample>> CollectSamples(
     util::Status sent = network->SendDirect(
         net::MessageType::kSampleReply, obs.peer, sink,
         static_cast<uint32_t>(4 * sample.values.size()));
-    if (!sent.ok()) return sent;
+    // A reply lost to faults contributes an empty (zero-weight) sample.
+    if (!sent.ok()) sample = PeerHistogramSample{};
     samples.push_back(std::move(sample));
   }
   return samples;

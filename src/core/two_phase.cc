@@ -92,7 +92,15 @@ std::string ApproximateAnswer::ToString() const {
                 phase2_peers,
                 static_cast<unsigned long long>(sample_tuples),
                 cost.ToString().c_str());
-  return buf;
+  std::string out = buf;
+  if (degraded) {
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  " | DEGRADED lost=%zu restarts=%zu achieved_err=%.4f",
+                  observations_lost, walk_restarts, achieved_error);
+    out += extra;
+  }
+  return out;
 }
 
 TwoPhaseEngine::TwoPhaseEngine(net::SimulatedNetwork* network,
@@ -137,12 +145,16 @@ size_t TwoPhaseEngine::MaxPhase2Peers() const {
 util::Result<std::vector<PeerObservation>>
 TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
                                     graph::NodeId sink, size_t count,
-                                    util::Rng& rng) {
-  auto visits = sampler_->SamplePeers(sink, count, rng);
-  if (!visits.ok()) return visits.status();
+                                    util::Rng& rng, CollectionStats* stats) {
+  auto sampled = sampler_->SamplePeersResilient(sink, count, rng);
+  if (!sampled.ok()) return sampled.status();
   std::vector<PeerObservation> observations;
-  observations.reserve(visits->size());
-  for (const sampling::PeerVisit& visit : *visits) {
+  observations.reserve(sampled->visits.size());
+  size_t retransmits = 0;
+  for (const sampling::PeerVisit& visit : sampled->visits) {
+    // The selected peer may have departed between selection and local
+    // execution (mid-query churn): its observation is simply lost.
+    if (!network_->IsAlive(visit.peer)) continue;
     PeerObservation obs;
     obs.peer = visit.peer;
     obs.degree = visit.degree;
@@ -165,10 +177,35 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
       if (cache_ != nullptr) cache_->Store(visit.peer, query, obs.aggregate);
     }
     // (y(p), deg(p)) straight back to the sink over direct IP (Sec. 3.2).
-    util::Status sent = network_->SendDirect(net::MessageType::kAggregateReply,
-                                             visit.peer, sink);
-    if (!sent.ok()) return sent;
-    observations.push_back(obs);
+    // A reply lost in transit is retransmitted after a sink-side timeout; a
+    // crashed endpoint cannot retry.
+    bool delivered = false;
+    for (size_t attempt = 0; attempt <= params_.reply_retransmits; ++attempt) {
+      if (attempt > 0) ++retransmits;
+      util::Status sent = network_->SendDirect(
+          net::MessageType::kAggregateReply, visit.peer, sink);
+      if (sent.ok()) {
+        delivered = true;
+        break;
+      }
+      if (!network_->IsAlive(visit.peer) || !network_->IsAlive(sink)) break;
+    }
+    if (delivered) observations.push_back(std::move(obs));
+  }
+  const size_t delivered_count = observations.size();
+  const auto quorum = static_cast<size_t>(std::ceil(
+      params_.min_observation_quorum * static_cast<double>(count)));
+  if (count > 0 && delivered_count < quorum) {
+    return util::Status::Unavailable(
+        "observation quorum not met: " + std::to_string(delivered_count) +
+        "/" + std::to_string(count) + " delivered");
+  }
+  if (stats != nullptr) {
+    stats->requested = count;
+    stats->delivered = delivered_count;
+    stats->lost = count - delivered_count;
+    stats->reply_retransmits = retransmits;
+    stats->walk_restarts = sampled->restarts;
   }
   return observations;
 }
@@ -189,9 +226,14 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
   net::CostSnapshot before = network_->cost_snapshot();
 
   // ---- Phase I: sniff the network. ----
-  auto phase1 =
-      CollectObservations(query, sink, params_.phase1_peers, rng);
+  CollectionStats phase1_stats;
+  auto phase1 = CollectObservations(query, sink, params_.phase1_peers, rng,
+                                    &phase1_stats);
   if (!phase1.ok()) return phase1.status();
+  if (phase1->size() < 2) {
+    return util::Status::Unavailable(
+        "phase I delivered too few observations to cross-validate");
+  }
 
   const bool is_avg = query.op == query::AggregateOp::kAvg;
   CrossValidationResult cv =
@@ -216,12 +258,16 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
       estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
 
   // ---- Plan: size phase II from the cross-validation error. ----
+  // Sized from the observations that actually arrived (== phase1_peers on
+  // the fault-free path): the cross-validation error was measured on those.
   size_t phase2_peers = PhaseTwoSampleSize(
-      params_.phase1_peers, cv_normalized, query.required_error,
+      phase1->size(), cv_normalized, query.required_error,
       params_.min_phase2_peers, MaxPhase2Peers());
 
   // ---- Phase II: execute the plan. ----
-  auto phase2 = CollectObservations(query, sink, phase2_peers, rng);
+  CollectionStats phase2_stats;
+  auto phase2 =
+      CollectObservations(query, sink, phase2_peers, rng, &phase2_stats);
   if (!phase2.ok()) return phase2.status();
 
   std::vector<PeerObservation> final_set;
@@ -244,11 +290,32 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
     answer.estimate = HorvitzThompson(weighted, total_weight_);
     answer.variance = HorvitzThompsonVariance(weighted, total_weight_);
   }
-  answer.ci_half_width_95 = kZ95 * std::sqrt(answer.variance);
+  // ---- Degradation accounting. ----
+  answer.observations_lost = phase1_stats.lost + phase2_stats.lost;
+  answer.walk_restarts =
+      phase1_stats.walk_restarts + phase2_stats.walk_restarts;
+  answer.degraded = answer.observations_lost > 0;
+  double inflation = 1.0;
+  if (answer.degraded) {
+    // The HT reweighting over the survivors is unbiased when loss is
+    // independent of the data, but a crashed peer's contribution vanishes
+    // *with* its data; widen the interval by the root of the loss ratio to
+    // acknowledge that the loss mechanism may not be random.
+    size_t requested = phase1_stats.requested + phase2_stats.requested;
+    size_t arrived = phase1_stats.delivered + phase2_stats.delivered;
+    inflation = std::sqrt(static_cast<double>(requested) /
+                          static_cast<double>(std::max<size_t>(arrived, 1)));
+  }
+  answer.ci_half_width_95 = kZ95 * std::sqrt(answer.variance) * inflation;
   answer.estimated_total = estimated_total;
   answer.cv_error_relative = cv_normalized;
   answer.phase1_peers = phase1->size();
   answer.phase2_peers = phase2->size();
+  // The error bound actually achieved, on required_error's scale.
+  double denom = estimated_total > 0.0 ? estimated_total
+                                       : std::fabs(answer.estimate);
+  answer.achieved_error =
+      denom > 0.0 ? answer.ci_half_width_95 / denom : 0.0;
   answer.cost = net::CostDelta(network_->cost_snapshot(), before);
   answer.sample_tuples = answer.cost.tuples_sampled;
   return answer;

@@ -60,6 +60,15 @@ struct EngineParams {
   // If true, phase-I observations join the final estimate (cheaper but the
   // paper's plan uses phase II only; kept as an ablation switch).
   bool include_phase1_observations = false;
+  // --- Fault tolerance ----------------------------------------------------
+  // Extra send attempts for a (y(p), deg(p)) reply lost in transit before
+  // the sink gives the observation up. Crashed peers cannot retransmit; a
+  // fault-free network never retransmits.
+  size_t reply_retransmits = 2;
+  // Hard-fail a collection that delivers fewer than this fraction of the
+  // requested observations; above it the engine degrades gracefully
+  // (estimate reweighted over the survivors, CI widened, `degraded` set).
+  double min_observation_quorum = 0.25;
 };
 
 // Pluggable peer-side result cache enabling the hybrid pre-computation
@@ -94,6 +103,21 @@ struct ApproximateAnswer {
   // Full cost vector attributed to this query.
   net::CostSnapshot cost;
 
+  // --- Degradation report (message loss / mid-query churn) ----------------
+  // True when requested observations were lost to faults or churn. The
+  // estimate is then the Horvitz-Thompson reweighting over the replies that
+  // arrived (each divided by its own selection probability, so the
+  // estimator stays unbiased under selection-independent loss) and
+  // ci_half_width_95 is widened by sqrt(requested / arrived).
+  bool degraded = false;
+  // Observations requested but never delivered, across both phases.
+  size_t observations_lost = 0;
+  // Walker tokens the sink had to re-issue (crashed holders, strands).
+  size_t walk_restarts = 0;
+  // The error bound actually achieved: the (possibly widened) 95% CI
+  // half-width normalized like required_error. 0 when not computed.
+  double achieved_error = 0.0;
+
   std::string ToString() const;
 };
 
@@ -124,12 +148,28 @@ class TwoPhaseEngine {
   util::Result<ApproximateAnswer> Execute(const query::AggregateQuery& query,
                                           graph::NodeId sink, util::Rng& rng);
 
+  // Per-collection fault-recovery accounting.
+  struct CollectionStats {
+    size_t requested = 0;
+    size_t delivered = 0;
+    size_t lost = 0;  // requested - delivered.
+    size_t reply_retransmits = 0;
+    size_t walk_restarts = 0;
+  };
+
   // Visits `count` peers via the engine's sampler and returns their shipped
   // observations (local execution, cost accounting and reply messages
   // included). Exposed for the median/distinct paths and for tests.
+  //
+  // Fault-tolerant: lost walker tokens are re-issued by the sampler, a
+  // reply lost in transit is retransmitted after a sink-side timeout (up to
+  // params().reply_retransmits extra attempts), and residual losses are
+  // reported through `stats` instead of failing the call. Hard-fails only
+  // when fewer than params().min_observation_quorum of the requested
+  // observations arrive (or on non-retryable errors such as a dead sink).
   util::Result<std::vector<PeerObservation>> CollectObservations(
       const query::AggregateQuery& query, graph::NodeId sink, size_t count,
-      util::Rng& rng);
+      util::Rng& rng, CollectionStats* stats = nullptr);
 
   // Hybrid extension hook; pass nullptr to disable. Not owned.
   void set_cache(LocalResultCache* cache) { cache_ = cache; }

@@ -1,6 +1,8 @@
 #include "net/churn.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace p2paqp::net {
 
@@ -24,6 +26,29 @@ size_t ChurnModel::Step(SimulatedNetwork& network) {
     }
   }
   return changes;
+}
+
+void ChurnModel::RunOnEventQueue(EventQueue& events, SimulatedNetwork* network,
+                                 double interval_ms,
+                                 std::function<bool()> keep_going) {
+  P2PAQP_CHECK(network != nullptr);
+  P2PAQP_CHECK_GT(interval_ms, 0.0);
+  // Self-rescheduling tick. The closure holds only a weak self-reference
+  // (the strong references live in the queued events), so the chain is
+  // freed as soon as keep_going declines to reschedule. keep_going is the
+  // termination guarantee: once the query has no in-flight work left, no
+  // further epoch is scheduled and the queue can drain.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, &events, network, interval_ms,
+           keep_going = std::move(keep_going), weak]() {
+    if (!keep_going()) return;
+    Step(*network);
+    if (auto strong = weak.lock()) {
+      events.ScheduleAfter(interval_ms, [strong]() { (*strong)(); });
+    }
+  };
+  events.ScheduleAfter(interval_ms, [tick]() { (*tick)(); });
 }
 
 }  // namespace p2paqp::net

@@ -8,7 +8,9 @@
 #define P2PAQP_NET_CHURN_H_
 
 #include <cstddef>
+#include <functional>
 
+#include "net/event_sim.h"
 #include "net/network.h"
 #include "util/rng.h"
 
@@ -30,6 +32,14 @@ class ChurnModel {
   // One churn epoch: every peer independently flips state per the params.
   // Returns the number of state changes applied.
   size_t Step(SimulatedNetwork& network);
+
+  // Mid-query churn: schedules a self-repeating epoch every `interval_ms`
+  // of simulated time, so peers depart *while* a query executes on the
+  // event clock. Stops (and schedules nothing further) as soon as
+  // `keep_going` returns false — typically "the query still has in-flight
+  // work". `this` and `network` must outlive the event queue run.
+  void RunOnEventQueue(EventQueue& events, SimulatedNetwork* network,
+                       double interval_ms, std::function<bool()> keep_going);
 
  private:
   bool IsPinned(graph::NodeId id) const;

@@ -1,0 +1,104 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace p2paqp::net {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kScheduledCrash:
+      return "scheduled_crash";
+  }
+  return "unknown";
+}
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.message_index == b.message_index && a.kind == b.kind &&
+         a.message_type == b.message_type && a.from == b.from && a.to == b.to &&
+         a.crashed == b.crashed && a.spike_ms == b.spike_ms;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed) {
+  // Scheduled crashes fire in message order regardless of how the caller
+  // listed them.
+  std::stable_sort(plan_.scheduled_crashes.begin(),
+                   plan_.scheduled_crashes.end(),
+                   [](const ScheduledCrash& a, const ScheduledCrash& b) {
+                     return a.at_message < b.at_message;
+                   });
+}
+
+bool FaultInjector::IsImmune(graph::NodeId peer) const {
+  return std::find(plan_.crash_immune.begin(), plan_.crash_immune.end(),
+                   peer) != plan_.crash_immune.end();
+}
+
+FaultDecision FaultInjector::OnMessage(MessageType type, graph::NodeId from,
+                                       graph::NodeId to,
+                                       graph::NodeId crash_candidate) {
+  FaultDecision decision;
+  const uint64_t index = messages_seen_++;
+  FaultEvent base;
+  base.message_index = index;
+  base.message_type = type;
+  base.from = from;
+  base.to = to;
+
+  // Scheduled crashes first (no RNG): everything due at this index fires.
+  while (next_scheduled_ < plan_.scheduled_crashes.size() &&
+         plan_.scheduled_crashes[next_scheduled_].at_message <= index) {
+    const ScheduledCrash& crash = plan_.scheduled_crashes[next_scheduled_++];
+    if (crash.peer == graph::kInvalidNode || IsImmune(crash.peer)) continue;
+    decision.crashed.push_back(crash.peer);
+    FaultEvent event = base;
+    event.kind = FaultKind::kScheduledCrash;
+    event.crashed = crash.peer;
+    trace_.push_back(event);
+    ++crashes_;
+  }
+  // Probabilistic crash of the eligible endpoint: the peer is gone and its
+  // in-flight message with it.
+  if (plan_.crash_probability > 0.0 &&
+      crash_candidate != graph::kInvalidNode && !IsImmune(crash_candidate) &&
+      rng_.Bernoulli(plan_.crash_probability)) {
+    decision.crashed.push_back(crash_candidate);
+    decision.deliver = false;
+    FaultEvent event = base;
+    event.kind = FaultKind::kCrash;
+    event.crashed = crash_candidate;
+    trace_.push_back(event);
+    ++crashes_;
+  }
+  if (decision.deliver && plan_.drop_probability > 0.0 &&
+      rng_.Bernoulli(plan_.drop_probability)) {
+    decision.deliver = false;
+    FaultEvent event = base;
+    event.kind = FaultKind::kDrop;
+    trace_.push_back(event);
+    ++dropped_;
+  }
+  if (decision.deliver && plan_.spike_probability > 0.0 &&
+      rng_.Bernoulli(plan_.spike_probability)) {
+    // Exponential spike with the configured mean.
+    double u = rng_.UniformDouble(1e-12, 1.0);
+    double spike = -plan_.spike_mean_ms * std::log(u);
+    decision.extra_latency_ms = spike;
+    FaultEvent event = base;
+    event.kind = FaultKind::kLatencySpike;
+    event.spike_ms = spike;
+    trace_.push_back(event);
+    ++spikes_;
+  }
+  return decision;
+}
+
+}  // namespace p2paqp::net

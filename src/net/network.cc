@@ -90,6 +90,46 @@ double SimulatedNetwork::SampleHopLatency() {
   return params_.hop_latency_ms + jitter;
 }
 
+void SimulatedNetwork::InstallFaultPlan(const FaultPlan& plan, uint64_t seed) {
+  if (!plan.enabled()) {
+    fault_.reset();
+    return;
+  }
+  fault_.emplace(plan, seed);
+}
+
+FaultDecision SimulatedNetwork::ApplyFaults(MessageType type,
+                                            graph::NodeId from,
+                                            graph::NodeId to,
+                                            graph::NodeId crash_candidate) {
+  if (!fault_.has_value()) return FaultDecision{};
+  FaultDecision decision = fault_->OnMessage(type, from, to, crash_candidate);
+  for (graph::NodeId peer : decision.crashed) {
+    if (peer < peers_.size()) SetAlive(peer, false);
+  }
+  return decision;
+}
+
+namespace {
+
+// The endpoint a probabilistic crash takes down: replies lose their sender
+// (the peer departs before its reply escapes), requests lose their receiver
+// (the peer departs as the message reaches it).
+graph::NodeId CrashCandidate(MessageType type, graph::NodeId from,
+                             graph::NodeId to) {
+  switch (type) {
+    case MessageType::kPong:
+    case MessageType::kQueryHit:
+    case MessageType::kAggregateReply:
+    case MessageType::kSampleReply:
+      return from;
+    default:
+      return to;
+  }
+}
+
+}  // namespace
+
 util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
                                              graph::NodeId from,
                                              graph::NodeId to) {
@@ -104,7 +144,22 @@ util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
   }
   cost_.RecordMessage(DefaultPayloadBytes(type));
   cost_.RecordWalkerHops(1);
-  cost_.RecordLatency(SampleHopLatency());
+  double latency = SampleHopLatency();
+  if (fault_.has_value()) {
+    // The message is on the wire (cost already charged) when faults strike:
+    // drops lose it silently, crashes take an endpoint down with it.
+    FaultDecision faults = ApplyFaults(type, from, to,
+                                       CrashCandidate(type, from, to));
+    cost_.RecordLatency(latency + faults.extra_latency_ms);
+    if (!peers_[from].alive() || !peers_[to].alive()) {
+      return util::Status::Unavailable("peer crashed mid-query");
+    }
+    if (!faults.deliver) {
+      return util::Status::Unavailable("message dropped in transit");
+    }
+    return util::Status::Ok();
+  }
+  cost_.RecordLatency(latency);
   return util::Status::Ok();
 }
 
@@ -122,7 +177,20 @@ util::Status SimulatedNetwork::SendDirect(MessageType type,
   // Direct IP replies do not ride the overlay but still cross the Internet
   // once; replies overlap the walk, so only the message cost (not latency on
   // the critical path) is charged beyond a single hop-equivalent.
-  cost_.RecordLatency(SampleHopLatency() * 0.5);
+  double latency = SampleHopLatency() * 0.5;
+  if (fault_.has_value()) {
+    FaultDecision faults = ApplyFaults(type, from, to,
+                                       CrashCandidate(type, from, to));
+    cost_.RecordLatency(latency + faults.extra_latency_ms);
+    if (!peers_[from].alive() || !peers_[to].alive()) {
+      return util::Status::Unavailable("peer crashed mid-query");
+    }
+    if (!faults.deliver) {
+      return util::Status::Unavailable("message dropped in transit");
+    }
+    return util::Status::Ok();
+  }
+  cost_.RecordLatency(latency);
   return util::Status::Ok();
 }
 

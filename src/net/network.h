@@ -8,11 +8,13 @@
 #ifndef P2PAQP_NET_NETWORK_H_
 #define P2PAQP_NET_NETWORK_H_
 
+#include <optional>
 #include <vector>
 
 #include "data/local_database.h"
 #include "graph/graph.h"
 #include "net/cost.h"
+#include "net/fault.h"
 #include "net/message.h"
 #include "net/peer.h"
 #include "util/rng.h"
@@ -72,6 +74,26 @@ class SimulatedNetwork {
   util::Status SendDirect(MessageType type, graph::NodeId from,
                           graph::NodeId to, uint32_t extra_payload_bytes = 0);
 
+  // --- Fault injection ----------------------------------------------------
+  // Installs a fault regime for subsequent messages, replacing any previous
+  // one. A disabled (all-zero) plan uninstalls the injector entirely, so the
+  // transport behaves exactly as fault-free — same RNG stream, same costs.
+  // Faults draw from a dedicated injector RNG seeded here, never from the
+  // network's own stream.
+  void InstallFaultPlan(const FaultPlan& plan, uint64_t seed);
+
+  // Installed injector (trace/counter inspection), or nullptr.
+  const FaultInjector* fault_injector() const {
+    return fault_.has_value() ? &*fault_ : nullptr;
+  }
+
+  // Filters one message through the injector and applies crash side effects
+  // to peer liveness. A no-op returning "deliver" when no injector is
+  // installed. Exposed for event-driven consumers that account message
+  // costs themselves (the async engine).
+  FaultDecision ApplyFaults(MessageType type, graph::NodeId from,
+                            graph::NodeId to, graph::NodeId crash_candidate);
+
   // Accounts a local scan of `tuples` rows at `peer` (latency scaled by the
   // peer's CPU speed) and marks the peer visited.
   void RecordLocalExecution(graph::NodeId peer, uint64_t tuples_scanned,
@@ -115,6 +137,7 @@ class SimulatedNetwork {
   size_t num_alive_;
   CostTracker cost_;
   util::Rng rng_;
+  std::optional<FaultInjector> fault_;
 };
 
 }  // namespace p2paqp::net

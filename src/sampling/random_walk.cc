@@ -1,8 +1,39 @@
 #include "sampling/random_walk.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 namespace p2paqp::sampling {
+
+namespace {
+
+size_t SaturatingAdd(size_t a, size_t b) {
+  return a > SIZE_MAX - b ? SIZE_MAX : a + b;
+}
+
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > SIZE_MAX / b ? SIZE_MAX : a * b;
+}
+
+}  // namespace
+
+size_t AutoMaxHops(const WalkParams& params, size_t num_selections) {
+  size_t nominal = SaturatingAdd(
+      params.burn_in, SaturatingMul(num_selections, params.jump));
+  if (params.variant != WalkVariant::kSimple) {
+    // Lazy self-loops and Metropolis-Hastings rejections burn hops without
+    // moving (~half the steps in expectation): double the room so those
+    // variants are not starved relative to the simple walk.
+    nominal = SaturatingMul(nominal, 2);
+  }
+  return SaturatingAdd(SaturatingMul(nominal, 100), 1000);
+}
+
+size_t AutoMaxRestarts(size_t num_selections) {
+  return SaturatingAdd(SaturatingMul(num_selections, 2), 16);
+}
 
 const char* WalkVariantToString(WalkVariant variant) {
   switch (variant) {
@@ -56,51 +87,91 @@ util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
   return next;
 }
 
-util::Result<std::vector<PeerVisit>> RandomWalk::Collect(
-    graph::NodeId sink, size_t num_selections, util::Rng& rng) {
+util::Result<WalkOutcome> RandomWalk::CollectResilient(graph::NodeId sink,
+                                                       size_t num_selections,
+                                                       util::Rng& rng) {
   if (sink >= network_->num_peers() || !network_->IsAlive(sink)) {
     return util::Status::FailedPrecondition("sink peer is not live");
   }
-  size_t max_hops = params_.max_hops;
-  if (max_hops == 0) {
-    max_hops = 100 * (params_.burn_in + num_selections * params_.jump) + 1000;
-  }
+  const size_t max_hops = params_.max_hops != 0
+                              ? params_.max_hops
+                              : AutoMaxHops(params_, num_selections);
+  const size_t max_restarts = params_.max_restarts != 0
+                                  ? params_.max_restarts
+                                  : AutoMaxRestarts(num_selections);
 
-  std::vector<PeerVisit> visits;
-  visits.reserve(num_selections);
+  WalkOutcome outcome;
+  outcome.visits.reserve(num_selections);
   graph::NodeId current = sink;
-  size_t hops = 0;
   size_t since_selection = 0;
   bool warm = params_.burn_in == 0;
   size_t burn_left = params_.burn_in;
 
-  while (visits.size() < num_selections) {
-    if (hops >= max_hops) {
-      return util::Status::OutOfRange("walk exceeded hop budget");
+  auto truncate = [&outcome](util::Status why) {
+    outcome.truncated = true;
+    outcome.truncation = std::move(why);
+  };
+
+  while (outcome.visits.size() < num_selections) {
+    if (outcome.stats.hops >= max_hops) {
+      truncate(util::Status::OutOfRange("walk exceeded hop budget"));
+      break;
     }
     auto next = Step(current, rng);
     if (!next.ok()) {
-      if (next.status().code() == util::StatusCode::kUnavailable &&
-          current != sink && network_->IsAlive(sink)) {
-        // Stranded mid-walk (churn): the sink re-issues the walker.
-        current = sink;
-        ++hops;
+      if (!network_->IsAlive(sink)) {
+        truncate(util::Status::Unavailable("sink departed mid-walk"));
+        break;
+      }
+      if (network_->IsAlive(current) && network_->AliveDegree(current) > 0) {
+        // The holder still has the token and a live route: the hop was lost
+        // in transit (dropped message or the chosen neighbor crashed on
+        // receipt). Link-level retransmit: try again from the same peer.
+        ++outcome.stats.hops;
         continue;
       }
-      return next.status();
+      // The token itself is gone: its holder crashed or has no live
+      // neighbor left. Only the sink can recover it — after a timeout it
+      // re-issues the walker with a *fresh burn-in*, because a token
+      // restarted at the sink is no longer stationary-distributed.
+      if (network_->AliveDegree(sink) == 0) {
+        truncate(util::Status::Unavailable(
+            "walker stranded: sink has no live neighbors"));
+        break;
+      }
+      if (outcome.stats.restarts >= max_restarts) {
+        truncate(
+            util::Status::Unavailable("walker restart budget exhausted"));
+        break;
+      }
+      ++outcome.stats.restarts;
+      current = sink;
+      since_selection = 0;
+      warm = params_.burn_in == 0;
+      burn_left = params_.burn_in;
+      continue;
     }
     current = next.value();
-    ++hops;
+    ++outcome.stats.hops;
     if (!warm) {
       if (--burn_left == 0) warm = true;
       continue;
     }
     if (++since_selection >= params_.jump) {
       since_selection = 0;
-      visits.push_back(PeerVisit{current, network_->AliveDegree(current)});
+      outcome.visits.push_back(
+          PeerVisit{current, network_->AliveDegree(current)});
     }
   }
-  return visits;
+  return outcome;
+}
+
+util::Result<std::vector<PeerVisit>> RandomWalk::Collect(
+    graph::NodeId sink, size_t num_selections, util::Rng& rng) {
+  auto outcome = CollectResilient(sink, num_selections, rng);
+  if (!outcome.ok()) return outcome.status();
+  if (outcome->truncated) return outcome->truncation;
+  return std::move(outcome->visits);
 }
 
 }  // namespace p2paqp::sampling

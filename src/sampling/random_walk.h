@@ -38,15 +38,49 @@ struct WalkParams {
   size_t burn_in = 0;
   WalkVariant variant = WalkVariant::kSimple;
   // Abort guard: the walk fails after this many hops without completing
-  // (0 = automatic: 100 * (burn_in + selections * jump) + 1000).
+  // (0 = automatic, see AutoMaxHops). Lazy self-loops and in-place
+  // retransmissions count as hops; sink-issued restarts do not.
   size_t max_hops = 0;
+  // How many times the sink may re-issue a lost walker token (the holder
+  // crashed or stranded with no live route) before giving up
+  // (0 = automatic, see AutoMaxRestarts).
+  size_t max_restarts = 0;
 };
+
+// Overflow-safe automatic hop budget: ~100x the nominal walk length, doubled
+// for the lazy and Metropolis-Hastings variants whose self-loops burn hops
+// without progress. Saturates at SIZE_MAX instead of wrapping for large
+// num_selections * jump.
+size_t AutoMaxHops(const WalkParams& params, size_t num_selections);
+
+// Automatic walker-restart budget: 2 * num_selections + 16 (saturating).
+size_t AutoMaxRestarts(size_t num_selections);
 
 // One selected peer. `degree` is the live degree observed at selection time,
 // from which the sink reconstructs prob(p) in the stationary distribution.
 struct PeerVisit {
   graph::NodeId peer = graph::kInvalidNode;
   uint32_t degree = 0;
+};
+
+// Recovery work spent by one collection.
+struct WalkStats {
+  // Chain transitions taken, including lazy/rejected self-loops and failed
+  // hop attempts that were retried in place.
+  size_t hops = 0;
+  // Times the sink re-issued a lost walker token.
+  size_t restarts = 0;
+};
+
+// Result of a fault-tolerant collection: possibly fewer selections than
+// requested, plus the recovery work that was spent getting them.
+struct WalkOutcome {
+  std::vector<PeerVisit> visits;
+  WalkStats stats;
+  // True when a budget ran out (or the route died) before all selections
+  // were gathered; `truncation` then says why.
+  bool truncated = false;
+  util::Status truncation;
 };
 
 class RandomWalk {
@@ -63,6 +97,17 @@ class RandomWalk {
   util::Result<std::vector<PeerVisit>> Collect(graph::NodeId sink,
                                                size_t num_selections,
                                                util::Rng& rng);
+
+  // Fault-tolerant collection. A hop lost in transit (lossy transport) is
+  // retried in place by its sender; a lost walker *token* (the holder
+  // crashed, or stranded with no live neighbors) is re-issued by the sink
+  // with a fresh burn-in, so recovered strands still select from the
+  // stationary distribution. Fails hard only when the sink itself is dead
+  // or isolated before anything was collected; budget exhaustion returns
+  // what was collected with `truncated` set.
+  util::Result<WalkOutcome> CollectResilient(graph::NodeId sink,
+                                             size_t num_selections,
+                                             util::Rng& rng);
 
   // Stationary weight of `node` under this walk's variant; selections are
   // distributed proportionally to this (degree for simple/lazy, constant

@@ -4,9 +4,52 @@
 
 namespace p2paqp::sampling {
 
+namespace {
+
+// Shared by the walk-based samplers: lift a WalkOutcome into a
+// SampleOutcome.
+util::Result<SampleOutcome> FromWalkOutcome(
+    util::Result<WalkOutcome> outcome) {
+  if (!outcome.ok()) return outcome.status();
+  SampleOutcome out;
+  out.visits = std::move(outcome->visits);
+  out.restarts = outcome->stats.restarts;
+  out.truncated = outcome->truncated;
+  out.truncation = outcome->truncation;
+  return out;
+}
+
+}  // namespace
+
+util::Result<SampleOutcome> PeerSampler::SamplePeersResilient(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  auto visits = SamplePeers(sink, count, rng);
+  if (visits.ok()) {
+    SampleOutcome out;
+    out.visits = std::move(*visits);
+    return out;
+  }
+  // Retryable transport failures degrade to an empty truncated outcome so
+  // the caller's quorum logic decides; anything else stays a hard failure.
+  util::StatusCode code = visits.status().code();
+  if (code == util::StatusCode::kUnavailable ||
+      code == util::StatusCode::kOutOfRange) {
+    SampleOutcome out;
+    out.truncated = true;
+    out.truncation = visits.status();
+    return out;
+  }
+  return visits.status();
+}
+
 util::Result<std::vector<PeerVisit>> RandomWalkSampler::SamplePeers(
     graph::NodeId sink, size_t count, util::Rng& rng) {
   return walk_.Collect(sink, count, rng);
+}
+
+util::Result<SampleOutcome> RandomWalkSampler::SamplePeersResilient(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  return FromWalkOutcome(walk_.CollectResilient(sink, count, rng));
 }
 
 util::Result<std::vector<PeerVisit>> BfsSampler::SamplePeers(
@@ -47,6 +90,11 @@ util::Result<std::vector<PeerVisit>> DfsSampler::SamplePeers(
   return walk_.Collect(sink, count, rng);
 }
 
+util::Result<SampleOutcome> DfsSampler::SamplePeersResilient(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  return FromWalkOutcome(walk_.CollectResilient(sink, count, rng));
+}
+
 ParallelWalkSampler::ParallelWalkSampler(net::SimulatedNetwork* network,
                                          const WalkParams& params,
                                          size_t num_walkers)
@@ -78,6 +126,36 @@ util::Result<std::vector<PeerVisit>> ParallelWalkSampler::SamplePeers(
   }
   network_->cost().RecordLatency(latency_max - latency_sum);
   return visits;
+}
+
+util::Result<SampleOutcome> ParallelWalkSampler::SamplePeersResilient(
+    graph::NodeId sink, size_t count, util::Rng& rng) {
+  SampleOutcome out;
+  out.visits.reserve(count);
+  double latency_sum = 0.0;
+  double latency_max = 0.0;
+  size_t remaining = count;
+  for (size_t w = 0; w < num_walkers_ && remaining > 0; ++w) {
+    size_t share = remaining / (num_walkers_ - w);
+    if (share == 0) continue;
+    remaining -= share;
+    double before = network_->cost_snapshot().latency_ms;
+    auto part = walk_.CollectResilient(sink, share, rng);
+    if (!part.ok()) return part.status();
+    double elapsed = network_->cost_snapshot().latency_ms - before;
+    latency_sum += elapsed;
+    latency_max = std::max(latency_max, elapsed);
+    out.visits.insert(out.visits.end(), part->visits.begin(),
+                      part->visits.end());
+    out.restarts += part->stats.restarts;
+    if (part->truncated) {
+      // Keep whatever the other walkers gather; report the first cause.
+      if (!out.truncated) out.truncation = part->truncation;
+      out.truncated = true;
+    }
+  }
+  network_->cost().RecordLatency(latency_max - latency_sum);
+  return out;
 }
 
 util::Result<std::vector<PeerVisit>> UniformOracleSampler::SamplePeers(

@@ -16,6 +16,15 @@
 
 namespace p2paqp::sampling {
 
+// Result of a fault-tolerant sampling pass: possibly fewer visits than
+// requested plus the recovery work spent (mirrors sampling::WalkOutcome).
+struct SampleOutcome {
+  std::vector<PeerVisit> visits;
+  size_t restarts = 0;
+  bool truncated = false;
+  util::Status truncation;
+};
+
 // Strategy interface: produce `count` peer selections starting at `sink`.
 class PeerSampler {
  public:
@@ -23,6 +32,16 @@ class PeerSampler {
 
   virtual util::Result<std::vector<PeerVisit>> SamplePeers(
       graph::NodeId sink, size_t count, util::Rng& rng) = 0;
+
+  // Fault-tolerant sampling: returns the visits that could be gathered
+  // under faults/churn instead of failing outright, flagging shortfalls via
+  // `truncated`. Hard-fails only on non-retryable conditions (dead sink,
+  // bad arguments). The default implementation wraps SamplePeers, mapping
+  // retryable transport failures to an empty truncated outcome; walk-based
+  // samplers override it with genuinely resilient collection.
+  virtual util::Result<SampleOutcome> SamplePeersResilient(graph::NodeId sink,
+                                                           size_t count,
+                                                           util::Rng& rng);
 
   // Stationary weight the estimator should divide by for peers returned by
   // this sampler (see RandomWalk::StationaryWeight).
@@ -38,6 +57,9 @@ class RandomWalkSampler : public PeerSampler {
       : walk_(network, params) {}
 
   util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  util::Result<SampleOutcome> SamplePeersResilient(graph::NodeId sink,
                                                    size_t count,
                                                    util::Rng& rng) override;
   double StationaryWeight(graph::NodeId node) const override {
@@ -78,6 +100,9 @@ class DfsSampler : public PeerSampler {
   util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
                                                    size_t count,
                                                    util::Rng& rng) override;
+  util::Result<SampleOutcome> SamplePeersResilient(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
   double StationaryWeight(graph::NodeId node) const override {
     return walk_.StationaryWeight(node);
   }
@@ -99,6 +124,9 @@ class ParallelWalkSampler : public PeerSampler {
                       size_t num_walkers);
 
   util::Result<std::vector<PeerVisit>> SamplePeers(graph::NodeId sink,
+                                                   size_t count,
+                                                   util::Rng& rng) override;
+  util::Result<SampleOutcome> SamplePeersResilient(graph::NodeId sink,
                                                    size_t count,
                                                    util::Rng& rng) override;
   double StationaryWeight(graph::NodeId node) const override {

@@ -1,8 +1,11 @@
 // End-to-end tests of the adaptive two-phase engine on clustered networks.
 #include "core/two_phase.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "net/fault.h"
 #include "test_common.h"
 #include "topology/power_law.h"
 #include "util/statistics.h"
@@ -314,6 +317,103 @@ TEST(TwoPhaseEngineTest, AnswerNormalizationTightensLowSelectivityPlans) {
       tn.network.ExactCount(q.predicate.lo, q.predicate.hi));
   ASSERT_GT(truth, 0.0);
   EXPECT_LT(util::RelativeError(answer_answer->estimate, truth), 0.3);
+}
+
+TEST(TwoPhaseEngineTest, DegradesGracefullyUnderReplyLoss) {
+  // 20% message loss with retransmission disabled: about a fifth of the
+  // (y(p), deg(p)) replies never reach the sink. The engine must reweight
+  // over the survivors, widen the CI, and flag the answer as degraded —
+  // not fail, and not return garbage.
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  net::FaultPlan plan;
+  plan.drop_probability = 0.2;
+  tn.network.InstallFaultPlan(plan, 5);
+  EngineParams params;
+  params.phase1_peers = 60;
+  params.reply_retransmits = 0;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  util::Rng rng(31);
+  auto answer = engine.Execute(CountQuery(0.1), 0, rng);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->degraded);
+  EXPECT_GT(answer->observations_lost, 0u);
+  EXPECT_TRUE(std::isfinite(answer->estimate));
+  EXPECT_GT(answer->estimate, 0.0);
+  EXPECT_GT(answer->ci_half_width_95, 0.0);
+  EXPECT_GT(answer->achieved_error, 0.0);
+  EXPECT_NE(answer->ToString().find("DEGRADED"), std::string::npos);
+  // MCAR reply loss keeps the HT estimator unbiased: the reweighted
+  // estimate still lands near the truth (loose single-seed bound).
+  EXPECT_LT(p2paqp::testing::NormalizedCountError(tn.network,
+                                                  answer->estimate, 1, 30),
+            0.2);
+}
+
+TEST(TwoPhaseEngineTest, RetransmitsRecoverMostReplies) {
+  // Same 20% loss, but with the default 2 retransmits the per-observation
+  // loss collapses to 0.2^3 = 0.8%; the answer is near-complete.
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  net::FaultPlan plan;
+  plan.drop_probability = 0.2;
+  tn.network.InstallFaultPlan(plan, 5);
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  util::RunningStat errors;
+  for (uint64_t seed = 31; seed < 36; ++seed) {
+    util::Rng rng(seed);
+    auto answer = engine.Execute(CountQuery(0.1), 0, rng);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_LE(answer->observations_lost, 3u);
+    errors.Add(p2paqp::testing::NormalizedCountError(tn.network,
+                                                     answer->estimate, 1, 30));
+  }
+  EXPECT_LT(errors.mean(), 0.12);
+}
+
+TEST(TwoPhaseEngineTest, FailsBelowObservationQuorum) {
+  // 95% loss with no retransmits: ~5% of replies arrive, far below the
+  // default 25% quorum. A best-effort answer from that little data would
+  // be statistically meaningless — the engine must refuse.
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  net::FaultPlan plan;
+  plan.drop_probability = 0.95;
+  tn.network.InstallFaultPlan(plan, 9);
+  EngineParams params;
+  params.phase1_peers = 60;
+  params.reply_retransmits = 0;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  util::Rng rng(37);
+  auto answer = engine.Execute(CountQuery(0.1), 0, rng);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(TwoPhaseEngineTest, DisabledFaultPlanIsBitIdentical) {
+  // Acceptance gate for the fault subsystem: installing an all-zero
+  // FaultPlan must leave every result bit-identical to a network that
+  // never heard of fault injection.
+  TestNetwork plain = MakeTestNetwork(TestNetworkParams{});
+  TestNetwork planned = MakeTestNetwork(TestNetworkParams{});
+  planned.network.InstallFaultPlan(net::FaultPlan{}, 12345);
+  EngineParams params;
+  params.phase1_peers = 60;
+  TwoPhaseEngine engine_a(&plain.network, plain.catalog, params);
+  TwoPhaseEngine engine_b(&planned.network, planned.catalog, params);
+  util::Rng rng_a(41);
+  util::Rng rng_b(41);
+  auto a = engine_a.Execute(CountQuery(0.1), 0, rng_a);
+  auto b = engine_b.Execute(CountQuery(0.1), 0, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->estimate, b->estimate);  // Bitwise, not approximate.
+  EXPECT_EQ(a->ci_half_width_95, b->ci_half_width_95);
+  EXPECT_EQ(a->phase2_peers, b->phase2_peers);
+  EXPECT_EQ(a->cost.messages, b->cost.messages);
+  EXPECT_EQ(a->cost.latency_ms, b->cost.latency_ms);
+  EXPECT_FALSE(a->degraded);
+  EXPECT_FALSE(b->degraded);
+  EXPECT_EQ(a->ToString(), b->ToString());
 }
 
 // Parameterized sweep over the paper's clustering and skew axes: the engine

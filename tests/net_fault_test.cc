@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "net/fault.h"
+#include "net/network.h"
+
+namespace p2paqp::net {
+namespace {
+
+graph::Graph MakeRing(size_t n) {
+  graph::GraphBuilder builder(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    builder.AddEdge(v, (v + 1) % n);
+  }
+  return builder.Build();
+}
+
+SimulatedNetwork MakeRingNetwork(size_t n, uint64_t seed = 1) {
+  auto network = SimulatedNetwork::Make(MakeRing(n), {}, NetworkParams{}, seed);
+  EXPECT_TRUE(network.ok());
+  return std::move(*network);
+}
+
+TEST(FaultPlanTest, DefaultPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.spike_mean_ms = 500.0;  // A mean alone cannot fire anything.
+  EXPECT_FALSE(plan.enabled());
+  plan.drop_probability = 0.01;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlanTest, EachKnobEnables) {
+  for (int knob = 0; knob < 4; ++knob) {
+    FaultPlan plan;
+    switch (knob) {
+      case 0: plan.drop_probability = 0.1; break;
+      case 1: plan.spike_probability = 0.1; break;
+      case 2: plan.crash_probability = 0.1; break;
+      case 3: plan.scheduled_crashes.push_back({5, 2}); break;
+    }
+    EXPECT_TRUE(plan.enabled()) << "knob " << knob;
+  }
+}
+
+TEST(FaultInjectorTest, DisabledPlanInstallsNoInjector) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  EXPECT_EQ(network.fault_injector(), nullptr);
+  network.InstallFaultPlan(FaultPlan{}, 42);
+  EXPECT_EQ(network.fault_injector(), nullptr);
+  FaultPlan lossy;
+  lossy.drop_probability = 0.5;
+  network.InstallFaultPlan(lossy, 42);
+  ASSERT_NE(network.fault_injector(), nullptr);
+  // Re-installing a disabled plan removes the injector again.
+  network.InstallFaultPlan(FaultPlan{}, 42);
+  EXPECT_EQ(network.fault_injector(), nullptr);
+}
+
+TEST(FaultInjectorTest, DropRateIsHonoredAndChargesCost) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.drop_probability = 0.3;
+  network.InstallFaultPlan(plan, 99);
+  const size_t kSends = 4000;
+  size_t delivered = 0;
+  for (size_t i = 0; i < kSends; ++i) {
+    if (network.SendAlongEdge(MessageType::kWalker, 0, 1).ok()) ++delivered;
+  }
+  const FaultInjector* injector = network.fault_injector();
+  ASSERT_NE(injector, nullptr);
+  EXPECT_EQ(injector->messages_seen(), kSends);
+  EXPECT_EQ(injector->dropped(), kSends - delivered);
+  double rate = static_cast<double>(kSends - delivered) / kSends;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+  // Dropped messages still consumed bandwidth and hop latency: the cost
+  // ledger charges every send, delivered or not.
+  EXPECT_EQ(network.cost_snapshot().messages, kSends);
+  EXPECT_EQ(network.cost_snapshot().walker_hops, kSends);
+}
+
+TEST(FaultInjectorTest, ProbabilisticCrashKillsReceiver) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.crash_probability = 1.0;  // First overlay hop must kill its receiver.
+  network.InstallFaultPlan(plan, 7);
+  EXPECT_EQ(network.num_alive(), 8u);
+  auto status = network.SendAlongEdge(MessageType::kWalker, 0, 1);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+  EXPECT_FALSE(network.IsAlive(1));
+  EXPECT_TRUE(network.IsAlive(0));
+  EXPECT_EQ(network.num_alive(), 7u);
+  ASSERT_EQ(network.fault_injector()->crashes(), 1u);
+  EXPECT_EQ(network.fault_injector()->trace()[0].crashed, 1u);
+}
+
+TEST(FaultInjectorTest, ReplyCrashKillsSenderNotSink) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.crash_probability = 1.0;
+  network.InstallFaultPlan(plan, 7);
+  // Direct replies lose the *replying* peer, never the sink collecting them.
+  auto status = network.SendDirect(MessageType::kAggregateReply, 3, 0);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+  EXPECT_FALSE(network.IsAlive(3));
+  EXPECT_TRUE(network.IsAlive(0));
+}
+
+TEST(FaultInjectorTest, ScheduledCrashFiresAtIndex) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.scheduled_crashes.push_back({2, 5});
+  network.InstallFaultPlan(plan, 11);
+  // Messages 0 and 1 pass untouched; peer 5 departs at message index 2.
+  EXPECT_TRUE(network.SendAlongEdge(MessageType::kWalker, 0, 1).ok());
+  EXPECT_TRUE(network.SendAlongEdge(MessageType::kWalker, 1, 2).ok());
+  EXPECT_TRUE(network.IsAlive(5));
+  EXPECT_TRUE(network.SendAlongEdge(MessageType::kWalker, 2, 3).ok());
+  EXPECT_FALSE(network.IsAlive(5));
+  const auto& trace = network.fault_injector()->trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, FaultKind::kScheduledCrash);
+  EXPECT_EQ(trace[0].message_index, 2u);
+  EXPECT_EQ(trace[0].crashed, 5u);
+}
+
+TEST(FaultInjectorTest, ScheduledCrashOfEndpointLosesMessage) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.scheduled_crashes.push_back({0, 1});
+  network.InstallFaultPlan(plan, 11);
+  // The crash applies before delivery: the message into the crashing peer
+  // goes down with it.
+  auto status = network.SendAlongEdge(MessageType::kWalker, 0, 1);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+  EXPECT_FALSE(network.IsAlive(1));
+}
+
+TEST(FaultInjectorTest, ImmunePeersNeverCrash) {
+  SimulatedNetwork network = MakeRingNetwork(8);
+  FaultPlan plan;
+  plan.crash_probability = 1.0;
+  plan.scheduled_crashes.push_back({0, 0});
+  plan.crash_immune = {0, 1};
+  network.InstallFaultPlan(plan, 13);
+  for (int i = 0; i < 20; ++i) {
+    (void)network.SendAlongEdge(MessageType::kWalker, 0, 1);
+  }
+  EXPECT_TRUE(network.IsAlive(0));
+  EXPECT_TRUE(network.IsAlive(1));
+  EXPECT_EQ(network.num_alive(), 8u);
+}
+
+TEST(FaultInjectorTest, SpikesAddLatency) {
+  SimulatedNetwork clean = MakeRingNetwork(8, 5);
+  SimulatedNetwork spiky = MakeRingNetwork(8, 5);
+  FaultPlan plan;
+  plan.spike_probability = 1.0;
+  plan.spike_mean_ms = 1000.0;
+  spiky.InstallFaultPlan(plan, 21);
+  const size_t kSends = 50;
+  for (size_t i = 0; i < kSends; ++i) {
+    EXPECT_TRUE(clean.SendAlongEdge(MessageType::kWalker, 0, 1).ok());
+    // Spikes delay but never drop: every send still arrives.
+    EXPECT_TRUE(spiky.SendAlongEdge(MessageType::kWalker, 0, 1).ok());
+  }
+  EXPECT_EQ(spiky.fault_injector()->spikes(), kSends);
+  EXPECT_GT(spiky.cost_snapshot().latency_ms,
+            clean.cost_snapshot().latency_ms + 1000.0);
+  for (const FaultEvent& event : spiky.fault_injector()->trace()) {
+    EXPECT_EQ(event.kind, FaultKind::kLatencySpike);
+    EXPECT_GT(event.spike_ms, 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalTrace) {
+  FaultPlan plan;
+  plan.drop_probability = 0.25;
+  plan.spike_probability = 0.1;
+  plan.crash_probability = 0.02;
+  plan.scheduled_crashes.push_back({7, 3});
+  FaultInjector a(plan, 1234);
+  FaultInjector b(plan, 1234);
+  for (uint64_t i = 0; i < 300; ++i) {
+    graph::NodeId from = static_cast<graph::NodeId>(i % 6);
+    graph::NodeId to = static_cast<graph::NodeId>((i + 1) % 6);
+    FaultDecision da = a.OnMessage(MessageType::kWalker, from, to, to);
+    FaultDecision db = b.OnMessage(MessageType::kWalker, from, to, to);
+    EXPECT_EQ(da.deliver, db.deliver);
+    EXPECT_DOUBLE_EQ(da.extra_latency_ms, db.extra_latency_ms);
+    EXPECT_EQ(da.crashed, db.crashed);
+  }
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  EXPECT_GT(a.trace().size(), 0u);
+  for (size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(a.trace()[i], b.trace()[i]);
+  }
+  // A different seed must diverge somewhere over 300 messages.
+  FaultInjector c(plan, 4321);
+  bool diverged = false;
+  for (uint64_t i = 0; i < 300 && !diverged; ++i) {
+    graph::NodeId from = static_cast<graph::NodeId>(i % 6);
+    graph::NodeId to = static_cast<graph::NodeId>((i + 1) % 6);
+    FaultDecision dc = c.OnMessage(MessageType::kWalker, from, to, to);
+    if (i < a.trace().size() || dc.deliver != true) diverged = true;
+  }
+  EXPECT_NE(c.dropped() + c.spikes() + c.crashes(),
+            a.dropped() + a.spikes() + a.crashes());
+}
+
+TEST(FaultInjectorTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(FaultKindToString(FaultKind::kDrop),
+               FaultKindToString(FaultKind::kLatencySpike));
+  EXPECT_STRNE(FaultKindToString(FaultKind::kCrash),
+               FaultKindToString(FaultKind::kScheduledCrash));
+}
+
+TEST(FaultInjectorTest, AllZeroPlanIsBitIdentical) {
+  // Same topology seed, same traffic; one network has a disabled plan
+  // "installed". Every cost counter — including the RNG-drawn latency
+  // ledger — must match bit for bit.
+  SimulatedNetwork plain = MakeRingNetwork(16, 77);
+  SimulatedNetwork planned = MakeRingNetwork(16, 77);
+  planned.InstallFaultPlan(FaultPlan{}, 123);
+  for (size_t i = 0; i < 200; ++i) {
+    graph::NodeId from = static_cast<graph::NodeId>(i % 16);
+    graph::NodeId to = static_cast<graph::NodeId>((i + 1) % 16);
+    EXPECT_TRUE(plain.SendAlongEdge(MessageType::kWalker, from, to).ok());
+    EXPECT_TRUE(planned.SendAlongEdge(MessageType::kWalker, from, to).ok());
+    EXPECT_TRUE(
+        plain.SendDirect(MessageType::kAggregateReply, to, 0).ok());
+    EXPECT_TRUE(
+        planned.SendDirect(MessageType::kAggregateReply, to, 0).ok());
+  }
+  const CostSnapshot& a = plain.cost_snapshot();
+  const CostSnapshot& b = planned.cost_snapshot();
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.walker_hops, b.walker_hops);
+  EXPECT_EQ(a.bytes_shipped, b.bytes_shipped);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+}
+
+}  // namespace
+}  // namespace p2paqp::net

@@ -208,5 +208,53 @@ TEST(ChurnTest, RejoinRecovers) {
   EXPECT_EQ(network.num_alive(), 100u);
 }
 
+TEST(ChurnTest, NumAliveMatchesManualCount) {
+  SimulatedNetwork network = MakePathNetwork(150, 5);
+  ChurnParams params;
+  params.leave_probability = 0.3;
+  params.rejoin_probability = 0.3;
+  params.pinned = {0, 75};
+  ChurnModel churn(params, 11);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    churn.Step(network);
+    size_t manual = 0;
+    for (graph::NodeId v = 0; v < 150; ++v) {
+      if (network.IsAlive(v)) ++manual;
+    }
+    ASSERT_EQ(network.num_alive(), manual) << "epoch " << epoch;
+    EXPECT_TRUE(network.IsAlive(0));
+    EXPECT_TRUE(network.IsAlive(75));
+  }
+}
+
+TEST(ChurnTest, RunOnEventQueueTicksWhileWorkIsPending) {
+  SimulatedNetwork network = MakePathNetwork(100, 6);
+  ChurnParams params;
+  params.leave_probability = 0.1;
+  params.rejoin_probability = 0.0;
+  params.pinned = {0};
+  ChurnModel churn(params, 13);
+  EventQueue events;
+  // Simulated "query": pending work for 100ms of virtual time.
+  double deadline_ms = 100.0;
+  bool work_done = false;
+  events.ScheduleAfter(deadline_ms, [&work_done]() { work_done = true; });
+  int epochs_seen = 0;
+  churn.RunOnEventQueue(events, &network, /*interval_ms=*/10.0,
+                        [&work_done, &epochs_seen]() {
+                          if (work_done) return false;
+                          ++epochs_seen;
+                          return true;
+                        });
+  events.RunUntilEmpty();
+  // One tick every 10ms until the 100ms deadline, then the chain stops and
+  // the queue drains (RunUntilEmpty returned, proving termination).
+  EXPECT_GE(epochs_seen, 9);
+  EXPECT_LE(epochs_seen, 11);
+  EXPECT_TRUE(work_done);
+  EXPECT_LT(network.num_alive(), 100u);
+  EXPECT_TRUE(network.IsAlive(0));
+}
+
 }  // namespace
 }  // namespace p2paqp::net

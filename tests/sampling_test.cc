@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.h"
 #include "graph/builder.h"
+#include "net/fault.h"
 #include "sampling/convergence.h"
 #include "sampling/random_walk.h"
 #include "sampling/samplers.h"
@@ -277,6 +278,129 @@ TEST(ParallelWalkTest, SingleWalkerMatchesPlainWalkLatency) {
   // With one walker the max == sum correction is a no-op.
   EXPECT_GT(network.cost_snapshot().latency_ms, 0.0);
   EXPECT_EQ(network.cost_snapshot().walker_hops, 60u);
+}
+
+TEST(AutoBudgetTest, AutoMaxHopsFollowsNominalLength) {
+  WalkParams params{.jump = 10, .burn_in = 50};
+  // nominal = 50 + 20*10 = 250; budget = 100x + 1000.
+  EXPECT_EQ(AutoMaxHops(params, 20), 26000u);
+  params.variant = WalkVariant::kLazy;  // Self-loops double the room.
+  EXPECT_EQ(AutoMaxHops(params, 20), 51000u);
+}
+
+TEST(AutoBudgetTest, AutoMaxHopsSaturatesInsteadOfWrapping) {
+  WalkParams params{.jump = SIZE_MAX / 2};
+  EXPECT_EQ(AutoMaxHops(params, 1000), SIZE_MAX);
+  params = WalkParams{.jump = 3, .burn_in = SIZE_MAX - 1};
+  EXPECT_EQ(AutoMaxHops(params, 5), SIZE_MAX);
+  EXPECT_EQ(AutoMaxRestarts(SIZE_MAX), SIZE_MAX);
+  EXPECT_EQ(AutoMaxRestarts(10), 36u);
+}
+
+TEST(ResilientWalkTest, RestartRedoesBurnIn) {
+  // Diamond 0-1, 0-2, 1-3, 2-3: the walk is bipartite between {0,3} and
+  // {1,2}, so after an even number of hops the walker sits on 0 or 3. A
+  // scheduled crash of peer 3 therefore has a ~50% chance per seed of
+  // hitting the token holder, forcing a sink re-issue. The re-issued token
+  // must redo the full burn-in — the buggy alternative (keep walking warm
+  // from the sink) finishes in ~70 hops instead of ~120.
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    graph::GraphBuilder builder(4);
+    builder.AddEdge(0, 1);
+    builder.AddEdge(0, 2);
+    builder.AddEdge(1, 3);
+    builder.AddEdge(2, 3);
+    net::SimulatedNetwork network = MakeNetwork(builder.Build(), seed);
+    net::FaultPlan plan;
+    plan.scheduled_crashes.push_back({60, 3});
+    network.InstallFaultPlan(plan, seed);
+    RandomWalk walk(&network, WalkParams{.jump = 2, .burn_in = 50});
+    util::Rng rng(seed);
+    auto outcome = walk.CollectResilient(0, 10, rng);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome->truncated);
+    EXPECT_EQ(outcome->visits.size(), 10u);
+    if (outcome->stats.restarts == 0) continue;  // Crash missed the holder.
+    EXPECT_EQ(outcome->stats.restarts, 1u);
+    // 60 pre-crash hops + a fresh 50-hop burn-in + the remaining selections.
+    EXPECT_GE(outcome->stats.hops, 110u);
+    for (const PeerVisit& v : outcome->visits) EXPECT_LT(v.peer, 4u);
+    return;  // Found a seed that exercised the restart path.
+  }
+  FAIL() << "no seed produced a walker restart";
+}
+
+TEST(ResilientWalkTest, TruncatesWithPartialSampleWhenSinkIsolated) {
+  // Path 0-1 with 1 scheduled to crash: once 1 departs, the sink has no
+  // live route left. The resilient walk hands back what it collected
+  // instead of discarding the whole sample.
+  graph::GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  net::SimulatedNetwork network = MakeNetwork(builder.Build());
+  net::FaultPlan plan;
+  plan.scheduled_crashes.push_back({5, 1});
+  network.InstallFaultPlan(plan, 3);
+  RandomWalk walk(&network, WalkParams{.jump = 1});
+  util::Rng rng(3);
+  auto outcome = walk.CollectResilient(0, 20, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->truncated);
+  EXPECT_EQ(outcome->truncation.code(), util::StatusCode::kUnavailable);
+  EXPECT_GE(outcome->visits.size(), 1u);
+  EXPECT_LT(outcome->visits.size(), 20u);
+  // The strict wrapper surfaces the same situation as a hard error.
+  graph::GraphBuilder builder2(2);
+  builder2.AddEdge(0, 1);
+  net::SimulatedNetwork network2 = MakeNetwork(builder2.Build());
+  network2.SetAlive(1, false);
+  RandomWalk walk2(&network2, WalkParams{.jump = 1});
+  util::Rng rng2(3);
+  EXPECT_FALSE(walk2.Collect(0, 20, rng2).ok());
+}
+
+TEST(ResilientWalkTest, SurvivesThirtyPercentMidWalkChurn) {
+  // 90 of 300 peers crash *during* the walk, one every other message. The
+  // resilient walk routes around them (retransmit in place, sink re-issue)
+  // and still delivers the full sample.
+  net::SimulatedNetwork network = MakeBaNetwork(300, 3, 40);
+  net::FaultPlan plan;
+  for (uint64_t i = 0; i < 90; ++i) {
+    plan.scheduled_crashes.push_back(
+        {2 * i, static_cast<graph::NodeId>(10 + i)});
+  }
+  plan.crash_immune = {0};
+  network.InstallFaultPlan(plan, 41);
+  RandomWalk walk(&network, WalkParams{.jump = 5, .burn_in = 20});
+  util::Rng rng(42);
+  auto outcome = walk.CollectResilient(0, 40, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->truncated);
+  EXPECT_EQ(outcome->visits.size(), 40u);
+  // All scheduled departures fired while the walk was still running.
+  EXPECT_EQ(network.num_alive(), 210u);
+  for (const PeerVisit& v : outcome->visits) {
+    EXPECT_LT(v.peer, 300u);
+    EXPECT_GT(v.degree, 0u);
+  }
+}
+
+TEST(ResilientWalkTest, LossyTransportRetransmitsInPlace) {
+  // Pure message loss (no crashes): every lost hop is retried by its
+  // holder, so the walk completes with zero sink restarts and extra hops.
+  net::SimulatedNetwork network = MakeBaNetwork(200, 3, 50);
+  net::FaultPlan plan;
+  plan.drop_probability = 0.3;
+  network.InstallFaultPlan(plan, 51);
+  RandomWalk walk(&network, WalkParams{.jump = 5, .burn_in = 20});
+  util::Rng rng(52);
+  auto outcome = walk.CollectResilient(0, 30, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->truncated);
+  EXPECT_EQ(outcome->visits.size(), 30u);
+  EXPECT_EQ(outcome->stats.restarts, 0u);
+  // ~30% of hops were retried: strictly more chain work than the nominal
+  // 20 + 30*5 = 170 transitions.
+  EXPECT_GT(outcome->stats.hops, 170u);
 }
 
 TEST(ConvergenceTest, TuneWalkProducesUsableParameters) {
