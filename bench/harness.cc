@@ -16,6 +16,8 @@ size_t Scaled(size_t value, double scale, size_t floor_value) {
   return std::max(scaled, floor_value);
 }
 
+}  // namespace
+
 // Normalized error per op (Sec. 5.5: errors in [0, 1]).
 double NormalizedError(const World& world, const query::AggregateQuery& query,
                        double estimate) {
@@ -83,6 +85,8 @@ double NormalizedError(const World& world, const query::AggregateQuery& query,
   }
   return 0.0;
 }
+
+namespace {
 
 RunStats RunWithEngine(World& world, const RunConfig& config,
                        core::TwoPhaseEngine& engine) {

@@ -119,6 +119,13 @@ RunStats RunBaselineExperiment(World& world, const RunConfig& config,
 query::RangePredicate ResolvePredicate(const World& world,
                                        const RunConfig& config);
 
+// Normalized error of `estimate` against the world's oracle ground truth,
+// per the paper's Sec. 5.5 metric (COUNT/SUM normalized to the total
+// aggregate, AVG relative, MEDIAN/QUANTILE as rank deviation). Also used by
+// the statistical verification suite.
+double NormalizedError(const World& world, const query::AggregateQuery& query,
+                       double estimate);
+
 // ---------------------------------------------------------------------------
 // Parameter sweeps shared by the clustering/skew figures (8-11, 13-16)
 // ---------------------------------------------------------------------------

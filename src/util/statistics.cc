@@ -17,9 +17,17 @@ void RunningStat::Add(double x) {
   }
   ++count_;
   sum_ += x;
+  // Pebay's single-pass update for the first four central moments.
+  double n = static_cast<double>(count_);
   double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
+  double delta_n = delta / n;
+  double delta_n2 = delta_n * delta_n;
+  double term1 = delta * delta_n * (n - 1.0);
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
 }
 
 double RunningStat::variance() const {
@@ -28,6 +36,23 @@ double RunningStat::variance() const {
 }
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::standard_error() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStat::skewness() const {
+  if (count_ < 3 || m2_ <= 0.0) return 0.0;
+  double n = static_cast<double>(count_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double RunningStat::excess_kurtosis() const {
+  if (count_ < 4 || m2_ <= 0.0) return 0.0;
+  double n = static_cast<double>(count_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
 
 double RelativeError(double estimate, double truth) {
   if (truth == 0.0) return std::fabs(estimate);

@@ -7,7 +7,8 @@
 
 namespace p2paqp::util {
 
-// Welford-style streaming mean/variance accumulator.
+// Welford-style streaming moment accumulator (mean through fourth central
+// moment, single pass, numerically stable).
 class RunningStat {
  public:
   void Add(double x);
@@ -17,6 +18,15 @@ class RunningStat {
   // Sample variance (n-1 denominator); 0 for fewer than two observations.
   double variance() const;
   double stddev() const;
+  // stddev() / sqrt(n): the standard error of the mean, the yardstick the
+  // verify harness measures bias against.
+  double standard_error() const;
+  // Population skewness m3 / m2^(3/2); 0 for fewer than three observations
+  // or zero variance.
+  double skewness() const;
+  // Excess kurtosis n*m4/m2^2 - 3; 0 for fewer than four observations or
+  // zero variance.
+  double excess_kurtosis() const;
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return sum_; }
@@ -25,6 +35,8 @@ class RunningStat {
   size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

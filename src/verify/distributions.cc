@@ -1,0 +1,172 @@
+#include "verify/distributions.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace p2paqp::verify {
+
+namespace {
+
+constexpr double kEps = 1e-15;
+constexpr double kTiny = 1e-300;
+constexpr int kMaxIterations = 500;
+
+// Series expansion of P(a, x), valid (fast-converging) for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < kMaxIterations; ++n) {
+    term *= x / (a + static_cast<double>(n));
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Lentz continued fraction for Q(a, x), valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Lentz continued fraction for the incomplete beta (Numerical Recipes
+// betacf); converges for x < (a + 1) / (a + b + 2).
+double BetaContinuedFraction(double a, double b, double x) {
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m < kMaxIterations; ++m) {
+    double dm = static_cast<double>(m);
+    double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double NormalTwoSidedP(double z) {
+  double p = 2.0 * NormalSf(std::fabs(z));
+  return p > 1.0 ? 1.0 : p;
+}
+
+double RegularizedGammaP(double a, double x) {
+  P2PAQP_CHECK_GT(a, 0.0);
+  P2PAQP_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  P2PAQP_CHECK_GT(a, 0.0);
+  P2PAQP_CHECK_GE(x, 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSf(double statistic, double dof) {
+  P2PAQP_CHECK_GT(dof, 0.0);
+  if (statistic <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, statistic / 2.0);
+}
+
+double RegularizedBeta(double a, double b, double x) {
+  P2PAQP_CHECK_GT(a, 0.0);
+  P2PAQP_CHECK_GT(b, 0.0);
+  P2PAQP_CHECK(x >= 0.0 && x <= 1.0) << x;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedP(double t, double dof) {
+  P2PAQP_CHECK_GT(dof, 0.0);
+  double t2 = t * t;
+  // P(|T| > t) = I_{dof/(dof+t^2)}(dof/2, 1/2).
+  return RegularizedBeta(dof / 2.0, 0.5, dof / (dof + t2));
+}
+
+double KolmogorovSf(double statistic) {
+  if (statistic <= 0.0) return 1.0;
+  // The alternating series converges fast for statistic >~ 0.3; below that
+  // the survival function is 1 to far beyond double precision.
+  if (statistic < 0.2) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 200; ++k) {
+    double dk = static_cast<double>(k);
+    double term = std::exp(-2.0 * dk * dk * statistic * statistic);
+    sum += (k % 2 == 1) ? term : -term;
+    if (term < 1e-18) break;
+  }
+  double p = 2.0 * sum;
+  if (p < 0.0) return 0.0;
+  return p > 1.0 ? 1.0 : p;
+}
+
+double BinomialLowerTailP(size_t k, size_t n, double p) {
+  P2PAQP_CHECK(p >= 0.0 && p <= 1.0) << p;
+  P2PAQP_CHECK_GT(n, 0u);
+  if (k >= n) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;
+  double ln_n_fact = std::lgamma(static_cast<double>(n) + 1.0);
+  double ln_p = std::log(p);
+  double ln_q = std::log1p(-p);
+  double sum = 0.0;
+  for (size_t i = 0; i <= k; ++i) {
+    double di = static_cast<double>(i);
+    double dn = static_cast<double>(n);
+    double ln_pmf = ln_n_fact - std::lgamma(di + 1.0) -
+                    std::lgamma(dn - di + 1.0) + di * ln_p + (dn - di) * ln_q;
+    sum += std::exp(ln_pmf);
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+}  // namespace p2paqp::verify

@@ -1,0 +1,38 @@
+#include "verify/replicate.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace p2paqp::verify {
+
+ReplicateMode StatMode() {
+  const char* env = std::getenv("P2PAQP_STAT_MODE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    return ReplicateMode::kFull;
+  }
+  return ReplicateMode::kSmoke;
+}
+
+size_t Replicates(size_t smoke, size_t full) {
+  return StatMode() == ReplicateMode::kFull ? full : smoke;
+}
+
+uint64_t ReplicateSeed(uint64_t base_seed, size_t replicate) {
+  // Golden-ratio stride keeps the streams far apart; MixSeed decorrelates
+  // the mt19937 initialization.
+  return util::MixSeed(base_seed +
+                       0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(replicate) + 1));
+}
+
+void CalibrationAccumulator::Add(const EstimateSample& sample) {
+  double err = sample.estimate - sample.truth;
+  errors_.Add(err);
+  estimates_.Add(sample.estimate);
+  squared_errors_.Add(err * err);
+  if (std::fabs(err) <= sample.ci_half_width) ++covered_;
+}
+
+}  // namespace p2paqp::verify

@@ -1,0 +1,84 @@
+// Seeded replicate plumbing for the statistical verification harness.
+//
+// Statistical checks need many independent reruns of the same experiment.
+// The helpers here make those reruns deterministic (seeds derived from a
+// fixed base, never from time) and tier-aware: the same test binary runs a
+// handful of replicates as a tier-1 smoke check and the full replicate
+// budget when invoked with P2PAQP_STAT_MODE=full, which is how the
+// `statistical` ctest label runs it (see docs/TESTING.md).
+#ifndef P2PAQP_VERIFY_REPLICATE_H_
+#define P2PAQP_VERIFY_REPLICATE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/statistics.h"
+
+namespace p2paqp::verify {
+
+enum class ReplicateMode {
+  // Tier-1 default: few replicates, loose derived thresholds. Catches
+  // catastrophic breakage at negligible wall-time.
+  kSmoke = 0,
+  // Tier-2 (`ctest -L statistical`): the full replicate budget the
+  // thresholds in thresholds.h were derived for.
+  kFull,
+};
+
+// Reads P2PAQP_STAT_MODE ("full" selects kFull; anything else is smoke).
+ReplicateMode StatMode();
+
+// Picks the replicate budget for the current mode.
+size_t Replicates(size_t smoke, size_t full);
+
+// Deterministic per-replicate seed stream: mixes the base seed with the
+// replicate index so replicate RNGs are independent but fully reproducible.
+uint64_t ReplicateSeed(uint64_t base_seed, size_t replicate);
+
+// One replicate of an estimator run, as consumed by the calibration checks.
+struct EstimateSample {
+  double estimate = 0.0;
+  double truth = 0.0;
+  // 95% confidence half-width reported by the estimator (0 = no interval).
+  double ci_half_width = 0.0;
+};
+
+// Accumulates replicate estimates into the aggregates the verdict functions
+// consume: signed errors for unbiasedness, squared errors for variance, and
+// interval-coverage counts for calibration.
+class CalibrationAccumulator {
+ public:
+  void Add(const EstimateSample& sample);
+
+  // Signed errors (estimate - truth) across replicates.
+  const util::RunningStat& errors() const { return errors_; }
+  // Raw estimates across replicates.
+  const util::RunningStat& estimates() const { return estimates_; }
+  // Squared errors (estimate - truth)^2 across replicates.
+  const util::RunningStat& squared_errors() const { return squared_errors_; }
+  // Replicates whose |estimate - truth| <= ci_half_width.
+  size_t covered() const { return covered_; }
+  size_t total() const { return static_cast<size_t>(errors_.count()); }
+
+ private:
+  util::RunningStat errors_;
+  util::RunningStat estimates_;
+  util::RunningStat squared_errors_;
+  size_t covered_ = 0;
+};
+
+// Runs `fn(seed, replicate_index)` -> double for each replicate and returns
+// the replicate statistics.
+template <typename Fn>
+util::RunningStat RunReplicates(size_t replicates, uint64_t base_seed,
+                                Fn&& fn) {
+  util::RunningStat stat;
+  for (size_t r = 0; r < replicates; ++r) {
+    stat.Add(fn(ReplicateSeed(base_seed, r), r));
+  }
+  return stat;
+}
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_REPLICATE_H_

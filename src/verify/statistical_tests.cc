@@ -1,0 +1,233 @@
+#include "verify/statistical_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "verify/distributions.h"
+
+namespace p2paqp::verify {
+
+namespace {
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+TestVerdict MakeVerdict(std::string name, double statistic, double p_value,
+                        double alpha, std::string detail) {
+  TestVerdict v;
+  v.name = std::move(name);
+  v.statistic = statistic;
+  v.p_value = p_value;
+  v.alpha = alpha;
+  v.pass = p_value >= alpha;
+  v.detail = std::move(detail);
+  return v;
+}
+
+}  // namespace
+
+std::string TestVerdict::ToString() const {
+  return Format("%s: %s (statistic=%.6g p=%.3g alpha=%.3g) %s", name.c_str(),
+                pass ? "PASS" : "FAIL", statistic, p_value, alpha,
+                detail.c_str());
+}
+
+TestVerdict MeanZTest(const util::RunningStat& replicates,
+                      double expected_mean, double alpha,
+                      double bias_tolerance) {
+  P2PAQP_CHECK_GE(replicates.count(), 2u);
+  P2PAQP_CHECK_GE(bias_tolerance, 0.0);
+  double n = static_cast<double>(replicates.count());
+  double se = replicates.stddev() / std::sqrt(n);
+  double deviation =
+      std::max(0.0, std::fabs(replicates.mean() - expected_mean) -
+                        bias_tolerance);
+  std::string detail = Format(
+      "mean=%.6g expected=%.6g tol=%.3g se=%.3g n=%zu", replicates.mean(),
+      expected_mean, bias_tolerance, se, replicates.count());
+  if (se == 0.0) {
+    // Degenerate replicates (all identical): pass iff inside the band.
+    return MakeVerdict("mean-z", deviation, deviation == 0.0 ? 1.0 : 0.0,
+                       alpha, std::move(detail));
+  }
+  double z = deviation / se;
+  return MakeVerdict("mean-z", z, NormalTwoSidedP(z), alpha,
+                     std::move(detail));
+}
+
+TestVerdict MeanTTest(const util::RunningStat& replicates,
+                      double expected_mean, double alpha) {
+  P2PAQP_CHECK_GE(replicates.count(), 3u);
+  double n = static_cast<double>(replicates.count());
+  double se = replicates.stddev() / std::sqrt(n);
+  std::string detail =
+      Format("mean=%.6g expected=%.6g se=%.3g n=%zu", replicates.mean(),
+             expected_mean, se, replicates.count());
+  if (se == 0.0) {
+    double dev = std::fabs(replicates.mean() - expected_mean);
+    return MakeVerdict("mean-t", dev, dev == 0.0 ? 1.0 : 0.0, alpha,
+                       std::move(detail));
+  }
+  double t = (replicates.mean() - expected_mean) / se;
+  return MakeVerdict("mean-t", t, StudentTTwoSidedP(t, n - 1.0), alpha,
+                     std::move(detail));
+}
+
+TestVerdict ChiSquareGofTest(const std::vector<double>& observed,
+                             const std::vector<double>& expected, double alpha,
+                             double min_expected, double design_effect) {
+  P2PAQP_CHECK_EQ(observed.size(), expected.size());
+  P2PAQP_CHECK_GE(observed.size(), 2u);
+  P2PAQP_CHECK_GE(design_effect, 1.0);
+  double observed_total = 0.0;
+  double expected_total = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    P2PAQP_CHECK_GE(observed[i], 0.0);
+    P2PAQP_CHECK_GE(expected[i], 0.0);
+    observed_total += observed[i];
+    expected_total += expected[i];
+  }
+  P2PAQP_CHECK_GT(observed_total, 0.0);
+  P2PAQP_CHECK_GT(expected_total, 0.0);
+  double rescale = observed_total / expected_total;
+
+  // Greedy pooling: walk the bins, merging consecutive ones until each
+  // pooled bin's expected count clears min_expected; fold a trailing
+  // undersized pool into its predecessor.
+  std::vector<double> pooled_obs;
+  std::vector<double> pooled_exp;
+  double acc_obs = 0.0;
+  double acc_exp = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    acc_obs += observed[i];
+    acc_exp += expected[i] * rescale;
+    if (acc_exp >= min_expected) {
+      pooled_obs.push_back(acc_obs);
+      pooled_exp.push_back(acc_exp);
+      acc_obs = 0.0;
+      acc_exp = 0.0;
+    }
+  }
+  if (acc_exp > 0.0) {
+    if (pooled_obs.empty()) {
+      pooled_obs.push_back(acc_obs);
+      pooled_exp.push_back(acc_exp);
+    } else {
+      pooled_obs.back() += acc_obs;
+      pooled_exp.back() += acc_exp;
+    }
+  }
+
+  double statistic = 0.0;
+  for (size_t i = 0; i < pooled_obs.size(); ++i) {
+    double diff = pooled_obs[i] - pooled_exp[i];
+    statistic += diff * diff / pooled_exp[i];
+  }
+  statistic /= design_effect;
+  double dof = static_cast<double>(pooled_obs.size()) - 1.0;
+  std::string detail = Format(
+      "bins=%zu (pooled from %zu) dof=%.0f design_effect=%.2f n=%.0f",
+      pooled_obs.size(), observed.size(), dof, design_effect, observed_total);
+  if (dof < 1.0) {
+    return MakeVerdict("chi2-gof", statistic, 1.0, alpha, std::move(detail));
+  }
+  return MakeVerdict("chi2-gof", statistic, ChiSquareSf(statistic, dof),
+                     alpha, std::move(detail));
+}
+
+TestVerdict KsTwoSampleTest(std::vector<double> a, std::vector<double> b,
+                            double alpha) {
+  P2PAQP_CHECK_GE(a.size(), 8u);
+  P2PAQP_CHECK_GE(b.size(), 8u);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    double va = a[ia];
+    double vb = b[ib];
+    double step = std::min(va, vb);
+    while (ia < a.size() && a[ia] <= step) ++ia;
+    while (ib < b.size() && b[ib] <= step) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  double ne = na * nb / (na + nb);
+  double sqrt_ne = std::sqrt(ne);
+  // Stephens' finite-sample correction before the asymptotic tail.
+  double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  std::string detail =
+      Format("D=%.5f n_a=%zu n_b=%zu", d, a.size(), b.size());
+  return MakeVerdict("ks-2sample", d, KolmogorovSf(lambda), alpha,
+                     std::move(detail));
+}
+
+TestVerdict CoverageAtLeastTest(size_t covered, size_t total, double nominal,
+                                double alpha) {
+  P2PAQP_CHECK_GT(total, 0u);
+  P2PAQP_CHECK_LE(covered, total);
+  P2PAQP_CHECK(nominal > 0.0 && nominal < 1.0) << nominal;
+  double coverage = static_cast<double>(covered) / static_cast<double>(total);
+  double p = BinomialLowerTailP(covered, total, nominal);
+  std::string detail = Format("covered=%zu/%zu (%.3f) nominal=%.3f", covered,
+                              total, coverage, nominal);
+  return MakeVerdict("ci-coverage", coverage, p, alpha, std::move(detail));
+}
+
+TestVerdict InverseVarianceSlopeTest(const std::vector<double>& sample_sizes,
+                                     const std::vector<double>& variances,
+                                     size_t replicates_per_point, double alpha,
+                                     double slope_tolerance) {
+  P2PAQP_CHECK_EQ(sample_sizes.size(), variances.size());
+  P2PAQP_CHECK_GE(sample_sizes.size(), 3u);
+  P2PAQP_CHECK_GE(replicates_per_point, 16u);
+  P2PAQP_CHECK_GE(slope_tolerance, 0.0);
+  size_t k = sample_sizes.size();
+  std::vector<double> x(k);
+  std::vector<double> y(k);
+  double x_mean = 0.0;
+  double y_mean = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    P2PAQP_CHECK_GT(sample_sizes[i], 0.0);
+    P2PAQP_CHECK_GT(variances[i], 0.0);
+    x[i] = std::log(sample_sizes[i]);
+    y[i] = std::log(variances[i]);
+    x_mean += x[i];
+    y_mean += y[i];
+  }
+  x_mean /= static_cast<double>(k);
+  y_mean /= static_cast<double>(k);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    sxx += (x[i] - x_mean) * (x[i] - x_mean);
+    sxy += (x[i] - x_mean) * (y[i] - y_mean);
+  }
+  P2PAQP_CHECK_GT(sxx, 0.0);
+  double slope = sxy / sxx;
+  // Each log-variance point carries sampling noise var(log s^2) ~= 2/(R-1)
+  // under near-normal replicate estimates; the tolerance band absorbs the
+  // heavier-tailed reality.
+  double var_y = 2.0 / static_cast<double>(replicates_per_point - 1);
+  double se_slope = std::sqrt(var_y / sxx);
+  double deviation = std::max(0.0, std::fabs(slope + 1.0) - slope_tolerance);
+  double z = deviation / se_slope;
+  std::string detail = Format("slope=%.4f (want -1 +/- %.3g) se=%.4f k=%zu",
+                              slope, slope_tolerance, se_slope, k);
+  return MakeVerdict("var-slope", z, NormalTwoSidedP(z), alpha,
+                     std::move(detail));
+}
+
+}  // namespace p2paqp::verify

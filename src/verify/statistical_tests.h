@@ -1,0 +1,84 @@
+// Hypothesis tests that machine-check the paper's statistical guarantees.
+//
+// Each function reduces a pile of replicate measurements to a TestVerdict:
+// the test statistic, its p-value under the null hypothesis ("the theorem
+// holds"), and a pass/fail decision at the caller's significance level
+// (normally verify::DefaultAlpha(); see thresholds.h for the false-positive
+// budget). Verdicts carry a human-readable detail string so a red test
+// explains itself.
+#ifndef P2PAQP_VERIFY_STATISTICAL_TESTS_H_
+#define P2PAQP_VERIFY_STATISTICAL_TESTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/statistics.h"
+
+namespace p2paqp::verify {
+
+struct TestVerdict {
+  std::string name;
+  // The test statistic: z, t, chi-square, KS D, or empirical coverage,
+  // depending on the test.
+  double statistic = 0.0;
+  double p_value = 1.0;
+  double alpha = 0.0;
+  bool pass = true;
+  // Human-readable context (means, counts, thresholds) for failure output.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+// Unbiasedness check (Theorem 1): z-test of the replicate mean against
+// `expected_mean`. `bias_tolerance` is a guard band for estimators with a
+// known small-sample bias (ratio/median estimators): deviations inside the
+// band are not counted against the z statistic. Pass 0 for exactly unbiased
+// estimators.
+TestVerdict MeanZTest(const util::RunningStat& replicates,
+                      double expected_mean, double alpha,
+                      double bias_tolerance = 0.0);
+
+// Small-replicate variant using the Student-t tail (exact under normality).
+TestVerdict MeanTTest(const util::RunningStat& replicates,
+                      double expected_mean, double alpha);
+
+// Chi-square goodness of fit of observed bin counts against expected
+// counts. Bins with expected count below `min_expected` are greedily pooled
+// (standard validity rule). `design_effect` >= 1 divides the statistic to
+// account for positively correlated draws (Kish effective-sample-size
+// correction); pass 1 for independent draws. Expected counts are rescaled
+// to the observed total.
+TestVerdict ChiSquareGofTest(const std::vector<double>& observed,
+                             const std::vector<double>& expected, double alpha,
+                             double min_expected = 8.0,
+                             double design_effect = 1.0);
+
+// Two-sample Kolmogorov-Smirnov: are `a` and `b` draws from the same
+// distribution? Conservative in the presence of ties (discrete data), which
+// only lowers power, never the false-positive rate.
+TestVerdict KsTwoSampleTest(std::vector<double> a, std::vector<double> b,
+                            double alpha);
+
+// CI-coverage calibration: fails when the empirical coverage
+// `covered / total` is implausibly *below* `nominal` (lower binomial tail).
+// Over-coverage passes by design — the paper's cross-validation is
+// deliberately conservative, so intervals wider than nominal are expected
+// behaviour, not a bug.
+TestVerdict CoverageAtLeastTest(size_t covered, size_t total, double nominal,
+                                double alpha);
+
+// Variance-decay check (Theorem 2): fits log(variance) against
+// log(sample size) by least squares and tests the slope against -1
+// (err^2 = C/m). `replicates_per_point` drives the noise model for the
+// fitted slope (var(log s^2) ~= 2/(R-1) under near-normal replicates);
+// `slope_tolerance` is a guard band absorbing that approximation.
+TestVerdict InverseVarianceSlopeTest(const std::vector<double>& sample_sizes,
+                                     const std::vector<double>& variances,
+                                     size_t replicates_per_point, double alpha,
+                                     double slope_tolerance = 0.1);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_STATISTICAL_TESTS_H_

@@ -1,0 +1,23 @@
+#include "verify/thresholds.h"
+
+#include "util/logging.h"
+#include "util/statistics.h"
+#include "verify/distributions.h"
+
+namespace p2paqp::verify {
+
+double DefaultAlpha() {
+  return kSuiteFalsePositiveRate / static_cast<double>(kMaxChecksPerSuite);
+}
+
+double SigmaForAlpha(double alpha) {
+  P2PAQP_CHECK(alpha > 0.0 && alpha < 1.0) << alpha;
+  return util::InverseNormalCdf(1.0 - alpha / 2.0);
+}
+
+double AlphaForSigma(double sigma) {
+  P2PAQP_CHECK_GT(sigma, 0.0);
+  return NormalTwoSidedP(sigma);
+}
+
+}  // namespace p2paqp::verify

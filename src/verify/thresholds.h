@@ -1,0 +1,49 @@
+// Significance thresholds for the statistical verification harness.
+//
+// Every check in src/verify is a hypothesis test: it fails when the observed
+// statistic would be astronomically unlikely under the theorem being
+// verified. The thresholds below are chosen so that a whole suite of checks
+// produces a false alarm (a red test with correct code) less than once per
+// million runs:
+//
+//   per-suite false-positive rate  <= kSuiteFalsePositiveRate = 1e-6
+//   checks budgeted per suite       = kMaxChecksPerSuite      = 32
+//   per-check significance alpha    = 1e-6 / 32 ~= 3.1e-8  (Bonferroni)
+//   equivalent two-sided z cutoff  ~= 5.5 sigma
+//
+// The trade is deliberate: at 5.5 sigma the tests have no power against
+// biases much smaller than ~5 standard errors of the replicate mean, but a
+// real implementation bug (a dropped 1/prob(s) reweighting, a wrong
+// stationary distribution) shifts the statistic by tens of sigma and is
+// caught on every run, while an unlucky seed essentially never fails CI.
+// docs/TESTING.md discusses the derivation and the resulting detection
+// limits.
+#ifndef P2PAQP_VERIFY_THRESHOLDS_H_
+#define P2PAQP_VERIFY_THRESHOLDS_H_
+
+#include <cstddef>
+
+namespace p2paqp::verify {
+
+// Upper bound on the probability that a suite of up to kMaxChecksPerSuite
+// statistical checks fails although the code is correct.
+inline constexpr double kSuiteFalsePositiveRate = 1e-6;
+
+// Budgeted number of statistical checks per test binary ("suite"). Suites
+// exceeding this must split or tighten alpha themselves.
+inline constexpr size_t kMaxChecksPerSuite = 32;
+
+// The per-check significance level: kSuiteFalsePositiveRate divided across
+// kMaxChecksPerSuite Bonferroni-style (~3.1e-8).
+double DefaultAlpha();
+
+// Two-sided z cutoff for a given significance level: the |z| above which a
+// normal statistic is declared a failure (~5.54 for DefaultAlpha()).
+double SigmaForAlpha(double alpha);
+
+// Inverse of SigmaForAlpha: the two-sided tail mass beyond |z| = sigma.
+double AlphaForSigma(double sigma);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_THRESHOLDS_H_

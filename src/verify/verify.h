@@ -1,0 +1,20 @@
+// Umbrella header for the statistical verification harness.
+//
+// src/verify machine-checks the paper's statistical guarantees:
+//   Theorem 1 — the Horvitz-Thompson estimator is unbiased,
+//   Theorem 2 — its error decays as C/m,
+//   Theorem 3 — cross-validation calibrates the phase-II sample size,
+// plus the degree-proportional stationary distribution of the random walk
+// that all three rest on. The harness is a library, not a test framework:
+// tests (tests/statistical/) run seeded replicates through the engines and
+// feed the results to these verdict functions; thresholds.h documents the
+// <1e-6 per-suite false-positive budget the significance levels come from.
+#ifndef P2PAQP_VERIFY_VERIFY_H_
+#define P2PAQP_VERIFY_VERIFY_H_
+
+#include "verify/distributions.h"
+#include "verify/replicate.h"
+#include "verify/statistical_tests.h"
+#include "verify/thresholds.h"
+
+#endif  // P2PAQP_VERIFY_VERIFY_H_

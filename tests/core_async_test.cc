@@ -163,6 +163,50 @@ TEST_F(AsyncSessionTest, RejectsDeadSink) {
   EXPECT_FALSE(session.Execute(CountQuery(), 0, rng).ok());
 }
 
+TEST_F(AsyncSessionTest, FullQuorumPassesFaultFree) {
+  // Boundary from the passing side: a 100% observation quorum on a
+  // fault-free network means delivered == requested exactly at the quorum.
+  core::AsyncParams params = MakeParams(4);
+  params.engine.min_observation_quorum = 1.0;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng(8);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->answer.degraded);
+  EXPECT_EQ(report->answer.observations_lost, 0u);
+}
+
+TEST_F(AsyncSessionTest, FullQuorumFailsUnderAnyLoss) {
+  // With a 50% drop rate, no retransmits and a 100% quorum, some reply is
+  // lost (seeded, hence reproducible) and the session must hard-fail
+  // instead of degrading.
+  net::FaultPlan plan;
+  plan.drop_probability = 0.5;
+  tn_->network.InstallFaultPlan(plan, 99);
+  core::AsyncParams params = MakeParams(4);
+  params.engine.min_observation_quorum = 1.0;
+  params.engine.reply_retransmits = 0;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng(9);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(AsyncSessionTest, FailsBelowDefaultQuorumUnderHeavyLoss) {
+  // 95% loss leaves ~5% of replies: far below the default 25% quorum.
+  net::FaultPlan plan;
+  plan.drop_probability = 0.95;
+  tn_->network.InstallFaultPlan(plan, 100);
+  core::AsyncParams params = MakeParams(4);
+  params.engine.reply_retransmits = 0;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng(10);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kUnavailable);
+}
+
 TEST_F(AsyncSessionTest, SumQueriesWork) {
   core::AsyncQuerySession session(&tn_->network, tn_->catalog, MakeParams(4));
   util::Rng rng(7);

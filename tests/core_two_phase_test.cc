@@ -389,6 +389,120 @@ TEST(TwoPhaseEngineTest, FailsBelowObservationQuorum) {
   EXPECT_EQ(answer.status().code(), util::StatusCode::kUnavailable);
 }
 
+// Deterministic quorum edge cases need exact control over how many
+// observations can possibly arrive; a scripted sampler returns a fixed
+// visit list (some of which may point at dead peers, which the engine
+// skips) so the delivered count is known in advance.
+class ScriptedSampler : public sampling::PeerSampler {
+ public:
+  ScriptedSampler(const net::SimulatedNetwork* network,
+                  std::vector<graph::NodeId> peers)
+      : network_(network), peers_(std::move(peers)) {}
+
+  util::Result<std::vector<sampling::PeerVisit>> SamplePeers(
+      graph::NodeId, size_t, util::Rng&) override {
+    std::vector<sampling::PeerVisit> visits;
+    visits.reserve(peers_.size());
+    for (graph::NodeId peer : peers_) {
+      visits.push_back(sampling::PeerVisit{
+          peer, network_->graph().degree(peer)});
+    }
+    return visits;
+  }
+
+  double StationaryWeight(graph::NodeId node) const override {
+    return static_cast<double>(network_->graph().degree(node));
+  }
+
+  std::string name() const override { return "scripted"; }
+
+ private:
+  const net::SimulatedNetwork* network_;
+  std::vector<graph::NodeId> peers_;
+};
+
+// Requesting 8 observations at a 50% quorum (= 4 after ceil): exactly 4
+// deliverable observations is a pass, not a failure — the quorum is
+// inclusive.
+TEST(TwoPhaseEngineTest, CollectionSucceedsExactlyAtQuorum) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  std::vector<graph::NodeId> script = {10, 11, 12, 13, 14, 15, 16, 17};
+  for (graph::NodeId dead : {14, 15, 16, 17}) {
+    tn.network.SetAlive(dead, false);
+  }
+  EngineParams params;
+  params.min_observation_quorum = 0.5;
+  TwoPhaseEngine engine(
+      &tn.network, tn.catalog, params,
+      std::make_unique<ScriptedSampler>(&tn.network, script),
+      tn.catalog.total_degree_weight());
+  util::Rng rng(1);
+  TwoPhaseEngine::CollectionStats stats;
+  auto obs = engine.CollectObservations(CountQuery(0.1), /*sink=*/0,
+                                        /*count=*/8, rng, &stats);
+  ASSERT_TRUE(obs.ok()) << obs.status().ToString();
+  EXPECT_EQ(obs->size(), 4u);
+  EXPECT_EQ(stats.requested, 8u);
+  EXPECT_EQ(stats.delivered, 4u);
+  EXPECT_EQ(stats.lost, 4u);
+}
+
+// One observation below the quorum is a hard Unavailable, not a degraded
+// answer.
+TEST(TwoPhaseEngineTest, CollectionFailsOneBelowQuorum) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  std::vector<graph::NodeId> script = {10, 11, 12, 13, 14, 15, 16, 17};
+  for (graph::NodeId dead : {13, 14, 15, 16, 17}) {
+    tn.network.SetAlive(dead, false);
+  }
+  EngineParams params;
+  params.min_observation_quorum = 0.5;
+  TwoPhaseEngine engine(
+      &tn.network, tn.catalog, params,
+      std::make_unique<ScriptedSampler>(&tn.network, script),
+      tn.catalog.total_degree_weight());
+  util::Rng rng(1);
+  auto obs = engine.CollectObservations(CountQuery(0.1), /*sink=*/0,
+                                        /*count=*/8, rng);
+  ASSERT_FALSE(obs.ok());
+  EXPECT_EQ(obs.status().code(), util::StatusCode::kUnavailable);
+}
+
+// All replies lost (every scripted peer departed): Unavailable even with a
+// permissive quorum, because zero observations can never satisfy a positive
+// request.
+TEST(TwoPhaseEngineTest, CollectionFailsWhenAllRepliesLost) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  std::vector<graph::NodeId> script = {10, 11, 12, 13};
+  for (graph::NodeId dead : script) tn.network.SetAlive(dead, false);
+  EngineParams params;
+  params.min_observation_quorum = 0.25;
+  TwoPhaseEngine engine(
+      &tn.network, tn.catalog, params,
+      std::make_unique<ScriptedSampler>(&tn.network, script),
+      tn.catalog.total_degree_weight());
+  util::Rng rng(1);
+  auto obs = engine.CollectObservations(CountQuery(0.1), /*sink=*/0,
+                                        /*count=*/4, rng);
+  ASSERT_FALSE(obs.ok());
+  EXPECT_EQ(obs.status().code(), util::StatusCode::kUnavailable);
+}
+
+// A 100% quorum on a fault-free network is the boundary case from the
+// other side: every observation arrives, delivered == requested == quorum.
+TEST(TwoPhaseEngineTest, FullQuorumPassesWhenNothingIsLost) {
+  TestNetwork tn = MakeTestNetwork(TestNetworkParams{});
+  EngineParams params;
+  params.phase1_peers = 30;
+  params.min_observation_quorum = 1.0;
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  util::Rng rng(17);
+  auto answer = engine.Execute(CountQuery(0.1), 0, rng);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_FALSE(answer->degraded);
+  EXPECT_EQ(answer->observations_lost, 0u);
+}
+
 TEST(TwoPhaseEngineTest, DisabledFaultPlanIsBitIdentical) {
   // Acceptance gate for the fault subsystem: installing an all-zero
   // FaultPlan must leave every result bit-identical to a network that

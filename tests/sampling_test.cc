@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -8,11 +10,21 @@
 #include "sampling/convergence.h"
 #include "sampling/random_walk.h"
 #include "sampling/samplers.h"
+#include "test_common.h"
 #include "topology/clustered.h"
 #include "topology/power_law.h"
 
 namespace p2paqp::sampling {
 namespace {
+
+// Kish design effect for chi-square tests fed with serially correlated walk
+// selections: effective sample size shrinks by (1+rho)/(1-rho), padded 25%
+// for estimation error in rho itself (see tests/statistical/stat_walk_test.cc
+// for the same correction at scale).
+double WalkDesignEffect(double rho) {
+  rho = std::max(0.0, std::min(rho, 0.9));
+  return std::max(1.0, 1.25 * (1.0 + rho) / (1.0 - rho));
+}
 
 net::SimulatedNetwork MakeNetwork(graph::Graph graph, uint64_t seed = 1) {
   auto network =
@@ -104,7 +116,9 @@ TEST(RandomWalkTest, HopBudgetGuardsInfiniteWalks) {
 }
 
 // The statistical heart: selection frequency must track the stationary
-// distribution deg(p)/2|E|.
+// distribution deg(p)/2|E|, chi-square tested at the harness' 5.5-sigma
+// threshold with a design-effect correction for the walk's serial
+// correlation.
 TEST(RandomWalkTest, SelectionFrequencyMatchesStationaryDistribution) {
   // Lollipop-ish graph with strongly uneven degrees.
   graph::GraphBuilder builder(6);
@@ -120,14 +134,20 @@ TEST(RandomWalkTest, SelectionFrequencyMatchesStationaryDistribution) {
   const size_t kSelections = 60000;
   auto visits = walk.Collect(0, kSelections, rng);
   ASSERT_TRUE(visits.ok());
-  std::map<graph::NodeId, size_t> counts;
-  for (const PeerVisit& v : *visits) ++counts[v.peer];
+  std::vector<double> observed(6, 0.0);
+  for (const PeerVisit& v : *visits) observed[v.peer] += 1.0;
+  std::vector<double> expected(6, 0.0);
   for (graph::NodeId p = 0; p < 6; ++p) {
-    double expected = network.graph().StationaryProbability(p);
-    double observed =
-        static_cast<double>(counts[p]) / static_cast<double>(kSelections);
-    EXPECT_NEAR(observed, expected, 0.015) << "peer " << p;
+    expected[p] = network.graph().StationaryProbability(p) *
+                  static_cast<double>(kSelections);
   }
+  util::Rng rho_rng(88);
+  double rho =
+      MeasureDegreeAutocorrelation(network.graph(), 4, 20000, rho_rng);
+  EXPECT_STAT_PASS(verify::ChiSquareGofTest(observed, expected,
+                                            verify::DefaultAlpha(),
+                                            /*min_expected=*/8.0,
+                                            WalkDesignEffect(rho)));
 }
 
 TEST(RandomWalkTest, MetropolisHastingsIsUniform) {
@@ -146,13 +166,19 @@ TEST(RandomWalkTest, MetropolisHastingsIsUniform) {
   const size_t kSelections = 60000;
   auto visits = walk.Collect(0, kSelections, rng);
   ASSERT_TRUE(visits.ok());
-  std::map<graph::NodeId, size_t> counts;
-  for (const PeerVisit& v : *visits) ++counts[v.peer];
-  for (graph::NodeId p = 0; p < 6; ++p) {
-    double observed =
-        static_cast<double>(counts[p]) / static_cast<double>(kSelections);
-    EXPECT_NEAR(observed, 1.0 / 6.0, 0.02) << "peer " << p;
-  }
+  std::vector<double> observed(6, 0.0);
+  for (const PeerVisit& v : *visits) observed[v.peer] += 1.0;
+  std::vector<double> expected(6, static_cast<double>(kSelections) / 6.0);
+  // The MH proposal chain mixes no faster than the simple walk, so the
+  // simple-walk autocorrelation (doubled, as in stat_walk_test.cc) is the
+  // conservative design effect.
+  util::Rng rho_rng(99);
+  double rho =
+      MeasureDegreeAutocorrelation(network.graph(), 6, 20000, rho_rng);
+  EXPECT_STAT_PASS(verify::ChiSquareGofTest(observed, expected,
+                                            verify::DefaultAlpha(),
+                                            /*min_expected=*/8.0,
+                                            2.0 * WalkDesignEffect(rho)));
   EXPECT_DOUBLE_EQ(walk.StationaryWeight(0), 1.0);
 }
 
@@ -216,13 +242,15 @@ TEST(SamplersTest, UniformOracleIsUniform) {
   net::SimulatedNetwork network = MakeBaNetwork(50, 2, 15);
   UniformOracleSampler sampler(&network);
   util::Rng rng(15);
-  auto visits = sampler.SamplePeers(0, 50000, rng);
+  const size_t kDraws = 50000;
+  auto visits = sampler.SamplePeers(0, kDraws, rng);
   ASSERT_TRUE(visits.ok());
-  std::map<graph::NodeId, size_t> counts;
-  for (const PeerVisit& v : *visits) ++counts[v.peer];
-  for (graph::NodeId p = 0; p < 50; ++p) {
-    EXPECT_NEAR(static_cast<double>(counts[p]) / 50000.0, 0.02, 0.005);
-  }
+  std::vector<double> observed(50, 0.0);
+  for (const PeerVisit& v : *visits) observed[v.peer] += 1.0;
+  std::vector<double> expected(50, static_cast<double>(kDraws) / 50.0);
+  // Oracle draws are iid, so no design-effect correction is needed.
+  EXPECT_STAT_PASS(
+      verify::ChiSquareGofTest(observed, expected, verify::DefaultAlpha()));
 }
 
 TEST(SamplersTest, NamesAreStable) {

@@ -1,0 +1,98 @@
+// Statistical verification of Theorem 3: for half-sample cross-validation
+// over m iid stationary draws, E[CVError^2] = 2 E[err^2] — with disjoint
+// halves of size m/2 this is exactly 4C/m, a closed-form constant of the
+// synthetic population. Also checks the paper's phase-II sizing rule built
+// on it: plans sized by m' = (m/2)(CVError/delta)^2 meet the requested error
+// with high probability.
+#include "statistical_test_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace p2paqp {
+namespace {
+
+using testing::SyntheticPopulation;
+
+constexpr uint64_t kPopulationSeed = 977;
+
+// Theorem 3: the replicate mean of CVError^2 matches 4C/m exactly.
+TEST(StatCrossValidationTest, CvSquaredErrorMatchesTheorem3Constant) {
+  SyntheticPopulation pop =
+      SyntheticPopulation::Make(400, /*correlated=*/true, kPopulationSeed);
+  const size_t m = 32;
+  size_t replicates = verify::Replicates(200, 2000);
+  util::RunningStat cv_squared =
+      verify::RunReplicates(replicates, 0xcb01, [&](uint64_t seed, size_t) {
+        util::Rng rng(seed);
+        auto draws = pop.Draw(m, rng);
+        auto cv = core::CrossValidate(draws, pop.total_weight,
+                                      /*repeats=*/10, rng);
+        return cv.cv_error * cv.cv_error;
+      });
+  EXPECT_STAT_PASS(verify::MeanZTest(
+      cv_squared, 4.0 * pop.badness_c / static_cast<double>(m),
+      verify::DefaultAlpha()));
+}
+
+// Canary: the common misreading — "CVError^2 estimates the full-sample
+// error E[err^2] = C/m directly" — is off by 4x and must be rejected even
+// at the canary's fixed replicate budget.
+TEST(StatCrossValidationTest, CanaryFullSampleNullFails) {
+  SyntheticPopulation pop =
+      SyntheticPopulation::Make(400, /*correlated=*/true, kPopulationSeed);
+  const size_t m = 32;
+  // Mode-independent: must fail even in smoke. CVError^2 replicates are
+  // noisy (relative sd of a squared half-split difference is large), so the
+  // 3x gap between 4C/m and C/m needs ~1024 replicates to clear 5.5 sigma
+  // with a 2x margin; each replicate costs only m draws + 10 splits.
+  const size_t replicates = 1024;
+  util::RunningStat cv_squared =
+      verify::RunReplicates(replicates, 0xdead, [&](uint64_t seed, size_t) {
+        util::Rng rng(seed);
+        auto draws = pop.Draw(m, rng);
+        auto cv = core::CrossValidate(draws, pop.total_weight,
+                                      /*repeats=*/10, rng);
+        return cv.cv_error * cv.cv_error;
+      });
+  EXPECT_STAT_FAIL(verify::MeanZTest(cv_squared,
+                                     pop.badness_c / static_cast<double>(m),
+                                     verify::DefaultAlpha()));
+}
+
+// The sizing rule end to end: measure CVError on a phase-I sample, size
+// phase II with PhaseTwoSampleSize, draw the phase-II sample, and check the
+// fraction of replicates meeting the requested relative error. Theorem 3
+// puts the per-replicate success probability near P(|Z| <= sqrt(2)) ~ 0.84;
+// the calibration check uses 0.75 as the floor.
+TEST(StatCrossValidationTest, PhaseTwoSizingMeetsRequestedError) {
+  SyntheticPopulation pop =
+      SyntheticPopulation::Make(400, /*correlated=*/true, kPopulationSeed);
+  const size_t phase1_m = 24;
+  const double required_error = 0.05;  // Relative to the truth.
+  size_t replicates = verify::Replicates(40, 300);
+  size_t successes = 0;
+  for (size_t r = 0; r < replicates; ++r) {
+    util::Rng rng(verify::ReplicateSeed(0xcb07, r));
+    auto phase1 = pop.Draw(phase1_m, rng);
+    auto cv = core::CrossValidate(phase1, pop.total_weight, 10, rng);
+    double cv_relative =
+        cv.estimate == 0.0 ? 0.0 : cv.cv_error / std::fabs(cv.estimate);
+    size_t phase2_m = core::PhaseTwoSampleSize(phase1_m, cv_relative,
+                                               required_error,
+                                               /*min_peers=*/4,
+                                               /*max_peers=*/100000);
+    double estimate =
+        core::HorvitzThompson(pop.Draw(phase2_m, rng), pop.total_weight);
+    if (std::fabs(estimate - pop.truth) <= required_error * pop.truth) {
+      ++successes;
+    }
+  }
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(successes, replicates, 0.75,
+                                               verify::DefaultAlpha()));
+}
+
+}  // namespace
+}  // namespace p2paqp

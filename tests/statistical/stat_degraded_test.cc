@@ -1,0 +1,106 @@
+// Statistical verification of the graceful-degradation path added in PR 1:
+// under a lossy transport with retransmissions disabled, the engine must
+// answer with `degraded` set, stay unbiased (Horvitz-Thompson reweighting
+// over the surviving replies, loss being selection-independent), and report
+// confidence intervals that still cover the truth after widening.
+//
+// The whole binary shares one synthetic world with an installed FaultPlan;
+// the plan's RNG evolves across replicates, which is fine — determinism is
+// per-process, and ctest always starts fresh.
+#include "statistical_test_util.h"
+
+#include "gtest/gtest.h"
+#include "net/fault.h"
+
+namespace p2paqp {
+namespace {
+
+bench::World& LossyWorld() {
+  static bench::World& world = [&]() -> bench::World& {
+    bench::World& w = testing::SyntheticStatWorld();
+    net::FaultPlan plan;
+    plan.drop_probability = 0.25;
+    w.network.InstallFaultPlan(plan, /*seed=*/4242);
+    return w;
+  }();
+  return world;
+}
+
+struct DegradedRun {
+  verify::CalibrationAccumulator acc;
+  util::RunningStat normalized_errors;
+  size_t degraded_count = 0;
+  size_t observations_lost = 0;
+};
+
+DegradedRun RunLossyReplicates(size_t replicates, uint64_t base_seed) {
+  bench::World& world = LossyWorld();
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 40};
+  query.required_error = 0.08;
+  double truth = testing::EngineTruth(world, query);
+
+  DegradedRun run;
+  for (size_t r = 0; r < replicates; ++r) {
+    util::Rng rng(verify::ReplicateSeed(base_seed, r));
+    core::EngineParams params;
+    params.phase1_peers = 40;
+    params.max_phase2_peers = 250;
+    params.reply_retransmits = 0;  // Force visible loss.
+    core::TwoPhaseEngine engine(&world.network, world.catalog, params);
+    auto sink = testing::RandomLiveSink(world.network, rng);
+    auto answer = engine.Execute(query, sink, rng);
+    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+    run.acc.Add(verify::EstimateSample{answer->estimate, truth,
+                                       answer->ci_half_width_95});
+    run.normalized_errors.Add(
+        bench::NormalizedError(world, query, answer->estimate));
+    if (answer->degraded) ++run.degraded_count;
+    run.observations_lost += answer->observations_lost;
+  }
+  return run;
+}
+
+// The lossy path actually exercises degradation: with a 25% per-message
+// drop rate and no retransmits, most replicates lose observations.
+TEST(StatDegradedTest, LossActuallyHappens) {
+  auto run = RunLossyReplicates(verify::Replicates(12, 48), 0xd001);
+  EXPECT_GE(run.degraded_count * 2, run.acc.total());
+  EXPECT_GT(run.observations_lost, 0u);
+}
+
+// Unbiasedness survives selection-independent loss. The guard band (0.5% of
+// the truth) absorbs the second-order effect of walks occasionally being
+// truncated mid-collection.
+TEST(StatDegradedTest, DegradedEstimatesUnbiased) {
+  bench::World& world = LossyWorld();
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 40};
+  double truth = testing::EngineTruth(world, query);
+  auto run = RunLossyReplicates(verify::Replicates(16, 64), 0xd002);
+  EXPECT_STAT_PASS(verify::MeanZTest(run.acc.errors(), 0.0,
+                                     verify::DefaultAlpha(),
+                                     /*bias_tolerance=*/0.005 * truth));
+}
+
+// The widened interval (ci * sqrt(requested / arrived)) must still cover.
+TEST(StatDegradedTest, WidenedIntervalsCoverTruth) {
+  auto run = RunLossyReplicates(verify::Replicates(24, 80), 0xd003);
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(
+      run.acc.covered(), run.acc.total(), 0.85, verify::DefaultAlpha()));
+}
+
+// The paper's [0,1]-normalized error metric stays small on the degraded
+// path: losing a quarter of the replies costs variance, not validity. The
+// engine is tuned for required_error = 0.08, so the replicate mean must sit
+// at or below that target even with a quarter of the replies dropped.
+TEST(StatDegradedTest, NormalizedErrorStaysSmall) {
+  auto run = RunLossyReplicates(verify::Replicates(12, 48), 0xd004);
+  EXPECT_LT(run.normalized_errors.mean(), 0.08);
+  EXPECT_LT(run.normalized_errors.max(), 0.30);
+}
+
+}  // namespace
+}  // namespace p2paqp

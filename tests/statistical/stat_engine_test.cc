@@ -1,0 +1,167 @@
+// End-to-end statistical verification of the two-phase engine: COUNT, SUM,
+// AVG and MEDIAN answers on both evaluation topologies are unbiased (within
+// documented guard bands for the ratio/rank estimators), and the reported
+// 95% confidence intervals are not over-confident.
+//
+// The engine-level canary runs the walk sampler with a deliberately wrong
+// normalizer — the estimator-level "dropped reweighting" canary lives in
+// stat_estimator_test.cc — and must fail, proving the harness would catch a
+// mis-scaled estimator wired through the full engine.
+#include "statistical_test_util.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+
+namespace p2paqp {
+namespace {
+
+using testing::EngineStatConfig;
+using testing::RunEngineReplicates;
+
+TEST(StatEngineTest, CountUnbiasedOnSynthetic) {
+  EngineStatConfig config;
+  config.op = query::AggregateOp::kCount;
+  config.replicates = verify::Replicates(12, 48);
+  config.base_seed = 0xc001;
+  auto acc = RunEngineReplicates(testing::SyntheticStatWorld(), config);
+  EXPECT_STAT_PASS(verify::MeanZTest(acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+TEST(StatEngineTest, SumUnbiasedOnSynthetic) {
+  EngineStatConfig config;
+  config.op = query::AggregateOp::kSum;
+  config.replicates = verify::Replicates(12, 48);
+  config.base_seed = 0xc002;
+  auto acc = RunEngineReplicates(testing::SyntheticStatWorld(), config);
+  EXPECT_STAT_PASS(verify::MeanZTest(acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+// AVG is a ratio estimator with O(1/m) small-sample bias; the guard band
+// (0.5% of the truth) absorbs it while still catching real breakage.
+TEST(StatEngineTest, AvgUnbiasedOnSyntheticWithinGuardBand) {
+  auto& world = testing::SyntheticStatWorld();
+  EngineStatConfig config;
+  config.op = query::AggregateOp::kAvg;
+  config.replicates = verify::Replicates(12, 48);
+  config.base_seed = 0xc003;
+  query::AggregateQuery query;
+  query.op = config.op;
+  query.predicate = config.predicate;
+  double truth = testing::EngineTruth(world, query);
+  auto acc = RunEngineReplicates(world, config);
+  EXPECT_STAT_PASS(verify::MeanZTest(acc.errors(), 0.0,
+                                     verify::DefaultAlpha(),
+                                     /*bias_tolerance=*/0.005 * truth));
+}
+
+TEST(StatEngineTest, CountUnbiasedOnGnutella) {
+  EngineStatConfig config;
+  config.op = query::AggregateOp::kCount;
+  config.replicates = verify::Replicates(12, 48);
+  config.base_seed = 0xc004;
+  auto acc = RunEngineReplicates(testing::GnutellaStatWorld(), config);
+  EXPECT_STAT_PASS(verify::MeanZTest(acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+// Reported 95% intervals: empirical coverage must not fall implausibly
+// below nominal. 0.85 leaves room for the variance being itself estimated
+// from a finite phase-II sample; over-coverage passes by design.
+TEST(StatEngineTest, ConfidenceIntervalCoverageOnBothTopologies) {
+  EngineStatConfig config;
+  config.op = query::AggregateOp::kCount;
+  config.replicates = verify::Replicates(24, 80);
+  config.base_seed = 0xc005;
+  auto synthetic = RunEngineReplicates(testing::SyntheticStatWorld(), config);
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(
+      synthetic.covered(), synthetic.total(), 0.85, verify::DefaultAlpha()));
+
+  config.base_seed = 0xc006;
+  auto gnutella = RunEngineReplicates(testing::GnutellaStatWorld(), config);
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(
+      gnutella.covered(), gnutella.total(), 0.85, verify::DefaultAlpha()));
+}
+
+// MEDIAN answers are checked on the rank scale (the paper's Sec. 5.6
+// metric): the signed rank deviation of the returned value from 0.5 stays
+// inside a guard band of 3 rank points, and its replicate mean shows no
+// systematic drift beyond it.
+TEST(StatEngineTest, MedianRankCenteredOnSynthetic) {
+  auto& world = testing::SyntheticStatWorld();
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kMedian;
+  query.predicate = query::RangePredicate::All();
+  query.required_error = 0.08;
+
+  size_t replicates = verify::Replicates(12, 48);
+  util::RunningStat signed_ranks;
+  for (size_t r = 0; r < replicates; ++r) {
+    util::Rng rng(verify::ReplicateSeed(0xc007, r));
+    core::EngineParams params;
+    params.phase1_peers = 40;
+    params.max_phase2_peers = 250;
+    core::TwoPhaseEngine engine(&world.network, world.catalog, params);
+    auto sink = testing::RandomLiveSink(world.network, rng);
+    auto answer = engine.Execute(query, sink, rng);
+    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+    // Signed rank of the returned value among all tuples, minus 0.5.
+    int64_t below = 0;
+    const auto& network = world.network;
+    for (graph::NodeId p = 0; p < network.num_peers(); ++p) {
+      if (!network.IsAlive(p)) continue;
+      for (const data::Tuple& t : network.peer(p).database().tuples()) {
+        if (static_cast<double>(t.value) < answer->estimate) ++below;
+      }
+    }
+    signed_ranks.Add(static_cast<double>(below) /
+                         static_cast<double>(world.total_tuples) -
+                     0.5);
+  }
+  // The sample median of a discrete value domain carries quantization bias;
+  // the band is 3 rank points.
+  EXPECT_STAT_PASS(verify::MeanZTest(signed_ranks, 0.0,
+                                     verify::DefaultAlpha(),
+                                     /*bias_tolerance=*/0.03));
+  EXPECT_LT(signed_ranks.max(), 0.25);
+  EXPECT_GT(signed_ranks.min(), -0.25);
+}
+
+// Engine-level canary: a uniform-weight sampler normalized as if it were
+// degree-weighted scales every estimate by ~2|E|/M (the average degree).
+// The z-test must reject this even at the fixed smoke replicate budget.
+TEST(StatEngineTest, CanaryWrongNormalizerFails) {
+  auto& world = testing::SyntheticStatWorld();
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 40};
+  query.required_error = 0.08;
+  double truth = testing::EngineTruth(world, query);
+
+  const size_t replicates = 8;  // Mode-independent: must fail even in smoke.
+  util::RunningStat estimates;
+  for (size_t r = 0; r < replicates; ++r) {
+    util::Rng rng(verify::ReplicateSeed(0xc008, r));
+    core::EngineParams params;
+    params.phase1_peers = 40;
+    params.max_phase2_peers = 250;
+    // Uniform oracle draws (weight 1 each) but normalized by 2|E| as if
+    // they were degree weights: every observation inflated by avg degree.
+    auto sampler = std::make_unique<sampling::UniformOracleSampler>(
+        &world.network);
+    core::TwoPhaseEngine engine(&world.network, world.catalog, params,
+                                std::move(sampler),
+                                world.catalog.total_degree_weight());
+    auto sink = testing::RandomLiveSink(world.network, rng);
+    auto answer = engine.Execute(query, sink, rng);
+    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+    estimates.Add(answer->estimate);
+  }
+  EXPECT_STAT_FAIL(verify::MeanZTest(estimates, truth,
+                                     verify::DefaultAlpha()));
+}
+
+}  // namespace
+}  // namespace p2paqp

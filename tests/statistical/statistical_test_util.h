@@ -1,0 +1,185 @@
+// Shared plumbing for the tier-2 statistical suite (`ctest -L statistical`).
+//
+// Provides (a) lazily built, cached benchmark worlds at test-friendly scale,
+// (b) a replicated engine runner feeding verify::CalibrationAccumulator, and
+// (c) a synthetic degree-correlated population with closed-form moments so
+// Theorems 1-3 can be checked against exact constants instead of a second
+// noisy measurement.
+#ifndef P2PAQP_TESTS_STATISTICAL_STATISTICAL_TEST_UTIL_H_
+#define P2PAQP_TESTS_STATISTICAL_STATISTICAL_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "harness.h"
+#include "test_common.h"
+#include "verify/verify.h"
+
+namespace p2paqp::testing {
+
+// ---------------------------------------------------------------------------
+// Cached worlds (building one is the dominant cost; every test in a binary
+// shares the same immutable world and independence comes from seeds).
+// ---------------------------------------------------------------------------
+
+inline bench::World& SyntheticStatWorld() {
+  static bench::World world = [] {
+    bench::WorldConfig config;
+    config.kind = bench::WorldKind::kSynthetic;
+    config.num_peers = 600;
+    config.num_edges = 3000;
+    config.tuples_per_peer = 40;
+    return bench::BuildWorld(config);
+  }();
+  return world;
+}
+
+inline bench::World& GnutellaStatWorld() {
+  static bench::World world = [] {
+    bench::WorldConfig config;
+    config.kind = bench::WorldKind::kGnutella;
+    config.num_peers = 800;
+    config.num_edges = 2400;
+    config.tuples_per_peer = 40;
+    return bench::BuildWorld(config);
+  }();
+  return world;
+}
+
+// ---------------------------------------------------------------------------
+// Replicated engine runs
+// ---------------------------------------------------------------------------
+
+struct EngineStatConfig {
+  query::AggregateOp op = query::AggregateOp::kCount;
+  query::RangePredicate predicate{1, 40};
+  double required_error = 0.08;
+  size_t replicates = 24;
+  uint64_t base_seed = 0x57a7;
+  core::EngineParams params;  // phase sizes tuned below.
+
+  EngineStatConfig() {
+    params.phase1_peers = 40;
+    params.max_phase2_peers = 250;
+  }
+};
+
+inline double EngineTruth(const bench::World& world,
+                          const query::AggregateQuery& query) {
+  const net::SimulatedNetwork& network = world.network;
+  double count = static_cast<double>(
+      network.ExactCount(query.predicate.lo, query.predicate.hi));
+  switch (query.op) {
+    case query::AggregateOp::kCount:
+      return count;
+    case query::AggregateOp::kSum:
+      return static_cast<double>(
+          network.ExactSum(query.predicate.lo, query.predicate.hi));
+    case query::AggregateOp::kAvg:
+      return count == 0.0
+                 ? 0.0
+                 : static_cast<double>(network.ExactSum(
+                       query.predicate.lo, query.predicate.hi)) /
+                       count;
+    default:
+      P2PAQP_CHECK(false) << "EngineTruth: unsupported op";
+      return 0.0;
+  }
+}
+
+inline graph::NodeId RandomLiveSink(const net::SimulatedNetwork& network,
+                                    util::Rng& rng) {
+  auto sink = static_cast<graph::NodeId>(rng.UniformIndex(network.num_peers()));
+  while (!network.IsAlive(sink)) {
+    sink = static_cast<graph::NodeId>(rng.UniformIndex(network.num_peers()));
+  }
+  return sink;
+}
+
+// Runs `replicates` independent engine executions (fresh seed + random live
+// sink each time) and accumulates estimate/truth/CI into the calibration
+// accumulator. Failed executions abort the test: this helper is for
+// fault-free and graceful-degradation paths that must answer.
+inline verify::CalibrationAccumulator RunEngineReplicates(
+    bench::World& world, const EngineStatConfig& config) {
+  query::AggregateQuery query;
+  query.op = config.op;
+  query.predicate = config.predicate;
+  query.required_error = config.required_error;
+  const double truth = EngineTruth(world, query);
+
+  verify::CalibrationAccumulator acc;
+  for (size_t r = 0; r < config.replicates; ++r) {
+    util::Rng rng(verify::ReplicateSeed(config.base_seed, r));
+    core::TwoPhaseEngine engine(&world.network, world.catalog, config.params);
+    graph::NodeId sink = RandomLiveSink(world.network, rng);
+    auto answer = engine.Execute(query, sink, rng);
+    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+    acc.Add(verify::EstimateSample{answer->estimate, truth,
+                                   answer->ci_half_width_95});
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic degree-correlated population with exact moments
+// ---------------------------------------------------------------------------
+
+// A stand-alone population of M "peers" with power-law-ish stationary
+// weights w_s and per-peer values y_s correlated with w_s. Because sampling
+// is done directly from the exact stationary distribution, Theorems 1-3 can
+// be verified against closed forms:
+//   Y       = sum y_s                  (the true aggregate)
+//   C       = sum y_s^2 W / w_s - Y^2  (Theorem 2's clustering constant)
+//   Var[y''] = C / m, E[CVError^2] = 4C/m for half-sample cross-validation.
+struct SyntheticPopulation {
+  std::vector<double> values;   // y_s.
+  std::vector<double> weights;  // w_s (unnormalized).
+  double total_weight = 0.0;    // W.
+  double truth = 0.0;           // Y.
+  double badness_c = 0.0;       // C.
+
+  // Deterministic construction; `correlated` couples y_s to w_s (the regime
+  // where dropping the 1/prob(s) reweighting is maximally wrong).
+  static SyntheticPopulation Make(size_t num_peers, bool correlated,
+                                  uint64_t seed) {
+    SyntheticPopulation pop;
+    util::Rng rng(seed);
+    pop.values.reserve(num_peers);
+    pop.weights.reserve(num_peers);
+    for (size_t s = 0; s < num_peers; ++s) {
+      // Discrete power-law-ish degrees in [1, 64].
+      double u = rng.UniformDouble(0.0, 1.0);
+      double w = std::floor(1.0 + 63.0 * u * u * u);
+      double y = correlated ? w + rng.UniformDouble(0.0, 2.0)
+                            : 10.0 + rng.UniformDouble(0.0, 5.0);
+      pop.weights.push_back(w);
+      pop.values.push_back(y);
+      pop.total_weight += w;
+      pop.truth += y;
+    }
+    for (size_t s = 0; s < num_peers; ++s) {
+      pop.badness_c +=
+          pop.values[s] * pop.values[s] * pop.total_weight / pop.weights[s];
+    }
+    pop.badness_c -= pop.truth * pop.truth;
+    return pop;
+  }
+
+  // m iid draws from the stationary distribution prob(s) = w_s / W.
+  std::vector<core::WeightedObservation> Draw(size_t m, util::Rng& rng) const {
+    std::vector<core::WeightedObservation> out;
+    out.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      size_t s = rng.WeightedIndex(weights);
+      out.push_back(core::WeightedObservation{values[s], weights[s]});
+    }
+    return out;
+  }
+};
+
+}  // namespace p2paqp::testing
+
+#endif  // P2PAQP_TESTS_STATISTICAL_STATISTICAL_TEST_UTIL_H_

@@ -10,6 +10,22 @@
 
 #include "core/aqp.h"
 #include "util/logging.h"
+#include "verify/verify.h"
+
+// Assert on a verify::TestVerdict, printing the full verdict (statistic,
+// p-value, alpha, detail) on failure. EXPECT_STAT_FAIL is for canary tests
+// that prove the harness detects deliberately injected bias.
+#define EXPECT_STAT_PASS(verdict_expr)                 \
+  do {                                                 \
+    const auto& v = (verdict_expr);                    \
+    EXPECT_TRUE(v.pass) << v.ToString();               \
+  } while (0)
+
+#define EXPECT_STAT_FAIL(verdict_expr)                 \
+  do {                                                 \
+    const auto& v = (verdict_expr);                    \
+    EXPECT_FALSE(v.pass) << v.ToString();              \
+  } while (0)
 
 namespace p2paqp::testing {
 

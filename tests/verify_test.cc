@@ -1,0 +1,239 @@
+// Unit tests for the statistical verification library itself: distribution
+// tail functions against known values, threshold derivation, higher moments
+// of RunningStat, and pass/fail canaries for every verdict function (a
+// harness that cannot fail is worse than no harness).
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_common.h"
+#include "util/rng.h"
+
+namespace p2paqp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Distribution tail functions
+// ---------------------------------------------------------------------------
+
+TEST(VerifyDistributionsTest, NormalSfKnownValues) {
+  EXPECT_NEAR(verify::NormalSf(0.0), 0.5, kTol);
+  EXPECT_NEAR(verify::NormalSf(1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(verify::NormalSf(-1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(verify::NormalTwoSidedP(1.959963984540054), 0.05, 1e-12);
+}
+
+TEST(VerifyDistributionsTest, ChiSquareSfKnownValues) {
+  // P(X > 0) = 1 for any dof.
+  EXPECT_NEAR(verify::ChiSquareSf(0.0, 5), 1.0, kTol);
+  // dof = 2 is exponential(1/2): sf(x) = exp(-x/2).
+  EXPECT_NEAR(verify::ChiSquareSf(4.0, 2), std::exp(-2.0), 1e-12);
+  // Classic table value: chi^2_{0.95, 3} = 7.8147...
+  EXPECT_NEAR(verify::ChiSquareSf(7.814727903251179, 3), 0.05, 1e-9);
+}
+
+TEST(VerifyDistributionsTest, RegularizedGammaComplementarity) {
+  for (double a : {0.5, 1.0, 3.7, 12.0}) {
+    for (double x : {0.1, 1.0, 5.0, 25.0}) {
+      EXPECT_NEAR(verify::RegularizedGammaP(a, x) +
+                      verify::RegularizedGammaQ(a, x),
+                  1.0, 1e-12);
+    }
+  }
+  // a = 1 is exponential: P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(verify::RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0),
+              1e-12);
+}
+
+TEST(VerifyDistributionsTest, StudentTKnownValues) {
+  EXPECT_NEAR(verify::StudentTTwoSidedP(0.0, 7), 1.0, kTol);
+  // t_{0.975, 10} = 2.228138...: two-sided p = 0.05.
+  EXPECT_NEAR(verify::StudentTTwoSidedP(2.2281388519649385, 10), 0.05, 1e-9);
+  // dof = 1 is Cauchy: P(|T| > 1) = 0.5.
+  EXPECT_NEAR(verify::StudentTTwoSidedP(1.0, 1), 0.5, 1e-9);
+}
+
+TEST(VerifyDistributionsTest, KolmogorovSfKnownValues) {
+  // Q(1.36) = 2*sum (-1)^{k-1} exp(-2 k^2 1.36^2) = 0.0494868... (1.36 is
+  // the classic ~5% critical value of the Kolmogorov distribution).
+  EXPECT_NEAR(verify::KolmogorovSf(1.36), 0.0494868, 5e-5);
+  EXPECT_NEAR(verify::KolmogorovSf(0.1), 1.0, kTol);
+  EXPECT_LT(verify::KolmogorovSf(2.5), 1e-4);
+}
+
+TEST(VerifyDistributionsTest, BinomialLowerTailExactSmallCase) {
+  // X ~ Bin(3, 0.5): P(X <= 1) = 4/8.
+  EXPECT_NEAR(verify::BinomialLowerTailP(1, 3, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(verify::BinomialLowerTailP(3, 3, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(verify::BinomialLowerTailP(0, 4, 0.5), 1.0 / 16.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Thresholds
+// ---------------------------------------------------------------------------
+
+TEST(VerifyThresholdsTest, DefaultAlphaMatchesSuiteBudget) {
+  double alpha = verify::DefaultAlpha();
+  EXPECT_NEAR(alpha * verify::kMaxChecksPerSuite,
+              verify::kSuiteFalsePositiveRate,
+              verify::kSuiteFalsePositiveRate * 1e-9);
+  // The per-check level corresponds to roughly 5.5 sigma two-sided.
+  double sigma = verify::SigmaForAlpha(alpha);
+  EXPECT_GT(sigma, 5.0);
+  EXPECT_LT(sigma, 6.0);
+  EXPECT_NEAR(verify::AlphaForSigma(sigma), alpha, alpha * 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStat higher moments
+// ---------------------------------------------------------------------------
+
+TEST(VerifyRunningStatTest, MomentsOnKnownData) {
+  util::RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_NEAR(stat.mean(), 5.0, kTol);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, kTol);
+  EXPECT_NEAR(stat.standard_error(), std::sqrt(32.0 / 7.0 / 8.0), kTol);
+  // Batch-computed central moments as the reference.
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) {
+    m2 += (x - 5) * (x - 5);
+    m3 += (x - 5) * (x - 5) * (x - 5);
+    m4 += (x - 5) * (x - 5) * (x - 5) * (x - 5);
+  }
+  double n = 8.0;
+  EXPECT_NEAR(stat.skewness(), std::sqrt(n) * m3 / std::pow(m2, 1.5), 1e-9);
+  EXPECT_NEAR(stat.excess_kurtosis(), n * m4 / (m2 * m2) - 3.0, 1e-9);
+}
+
+TEST(VerifyRunningStatTest, GaussianMomentsConverge) {
+  util::Rng rng(11);
+  util::RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.Gaussian(3.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+  EXPECT_NEAR(stat.skewness(), 0.0, 0.1);
+  EXPECT_NEAR(stat.excess_kurtosis(), 0.0, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict functions: each must pass on a true null and fail on a planted
+// effect (pass/fail canaries for the harness itself).
+// ---------------------------------------------------------------------------
+
+TEST(VerifyVerdictTest, MeanZTestPassAndFail) {
+  util::Rng rng(21);
+  util::RunningStat centered, shifted;
+  for (int i = 0; i < 4000; ++i) {
+    double x = rng.Gaussian(10.0, 1.0);
+    centered.Add(x);
+    shifted.Add(x + 0.5);  // 0.5 sigma shift: ~31 sigma on the mean.
+  }
+  EXPECT_STAT_PASS(verify::MeanZTest(centered, 10.0, verify::DefaultAlpha()));
+  EXPECT_STAT_FAIL(verify::MeanZTest(shifted, 10.0, verify::DefaultAlpha()));
+  // The guard band turns the failure back into a pass.
+  EXPECT_STAT_PASS(verify::MeanZTest(shifted, 10.0, verify::DefaultAlpha(),
+                                     /*bias_tolerance=*/0.6));
+  EXPECT_STAT_PASS(verify::MeanTTest(centered, 10.0, verify::DefaultAlpha()));
+  EXPECT_STAT_FAIL(verify::MeanTTest(shifted, 10.0, verify::DefaultAlpha()));
+}
+
+TEST(VerifyVerdictTest, ChiSquareGofPassAndFail) {
+  util::Rng rng(22);
+  std::vector<double> expected = {100, 200, 300, 400};
+  std::vector<double> weights = {1, 2, 3, 4};
+  std::vector<double> observed(4, 0.0);
+  std::vector<double> skewed(4, 0.0);
+  for (int i = 0; i < 10000; ++i) {
+    observed[rng.WeightedIndex(weights)] += 1.0;
+    skewed[rng.UniformIndex(4)] += 1.0;  // Uniform draws vs 1:2:3:4 null.
+  }
+  EXPECT_STAT_PASS(verify::ChiSquareGofTest(observed, expected,
+                                            verify::DefaultAlpha()));
+  EXPECT_STAT_FAIL(verify::ChiSquareGofTest(skewed, expected,
+                                            verify::DefaultAlpha()));
+}
+
+TEST(VerifyVerdictTest, ChiSquarePoolsSparseBins) {
+  // 60 tiny-expectation bins must be pooled, not produce spurious power.
+  std::vector<double> expected(60, 1.0);
+  std::vector<double> observed(60, 0.0);
+  util::Rng rng(23);
+  for (int i = 0; i < 60; ++i) observed[rng.UniformIndex(60)] += 1.0;
+  auto verdict = verify::ChiSquareGofTest(observed, expected,
+                                          verify::DefaultAlpha(),
+                                          /*min_expected=*/8.0);
+  EXPECT_STAT_PASS(verdict);
+}
+
+TEST(VerifyVerdictTest, KsTwoSamplePassAndFail) {
+  util::Rng rng(24);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 3000; ++i) {
+    a.push_back(rng.Gaussian(0.0, 1.0));
+    b.push_back(rng.Gaussian(0.0, 1.0));
+    c.push_back(rng.Gaussian(0.8, 1.0));
+  }
+  EXPECT_STAT_PASS(verify::KsTwoSampleTest(a, b, verify::DefaultAlpha()));
+  EXPECT_STAT_FAIL(verify::KsTwoSampleTest(a, c, verify::DefaultAlpha()));
+}
+
+TEST(VerifyVerdictTest, CoverageAtLeastPassAndFail) {
+  // 940 / 1000 covered at nominal 0.95: within binomial noise at 5.5 sigma.
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(940, 1000, 0.95,
+                                               verify::DefaultAlpha()));
+  // Over-coverage always passes (conservative CIs are by design).
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(1000, 1000, 0.95,
+                                               verify::DefaultAlpha()));
+  // 700 / 1000 at nominal 0.95 is a calibration failure.
+  EXPECT_STAT_FAIL(verify::CoverageAtLeastTest(700, 1000, 0.95,
+                                               verify::DefaultAlpha()));
+}
+
+TEST(VerifyVerdictTest, InverseVarianceSlopePassAndFail) {
+  std::vector<double> sizes = {8, 16, 32, 64, 128};
+  std::vector<double> decaying, constant;
+  for (double m : sizes) {
+    decaying.push_back(100.0 / m);  // Exact 1/m decay.
+    constant.push_back(100.0);      // No decay at all.
+  }
+  EXPECT_STAT_PASS(verify::InverseVarianceSlopeTest(
+      sizes, decaying, /*replicates_per_point=*/500, verify::DefaultAlpha()));
+  EXPECT_STAT_FAIL(verify::InverseVarianceSlopeTest(
+      sizes, constant, /*replicates_per_point=*/500, verify::DefaultAlpha()));
+}
+
+TEST(VerifyVerdictTest, VerdictToStringCarriesContext) {
+  util::RunningStat stat;
+  for (int i = 0; i < 10; ++i) stat.Add(static_cast<double>(i));
+  auto verdict = verify::MeanZTest(stat, 4.5, verify::DefaultAlpha());
+  EXPECT_NE(verdict.ToString().find(verdict.name), std::string::npos);
+  EXPECT_FALSE(verdict.detail.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Replicate plumbing
+// ---------------------------------------------------------------------------
+
+TEST(VerifyReplicateTest, SeedsAreDistinctAndStable) {
+  EXPECT_EQ(verify::ReplicateSeed(7, 0), verify::ReplicateSeed(7, 0));
+  EXPECT_NE(verify::ReplicateSeed(7, 0), verify::ReplicateSeed(7, 1));
+  EXPECT_NE(verify::ReplicateSeed(7, 0), verify::ReplicateSeed(8, 0));
+}
+
+TEST(VerifyReplicateTest, CalibrationAccumulatorCountsCoverage) {
+  verify::CalibrationAccumulator acc;
+  acc.Add(verify::EstimateSample{10.0, 9.0, 2.0});   // Covered.
+  acc.Add(verify::EstimateSample{10.0, 9.0, 0.5});   // Not covered.
+  acc.Add(verify::EstimateSample{9.0, 9.0, 0.0});    // Exact hit, covered.
+  EXPECT_EQ(acc.total(), 3u);
+  EXPECT_EQ(acc.covered(), 2u);
+  EXPECT_NEAR(acc.errors().mean(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.squared_errors().mean(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace p2paqp
