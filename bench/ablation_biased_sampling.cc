@@ -11,6 +11,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.0;  // Matching tuples live in one region.
   World world = BuildWorld(config_world);
@@ -102,7 +103,7 @@ int Run(int argc, char** argv) {
   EmitFigure(
       "Ablation: biased vs unbiased sampling at a fixed 240-peer budget",
       "COUNT, CL=0 (clustered data), errors relative to the true count",
-      table, WantCsv(argc, argv));
+      table, io);
   return 0;
 }
 

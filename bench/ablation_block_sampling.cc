@@ -14,6 +14,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   util::AsciiTable table({"local_layout", "mode", "error", "phase2_peers",
                           "sample_tuples"});
   for (bool sorted_layout : {true, false}) {
@@ -68,7 +69,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Ablation: uniform vs block-level local sub-sampling",
              "COUNT, selectivity=30%, t=25, block=25, required accuracy=0.10",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

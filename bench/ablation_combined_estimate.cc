@@ -11,6 +11,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   World world = BuildWorld(config_world);
@@ -71,7 +72,7 @@ int Run(int argc, char** argv) {
   EmitFigure(
       "Ablation: phase-II-only vs combined (phase I + II) estimation",
       "COUNT, selectivity=30%, CL=0.25, Z=0.2, j=10, 25 runs per cell",
-      table, WantCsv(argc, argv));
+      table, io);
   return 0;
 }
 

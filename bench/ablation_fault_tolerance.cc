@@ -15,6 +15,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   World world = BuildWorld(config_world);
@@ -86,7 +87,7 @@ int Run(int argc, char** argv) {
       "Ablation: fault tolerance (drop rate x mid-query churn)",
       "COUNT, selectivity=30%, CL=0.25, j=10, required accuracy=0.10, "
       "2 reply retransmits, quorum=0.25",
-      table, WantCsv(argc, argv));
+      table, io);
   return 0;
 }
 

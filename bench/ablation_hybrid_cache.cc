@@ -10,6 +10,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   // Moderate size so revisits are common within a short query stream.
   config_world.num_peers = 2000;
@@ -65,7 +66,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Ablation: hybrid cached sampling over a repeated-query stream",
              "COUNT, selectivity=30%, 2000 peers, cache TTL=100 epochs",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

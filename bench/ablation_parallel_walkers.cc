@@ -11,6 +11,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   World world = BuildWorld(config_world);
@@ -65,7 +66,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Ablation: parallel walkers vs end-to-end latency",
              "COUNT, selectivity=30%, CL=0.25, j=10, required accuracy=0.10",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

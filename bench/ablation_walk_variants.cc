@@ -57,6 +57,7 @@ VariantResult RunVariant(World& world, sampling::PeerSampler& sampler,
 }
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   World world = BuildWorld(config_world);
@@ -106,7 +107,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Ablation: walk variants at a fixed 200-peer budget",
              "COUNT, selectivity=30%, CL=0.25, Z=0.2", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

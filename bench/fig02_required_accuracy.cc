@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig synthetic;
   synthetic.kind = WorldKind::kSynthetic;
   synthetic.cluster_level = 0.25;
@@ -39,7 +40,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 2: Required Accuracy vs Error % (COUNT)",
              "CL=0.25, Z=0.2, j=10, selectivity=30%", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

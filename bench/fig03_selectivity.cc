@@ -10,6 +10,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig synthetic;
   synthetic.cluster_level = 0.25;
   synthetic.skew = 0.2;
@@ -34,7 +35,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 3: Selectivity vs Error % (COUNT)",
              "required accuracy=0.10, Z=0.2, j=10", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   config_world.skew = 0.2;
@@ -37,7 +38,7 @@ int Run(int argc, char** argv) {
       "(synthetic)",
       "peers=10000, edges=100000, tuples/peer=50, CL=0.25, Z=0.2, j=10, "
       "selectivity=30%",
-      table, WantCsv(argc, argv));
+      table, io);
   return 0;
 }
 

@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.kind = WorldKind::kGnutella;
   config_world.cluster_level = 0.25;
@@ -38,7 +39,7 @@ int Run(int argc, char** argv) {
       "(Gnutella)",
       "peers=22556, edges=52321, tuples/peer=50, CL=0.25, Z=0.2, j=10, "
       "selectivity=30%",
-      table, WantCsv(argc, argv));
+      table, io);
   return 0;
 }
 

@@ -10,6 +10,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.cluster_level = 0.25;
   config_world.skew = 0.2;
@@ -34,7 +35,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 6: Samples per Peer vs Error %",
              "peers=10000, edges=100000, required accuracy=0.10, Z=0.2, j=10",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

@@ -20,6 +20,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   WorldConfig config_world;
   config_world.num_subgraphs = 2;
   config_world.cut_edges = 1000;
@@ -62,7 +63,7 @@ int Run(int argc, char** argv) {
   EmitFigure("Figure 7: Required Accuracy vs Error % (walk vs BFS vs DFS)",
              "CL=0.25, Z=0.2, peers=10000, edges=100000, j=10, "
              "sub-graphs=2, cut-size=1000",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kCount;
   base.selectivity = 0.30;
@@ -23,7 +24,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 8: Clustering vs Error % (COUNT)",
              "required accuracy=0.10, Z=0.2, j=10, selectivity=30%", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kCount;
   base.selectivity = 0.30;
@@ -27,7 +28,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 9: Clustering vs Sample Size (COUNT)",
              "required accuracy=0.10, Z=0.2, j=10, selectivity=30%", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

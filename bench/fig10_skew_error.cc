@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kCount;
   // Fixed range predicate across the skew sweep (the paper's setup): as Z
@@ -30,7 +31,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 10: Skew vs Error % (COUNT)",
              "required accuracy=0.10, CL=0.25, j=10, selectivity=30%", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

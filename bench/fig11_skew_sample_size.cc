@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kCount;
   // Fixed range predicate across the skew sweep (the paper's setup): as Z
@@ -33,7 +34,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 11: Skew vs Sample Size (COUNT)",
              "required accuracy=0.10, CL=0.25, j=10, selectivity=30%", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

@@ -11,6 +11,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   util::AsciiTable table({"cut_size", "jump_size", "error", "sample_size"});
   for (size_t cut : {size_t{10}, size_t{1000}, size_t{10000}}) {
     WorldConfig config_world;
@@ -38,7 +39,7 @@ int Run(int argc, char** argv) {
   EmitFigure("Figure 12: Cut Size vs Jump Size vs Error % (SUM)",
              "peers=10000, required accuracy=0.10, Z=0.2, sub-graphs=2, "
              "CL=0",
-             table, WantCsv(argc, argv));
+             table, io);
   return 0;
 }
 

@@ -7,6 +7,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kSum;
   base.selectivity = 1.0;
@@ -25,7 +26,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 14: Clustering vs Sample Size (SUM)",
              "Z=0.2, required accuracy=0.10, j=10, selectivity=1.0", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

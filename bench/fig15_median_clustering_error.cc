@@ -9,6 +9,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kMedian;
   base.selectivity = 1.0;
@@ -23,7 +24,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 15: Clustering vs Error % (MEDIAN)",
              "Z=0.2, required accuracy=0.10, j=10", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

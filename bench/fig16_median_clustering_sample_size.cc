@@ -8,6 +8,7 @@ namespace p2paqp::bench {
 namespace {
 
 int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
   RunConfig base;
   base.op = query::AggregateOp::kMedian;
   base.selectivity = 1.0;
@@ -26,7 +27,7 @@ int Run(int argc, char** argv) {
   }
   EmitFigure("Figure 16: Clustering vs Sample Size (MEDIAN)",
              "Z=0.2, required accuracy=0.10, j=10", table,
-             WantCsv(argc, argv));
+             io);
   return 0;
 }
 

@@ -1,11 +1,17 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/parallel.h"
 
 namespace p2paqp::bench {
 
@@ -14,6 +20,34 @@ namespace {
 size_t Scaled(size_t value, double scale, size_t floor_value) {
   auto scaled = static_cast<size_t>(static_cast<double>(value) * scale);
   return std::max(scaled, floor_value);
+}
+
+// Process-wide telemetry across every RunExperiment/RunBaselineExperiment in
+// the binary, dumped into BENCH_<name>.json by EmitFigure when --json (or
+// P2PAQP_BENCH_JSON) is set. Mutex-guarded because sweeps record from
+// parallel workers.
+struct BenchTelemetry {
+  std::mutex mu;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  size_t experiments = 0;
+  double messages = 0.0;
+  double bytes = 0.0;
+  double peers_visited = 0.0;
+};
+
+BenchTelemetry& Telemetry() {
+  static BenchTelemetry* t = new BenchTelemetry;
+  return *t;
+}
+
+void RecordRunTelemetry(const RunStats& stats) {
+  BenchTelemetry& t = Telemetry();
+  std::lock_guard<std::mutex> lock(t.mu);
+  ++t.experiments;
+  t.messages += stats.mean_messages;
+  t.bytes += stats.mean_bytes;
+  t.peers_visited += stats.mean_peers_visited;
 }
 
 }  // namespace
@@ -88,39 +122,84 @@ double NormalizedError(const World& world, const query::AggregateQuery& query,
 
 namespace {
 
-RunStats RunWithEngine(World& world, const RunConfig& config,
-                       core::TwoPhaseEngine& engine) {
+// One repetition's measurements, recorded into its own slot so the parallel
+// repetitions reduce deterministically in rep order afterwards.
+struct RepOutcome {
+  bool ok = false;
+  double error = 0.0;
+  double sample_tuples = 0.0;
+  double phase2_peers = 0.0;
+  double peers_visited = 0.0;
+  double messages = 0.0;
+  double bytes = 0.0;
+  double latency_ms = 0.0;
+};
+
+// Builds the engine for one repetition against that repetition's own cloned
+// network (engines hold a network pointer, so they cannot be shared).
+using EngineFactory = std::function<std::unique_ptr<core::TwoPhaseEngine>(
+    net::SimulatedNetwork* network)>;
+
+// Seed for the per-repetition network clone (latency jitter stream). Distinct
+// from the per-repetition query RNG below so neither perturbs the other.
+uint64_t RepNetworkSeed(uint64_t base_seed, size_t rep) {
+  return util::MixSeed(base_seed ^
+                       (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(rep) + 1)));
+}
+
+RunStats RunWithEngine(const World& world, const RunConfig& config,
+                       const EngineFactory& make_engine) {
   query::AggregateQuery query;
   query.op = config.op;
   query.predicate = ResolvePredicate(world, config);
   query.required_error = config.required_error;
 
+  // Repetitions are independent by construction: each runs against its own
+  // CloneWorld with seeds derived only from (base_seed, rep). Slots +
+  // serial reduction keep the result bit-identical for any thread count.
+  std::vector<RepOutcome> outcomes = util::ParallelMap(
+      config.repetitions, [&](size_t rep) -> RepOutcome {
+        World rep_world =
+            CloneWorld(world, RepNetworkSeed(config.base_seed, rep));
+        std::unique_ptr<core::TwoPhaseEngine> engine =
+            make_engine(&rep_world.network);
+        util::Rng rng(config.base_seed + rep * 1099511628211ULL);
+        auto sink = static_cast<graph::NodeId>(
+            rng.UniformIndex(rep_world.network.num_peers()));
+        while (!rep_world.network.IsAlive(sink)) {
+          sink = static_cast<graph::NodeId>(
+              rng.UniformIndex(rep_world.network.num_peers()));
+        }
+        auto answer = engine->Execute(query, sink, rng);
+        RepOutcome out;
+        if (!answer.ok()) return out;
+        out.ok = true;
+        out.error = NormalizedError(world, query, answer->estimate);
+        out.sample_tuples = static_cast<double>(answer->sample_tuples);
+        out.phase2_peers = static_cast<double>(answer->phase2_peers);
+        out.peers_visited = static_cast<double>(answer->cost.peers_visited);
+        out.messages = static_cast<double>(answer->cost.messages);
+        out.bytes = static_cast<double>(answer->cost.bytes_shipped);
+        out.latency_ms = answer->cost.latency_ms;
+        return out;
+      });
+
   RunStats stats;
   double error_sum = 0.0;
   size_t successes = 0;
-  for (size_t rep = 0; rep < config.repetitions; ++rep) {
-    util::Rng rng(config.base_seed + rep * 1099511628211ULL);
-    auto sink = static_cast<graph::NodeId>(
-        rng.UniformIndex(world.network.num_peers()));
-    while (!world.network.IsAlive(sink)) {
-      sink = static_cast<graph::NodeId>(
-          rng.UniformIndex(world.network.num_peers()));
-    }
-    auto answer = engine.Execute(query, sink, rng);
-    if (!answer.ok()) {
+  for (const RepOutcome& out : outcomes) {
+    if (!out.ok) {
       ++stats.failures;
       continue;
     }
-    double error = NormalizedError(world, query, answer->estimate);
-    error_sum += error;
-    stats.max_error = std::max(stats.max_error, error);
-    stats.mean_sample_tuples += static_cast<double>(answer->sample_tuples);
-    stats.mean_phase2_peers += static_cast<double>(answer->phase2_peers);
-    stats.mean_peers_visited +=
-        static_cast<double>(answer->cost.peers_visited);
-    stats.mean_messages += static_cast<double>(answer->cost.messages);
-    stats.mean_bytes += static_cast<double>(answer->cost.bytes_shipped);
-    stats.mean_latency_ms += answer->cost.latency_ms;
+    error_sum += out.error;
+    stats.max_error = std::max(stats.max_error, out.error);
+    stats.mean_sample_tuples += out.sample_tuples;
+    stats.mean_phase2_peers += out.phase2_peers;
+    stats.mean_peers_visited += out.peers_visited;
+    stats.mean_messages += out.messages;
+    stats.mean_bytes += out.bytes;
+    stats.mean_latency_ms += out.latency_ms;
     ++successes;
   }
   if (successes > 0) {
@@ -133,6 +212,7 @@ RunStats RunWithEngine(World& world, const RunConfig& config,
     stats.mean_bytes /= n;
     stats.mean_latency_ms /= n;
   }
+  RecordRunTelemetry(stats);
   return stats;
 }
 
@@ -252,58 +332,70 @@ query::RangePredicate ResolvePredicate(const World& world,
   return query::PredicateForSelectivity(*zipf, 1, config.selectivity);
 }
 
-RunStats RunExperiment(World& world, const RunConfig& config) {
-  core::TwoPhaseEngine engine(&world.network, CatalogFor(world, config),
-                              MakeEngineParams(config));
-  return RunWithEngine(world, config, engine);
+World CloneWorld(const World& world, uint64_t network_seed) {
+  return World{world.network.Clone(network_seed), world.catalog,
+               world.zipf_skew, world.total_tuples, world.total_sum};
 }
 
-RunStats RunBaselineExperiment(World& world, const RunConfig& config,
+RunStats RunExperiment(const World& world, const RunConfig& config) {
+  core::SystemCatalog catalog = CatalogFor(world, config);
+  core::EngineParams params = MakeEngineParams(config);
+  return RunWithEngine(world, config, [&](net::SimulatedNetwork* network) {
+    return std::make_unique<core::TwoPhaseEngine>(network, catalog, params);
+  });
+}
+
+RunStats RunBaselineExperiment(const World& world, const RunConfig& config,
                                core::BaselineKind baseline) {
-  auto engine =
-      core::MakeBaselineEngine(&world.network, CatalogFor(world, config),
-                               MakeEngineParams(config), baseline);
-  return RunWithEngine(world, config, *engine);
+  core::SystemCatalog catalog = CatalogFor(world, config);
+  core::EngineParams params = MakeEngineParams(config);
+  return RunWithEngine(world, config, [&](net::SimulatedNetwork* network) {
+    return core::MakeBaselineEngine(network, catalog, params, baseline);
+  });
 }
 
-std::vector<SweepRow> SweepClusterLevel(const std::vector<double>& levels,
-                                        const RunConfig& base) {
-  std::vector<SweepRow> rows;
-  for (double level : levels) {
-    WorldConfig synthetic;
-    synthetic.cluster_level = level;
-    synthetic.skew = 0.2;
+namespace {
+
+// Shared driver for the CL/skew sweeps: the points are independent (each
+// builds its own pair of worlds from a fixed seed), so they run through
+// ParallelMap and land in x order regardless of completion order.
+std::vector<SweepRow> RunSweep(
+    const std::vector<double>& xs, const RunConfig& base,
+    const std::function<WorldConfig(double)>& synthetic_config) {
+  return util::ParallelMap(xs.size(), [&](size_t i) {
+    WorldConfig synthetic = synthetic_config(xs[i]);
     WorldConfig gnutella = synthetic;
     gnutella.kind = WorldKind::kGnutella;
     World world_s = BuildWorld(synthetic);
     World world_g = BuildWorld(gnutella);
     SweepRow row;
-    row.x = level;
+    row.x = xs[i];
     row.synthetic = RunExperiment(world_s, base);
     row.gnutella = RunExperiment(world_g, base);
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
+}
+
+}  // namespace
+
+std::vector<SweepRow> SweepClusterLevel(const std::vector<double>& levels,
+                                        const RunConfig& base) {
+  return RunSweep(levels, base, [](double level) {
+    WorldConfig synthetic;
+    synthetic.cluster_level = level;
+    synthetic.skew = 0.2;
+    return synthetic;
+  });
 }
 
 std::vector<SweepRow> SweepSkew(const std::vector<double>& skews,
                                 const RunConfig& base) {
-  std::vector<SweepRow> rows;
-  for (double skew : skews) {
+  return RunSweep(skews, base, [](double skew) {
     WorldConfig synthetic;
     synthetic.cluster_level = 0.25;
     synthetic.skew = skew;
-    WorldConfig gnutella = synthetic;
-    gnutella.kind = WorldKind::kGnutella;
-    World world_s = BuildWorld(synthetic);
-    World world_g = BuildWorld(gnutella);
-    SweepRow row;
-    row.x = skew;
-    row.synthetic = RunExperiment(world_s, base);
-    row.gnutella = RunExperiment(world_g, base);
-    rows.push_back(row);
-  }
-  return rows;
+    return synthetic;
+  });
 }
 
 bool WantCsv(int argc, char** argv) {
@@ -311,6 +403,23 @@ bool WantCsv(int argc, char** argv) {
     if (std::strcmp(argv[i], "--csv") == 0) return true;
   }
   return false;
+}
+
+BenchIo ParseBenchIo(int argc, char** argv) {
+  Telemetry();  // Start the wall clock before any work happens.
+  BenchIo io;
+  io.csv = WantCsv(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) io.json = true;
+  }
+  const char* env = std::getenv("P2PAQP_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0') io.json = true;
+  if (argc > 0 && argv[0] != nullptr) {
+    const char* base = std::strrchr(argv[0], '/');
+    io.name = base != nullptr ? base + 1 : argv[0];
+  }
+  if (io.name.empty()) io.name = "bench";
+  return io;
 }
 
 void EmitFigure(const std::string& title, const std::string& setup,
@@ -325,6 +434,39 @@ void EmitFigure(const std::string& title, const std::string& setup,
               ScaleFactor());
   std::fputs(table.ToString().c_str(), stdout);
   std::fputs("\n", stdout);
+}
+
+void EmitFigure(const std::string& title, const std::string& setup,
+                const util::AsciiTable& table, const BenchIo& io) {
+  EmitFigure(title, setup, table, io.csv);
+  if (!io.json) return;
+  BenchTelemetry& t = Telemetry();
+  std::lock_guard<std::mutex> lock(t.mu);
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t.start)
+                      .count();
+  double n = t.experiments > 0 ? static_cast<double>(t.experiments) : 1.0;
+  std::string path = "BENCH_" + io.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"%s\",\n"
+               "  \"wall_time_s\": %.6f,\n"
+               "  \"threads\": %zu,\n"
+               "  \"scale\": %.4f,\n"
+               "  \"experiments\": %zu,\n"
+               "  \"mean_messages\": %.3f,\n"
+               "  \"mean_bytes\": %.3f,\n"
+               "  \"mean_peers_visited\": %.3f\n"
+               "}\n",
+               io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
+               t.experiments, t.messages / n, t.bytes / n,
+               t.peers_visited / n);
+  std::fclose(f);
 }
 
 }  // namespace p2paqp::bench

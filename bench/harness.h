@@ -67,6 +67,12 @@ struct World {
 // misconfiguration (benchmarks only).
 World BuildWorld(const WorldConfig& config);
 
+// Deep copy with the network RNG re-seeded from `network_seed` (see
+// net::SimulatedNetwork::Clone). Every experiment repetition runs against
+// its own clone, which is what makes repetitions independent (no cost/RNG
+// bleed between reps) and safe to execute in parallel.
+World CloneWorld(const World& world, uint64_t network_seed);
+
 // Scale factor from the environment (default 1.0).
 double ScaleFactor();
 
@@ -110,8 +116,12 @@ struct RunStats {
 // averages, like Sec. 5.5 ("five independent experiments and averaged").
 // The engine is the paper's random-walk engine; `baseline` switches to the
 // BFS/DFS baselines for Fig. 7.
-RunStats RunExperiment(World& world, const RunConfig& config);
-RunStats RunBaselineExperiment(World& world, const RunConfig& config,
+//
+// Repetitions run through util::ParallelFor (P2PAQP_THREADS), each against
+// its own CloneWorld — results are bit-identical for any thread count and
+// `world` itself is never mutated.
+RunStats RunExperiment(const World& world, const RunConfig& config);
+RunStats RunBaselineExperiment(const World& world, const RunConfig& config,
                                core::BaselineKind baseline);
 
 // Resolves the predicate for a run (explicit predicate wins; otherwise the
@@ -137,11 +147,13 @@ struct SweepRow {
 };
 
 // Rebuilds both worlds at each cluster level and runs `base` on them.
+// Sweep points run in parallel (each builds its own pair of worlds).
 std::vector<SweepRow> SweepClusterLevel(const std::vector<double>& levels,
                                         const RunConfig& base);
 
 // Rebuilds both worlds at each skew and runs `base` on them (the predicate
-// is re-resolved per skew so the target selectivity stays fixed).
+// is re-resolved per skew so the target selectivity stays fixed). Sweep
+// points run in parallel.
 std::vector<SweepRow> SweepSkew(const std::vector<double>& skews,
                                 const RunConfig& base);
 
@@ -152,9 +164,28 @@ std::vector<SweepRow> SweepSkew(const std::vector<double>& skews,
 // True if argv contains --csv.
 bool WantCsv(int argc, char** argv);
 
+// Parsed benchmark I/O options. `json` (from --json or a non-empty
+// P2PAQP_BENCH_JSON environment variable) makes EmitFigure also write
+// BENCH_<name>.json — machine-readable perf telemetry (wall time, mean
+// messages/bytes/peers visited across every RunExperiment in the binary,
+// thread count, scale factor) so the perf trajectory is tracked run over
+// run (see docs/PERFORMANCE.md).
+struct BenchIo {
+  bool csv = false;
+  bool json = false;
+  std::string name;  // basename(argv[0]); names the BENCH_ file.
+};
+
+// Parses --csv/--json and starts the binary's wall-time clock.
+BenchIo ParseBenchIo(int argc, char** argv);
+
 // Prints the figure banner + the table (ASCII or CSV).
 void EmitFigure(const std::string& title, const std::string& setup,
                 const util::AsciiTable& table, bool csv);
+
+// As above, and writes BENCH_<io.name>.json when io.json is set.
+void EmitFigure(const std::string& title, const std::string& setup,
+                const util::AsciiTable& table, const BenchIo& io);
 
 }  // namespace p2paqp::bench
 

@@ -1,8 +1,19 @@
 // google-benchmark micro-benchmarks of the library's hot paths: walker
 // hops, local execution, estimation and topology/data generation.
+//
+// `--json` (or a non-empty P2PAQP_BENCH_JSON) writes the full google-benchmark
+// JSON report to BENCH_micro_benchmarks.json in the working directory, the
+// same convention the figure binaries use for their telemetry files.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/aqp.h"
+#include "util/alias_table.h"
+#include "util/parallel.h"
 
 namespace p2paqp {
 namespace {
@@ -95,6 +106,34 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample);
 
+std::vector<double> BenchWeights(size_t n) {
+  util::Rng rng(11);
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (size_t i = 0; i < n; ++i) weights.push_back(rng.UniformDouble(0.1, 10.0));
+  return weights;
+}
+
+// Linear-scan weighted draw (O(n) per draw) vs. the Walker alias table
+// (O(1) per draw) over the same weight vector.
+void BM_WeightedIndexLinear(benchmark::State& state) {
+  std::vector<double> weights = BenchWeights(static_cast<size_t>(state.range(0)));
+  util::Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.WeightedIndex(weights));
+  }
+}
+BENCHMARK(BM_WeightedIndexLinear)->Arg(100)->Arg(1000);
+
+void BM_WeightedIndexAlias(benchmark::State& state) {
+  util::AliasTable table(BenchWeights(static_cast<size_t>(state.range(0))));
+  util::Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.WeightedIndex(table));
+  }
+}
+BENCHMARK(BM_WeightedIndexAlias)->Arg(100)->Arg(1000);
+
 void BM_BuildPowerLawGraph(benchmark::State& state) {
   auto n = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
@@ -126,4 +165,37 @@ BENCHMARK(BM_EndToEndCountQuery);
 }  // namespace
 }  // namespace p2paqp
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the repo's --json/P2PAQP_BENCH_JSON convention:
+// inject the google-benchmark JSON reporter flags and record the parallel
+// layer's thread count and the world scale in the report context.
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* env = std::getenv("P2PAQP_BENCH_JSON");
+  if (env != nullptr && env[0] != '\0') json = true;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      continue;  // Not a google-benchmark flag; consume it here.
+    }
+    args.push_back(argv[i]);
+  }
+  static std::string out_flag =
+      "--benchmark_out=BENCH_micro_benchmarks.json";
+  static std::string format_flag = "--benchmark_out_format=json";
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  benchmark::AddCustomContext(
+      "p2paqp_threads", std::to_string(p2paqp::util::ParallelThreads()));
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

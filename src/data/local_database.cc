@@ -36,22 +36,46 @@ double LocalDatabase::MedianValue() const {
   return (static_cast<double>(values[mid - 1]) + upper) / 2.0;
 }
 
+std::vector<std::pair<size_t, size_t>> LocalDatabase::SampleBlockSpans(
+    size_t k, size_t block_size, util::Rng& rng) const {
+  P2PAQP_CHECK_GT(block_size, 0u);
+  std::vector<std::pair<size_t, size_t>> spans;
+  if (k >= tuples_.size()) {
+    if (!tuples_.empty()) spans.emplace_back(0, tuples_.size());
+    return spans;
+  }
+  size_t num_blocks = (tuples_.size() + block_size - 1) / block_size;
+  size_t want_blocks = std::min(num_blocks, (k + block_size - 1) / block_size);
+  spans.reserve(want_blocks);
+  for (size_t block : rng.SampleIndices(num_blocks, want_blocks)) {
+    size_t begin = block * block_size;
+    size_t end = std::min(begin + block_size, tuples_.size());
+    spans.emplace_back(begin, end);
+  }
+  return spans;
+}
+
 Table LocalDatabase::SampleBlockLevel(size_t k, size_t block_size,
                                       util::Rng& rng) const {
   P2PAQP_CHECK_GT(block_size, 0u);
   if (k >= tuples_.size()) return tuples_;
-  size_t num_blocks = (tuples_.size() + block_size - 1) / block_size;
-  size_t want_blocks =
-      std::min(num_blocks, (k + block_size - 1) / block_size);
   Table out;
-  out.reserve(want_blocks * block_size);
-  for (size_t block : rng.SampleIndices(num_blocks, want_blocks)) {
-    size_t begin = block * block_size;
-    size_t end = std::min(begin + block_size, tuples_.size());
+  out.reserve(((k + block_size - 1) / block_size) * block_size);
+  for (auto [begin, end] : SampleBlockSpans(k, block_size, rng)) {
     out.insert(out.end(), tuples_.begin() + static_cast<ptrdiff_t>(begin),
                tuples_.begin() + static_cast<ptrdiff_t>(end));
   }
   return out;
+}
+
+std::vector<size_t> LocalDatabase::SampleTupleIndices(size_t k,
+                                                      util::Rng& rng) const {
+  if (k >= tuples_.size()) {
+    std::vector<size_t> all(tuples_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  return rng.SampleIndices(tuples_.size(), k);
 }
 
 Table LocalDatabase::Sample(size_t k, util::Rng& rng) const {

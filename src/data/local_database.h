@@ -3,6 +3,7 @@
 #define P2PAQP_DATA_LOCAL_DATABASE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "data/tuple.h"
@@ -39,6 +40,15 @@ class LocalDatabase {
   // Uniform sample of min(k, size()) tuples without replacement.
   Table Sample(size_t k, util::Rng& rng) const;
 
+  // Index-based variant of Sample(): the positions of min(k, size()) tuples
+  // chosen uniformly without replacement, for callers that scan in place
+  // instead of materializing a copied Table (the per-visit hot path in
+  // query::ExecuteLocal). Consumes the identical RNG stream as Sample(), so
+  // swapping between the two never perturbs seeded runs. When k >= size()
+  // the identity [0, size()) is returned and no randomness is consumed,
+  // matching Sample()'s copy-everything short-circuit.
+  std::vector<size_t> SampleTupleIndices(size_t k, util::Rng& rng) const;
+
   // Block-level sample (Sec. 4: "sub-sampling can be more efficient than
   // scanning the entire local database — e.g., by block-level sampling in
   // which only a small number of disk blocks are retrieved"): the table is
@@ -47,6 +57,14 @@ class LocalDatabase {
   // Cheaper I/O, but intra-block correlation raises estimator variance —
   // which the engine's cross-validation then pays for in extra peers.
   Table SampleBlockLevel(size_t k, size_t block_size, util::Rng& rng) const;
+
+  // Span-based variant of SampleBlockLevel(): the sampled blocks as
+  // [begin, end) index ranges into tuples(), preserving block semantics
+  // (whole blocks, same draw order, same RNG stream) without copying any
+  // tuples. When k >= size() a single all-covering span is returned and no
+  // randomness is consumed.
+  std::vector<std::pair<size_t, size_t>> SampleBlockSpans(
+      size_t k, size_t block_size, util::Rng& rng) const;
 
  private:
   Table tuples_;

@@ -34,6 +34,15 @@ util::Result<SimulatedNetwork> SimulatedNetwork::Make(
                           std::move(rng));
 }
 
+SimulatedNetwork SimulatedNetwork::Clone(uint64_t seed) const {
+  SimulatedNetwork copy(graph_, peers_, params_, util::Rng(seed));
+  copy.num_alive_ = num_alive_;
+  if (fault_.has_value()) {
+    copy.fault_.emplace(fault_->plan(), util::MixSeed(seed ^ 0xFA177ULL));
+  }
+  return copy;
+}
+
 const Peer& SimulatedNetwork::peer(graph::NodeId id) const {
   P2PAQP_CHECK(id < peers_.size()) << id;
   return peers_[id];

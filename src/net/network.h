@@ -41,6 +41,14 @@ class SimulatedNetwork {
   SimulatedNetwork(SimulatedNetwork&&) = default;
   SimulatedNetwork& operator=(SimulatedNetwork&&) = default;
 
+  // Deep copy for parallel replicates: same overlay, peers (identities,
+  // liveness, databases) and latency parameters, but a fresh cost tracker
+  // and an RNG re-seeded from `seed`, so clones evolve independently of the
+  // original and of each other. An installed fault plan is carried over,
+  // re-seeded from a value derived from `seed` (its counters and trace
+  // start empty). The original is never observable through a clone.
+  SimulatedNetwork Clone(uint64_t seed) const;
+
   const graph::Graph& graph() const { return graph_; }
   size_t num_peers() const { return peers_.size(); }
   size_t num_alive() const { return num_alive_; }

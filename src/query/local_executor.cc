@@ -9,37 +9,43 @@ namespace p2paqp::query {
 
 namespace {
 
-// Scans `rows` once, filling the unscaled count/sum of predicate matches.
-// Sums evaluate the query's measure expression; the all-tuples total rides
-// along for error normalization.
-void ScanRows(const data::Table& rows, const AggregateQuery& query,
-              int64_t* count, double* sum, double* total_sum) {
-  *count = 0;
-  *sum = 0.0;
-  *total_sum = 0.0;
-  for (const data::Tuple& t : rows) {
-    double measure = EvaluateExpression(query.expr, t);
-    *total_sum += measure;
-    if (query.Matches(t)) {
-      ++*count;
-      *sum += measure;
-    }
-  }
-}
-
-double QuantileOfRows(const data::Table& rows, Expression expr, double phi) {
-  if (rows.empty()) return 0.0;
+// Streaming accumulator for one local execution: count/sum of predicate
+// matches, the all-tuples total for error normalization, and the evaluated
+// measure of every processed row (quantile input). Evaluates the measure
+// expression exactly once per row — the old copy-then-rescan path evaluated
+// it twice.
+struct RowAccumulator {
+  const AggregateQuery& query;
+  int64_t count = 0;
+  double sum = 0.0;
+  double total_sum = 0.0;
   std::vector<double> values;
-  values.reserve(rows.size());
-  for (const data::Tuple& t : rows) {
-    values.push_back(EvaluateExpression(expr, t));
+
+  explicit RowAccumulator(const AggregateQuery& q, size_t expected_rows)
+      : query(q) {
+    values.reserve(expected_rows);
   }
-  auto k = static_cast<size_t>(phi * static_cast<double>(values.size()));
-  k = std::min(k, values.size() - 1);
-  std::nth_element(values.begin(),
-                   values.begin() + static_cast<ptrdiff_t>(k), values.end());
-  return values[k];
-}
+
+  void Add(const data::Tuple& t) {
+    double measure = EvaluateExpression(query.expr, t);
+    total_sum += measure;
+    if (query.Matches(t)) {
+      ++count;
+      sum += measure;
+    }
+    values.push_back(measure);
+  }
+
+  // phi-quantile of the processed rows' measures; 0 when nothing processed.
+  double Quantile(double phi) {
+    if (values.empty()) return 0.0;
+    auto k = static_cast<size_t>(phi * static_cast<double>(values.size()));
+    k = std::min(k, values.size() - 1);
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<ptrdiff_t>(k), values.end());
+    return values[k];
+  }
+};
 
 }  // namespace
 
@@ -58,34 +64,32 @@ LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
   if (db.empty()) return result;
 
   const bool subsample = t > 0 && db.size() > t;
-  double phi =
-      query.op == AggregateOp::kQuantile ? query.quantile_phi : 0.5;
-  int64_t count = 0;
-  double sum = 0.0;
-  double total_sum = 0.0;
+  double phi = query.op == AggregateOp::kQuantile ? query.quantile_phi : 0.5;
+  const data::Table& all = db.tuples();
+
+  // Scan the selected rows in place — no per-visit Table materialization.
+  // The sampled row order matches the old Sample()/SampleBlockLevel() copies
+  // exactly (same RNG stream), so accumulation is bit-identical.
+  RowAccumulator acc(query, subsample ? static_cast<size_t>(t) : all.size());
   if (!subsample) {
-    result.processed_tuples = db.size();
-    ScanRows(db.tuples(), query, &count, &sum, &total_sum);
-    result.count_value = static_cast<double>(count);
-    result.sum_value = sum;
-    result.total_sum_value = total_sum;
-    result.local_median = QuantileOfRows(db.tuples(), query.expr, phi);
-    return result;
+    for (const data::Tuple& tuple : all) acc.Add(tuple);
+  } else if (policy.mode == SubSampleMode::kBlockLevel) {
+    for (auto [begin, end] : db.SampleBlockSpans(t, policy.block_size, rng)) {
+      for (size_t i = begin; i < end; ++i) acc.Add(all[i]);
+    }
+  } else {
+    for (size_t index : db.SampleTupleIndices(t, rng)) acc.Add(all[index]);
   }
 
-  data::Table rows =
-      policy.mode == SubSampleMode::kBlockLevel
-          ? db.SampleBlockLevel(t, policy.block_size, rng)
-          : db.Sample(t, rng);
-  result.processed_tuples = rows.size();
+  result.processed_tuples = acc.values.size();
   // y(Curr) = (#tuples / #processedTuples) * result_of_Q.
-  double scale =
-      static_cast<double>(db.size()) / static_cast<double>(rows.size());
-  ScanRows(rows, query, &count, &sum, &total_sum);
-  result.count_value = static_cast<double>(count) * scale;
-  result.sum_value = sum * scale;
-  result.total_sum_value = total_sum * scale;
-  result.local_median = QuantileOfRows(rows, query.expr, phi);
+  double scale = subsample ? static_cast<double>(db.size()) /
+                                 static_cast<double>(result.processed_tuples)
+                           : 1.0;
+  result.count_value = static_cast<double>(acc.count) * scale;
+  result.sum_value = acc.sum * scale;
+  result.total_sum_value = acc.total_sum * scale;
+  result.local_median = acc.Quantile(phi);
   return result;
 }
 

@@ -1,0 +1,61 @@
+#include "util/alias_table.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace p2paqp::util {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  P2PAQP_CHECK(!weights.empty()) << "AliasTable needs at least one weight";
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    P2PAQP_CHECK(std::isfinite(w) && w >= 0.0) << w;
+    total += w;
+  }
+  P2PAQP_CHECK_GT(total, 0.0);
+
+  // Scale so the average bucket holds probability 1; buckets below 1 borrow
+  // their deficit from buckets above 1 (the classic two-stack construction).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<uint32_t>(i);
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t deficit = small.back();
+    small.pop_back();
+    uint32_t donor = large.back();
+    prob_[deficit] = scaled[deficit];
+    alias_[deficit] = donor;
+    scaled[donor] -= 1.0 - scaled[deficit];
+    if (scaled[donor] < 1.0) {
+      large.pop_back();
+      small.push_back(donor);
+    }
+  }
+  // Leftovers on either stack are exactly 1 modulo rounding; they accept
+  // themselves (prob_ already 1, alias_ already identity).
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t n = prob_.size();
+  double u = rng.UniformDouble(0.0, 1.0) * static_cast<double>(n);
+  auto bucket = static_cast<size_t>(u);
+  if (bucket >= n) bucket = n - 1;  // Guards the u == n edge after rounding.
+  double frac = u - static_cast<double>(bucket);
+  return frac < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace p2paqp::util

@@ -1,0 +1,42 @@
+// Walker's alias method for repeated draws from a fixed discrete
+// distribution: O(n) preprocessing, O(1) per draw.
+//
+// Rng::WeightedIndex is O(n) per draw (it rebuilds the prefix scan every
+// call) and ZipfGenerator's CDF search is O(log n); both are hot when every
+// generated tuple and every stationary-oracle draw goes through them. The
+// alias table trades one linear build for constant-time draws that consume
+// exactly ONE uniform double per sample, matching the CDF path's stream
+// consumption so interleaved consumers of the same Rng stay aligned.
+#ifndef P2PAQP_UTIL_ALIAS_TABLE_H_
+#define P2PAQP_UTIL_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2paqp::util {
+
+class AliasTable {
+ public:
+  // Builds the table for P(i) proportional to weights[i]. Requires a
+  // non-empty vector of finite, non-negative weights with a positive sum
+  // (CHECK-failure otherwise, mirroring Rng::WeightedIndex's contract).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  size_t size() const { return prob_.size(); }
+
+  // Index in [0, size()) with P(i) proportional to the build weights.
+  // Consumes exactly one uniform double from `rng`.
+  size_t Sample(Rng& rng) const;
+
+ private:
+  // Bucket i accepts itself with probability prob_[i], otherwise redirects
+  // to alias_[i].
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_ALIAS_TABLE_H_

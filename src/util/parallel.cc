@@ -1,0 +1,154 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace p2paqp::util {
+
+namespace {
+
+thread_local bool tls_in_parallel_worker = false;
+
+}  // namespace
+
+size_t ParallelThreads() {
+  const char* env = std::getenv("P2PAQP_THREADS");
+  if (env != nullptr) {
+    long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+bool InParallelWorker() { return tls_in_parallel_worker; }
+
+// Shared state for one Run(): workers claim indices from `next` until it
+// passes `n`, count completions in `done`, and record the lowest-indexed
+// exception under `mu`.
+struct ThreadPool::Batch {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  size_t first_error_index = std::numeric_limits<size_t>::max();
+  std::exception_ptr error;
+
+  // Claims and runs tasks until the index space is exhausted. A throwing
+  // task still counts as done — remaining tasks keep running, and the
+  // lowest-indexed exception wins, so error reporting is as deterministic
+  // as the results.
+  void Drain() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          error = std::current_exception();
+        }
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  bool AllDone() const {
+    return done.load(std::memory_order_acquire) == n;
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  P2PAQP_CHECK_GT(num_threads, 0u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_parallel_worker = true;
+  while (true) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
+      if (batch_ == nullptr) return;  // stop_ and nothing left to drain.
+      batch = batch_;
+      ++active_workers_;
+    }
+    batch->Drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Drain only returns once the index space is exhausted; stop handing
+      // the batch to late-waking workers.
+      if (batch_ == batch) batch_ = nullptr;
+      --active_workers_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    P2PAQP_CHECK(batch_ == nullptr) << "concurrent ThreadPool::Run calls";
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  // The caller drains alongside the workers, so a pool of T threads gives a
+  // parallel region T+1 lanes and small batches finish without a context
+  // switch.
+  batch.Drain();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (batch_ == &batch) batch_ = nullptr;
+    // Wait until every claimed task has finished AND no worker still holds
+    // a pointer to the (stack-allocated) batch.
+    idle_cv_.wait(lock, [&] {
+      return active_workers_ == 0 && batch.AllDone();
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const ParallelOptions& options) {
+  size_t threads = options.threads != 0 ? options.threads : ParallelThreads();
+  if (threads > n) threads = n;
+  if (threads <= 1 || InParallelWorker()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // The caller participates in the drain, so spawn one fewer worker than
+  // the requested concurrency.
+  ThreadPool pool(threads - 1);
+  pool.Run(n, fn);
+}
+
+Rng TaskRng(uint64_t base_seed, size_t index) {
+  return Rng(MixSeed(
+      base_seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(index) + 1))));
+}
+
+}  // namespace p2paqp::util

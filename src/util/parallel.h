@@ -1,0 +1,114 @@
+// Deterministic multi-core execution for replicate loops and sweeps.
+//
+// The contract: ParallelFor/ParallelMap produce results that are
+// bit-identical for ANY thread count, including 1. This works because
+//   (a) every task derives all of its randomness from its own index (use
+//       TaskRng or an explicitly index-keyed seed), never from shared state,
+//   (b) results land in a preallocated slot vector indexed by task, and
+//   (c) reductions run serially over the slots in index order on the caller.
+// Parallelism then only changes *when* a task runs, never what it computes
+// or where its result goes.
+//
+// The pool is deliberately work-stealing-free: workers claim indices from a
+// single atomic counter, so scheduling is trivial to reason about and there
+// is no per-task queue shuffling to introduce timing-dependent allocation
+// patterns. Pools are ephemeral — one per parallel region — which keeps
+// shutdown semantics obvious (the region's destructor joins everything) and
+// costs microseconds against replicate tasks that each build worlds and run
+// whole queries.
+//
+// Thread count comes from the P2PAQP_THREADS environment knob (unset or 0 =
+// std::thread::hardware_concurrency). P2PAQP_THREADS=1 preserves today's
+// exact single-threaded execution path: the loop runs inline on the caller,
+// no pool is created. Nested parallel regions (a ParallelFor issued from
+// inside a pool worker) also run inline, so sweeps-over-replicates cannot
+// deadlock or oversubscribe.
+#ifndef P2PAQP_UTIL_PARALLEL_H_
+#define P2PAQP_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace p2paqp::util {
+
+// Resolved thread-count knob: P2PAQP_THREADS if set and > 0, else
+// std::thread::hardware_concurrency() (minimum 1). Read per call, so tests
+// can flip the environment between runs.
+size_t ParallelThreads();
+
+// True while executing inside a ThreadPool worker (thread_local); nested
+// parallel regions consult this to run inline.
+bool InParallelWorker();
+
+// Fixed-size, work-stealing-free thread pool. Workers block on a condition
+// variable until Run() publishes a batch, then claim indices from an atomic
+// counter until the batch is exhausted. The destructor joins all workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Executes fn(i) for every i in [0, n), blocking until all tasks finish.
+  // If tasks throw, every remaining task still runs, and the exception from
+  // the lowest-indexed throwing task is rethrown on the caller — so error
+  // reporting is as deterministic as the results themselves.
+  void Run(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Batch;
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait here for a batch / stop.
+  std::condition_variable idle_cv_;  // Run() waits here for batch completion.
+  Batch* batch_ = nullptr;           // Current batch, guarded by mu_.
+  size_t active_workers_ = 0;        // Workers inside Drain(), guarded by mu_.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ParallelOptions {
+  // Explicit thread count; 0 defers to ParallelThreads() (the env knob).
+  size_t threads = 0;
+};
+
+// Order-independent parallel loop: fn(i) for i in [0, n). Runs inline, in
+// index order, when the resolved thread count is 1, n < 2, or the caller is
+// itself a pool worker. fn must not touch shared mutable state (see file
+// comment); exceptions propagate with lowest-index-wins selection.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 const ParallelOptions& options = {});
+
+// Slot-vector map: out[i] = fn(i), deterministic for any thread count. The
+// result type must be default-constructible (slots are preallocated).
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, const ParallelOptions& options = {})
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using T = std::invoke_result_t<Fn&, size_t>;
+  std::vector<T> out(n);
+  ParallelFor(
+      n, [&](size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+// Independent RNG stream for task `index`: the base seed is folded with a
+// golden-ratio stride and MixSeed so neighboring indices decorrelate. The
+// same (base_seed, index) pair always yields the same stream, on any thread.
+Rng TaskRng(uint64_t base_seed, size_t index);
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_PARALLEL_H_

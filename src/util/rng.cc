@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/alias_table.h"
+
 namespace p2paqp::util {
 
 uint64_t MixSeed(uint64_t seed) {
@@ -57,6 +59,10 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
     if (target < acc) return i;
   }
   return weights.size() - 1;  // Floating-point slack.
+}
+
+size_t Rng::WeightedIndex(const AliasTable& table) {
+  return table.Sample(*this);
 }
 
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {

@@ -14,6 +14,8 @@
 
 namespace p2paqp::util {
 
+class AliasTable;
+
 // Mixes a 64-bit seed (splitmix64 finalizer); used for seed derivation.
 uint64_t MixSeed(uint64_t seed);
 
@@ -46,7 +48,13 @@ class Rng {
   int64_t Geometric(double p);
 
   // Uniformly chosen element index weighted by `weights` (all >= 0, sum > 0).
+  // O(n) per draw: rebuilds the prefix scan every call. For repeated draws
+  // from the same weights, prebuild a util::AliasTable and use the overload
+  // below (O(1) per draw, same distribution).
   size_t WeightedIndex(const std::vector<double>& weights);
+
+  // O(1) weighted draw from a prebuilt alias table.
+  size_t WeightedIndex(const AliasTable& table);
 
   // Fisher-Yates shuffle of the whole container.
   template <typename T>

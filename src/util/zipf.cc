@@ -20,13 +20,16 @@ Result<ZipfGenerator> ZipfGenerator::Make(uint32_t n, double skew) {
   }
   for (double& c : cdf) c /= total;
   cdf[n - 1] = 1.0;  // Guard against accumulated rounding.
-  return ZipfGenerator(n, skew, std::move(cdf));
+  std::vector<double> pmf(n);
+  for (uint32_t v = 1; v <= n; ++v) {
+    // max() guards rounding residue from the cdf[n-1] = 1.0 clamp.
+    pmf[v - 1] = std::max(0.0, cdf[v - 1] - (v == 1 ? 0.0 : cdf[v - 2]));
+  }
+  return ZipfGenerator(n, skew, std::move(cdf), AliasTable(pmf));
 }
 
 uint32_t ZipfGenerator::Sample(Rng& rng) const {
-  double u = rng.UniformDouble(0.0, 1.0);
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<uint32_t>(it - cdf_.begin()) + 1;
+  return static_cast<uint32_t>(alias_.Sample(rng)) + 1;
 }
 
 double ZipfGenerator::Probability(uint32_t v) const {

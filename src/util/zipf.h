@@ -8,19 +8,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/alias_table.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace p2paqp::util {
 
 // Samples values v in [1, n] with P(v) proportional to 1 / v^skew.
-// Precomputes the CDF once; each draw is a binary search (O(log n)).
+// Precomputes the CDF (for Probability/Mean) plus a Walker alias table, so
+// each draw is O(1) and consumes exactly one uniform double.
 class ZipfGenerator {
  public:
   // Returns InvalidArgument for n == 0 or negative skew.
   static Result<ZipfGenerator> Make(uint32_t n, double skew);
 
-  // Next value in [1, n].
+  // Next value in [1, n]. O(1) via the alias table.
   uint32_t Sample(Rng& rng) const;
 
   uint32_t n() const { return n_; }
@@ -33,12 +35,14 @@ class ZipfGenerator {
   double Mean() const;
 
  private:
-  ZipfGenerator(uint32_t n, double skew, std::vector<double> cdf)
-      : n_(n), skew_(skew), cdf_(std::move(cdf)) {}
+  ZipfGenerator(uint32_t n, double skew, std::vector<double> cdf,
+                AliasTable alias)
+      : n_(n), skew_(skew), cdf_(std::move(cdf)), alias_(std::move(alias)) {}
 
   uint32_t n_;
   double skew_;
   std::vector<double> cdf_;  // cdf_[i] = P(value <= i + 1); cdf_[n-1] == 1.
+  AliasTable alias_;         // O(1) draws; same pmf as cdf_.
 };
 
 }  // namespace p2paqp::util

@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "util/parallel.h"
 #include "util/statistics.h"
 
 namespace p2paqp::verify {
@@ -69,13 +71,21 @@ class CalibrationAccumulator {
 
 // Runs `fn(seed, replicate_index)` -> double for each replicate and returns
 // the replicate statistics.
+//
+// Replicates execute through util::ParallelFor (the P2PAQP_THREADS knob):
+// each lands in its own slot and the RunningStat reduction runs serially in
+// replicate order on the caller, so the result is bit-identical for any
+// thread count. `fn` must be safe to call concurrently — derive all
+// randomness from the passed seed and touch only state owned by the
+// replicate (every statistical test in tests/statistical/ already does).
 template <typename Fn>
 util::RunningStat RunReplicates(size_t replicates, uint64_t base_seed,
                                 Fn&& fn) {
+  std::vector<double> results = util::ParallelMap(
+      replicates,
+      [&](size_t r) { return fn(ReplicateSeed(base_seed, r), r); });
   util::RunningStat stat;
-  for (size_t r = 0; r < replicates; ++r) {
-    stat.Add(fn(ReplicateSeed(base_seed, r), r));
-  }
+  for (double value : results) stat.Add(value);
   return stat;
 }
 

@@ -5,8 +5,9 @@
 // confidence intervals that still cover the truth after widening.
 //
 // The whole binary shares one synthetic world with an installed FaultPlan;
-// the plan's RNG evolves across replicates, which is fine — determinism is
-// per-process, and ctest always starts fresh.
+// every replicate runs against its own CloneWorld (which re-seeds the fault
+// injector from the replicate seed), so replicates are independent of each
+// other and of test execution order, and safe to run in parallel.
 #include "statistical_test_util.h"
 
 #include "gtest/gtest.h"
@@ -33,31 +34,54 @@ struct DegradedRun {
   size_t observations_lost = 0;
 };
 
+// One replicate's outputs, filled into its own slot by the parallel run.
+struct LossyOutcome {
+  verify::EstimateSample sample;
+  double normalized_error = 0.0;
+  bool degraded = false;
+  size_t observations_lost = 0;
+};
+
 DegradedRun RunLossyReplicates(size_t replicates, uint64_t base_seed) {
-  bench::World& world = LossyWorld();
+  const bench::World& world = LossyWorld();
   query::AggregateQuery query;
   query.op = query::AggregateOp::kCount;
   query.predicate = query::RangePredicate{1, 40};
   query.required_error = 0.08;
   double truth = testing::EngineTruth(world, query);
 
+  std::vector<LossyOutcome> outcomes = util::ParallelMap(
+      replicates, [&](size_t r) {
+        util::Rng rng(verify::ReplicateSeed(base_seed, r));
+        // CloneWorld re-seeds the installed fault plan from the clone seed,
+        // so each replicate sees its own independent loss pattern.
+        bench::World rep_world = bench::CloneWorld(
+            world, testing::ReplicateNetworkSeed(base_seed, r));
+        core::EngineParams params;
+        params.phase1_peers = 40;
+        params.max_phase2_peers = 250;
+        params.reply_retransmits = 0;  // Force visible loss.
+        core::TwoPhaseEngine engine(&rep_world.network, rep_world.catalog,
+                                    params);
+        auto sink = testing::RandomLiveSink(rep_world.network, rng);
+        auto answer = engine.Execute(query, sink, rng);
+        P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+        LossyOutcome out;
+        out.sample = verify::EstimateSample{answer->estimate, truth,
+                                            answer->ci_half_width_95};
+        out.normalized_error =
+            bench::NormalizedError(world, query, answer->estimate);
+        out.degraded = answer->degraded;
+        out.observations_lost = answer->observations_lost;
+        return out;
+      });
+
   DegradedRun run;
-  for (size_t r = 0; r < replicates; ++r) {
-    util::Rng rng(verify::ReplicateSeed(base_seed, r));
-    core::EngineParams params;
-    params.phase1_peers = 40;
-    params.max_phase2_peers = 250;
-    params.reply_retransmits = 0;  // Force visible loss.
-    core::TwoPhaseEngine engine(&world.network, world.catalog, params);
-    auto sink = testing::RandomLiveSink(world.network, rng);
-    auto answer = engine.Execute(query, sink, rng);
-    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
-    run.acc.Add(verify::EstimateSample{answer->estimate, truth,
-                                       answer->ci_half_width_95});
-    run.normalized_errors.Add(
-        bench::NormalizedError(world, query, answer->estimate));
-    if (answer->degraded) ++run.degraded_count;
-    run.observations_lost += answer->observations_lost;
+  for (const LossyOutcome& out : outcomes) {
+    run.acc.Add(out.sample);
+    run.normalized_errors.Add(out.normalized_error);
+    if (out.degraded) ++run.degraded_count;
+    run.observations_lost += out.observations_lost;
   }
   return run;
 }

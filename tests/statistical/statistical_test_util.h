@@ -15,6 +15,7 @@
 
 #include "harness.h"
 #include "test_common.h"
+#include "util/parallel.h"
 #include "verify/verify.h"
 
 namespace p2paqp::testing {
@@ -98,28 +99,45 @@ inline graph::NodeId RandomLiveSink(const net::SimulatedNetwork& network,
   return sink;
 }
 
+// Network-clone seed for replicate `r`: derived only from (base_seed, r) so
+// replicates are independent of each other and of execution order.
+inline uint64_t ReplicateNetworkSeed(uint64_t base_seed, size_t r) {
+  return util::MixSeed(base_seed ^
+                       (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(r) + 1)));
+}
+
 // Runs `replicates` independent engine executions (fresh seed + random live
-// sink each time) and accumulates estimate/truth/CI into the calibration
-// accumulator. Failed executions abort the test: this helper is for
-// fault-free and graceful-degradation paths that must answer.
+// sink each time, against that replicate's own CloneWorld) and accumulates
+// estimate/truth/CI into the calibration accumulator. Failed executions
+// abort the test: this helper is for fault-free and graceful-degradation
+// paths that must answer.
+//
+// Replicates run through util::ParallelMap (the P2PAQP_THREADS knob); the
+// accumulator reduction is serial in replicate order, so the result is
+// bit-identical for any thread count.
 inline verify::CalibrationAccumulator RunEngineReplicates(
-    bench::World& world, const EngineStatConfig& config) {
+    const bench::World& world, const EngineStatConfig& config) {
   query::AggregateQuery query;
   query.op = config.op;
   query.predicate = config.predicate;
   query.required_error = config.required_error;
   const double truth = EngineTruth(world, query);
 
+  std::vector<verify::EstimateSample> samples = util::ParallelMap(
+      config.replicates, [&](size_t r) {
+        util::Rng rng(verify::ReplicateSeed(config.base_seed, r));
+        bench::World rep_world = bench::CloneWorld(
+            world, ReplicateNetworkSeed(config.base_seed, r));
+        core::TwoPhaseEngine engine(&rep_world.network, rep_world.catalog,
+                                    config.params);
+        graph::NodeId sink = RandomLiveSink(rep_world.network, rng);
+        auto answer = engine.Execute(query, sink, rng);
+        P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
+        return verify::EstimateSample{answer->estimate, truth,
+                                      answer->ci_half_width_95};
+      });
   verify::CalibrationAccumulator acc;
-  for (size_t r = 0; r < config.replicates; ++r) {
-    util::Rng rng(verify::ReplicateSeed(config.base_seed, r));
-    core::TwoPhaseEngine engine(&world.network, world.catalog, config.params);
-    graph::NodeId sink = RandomLiveSink(world.network, rng);
-    auto answer = engine.Execute(query, sink, rng);
-    P2PAQP_CHECK(answer.ok()) << answer.status().ToString();
-    acc.Add(verify::EstimateSample{answer->estimate, truth,
-                                   answer->ci_half_width_95});
-  }
+  for (const verify::EstimateSample& sample : samples) acc.Add(sample);
   return acc;
 }
 

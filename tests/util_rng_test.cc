@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/alias_table.h"
 
 namespace p2paqp::util {
 namespace {
@@ -102,6 +105,70 @@ TEST(RngTest, WeightedIndexFavorsHeavyWeight) {
   }
   EXPECT_EQ(counts[1], 0);
   EXPECT_NEAR(static_cast<double>(counts[2]) / 10000.0, 0.9, 0.03);
+}
+
+TEST(AliasTableTest, MatchesWeightsExactlyForZeroWeightEntries) {
+  AliasTable table({1.0, 0.0, 9.0});
+  Rng rng(17);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[table.Sample(rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 10000.0, 0.9, 0.03);
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysDrawsIt) {
+  AliasTable table({7.5});
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, AgreesWithLinearWeightedIndex) {
+  // Same weight vector through the O(n) linear scan and the O(1) alias
+  // table: the empirical distributions must agree within sampling noise.
+  std::vector<double> weights;
+  Rng make(31);
+  for (int i = 0; i < 50; ++i) weights.push_back(make.UniformDouble(0.1, 5.0));
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  AliasTable table(weights);
+  Rng linear_rng(37);
+  Rng alias_rng(41);
+  const int kTrials = 60000;
+  std::vector<int> linear_counts(weights.size(), 0);
+  std::vector<int> alias_counts(weights.size(), 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ++linear_counts[linear_rng.WeightedIndex(weights)];
+    ++alias_counts[alias_rng.WeightedIndex(table)];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected = weights[i] / total;
+    double linear = static_cast<double>(linear_counts[i]) / kTrials;
+    double alias = static_cast<double>(alias_counts[i]) / kTrials;
+    EXPECT_NEAR(linear, expected, 0.01) << "index " << i;
+    EXPECT_NEAR(alias, expected, 0.01) << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, UniformWeightsStayUniform) {
+  AliasTable table(std::vector<double>(16, 1.0));
+  Rng rng(43);
+  std::vector<int> counts(16, 0);
+  const int kTrials = 32000;
+  for (int t = 0; t < kTrials; ++t) ++counts[table.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 1.0 / 16.0, 0.01);
+  }
+}
+
+TEST(AliasTableTest, DeterministicGivenSeed) {
+  std::vector<double> weights = {0.5, 2.0, 3.5, 1.0};
+  AliasTable table(weights);
+  Rng a(47);
+  Rng b(47);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(table.Sample(a), table.Sample(b));
 }
 
 TEST(RngTest, SampleIndicesDistinctAndInRange) {
