@@ -1,0 +1,87 @@
+// Ablation: Byzantine peers, adversary fraction x behavior.
+//
+// The estimator trusts every reply: prob(p) = deg(p)/2|E| divides by a
+// degree only the peer itself knows, and y(p) is whatever the peer ships.
+// This ablation marks a fraction of peers adversarial (net/adversary.h) and
+// compares the plain Horvitz-Thompson sink against the RobustnessPolicy
+// defenses (MAD screening + winsorized HT + degree audit + reply dedup).
+// Expected shape: plain error grows roughly linearly in the adversary
+// fraction for value/degree attacks while the robust column stays near the
+// honest row until the coalition approaches the screening breakdown point;
+// the suspected/trimmed/dupes columns show the defenses doing the work.
+#include "harness.h"
+
+namespace p2paqp::bench {
+namespace {
+
+core::RobustnessPolicy DefensePolicy() {
+  core::RobustnessPolicy policy;
+  policy.estimator = core::RobustEstimatorKind::kWinsorized;
+  policy.trim_fraction = 0.05;
+  policy.mad_cutoff = 6.0;
+  policy.degree_audit_probes = 3;
+  return policy;
+}
+
+int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
+  WorldConfig config_world;
+  config_world.cluster_level = 0.25;
+  World world = BuildWorld(config_world);
+
+  RunConfig base;
+  base.op = query::AggregateOp::kCount;
+  base.selectivity = 0.30;
+  base.required_error = 0.10;
+  base.repetitions = 9;
+
+  util::AsciiTable table({"behavior", "fraction", "plain_err", "robust_err",
+                          "suspected", "trimmed", "dupes", "lost"});
+  const net::AdversaryBehavior behaviors[] = {
+      net::AdversaryBehavior::kDegreeInflate,
+      net::AdversaryBehavior::kScale,
+      net::AdversaryBehavior::kOutlier,
+      net::AdversaryBehavior::kReplay,
+      net::AdversaryBehavior::kHijack,
+  };
+  for (net::AdversaryBehavior behavior : behaviors) {
+    for (double fraction : {0.0, 0.05, 0.10, 0.20}) {
+      net::AdversaryPlan plan = net::MakeBehaviorPlan(behavior, fraction);
+      // The plan rides the world's network; every repetition clones it with
+      // a rep-derived injector seed, so reps draw independent coalitions.
+      world.network.InstallAdversaryPlan(
+          plan, 0xB12A + static_cast<uint64_t>(fraction * 1000.0));
+
+      RunConfig plain = base;
+      RunStats plain_stats = RunExperiment(world, plain);
+      RunConfig robust = base;
+      robust.robustness = DefensePolicy();
+      RunStats robust_stats = RunExperiment(world, robust);
+
+      table.AddRow(
+          {net::AdversaryBehaviorToString(behavior),
+           util::AsciiTable::FormatPercent(fraction),
+           util::AsciiTable::FormatPercent(plain_stats.mean_error),
+           util::AsciiTable::FormatPercent(robust_stats.mean_error),
+           util::AsciiTable::FormatDouble(robust_stats.mean_suspected_peers,
+                                          1),
+           util::AsciiTable::FormatPercent(robust_stats.mean_trimmed_mass),
+           util::AsciiTable::FormatDouble(robust_stats.mean_duplicate_replies,
+                                          1),
+           util::AsciiTable::FormatDouble(
+               robust_stats.mean_observations_lost, 1)});
+    }
+    world.network.InstallAdversaryPlan(net::AdversaryPlan{}, 0);
+  }
+  EmitFigure(
+      "Ablation: Byzantine tolerance (adversary fraction x behavior)",
+      "COUNT, selectivity=30%, CL=0.25, required accuracy=0.10; robust sink: "
+      "winsorized HT (5%), MAD cutoff 6, 3 degree-audit probes, reply dedup",
+      table, io);
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp::bench
+
+int main(int argc, char** argv) { return p2paqp::bench::Run(argc, argv); }

@@ -34,6 +34,9 @@ struct BenchTelemetry {
   double messages = 0.0;
   double bytes = 0.0;
   double peers_visited = 0.0;
+  double observations_lost = 0.0;
+  double suspected_peers = 0.0;
+  double trimmed_mass = 0.0;
 };
 
 BenchTelemetry& Telemetry() {
@@ -48,6 +51,9 @@ void RecordRunTelemetry(const RunStats& stats) {
   t.messages += stats.mean_messages;
   t.bytes += stats.mean_bytes;
   t.peers_visited += stats.mean_peers_visited;
+  t.observations_lost += stats.mean_observations_lost;
+  t.suspected_peers += stats.mean_suspected_peers;
+  t.trimmed_mass += stats.mean_trimmed_mass;
 }
 
 }  // namespace
@@ -133,6 +139,10 @@ struct RepOutcome {
   double messages = 0.0;
   double bytes = 0.0;
   double latency_ms = 0.0;
+  double observations_lost = 0.0;
+  double suspected_peers = 0.0;
+  double trimmed_mass = 0.0;
+  double duplicate_replies = 0.0;
 };
 
 // Builds the engine for one repetition against that repetition's own cloned
@@ -181,6 +191,12 @@ RunStats RunWithEngine(const World& world, const RunConfig& config,
         out.messages = static_cast<double>(answer->cost.messages);
         out.bytes = static_cast<double>(answer->cost.bytes_shipped);
         out.latency_ms = answer->cost.latency_ms;
+        out.observations_lost =
+            static_cast<double>(answer->observations_lost);
+        out.suspected_peers = static_cast<double>(answer->suspected_peers);
+        out.trimmed_mass = answer->trimmed_mass;
+        out.duplicate_replies =
+            static_cast<double>(answer->duplicate_replies);
         return out;
       });
 
@@ -200,6 +216,10 @@ RunStats RunWithEngine(const World& world, const RunConfig& config,
     stats.mean_messages += out.messages;
     stats.mean_bytes += out.bytes;
     stats.mean_latency_ms += out.latency_ms;
+    stats.mean_observations_lost += out.observations_lost;
+    stats.mean_suspected_peers += out.suspected_peers;
+    stats.mean_trimmed_mass += out.trimmed_mass;
+    stats.mean_duplicate_replies += out.duplicate_replies;
     ++successes;
   }
   if (successes > 0) {
@@ -211,6 +231,10 @@ RunStats RunWithEngine(const World& world, const RunConfig& config,
     stats.mean_messages /= n;
     stats.mean_bytes /= n;
     stats.mean_latency_ms /= n;
+    stats.mean_observations_lost /= n;
+    stats.mean_suspected_peers /= n;
+    stats.mean_trimmed_mass /= n;
+    stats.mean_duplicate_replies /= n;
   }
   RecordRunTelemetry(stats);
   return stats;
@@ -228,6 +252,7 @@ core::EngineParams MakeEngineParams(const RunConfig& config) {
   // largest reported plans are ~560 peers (14k tuples at t=25). The cap
   // also bounds the jump=10000 sweeps of Figure 12.
   params.max_phase2_peers = 1600;
+  params.robustness = config.robustness;
   return params;
 }
 
@@ -461,11 +486,15 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"experiments\": %zu,\n"
                "  \"mean_messages\": %.3f,\n"
                "  \"mean_bytes\": %.3f,\n"
-               "  \"mean_peers_visited\": %.3f\n"
+               "  \"mean_peers_visited\": %.3f,\n"
+               "  \"mean_observations_lost\": %.3f,\n"
+               "  \"mean_suspected_peers\": %.3f,\n"
+               "  \"mean_trimmed_mass\": %.6f\n"
                "}\n",
                io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
-               t.peers_visited / n);
+               t.peers_visited / n, t.observations_lost / n,
+               t.suspected_peers / n, t.trimmed_mass / n);
   std::fclose(f);
 }
 

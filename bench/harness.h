@@ -98,6 +98,10 @@ struct RunConfig {
   // the paper exactly).
   size_t repetitions = 11;
   uint64_t base_seed = 7;
+  // Sink-side Byzantine defenses (default: plain HT, no audits). Adversary
+  // regimes are installed on the world's network (InstallAdversaryPlan)
+  // before running; clones carry the plan, re-seeded per repetition.
+  core::RobustnessPolicy robustness;
 };
 
 struct RunStats {
@@ -110,6 +114,11 @@ struct RunStats {
   double mean_bytes = 0.0;
   double mean_latency_ms = 0.0;
   size_t failures = 0;             // Runs that returned an error status.
+  // Robustness/degradation telemetry (0 on honest, fault-free runs).
+  double mean_observations_lost = 0.0;
+  double mean_suspected_peers = 0.0;
+  double mean_trimmed_mass = 0.0;
+  double mean_duplicate_replies = 0.0;
 };
 
 // Runs `config.repetitions` independent queries from random sinks and

@@ -29,6 +29,7 @@
 #include "core/histogram_estimator.h"
 #include "core/hybrid.h"
 #include "core/median.h"
+#include "core/robust_estimator.h"
 #include "core/two_phase.h"
 #include "data/generator.h"
 #include "data/partitioner.h"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -48,6 +49,12 @@ struct PhaseState {
   // holding a token plus replies racing back to the sink.
   size_t active_walkers = 0;
   size_t pending_replies = 0;
+  // Sink-side reply dedup: tags (peer, selection_seq) already counted this
+  // phase. Replayed/duplicated copies of a counted reply collide here and
+  // never reach the quorum logic.
+  size_t selections = 0;
+  size_t duplicates = 0;
+  std::set<std::pair<graph::NodeId, size_t>> seen;
 };
 
 }  // namespace
@@ -98,6 +105,24 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     obs.degree = network_->AliveDegree(peer);
     obs.stationary_weight = static_cast<double>(obs.degree);
     obs.aggregate = aggregate;
+    obs.selection_seq = state->selections++;
+    // Adversarial tampering happens at the sender: misreported degree,
+    // corrupted aggregates, and possibly replayed duplicate copies.
+    size_t replays = TamperObservation(network_->adversary(), &obs);
+    // One reply copy racing to the sink; the arrival event dedups on the
+    // (peer, selection_seq) tag, so only the first copy is ever counted.
+    auto deliver_reply = [&events, state](const PeerObservation& reply,
+                                          double arrival_delay) {
+      ++state->pending_replies;
+      events.ScheduleAfter(arrival_delay, [state, reply]() {
+        --state->pending_replies;
+        if (!state->seen.insert({reply.peer, reply.selection_seq}).second) {
+          ++state->duplicates;  // Replayed copy: dropped at the sink.
+          return;
+        }
+        state->observations.push_back(reply);  // Reply reached the sink.
+      });
+    };
     double delay = scan_ms;
     bool delivered = false;
     for (size_t attempt = 0; attempt <= params_.engine.reply_retransmits;
@@ -114,12 +139,22 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
         break;
       }
     }
-    if (!delivered) return;  // Observation lost; the quorum check decides.
-    ++state->pending_replies;
-    events.ScheduleAfter(delay, [state, obs]() {
-      --state->pending_replies;
-      state->observations.push_back(obs);  // Reply reached the sink.
-    });
+    if (delivered) deliver_reply(obs, delay);
+    // Replayed copies each cross the wire independently. A copy that
+    // arrives after the original is deduped; if the original was lost, the
+    // first surviving copy is accepted (indistinguishable from a
+    // retransmit).
+    for (size_t replay = 0; replay < replays; ++replay) {
+      if (!network_->IsAlive(peer) || !network_->IsAlive(sink)) break;
+      network_->cost().RecordMessage(
+          net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
+      net::FaultDecision faults = network_->ApplyFaults(
+          net::MessageType::kAggregateReply, peer, sink, peer);
+      double copy_delay =
+          delay + network_->DrawHopLatency() * 0.5 + faults.extra_latency_ms;
+      if (!faults.deliver) continue;
+      deliver_reply(obs, copy_delay);
+    }
   };
 
   // Walker loop: each invocation is one hop arriving at a new peer.
@@ -151,6 +186,11 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     --state->hops_left;
     std::vector<graph::NodeId> neighbors =
         network_->AliveNeighbors(walker->current);
+    // An adversarial token holder may forward only to colluding neighbors
+    // (walk hijack); the uniform draw below then picks among colluders.
+    if (net::AdversaryInjector* adversary = network_->adversary()) {
+      adversary->RestrictForwarding(walker->current, &neighbors);
+    }
     bool token_lost =
         !network_->IsAlive(walker->current) || neighbors.empty();
     if (!token_lost) {
@@ -239,6 +279,7 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     stats->lost = count - delivered;
     stats->reply_retransmits = state->retransmits;
     stats->walk_restarts = state->restarts;
+    stats->duplicate_replies = state->duplicates;
   }
   return std::move(state->observations);
 }
@@ -299,24 +340,47 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
   } else {
     final_set = *phase2;
   }
+
+  // Byzantine defenses, mirroring the synchronous engine.
+  const RobustnessPolicy& policy = params_.engine.robustness;
+  size_t suspected =
+      AuditObservationDegrees(network_, policy, sink, &final_set, rng);
+  if (final_set.empty()) {
+    return util::Status::Unavailable(
+        "degree audit rejected every observation");
+  }
   auto weighted = ToWeighted(final_set, query.op);
 
   AsyncQueryReport report;
-  report.answer.estimate = HorvitzThompson(weighted, total_weight);
-  report.answer.variance = HorvitzThompsonVariance(weighted, total_weight);
+  report.answer.suspected_peers = suspected;
+  if (policy.enabled()) {
+    RobustEstimate robust =
+        RobustHorvitzThompson(weighted, total_weight, policy);
+    report.answer.estimate = robust.estimate;
+    report.answer.variance = robust.variance;
+    report.answer.trimmed_mass = robust.trimmed_mass;
+  } else {
+    report.answer.estimate = HorvitzThompson(weighted, total_weight);
+    report.answer.variance = HorvitzThompsonVariance(weighted, total_weight);
+  }
   // Degradation accounting mirrors the synchronous engine: reweight over
   // the survivors, widen the CI by the root of the loss ratio.
   report.answer.observations_lost = phase1_stats.lost + phase2_stats.lost;
   report.answer.walk_restarts =
       phase1_stats.walk_restarts + phase2_stats.walk_restarts;
-  report.answer.degraded = report.answer.observations_lost > 0;
+  report.answer.duplicate_replies =
+      phase1_stats.duplicate_replies + phase2_stats.duplicate_replies;
+  report.answer.degraded = report.answer.observations_lost > 0 ||
+                           suspected > 0 || report.answer.trimmed_mass > 0.0;
   double inflation = 1.0;
-  if (report.answer.degraded) {
+  if (report.answer.observations_lost > 0) {
     size_t requested = phase1_stats.requested + phase2_stats.requested;
     size_t arrived = phase1_stats.delivered + phase2_stats.delivered;
     inflation = std::sqrt(static_cast<double>(requested) /
                           static_cast<double>(std::max<size_t>(arrived, 1)));
   }
+  double discarded = std::min(report.answer.trimmed_mass, 0.9);
+  if (discarded > 0.0) inflation *= std::sqrt(1.0 / (1.0 - discarded));
   report.answer.ci_half_width_95 =
       1.959963984540054 * std::sqrt(report.answer.variance) * inflation;
   report.answer.estimated_total = estimated_total;

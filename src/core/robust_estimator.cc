@@ -1,0 +1,155 @@
+#include "core/robust_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/statistics.h"
+
+namespace p2paqp::core {
+
+namespace {
+
+// Normal-consistency constant: for Gaussian data 1.4826 * MAD estimates the
+// standard deviation, so mad_cutoff reads in sigma-equivalents.
+constexpr double kMadScale = 1.4826;
+
+double PerPeerEstimate(const WeightedObservation& obs, double total_weight) {
+  if (obs.weight <= 0.0) return 0.0;
+  return obs.value * total_weight / obs.weight;
+}
+
+// Per-tail trim count: clamped so at least one observation survives even for
+// a 100% trim request (k <= (n-1)/2 leaves the middle element(s)).
+size_t TrimCount(size_t n, double trim_fraction) {
+  if (trim_fraction <= 0.0 || n == 0) return 0;
+  auto k = static_cast<size_t>(std::floor(trim_fraction * static_cast<double>(n)));
+  return std::min(k, (n - 1) / 2);
+}
+
+}  // namespace
+
+const char* RobustEstimatorKindToString(RobustEstimatorKind kind) {
+  switch (kind) {
+    case RobustEstimatorKind::kPlain:
+      return "plain";
+    case RobustEstimatorKind::kTrimmed:
+      return "trimmed";
+    case RobustEstimatorKind::kWinsorized:
+      return "winsorized";
+  }
+  return "unknown";
+}
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double MadAround(const std::vector<double>& values, double center) {
+  if (values.empty()) return 0.0;
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - center));
+  return MedianOf(std::move(deviations));
+}
+
+std::vector<size_t> MadScreenIndices(const std::vector<double>& values,
+                                     double cutoff) {
+  std::vector<size_t> keep;
+  keep.reserve(values.size());
+  if (cutoff <= 0.0 || values.size() < 3) {
+    for (size_t i = 0; i < values.size(); ++i) keep.push_back(i);
+    return keep;
+  }
+  double median = MedianOf(values);
+  // Double MAD: separate scales for the two sides of the median. HT
+  // contributions (value * total_weight / weight) are strongly right-skewed
+  // — low-degree peers legitimately contribute many times the median — so a
+  // symmetric MAD reads that genuine tail as outliers and biases the
+  // estimate down. Measuring each tail against its own spread keeps the
+  // honest tail while still screening fabricated contributions that sit far
+  // outside even the wide side's range.
+  std::vector<double> below, above;
+  for (double v : values) {
+    if (v <= median) below.push_back(std::abs(v - median));
+    if (v >= median) above.push_back(std::abs(v - median));
+  }
+  double mad_below = MedianOf(std::move(below));
+  double mad_above = MedianOf(std::move(above));
+  double mad_symmetric = MadAround(values, median);
+  // A degenerate side (more than half its points exactly at the median)
+  // borrows the overall scale; if that is zero too there is nothing to
+  // screen against and everything passes.
+  if (mad_below <= 0.0) mad_below = mad_symmetric;
+  if (mad_above <= 0.0) mad_above = mad_symmetric;
+  if (mad_below <= 0.0 && mad_above <= 0.0) {
+    for (size_t i = 0; i < values.size(); ++i) keep.push_back(i);
+    return keep;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    double deviation = values[i] - median;
+    double mad = deviation < 0.0 ? mad_below : mad_above;
+    if (mad <= 0.0 || std::abs(deviation) <= cutoff * kMadScale * mad) {
+      keep.push_back(i);
+    }
+  }
+  return keep;
+}
+
+RobustEstimate RobustHorvitzThompson(
+    const std::vector<WeightedObservation>& observations, double total_weight,
+    const RobustnessPolicy& policy) {
+  P2PAQP_CHECK(!observations.empty());
+  P2PAQP_CHECK_GT(total_weight, 0.0);
+  std::vector<double> estimates;
+  estimates.reserve(observations.size());
+  for (const WeightedObservation& obs : observations) {
+    estimates.push_back(PerPeerEstimate(obs, total_weight));
+  }
+
+  RobustEstimate result;
+  std::vector<size_t> keep = MadScreenIndices(estimates, policy.mad_cutoff);
+  result.screened = estimates.size() - keep.size();
+  std::vector<double> survivors;
+  survivors.reserve(keep.size());
+  for (size_t i : keep) survivors.push_back(estimates[i]);
+  std::sort(survivors.begin(), survivors.end());
+
+  size_t n = survivors.size();
+  size_t k = policy.estimator == RobustEstimatorKind::kPlain
+                 ? 0
+                 : TrimCount(n, policy.trim_fraction);
+  size_t altered = result.screened;
+  util::RunningStat stat;
+  switch (policy.estimator) {
+    case RobustEstimatorKind::kPlain:
+    case RobustEstimatorKind::kTrimmed:
+      for (size_t i = k; i < n - k; ++i) stat.Add(survivors[i]);
+      altered += 2 * k;
+      break;
+    case RobustEstimatorKind::kWinsorized:
+      for (size_t i = 0; i < n; ++i) {
+        double clamped = std::clamp(survivors[i], survivors[k],
+                                    survivors[n - 1 - k]);
+        if (clamped != survivors[i]) ++altered;
+        stat.Add(clamped);
+      }
+      break;
+  }
+  result.used = stat.count();
+  result.estimate = stat.mean();
+  result.variance = stat.count() >= 2
+                        ? stat.variance() / static_cast<double>(stat.count())
+                        : 0.0;
+  result.trimmed_mass =
+      static_cast<double>(altered) / static_cast<double>(estimates.size());
+  return result;
+}
+
+}  // namespace p2paqp::core

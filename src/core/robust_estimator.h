@@ -1,0 +1,108 @@
+// Byzantine-robust Horvitz-Thompson estimation.
+//
+// Plain HT (estimator.h) averages y(s)/prob(s) and is therefore moved
+// arbitrarily far by a single fabricated contribution: a peer that scales
+// its y(s) by k, or deflates its claimed degree by k, shifts the mean by
+// ~k/m of its honest share. The estimators here bound that influence at the
+// sink without trusting any individual peer:
+//
+//   - MAD screening drops contributions further than `mad_cutoff` scaled
+//     median-absolute-deviations from the median — the classic breakdown-0.5
+//     outlier filter, in its double-MAD form (each side of the median
+//     measured against its own spread) so the heavy right tail genuine HT
+//     contributions have on power-law degree spreads is not screened away;
+//   - trimmed HT discards the `trim_fraction` smallest and largest surviving
+//     contributions before averaging;
+//   - winsorized HT clamps them to the trim quantiles instead, keeping the
+//     observation count (smaller honest-data bias than trimming on skewed
+//     contributions).
+//
+// All three degrade to plain HT when their knobs are zero. None survives a
+// colluding majority: with more than half the *observations* adversarial the
+// median itself is captured, which is the documented known gap.
+#ifndef P2PAQP_CORE_ROBUST_ESTIMATOR_H_
+#define P2PAQP_CORE_ROBUST_ESTIMATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/estimator.h"
+
+namespace p2paqp::core {
+
+enum class RobustEstimatorKind {
+  kPlain = 0,   // Untrimmed mean (exactly estimator.h's HorvitzThompson).
+  kTrimmed,     // Drop trim_fraction per tail.
+  kWinsorized,  // Clamp to the trim quantiles per tail.
+};
+
+const char* RobustEstimatorKindToString(RobustEstimatorKind kind);
+
+// Sink-side defense knobs, carried by EngineParams. All-default = plain HT
+// with no audits: the engines take their original code paths bit-identically.
+struct RobustnessPolicy {
+  RobustEstimatorKind estimator = RobustEstimatorKind::kPlain;
+  // Fraction trimmed/winsorized per tail, clamped so at least one
+  // observation always survives (a 100% trim request degenerates to the
+  // median, not to an empty sample).
+  double trim_fraction = 0.0;
+  // 0 = no screen; otherwise drop contributions with
+  // |x - median| > mad_cutoff * 1.4826 * MAD (the normal-consistent scale).
+  double mad_cutoff = 0.0;
+  // Degree cross-validation: neighbor attestations sampled per audited peer
+  // (0 = no audit). Each probe costs a kAuditProbe/kAuditReply round trip
+  // and rides the installed FaultPlan like any other direct message.
+  size_t degree_audit_probes = 0;
+  // A peer is suspected when more than this fraction of its *delivered*
+  // attestations deny the claimed adjacency. Probes lost in transit are
+  // inconclusive and vote for neither side.
+  double degree_audit_denial_threshold = 0.34;
+
+  // True when any defense beyond plain HT is active.
+  bool enabled() const {
+    return estimator != RobustEstimatorKind::kPlain || trim_fraction > 0.0 ||
+           mad_cutoff > 0.0 || degree_audit_probes > 0;
+  }
+};
+
+struct RobustEstimate {
+  double estimate = 0.0;
+  // Variance of the robust mean (sample variance of the surviving, possibly
+  // clamped contributions over their count).
+  double variance = 0.0;
+  // Observations contributing after screening/trimming.
+  size_t used = 0;
+  // Observations dropped by the MAD screen.
+  size_t screened = 0;
+  // Fraction of the observation set that was screened, trimmed, or clamped —
+  // the robustness price, surfaced as audit telemetry and folded into the
+  // degraded-answer CI widening.
+  double trimmed_mass = 0.0;
+};
+
+// Robust counterpart of HorvitzThompson + HorvitzThompsonVariance: screens,
+// then trims/winsorizes, the per-peer estimates value*total_weight/weight.
+// With an all-default policy the result equals the plain estimator exactly.
+// Requires at least one observation.
+RobustEstimate RobustHorvitzThompson(
+    const std::vector<WeightedObservation>& observations, double total_weight,
+    const RobustnessPolicy& policy);
+
+// --- Building blocks (exposed for tests and the median/distinct paths) ----
+
+// Median of `values` (averaged middle pair for even sizes); 0 when empty.
+double MedianOf(std::vector<double> values);
+
+// Median absolute deviation around `center`; 0 when empty.
+double MadAround(const std::vector<double>& values, double center);
+
+// Indices of `values` surviving the double-MAD screen: each value's
+// deviation from the median is compared against cutoff * 1.4826 * the MAD of
+// its own side (below/above the median), so skewed-but-genuine tails pass.
+// All indices pass when cutoff <= 0 or every scale degenerates to 0.
+std::vector<size_t> MadScreenIndices(const std::vector<double>& values,
+                                     double cutoff);
+
+}  // namespace p2paqp::core
+
+#endif  // P2PAQP_CORE_ROBUST_ESTIMATOR_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "core/distinct.h"
 #include "core/median.h"
@@ -83,6 +84,104 @@ double EstimateTotal(const std::vector<PeerObservation>& observations,
 
 }  // namespace
 
+size_t TamperObservation(net::AdversaryInjector* adversary,
+                         PeerObservation* obs) {
+  if (adversary == nullptr || !adversary->IsAdversarial(obs->peer)) return 0;
+  uint32_t claimed = adversary->ClaimedDegree(obs->peer, obs->degree);
+  if (claimed != obs->degree && obs->degree > 0) {
+    // The stationary weight the sink divides by follows the lie: the sink
+    // only knows what the reply claims.
+    obs->stationary_weight *= static_cast<double>(claimed) /
+                              static_cast<double>(obs->degree);
+    obs->degree = claimed;
+  }
+  net::ReplyTampering tampering = adversary->OnReply(obs->peer);
+  if (tampering.value_scale != 1.0) {
+    obs->aggregate.count_value *= tampering.value_scale;
+    obs->aggregate.sum_value *= tampering.value_scale;
+    obs->aggregate.total_sum_value *= tampering.value_scale;
+  }
+  return tampering.replays;
+}
+
+size_t AuditObservationDegrees(net::SimulatedNetwork* network,
+                               const RobustnessPolicy& policy,
+                               graph::NodeId sink,
+                               std::vector<PeerObservation>* observations,
+                               util::Rng& rng) {
+  if (policy.degree_audit_probes == 0 || observations->empty()) return 0;
+  const net::AdversaryInjector* adversary = network->adversary();
+  // Audit each distinct peer once, at its claimed degree.
+  std::vector<std::pair<graph::NodeId, uint32_t>> audited;
+  for (const PeerObservation& obs : *observations) {
+    bool seen = false;
+    for (const auto& entry : audited) {
+      if (entry.first == obs.peer) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) audited.emplace_back(obs.peer, obs.degree);
+  }
+  std::vector<graph::NodeId> suspected;
+  for (const auto& [peer, claimed] : audited) {
+    if (claimed == 0) continue;
+    std::span<const graph::NodeId> real = network->graph().neighbors(peer);
+    size_t confirms = 0;
+    size_t denials = 0;
+    for (size_t probe = 0; probe < policy.degree_audit_probes; ++probe) {
+      // One uniformly-chosen slot of the claimed adjacency list. Slots
+      // beyond the real degree are fabricated: the claimed address resolves
+      // to an arbitrary peer that is not actually adjacent.
+      size_t slot = rng.UniformIndex(claimed);
+      bool genuine = slot < real.size();
+      graph::NodeId target =
+          genuine ? real[slot]
+                  : static_cast<graph::NodeId>(
+                        rng.UniformIndex(network->num_peers()));
+      if (target == peer || !network->IsAlive(target)) continue;
+      // Probe + attestation each cross the Internet once and can be lost to
+      // the installed fault plan; a lost round is inconclusive.
+      if (!network->SendDirect(net::MessageType::kAuditProbe, sink, target)
+               .ok()) {
+        continue;
+      }
+      if (!network->SendDirect(net::MessageType::kAuditReply, target, sink)
+               .ok()) {
+        continue;
+      }
+      // A real neighbor attests truthfully (the adjacency exists); a
+      // non-neighbor denies unless it colludes with the audited peer.
+      bool colludes = adversary != nullptr && adversary->IsAdversarial(peer) &&
+                      adversary->IsAdversarial(target);
+      if (genuine || network->graph().HasEdge(peer, target) || colludes) {
+        ++confirms;
+      } else {
+        ++denials;
+      }
+    }
+    size_t delivered = confirms + denials;
+    if (delivered > 0 &&
+        static_cast<double>(denials) >
+            policy.degree_audit_denial_threshold *
+                static_cast<double>(delivered)) {
+      suspected.push_back(peer);
+    }
+  }
+  if (suspected.empty()) return 0;
+  auto is_suspected = [&suspected](graph::NodeId peer) {
+    return std::find(suspected.begin(), suspected.end(), peer) !=
+           suspected.end();
+  };
+  observations->erase(
+      std::remove_if(observations->begin(), observations->end(),
+                     [&is_suspected](const PeerObservation& obs) {
+                       return is_suspected(obs.peer);
+                     }),
+      observations->end());
+  return suspected.size();
+}
+
 std::string ApproximateAnswer::ToString() const {
   char buf[320];
   std::snprintf(buf, sizeof(buf),
@@ -98,6 +197,13 @@ std::string ApproximateAnswer::ToString() const {
     std::snprintf(extra, sizeof(extra),
                   " | DEGRADED lost=%zu restarts=%zu achieved_err=%.4f",
                   observations_lost, walk_restarts, achieved_error);
+    out += extra;
+  }
+  if (suspected_peers > 0 || trimmed_mass > 0.0 || duplicate_replies > 0) {
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  " | AUDIT suspected=%zu trimmed_mass=%.3f dupes=%zu",
+                  suspected_peers, trimmed_mass, duplicate_replies);
     out += extra;
   }
   return out;
@@ -151,7 +257,11 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
   std::vector<PeerObservation> observations;
   observations.reserve(sampled->visits.size());
   size_t retransmits = 0;
+  size_t duplicates_dropped = 0;
+  net::AdversaryInjector* adversary = network_->adversary();
+  size_t selection_seq = 0;
   for (const sampling::PeerVisit& visit : sampled->visits) {
+    const size_t seq = selection_seq++;
     // The selected peer may have departed between selection and local
     // execution (mid-query churn): its observation is simply lost.
     if (!network_->IsAlive(visit.peer)) continue;
@@ -159,6 +269,7 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
     obs.peer = visit.peer;
     obs.degree = visit.degree;
     obs.stationary_weight = sampler_->StationaryWeight(visit.peer);
+    obs.selection_seq = seq;
     bool from_cache =
         cache_ != nullptr && cache_->Lookup(visit.peer, query, &obs.aggregate);
     if (from_cache) {
@@ -176,6 +287,10 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
                                      obs.aggregate.processed_tuples);
       if (cache_ != nullptr) cache_->Store(visit.peer, query, obs.aggregate);
     }
+    // An adversarial peer lies in the reply it is about to send: misreported
+    // degree (and with it the stationary weight the sink divides by),
+    // corrupted aggregates, and possibly replayed duplicate copies.
+    size_t replays = TamperObservation(adversary, &obs);
     // (y(p), deg(p)) straight back to the sink over direct IP (Sec. 3.2).
     // A reply lost in transit is retransmitted after a sink-side timeout; a
     // crashed endpoint cannot retry.
@@ -190,7 +305,23 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
       }
       if (!network_->IsAlive(visit.peer) || !network_->IsAlive(sink)) break;
     }
-    if (delivered) observations.push_back(std::move(obs));
+    if (delivered) observations.push_back(obs);
+    // Replayed copies carry the original's (query_id, peer, phase,
+    // selection_seq) tag, so every delivered copy after the first collides
+    // with an already-seen tag and is dropped before the quorum count.
+    for (size_t replay = 0; replay < replays; ++replay) {
+      util::Status sent = network_->SendDirect(
+          net::MessageType::kAggregateReply, visit.peer, sink);
+      if (!sent.ok()) continue;
+      if (delivered) {
+        ++duplicates_dropped;
+      } else {
+        // The original was lost but a replayed copy got through: the sink
+        // cannot tell it from a retransmit and accepts it once.
+        observations.push_back(obs);
+        delivered = true;
+      }
+    }
   }
   const size_t delivered_count = observations.size();
   const auto quorum = static_cast<size_t>(std::ceil(
@@ -206,6 +337,7 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
     stats->lost = count - delivered_count;
     stats->reply_retransmits = retransmits;
     stats->walk_restarts = sampled->restarts;
+    stats->duplicate_replies = duplicates_dropped;
   }
   return observations;
 }
@@ -278,8 +410,20 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
     final_set = *phase2;
   }
 
+  // ---- Byzantine defenses (RobustnessPolicy). ----
+  const RobustnessPolicy& policy = params_.robustness;
+  size_t suspected =
+      AuditObservationDegrees(network_, policy, sink, &final_set, rng);
+  if (final_set.empty()) {
+    return util::Status::Unavailable(
+        "degree audit rejected every observation");
+  }
+
   ApproximateAnswer answer;
+  answer.suspected_peers = suspected;
   if (is_avg) {
+    // The ratio path is not robustified (known gap, see docs/ALGORITHM.md):
+    // it still benefits from the audit and dedup above.
     answer.estimate = RatioEstimate(final_set, total_weight_);
     // Delta-method style variability proxy: variance of the ratio across
     // the CV halves is already folded into cv_error; report the count-based
@@ -287,16 +431,27 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
     answer.variance = 0.0;
   } else {
     auto weighted = ToWeighted(final_set, query.op);
-    answer.estimate = HorvitzThompson(weighted, total_weight_);
-    answer.variance = HorvitzThompsonVariance(weighted, total_weight_);
+    if (policy.enabled()) {
+      RobustEstimate robust =
+          RobustHorvitzThompson(weighted, total_weight_, policy);
+      answer.estimate = robust.estimate;
+      answer.variance = robust.variance;
+      answer.trimmed_mass = robust.trimmed_mass;
+    } else {
+      answer.estimate = HorvitzThompson(weighted, total_weight_);
+      answer.variance = HorvitzThompsonVariance(weighted, total_weight_);
+    }
   }
   // ---- Degradation accounting. ----
   answer.observations_lost = phase1_stats.lost + phase2_stats.lost;
   answer.walk_restarts =
       phase1_stats.walk_restarts + phase2_stats.walk_restarts;
-  answer.degraded = answer.observations_lost > 0;
+  answer.duplicate_replies =
+      phase1_stats.duplicate_replies + phase2_stats.duplicate_replies;
+  answer.degraded = answer.observations_lost > 0 || suspected > 0 ||
+                    answer.trimmed_mass > 0.0;
   double inflation = 1.0;
-  if (answer.degraded) {
+  if (answer.observations_lost > 0) {
     // The HT reweighting over the survivors is unbiased when loss is
     // independent of the data, but a crashed peer's contribution vanishes
     // *with* its data; widen the interval by the root of the loss ratio to
@@ -306,6 +461,11 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
     inflation = std::sqrt(static_cast<double>(requested) /
                           static_cast<double>(std::max<size_t>(arrived, 1)));
   }
+  // Every observation the defenses discarded or clamped is information the
+  // CI no longer reflects; widen by the root of the surviving fraction,
+  // mirroring the loss widening above.
+  double discarded = std::min(answer.trimmed_mass, 0.9);
+  if (discarded > 0.0) inflation *= std::sqrt(1.0 / (1.0 - discarded));
   answer.ci_half_width_95 = kZ95 * std::sqrt(answer.variance) * inflation;
   answer.estimated_total = estimated_total;
   answer.cv_error_relative = cv_normalized;

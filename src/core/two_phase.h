@@ -17,6 +17,7 @@
 #include "core/catalog.h"
 #include "core/cross_validation.h"
 #include "core/estimator.h"
+#include "core/robust_estimator.h"
 #include "net/network.h"
 #include "query/local_executor.h"
 #include "query/query.h"
@@ -69,6 +70,10 @@ struct EngineParams {
   // requested observations; above it the engine degrades gracefully
   // (estimate reweighted over the survivors, CI widened, `degraded` set).
   double min_observation_quorum = 0.25;
+  // --- Byzantine tolerance ------------------------------------------------
+  // Sink-side defenses against lying peers (robust_estimator.h). The
+  // all-default policy keeps the original estimation path bit-identical.
+  RobustnessPolicy robustness;
 };
 
 // Pluggable peer-side result cache enabling the hybrid pre-computation
@@ -118,6 +123,16 @@ struct ApproximateAnswer {
   // half-width normalized like required_error. 0 when not computed.
   double achieved_error = 0.0;
 
+  // --- Audit report (Byzantine defenses, RobustnessPolicy) ----------------
+  // Peers whose claimed degree failed the neighbor-attestation audit; their
+  // observations were discarded before estimation.
+  size_t suspected_peers = 0;
+  // Fraction of final observations screened, trimmed, or clamped by the
+  // robust estimator (0 on the plain path).
+  double trimmed_mass = 0.0;
+  // Duplicate (replayed) replies the sink discarded before the quorum count.
+  size_t duplicate_replies = 0;
+
   std::string ToString() const;
 };
 
@@ -127,7 +142,37 @@ struct PeerObservation {
   uint32_t degree = 0;
   double stationary_weight = 0.0;
   query::LocalAggregate aggregate;
+  // Position of this selection within its collection round. Replies are
+  // tagged (query_id, peer, phase, selection_seq) on the wire; the sink
+  // dedupes on the full tag, so a replayed copy (same seq) is dropped while
+  // a legitimate with-replacement reselection (fresh seq) is kept.
+  size_t selection_seq = 0;
 };
+
+// Applies an installed adversary's reply tampering to one outgoing
+// observation: degree misreport (the shipped degree *and* the stationary
+// weight the sink will divide by follow the lie) and aggregate corruption
+// (count, sum and total-sum values scaled/sign-flipped/blown up). Returns
+// the number of replayed duplicate copies the peer additionally pushes at
+// the sink. No-op returning 0 for honest peers or a null injector.
+size_t TamperObservation(net::AdversaryInjector* adversary,
+                         PeerObservation* obs);
+
+// Degree cross-validation: for each distinct peer in `observations`, the
+// sink probes `policy.degree_audit_probes` uniformly-chosen slots of the
+// claimed adjacency list. A genuine slot resolves to a real neighbor, which
+// attests; a fabricated slot (degree inflation) resolves to a random peer
+// that denies unless it colludes. Probes and attestations ride SendDirect,
+// so the installed FaultPlan can lose them — a lost round is inconclusive
+// and votes for neither side. Peers whose delivered denials exceed
+// policy.degree_audit_denial_threshold are removed from `observations`;
+// returns how many peers were removed. Draws from `rng` only when the
+// policy requests probes.
+size_t AuditObservationDegrees(net::SimulatedNetwork* network,
+                               const RobustnessPolicy& policy,
+                               graph::NodeId sink,
+                               std::vector<PeerObservation>* observations,
+                               util::Rng& rng);
 
 class TwoPhaseEngine {
  public:
@@ -155,6 +200,8 @@ class TwoPhaseEngine {
     size_t lost = 0;  // requested - delivered.
     size_t reply_retransmits = 0;
     size_t walk_restarts = 0;
+    // Replayed/duplicate replies the sink dropped (never quorum-counted).
+    size_t duplicate_replies = 0;
   };
 
   // Visits `count` peers via the engine's sampler and returns their shipped

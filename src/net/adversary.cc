@@ -1,0 +1,145 @@
+#include "net/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace p2paqp::net {
+
+const char* AdversaryBehaviorToString(AdversaryBehavior behavior) {
+  switch (behavior) {
+    case AdversaryBehavior::kDegreeInflate:
+      return "degree_inflate";
+    case AdversaryBehavior::kDegreeDeflate:
+      return "degree_deflate";
+    case AdversaryBehavior::kSignFlip:
+      return "sign_flip";
+    case AdversaryBehavior::kScale:
+      return "scale";
+    case AdversaryBehavior::kOutlier:
+      return "outlier";
+    case AdversaryBehavior::kReplay:
+      return "replay";
+    case AdversaryBehavior::kHijack:
+      return "hijack";
+  }
+  return "unknown";
+}
+
+bool ParseAdversaryBehavior(const std::string& name,
+                            AdversaryBehavior* behavior) {
+  for (AdversaryBehavior b :
+       {AdversaryBehavior::kDegreeInflate, AdversaryBehavior::kDegreeDeflate,
+        AdversaryBehavior::kSignFlip, AdversaryBehavior::kScale,
+        AdversaryBehavior::kOutlier, AdversaryBehavior::kReplay,
+        AdversaryBehavior::kHijack}) {
+    if (name == AdversaryBehaviorToString(b)) {
+      *behavior = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+AdversaryPlan MakeBehaviorPlan(AdversaryBehavior behavior, double fraction) {
+  AdversaryPlan plan;
+  plan.adversary_fraction = fraction;
+  switch (behavior) {
+    case AdversaryBehavior::kDegreeInflate:
+      plan.degree_factor = 4.0;
+      break;
+    case AdversaryBehavior::kDegreeDeflate:
+      plan.degree_factor = 0.25;
+      break;
+    case AdversaryBehavior::kSignFlip:
+      plan.value_scale = -1.0;
+      break;
+    case AdversaryBehavior::kScale:
+      plan.value_scale = 10.0;
+      break;
+    case AdversaryBehavior::kOutlier:
+      plan.outlier_probability = 0.5;
+      plan.outlier_magnitude = 100.0;
+      break;
+    case AdversaryBehavior::kReplay:
+      plan.replay_copies = 3;
+      break;
+    case AdversaryBehavior::kHijack:
+      plan.hijack_walk = true;
+      break;
+  }
+  return plan;
+}
+
+AdversaryInjector::AdversaryInjector(AdversaryPlan plan, uint64_t seed,
+                                     size_t num_peers)
+    : plan_(std::move(plan)), rng_(seed), adversarial_(num_peers, false) {
+  auto immune = [this](graph::NodeId peer) {
+    return std::find(plan_.immune.begin(), plan_.immune.end(), peer) !=
+           plan_.immune.end();
+  };
+  if (plan_.adversary_fraction > 0.0 && num_peers > 0) {
+    auto target = static_cast<size_t>(plan_.adversary_fraction *
+                                      static_cast<double>(num_peers));
+    target = std::min(target, num_peers);
+    // Without-replacement draw so the realized fraction is exact; the order
+    // of SampleIndices is random but membership is what matters.
+    for (size_t index : rng_.SampleIndices(num_peers, target)) {
+      auto peer = static_cast<graph::NodeId>(index);
+      if (!immune(peer)) adversarial_[peer] = true;
+    }
+  }
+  for (graph::NodeId peer : plan_.adversaries) {
+    if (peer < adversarial_.size() && !immune(peer)) {
+      adversarial_[peer] = true;
+    }
+  }
+}
+
+std::vector<graph::NodeId> AdversaryInjector::Adversaries() const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId peer = 0; peer < adversarial_.size(); ++peer) {
+    if (adversarial_[peer]) out.push_back(peer);
+  }
+  return out;
+}
+
+uint32_t AdversaryInjector::ClaimedDegree(graph::NodeId peer,
+                                          uint32_t true_degree) {
+  if (!IsAdversarial(peer) || plan_.degree_factor == 1.0) return true_degree;
+  double claimed =
+      std::round(static_cast<double>(true_degree) * plan_.degree_factor);
+  ++degrees_misreported_;
+  return static_cast<uint32_t>(std::max(1.0, claimed));
+}
+
+ReplyTampering AdversaryInjector::OnReply(graph::NodeId peer) {
+  ReplyTampering tampering;
+  if (!IsAdversarial(peer)) return tampering;
+  tampering.value_scale = plan_.value_scale;
+  if (plan_.outlier_probability > 0.0 &&
+      rng_.Bernoulli(plan_.outlier_probability)) {
+    tampering.outlier = true;
+    tampering.value_scale *= plan_.outlier_magnitude;
+  }
+  tampering.replays = plan_.replay_copies;
+  if (tampering.value_scale != 1.0) ++replies_tampered_;
+  replays_injected_ += tampering.replays;
+  return tampering;
+}
+
+void AdversaryInjector::RestrictForwarding(
+    graph::NodeId holder, std::vector<graph::NodeId>* neighbors) {
+  if (!plan_.hijack_walk || !IsAdversarial(holder)) return;
+  std::vector<graph::NodeId> colluders;
+  for (graph::NodeId neighbor : *neighbors) {
+    if (IsAdversarial(neighbor)) colluders.push_back(neighbor);
+  }
+  // A coalition member with no colluding route forwards honestly — refusing
+  // outright would strand the token and give the attack away.
+  if (colluders.empty()) return;
+  *neighbors = std::move(colluders);
+  ++hops_hijacked_;
+}
+
+}  // namespace p2paqp::net

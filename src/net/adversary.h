@@ -1,0 +1,153 @@
+// Deterministic Byzantine adversary model for the simulated overlay.
+//
+// The PR-1 fault layer models *honest* failures (loss, spikes, crashes); an
+// AdversaryPlan models peers that *lie*. A plan marks a deterministic,
+// seed-replayable subset of peers adversarial and gives them composable
+// misbehaviors aimed at the Horvitz-Thompson estimator's trust assumptions:
+//
+//   - degree misreport: the claimed deg(p) — and with it the stationary
+//     weight the sink divides by — is inflated or deflated;
+//   - aggregate corruption: the shipped y(p) is sign-flipped, scaled, or
+//     replaced with an injected outlier;
+//   - reply replay: the peer re-sends its (y(p), deg(p)) reply so a naive
+//     sink double-counts the observation (and its quorum);
+//   - walk hijack: an adversarial token holder forwards the walker only to
+//     colluding neighbors, biasing selection toward the coalition
+//     (PeerSwap's defining threat to walk-based sampling).
+//
+// Like the FaultPlan, an all-zero plan is a strict no-op: the network never
+// installs an injector for it, no hook draws any RNG, and adversary-free
+// runs stay bit-identical with the subsystem compiled in. The injector owns
+// a private seeded RNG stream, so a given (plan, seed, event sequence)
+// replays to an identical trace regardless of thread count.
+#ifndef P2PAQP_NET_ADVERSARY_H_
+#define P2PAQP_NET_ADVERSARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::net {
+
+struct AdversaryPlan {
+  // Fraction of peers (rounded down) marked adversarial at install time,
+  // drawn without replacement from the injector's private RNG. Peers listed
+  // in `adversaries` are marked on top of the drawn set.
+  double adversary_fraction = 0.0;
+  std::vector<graph::NodeId> adversaries;
+  // Peers never marked adversarial (typically the query sink).
+  std::vector<graph::NodeId> immune;
+
+  // --- Behaviors (all compose; defaults are honest) -----------------------
+  // Claimed degree = max(1, round(true degree * degree_factor)). 1.0 = honest;
+  // > 1 inflates (shrinking the peer's apparent contribution while defeating
+  // weight-based trust), < 1 deflates (inflating its contribution).
+  double degree_factor = 1.0;
+  // Multiplier applied to every shipped aggregate value (count, sum, and the
+  // total-sum normalizer). -1.0 is a sign flip; 1.0 is honest.
+  double value_scale = 1.0;
+  // Per-reply probability that the value is additionally blown up into an
+  // outlier of `outlier_magnitude` times its honest size.
+  double outlier_probability = 0.0;
+  double outlier_magnitude = 100.0;
+  // Extra duplicate copies of each reply the peer pushes at the sink.
+  size_t replay_copies = 0;
+  // When true, an adversarial token holder forwards the walker only to
+  // colluding (adversarial) neighbors whenever it has at least one alive.
+  bool hijack_walk = false;
+
+  // True when the plan can ever change behavior. A plan with no adversarial
+  // peers, or with adversarial peers but all-honest behaviors, is treated as
+  // "no injector installed".
+  bool enabled() const {
+    bool has_peers = adversary_fraction > 0.0 || !adversaries.empty();
+    bool has_behavior = degree_factor != 1.0 || value_scale != 1.0 ||
+                        outlier_probability > 0.0 || replay_copies > 0 ||
+                        hijack_walk;
+    return has_peers && has_behavior;
+  }
+};
+
+// Canonical single-behavior regimes, used by the chaos sweeps (bench and the
+// CI chaos-matrix job) to name one misbehavior per run.
+enum class AdversaryBehavior {
+  kDegreeInflate = 0,  // degree_factor = 4
+  kDegreeDeflate,      // degree_factor = 0.25
+  kSignFlip,           // value_scale = -1
+  kScale,              // value_scale = 10
+  kOutlier,            // outlier_probability = 0.5, magnitude = 100
+  kReplay,             // replay_copies = 3
+  kHijack,             // hijack_walk = true
+};
+
+const char* AdversaryBehaviorToString(AdversaryBehavior behavior);
+
+// Parses the names emitted by AdversaryBehaviorToString (used by the
+// P2PAQP_CHAOS_BEHAVIOR env knob); returns true on success.
+bool ParseAdversaryBehavior(const std::string& name,
+                            AdversaryBehavior* behavior);
+
+// Plan with `fraction` adversaries running exactly one named behavior.
+AdversaryPlan MakeBehaviorPlan(AdversaryBehavior behavior, double fraction);
+
+// What one adversarial peer does to one outgoing reply.
+struct ReplyTampering {
+  // Multiplier to apply to every aggregate value in the reply (folds the
+  // plan's value_scale and, if the outlier draw fired, outlier_magnitude).
+  double value_scale = 1.0;
+  bool outlier = false;
+  // Extra duplicate copies of the reply to push at the sink.
+  size_t replays = 0;
+};
+
+class AdversaryInjector {
+ public:
+  // Draws the adversarial peer set deterministically from (plan, seed).
+  AdversaryInjector(AdversaryPlan plan, uint64_t seed, size_t num_peers);
+
+  const AdversaryPlan& plan() const { return plan_; }
+
+  bool IsAdversarial(graph::NodeId peer) const {
+    return peer < adversarial_.size() && adversarial_[peer];
+  }
+  // The adversarial set, in ascending id order.
+  std::vector<graph::NodeId> Adversaries() const;
+
+  // Degree the peer claims when selected (honest peers return true_degree;
+  // no RNG is drawn either way).
+  uint32_t ClaimedDegree(graph::NodeId peer, uint32_t true_degree);
+
+  // Tampering for one outgoing reply. Draws from the injector's private RNG
+  // only for adversarial peers with outlier_probability > 0, so honest peers
+  // and outlier-free plans replay identically.
+  ReplyTampering OnReply(graph::NodeId peer);
+
+  // Walk hijack: if `holder` is adversarial and hijacking, restricts
+  // `neighbors` to its alive colluders (when it has any). The caller then
+  // picks uniformly from whatever remains, so the honest RNG stream consumes
+  // exactly one draw either way.
+  void RestrictForwarding(graph::NodeId holder,
+                          std::vector<graph::NodeId>* neighbors);
+
+  // --- Telemetry ----------------------------------------------------------
+  uint64_t degrees_misreported() const { return degrees_misreported_; }
+  uint64_t replies_tampered() const { return replies_tampered_; }
+  uint64_t replays_injected() const { return replays_injected_; }
+  uint64_t hops_hijacked() const { return hops_hijacked_; }
+
+ private:
+  AdversaryPlan plan_;
+  util::Rng rng_;
+  std::vector<bool> adversarial_;
+  uint64_t degrees_misreported_ = 0;
+  uint64_t replies_tampered_ = 0;
+  uint64_t replays_injected_ = 0;
+  uint64_t hops_hijacked_ = 0;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_ADVERSARY_H_

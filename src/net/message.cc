@@ -20,6 +20,10 @@ const char* MessageTypeToString(MessageType type) {
       return "SAMPLE_REQUEST";
     case MessageType::kSampleReply:
       return "SAMPLE_REPLY";
+    case MessageType::kAuditProbe:
+      return "AUDIT_PROBE";
+    case MessageType::kAuditReply:
+      return "AUDIT_REPLY";
   }
   return "UNKNOWN";
 }
@@ -43,6 +47,10 @@ uint32_t DefaultPayloadBytes(MessageType type) {
       return kHeader + 16;
     case MessageType::kSampleReply:
       return kHeader;  // Caller adds 4 bytes per shipped tuple.
+    case MessageType::kAuditProbe:
+      return kHeader + 8;  // Audited peer id + queried adjacency.
+    case MessageType::kAuditReply:
+      return kHeader + 9;  // Echoed probe + confirm/deny bit.
   }
   return kHeader;
 }

@@ -21,6 +21,8 @@ enum class MessageType : uint8_t {
   kAggregateReply, // (y(p), deg(p)) pushed straight to the sink.
   kSampleRequest,  // Sink asks a peer for raw sub-sampled tuples.
   kSampleReply,    // Raw tuples back to the sink (median/quantiles path).
+  kAuditProbe,     // Sink asks a claimed neighbor to attest an adjacency.
+  kAuditReply,     // Attestation (confirm/deny) back to the sink.
 };
 
 const char* MessageTypeToString(MessageType type);

@@ -40,6 +40,10 @@ SimulatedNetwork SimulatedNetwork::Clone(uint64_t seed) const {
   if (fault_.has_value()) {
     copy.fault_.emplace(fault_->plan(), util::MixSeed(seed ^ 0xFA177ULL));
   }
+  if (adversary_.has_value()) {
+    copy.adversary_.emplace(adversary_->plan(),
+                            util::MixSeed(seed ^ 0xBADBEEULL), peers_.size());
+  }
   return copy;
 }
 
@@ -107,6 +111,15 @@ void SimulatedNetwork::InstallFaultPlan(const FaultPlan& plan, uint64_t seed) {
   fault_.emplace(plan, seed);
 }
 
+void SimulatedNetwork::InstallAdversaryPlan(const AdversaryPlan& plan,
+                                            uint64_t seed) {
+  if (!plan.enabled()) {
+    adversary_.reset();
+    return;
+  }
+  adversary_.emplace(plan, seed, peers_.size());
+}
+
 FaultDecision SimulatedNetwork::ApplyFaults(MessageType type,
                                             graph::NodeId from,
                                             graph::NodeId to,
@@ -131,6 +144,7 @@ graph::NodeId CrashCandidate(MessageType type, graph::NodeId from,
     case MessageType::kQueryHit:
     case MessageType::kAggregateReply:
     case MessageType::kSampleReply:
+    case MessageType::kAuditReply:
       return from;
     default:
       return to;

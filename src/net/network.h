@@ -13,6 +13,7 @@
 
 #include "data/local_database.h"
 #include "graph/graph.h"
+#include "net/adversary.h"
 #include "net/cost.h"
 #include "net/fault.h"
 #include "net/message.h"
@@ -95,6 +96,23 @@ class SimulatedNetwork {
     return fault_.has_value() ? &*fault_ : nullptr;
   }
 
+  // --- Byzantine adversaries ----------------------------------------------
+  // Installs (or, for a disabled plan, uninstalls) the adversarial peer
+  // regime. Mirrors InstallFaultPlan: a disabled plan leaves no injector
+  // behind, so honest runs stay bit-identical. The adversarial peer set is
+  // drawn here from a dedicated RNG seeded by `seed`; the sink is typically
+  // listed in plan.immune by the caller.
+  void InstallAdversaryPlan(const AdversaryPlan& plan, uint64_t seed);
+
+  // Installed adversary, or nullptr. Mutable: the injector's tampering hooks
+  // advance its private RNG and counters.
+  AdversaryInjector* adversary() {
+    return adversary_.has_value() ? &*adversary_ : nullptr;
+  }
+  const AdversaryInjector* adversary() const {
+    return adversary_.has_value() ? &*adversary_ : nullptr;
+  }
+
   // Filters one message through the injector and applies crash side effects
   // to peer liveness. A no-op returning "deliver" when no injector is
   // installed. Exposed for event-driven consumers that account message
@@ -146,6 +164,7 @@ class SimulatedNetwork {
   CostTracker cost_;
   util::Rng rng_;
   std::optional<FaultInjector> fault_;
+  std::optional<AdversaryInjector> adversary_;
 };
 
 }  // namespace p2paqp::net

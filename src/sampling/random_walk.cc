@@ -71,6 +71,12 @@ util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
     return current;  // Lazy self-loop: no traffic.
   }
   std::vector<graph::NodeId> neighbors = network_->AliveNeighbors(current);
+  // An adversarial token holder may forward only to colluding neighbors
+  // (walk hijack); the uniform draw below then picks among colluders. One
+  // draw is consumed either way, so adversary-free runs are untouched.
+  if (net::AdversaryInjector* adversary = network_->adversary()) {
+    adversary->RestrictForwarding(current, &neighbors);
+  }
   if (neighbors.empty()) {
     return util::Status::Unavailable("walker stranded: no live neighbors");
   }

@@ -1,0 +1,322 @@
+// Unit tests for the robust Horvitz-Thompson sink (core/robust_estimator.h)
+// and the RobustnessPolicy edge cases the engines must honor: zero
+// adversaries (robust ~= plain, no extra cost), 100% trimming (degenerates
+// to the median, never an empty sample), audit probes lost to the fault
+// plan (inconclusive, nobody suspected), and the reply-dedup regression for
+// replayed observations.
+#include "core/robust_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/adversary.h"
+#include "test_common.h"
+
+namespace p2paqp::core {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+// --- Building blocks -------------------------------------------------------
+
+TEST(MedianTest, HandChecked) {
+  EXPECT_EQ(MedianOf({}), 0.0);
+  EXPECT_EQ(MedianOf({5.0}), 5.0);
+  EXPECT_EQ(MedianOf({3.0, 1.0}), 2.0);
+  EXPECT_EQ(MedianOf({9.0, 1.0, 5.0}), 5.0);
+  EXPECT_EQ(MedianOf({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(MadTest, HandChecked) {
+  // Deviations from median 5 of {1,5,9} are {4,0,4}; MAD = 4.
+  EXPECT_EQ(MadAround({1.0, 5.0, 9.0}, 5.0), 4.0);
+  EXPECT_EQ(MadAround({}, 0.0), 0.0);
+  EXPECT_EQ(MadAround({7.0, 7.0, 7.0}, 7.0), 0.0);
+}
+
+TEST(MadScreenTest, DropsPlantedOutlier) {
+  // Nine well-behaved values and one absurd one.
+  std::vector<double> values = {10, 11, 9, 10.5, 9.5, 10, 11, 9, 10, 1e6};
+  std::vector<size_t> kept = MadScreenIndices(values, 6.0);
+  ASSERT_EQ(kept.size(), 9u);
+  for (size_t index : kept) EXPECT_NE(index, 9u);
+}
+
+TEST(MadScreenTest, AllPassWhenDisabledOrDegenerate) {
+  std::vector<double> values = {10, 11, 9, 10.5, 1e6};
+  // cutoff <= 0 disables the screen.
+  EXPECT_EQ(MadScreenIndices(values, 0.0).size(), values.size());
+  // MAD == 0 (constant data) must not divide by zero or drop everything.
+  std::vector<double> constant = {5, 5, 5, 5, 1e6};
+  EXPECT_EQ(MadScreenIndices(constant, 6.0).size(), constant.size());
+  // Tiny samples pass untouched.
+  EXPECT_EQ(MadScreenIndices({1.0, 1e9}, 6.0).size(), 2u);
+}
+
+// --- RobustHorvitzThompson -------------------------------------------------
+
+std::vector<WeightedObservation> UnitWeightObs(
+    const std::vector<double>& values) {
+  std::vector<WeightedObservation> observations;
+  for (double v : values) observations.push_back({v, 1.0});
+  return observations;
+}
+
+TEST(RobustHorvitzThompsonTest, DefaultPolicyEqualsPlainHT) {
+  std::vector<WeightedObservation> observations = {
+      {10.0, 2.0}, {20.0, 5.0}, {3.0, 1.0}, {7.0, 4.0}};
+  const double total_weight = 12.0;
+  RobustEstimate robust =
+      RobustHorvitzThompson(observations, total_weight, RobustnessPolicy{});
+  EXPECT_EQ(robust.estimate, HorvitzThompson(observations, total_weight));
+  EXPECT_EQ(robust.variance,
+            HorvitzThompsonVariance(observations, total_weight));
+  EXPECT_EQ(robust.used, observations.size());
+  EXPECT_EQ(robust.screened, 0u);
+  EXPECT_EQ(robust.trimmed_mass, 0.0);
+}
+
+TEST(RobustHorvitzThompsonTest, TrimmedHandChecked) {
+  // Unit weights with total_weight 1 make the per-peer estimates the values
+  // themselves. Trimming 20% of n=5 drops one per tail: mean(2,3,4) = 3.
+  RobustnessPolicy policy;
+  policy.estimator = RobustEstimatorKind::kTrimmed;
+  policy.trim_fraction = 0.2;
+  RobustEstimate result =
+      RobustHorvitzThompson(UnitWeightObs({1, 2, 3, 4, 100}), 1.0, policy);
+  EXPECT_DOUBLE_EQ(result.estimate, 3.0);
+  EXPECT_EQ(result.used, 3u);
+  EXPECT_DOUBLE_EQ(result.trimmed_mass, 2.0 / 5.0);
+}
+
+TEST(RobustHorvitzThompsonTest, WinsorizedHandChecked) {
+  // Winsorizing clamps the tails to the cut quantiles instead of dropping:
+  // {1,2,3,4,100} -> {2,2,3,4,4}, mean 3.
+  RobustnessPolicy policy;
+  policy.estimator = RobustEstimatorKind::kWinsorized;
+  policy.trim_fraction = 0.2;
+  RobustEstimate result =
+      RobustHorvitzThompson(UnitWeightObs({1, 2, 3, 4, 100}), 1.0, policy);
+  EXPECT_DOUBLE_EQ(result.estimate, 3.0);
+  EXPECT_EQ(result.used, 5u);  // Winsorization keeps the count.
+  EXPECT_DOUBLE_EQ(result.trimmed_mass, 2.0 / 5.0);
+}
+
+TEST(RobustHorvitzThompsonTest, FullTrimDegeneratesToMedian) {
+  // trim_fraction = 1.0 would trim everything; the clamp must leave the
+  // middle observation, i.e. the median.
+  RobustnessPolicy policy;
+  policy.estimator = RobustEstimatorKind::kTrimmed;
+  policy.trim_fraction = 1.0;
+  RobustEstimate result =
+      RobustHorvitzThompson(UnitWeightObs({1, 2, 3, 4, 100}), 1.0, policy);
+  EXPECT_DOUBLE_EQ(result.estimate, 3.0);
+  EXPECT_EQ(result.used, 1u);
+  // Single observation also survives a full trim.
+  RobustEstimate single =
+      RobustHorvitzThompson(UnitWeightObs({42}), 1.0, policy);
+  EXPECT_DOUBLE_EQ(single.estimate, 42.0);
+  EXPECT_EQ(single.used, 1u);
+}
+
+TEST(RobustHorvitzThompsonTest, MadScreenRemovesFabricatedContribution) {
+  RobustnessPolicy policy;
+  policy.mad_cutoff = 6.0;
+  std::vector<double> values = {10, 11, 9, 10.5, 9.5, 10, 11, 9, 10, 1e6};
+  RobustEstimate result =
+      RobustHorvitzThompson(UnitWeightObs(values), 1.0, policy);
+  EXPECT_EQ(result.screened, 1u);
+  EXPECT_EQ(result.used, 9u);
+  EXPECT_LT(result.estimate, 12.0);
+  EXPECT_GT(result.trimmed_mass, 0.0);
+}
+
+TEST(RobustHorvitzThompsonTest, ZeroWeightContributesZeroLikePlain) {
+  // estimator.h counts weight<=0 in m with contribution 0; the robust path
+  // must treat them identically so the plain policy stays bit-equal.
+  std::vector<WeightedObservation> observations = {
+      {10.0, 0.0}, {20.0, 5.0}, {7.0, 4.0}};
+  RobustnessPolicy trimless;
+  trimless.estimator = RobustEstimatorKind::kTrimmed;  // enabled, no trim
+  RobustEstimate robust = RobustHorvitzThompson(observations, 12.0, trimless);
+  EXPECT_EQ(robust.estimate, HorvitzThompson(observations, 12.0));
+}
+
+// --- Engine edge cases -----------------------------------------------------
+
+TestNetworkParams SmallParams() {
+  TestNetworkParams params;
+  params.num_peers = 400;
+  params.num_edges = 2000;
+  params.cut_edges = 100;
+  params.tuples_per_peer = 25;
+  params.seed = 77;
+  return params;
+}
+
+query::AggregateQuery CountQuery() {
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = {1, 30};
+  query.required_error = 0.15;
+  return query;
+}
+
+RobustnessPolicy FullDefense() {
+  RobustnessPolicy policy;
+  policy.estimator = RobustEstimatorKind::kWinsorized;
+  policy.trim_fraction = 0.05;
+  policy.mad_cutoff = 6.0;
+  policy.degree_audit_probes = 3;
+  return policy;
+}
+
+TEST(RobustEngineTest, ZeroAdversariesRobustMatchesPlain) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  core::EngineParams params;
+  params.phase1_peers = 30;
+  params.max_phase2_peers = 120;
+
+  // The audit consumes caller-rng draws, so plain and robust runs see
+  // different samples; a single-run comparison would only measure sampling
+  // noise. Average over replicates and compare both means to the truth.
+  const double truth = static_cast<double>(tn.network.ExactCount(1, 30));
+  const double total = static_cast<double>(tn.network.TotalTuples());
+  const size_t kReps = 8;
+  double plain_sum = 0.0, robust_sum = 0.0;
+  uint64_t plain_tuples = 0, robust_tuples = 0;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    net::SimulatedNetwork clone = tn.network.Clone(100 + rep);
+
+    core::EngineParams plain_params = params;
+    util::Rng plain_rng(9 + rep);
+    TwoPhaseEngine plain_engine(&clone, tn.catalog, plain_params);
+    auto plain = plain_engine.Execute(CountQuery(), 0, plain_rng);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    plain_sum += plain->estimate;
+    plain_tuples += plain->sample_tuples;
+
+    core::EngineParams robust_params = params;
+    robust_params.robustness = FullDefense();
+    util::Rng robust_rng(9 + rep);
+    TwoPhaseEngine robust_engine(&clone, tn.catalog, robust_params);
+    auto robust = robust_engine.Execute(CountQuery(), 0, robust_rng);
+    ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+    robust_sum += robust->estimate;
+    robust_tuples += robust->sample_tuples;
+
+    // With every peer honest the audit must never flag anybody.
+    EXPECT_EQ(robust->suspected_peers, 0u);
+  }
+  const double plain_err = std::fabs(plain_sum / kReps - truth) / total;
+  const double robust_err = std::fabs(robust_sum / kReps - truth) / total;
+  // Both estimators hit the truth; the robustness tax on honest data
+  // (winsorization bias on the skewed HT contributions) stays small.
+  EXPECT_LT(plain_err, 0.06);
+  EXPECT_LT(robust_err, 0.08);
+  // Cost discipline: audits add O(probes) messages but must not inflate the
+  // sampled-tuples budget by more than plan-sizing noise.
+  EXPECT_LT(static_cast<double>(robust_tuples),
+            1.5 * static_cast<double>(plain_tuples) + 1000.0);
+}
+
+TEST(RobustEngineTest, AuditProbesLostToFaultPlanAreInconclusive) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  // Degree liars present, but every direct message already delivered once
+  // can be dropped: drive loss high so most audit rounds never complete.
+  net::AdversaryPlan plan =
+      net::MakeBehaviorPlan(net::AdversaryBehavior::kDegreeInflate, 0.1);
+  plan.immune = {0};
+  tn.network.InstallAdversaryPlan(plan, 3);
+
+  core::EngineParams params;
+  params.phase1_peers = 30;
+  params.max_phase2_peers = 120;
+  params.reply_retransmits = 6;  // Keep the collection itself above quorum.
+  params.robustness = FullDefense();
+  TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+
+  // Baseline: with a reliable transport the audit flags inflators.
+  util::Rng rng_reliable(21);
+  auto reliable = engine.Execute(CountQuery(), 0, rng_reliable);
+  ASSERT_TRUE(reliable.ok()) << reliable.status().ToString();
+  EXPECT_GT(reliable->suspected_peers, 0u);
+
+  // Now lose most direct messages. Lost probes/attestations are
+  // inconclusive: the audit must suspect fewer peers (usually none), and
+  // must never hard-fail the query on its own.
+  net::FaultPlan faults;
+  faults.drop_probability = 0.95;
+  tn.network.InstallFaultPlan(faults, 5);
+  util::Rng rng_lossy(21);
+  auto lossy = engine.Execute(CountQuery(), 0, rng_lossy);
+  if (lossy.ok()) {
+    EXPECT_LE(lossy->suspected_peers, reliable->suspected_peers);
+  } else {
+    // 95% loss may legitimately break the observation quorum; that failure
+    // belongs to collection, not the audit.
+    EXPECT_NE(lossy.status().ToString().find("quorum"), std::string::npos)
+        << lossy.status().ToString();
+  }
+}
+
+TEST(RobustEngineTest, ReplayedRepliesAreDedupedNotDoubleCounted) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  core::EngineParams params;
+  params.phase1_peers = 30;
+  params.max_phase2_peers = 120;
+
+  // Honest baseline.
+  util::Rng honest_rng(13);
+  TwoPhaseEngine honest_engine(&tn.network, tn.catalog, params);
+  auto honest = honest_engine.Execute(CountQuery(), 0, honest_rng);
+  ASSERT_TRUE(honest.ok()) << honest.status().ToString();
+
+  // Replay-only adversaries tamper with nothing; they just push duplicate
+  // copies. In the synchronous engine the network RNG feeds only latency,
+  // so after dedup the estimate must be *bitwise identical* to the honest
+  // run — the regression for the reply double-counting bug.
+  net::AdversaryPlan plan =
+      net::MakeBehaviorPlan(net::AdversaryBehavior::kReplay, 0.2);
+  tn.network.InstallAdversaryPlan(plan, 17);
+  util::Rng replay_rng(13);
+  TwoPhaseEngine replay_engine(&tn.network, tn.catalog, params);
+  auto replayed = replay_engine.Execute(CountQuery(), 0, replay_rng);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+
+  EXPECT_GT(replayed->duplicate_replies, 0u);
+  EXPECT_EQ(replayed->estimate, honest->estimate);
+  EXPECT_EQ(replayed->variance, honest->variance);
+  EXPECT_EQ(replayed->phase2_peers, honest->phase2_peers);
+  EXPECT_FALSE(replayed->degraded);
+}
+
+TEST(RobustEngineTest, AsyncReplayedRepliesAreDedupedNotDoubleCounted) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  net::AdversaryPlan plan =
+      net::MakeBehaviorPlan(net::AdversaryBehavior::kReplay, 0.2);
+  tn.network.InstallAdversaryPlan(plan, 17);
+  core::AsyncParams params;
+  params.engine.phase1_peers = 30;
+  params.engine.max_phase2_peers = 120;
+  params.walkers = 4;
+  params.walk.jump = tn.catalog.suggested_jump;
+  params.walk.burn_in = tn.catalog.suggested_burn_in;
+  core::AsyncQuerySession session(&tn.network, tn.catalog, params);
+  util::Rng rng(13);
+  auto report = session.Execute(CountQuery(), /*sink=*/0, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Event ordering makes the async estimate float-sensitive, so no bitwise
+  // comparison against an honest run here — the contract is that replayed
+  // copies are counted as duplicates, never as quorum observations.
+  EXPECT_GT(report->answer.duplicate_replies, 0u);
+  EXPECT_FALSE(report->answer.degraded);
+  EXPECT_EQ(report->answer.observations_lost, 0u);
+}
+
+}  // namespace
+}  // namespace p2paqp::core

@@ -6,9 +6,14 @@
 // verdict can always be replayed exactly.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "core/async_engine.h"
+#include "net/adversary.h"
 #include "net/fault.h"
 #include "test_common.h"
+#include "util/parallel.h"
 
 namespace p2paqp {
 namespace {
@@ -51,6 +56,9 @@ void ExpectIdentical(const core::ApproximateAnswer& a,
   EXPECT_EQ(a.observations_lost, b.observations_lost);
   EXPECT_EQ(a.walk_restarts, b.walk_restarts);
   EXPECT_EQ(a.achieved_error, b.achieved_error);
+  EXPECT_EQ(a.suspected_peers, b.suspected_peers);
+  EXPECT_EQ(a.trimmed_mass, b.trimmed_mass);
+  EXPECT_EQ(a.duplicate_replies, b.duplicate_replies);
   EXPECT_EQ(a.cost.peers_visited, b.cost.peers_visited);
   EXPECT_EQ(a.cost.walker_hops, b.cost.walker_hops);
   EXPECT_EQ(a.cost.messages, b.cost.messages);
@@ -128,7 +136,7 @@ TEST(DeterminismTest, AsyncSessionRerunIsBitIdentical) {
     auto q = CountQuery();
     auto report = session.Execute(q, /*sink=*/0, rng);
     EXPECT_TRUE(report.ok()) << report.status().ToString();
-    return *report;
+    return report.ok() ? *report : core::AsyncQueryReport{};
   };
   auto first = run(a);
   auto second = run(b);
@@ -156,12 +164,187 @@ TEST(DeterminismTest, AsyncLossyRerunIsBitIdentical) {
     auto q = CountQuery();
     auto report = session.Execute(q, /*sink=*/0, rng);
     EXPECT_TRUE(report.ok()) << report.status().ToString();
-    return *report;
+    return report.ok() ? *report : core::AsyncQueryReport{};
   };
   auto first = run(a);
   auto second = run(b);
   ExpectIdentical(first.answer, second.answer);
   EXPECT_EQ(first.makespan_ms, second.makespan_ms);
+}
+
+// A non-trivial adversary regime: 15% of peers inflating degree, scaling
+// aggregates, replaying replies and hijacking walks at once, composed with a
+// lossy fault plan, defended by the full RobustnessPolicy.
+net::AdversaryPlan NastyAdversaryPlan() {
+  net::AdversaryPlan plan;
+  plan.adversary_fraction = 0.15;
+  plan.immune = {0};  // The sink.
+  plan.degree_factor = 3.0;
+  plan.value_scale = 5.0;
+  plan.outlier_probability = 0.2;
+  plan.replay_copies = 2;
+  // Hijack is deliberately off here: combined with degree inflation it traps
+  // the walk inside the coalition, the audit then (correctly) rejects the
+  // entire sample, and the query fails Unavailable. Hijack determinism has
+  // its own test below.
+  plan.hijack_walk = false;
+  return plan;
+}
+
+core::RobustnessPolicy FullDefensePolicy() {
+  core::RobustnessPolicy policy;
+  policy.estimator = core::RobustEstimatorKind::kWinsorized;
+  policy.trim_fraction = 0.05;
+  policy.mad_cutoff = 6.0;
+  policy.degree_audit_probes = 3;
+  return policy;
+}
+
+TEST(DeterminismTest, AllZeroAdversaryPlanIsAStrictNoOp) {
+  TestNetwork a = MakeTestNetwork(SmallParams());
+  TestNetwork b = MakeTestNetwork(SmallParams());
+  auto bare = RunOnce(a, 99, nullptr, 0);
+  b.network.InstallAdversaryPlan(net::AdversaryPlan{}, 31337);
+  EXPECT_EQ(b.network.adversary(), nullptr);
+  auto with_zero_plan = RunOnce(b, 99, nullptr, 0);
+  ExpectIdentical(bare, with_zero_plan);
+}
+
+TEST(DeterminismTest, AdversarialRerunIsBitIdentical) {
+  TestNetwork a = MakeTestNetwork(SmallParams());
+  TestNetwork b = MakeTestNetwork(SmallParams());
+  net::FaultPlan faults;
+  faults.drop_probability = 0.1;
+  auto run = [&](TestNetwork& tn) {
+    tn.network.InstallFaultPlan(faults, 777);
+    tn.network.InstallAdversaryPlan(NastyAdversaryPlan(), 888);
+    core::EngineParams params;
+    params.phase1_peers = 30;
+    params.max_phase2_peers = 120;
+    params.robustness = FullDefensePolicy();
+    core::TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+    util::Rng rng(99);
+    auto answer = engine.Execute(CountQuery(), /*sink=*/0, rng);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return answer.ok() ? *answer : core::ApproximateAnswer{};
+  };
+  auto first = run(a);
+  auto second = run(b);
+  ExpectIdentical(first, second);
+  // The regime must actually bite for the replay to mean anything.
+  EXPECT_GT(a.network.adversary()->replays_injected(), 0u);
+}
+
+TEST(DeterminismTest, HijackedWalkRerunIsBitIdentical) {
+  TestNetwork a = MakeTestNetwork(SmallParams());
+  TestNetwork b = MakeTestNetwork(SmallParams());
+  net::AdversaryPlan plan;
+  plan.adversary_fraction = 0.15;
+  plan.immune = {0};
+  plan.hijack_walk = true;
+  plan.value_scale = 5.0;  // Honest degrees: the audit passes everybody.
+  auto run = [&](TestNetwork& tn) {
+    tn.network.InstallAdversaryPlan(plan, 555);
+    core::EngineParams params;
+    params.phase1_peers = 30;
+    params.max_phase2_peers = 120;
+    params.robustness = FullDefensePolicy();
+    core::TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+    util::Rng rng(99);
+    auto answer = engine.Execute(CountQuery(), /*sink=*/0, rng);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    return answer.ok() ? *answer : core::ApproximateAnswer{};
+  };
+  auto first = run(a);
+  auto second = run(b);
+  ExpectIdentical(first, second);
+  EXPECT_GT(a.network.adversary()->hops_hijacked(), 0u);
+}
+
+TEST(DeterminismTest, AsyncAdversarialRerunIsBitIdentical) {
+  TestNetwork a = MakeTestNetwork(SmallParams());
+  TestNetwork b = MakeTestNetwork(SmallParams());
+  net::FaultPlan faults;
+  faults.drop_probability = 0.1;
+  auto run = [&](TestNetwork& tn) {
+    tn.network.InstallFaultPlan(faults, 4040);
+    tn.network.InstallAdversaryPlan(NastyAdversaryPlan(), 888);
+    core::AsyncParams params;
+    params.engine.phase1_peers = 30;
+    params.engine.max_phase2_peers = 120;
+    params.engine.robustness = FullDefensePolicy();
+    params.walkers = 4;
+    params.walk.jump = tn.catalog.suggested_jump;
+    params.walk.burn_in = tn.catalog.suggested_burn_in;
+    core::AsyncQuerySession session(&tn.network, tn.catalog, params);
+    util::Rng rng(56);
+    auto q = CountQuery();
+    auto report = session.Execute(q, /*sink=*/0, rng);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? *report : core::AsyncQueryReport{};
+  };
+  auto first = run(a);
+  auto second = run(b);
+  ExpectIdentical(first.answer, second.answer);
+  EXPECT_EQ(first.makespan_ms, second.makespan_ms);
+  EXPECT_EQ(first.events, second.events);
+}
+
+// PR-3 contract composed with the adversary layer: parallel replicates over
+// per-replicate clones (each carrying the adversary + fault plans, re-seeded
+// from the clone seed) are bit-identical for any P2PAQP_THREADS.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("P2PAQP_THREADS");
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv("P2PAQP_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_old_) {
+      ::setenv("P2PAQP_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("P2PAQP_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(DeterminismTest, AdversarialReplicatesAreThreadCountInvariant) {
+  TestNetwork base = MakeTestNetwork(SmallParams());
+  net::FaultPlan faults;
+  faults.drop_probability = 0.05;
+  base.network.InstallFaultPlan(faults, 777);
+  base.network.InstallAdversaryPlan(NastyAdversaryPlan(), 888);
+
+  auto run_replicates = [&base](const char* threads) {
+    ScopedThreads scoped(threads);
+    return util::ParallelMap(8, [&base](size_t rep) {
+      net::SimulatedNetwork network = base.network.Clone(5000 + rep);
+      core::EngineParams params;
+      params.phase1_peers = 30;
+      params.max_phase2_peers = 120;
+      params.robustness = FullDefensePolicy();
+      core::TwoPhaseEngine engine(&network, base.catalog, params);
+      util::Rng rng(100 + rep);
+      auto answer = engine.Execute(CountQuery(), /*sink=*/0, rng);
+      return answer.ok() ? answer->estimate : -1.0;
+    });
+  };
+  std::vector<double> one = run_replicates("1");
+  std::vector<double> two = run_replicates("2");
+  std::vector<double> eight = run_replicates("8");
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // Replicates with different clone seeds must differ (the adversary set is
+  // redrawn per clone), or the comparison above is vacuous.
+  EXPECT_NE(one[0], one[1]);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Unit tests for the Byzantine adversary layer (net/adversary.h): plan
+// gating, deterministic coalition draws, per-behavior tampering hooks, and
+// the network install/clone plumbing — including composition with the PR-1
+// fault layer.
+#include "net/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_common.h"
+
+namespace p2paqp::net {
+namespace {
+
+using p2paqp::testing::MakeTestNetwork;
+using p2paqp::testing::TestNetwork;
+using p2paqp::testing::TestNetworkParams;
+
+TEST(AdversaryPlanTest, AllZeroPlanIsDisabled) {
+  AdversaryPlan plan;
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(AdversaryPlanTest, PeersWithoutBehaviorAreDisabled) {
+  AdversaryPlan plan;
+  plan.adversary_fraction = 0.5;  // Marked peers that behave honestly.
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(AdversaryPlanTest, BehaviorWithoutPeersIsDisabled) {
+  AdversaryPlan plan;
+  plan.value_scale = -1.0;  // A lie nobody tells.
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(AdversaryPlanTest, EachBehaviorKnobEnables) {
+  for (AdversaryBehavior behavior :
+       {AdversaryBehavior::kDegreeInflate, AdversaryBehavior::kDegreeDeflate,
+        AdversaryBehavior::kSignFlip, AdversaryBehavior::kScale,
+        AdversaryBehavior::kOutlier, AdversaryBehavior::kReplay,
+        AdversaryBehavior::kHijack}) {
+    AdversaryPlan plan = MakeBehaviorPlan(behavior, 0.1);
+    EXPECT_TRUE(plan.enabled()) << AdversaryBehaviorToString(behavior);
+  }
+}
+
+TEST(AdversaryPlanTest, BehaviorNamesRoundTrip) {
+  for (AdversaryBehavior behavior :
+       {AdversaryBehavior::kDegreeInflate, AdversaryBehavior::kDegreeDeflate,
+        AdversaryBehavior::kSignFlip, AdversaryBehavior::kScale,
+        AdversaryBehavior::kOutlier, AdversaryBehavior::kReplay,
+        AdversaryBehavior::kHijack}) {
+    AdversaryBehavior parsed;
+    ASSERT_TRUE(
+        ParseAdversaryBehavior(AdversaryBehaviorToString(behavior), &parsed));
+    EXPECT_EQ(parsed, behavior);
+  }
+  AdversaryBehavior parsed;
+  EXPECT_FALSE(ParseAdversaryBehavior("no_such_behavior", &parsed));
+}
+
+TEST(AdversaryInjectorTest, CoalitionDrawIsDeterministicAndSized) {
+  AdversaryPlan plan = MakeBehaviorPlan(AdversaryBehavior::kScale, 0.2);
+  AdversaryInjector a(plan, 42, 1000);
+  AdversaryInjector b(plan, 42, 1000);
+  AdversaryInjector c(plan, 43, 1000);
+  EXPECT_EQ(a.Adversaries(), b.Adversaries());
+  EXPECT_NE(a.Adversaries(), c.Adversaries());
+  EXPECT_EQ(a.Adversaries().size(), 200u);
+}
+
+TEST(AdversaryInjectorTest, ImmunePeersAreNeverMarked) {
+  AdversaryPlan plan = MakeBehaviorPlan(AdversaryBehavior::kScale, 1.0);
+  plan.immune = {0, 7};
+  plan.adversaries = {7};  // Immunity beats an explicit listing.
+  AdversaryInjector injector(plan, 42, 50);
+  EXPECT_FALSE(injector.IsAdversarial(0));
+  EXPECT_FALSE(injector.IsAdversarial(7));
+  EXPECT_EQ(injector.Adversaries().size(), 48u);
+}
+
+TEST(AdversaryInjectorTest, ExplicitAdversariesAreMarked) {
+  AdversaryPlan plan;
+  plan.adversaries = {3, 5};
+  plan.value_scale = 2.0;
+  AdversaryInjector injector(plan, 42, 10);
+  EXPECT_TRUE(injector.IsAdversarial(3));
+  EXPECT_TRUE(injector.IsAdversarial(5));
+  EXPECT_FALSE(injector.IsAdversarial(4));
+}
+
+TEST(AdversaryInjectorTest, ClaimedDegreeInflatesAndDeflates) {
+  AdversaryPlan plan;
+  plan.adversaries = {1};
+  plan.degree_factor = 4.0;
+  AdversaryInjector inflate(plan, 42, 10);
+  EXPECT_EQ(inflate.ClaimedDegree(1, 5), 20u);
+  EXPECT_EQ(inflate.ClaimedDegree(2, 5), 5u);  // Honest peer.
+  EXPECT_EQ(inflate.degrees_misreported(), 1u);
+
+  plan.degree_factor = 0.1;
+  AdversaryInjector deflate(plan, 42, 10);
+  EXPECT_EQ(deflate.ClaimedDegree(1, 5), 1u);  // Clamped to >= 1.
+}
+
+TEST(AdversaryInjectorTest, OnReplyScalesAndReplays) {
+  AdversaryPlan plan;
+  plan.adversaries = {1};
+  plan.value_scale = -1.0;
+  plan.replay_copies = 3;
+  AdversaryInjector injector(plan, 42, 10);
+  ReplyTampering honest = injector.OnReply(2);
+  EXPECT_EQ(honest.value_scale, 1.0);
+  EXPECT_EQ(honest.replays, 0u);
+  ReplyTampering evil = injector.OnReply(1);
+  EXPECT_EQ(evil.value_scale, -1.0);
+  EXPECT_EQ(evil.replays, 3u);
+  EXPECT_EQ(injector.replies_tampered(), 1u);
+  EXPECT_EQ(injector.replays_injected(), 3u);
+}
+
+TEST(AdversaryInjectorTest, OutlierDrawFiresAtProbabilityOne) {
+  AdversaryPlan plan;
+  plan.adversaries = {1};
+  plan.outlier_probability = 1.0;
+  plan.outlier_magnitude = 100.0;
+  AdversaryInjector injector(plan, 42, 10);
+  ReplyTampering tampering = injector.OnReply(1);
+  EXPECT_TRUE(tampering.outlier);
+  EXPECT_EQ(tampering.value_scale, 100.0);
+}
+
+TEST(AdversaryInjectorTest, HijackRestrictsToColluders) {
+  AdversaryPlan plan;
+  plan.adversaries = {1, 2};
+  plan.hijack_walk = true;
+  AdversaryInjector injector(plan, 42, 10);
+  std::vector<graph::NodeId> neighbors = {2, 3, 4};
+  injector.RestrictForwarding(1, &neighbors);
+  EXPECT_EQ(neighbors, (std::vector<graph::NodeId>{2}));
+  EXPECT_EQ(injector.hops_hijacked(), 1u);
+}
+
+TEST(AdversaryInjectorTest, HijackerWithoutColludersForwardsHonestly) {
+  AdversaryPlan plan;
+  plan.adversaries = {1};
+  plan.hijack_walk = true;
+  AdversaryInjector injector(plan, 42, 10);
+  std::vector<graph::NodeId> neighbors = {3, 4};
+  injector.RestrictForwarding(1, &neighbors);
+  EXPECT_EQ(neighbors, (std::vector<graph::NodeId>{3, 4}));
+  EXPECT_EQ(injector.hops_hijacked(), 0u);
+}
+
+TEST(AdversaryInjectorTest, HonestHolderIsNeverRestricted) {
+  AdversaryPlan plan;
+  plan.adversaries = {1, 2};
+  plan.hijack_walk = true;
+  AdversaryInjector injector(plan, 42, 10);
+  std::vector<graph::NodeId> neighbors = {1, 2, 3};
+  injector.RestrictForwarding(5, &neighbors);
+  EXPECT_EQ(neighbors.size(), 3u);
+}
+
+TestNetworkParams SmallParams() {
+  TestNetworkParams params;
+  params.num_peers = 300;
+  params.num_edges = 1500;
+  params.cut_edges = 80;
+  params.tuples_per_peer = 20;
+  params.seed = 99;
+  return params;
+}
+
+TEST(AdversaryNetworkTest, InstallAndUninstall) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  EXPECT_EQ(tn.network.adversary(), nullptr);
+  tn.network.InstallAdversaryPlan(
+      MakeBehaviorPlan(AdversaryBehavior::kScale, 0.1), 7);
+  ASSERT_NE(tn.network.adversary(), nullptr);
+  EXPECT_FALSE(tn.network.adversary()->Adversaries().empty());
+  tn.network.InstallAdversaryPlan(AdversaryPlan{}, 7);
+  EXPECT_EQ(tn.network.adversary(), nullptr);
+}
+
+TEST(AdversaryNetworkTest, CloneCarriesPlanWithFreshSeed) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  tn.network.InstallAdversaryPlan(
+      MakeBehaviorPlan(AdversaryBehavior::kScale, 0.1), 7);
+  SimulatedNetwork clone_a = tn.network.Clone(1);
+  SimulatedNetwork clone_b = tn.network.Clone(1);
+  SimulatedNetwork clone_c = tn.network.Clone(2);
+  ASSERT_NE(clone_a.adversary(), nullptr);
+  // Same clone seed -> same coalition; different seed -> an independent
+  // redraw (same size, almost surely different membership).
+  EXPECT_EQ(clone_a.adversary()->Adversaries(),
+            clone_b.adversary()->Adversaries());
+  EXPECT_EQ(clone_a.adversary()->Adversaries().size(),
+            clone_c.adversary()->Adversaries().size());
+  EXPECT_NE(clone_a.adversary()->Adversaries(),
+            clone_c.adversary()->Adversaries());
+}
+
+TEST(AdversaryNetworkTest, ComposesWithFaultPlanInEngineRun) {
+  TestNetwork tn = MakeTestNetwork(SmallParams());
+  FaultPlan faults;
+  faults.drop_probability = 0.1;
+  tn.network.InstallFaultPlan(faults, 11);
+  AdversaryPlan plan = MakeBehaviorPlan(AdversaryBehavior::kScale, 0.15);
+  plan.replay_copies = 2;
+  plan.immune = {0};
+  tn.network.InstallAdversaryPlan(plan, 13);
+
+  core::EngineParams params;
+  params.phase1_peers = 20;
+  params.max_phase2_peers = 80;
+  core::TwoPhaseEngine engine(&tn.network, tn.catalog, params);
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = {1, 30};
+  query.required_error = 0.15;
+  util::Rng rng(5);
+  auto answer = engine.Execute(query, /*sink=*/0, rng);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  // Both layers must have bitten: faults lost replies AND the coalition
+  // tampered with some.
+  EXPECT_GT(tn.network.fault_injector()->dropped(), 0u);
+  EXPECT_GT(tn.network.adversary()->replies_tampered(), 0u);
+}
+
+}  // namespace
+}  // namespace p2paqp::net

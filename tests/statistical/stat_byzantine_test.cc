@@ -1,0 +1,234 @@
+// Statistical verification of the Byzantine-tolerance layer (PR 4): with a
+// coalition of lying peers (degree inflation + aggregate corruption), the
+// robust sink (MAD screening + winsorized HT + degree audit + reply dedup)
+// must keep the paper's normalized error within the required envelope, while
+// the plain Horvitz-Thompson sink — fed the identical tampered replies —
+// visibly fails. The plain-HT run is the negative control proving the test
+// can detect the attack it claims to defend against.
+//
+// The chaos-matrix entries (ctest -L chaos) re-run the bounded-error check
+// across adversary fraction x behavior via the P2PAQP_CHAOS_FRACTION and
+// P2PAQP_CHAOS_BEHAVIOR environment variables.
+#include "statistical_test_util.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "net/adversary.h"
+
+namespace p2paqp {
+namespace {
+
+// The combined attack the acceptance criterion names: adversaries claim 4x
+// their degree (shrinking their HT weight 4x) and ship 20x their true local
+// aggregates. Net effect on plain HT: each adversarial observation lands
+// ~5x too high — the two lies partially cancel, which is exactly why the
+// degree audit and the value screen are separate defenses.
+net::AdversaryPlan CombinedAttack(double fraction) {
+  net::AdversaryPlan plan;
+  plan.adversary_fraction = fraction;
+  plan.degree_factor = 4.0;
+  plan.value_scale = 20.0;
+  return plan;
+}
+
+core::RobustnessPolicy DefensePolicy() {
+  core::RobustnessPolicy policy;
+  policy.estimator = core::RobustEstimatorKind::kWinsorized;
+  policy.trim_fraction = 0.05;
+  policy.mad_cutoff = 6.0;
+  policy.degree_audit_probes = 3;
+  return policy;
+}
+
+struct ByzantineRun {
+  verify::CalibrationAccumulator acc;
+  util::RunningStat normalized_errors;
+  size_t suspected_peers = 0;
+  size_t duplicate_replies = 0;
+  double trimmed_mass_sum = 0.0;
+  size_t failures = 0;  // Replicates the engine refused to answer.
+};
+
+struct ByzantineOutcome {
+  verify::EstimateSample sample;
+  double normalized_error = 0.0;
+  size_t suspected_peers = 0;
+  size_t duplicate_replies = 0;
+  double trimmed_mass = 0.0;
+  bool failed = false;
+};
+
+// Installs `plan` on the shared synthetic world (CloneWorld re-seeds the
+// injector per replicate, so coalitions are redrawn independently) and runs
+// replicated queries under `policy`.
+ByzantineRun RunByzantineReplicates(const net::AdversaryPlan& plan,
+                                    const core::RobustnessPolicy& policy,
+                                    size_t replicates, uint64_t base_seed) {
+  bench::World& world = testing::SyntheticStatWorld();
+  world.network.InstallAdversaryPlan(plan, base_seed ^ 0xB1Bu);
+
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 40};
+  query.required_error = 0.08;
+  const double truth = testing::EngineTruth(world, query);
+
+  std::vector<ByzantineOutcome> outcomes = util::ParallelMap(
+      replicates, [&](size_t r) {
+        util::Rng rng(verify::ReplicateSeed(base_seed, r));
+        bench::World rep_world = bench::CloneWorld(
+            world, testing::ReplicateNetworkSeed(base_seed, r));
+        core::EngineParams params;
+        params.phase1_peers = 40;
+        params.max_phase2_peers = 250;
+        params.robustness = policy;
+        core::TwoPhaseEngine engine(&rep_world.network, rep_world.catalog,
+                                    params);
+        graph::NodeId sink = testing::RandomLiveSink(rep_world.network, rng);
+        auto answer = engine.Execute(query, sink, rng);
+        ByzantineOutcome out;
+        if (!answer.ok()) {
+          // A hostile regime may legitimately starve the quorum (e.g. the
+          // audit rejecting a captured sample); count it, don't crash.
+          out.failed = true;
+          return out;
+        }
+        out.sample = verify::EstimateSample{answer->estimate, truth,
+                                            answer->ci_half_width_95};
+        out.normalized_error =
+            bench::NormalizedError(world, query, answer->estimate);
+        out.suspected_peers = answer->suspected_peers;
+        out.duplicate_replies = answer->duplicate_replies;
+        out.trimmed_mass = answer->trimmed_mass;
+        return out;
+      });
+  world.network.InstallAdversaryPlan(net::AdversaryPlan{}, 0);
+
+  ByzantineRun run;
+  for (const ByzantineOutcome& out : outcomes) {
+    if (out.failed) {
+      ++run.failures;
+      continue;
+    }
+    run.acc.Add(out.sample);
+    run.normalized_errors.Add(out.normalized_error);
+    run.suspected_peers += out.suspected_peers;
+    run.duplicate_replies += out.duplicate_replies;
+    run.trimmed_mass_sum += out.trimmed_mass;
+  }
+  return run;
+}
+
+// --- Acceptance: 10% combined attack ---------------------------------------
+
+// The robust sink keeps the normalized error within the required envelope
+// under the acceptance regime (10% adversaries, degree inflation + 10x
+// aggregate corruption).
+TEST(StatByzantineTest, RobustWithinEnvelopeAtTenPercent) {
+  auto run = RunByzantineReplicates(CombinedAttack(0.10), DefensePolicy(),
+                                    verify::Replicates(12, 48), 0xb001);
+  ASSERT_GT(run.acc.total(), 0u);
+  EXPECT_EQ(run.failures, 0u);
+  EXPECT_LT(run.normalized_errors.mean(), 0.08);
+  // The defenses visibly worked: audits caught inflators or the estimator
+  // clipped corrupted mass.
+  EXPECT_GT(run.suspected_peers + static_cast<size_t>(
+                run.trimmed_mass_sum > 0.0 ? 1 : 0), 0u);
+}
+
+// Stated tolerance ceiling: the robust error envelope still holds (with a
+// looser bound) at a 20% coalition.
+TEST(StatByzantineTest, RobustDegradesGracefullyAtTwentyPercent) {
+  auto run = RunByzantineReplicates(CombinedAttack(0.20), DefensePolicy(),
+                                    verify::Replicates(12, 48), 0xb002);
+  ASSERT_GT(run.acc.total(), 0u);
+  EXPECT_LT(run.normalized_errors.mean(), 0.12);
+}
+
+// Negative control: the plain Horvitz-Thompson sink fed the identical
+// tampered replies must MISS the envelope the robust sink meets — otherwise
+// the test above proves nothing about the defenses.
+TEST(StatByzantineTest, PlainHTCanaryFailsUnderAttack) {
+  auto run = RunByzantineReplicates(CombinedAttack(0.10),
+                                    core::RobustnessPolicy{},
+                                    verify::Replicates(12, 48), 0xb003);
+  ASSERT_GT(run.acc.total(), 0u);
+  EXPECT_GT(run.normalized_errors.mean(), 0.08);
+}
+
+// --- Zero-adversary agreement -----------------------------------------------
+
+// With every peer honest, the robust sink stays unbiased and agrees with the
+// plain sink: the robustness tax on honest data is bounded.
+TEST(StatByzantineTest, ZeroAdversariesRobustAgreesWithPlain) {
+  auto robust = RunByzantineReplicates(net::AdversaryPlan{}, DefensePolicy(),
+                                       verify::Replicates(12, 48), 0xb004);
+  auto plain = RunByzantineReplicates(net::AdversaryPlan{},
+                                      core::RobustnessPolicy{},
+                                      verify::Replicates(12, 48), 0xb004);
+  ASSERT_GT(robust.acc.total(), 0u);
+  EXPECT_EQ(robust.suspected_peers, 0u);
+  EXPECT_LT(robust.normalized_errors.mean(), 0.08);
+  EXPECT_LT(std::fabs(robust.normalized_errors.mean() -
+                      plain.normalized_errors.mean()),
+            0.03);
+}
+
+// Robust estimates stay unbiased on honest data (the winsorization bias is
+// inside the z-test's tolerance band).
+TEST(StatByzantineTest, ZeroAdversariesRobustUnbiased) {
+  bench::World& world = testing::SyntheticStatWorld();
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 40};
+  double truth = testing::EngineTruth(world, query);
+  auto run = RunByzantineReplicates(net::AdversaryPlan{}, DefensePolicy(),
+                                    verify::Replicates(16, 64), 0xb005);
+  EXPECT_STAT_PASS(verify::MeanZTest(run.acc.errors(), 0.0,
+                                     verify::DefaultAlpha(),
+                                     /*bias_tolerance=*/0.02 * truth));
+}
+
+// --- Chaos matrix -----------------------------------------------------------
+
+// One cell of the CI chaos matrix: P2PAQP_CHAOS_FRACTION x
+// P2PAQP_CHAOS_BEHAVIOR select the regime; the robust sink must answer with
+// bounded error in every cell. Unset variables default to the acceptance
+// regime's fraction with the scale behavior.
+TEST(StatByzantineTest, ChaosMatrixCellStaysBounded) {
+  double fraction = 0.10;
+  if (const char* env = std::getenv("P2PAQP_CHAOS_FRACTION")) {
+    fraction = std::atof(env);
+  }
+  net::AdversaryBehavior behavior = net::AdversaryBehavior::kScale;
+  if (const char* env = std::getenv("P2PAQP_CHAOS_BEHAVIOR")) {
+    ASSERT_TRUE(net::ParseAdversaryBehavior(env, &behavior)) << env;
+  }
+  net::AdversaryPlan plan = net::MakeBehaviorPlan(behavior, fraction);
+  auto run = RunByzantineReplicates(plan, DefensePolicy(),
+                                    verify::Replicates(8, 24), 0xc000);
+  ASSERT_GT(run.acc.total(), 0u);
+  // Hostile regimes may starve individual replicates; most must answer.
+  EXPECT_LE(run.failures * 4, run.acc.total());
+  // Regime-aware envelope. Hijack is a sampling-capture attack: trapped
+  // walks over-sample colluders whose *values* are honest, so the sink-side
+  // value/degree screens only partially mitigate it (documented gap in
+  // docs/ALGORITHM.md; the walk-level mitigation is independent parallel
+  // walkers). A 20% coalition sits near the winsorized screen's effective
+  // breakdown point, so its bound is looser too.
+  double bound = 0.15;
+  if (behavior == net::AdversaryBehavior::kHijack) {
+    bound = 0.35;
+  } else if (fraction >= 0.2) {
+    bound = 0.30;
+  }
+  EXPECT_LT(run.normalized_errors.mean(), bound);
+  if (behavior == net::AdversaryBehavior::kReplay && fraction > 0.0) {
+    EXPECT_GT(run.duplicate_replies, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace p2paqp
