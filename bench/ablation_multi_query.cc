@@ -1,0 +1,145 @@
+// Ablation: multi-query scheduling (shared sample frames + walker batching).
+//
+// The paper pays one full random walk per query. The QueryScheduler
+// multiplexes K concurrent queries over one walk: the kWalker token carries
+// K query bodies behind a single shared header, the Phase-I frame is reused
+// across queries and batches, and replies come back batched. This ablation
+// pits K independent two-phase runs against one K-wide scheduler batch and
+// reports messages-per-query (the scaling bottleneck) and queries/sec.
+// Acceptance line for PR 5: >= 3x messages-per-query reduction at K=8.
+#include <chrono>
+
+#include "core/multi_query.h"
+#include "harness.h"
+
+namespace p2paqp::bench {
+namespace {
+
+// Batches per arm: > 1 so frame reuse across batches is visible.
+constexpr int kBatchesPerArm = 3;
+
+std::vector<query::AggregateQuery> MakeQueries(const World& world, size_t k) {
+  auto zipf = util::ZipfGenerator::Make(100, world.zipf_skew);
+  std::vector<query::AggregateQuery> queries(k);
+  for (size_t i = 0; i < k; ++i) {
+    // Distinct selectivities so the K queries are genuinely different
+    // signatures (no accidental local-result sharing beyond the cache).
+    double selectivity = 0.10 + 0.60 * static_cast<double>(i) /
+                                    static_cast<double>(std::max<size_t>(
+                                        1, k - 1));
+    queries[i].op = query::AggregateOp::kCount;
+    queries[i].predicate =
+        query::PredicateForSelectivity(*zipf, 1, selectivity);
+    queries[i].required_error = 0.10;
+  }
+  return queries;
+}
+
+int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
+  WorldConfig config_world;
+  config_world.num_peers = 2000;
+  config_world.num_edges = 20000;
+  config_world.cluster_level = 0.25;
+  World world = BuildWorld(config_world);
+
+  core::SystemCatalog catalog = world.catalog;
+  catalog.suggested_jump = 10;
+  catalog.suggested_burn_in = 50;
+
+  util::AsciiTable table({"K", "msgs_per_query_indep", "msgs_per_query_batch",
+                          "reduction_x", "queries_per_sec_batch",
+                          "frame_hit_rate", "mean_error_batch"});
+
+  for (size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<query::AggregateQuery> queries = MakeQueries(world, k);
+
+    // --- Arm 1: K independent two-phase runs per batch. ---
+    World indep_world = CloneWorld(world, 0x17D0 + k);
+    core::TwoPhaseEngine engine(&indep_world.network, catalog,
+                                core::EngineParams{});
+    util::Rng rng_indep(101 + k);
+    net::CostSnapshot indep_before = indep_world.network.cost_snapshot();
+    size_t indep_answers = 0;
+    for (int batch = 0; batch < kBatchesPerArm; ++batch) {
+      for (const query::AggregateQuery& query : queries) {
+        auto answer = engine.Execute(query, 0, rng_indep);
+        if (answer.ok()) ++indep_answers;
+      }
+    }
+    net::CostSnapshot indep_cost =
+        net::CostDelta(indep_world.network.cost_snapshot(), indep_before);
+    double indep_mpq =
+        static_cast<double>(indep_cost.messages) /
+        static_cast<double>(std::max<size_t>(1, k * kBatchesPerArm));
+
+    // --- Arm 2: one K-wide scheduler batch per round, shared frame. ---
+    World sched_world = CloneWorld(world, 0xBA7C4 + k);
+    core::FreshnessCache cache(/*ttl_epochs=*/100, /*max_entries=*/1 << 16);
+    core::SchedulerParams sched_params;
+    sched_params.walk.jump = catalog.suggested_jump;
+    sched_params.walk.burn_in = catalog.suggested_burn_in;
+    core::QueryScheduler scheduler(&sched_world.network, sched_world.catalog,
+                                   sched_params, &cache);
+    util::Rng rng_sched(101 + k);
+    net::CostSnapshot sched_before = sched_world.network.cost_snapshot();
+    auto t0 = std::chrono::steady_clock::now();
+    double error_sum = 0.0;
+    size_t error_count = 0;
+    size_t frame_hits = 0;
+    size_t frame_misses = 0;
+    for (int batch = 0; batch < kBatchesPerArm; ++batch) {
+      core::BatchResult result = scheduler.ExecuteBatch(queries, 0, rng_sched);
+      frame_hits += result.frame.frame_hits;
+      frame_misses += result.frame.frame_misses;
+      for (size_t i = 0; i < result.answers.size(); ++i) {
+        if (!result.answers[i].ok()) continue;
+        error_sum +=
+            NormalizedError(sched_world, queries[i],
+                            result.answers[i]->estimate);
+        ++error_count;
+      }
+    }
+    double sched_wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    net::CostSnapshot sched_cost =
+        net::CostDelta(sched_world.network.cost_snapshot(), sched_before);
+    const size_t sched_queries = k * kBatchesPerArm;
+    double sched_mpq = static_cast<double>(sched_cost.messages) /
+                       static_cast<double>(sched_queries);
+    double qps = sched_wall > 0.0
+                     ? static_cast<double>(sched_queries) / sched_wall
+                     : 0.0;
+    double hit_rate =
+        static_cast<double>(frame_hits) /
+        static_cast<double>(std::max<size_t>(1, frame_hits + frame_misses));
+    RecordSchedulerTelemetry(sched_queries, sched_wall,
+                             static_cast<double>(sched_cost.messages),
+                             static_cast<double>(frame_hits));
+
+    table.AddRow(
+        {util::AsciiTable::FormatInt(static_cast<int64_t>(k)),
+         util::AsciiTable::FormatDouble(indep_mpq, 1),
+         util::AsciiTable::FormatDouble(sched_mpq, 1),
+         util::AsciiTable::FormatDouble(
+             sched_mpq > 0.0 ? indep_mpq / sched_mpq : 0.0, 2),
+         util::AsciiTable::FormatDouble(qps, 1),
+         util::AsciiTable::FormatPercent(hit_rate),
+         util::AsciiTable::FormatPercent(
+             error_count > 0 ? error_sum / static_cast<double>(error_count)
+                             : 0.0)});
+  }
+
+  EmitFigure(
+      "Ablation: multi-query scheduler (shared frames + batched walkers)",
+      "COUNT stream, 2000 peers, 3 batches per K; independent = K separate "
+      "two-phase runs",
+      table, io);
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp::bench
+
+int main(int argc, char** argv) { return p2paqp::bench::Run(argc, argv); }

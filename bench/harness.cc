@@ -37,6 +37,12 @@ struct BenchTelemetry {
   double observations_lost = 0.0;
   double suspected_peers = 0.0;
   double trimmed_mass = 0.0;
+  // Multi-query scheduler telemetry (core::QueryScheduler batches); zero
+  // for binaries that never run the scheduler.
+  size_t sched_queries = 0;
+  double sched_wall_s = 0.0;
+  double sched_messages = 0.0;
+  double sched_frame_hits = 0.0;
 };
 
 BenchTelemetry& Telemetry() {
@@ -57,6 +63,16 @@ void RecordRunTelemetry(const RunStats& stats) {
 }
 
 }  // namespace
+
+void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
+                              double frame_hits) {
+  BenchTelemetry& t = Telemetry();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.sched_queries += queries;
+  t.sched_wall_s += wall_s;
+  t.sched_messages += messages;
+  t.sched_frame_hits += frame_hits;
+}
 
 // Normalized error per op (Sec. 5.5: errors in [0, 1]).
 double NormalizedError(const World& world, const query::AggregateQuery& query,
@@ -489,12 +505,22 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"mean_peers_visited\": %.3f,\n"
                "  \"mean_observations_lost\": %.3f,\n"
                "  \"mean_suspected_peers\": %.3f,\n"
-               "  \"mean_trimmed_mass\": %.6f\n"
+               "  \"mean_trimmed_mass\": %.6f,\n"
+               "  \"queries_per_sec\": %.3f,\n"
+               "  \"messages_per_query\": %.3f,\n"
+               "  \"frame_hits\": %.1f\n"
                "}\n",
                io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
                t.peers_visited / n, t.observations_lost / n,
-               t.suspected_peers / n, t.trimmed_mass / n);
+               t.suspected_peers / n, t.trimmed_mass / n,
+               t.sched_wall_s > 0.0
+                   ? static_cast<double>(t.sched_queries) / t.sched_wall_s
+                   : 0.0,
+               t.sched_queries > 0
+                   ? t.sched_messages / static_cast<double>(t.sched_queries)
+                   : 0.0,
+               t.sched_frame_hits);
   std::fclose(f);
 }
 

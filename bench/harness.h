@@ -133,6 +133,13 @@ RunStats RunExperiment(const World& world, const RunConfig& config);
 RunStats RunBaselineExperiment(const World& world, const RunConfig& config,
                                core::BaselineKind baseline);
 
+// Records one core::QueryScheduler batch into the binary's BENCH telemetry:
+// `queries` answered in `wall_s` seconds with `messages` wire messages and
+// `frame_hits` frame selections served from the cached sample frame. Feeds
+// the `queries_per_sec` / `messages_per_query` / `frame_hits` JSON fields.
+void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
+                              double frame_hits);
+
 // Resolves the predicate for a run (explicit predicate wins; otherwise the
 // target selectivity against Zipf(world.zipf_skew)).
 query::RangePredicate ResolvePredicate(const World& world,

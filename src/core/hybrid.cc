@@ -17,6 +17,11 @@ uint64_t FreshnessCache::Key(graph::NodeId peer,
   return h;
 }
 
+void FreshnessCache::Touch(Entry& entry) {
+  if (max_entries_ == 0) return;
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+}
+
 bool FreshnessCache::Lookup(graph::NodeId peer,
                             const query::AggregateQuery& query,
                             query::LocalAggregate* out) {
@@ -26,6 +31,10 @@ bool FreshnessCache::Lookup(graph::NodeId peer,
     ++misses_;
     return false;
   }
+  // Expired entries above stay resident until overwritten or evicted, and a
+  // stale hit does NOT refresh recency — a dead entry must not displace live
+  // ones in LRU order.
+  Touch(it->second);
   ++hits_;
   *out = it->second.aggregate;
   return true;
@@ -34,7 +43,28 @@ bool FreshnessCache::Lookup(graph::NodeId peer,
 void FreshnessCache::Store(graph::NodeId peer,
                            const query::AggregateQuery& query,
                            const query::LocalAggregate& aggregate) {
-  entries_[Key(peer, query)] = Entry{aggregate, epoch_};
+  uint64_t key = Key(peer, query);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.aggregate = aggregate;
+    it->second.stored_epoch = epoch_;
+    Touch(it->second);
+    return;
+  }
+  if (max_entries_ > 0 && entries_.size() >= max_entries_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  Entry entry;
+  entry.aggregate = aggregate;
+  entry.stored_epoch = epoch_;
+  if (max_entries_ > 0) {
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+  }
+  entries_.emplace(key, std::move(entry));
 }
 
 }  // namespace p2paqp::core

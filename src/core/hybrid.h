@@ -11,6 +11,7 @@
 #define P2PAQP_CORE_HYBRID_H_
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 
 #include "core/two_phase.h"
@@ -18,10 +19,16 @@
 namespace p2paqp::core {
 
 // Epoch-based freshness cache implementing TwoPhaseEngine's cache hook.
+// Bounded: when `max_entries` > 0, storing beyond the cap evicts the least
+// recently used entry (lookups and stores both refresh recency), so a
+// long-lived sink multiplexing many query signatures cannot grow without
+// bound. Eviction is deterministic — pure LRU order, no hashing involved.
 class FreshnessCache : public LocalResultCache {
  public:
   // Entries older than `ttl_epochs` epochs are treated as missing.
-  explicit FreshnessCache(uint64_t ttl_epochs) : ttl_epochs_(ttl_epochs) {}
+  // `max_entries` == 0 means unbounded (the pre-LRU behavior).
+  explicit FreshnessCache(uint64_t ttl_epochs, size_t max_entries = 0)
+      : ttl_epochs_(ttl_epochs), max_entries_(max_entries) {}
 
   // Advance simulated time; call whenever peer data may have changed
   // (e.g., after a churn step or a data refresh).
@@ -34,23 +41,33 @@ class FreshnessCache : public LocalResultCache {
              const query::LocalAggregate& aggregate) override;
 
   size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
     query::LocalAggregate aggregate;
     uint64_t stored_epoch = 0;
+    // Position in lru_ (most recent at the front); only maintained when the
+    // cache is bounded.
+    std::list<uint64_t>::iterator lru_pos;
   };
 
   // Cache key: peer + the query signature that determines the local answer.
   static uint64_t Key(graph::NodeId peer, const query::AggregateQuery& query);
 
+  void Touch(Entry& entry);
+
   uint64_t ttl_epochs_;
+  size_t max_entries_;
   uint64_t epoch_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // Keys, most recently used first.
 };
 
 }  // namespace p2paqp::core

@@ -1,0 +1,401 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/cross_validation.h"
+#include "core/estimator.h"
+#include "core/robust_estimator.h"
+#include "query/local_executor.h"
+
+namespace p2paqp::core {
+
+namespace {
+
+constexpr double kZ95 = 1.959963984540054;
+
+std::vector<WeightedObservation> ToWeighted(
+    const std::vector<PeerObservation>& observations, query::AggregateOp op) {
+  std::vector<WeightedObservation> weighted;
+  weighted.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    weighted.push_back({obs.aggregate.ValueFor(op), obs.stationary_weight});
+  }
+  return weighted;
+}
+
+// Horvitz-Thompson estimate of the total aggregate over the database (tuple
+// count for COUNT, all-tuples sum for SUM); error-normalization only.
+double EstimateTotal(const std::vector<PeerObservation>& observations,
+                     query::AggregateOp op, double total_weight) {
+  std::vector<WeightedObservation> totals;
+  totals.reserve(observations.size());
+  for (const PeerObservation& obs : observations) {
+    double value = op == query::AggregateOp::kSum
+                       ? obs.aggregate.total_sum_value
+                       : static_cast<double>(obs.aggregate.local_tuples);
+    totals.push_back({value, obs.stationary_weight});
+  }
+  return HorvitzThompson(totals, total_weight);
+}
+
+size_t Quorum(double fraction, size_t requested) {
+  return static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(requested)));
+}
+
+}  // namespace
+
+struct QueryScheduler::QueryState {
+  const query::AggregateQuery* query = nullptr;
+  std::vector<PeerObservation> phase1;
+  std::vector<PeerObservation> phase2;
+  TwoPhaseEngine::CollectionStats s1;
+  TwoPhaseEngine::CollectionStats s2;
+  size_t phase2_needed = 0;
+  double cv_normalized = 0.0;
+  double estimated_total = 0.0;
+  bool failed = false;
+  util::Status failure = util::Status::Ok();
+
+  void Fail(util::Status why) {
+    failed = true;
+    failure = std::move(why);
+  }
+};
+
+QueryScheduler::QueryScheduler(net::SimulatedNetwork* network,
+                               const SystemCatalog& catalog,
+                               const SchedulerParams& params,
+                               FreshnessCache* cache)
+    : network_(network),
+      catalog_(catalog),
+      params_(params),
+      cache_(cache),
+      total_weight_(catalog.total_degree_weight()) {
+  P2PAQP_CHECK(network_ != nullptr);
+  P2PAQP_CHECK(cache_ != nullptr);
+  P2PAQP_CHECK_GT(total_weight_, 0.0);
+  P2PAQP_CHECK_GE(params_.engine.phase1_peers, 2u);
+}
+
+void QueryScheduler::BeginBatchFrame(SampleFrameStats* stats) {
+  if (!frame_.selections.empty() &&
+      cache_->epoch() - frame_.epoch > params_.frame_ttl_epochs) {
+    // Expired: a frame this old may misrepresent the live overlay. Rebuild
+    // whole rather than mixing selection vintages.
+    frame_.selections.clear();
+    ++stats->rebuilds;
+    ++lifetime_frame_.rebuilds;
+  }
+  batch_carry_ = frame_.selections.size();
+}
+
+util::Status QueryScheduler::EnsureFrame(size_t needed, graph::NodeId sink,
+                                         uint32_t batch, util::Rng& rng,
+                                         SampleFrameStats* stats) {
+  if (frame_.selections.empty()) frame_.epoch = cache_->epoch();
+  size_t have = frame_.selections.size();
+  // Hits are carried-over selections only; `stats` accumulates across the
+  // batch's phases, so count the carry prefix [0, min(carry, needed)) once.
+  size_t usable_carry = std::min(batch_carry_, needed);
+  if (usable_carry > stats->frame_hits) {
+    size_t new_hits = usable_carry - stats->frame_hits;
+    stats->frame_hits += new_hits;
+    lifetime_frame_.frame_hits += new_hits;
+  }
+  stats->frame_epoch = frame_.epoch;
+  lifetime_frame_.frame_epoch = frame_.epoch;
+  if (have >= needed) return util::Status::Ok();
+
+  // Incremental top-up: walk only the missing selections. The walk restarts
+  // at the sink with a fresh burn-in, so appended selections are stationary
+  // like the originals.
+  sampling::WalkParams walk_params = params_.walk;
+  walk_params.batch = params_.batch_walkers ? batch : 1;
+  sampling::RandomWalk walk(network_, walk_params);
+  auto outcome = walk.CollectResilient(sink, needed - have, rng);
+  if (!outcome.ok()) return outcome.status();
+  for (const sampling::PeerVisit& visit : outcome->visits) {
+    frame_.selections.push_back(visit);
+  }
+  size_t appended = outcome->visits.size();
+  stats->frame_misses += appended;
+  lifetime_frame_.frame_misses += appended;
+  // Truncation (budget exhaustion) leaves a short frame; the per-query
+  // quorum checks downstream decide whether that is fatal.
+  return util::Status::Ok();
+}
+
+void QueryScheduler::CollectRange(std::vector<QueryState>& states,
+                                  size_t first, size_t last,
+                                  graph::NodeId sink, bool phase2,
+                                  util::Rng& rng) {
+  net::AdversaryInjector* adversary = network_->adversary();
+  const size_t retransmits = params_.engine.reply_retransmits;
+  std::vector<size_t> active;
+  std::vector<PeerObservation> pending;
+  for (size_t idx = first; idx < last && idx < frame_.selections.size();
+       ++idx) {
+    const sampling::PeerVisit& visit = frame_.selections[idx];
+    size_t offset = idx - first;
+    active.clear();
+    for (size_t q = 0; q < states.size(); ++q) {
+      if (states[q].failed) continue;
+      if (phase2 && offset >= states[q].phase2_needed) continue;
+      active.push_back(q);
+    }
+    if (active.empty()) break;  // Offsets only grow; nobody needs the rest.
+    // A frame peer may have departed since selection (or between batches):
+    // every query multiplexed on this visit loses the observation.
+    if (!network_->IsAlive(visit.peer)) continue;
+    const auto batch_width = static_cast<uint32_t>(active.size());
+    // Per-query local execution, answered from the shared FreshnessCache
+    // when the (peer, query-signature) pair was computed recently.
+    pending.clear();
+    for (size_t q : active) {
+      QueryState& state = states[q];
+      PeerObservation obs;
+      obs.peer = visit.peer;
+      obs.degree = visit.degree;
+      // Weight under which the peer entered the frame; reused selections
+      // keep their selection-time degree so prob(p) matches the draw.
+      obs.stationary_weight = static_cast<double>(visit.degree);
+      obs.selection_seq = idx;
+      bool from_cache =
+          cache_->Lookup(visit.peer, *state.query, &obs.aggregate);
+      if (from_cache) {
+        // The visit happened but the peer answers from cache: no local scan.
+        network_->cost().RecordPeerVisit();
+      } else {
+        obs.aggregate = query::ExecuteLocal(
+            network_->peer(visit.peer).database(), *state.query,
+            query::SubSamplePolicy{.t = params_.engine.tuples_per_peer,
+                                   .mode = params_.engine.subsample_mode,
+                                   .block_size = params_.engine.block_size},
+            rng);
+        network_->RecordLocalExecution(visit.peer,
+                                       obs.aggregate.processed_tuples,
+                                       obs.aggregate.processed_tuples);
+        cache_->Store(visit.peer, *state.query, obs.aggregate);
+      }
+      // Degree/value lies follow the batched reply exactly as they follow
+      // the per-query one; replayed duplicates are dropped by the sink's
+      // (query, peer, seq) tag dedup and only waste adversary bandwidth, so
+      // they are not modeled on this path.
+      TamperObservation(adversary, &obs);
+      pending.push_back(obs);
+    }
+    // One batched reply carries every multiplexed query's (y(p), deg(p))
+    // body behind a single shared header. Lost in transit = lost for all of
+    // them; retransmitted after a sink-side timeout like the engine's.
+    bool delivered = false;
+    for (size_t attempt = 0; attempt <= retransmits; ++attempt) {
+      if (attempt > 0) {
+        for (size_t q : active) {
+          TwoPhaseEngine::CollectionStats& s =
+              phase2 ? states[q].s2 : states[q].s1;
+          ++s.reply_retransmits;
+        }
+      }
+      util::Status sent =
+          network_->SendDirect(net::MessageType::kAggregateReply, visit.peer,
+                               sink, /*extra_payload_bytes=*/0, batch_width);
+      if (sent.ok()) {
+        delivered = true;
+        break;
+      }
+      if (!network_->IsAlive(visit.peer) || !network_->IsAlive(sink)) break;
+    }
+    if (!delivered) continue;
+    for (size_t i = 0; i < active.size(); ++i) {
+      QueryState& state = states[active[i]];
+      (phase2 ? state.phase2 : state.phase1).push_back(pending[i]);
+    }
+  }
+}
+
+BatchResult QueryScheduler::ExecuteBatch(
+    const std::vector<query::AggregateQuery>& queries, graph::NodeId sink,
+    util::Rng& rng) {
+  BatchResult result;
+  result.answers.reserve(queries.size());
+  net::CostSnapshot before = network_->cost_snapshot();
+  if (!params_.reuse_frame) InvalidateFrame();
+  BeginBatchFrame(&result.frame);
+
+  std::vector<QueryState> states(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    states[q].query = &queries[q];
+    if (queries[q].op != query::AggregateOp::kCount &&
+        queries[q].op != query::AggregateOp::kSum) {
+      states[q].Fail(util::Status::InvalidArgument(
+          "scheduler batches support COUNT and SUM only"));
+    }
+  }
+  bool sink_ok =
+      sink < network_->num_peers() && network_->IsAlive(sink);
+  if (!sink_ok) {
+    for (QueryState& state : states) {
+      if (!state.failed) {
+        state.Fail(util::Status::FailedPrecondition("sink peer is not live"));
+      }
+    }
+  }
+
+  const size_t m = params_.engine.phase1_peers;
+  const double quorum_fraction = params_.engine.min_observation_quorum;
+  size_t live = 0;
+  for (const QueryState& state : states) live += state.failed ? 0 : 1;
+
+  if (live > 0) {
+    // ---- Phase I over the shared frame prefix [0, m). ----
+    util::Status framed = EnsureFrame(m, sink, static_cast<uint32_t>(live),
+                                      rng, &result.frame);
+    if (!framed.ok()) {
+      for (QueryState& state : states) {
+        if (!state.failed) state.Fail(framed);
+      }
+    } else {
+      for (QueryState& state : states) {
+        if (!state.failed) state.s1.requested = m;
+      }
+      CollectRange(states, 0, m, sink, /*phase2=*/false, rng);
+      for (QueryState& state : states) {
+        if (state.failed) continue;
+        state.s1.delivered = state.phase1.size();
+        state.s1.lost = state.s1.requested - state.s1.delivered;
+        if (state.s1.delivered < Quorum(quorum_fraction, state.s1.requested)) {
+          state.Fail(util::Status::Unavailable(
+              "observation quorum not met in phase I"));
+        } else if (state.phase1.size() < 2) {
+          state.Fail(util::Status::Unavailable(
+              "phase I delivered too few observations to cross-validate"));
+        }
+      }
+    }
+  }
+
+  // ---- Per-query cross-validation sizing (paper Sec. 3.4). ----
+  const size_t max_phase2 = params_.engine.max_phase2_peers == 0
+                                ? network_->num_peers()
+                                : params_.engine.max_phase2_peers;
+  size_t widest_plan = 0;
+  for (QueryState& state : states) {
+    if (state.failed) continue;
+    CrossValidationResult cv =
+        CrossValidate(ToWeighted(state.phase1, state.query->op), total_weight_,
+                      params_.engine.cv_repeats, rng);
+    state.estimated_total =
+        EstimateTotal(state.phase1, state.query->op, total_weight_);
+    if (state.estimated_total <= 0.0 ||
+        params_.engine.normalization == ErrorNormalization::kQueryAnswer) {
+      state.estimated_total = std::fabs(cv.estimate);
+    }
+    state.cv_normalized = state.estimated_total == 0.0
+                              ? 0.0
+                              : cv.cv_error / state.estimated_total;
+    state.phase2_needed = PhaseTwoSampleSize(
+        state.phase1.size(), state.cv_normalized,
+        state.query->required_error, params_.engine.min_phase2_peers,
+        max_phase2);
+    widest_plan = std::max(widest_plan, state.phase2_needed);
+  }
+
+  if (widest_plan > 0) {
+    // ---- Phase II over frame slots [m, m + widest_plan): one shared
+    // top-up sized by the largest plan; each query consumes its prefix. ----
+    size_t live2 = 0;
+    for (const QueryState& state : states) live2 += state.failed ? 0 : 1;
+    util::Status framed =
+        EnsureFrame(m + widest_plan, sink, static_cast<uint32_t>(live2), rng,
+                    &result.frame);
+    if (!framed.ok()) {
+      for (QueryState& state : states) {
+        if (!state.failed) state.Fail(framed);
+      }
+    } else {
+      for (QueryState& state : states) {
+        if (!state.failed) state.s2.requested = state.phase2_needed;
+      }
+      CollectRange(states, m, m + widest_plan, sink, /*phase2=*/true, rng);
+      for (QueryState& state : states) {
+        if (state.failed) continue;
+        state.s2.delivered = state.phase2.size();
+        state.s2.lost = state.s2.requested - state.s2.delivered;
+        if (state.s2.delivered < Quorum(quorum_fraction, state.s2.requested)) {
+          state.Fail(util::Status::Unavailable(
+              "observation quorum not met in phase II"));
+        }
+      }
+    }
+  }
+  // ---- Per-query estimation epilogue (mirrors ExecuteCentral). ----
+  const RobustnessPolicy& policy = params_.engine.robustness;
+  for (QueryState& state : states) {
+    if (state.failed) {
+      result.answers.emplace_back(state.failure);
+      continue;
+    }
+    std::vector<PeerObservation> final_set;
+    if (params_.engine.include_phase1_observations) {
+      final_set = state.phase1;
+      final_set.insert(final_set.end(), state.phase2.begin(),
+                       state.phase2.end());
+    } else {
+      final_set = state.phase2;
+    }
+    size_t suspected =
+        AuditObservationDegrees(network_, policy, sink, &final_set, rng);
+    if (final_set.empty()) {
+      result.answers.emplace_back(util::Status::Unavailable(
+          "degree audit rejected every observation"));
+      continue;
+    }
+    ApproximateAnswer answer;
+    answer.suspected_peers = suspected;
+    auto weighted = ToWeighted(final_set, state.query->op);
+    if (policy.enabled()) {
+      RobustEstimate robust =
+          RobustHorvitzThompson(weighted, total_weight_, policy);
+      answer.estimate = robust.estimate;
+      answer.variance = robust.variance;
+      answer.trimmed_mass = robust.trimmed_mass;
+    } else {
+      answer.estimate = HorvitzThompson(weighted, total_weight_);
+      answer.variance = HorvitzThompsonVariance(weighted, total_weight_);
+    }
+    answer.observations_lost = state.s1.lost + state.s2.lost;
+    answer.walk_restarts = state.s1.walk_restarts + state.s2.walk_restarts;
+    answer.degraded = answer.observations_lost > 0 || suspected > 0 ||
+                      answer.trimmed_mass > 0.0;
+    double inflation = 1.0;
+    if (answer.observations_lost > 0) {
+      size_t requested = state.s1.requested + state.s2.requested;
+      size_t arrived = state.s1.delivered + state.s2.delivered;
+      inflation =
+          std::sqrt(static_cast<double>(requested) /
+                    static_cast<double>(std::max<size_t>(arrived, 1)));
+    }
+    double discarded = std::min(answer.trimmed_mass, 0.9);
+    if (discarded > 0.0) inflation *= std::sqrt(1.0 / (1.0 - discarded));
+    answer.ci_half_width_95 = kZ95 * std::sqrt(answer.variance) * inflation;
+    answer.estimated_total = state.estimated_total;
+    answer.cv_error_relative = state.cv_normalized;
+    answer.phase1_peers = state.phase1.size();
+    answer.phase2_peers = state.phase2.size();
+    double denom = state.estimated_total > 0.0 ? state.estimated_total
+                                               : std::fabs(answer.estimate);
+    answer.achieved_error =
+        denom > 0.0 ? answer.ci_half_width_95 / denom : 0.0;
+    // Per-query cost stays zero: the batched walk/reply work is shared and
+    // indivisible. BatchResult::cost carries the whole batch.
+    result.answers.emplace_back(std::move(answer));
+  }
+
+  result.cost = net::CostDelta(network_->cost_snapshot(), before);
+  return result;
+}
+
+}  // namespace p2paqp::core

@@ -4,7 +4,17 @@
 
 namespace p2paqp::graph {
 
-GraphBuilder::GraphBuilder(size_t num_nodes) : adjacency_(num_nodes) {}
+GraphBuilder::GraphBuilder(size_t num_nodes, size_t expected_edges)
+    : adjacency_(num_nodes) {
+  if (expected_edges == 0 || num_nodes == 0) return;
+  edges_.reserve(expected_edges);
+  // Each undirected edge lands in two adjacency lists; round up so the
+  // expected-degree guess covers even distributions exactly.
+  size_t expected_degree = (2 * expected_edges + num_nodes - 1) / num_nodes;
+  for (std::vector<NodeId>& list : adjacency_) {
+    list.reserve(expected_degree);
+  }
+}
 
 uint64_t GraphBuilder::EdgeKey(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);

@@ -12,7 +12,11 @@ namespace p2paqp::graph {
 // Accumulates undirected edges; ignores self loops and duplicates.
 class GraphBuilder {
  public:
-  explicit GraphBuilder(size_t num_nodes);
+  // `expected_edges` pre-sizes the dedup index and the per-node adjacency
+  // vectors (assuming roughly even degrees), so bulk construction — e.g.
+  // the 22k-node Gnutella topology — avoids rehashing and per-push
+  // reallocation. 0 = no reservation.
+  explicit GraphBuilder(size_t num_nodes, size_t expected_edges = 0);
 
   // Adds {a, b}; returns false (and does nothing) if the edge is a self loop,
   // already present, or out of range.

@@ -104,8 +104,12 @@ util::Result<net::SimulatedNetwork> LoadWorld(
   if (num_nodes == 0 || num_nodes > (1ULL << 32)) {
     return util::Status::InvalidArgument("implausible node count");
   }
+  if (num_edges > num_nodes * (num_nodes - 1) / 2) {
+    return util::Status::InvalidArgument("implausible edge count");
+  }
 
-  graph::GraphBuilder builder(static_cast<size_t>(num_nodes));
+  graph::GraphBuilder builder(static_cast<size_t>(num_nodes),
+                              static_cast<size_t>(num_edges));
   for (uint64_t e = 0; e < num_edges; ++e) {
     graph::NodeId a = 0;
     graph::NodeId b = 0;

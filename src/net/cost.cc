@@ -2,7 +2,23 @@
 
 #include <cstdio>
 
+#include "util/logging.h"
+
 namespace p2paqp::net {
+
+void CostTracker::RecordBatchedMessage(uint64_t batched_bytes,
+                                       uint64_t per_query_bytes,
+                                       uint32_t batch, uint64_t header_bytes) {
+  P2PAQP_CHECK_GE(batch, 1u);
+  P2PAQP_CHECK_GE(per_query_bytes, header_bytes);
+  // sum of per-query payloads, minus the batch-1 headers shared away.
+  uint64_t expected =
+      batch * per_query_bytes - (uint64_t{batch} - 1) * header_bytes;
+  P2PAQP_CHECK_EQ(batched_bytes, expected)
+      << "batched payload must equal sum of per-query payloads plus exactly "
+         "one shared header";
+  RecordMessage(batched_bytes);
+}
 
 CostSnapshot& CostSnapshot::operator+=(const CostSnapshot& other) {
   peers_visited += other.peers_visited;

@@ -38,6 +38,12 @@ class CostTracker {
     ++snapshot_.messages;
     snapshot_.bytes_shipped += bytes;
   }
+  // Records one wire message multiplexing `batch` per-query payloads behind
+  // a single shared header. Asserts the batched size is exactly the sum of
+  // the per-query payloads plus one header — i.e. neither the header nor a
+  // payload body is charged twice. Still one message on the wire.
+  void RecordBatchedMessage(uint64_t batched_bytes, uint64_t per_query_bytes,
+                            uint32_t batch, uint64_t header_bytes);
   void RecordTuplesScanned(uint64_t n) { snapshot_.tuples_scanned += n; }
   void RecordTuplesSampled(uint64_t n) { snapshot_.tuples_sampled += n; }
   // Adds latency on the critical path (sequential operations accumulate;

@@ -1,24 +1,124 @@
 #include "net/event_sim.h"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 namespace p2paqp::net {
 
+uint32_t EventQueue::AcquireSlot(Callback callback) {
+  if (free_head_ != kNoSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    slab_[slot].callback = std::move(callback);
+    slab_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  uint32_t slot = static_cast<uint32_t>(slab_.size());
+  P2PAQP_CHECK_LT(slot, kSlotMask) << "event slab exhausted";
+  slab_.push_back(Slot{std::move(callback), kNoSlot});
+  return slot;
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  // Drop the callback's captures immediately; the slot goes to the head of
+  // the free list so the hot loop reuses the same few slots.
+  slab_[slot].callback = nullptr;
+  slab_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::SiftUp(size_t index) {
+  Handle moving = heap_[index];
+  while (index > 0) {
+    size_t parent = (index - 1) / 4;
+    if (!Earlier(moving, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = moving;
+}
+
+void EventQueue::SiftDown(size_t index) {
+  const size_t size = heap_.size();
+  Handle moving = heap_[index];
+  for (;;) {
+    size_t first_child = index * 4 + 1;
+    if (first_child >= size) break;
+    size_t last_child = first_child + 4 < size ? first_child + 4 : size;
+    size_t best = first_child;
+    for (size_t child = first_child + 1; child < last_child; ++child) {
+      if (Earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!Earlier(heap_[best], moving)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = moving;
+}
+
+EventQueue::Handle EventQueue::PopHeap() {
+  Handle top = heap_[0];
+  Handle last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    SiftDown(0);
+  }
+  return top;
+}
+
+void EventQueue::Flush() {
+  // Both inputs are strictly totally ordered (unique sequences), so the
+  // merged order — and therefore every later pop — is independent of when
+  // flushes happen.
+  std::sort(heap_.begin(), heap_.end(), Later);
+  scratch_.clear();
+  scratch_.reserve(sorted_.size() + heap_.size());
+  std::merge(sorted_.begin(), sorted_.end(), heap_.begin(), heap_.end(),
+             std::back_inserter(scratch_), Later);
+  sorted_.swap(scratch_);
+  heap_.clear();
+}
+
 void EventQueue::ScheduleAt(double at, Callback callback) {
   P2PAQP_CHECK_GE(at, now_) << "cannot schedule in the past";
-  heap_.push(Event{at, next_sequence_++, std::move(callback)});
+  P2PAQP_CHECK_LT(next_sequence_, uint64_t{1} << (64 - kSlotBits))
+      << "event sequence space exhausted";
+  uint32_t slot = AcquireSlot(std::move(callback));
+  heap_.push_back(Handle{at, (next_sequence_++ << kSlotBits) | slot});
+  SiftUp(heap_.size() - 1);
+  if (heap_.size() >= kFlushThreshold) Flush();
 }
 
 bool EventQueue::RunOne() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via the
-  // const_cast idiom (the element is popped immediately after).
-  auto& top = const_cast<Event&>(heap_.top());
-  double at = top.at;
-  Callback callback = std::move(top.callback);
-  heap_.pop();
-  now_ = at;
+  Handle top;
+  if (sorted_.empty()) {
+    if (heap_.empty()) return false;
+    top = PopHeap();
+  } else if (heap_.empty() || Earlier(sorted_.back(), heap_[0])) {
+    top = sorted_.back();
+    sorted_.pop_back();
+  } else {
+    top = PopHeap();
+  }
+  now_ = top.at;
   ++executed_;
+  // Pull the NEXT pop's slab slot toward the cache while this callback runs;
+  // pop order is unrelated to slab order, so this access misses otherwise.
+  if (!sorted_.empty()) {
+    __builtin_prefetch(&slab_[static_cast<uint32_t>(sorted_.back().key) &
+                              kSlotMask]);
+  }
+  if (!heap_.empty()) {
+    __builtin_prefetch(&slab_[static_cast<uint32_t>(heap_[0].key) &
+                              kSlotMask]);
+  }
+  // The callback is moved out before the slot is released, so it may safely
+  // schedule new events (which can reuse the freed slot) while running.
+  uint32_t slot = static_cast<uint32_t>(top.key) & kSlotMask;
+  Callback callback = std::move(slab_[slot].callback);
+  ReleaseSlot(slot);
   callback();
   return true;
 }
@@ -29,6 +129,13 @@ double EventQueue::RunUntilEmpty(uint64_t max_events) {
     P2PAQP_CHECK_GT(budget--, 0u) << "event cascade exceeded budget";
   }
   return now_;
+}
+
+void EventQueue::Reserve(size_t events) {
+  slab_.reserve(events);
+  sorted_.reserve(events);
+  scratch_.reserve(events);
+  heap_.reserve(events < kFlushThreshold ? events : kFlushThreshold);
 }
 
 }  // namespace p2paqp::net

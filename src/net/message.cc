@@ -28,8 +28,14 @@ const char* MessageTypeToString(MessageType type) {
   return "UNKNOWN";
 }
 
+uint32_t BatchedPayloadBytes(MessageType type, uint32_t batch) {
+  if (batch <= 1) return DefaultPayloadBytes(type);
+  uint32_t body = DefaultPayloadBytes(type) - kGnutellaHeaderBytes;
+  return kGnutellaHeaderBytes + batch * body;
+}
+
 uint32_t DefaultPayloadBytes(MessageType type) {
-  constexpr uint32_t kHeader = 23;  // Gnutella 0.4 descriptor header.
+  constexpr uint32_t kHeader = kGnutellaHeaderBytes;
   switch (type) {
     case MessageType::kPing:
       return kHeader;

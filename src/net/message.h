@@ -27,9 +27,18 @@ enum class MessageType : uint8_t {
 
 const char* MessageTypeToString(MessageType type);
 
+// Gnutella 0.4 descriptor header, shared once per wire message no matter how
+// many query payloads the message multiplexes.
+inline constexpr uint32_t kGnutellaHeaderBytes = 23;
+
 // Nominal wire sizes (bytes) used by the bandwidth accounting. Derived from
 // the Gnutella 0.4 header (23 bytes) plus typed payloads.
 uint32_t DefaultPayloadBytes(MessageType type);
+
+// Wire size of a message carrying `batch` per-query payloads behind one
+// shared header: header + batch * body. `batch == 1` is exactly
+// DefaultPayloadBytes, so unbatched callers are unchanged.
+uint32_t BatchedPayloadBytes(MessageType type, uint32_t batch);
 
 struct Message {
   MessageType type = MessageType::kPing;

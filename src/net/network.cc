@@ -155,7 +155,7 @@ graph::NodeId CrashCandidate(MessageType type, graph::NodeId from,
 
 util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
                                              graph::NodeId from,
-                                             graph::NodeId to) {
+                                             graph::NodeId to, uint32_t batch) {
   if (from >= peers_.size() || to >= peers_.size()) {
     return util::Status::InvalidArgument("endpoint out of range");
   }
@@ -165,7 +165,13 @@ util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
   if (!peers_[from].alive() || !peers_[to].alive()) {
     return util::Status::Unavailable("endpoint departed");
   }
-  cost_.RecordMessage(DefaultPayloadBytes(type));
+  if (batch > 1) {
+    cost_.RecordBatchedMessage(BatchedPayloadBytes(type, batch),
+                               DefaultPayloadBytes(type), batch,
+                               kGnutellaHeaderBytes);
+  } else {
+    cost_.RecordMessage(DefaultPayloadBytes(type));
+  }
   cost_.RecordWalkerHops(1);
   double latency = SampleHopLatency();
   if (fault_.has_value()) {
@@ -189,14 +195,25 @@ util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
 util::Status SimulatedNetwork::SendDirect(MessageType type,
                                           graph::NodeId from,
                                           graph::NodeId to,
-                                          uint32_t extra_payload_bytes) {
+                                          uint32_t extra_payload_bytes,
+                                          uint32_t batch) {
   if (from >= peers_.size() || to >= peers_.size()) {
     return util::Status::InvalidArgument("endpoint out of range");
   }
   if (!peers_[from].alive() || !peers_[to].alive()) {
     return util::Status::Unavailable("endpoint departed");
   }
-  cost_.RecordMessage(DefaultPayloadBytes(type) + extra_payload_bytes);
+  if (batch > 1) {
+    // extra_payload_bytes is a per-query rider, so it multiplies with the
+    // batch while the header is still shared once.
+    cost_.RecordBatchedMessage(
+        BatchedPayloadBytes(type, batch) +
+            uint64_t{batch} * extra_payload_bytes,
+        DefaultPayloadBytes(type) + extra_payload_bytes, batch,
+        kGnutellaHeaderBytes);
+  } else {
+    cost_.RecordMessage(DefaultPayloadBytes(type) + extra_payload_bytes);
+  }
   // Direct IP replies do not ride the overlay but still cross the Internet
   // once; replies overlap the walk, so only the message cost (not latency on
   // the critical path) is charged beyond a single hop-equivalent.

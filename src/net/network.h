@@ -74,14 +74,19 @@ class SimulatedNetwork {
   // --- Message transport -------------------------------------------------
   // One overlay hop between adjacent live peers (walker forwarding).
   // Returns InvalidArgument for non-edges, Unavailable for dead endpoints.
+  // `batch` > 1 means the token multiplexes that many per-query payloads
+  // behind one shared header: still one message / one hop on the wire, with
+  // bytes accounted through the batched-payload assert in net/cost.cc.
   util::Status SendAlongEdge(MessageType type, graph::NodeId from,
-                             graph::NodeId to);
+                             graph::NodeId to, uint32_t batch = 1);
 
   // Direct IP transport (no overlay routing): visited peers know the sink's
   // address from the walker and reply straight back (Sec. 3.2).
-  // `extra_payload_bytes` rides on top of the type's nominal size.
+  // `extra_payload_bytes` rides on top of the type's nominal size; `batch`
+  // multiplexes per-query reply bodies behind one header as above.
   util::Status SendDirect(MessageType type, graph::NodeId from,
-                          graph::NodeId to, uint32_t extra_payload_bytes = 0);
+                          graph::NodeId to, uint32_t extra_payload_bytes = 0,
+                          uint32_t batch = 1);
 
   // --- Fault injection ----------------------------------------------------
   // Installs a fault regime for subsequent messages, replacing any previous

@@ -52,6 +52,7 @@ RandomWalk::RandomWalk(net::SimulatedNetwork* network,
     : network_(network), params_(params) {
   P2PAQP_CHECK(network_ != nullptr);
   P2PAQP_CHECK_GE(params_.jump, 1u) << "jump must be >= 1";
+  P2PAQP_CHECK_GE(params_.batch, 1u) << "batch must be >= 1";
 }
 
 double RandomWalk::StationaryWeight(graph::NodeId node) const {
@@ -87,8 +88,8 @@ util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
     double dv = network_->AliveDegree(next);
     if (dv > du && !rng.Bernoulli(du / dv)) return current;
   }
-  util::Status sent =
-      network_->SendAlongEdge(net::MessageType::kWalker, current, next);
+  util::Status sent = network_->SendAlongEdge(net::MessageType::kWalker,
+                                              current, next, params_.batch);
   if (!sent.ok()) return sent;
   return next;
 }

@@ -45,6 +45,11 @@ struct WalkParams {
   // crashed or stranded with no live route) before giving up
   // (0 = automatic, see AutoMaxRestarts).
   size_t max_restarts = 0;
+  // Number of queries the walker token multiplexes (core::QueryScheduler).
+  // One hop still moves one token; > 1 widens the kWalker payload to carry
+  // that many query bodies behind a single shared header. 1 = the paper's
+  // per-query walker, bit-identical to the pre-batching transport.
+  uint32_t batch = 1;
 };
 
 // Overflow-safe automatic hop budget: ~100x the nominal walk length, doubled

@@ -39,7 +39,7 @@ util::Result<ClusteredTopology> MakeClustered(const ClusteredParams& params,
   }
 
   size_t internal_budget = params.num_edges - params.cut_edges;
-  graph::GraphBuilder builder(params.num_nodes);
+  graph::GraphBuilder builder(params.num_nodes, params.num_edges);
 
   // Internal edges: each block gets a power-law sub-graph sized by its share
   // of nodes. Remainders are distributed to the earliest blocks.

@@ -81,7 +81,7 @@ util::Result<graph::Graph> MakeGnutellaSnapshot(const GnutellaParams& params,
                      static_cast<graph::NodeId>(v));
   }
   rng.Shuffle(stub_list);
-  graph::GraphBuilder builder(n);
+  graph::GraphBuilder builder(n, stubs / 2);
   for (size_t i = 0; i + 1 < stub_list.size(); i += 2) {
     builder.AddEdge(stub_list[i], stub_list[i + 1]);  // Rejects dup/self.
   }
@@ -95,7 +95,7 @@ util::Result<graph::Graph> MakeGnutellaSnapshot(const GnutellaParams& params,
             ? 0
             : *std::max_element(component.begin(), component.end()) + 1;
     // Rebuild the builder from the snapshot (Build() drained it).
-    builder = graph::GraphBuilder(n);
+    builder = graph::GraphBuilder(n, snapshot.num_edges());
     for (graph::NodeId u = 0; u < snapshot.num_nodes(); ++u) {
       for (graph::NodeId v : snapshot.neighbors(u)) {
         if (u < v) builder.AddEdge(u, v);

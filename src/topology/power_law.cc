@@ -62,7 +62,7 @@ util::Result<graph::Graph> MakeBarabasiAlbert(size_t num_nodes,
     return util::Status::InvalidArgument(
         "num_nodes must exceed edges_per_node");
   }
-  graph::GraphBuilder builder(num_nodes);
+  graph::GraphBuilder builder(num_nodes, num_nodes * edges_per_node);
   RunBarabasiAlbert(num_nodes, edges_per_node, rng, builder);
   return builder.Build();
 }
@@ -80,7 +80,7 @@ util::Result<graph::Graph> MakePowerLawWithEdgeCount(size_t num_nodes,
   }
   size_t per_node = std::max<size_t>(1, num_edges / num_nodes);
   if (per_node >= num_nodes) per_node = num_nodes - 1;
-  graph::GraphBuilder builder(num_nodes);
+  graph::GraphBuilder builder(num_nodes, num_edges);
   RunBarabasiAlbert(num_nodes, per_node, rng, builder);
 
   // Top up with degree-biased edges (preserves the power-law shape better

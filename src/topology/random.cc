@@ -15,7 +15,7 @@ util::Result<graph::Graph> MakeErdosRenyi(size_t num_nodes, size_t num_edges,
   if (num_edges < num_nodes - 1 || num_edges > max_edges) {
     return util::Status::InvalidArgument("edge count unachievable");
   }
-  graph::GraphBuilder builder(num_nodes);
+  graph::GraphBuilder builder(num_nodes, num_edges);
   // Connectivity first: a uniform random recursive tree over a random node
   // relabeling, so low-index nodes carry no structural bias.
   std::vector<graph::NodeId> label(num_nodes);

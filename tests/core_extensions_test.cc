@@ -62,6 +62,55 @@ TEST(FreshnessCacheTest, EntriesExpireAfterTtl) {
   EXPECT_FALSE(cache.Lookup(0, q, &out));  // Past TTL.
 }
 
+TEST(FreshnessCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  FreshnessCache cache(/*ttl_epochs=*/10, /*max_entries=*/2);
+  query::AggregateQuery q = CountQuery();
+  query::LocalAggregate agg;
+  query::LocalAggregate out;
+  cache.Store(1, q, agg);
+  cache.Store(2, q, agg);
+  ASSERT_TRUE(cache.Lookup(1, q, &out));  // Refreshes 1's recency.
+  cache.Store(3, q, agg);                 // Capacity 2: evicts 2, not 1.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(1, q, &out));
+  EXPECT_FALSE(cache.Lookup(2, q, &out));
+  EXPECT_TRUE(cache.Lookup(3, q, &out));
+}
+
+TEST(FreshnessCacheTest, UnboundedCacheNeverEvicts) {
+  FreshnessCache cache(/*ttl_epochs=*/10);  // max_entries 0 = unbounded.
+  query::AggregateQuery q = CountQuery();
+  query::LocalAggregate agg;
+  for (graph::NodeId peer = 0; peer < 100; ++peer) cache.Store(peer, q, agg);
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// Regression: the interaction between LRU eviction and epoch expiry. A
+// stale lookup is a miss but must NOT refresh the entry's recency, so stale
+// entries drain out of a full cache before fresh ones; and re-storing a
+// stale key refreshes it in place without burning an eviction.
+TEST(FreshnessCacheTest, StaleLookupDoesNotRefreshRecency) {
+  FreshnessCache cache(/*ttl_epochs=*/1, /*max_entries=*/2);
+  query::AggregateQuery q = CountQuery();
+  query::LocalAggregate agg;
+  query::LocalAggregate out;
+  cache.Store(1, q, agg);
+  cache.Store(2, q, agg);  // LRU order now: 2 (MRU), 1 (LRU).
+  cache.AdvanceEpoch();
+  cache.AdvanceEpoch();  // Both entries are now past the 1-epoch TTL.
+  EXPECT_FALSE(cache.Lookup(1, q, &out));  // Stale miss: no recency touch.
+  cache.Store(3, q, agg);                  // Evicts 1 (still the LRU).
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Lookup(2, q, &out));  // Stale, but still resident...
+  cache.Store(2, q, agg);                  // ...so this refreshes in place.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);  // No second eviction.
+  EXPECT_TRUE(cache.Lookup(2, q, &out));
+  EXPECT_TRUE(cache.Lookup(3, q, &out));
+}
+
 TEST(HybridEngineTest, SecondQueryScansFewerTuplesPerVisit) {
   // Small network so repeat visits are common and the cache can shine.
   TestNetworkParams net_params;

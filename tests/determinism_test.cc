@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/async_engine.h"
+#include "core/multi_query.h"
 #include "net/adversary.h"
 #include "net/fault.h"
 #include "test_common.h"
@@ -316,6 +317,55 @@ class ScopedThreads {
   std::string old_;
 };
 
+// PR-5 contract: the multi-query scheduler (shared sample frame, batched
+// walkers, cached local results) replays bit-identically — across batches,
+// so frame reuse and top-ups are covered, not just the cold path.
+TEST(DeterminismTest, SchedulerRerunIsBitIdentical) {
+  auto run = [](TestNetwork& tn) {
+    core::FreshnessCache cache(/*ttl_epochs=*/10, /*max_entries=*/1 << 12);
+    core::SchedulerParams params;
+    params.engine.phase1_peers = 30;
+    params.engine.max_phase2_peers = 120;
+    params.walk.jump = tn.catalog.suggested_jump;
+    params.walk.burn_in = tn.catalog.suggested_burn_in;
+    core::QueryScheduler scheduler(&tn.network, tn.catalog, params, &cache);
+    std::vector<query::AggregateQuery> queries;
+    for (int hi : {20, 40, 60}) {
+      query::AggregateQuery q = CountQuery();
+      q.predicate = {1, hi};
+      queries.push_back(q);
+    }
+    util::Rng rng(321);
+    std::vector<core::BatchResult> batches;
+    batches.push_back(scheduler.ExecuteBatch(queries, /*sink=*/0, rng));
+    batches.push_back(scheduler.ExecuteBatch(queries, /*sink=*/0, rng));
+    return batches;
+  };
+  TestNetwork a = MakeTestNetwork(SmallParams());
+  TestNetwork b = MakeTestNetwork(SmallParams());
+  auto first = run(a);
+  auto second = run(b);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t batch = 0; batch < first.size(); ++batch) {
+    ASSERT_EQ(first[batch].answers.size(), second[batch].answers.size());
+    for (size_t i = 0; i < first[batch].answers.size(); ++i) {
+      ASSERT_TRUE(first[batch].answers[i].ok());
+      ASSERT_TRUE(second[batch].answers[i].ok());
+      ExpectIdentical(*first[batch].answers[i], *second[batch].answers[i]);
+    }
+    EXPECT_EQ(first[batch].cost.messages, second[batch].cost.messages);
+    EXPECT_EQ(first[batch].cost.bytes_shipped,
+              second[batch].cost.bytes_shipped);
+    EXPECT_EQ(first[batch].cost.latency_ms, second[batch].cost.latency_ms);
+    EXPECT_EQ(first[batch].frame.frame_hits, second[batch].frame.frame_hits);
+    EXPECT_EQ(first[batch].frame.frame_misses,
+              second[batch].frame.frame_misses);
+  }
+  // The warm batch must actually reuse the frame, or the replay check
+  // never exercises the reuse path.
+  EXPECT_GT(first[1].frame.frame_hits, 0u);
+}
+
 TEST(DeterminismTest, AdversarialReplicatesAreThreadCountInvariant) {
   TestNetwork base = MakeTestNetwork(SmallParams());
   net::FaultPlan faults;
@@ -345,6 +395,52 @@ TEST(DeterminismTest, AdversarialReplicatesAreThreadCountInvariant) {
   // Replicates with different clone seeds must differ (the adversary set is
   // redrawn per clone), or the comparison above is vacuous.
   EXPECT_NE(one[0], one[1]);
+}
+
+// Scheduler batches replicated under ParallelMap must be invariant to
+// P2PAQP_THREADS: the batch result (all estimates plus the shared frame's
+// hit count) may depend only on the replicate seed, never on how replicates
+// are packed onto worker threads.
+TEST(DeterminismTest, SchedulerReplicatesAreThreadCountInvariant) {
+  TestNetwork base = MakeTestNetwork(SmallParams());
+
+  auto run_replicates = [&base](const char* threads) {
+    ScopedThreads scoped(threads);
+    return util::ParallelMap(8, [&base](size_t rep) {
+      net::SimulatedNetwork network = base.network.Clone(6000 + rep);
+      core::FreshnessCache cache(/*ttl_epochs=*/10, /*max_entries=*/1 << 12);
+      core::SchedulerParams params;
+      params.engine.phase1_peers = 30;
+      params.engine.max_phase2_peers = 120;
+      params.walk.jump = base.catalog.suggested_jump;
+      params.walk.burn_in = base.catalog.suggested_burn_in;
+      core::QueryScheduler scheduler(&network, base.catalog, params, &cache);
+      std::vector<query::AggregateQuery> queries;
+      for (int hi : {20, 40, 60}) {
+        query::AggregateQuery q = CountQuery();
+        q.predicate = {1, hi};
+        queries.push_back(q);
+      }
+      util::Rng rng(200 + rep);
+      // Two batches so the warm frame-reuse path is in the fingerprint too.
+      core::BatchResult cold = scheduler.ExecuteBatch(queries, /*sink=*/0, rng);
+      core::BatchResult warm = scheduler.ExecuteBatch(queries, /*sink=*/0, rng);
+      double fingerprint = static_cast<double>(warm.frame.frame_hits);
+      for (const auto& batch : {cold, warm}) {
+        for (const auto& answer : batch.answers) {
+          fingerprint = fingerprint * 1e-3 +
+                        (answer.ok() ? answer->estimate : -1.0);
+        }
+      }
+      return fingerprint;
+    });
+  };
+  std::vector<double> one = run_replicates("1");
+  std::vector<double> two = run_replicates("2");
+  std::vector<double> eight = run_replicates("8");
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one[0], one[1]);  // Distinct clone seeds: non-vacuous check.
 }
 
 }  // namespace

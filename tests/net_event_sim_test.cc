@@ -1,0 +1,138 @@
+// Edge-case tests for the two-tier event core: FIFO ordering of
+// simultaneous events, reentrant scheduling from callbacks, the
+// executed()/pending() counters, and ordering across the near-heap ->
+// sorted-far flush boundary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_sim.h"
+#include "util/rng.h"
+
+namespace p2paqp::net {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(30.0, [&order] { order.push_back(3); });
+  queue.ScheduleAt(10.0, [&order] { order.push_back(1); });
+  queue.ScheduleAt(20.0, [&order] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(queue.RunUntilEmpty(), 30.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimestampRunsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    queue.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntilEmpty();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  // An event scheduling follow-ups mid-RunOne must interleave correctly
+  // with already-pending events, including one at the exact current time
+  // (which runs after, FIFO) and one between two pending events.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(10.0, [&] {
+    order.push_back(1);
+    queue.ScheduleAt(10.0, [&order] { order.push_back(2); });
+    queue.ScheduleAt(15.0, [&order] { order.push_back(3); });
+  });
+  queue.ScheduleAt(20.0, [&order] { order.push_back(4); });
+  EXPECT_DOUBLE_EQ(queue.RunUntilEmpty(), 20.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunOneAdvancesCountersAndClock) {
+  EventQueue queue;
+  queue.ScheduleAt(1.0, [] {});
+  queue.ScheduleAfter(5.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+  EXPECT_EQ(queue.executed(), 0u);
+  EXPECT_TRUE(queue.RunOne());
+  EXPECT_DOUBLE_EQ(queue.now(), 1.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.executed(), 1u);
+  EXPECT_TRUE(queue.RunOne());
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.executed(), 2u);
+  EXPECT_FALSE(queue.RunOne());
+  EXPECT_EQ(queue.executed(), 2u);  // An idle RunOne executes nothing.
+}
+
+TEST(EventQueueTest, ChainedEventsCountEachExecution) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) queue.ScheduleAfter(1.0, chain);
+  };
+  queue.ScheduleAt(0.0, chain);
+  EXPECT_DOUBLE_EQ(queue.RunUntilEmpty(), 4.0);
+  EXPECT_EQ(queue.executed(), 5u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueTest, ReserveDoesNotDisturbSemantics) {
+  EventQueue queue;
+  queue.Reserve(1000);
+  std::vector<int> order;
+  queue.ScheduleAt(2.0, [&order] { order.push_back(2); });
+  queue.ScheduleAt(1.0, [&order] { order.push_back(1); });
+  EXPECT_EQ(queue.pending(), 2u);
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// A backlog deeper than the internal flush threshold (64k) exercises the
+// near-heap -> sorted-far merge path; the global pop order must still be
+// exactly (time, FIFO) regardless of which tier each event sits in.
+TEST(EventQueueTest, DeepBacklogKeepsGlobalOrderAcrossFlushes) {
+  EventQueue queue;
+  constexpr int kEvents = 100000;  // > 64k flush threshold.
+  util::Rng rng(99);
+  std::vector<double> popped;
+  popped.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Coarse times force plenty of FIFO ties on top of the ordering.
+    double at = static_cast<double>(rng.UniformInt(0, 999));
+    queue.ScheduleAt(at, [&popped, &queue] { popped.push_back(queue.now()); });
+  }
+  EXPECT_EQ(queue.pending(), static_cast<size_t>(kEvents));
+  queue.RunUntilEmpty();
+  ASSERT_EQ(popped.size(), static_cast<size_t>(kEvents));
+  for (int i = 1; i < kEvents; ++i) {
+    ASSERT_LE(popped[i - 1], popped[i]) << "out of order at " << i;
+  }
+  EXPECT_EQ(queue.executed(), static_cast<uint64_t>(kEvents));
+}
+
+// Ties that straddle the flush boundary still run FIFO: events scheduled
+// before and after a flush at the same timestamp must run in schedule order.
+TEST(EventQueueTest, FifoTiesSurviveFlushBoundary) {
+  EventQueue queue;
+  constexpr int kFiller = 70000;  // Forces at least one flush.
+  std::vector<int> order;
+  queue.ScheduleAt(1.0, [&order] { order.push_back(0); });
+  for (int i = 0; i < kFiller; ++i) queue.ScheduleAt(2.0, [] {});
+  queue.ScheduleAt(1.0, [&order] { order.push_back(1); });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(queue.executed(), static_cast<uint64_t>(kFiller + 2));
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue queue;
+  queue.ScheduleAt(10.0, [] {});
+  queue.RunUntilEmpty();
+  EXPECT_DEATH(queue.ScheduleAt(5.0, [] {}), "cannot schedule in the past");
+}
+
+}  // namespace
+}  // namespace p2paqp::net

@@ -66,6 +66,66 @@ TEST(NetworkTest, AliveNeighborsSkipDeparted) {
   EXPECT_EQ(network.AliveDegree(0), 0u);
 }
 
+TEST(MessageTest, BatchedPayloadSharesExactlyOneHeader) {
+  // A K-wide batch carries K payload bodies behind ONE Gnutella header:
+  // batched == K * per_query - (K - 1) * header.
+  for (MessageType type : {MessageType::kWalker, MessageType::kAggregateReply,
+                           MessageType::kQuery}) {
+    uint32_t per_query = DefaultPayloadBytes(type);
+    EXPECT_EQ(BatchedPayloadBytes(type, 0), per_query);
+    EXPECT_EQ(BatchedPayloadBytes(type, 1), per_query);
+    for (uint32_t k : {2u, 4u, 8u}) {
+      EXPECT_EQ(BatchedPayloadBytes(type, k),
+                k * per_query - (k - 1) * kGnutellaHeaderBytes)
+          << "type=" << static_cast<int>(type) << " k=" << k;
+    }
+  }
+}
+
+TEST(CostTrackerTest, BatchedMessageCountsOnceOnTheWire) {
+  CostTracker cost;
+  uint32_t per_query = DefaultPayloadBytes(MessageType::kWalker);
+  cost.RecordBatchedMessage(BatchedPayloadBytes(MessageType::kWalker, 8),
+                            per_query, 8, kGnutellaHeaderBytes);
+  EXPECT_EQ(cost.snapshot().messages, 1u);
+  EXPECT_EQ(cost.snapshot().bytes_shipped,
+            BatchedPayloadBytes(MessageType::kWalker, 8));
+}
+
+TEST(CostTrackerDeathTest, DoubleCountedHeaderAborts) {
+  CostTracker cost;
+  uint32_t per_query = DefaultPayloadBytes(MessageType::kWalker);
+  // Naive K * per_query double-counts K-1 headers; the tracker refuses it.
+  EXPECT_DEATH(cost.RecordBatchedMessage(uint64_t{8} * per_query, per_query,
+                                         8, kGnutellaHeaderBytes),
+               "one shared header");
+}
+
+TEST(NetworkTest, BatchedWalkerHopChargesSharedHeader) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  CostSnapshot before = network.cost_snapshot();
+  ASSERT_TRUE(network.SendAlongEdge(MessageType::kWalker, 0, 1, /*batch=*/4)
+                  .ok());
+  CostSnapshot delta = CostDelta(network.cost_snapshot(), before);
+  EXPECT_EQ(delta.messages, 1u);  // One token on the wire, K queries served.
+  EXPECT_EQ(delta.bytes_shipped, BatchedPayloadBytes(MessageType::kWalker, 4));
+  EXPECT_EQ(delta.walker_hops, 1u);
+}
+
+TEST(NetworkTest, BatchedReplyMultipliesPerQueryRiders) {
+  SimulatedNetwork network = MakePathNetwork(5);
+  constexpr uint64_t kRider = 16;  // Per-query extra payload bytes.
+  CostSnapshot before = network.cost_snapshot();
+  ASSERT_TRUE(network
+                  .SendDirect(MessageType::kAggregateReply, 2, 0, kRider,
+                              /*batch=*/3)
+                  .ok());
+  CostSnapshot delta = CostDelta(network.cost_snapshot(), before);
+  EXPECT_EQ(delta.messages, 1u);
+  EXPECT_EQ(delta.bytes_shipped,
+            BatchedPayloadBytes(MessageType::kAggregateReply, 3) + 3 * kRider);
+}
+
 TEST(NetworkTest, SendAlongEdgeValidation) {
   SimulatedNetwork network = MakePathNetwork(5);
   EXPECT_TRUE(network.SendAlongEdge(MessageType::kWalker, 0, 1).ok());

@@ -1,0 +1,128 @@
+// Statistical verification of the multi-query scheduler: answers computed
+// from a REUSED sample frame (the warm second batch, where most selections
+// are served from the sink-side frame instead of fresh walks) are as
+// unbiased as cold-start answers, for both COUNT and SUM, and their
+// reported 95% intervals keep honest coverage. Frame reuse recycles the
+// randomness of earlier walks across queries — the Horvitz-Thompson
+// reweighting must make that legitimate, and this suite machine-checks it
+// at the 5.5-sigma default alpha.
+#include "statistical_test_util.h"
+
+#include <vector>
+
+#include "core/multi_query.h"
+#include "gtest/gtest.h"
+
+namespace p2paqp {
+namespace {
+
+struct SchedulerReplicate {
+  verify::EstimateSample warm;   // Measured query, frame-reuse batch.
+  uint64_t warm_frame_hits = 0;  // Reuse must actually have happened.
+};
+
+struct SchedulerStatResult {
+  verify::CalibrationAccumulator acc;
+  uint64_t total_warm_hits = 0;
+};
+
+// Runs `replicates` independent scheduler sessions. Each session executes a
+// cold batch (builds the shared frame) and then a warm batch of the same
+// query mix against its own cloned world; the measured query's WARM answer
+// is what feeds the accumulator, so the z-test sees only frame-reuse
+// estimates. The reduction is serial in replicate order (thread-invariant).
+SchedulerStatResult RunSchedulerReplicates(const bench::World& world,
+                                           query::AggregateOp op,
+                                           uint64_t base_seed,
+                                           size_t replicates) {
+  query::AggregateQuery measured;
+  measured.op = op;
+  measured.predicate = {1, 40};
+  measured.required_error = 0.08;
+  const double truth = testing::EngineTruth(world, measured);
+
+  // Sibling queries riding in the same batch: the frame is genuinely shared
+  // across a mix, not rebuilt per predicate.
+  std::vector<query::AggregateQuery> queries = {measured, measured, measured};
+  queries[1].predicate = {1, 20};
+  queries[2].predicate = {20, 60};
+
+  std::vector<SchedulerReplicate> samples = util::ParallelMap(
+      replicates, [&](size_t r) {
+        util::Rng rng(verify::ReplicateSeed(base_seed, r));
+        bench::World rep_world = bench::CloneWorld(
+            world, testing::ReplicateNetworkSeed(base_seed, r));
+        core::FreshnessCache cache(/*ttl_epochs=*/10, /*max_entries=*/1 << 14);
+        core::SchedulerParams params;
+        params.engine.phase1_peers = 40;
+        params.engine.max_phase2_peers = 250;
+        params.walk.jump = rep_world.catalog.suggested_jump;
+        params.walk.burn_in = rep_world.catalog.suggested_burn_in;
+        core::QueryScheduler scheduler(&rep_world.network, rep_world.catalog,
+                                       params, &cache);
+        graph::NodeId sink =
+            testing::RandomLiveSink(rep_world.network, rng);
+        core::BatchResult cold = scheduler.ExecuteBatch(queries, sink, rng);
+        P2PAQP_CHECK(cold.answers[0].ok())
+            << cold.answers[0].status().ToString();
+        core::BatchResult warm = scheduler.ExecuteBatch(queries, sink, rng);
+        P2PAQP_CHECK(warm.answers[0].ok())
+            << warm.answers[0].status().ToString();
+        SchedulerReplicate rep;
+        rep.warm = verify::EstimateSample{warm.answers[0]->estimate, truth,
+                                          warm.answers[0]->ci_half_width_95};
+        rep.warm_frame_hits = warm.frame.frame_hits;
+        return rep;
+      });
+
+  SchedulerStatResult result;
+  for (const SchedulerReplicate& rep : samples) {
+    result.acc.Add(rep.warm);
+    result.total_warm_hits += rep.warm_frame_hits;
+  }
+  return result;
+}
+
+TEST(StatMultiQueryTest, ReusedFrameCountUnbiasedOnSynthetic) {
+  auto result = RunSchedulerReplicates(testing::SyntheticStatWorld(),
+                                       query::AggregateOp::kCount, 0xd001,
+                                       verify::Replicates(12, 48));
+  // Every warm batch must actually have reused the frame, or this test
+  // silently degenerates into a second cold-start check.
+  ASSERT_GT(result.total_warm_hits, 0u);
+  EXPECT_STAT_PASS(verify::MeanZTest(result.acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+TEST(StatMultiQueryTest, ReusedFrameSumUnbiasedOnSynthetic) {
+  auto result = RunSchedulerReplicates(testing::SyntheticStatWorld(),
+                                       query::AggregateOp::kSum, 0xd002,
+                                       verify::Replicates(12, 48));
+  ASSERT_GT(result.total_warm_hits, 0u);
+  EXPECT_STAT_PASS(verify::MeanZTest(result.acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+TEST(StatMultiQueryTest, ReusedFrameCountUnbiasedOnGnutella) {
+  auto result = RunSchedulerReplicates(testing::GnutellaStatWorld(),
+                                       query::AggregateOp::kCount, 0xd003,
+                                       verify::Replicates(12, 48));
+  ASSERT_GT(result.total_warm_hits, 0u);
+  EXPECT_STAT_PASS(verify::MeanZTest(result.acc.errors(), 0.0,
+                                     verify::DefaultAlpha()));
+}
+
+// Reported intervals on warm answers: frame reuse induces cross-query
+// correlation but must not make the per-query CI over-confident.
+TEST(StatMultiQueryTest, ReusedFrameCoverageStaysHonest) {
+  auto result = RunSchedulerReplicates(testing::SyntheticStatWorld(),
+                                       query::AggregateOp::kCount, 0xd004,
+                                       verify::Replicates(24, 80));
+  ASSERT_GT(result.total_warm_hits, 0u);
+  EXPECT_STAT_PASS(verify::CoverageAtLeastTest(
+      result.acc.covered(), result.acc.total(), 0.85,
+      verify::DefaultAlpha()));
+}
+
+}  // namespace
+}  // namespace p2paqp

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the repo's BENCH_*.json telemetry.
+
+Compares freshly generated BENCH_<name>.json files (written by the figure
+binaries when --json / P2PAQP_BENCH_JSON is set, see bench/harness.cc)
+against the committed reference files in bench/baselines/ and fails when a
+benchmark regressed:
+
+  * wall_time_s       > baseline * (1 + --wall-tolerance), default +25%,
+                        with an absolute noise floor (--wall-floor, default
+                        0.5 s) so sub-second figures on noisy CI runners do
+                        not flap;
+  * mean_messages     > baseline * (1 + --messages-tolerance), default +10%.
+                        Message counts come out of the deterministic
+                        simulation, so any growth is a real cost change,
+                        not noise.
+  * messages_per_query  same rule, for scheduler binaries (their per-query
+                        cost is batch-amortized, so mean_messages is 0 and
+                        this field carries the real message signal). Only
+                        checked when the baseline recorded a nonzero value.
+
+Comparison rules:
+
+  * A fresh file is only compared when its `scale` matches the baseline's —
+    telemetry at a different P2PAQP_SCALE measures a different world.
+  * `mean_messages` is compared regardless of thread count (the parallel
+    layer is bit-deterministic across P2PAQP_THREADS); `wall_time_s` is
+    only compared when `threads` matches too.
+  * google-benchmark report files (e.g. BENCH_micro_benchmarks.json, which
+    have a top-level "context" key) use a different schema and are skipped.
+  * A baseline with no matching fresh file fails the gate: a deleted or
+    silently-not-run benchmark must be an explicit baseline change.
+
+Usage:
+  python3 tools/bench_gate.py --fresh <dir> [--baselines bench/baselines]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def is_google_benchmark(doc):
+    return "context" in doc and "benchmarks" in doc
+
+
+def compare(name, base, fresh, args):
+    """Returns a list of failure strings and a list of info strings."""
+    failures, notes = [], []
+    if base.get("scale") != fresh.get("scale"):
+        notes.append(
+            f"{name}: SKIP (scale {fresh.get('scale')} != baseline "
+            f"{base.get('scale')})")
+        return failures, notes
+
+    message_fields = ["mean_messages"]
+    if base.get("messages_per_query", 0.0) > 0.0:
+        message_fields.append("messages_per_query")
+    for field in message_fields:
+        base_msgs = base.get(field, 0.0)
+        fresh_msgs = fresh.get(field, 0.0)
+        msg_limit = base_msgs * (1.0 + args.messages_tolerance) + 1.0
+        if fresh_msgs > msg_limit:
+            failures.append(
+                f"{name}: {field} {fresh_msgs:.1f} > {msg_limit:.1f} "
+                f"(baseline {base_msgs:.1f} +{args.messages_tolerance:.0%})")
+        else:
+            notes.append(
+                f"{name}: {field} {fresh_msgs:.1f} vs baseline "
+                f"{base_msgs:.1f} OK")
+
+    if base.get("threads") != fresh.get("threads"):
+        notes.append(
+            f"{name}: wall-time SKIP (threads {fresh.get('threads')} != "
+            f"baseline {base.get('threads')})")
+        return failures, notes
+    base_wall = base.get("wall_time_s", 0.0)
+    fresh_wall = fresh.get("wall_time_s", 0.0)
+    wall_limit = base_wall * (1.0 + args.wall_tolerance) + args.wall_floor
+    if fresh_wall > wall_limit:
+        failures.append(
+            f"{name}: wall_time_s {fresh_wall:.2f} > {wall_limit:.2f} "
+            f"(baseline {base_wall:.2f} +{args.wall_tolerance:.0%} "
+            f"+{args.wall_floor}s floor)")
+    else:
+        notes.append(
+            f"{name}: wall_time_s {fresh_wall:.2f} vs baseline "
+            f"{base_wall:.2f} OK")
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding freshly generated "
+                             "BENCH_*.json files")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding reference BENCH_*.json files")
+    parser.add_argument("--wall-tolerance", type=float, default=0.25,
+                        help="allowed fractional wall-time growth")
+    parser.add_argument("--wall-floor", type=float, default=0.5,
+                        help="absolute wall-time slack in seconds")
+    parser.add_argument("--messages-tolerance", type=float, default=0.10,
+                        help="allowed fractional message-count growth")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baselines)
+    fresh_dir = pathlib.Path(args.fresh)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_gate: no baselines under {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    all_failures = []
+    for baseline_path in baselines:
+        name = baseline_path.name
+        base = load(baseline_path)
+        if is_google_benchmark(base):
+            print(f"{name}: SKIP (google-benchmark report schema)")
+            continue
+        fresh_path = fresh_dir / name
+        if not fresh_path.exists():
+            all_failures.append(
+                f"{name}: fresh telemetry missing under {fresh_dir} "
+                f"(benchmark not run?)")
+            continue
+        fresh = load(fresh_path)
+        if is_google_benchmark(fresh):
+            print(f"{name}: SKIP (fresh file is a google-benchmark report)")
+            continue
+        failures, notes = compare(name, base, fresh, args)
+        for note in notes:
+            print(note)
+        all_failures.extend(failures)
+
+    if all_failures:
+        print("\nbench_gate: PERF REGRESSION", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
