@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "util/bug_injection.h"
+
 namespace p2paqp::core {
 
 namespace {
@@ -75,6 +77,8 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     graph::NodeId sink, size_t count, util::Rng& rng,
     TwoPhaseEngine::CollectionStats* stats) {
   auto state = std::make_shared<PhaseState>();
+  net::HistoryRecorder* history = network_->history();
+  const uint64_t dedup_round = history != nullptr ? history->NextRound() : 0;
   state->expected = count;
   state->hops_left =
       100 * (params_.walk.burn_in * params_.walkers +
@@ -87,8 +91,8 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
   // reply lost to faults is retransmitted after a sink-side timeout (each
   // attempt adds its own wire delay); a crashed endpoint cannot retry and
   // the observation is lost.
-  auto select_peer = [this, &events, &query, sink, state,
-                      &rng](graph::NodeId peer) {
+  auto select_peer = [this, &events, &query, sink, state, &rng, history,
+                      dedup_round](graph::NodeId peer) {
     auto aggregate = query::ExecuteLocal(
         network_->peer(peer).database(), query,
         query::SubSamplePolicy{.t = params_.engine.tuples_per_peer,
@@ -111,33 +115,77 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     size_t replays = TamperObservation(network_->adversary(), &obs);
     // One reply copy racing to the sink; the arrival event dedups on the
     // (peer, selection_seq) tag, so only the first copy is ever counted.
-    auto deliver_reply = [&events, state](const PeerObservation& reply,
-                                          double arrival_delay) {
+    auto deliver_reply = [&events, state, sink, history,
+                          dedup_round](const PeerObservation& reply,
+                                       double arrival_delay) {
       ++state->pending_replies;
-      events.ScheduleAfter(arrival_delay, [state, reply]() {
+      events.ScheduleAfter(arrival_delay, [state, reply, sink, history,
+                                           dedup_round]() {
         --state->pending_replies;
-        if (!state->seen.insert({reply.peer, reply.selection_seq}).second) {
+        const uint64_t tag =
+            net::DedupTag(dedup_round, reply.peer, reply.selection_seq);
+        if (!state->seen.insert({reply.peer, reply.selection_seq}).second &&
+            !util::BugArmed(util::InjectedBug::kDisableReplyDedup)) {
           ++state->duplicates;  // Replayed copy: dropped at the sink.
+          if (history != nullptr) {
+            history->Record(net::HistoryEventKind::kDedupDrop,
+                            net::MessageType::kAggregateReply, reply.peer,
+                            sink, 1, tag);
+          }
           return;
         }
         state->observations.push_back(reply);  // Reply reached the sink.
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kDedupAccept,
+                          net::MessageType::kAggregateReply, reply.peer, sink,
+                          1, tag);
+        }
       });
+    };
+    // Charges one reply copy and resolves its fate in the ledger/history,
+    // exactly like SimulatedNetwork's transport does for routed sends.
+    auto send_reply_copy = [this, peer, sink, history](double* delay) {
+      network_->cost().RecordMessage(
+          net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
+      if (history != nullptr) {
+        history->Record(net::HistoryEventKind::kSend,
+                        net::MessageType::kAggregateReply, peer, sink);
+      }
+      net::FaultDecision faults = network_->ApplyFaults(
+          net::MessageType::kAggregateReply, peer, sink, peer);
+      *delay += network_->DrawHopLatency() * 0.5 + faults.extra_latency_ms;
+      bool ok = faults.deliver && network_->IsAlive(peer) &&
+                network_->IsAlive(sink);
+      if (ok) {
+        network_->cost().RecordDelivered();
+      } else {
+        network_->cost().RecordDropped();
+      }
+      if (history != nullptr) {
+        history->Record(ok ? net::HistoryEventKind::kDeliver
+                           : net::HistoryEventKind::kDrop,
+                        net::MessageType::kAggregateReply, peer, sink);
+      }
+      return ok;
     };
     double delay = scan_ms;
     bool delivered = false;
     for (size_t attempt = 0; attempt <= params_.engine.reply_retransmits;
          ++attempt) {
-      if (attempt > 0) ++state->retransmits;
-      network_->cost().RecordMessage(
-          net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
-      net::FaultDecision faults = network_->ApplyFaults(
-          net::MessageType::kAggregateReply, peer, sink, peer);
-      delay += network_->DrawHopLatency() * 0.5 + faults.extra_latency_ms;
-      if (!network_->IsAlive(peer) || !network_->IsAlive(sink)) break;
-      if (faults.deliver) {
+      if (attempt > 0) {
+        ++state->retransmits;
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kTimeout,
+                          net::MessageType::kAggregateReply, peer, sink);
+          history->Record(net::HistoryEventKind::kRetransmit,
+                          net::MessageType::kAggregateReply, peer, sink);
+        }
+      }
+      if (send_reply_copy(&delay)) {
         delivered = true;
         break;
       }
+      if (!network_->IsAlive(peer) || !network_->IsAlive(sink)) break;
     }
     if (delivered) deliver_reply(obs, delay);
     // Replayed copies each cross the wire independently. A copy that
@@ -146,13 +194,8 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     // retransmit).
     for (size_t replay = 0; replay < replays; ++replay) {
       if (!network_->IsAlive(peer) || !network_->IsAlive(sink)) break;
-      network_->cost().RecordMessage(
-          net::DefaultPayloadBytes(net::MessageType::kAggregateReply));
-      net::FaultDecision faults = network_->ApplyFaults(
-          net::MessageType::kAggregateReply, peer, sink, peer);
-      double copy_delay =
-          delay + network_->DrawHopLatency() * 0.5 + faults.extra_latency_ms;
-      if (!faults.deliver) continue;
+      double copy_delay = delay;
+      if (!send_reply_copy(&copy_delay)) continue;
       deliver_reply(obs, copy_delay);
     }
   };
@@ -163,6 +206,11 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     size_t burn_left;
     size_t since_selection = 0;
     size_t remaining;
+    // Incarnation of `current` captured when it received the token. A
+    // mismatch at hop time means the holder died and rejoined between
+    // events: the token perished with the old session, and resuming it
+    // through the reborn peer would walk a session that no longer exists.
+    uint64_t holder_incarnation = 0;
   };
   using HopFn = std::function<void(std::shared_ptr<Walker>)>;
   auto hop = std::make_shared<HopFn>();
@@ -192,7 +240,10 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
       adversary->RestrictForwarding(walker->current, &neighbors);
     }
     bool token_lost =
-        !network_->IsAlive(walker->current) || neighbors.empty();
+        !network_->IsAlive(walker->current) ||
+        network_->peer(walker->current).incarnation() !=
+            walker->holder_incarnation ||
+        neighbors.empty();
     if (!token_lost) {
       graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
       util::Status sent = network_->SendAlongEdge(net::MessageType::kWalker,
@@ -201,6 +252,7 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
         // The synchronous ledger summed this hop's latency; the event clock
         // is authoritative here, so draw the event delay independently.
         walker->current = next;
+        walker->holder_incarnation = network_->peer(next).incarnation();
         if (walker->burn_left > 0) {
           --walker->burn_left;
         } else if (++walker->since_selection >= params_.walk.jump) {
@@ -236,6 +288,7 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     --state->restarts_left;
     ++state->restarts;
     walker->current = sink;
+    walker->holder_incarnation = network_->peer(sink).incarnation();
     walker->burn_left = params_.walk.burn_in;
     walker->since_selection = 0;
     reschedule(walker, network_->DrawHopLatency());
@@ -248,7 +301,8 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     if (share == 0) continue;
     remaining -= share;
     auto walker = std::make_shared<Walker>(
-        Walker{sink, params_.walk.burn_in, 0, share});
+        Walker{sink, params_.walk.burn_in, 0, share,
+               network_->peer(sink).incarnation()});
     ++state->active_walkers;
     events.ScheduleAfter(network_->DrawHopLatency(),
                          [hop, walker]() { (*hop)(walker); });
@@ -268,7 +322,8 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
   const auto quorum = static_cast<size_t>(
       std::ceil(params_.engine.min_observation_quorum *
                 static_cast<double>(count)));
-  if (count > 0 && delivered < quorum) {
+  if (count > 0 && delivered < quorum &&
+      !util::BugArmed(util::InjectedBug::kSkipQuorumCheck)) {
     return util::Status::Unavailable(
         "async observation quorum not met: " + std::to_string(delivered) +
         "/" + std::to_string(count) + " delivered");

@@ -8,6 +8,7 @@
 #include "core/estimator.h"
 #include "core/robust_estimator.h"
 #include "query/local_executor.h"
+#include "util/bug_injection.h"
 
 namespace p2paqp::core {
 
@@ -88,6 +89,11 @@ void QueryScheduler::BeginBatchFrame(SampleFrameStats* stats) {
     frame_.selections.clear();
     ++stats->rebuilds;
     ++lifetime_frame_.rebuilds;
+    if (net::HistoryRecorder* history = network_->history()) {
+      history->Record(net::HistoryEventKind::kExpire,
+                      net::MessageType::kSampleRequest, graph::kInvalidNode,
+                      graph::kInvalidNode);
+    }
   }
   batch_carry_ = frame_.selections.size();
 }
@@ -104,6 +110,12 @@ util::Status QueryScheduler::EnsureFrame(size_t needed, graph::NodeId sink,
     size_t new_hits = usable_carry - stats->frame_hits;
     stats->frame_hits += new_hits;
     lifetime_frame_.frame_hits += new_hits;
+    if (util::BugArmed(util::InjectedBug::kDoubleCountFrameHits)) {
+      // Injected bug: the carry prefix is credited again on top of the
+      // first count, so hits can exceed the selections actually carried.
+      stats->frame_hits += new_hits;
+      lifetime_frame_.frame_hits += new_hits;
+    }
   }
   stats->frame_epoch = frame_.epoch;
   lifetime_frame_.frame_epoch = frame_.epoch;
@@ -198,6 +210,17 @@ void QueryScheduler::CollectRange(std::vector<QueryState>& states,
               phase2 ? states[q].s2 : states[q].s1;
           ++s.reply_retransmits;
         }
+        // One timeout/retransmit pair per wire message, not per
+        // multiplexed query: the batched reply is lost (and re-sent)
+        // whole.
+        if (net::HistoryRecorder* history = network_->history()) {
+          history->Record(net::HistoryEventKind::kTimeout,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          batch_width);
+          history->Record(net::HistoryEventKind::kRetransmit,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          batch_width);
+        }
       }
       util::Status sent =
           network_->SendDirect(net::MessageType::kAggregateReply, visit.peer,
@@ -266,7 +289,8 @@ BatchResult QueryScheduler::ExecuteBatch(
         if (state.failed) continue;
         state.s1.delivered = state.phase1.size();
         state.s1.lost = state.s1.requested - state.s1.delivered;
-        if (state.s1.delivered < Quorum(quorum_fraction, state.s1.requested)) {
+        if (state.s1.delivered < Quorum(quorum_fraction, state.s1.requested) &&
+            !util::BugArmed(util::InjectedBug::kSkipQuorumCheck)) {
           state.Fail(util::Status::Unavailable(
               "observation quorum not met in phase I"));
         } else if (state.phase1.size() < 2) {
@@ -324,7 +348,8 @@ BatchResult QueryScheduler::ExecuteBatch(
         if (state.failed) continue;
         state.s2.delivered = state.phase2.size();
         state.s2.lost = state.s2.requested - state.s2.delivered;
-        if (state.s2.delivered < Quorum(quorum_fraction, state.s2.requested)) {
+        if (state.s2.delivered < Quorum(quorum_fraction, state.s2.requested) &&
+            !util::BugArmed(util::InjectedBug::kSkipQuorumCheck)) {
           state.Fail(util::Status::Unavailable(
               "observation quorum not met in phase II"));
         }

@@ -114,6 +114,11 @@ class QueryScheduler {
   }
   size_t frame_size() const { return frame_.selections.size(); }
 
+  // Selections carried over from previous batches at the top of the current
+  // (or most recent) batch — the ceiling on legitimate frame hits, used by
+  // the frame-accounting oracle in verify/protocol/invariants.cc.
+  size_t batch_carry() const { return batch_carry_; }
+
   const SchedulerParams& params() const { return params_; }
 
  private:

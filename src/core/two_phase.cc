@@ -7,6 +7,7 @@
 
 #include "core/distinct.h"
 #include "core/median.h"
+#include "util/bug_injection.h"
 #include "util/statistics.h"
 
 namespace p2paqp::core {
@@ -259,6 +260,8 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
   size_t retransmits = 0;
   size_t duplicates_dropped = 0;
   net::AdversaryInjector* adversary = network_->adversary();
+  net::HistoryRecorder* history = network_->history();
+  const uint64_t dedup_round = history != nullptr ? history->NextRound() : 0;
   size_t selection_seq = 0;
   for (const sampling::PeerVisit& visit : sampled->visits) {
     const size_t seq = selection_seq++;
@@ -294,9 +297,19 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
     // (y(p), deg(p)) straight back to the sink over direct IP (Sec. 3.2).
     // A reply lost in transit is retransmitted after a sink-side timeout; a
     // crashed endpoint cannot retry.
+    const uint64_t tag = net::DedupTag(dedup_round, visit.peer, seq);
     bool delivered = false;
     for (size_t attempt = 0; attempt <= params_.reply_retransmits; ++attempt) {
-      if (attempt > 0) ++retransmits;
+      if (attempt > 0) {
+        ++retransmits;
+        // The sink's reply timer fires before it asks for the re-send.
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kTimeout,
+                          net::MessageType::kAggregateReply, visit.peer, sink);
+          history->Record(net::HistoryEventKind::kRetransmit,
+                          net::MessageType::kAggregateReply, visit.peer, sink);
+        }
+      }
       util::Status sent = network_->SendDirect(
           net::MessageType::kAggregateReply, visit.peer, sink);
       if (sent.ok()) {
@@ -305,7 +318,14 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
       }
       if (!network_->IsAlive(visit.peer) || !network_->IsAlive(sink)) break;
     }
-    if (delivered) observations.push_back(obs);
+    if (delivered) {
+      observations.push_back(obs);
+      if (history != nullptr) {
+        history->Record(net::HistoryEventKind::kDedupAccept,
+                        net::MessageType::kAggregateReply, visit.peer, sink, 1,
+                        tag);
+      }
+    }
     // Replayed copies carry the original's (query_id, peer, phase,
     // selection_seq) tag, so every delivered copy after the first collides
     // with an already-seen tag and is dropped before the quorum count.
@@ -314,19 +334,41 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
           net::MessageType::kAggregateReply, visit.peer, sink);
       if (!sent.ok()) continue;
       if (delivered) {
+        if (util::BugArmed(util::InjectedBug::kDisableReplyDedup)) {
+          // Injected bug: the sink forgets it has seen this tag and counts
+          // the replayed copy as a fresh observation.
+          observations.push_back(obs);
+          if (history != nullptr) {
+            history->Record(net::HistoryEventKind::kDedupAccept,
+                            net::MessageType::kAggregateReply, visit.peer,
+                            sink, 1, tag);
+          }
+          continue;
+        }
         ++duplicates_dropped;
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kDedupDrop,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          1, tag);
+        }
       } else {
         // The original was lost but a replayed copy got through: the sink
         // cannot tell it from a retransmit and accepts it once.
         observations.push_back(obs);
         delivered = true;
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kDedupAccept,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          1, tag);
+        }
       }
     }
   }
   const size_t delivered_count = observations.size();
   const auto quorum = static_cast<size_t>(std::ceil(
       params_.min_observation_quorum * static_cast<double>(count)));
-  if (count > 0 && delivered_count < quorum) {
+  if (count > 0 && delivered_count < quorum &&
+      !util::BugArmed(util::InjectedBug::kSkipQuorumCheck)) {
     return util::Status::Unavailable(
         "observation quorum not met: " + std::to_string(delivered_count) +
         "/" + std::to_string(count) + " delivered");

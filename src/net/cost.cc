@@ -28,6 +28,8 @@ CostSnapshot& CostSnapshot::operator+=(const CostSnapshot& other) {
   tuples_scanned += other.tuples_scanned;
   tuples_sampled += other.tuples_sampled;
   latency_ms += other.latency_ms;
+  messages_delivered += other.messages_delivered;
+  messages_dropped += other.messages_dropped;
   return *this;
 }
 
@@ -40,17 +42,21 @@ CostSnapshot CostDelta(const CostSnapshot& after, const CostSnapshot& before) {
   delta.tuples_scanned = after.tuples_scanned - before.tuples_scanned;
   delta.tuples_sampled = after.tuples_sampled - before.tuples_sampled;
   delta.latency_ms = after.latency_ms - before.latency_ms;
+  delta.messages_delivered = after.messages_delivered - before.messages_delivered;
+  delta.messages_dropped = after.messages_dropped - before.messages_dropped;
   return delta;
 }
 
 std::string CostSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "peers=%llu hops=%llu msgs=%llu bytes=%llu scanned=%llu "
-                "sampled=%llu latency=%.1fms",
+                "peers=%llu hops=%llu msgs=%llu (ok=%llu lost=%llu) "
+                "bytes=%llu scanned=%llu sampled=%llu latency=%.1fms",
                 static_cast<unsigned long long>(peers_visited),
                 static_cast<unsigned long long>(walker_hops),
                 static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(messages_delivered),
+                static_cast<unsigned long long>(messages_dropped),
                 static_cast<unsigned long long>(bytes_shipped),
                 static_cast<unsigned long long>(tuples_scanned),
                 static_cast<unsigned long long>(tuples_sampled), latency_ms);

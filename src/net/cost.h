@@ -20,6 +20,18 @@ struct CostSnapshot {
   uint64_t tuples_scanned = 0;    // Tuples read by local executors.
   uint64_t tuples_sampled = 0;    // Tuples contributing to the sample.
   double latency_ms = 0.0;        // Simulated end-to-end latency.
+  // Per-message delivery outcomes. Every charged message resolves to exactly
+  // one of the two (a crash-loss counts as dropped), so
+  // messages == messages_delivered + messages_dropped at all times — the
+  // conservation invariant asserted by SimulatedNetwork teardown and the
+  // protocol verification harness.
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+
+  // True when every charged message has a recorded outcome.
+  bool MessagesConserve() const {
+    return messages == messages_delivered + messages_dropped;
+  }
 
   CostSnapshot& operator+=(const CostSnapshot& other);
   std::string ToString() const;
@@ -44,6 +56,11 @@ class CostTracker {
   // payload body is charged twice. Still one message on the wire.
   void RecordBatchedMessage(uint64_t batched_bytes, uint64_t per_query_bytes,
                             uint32_t batch, uint64_t header_bytes);
+  // Resolves previously charged messages: `n` of them reached their
+  // destination / were lost in transit. Callers must resolve every message
+  // exactly once so the conservation invariant above holds.
+  void RecordDelivered(uint64_t n = 1) { snapshot_.messages_delivered += n; }
+  void RecordDropped(uint64_t n = 1) { snapshot_.messages_dropped += n; }
   void RecordTuplesScanned(uint64_t n) { snapshot_.tuples_scanned += n; }
   void RecordTuplesSampled(uint64_t n) { snapshot_.tuples_sampled += n; }
   // Adds latency on the critical path (sequential operations accumulate;

@@ -1,0 +1,62 @@
+#include "net/history.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace p2paqp::net {
+
+const char* HistoryEventKindToString(HistoryEventKind kind) {
+  switch (kind) {
+    case HistoryEventKind::kSend:
+      return "send";
+    case HistoryEventKind::kDeliver:
+      return "deliver";
+    case HistoryEventKind::kDrop:
+      return "drop";
+    case HistoryEventKind::kTimeout:
+      return "timeout";
+    case HistoryEventKind::kRetransmit:
+      return "retransmit";
+    case HistoryEventKind::kPeerDown:
+      return "peer_down";
+    case HistoryEventKind::kPeerUp:
+      return "peer_up";
+    case HistoryEventKind::kExpire:
+      return "expire";
+    case HistoryEventKind::kDedupAccept:
+      return "dedup_accept";
+    case HistoryEventKind::kDedupDrop:
+      return "dedup_drop";
+  }
+  return "unknown";
+}
+
+uint64_t DedupTag(uint64_t query_index, graph::NodeId peer,
+                  uint64_t selection_seq) {
+  // Mix the three components so distinct identities collide with
+  // vanishing probability; the checker only compares tags for equality.
+  uint64_t tag = util::MixSeed(query_index + 1);
+  tag ^= util::MixSeed((static_cast<uint64_t>(peer) << 1) ^ 0x9E3779B97F4A7C15ULL);
+  tag ^= util::MixSeed(selection_seq ^ 0xC2B2AE3D27D4EB4FULL);
+  return tag == 0 ? 1 : tag;  // 0 is reserved for "no tag".
+}
+
+std::string HistoryEvent::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "#%llu %s %s %u->%u batch=%u tag=%llx",
+                static_cast<unsigned long long>(index),
+                HistoryEventKindToString(kind), MessageTypeToString(type),
+                from, to, batch, static_cast<unsigned long long>(tag));
+  return buf;
+}
+
+uint64_t HistoryRecorder::Count(HistoryEventKind kind) const {
+  uint64_t n = 0;
+  for (const HistoryEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace p2paqp::net

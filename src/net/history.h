@@ -1,0 +1,97 @@
+// In-memory protocol history for black-box checking (Maelstrom/Elle style).
+//
+// The simulator is the single place every protocol-visible action passes
+// through, so a linear append-only log of those actions is a complete
+// external observation of one run: sends, per-message delivery outcomes,
+// sink-side timeouts and retransmits, dedup decisions, peer liveness
+// transitions, and cache/frame expiries. The recorder only appends; all
+// semantics live in the offline checker (verify/protocol/history_checker.h),
+// which replays the log and validates causality rules that no single
+// component can see locally — e.g. "a peer only forwards a walker token it
+// received in its current incarnation" catches a reborn peer resuming a
+// session that died with its previous life.
+//
+// Recording is opt-in (SimulatedNetwork::set_history) and costs one branch
+// per message when disabled, so production/bench paths are unaffected.
+#ifndef P2PAQP_NET_HISTORY_H_
+#define P2PAQP_NET_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "net/message.h"
+
+namespace p2paqp::net {
+
+enum class HistoryEventKind : uint8_t {
+  kSend = 0,     // A message was put on the wire (cost charged).
+  kDeliver,      // ... and reached its destination.
+  kDrop,         // ... and was lost (fault drop, or an endpoint crashed).
+  kTimeout,      // A sink-side reply timer fired.
+  kRetransmit,   // A reply re-attempt after a timeout.
+  kPeerDown,     // Peer departed (churn or crash).
+  kPeerUp,       // Peer (re)joined.
+  kExpire,       // A TTL lapsed (sample-frame epoch expiry).
+  kDedupAccept,  // The sink counted a reply tag for the first time.
+  kDedupDrop,    // The sink saw an already-counted tag and discarded it.
+};
+
+const char* HistoryEventKindToString(HistoryEventKind kind);
+
+struct HistoryEvent {
+  uint64_t index = 0;  // Append order: the run's causal clock.
+  HistoryEventKind kind = HistoryEventKind::kSend;
+  MessageType type = MessageType::kPing;
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  // Per-query payloads multiplexed behind the shared header (sends only).
+  uint32_t batch = 1;
+  // Dedup tag for kDedupAccept/kDedupDrop: (query, peer, selection_seq)
+  // folded into 64 bits by DedupTag(). 0 for other kinds.
+  uint64_t tag = 0;
+
+  std::string ToString() const;
+};
+
+// Folds a sink-side reply identity into the 64-bit history tag.
+uint64_t DedupTag(uint64_t query_index, graph::NodeId peer,
+                  uint64_t selection_seq);
+
+// Append-only event log. Not thread-safe: one recorder observes one serial
+// simulation (parallel replicates each attach their own).
+class HistoryRecorder {
+ public:
+  void Record(HistoryEventKind kind, MessageType type, graph::NodeId from,
+              graph::NodeId to, uint32_t batch = 1, uint64_t tag = 0) {
+    events_.push_back(HistoryEvent{next_index_++, kind, type, from, to, batch,
+                                   tag});
+  }
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() {
+    events_.clear();
+    next_index_ = 0;
+    round_ = 0;
+  }
+
+  // Monotone collection-round counter. Engines draw one round per reply
+  // collection (per phase, per query, per batch) and fold it into DedupTag,
+  // so a (peer, selection_seq) pair that legitimately recurs across rounds
+  // never collides with itself in the checker's accepted-tag set.
+  uint64_t NextRound() { return ++round_; }
+
+  // Convenience tallies for conservation checks.
+  uint64_t Count(HistoryEventKind kind) const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+  uint64_t next_index_ = 0;
+  uint64_t round_ = 0;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_HISTORY_H_

@@ -62,6 +62,11 @@ void SimulatedNetwork::SetAlive(graph::NodeId id, bool alive) {
   if (p.alive() == alive) return;
   p.set_alive(alive);
   num_alive_ += alive ? 1 : -1;
+  if (history_ != nullptr) {
+    history_->Record(
+        alive ? HistoryEventKind::kPeerUp : HistoryEventKind::kPeerDown,
+        MessageType::kPing, id, id);
+  }
 }
 
 std::vector<graph::NodeId> SimulatedNetwork::AliveNeighbors(
@@ -153,6 +158,21 @@ graph::NodeId CrashCandidate(MessageType type, graph::NodeId from,
 
 }  // namespace
 
+void SimulatedNetwork::RecordOutcome(bool delivered, MessageType type,
+                                     graph::NodeId from, graph::NodeId to,
+                                     uint32_t batch) {
+  if (delivered) {
+    cost_.RecordDelivered();
+  } else {
+    cost_.RecordDropped();
+  }
+  if (history_ != nullptr) {
+    history_->Record(
+        delivered ? HistoryEventKind::kDeliver : HistoryEventKind::kDrop, type,
+        from, to, batch);
+  }
+}
+
 util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
                                              graph::NodeId from,
                                              graph::NodeId to, uint32_t batch) {
@@ -173,6 +193,9 @@ util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
     cost_.RecordMessage(DefaultPayloadBytes(type));
   }
   cost_.RecordWalkerHops(1);
+  if (history_ != nullptr) {
+    history_->Record(HistoryEventKind::kSend, type, from, to, batch);
+  }
   double latency = SampleHopLatency();
   if (fault_.has_value()) {
     // The message is on the wire (cost already charged) when faults strike:
@@ -181,14 +204,18 @@ util::Status SimulatedNetwork::SendAlongEdge(MessageType type,
                                        CrashCandidate(type, from, to));
     cost_.RecordLatency(latency + faults.extra_latency_ms);
     if (!peers_[from].alive() || !peers_[to].alive()) {
+      RecordOutcome(false, type, from, to, batch);
       return util::Status::Unavailable("peer crashed mid-query");
     }
     if (!faults.deliver) {
+      RecordOutcome(false, type, from, to, batch);
       return util::Status::Unavailable("message dropped in transit");
     }
+    RecordOutcome(true, type, from, to, batch);
     return util::Status::Ok();
   }
   cost_.RecordLatency(latency);
+  RecordOutcome(true, type, from, to, batch);
   return util::Status::Ok();
 }
 
@@ -214,6 +241,9 @@ util::Status SimulatedNetwork::SendDirect(MessageType type,
   } else {
     cost_.RecordMessage(DefaultPayloadBytes(type) + extra_payload_bytes);
   }
+  if (history_ != nullptr) {
+    history_->Record(HistoryEventKind::kSend, type, from, to, batch);
+  }
   // Direct IP replies do not ride the overlay but still cross the Internet
   // once; replies overlap the walk, so only the message cost (not latency on
   // the critical path) is charged beyond a single hop-equivalent.
@@ -223,14 +253,18 @@ util::Status SimulatedNetwork::SendDirect(MessageType type,
                                        CrashCandidate(type, from, to));
     cost_.RecordLatency(latency + faults.extra_latency_ms);
     if (!peers_[from].alive() || !peers_[to].alive()) {
+      RecordOutcome(false, type, from, to, batch);
       return util::Status::Unavailable("peer crashed mid-query");
     }
     if (!faults.deliver) {
+      RecordOutcome(false, type, from, to, batch);
       return util::Status::Unavailable("message dropped in transit");
     }
+    RecordOutcome(true, type, from, to, batch);
     return util::Status::Ok();
   }
   cost_.RecordLatency(latency);
+  RecordOutcome(true, type, from, to, batch);
   return util::Status::Ok();
 }
 

@@ -16,8 +16,10 @@
 #include "net/adversary.h"
 #include "net/cost.h"
 #include "net/fault.h"
+#include "net/history.h"
 #include "net/message.h"
 #include "net/peer.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -41,6 +43,27 @@ class SimulatedNetwork {
 
   SimulatedNetwork(SimulatedNetwork&&) = default;
   SimulatedNetwork& operator=(SimulatedNetwork&&) = default;
+
+  // Teardown assertion (debug builds): every charged message must have
+  // resolved to delivered or dropped — drift here means a fault/retransmit
+  // path charged a message without recording its fate. Release builds skip
+  // the check; the protocol harness calls VerifyCostConservation() on every
+  // generated run regardless of build type.
+  ~SimulatedNetwork() {
+#ifndef NDEBUG
+    if (!peers_.empty()) {
+      P2PAQP_DCHECK(cost_.snapshot().MessagesConserve())
+          << "message conservation violated at teardown: "
+          << cost_.snapshot().ToString();
+    }
+#endif
+  }
+
+  // Aborts unless sends == delivers + drops in the cost ledger.
+  void VerifyCostConservation() const {
+    P2PAQP_CHECK(cost_.snapshot().MessagesConserve())
+        << cost_.snapshot().ToString();
+  }
 
   // Deep copy for parallel replicates: same overlay, peers (identities,
   // liveness, databases) and latency parameters, but a fresh cost tracker
@@ -142,6 +165,16 @@ class SimulatedNetwork {
   const CostSnapshot& cost_snapshot() const { return cost_.snapshot(); }
   void ResetCost() { cost_.Reset(); }
 
+  // --- Protocol history (black-box checking) ------------------------------
+  // Attaches an external event log; nullptr detaches. Not owned; must
+  // outlive the network while attached. The transport appends
+  // send/deliver/drop records, SetAlive appends liveness transitions, and
+  // higher layers (engines, scheduler) append timeout/retransmit/dedup/
+  // expire records through history(). Clones never inherit the recorder (a
+  // recorder observes exactly one serial run).
+  void set_history(HistoryRecorder* history) { history_ = history; }
+  HistoryRecorder* history() { return history_; }
+
   // --- Ground truth (oracle access for evaluation only) -------------------
   int64_t TotalTuples() const;
   int64_t ExactCount(data::Value lo, data::Value hi) const;
@@ -162,6 +195,11 @@ class SimulatedNetwork {
 
   double SampleHopLatency();
 
+  // Resolves one charged message — delivered or dropped — in both the cost
+  // ledger and the attached history, keeping the two in lockstep.
+  void RecordOutcome(bool delivered, MessageType type, graph::NodeId from,
+                     graph::NodeId to, uint32_t batch);
+
   graph::Graph graph_;
   std::vector<Peer> peers_;
   NetworkParams params_;
@@ -170,6 +208,7 @@ class SimulatedNetwork {
   util::Rng rng_;
   std::optional<FaultInjector> fault_;
   std::optional<AdversaryInjector> adversary_;
+  HistoryRecorder* history_ = nullptr;
 };
 
 }  // namespace p2paqp::net

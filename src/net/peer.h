@@ -41,7 +41,18 @@ class Peer {
   const PeerCapabilities& capabilities() const { return capabilities_; }
 
   bool alive() const { return alive_; }
-  void set_alive(bool alive) { alive_ = alive; }
+  void set_alive(bool alive) {
+    // A rejoin is a fresh session: the peer's previous life ended "without
+    // notice" (Sec. 1), so any state another component associates with the
+    // old incarnation (an in-flight walker token, a pending reply timer) is
+    // gone. Holders compare the incarnation they captured at hand-off
+    // against the current one to detect death-and-rebirth between events.
+    if (alive && !alive_) ++incarnation_;
+    alive_ = alive;
+  }
+  // Number of times this peer has (re)joined; starts at 0 for the first
+  // life. Bumped on every dead -> alive transition.
+  uint64_t incarnation() const { return incarnation_; }
 
   const data::LocalDatabase& database() const { return database_; }
   data::LocalDatabase& mutable_database() { return database_; }
@@ -55,6 +66,7 @@ class Peer {
   uint16_t port_ = 0;
   PeerCapabilities capabilities_;
   bool alive_ = true;
+  uint64_t incarnation_ = 0;
   data::LocalDatabase database_;
 };
 

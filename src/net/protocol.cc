@@ -29,6 +29,10 @@ FloodResult GnutellaProtocol::Flood(MessageType request, MessageType reply,
       for (uint32_t h = 0; h < depth + 1; ++h) {
         network_->cost().RecordMessage(DefaultPayloadBytes(reply));
       }
+      // Reverse-path replies succeed whenever the request hop did (faults
+      // were already resolved on the forward hop); mark them delivered so
+      // the message-conservation ledger stays balanced.
+      network_->cost().RecordDelivered(depth + 1);
       result.reached.push_back(v);
       result.max_depth = std::max(result.max_depth, depth + 1);
       queue.emplace_back(v, depth + 1);

@@ -1,0 +1,13 @@
+#include "util/bug_injection.h"
+
+namespace p2paqp::util {
+
+namespace {
+InjectedBug g_armed_bug = InjectedBug::kNone;
+}  // namespace
+
+InjectedBug ArmedBug() { return g_armed_bug; }
+
+void ArmBug(InjectedBug bug) { g_armed_bug = bug; }
+
+}  // namespace p2paqp::util

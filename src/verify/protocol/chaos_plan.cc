@@ -1,0 +1,252 @@
+#include "verify/protocol/chaos_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace p2paqp::verify {
+
+namespace {
+
+// Seven canonical behaviors (net::AdversaryBehavior) fit in the low bits.
+constexpr uint32_t kNumBehaviors = 7;
+constexpr uint32_t kBehaviorMaskAll = (1u << kNumBehaviors) - 1;
+
+}  // namespace
+
+ChaosPlan GenerateChaosPlan(uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  util::Rng rng(util::MixSeed(seed ^ 0xC4A05ULL));
+
+  plan.num_peers = static_cast<uint32_t>(rng.UniformInt(48, 256));
+  plan.avg_degree = static_cast<uint32_t>(rng.UniformInt(4, 10));
+  plan.tuples_per_peer = static_cast<uint32_t>(rng.UniformInt(10, 40));
+  plan.cluster_pct = static_cast<uint32_t>(rng.UniformInt(0, 100));
+  plan.skew_pct = static_cast<uint32_t>(rng.UniformInt(0, 100));
+
+  plan.engine = static_cast<ChaosEngineKind>(rng.UniformInt(0, 2));
+  plan.num_queries = static_cast<uint32_t>(rng.UniformInt(1, 8));
+  plan.num_batches = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  plan.phase1_peers = static_cast<uint32_t>(rng.UniformInt(8, 32));
+  plan.quorum_pct = static_cast<uint32_t>(rng.UniformInt(10, 40));
+  plan.retransmits = static_cast<uint32_t>(rng.UniformInt(0, 3));
+  plan.frame_ttl = static_cast<uint32_t>(rng.UniformInt(1, 6));
+  plan.batch_walkers = rng.Bernoulli(0.75);
+  plan.reuse_frame = rng.Bernoulli(0.75);
+
+  // Each stressor class is off more often than on, so the corpus covers the
+  // whole lattice from calm runs to full chaos rather than always-everything.
+  if (rng.Bernoulli(0.40)) {
+    plan.drop_pm = static_cast<uint32_t>(rng.UniformInt(5, 150));
+  }
+  if (rng.Bernoulli(0.25)) {
+    plan.spike_pm = static_cast<uint32_t>(rng.UniformInt(10, 200));
+  }
+  if (rng.Bernoulli(0.20)) {
+    plan.crash_pm = static_cast<uint32_t>(rng.UniformInt(1, 15));
+  }
+  if (rng.Bernoulli(0.20)) {
+    size_t crashes = rng.UniformInt(1, 3);
+    for (size_t i = 0; i < crashes; ++i) {
+      // Peer 0 is the sink and always immune; crash among the others.
+      plan.scheduled_crashes.emplace_back(
+          static_cast<uint32_t>(rng.UniformInt(0, 400)),
+          static_cast<uint32_t>(rng.UniformInt(1, plan.num_peers - 1)));
+    }
+  }
+  if (rng.Bernoulli(0.30)) {
+    plan.churn_leave_pm = static_cast<uint32_t>(rng.UniformInt(5, 60));
+    plan.churn_rejoin_pm = static_cast<uint32_t>(rng.UniformInt(100, 600));
+    plan.churn_steps = static_cast<uint32_t>(rng.UniformInt(1, 3));
+  }
+  if (rng.Bernoulli(0.30)) {
+    plan.adversary_pm = static_cast<uint32_t>(rng.UniformInt(50, 250));
+    size_t bits = rng.UniformInt(1, 2);
+    for (size_t i = 0; i < bits; ++i) {
+      plan.behavior_mask |= 1u << rng.UniformInt(0, kNumBehaviors - 1);
+    }
+  }
+  return plan;
+}
+
+size_t PlanComplexity(const ChaosPlan& plan) {
+  size_t complexity = 0;
+  if (plan.drop_pm > 0) ++complexity;
+  if (plan.spike_pm > 0) ++complexity;
+  if (plan.crash_pm > 0) ++complexity;
+  complexity += plan.scheduled_crashes.size();
+  if (plan.churn_enabled()) ++complexity;
+  if (plan.adversary_pm > 0) {
+    for (uint32_t bit = 0; bit < kNumBehaviors; ++bit) {
+      if (plan.behavior_mask & (1u << bit)) ++complexity;
+    }
+  }
+  complexity += plan.num_queries - 1;
+  complexity += plan.num_batches - 1;
+  return complexity;
+}
+
+std::string SerializeChaosPlan(const ChaosPlan& plan) {
+  std::ostringstream out;
+  out << "seed=" << plan.seed << " peers=" << plan.num_peers
+      << " deg=" << plan.avg_degree << " tuples=" << plan.tuples_per_peer
+      << " cluster=" << plan.cluster_pct << " skew=" << plan.skew_pct
+      << " engine=" << static_cast<uint32_t>(plan.engine)
+      << " queries=" << plan.num_queries << " batches=" << plan.num_batches
+      << " m=" << plan.phase1_peers << " quorum=" << plan.quorum_pct
+      << " rtx=" << plan.retransmits << " ttl=" << plan.frame_ttl
+      << " bw=" << (plan.batch_walkers ? 1 : 0)
+      << " reuse=" << (plan.reuse_frame ? 1 : 0) << " drop=" << plan.drop_pm
+      << " spike=" << plan.spike_pm << " crash=" << plan.crash_pm
+      << " crashes=";
+  if (plan.scheduled_crashes.empty()) {
+    out << "-";
+  } else {
+    for (size_t i = 0; i < plan.scheduled_crashes.size(); ++i) {
+      if (i > 0) out << ",";
+      out << plan.scheduled_crashes[i].first << ":"
+          << plan.scheduled_crashes[i].second;
+    }
+  }
+  out << " leave=" << plan.churn_leave_pm << " rejoin=" << plan.churn_rejoin_pm
+      << " steps=" << plan.churn_steps << " adv=" << plan.adversary_pm
+      << " behaviors=" << plan.behavior_mask;
+  return out.str();
+}
+
+namespace {
+
+util::Status ParseU32(const std::string& value, uint32_t* out) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || v > 0xFFFFFFFFull) {
+    return util::Status::InvalidArgument("bad uint32 '" + value + "'");
+  }
+  *out = static_cast<uint32_t>(v);
+  return util::Status::Ok();
+}
+
+util::Status ParseCrashes(
+    const std::string& value,
+    std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  out->clear();
+  if (value == "-") return util::Status::Ok();
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return util::Status::InvalidArgument("bad crash entry '" + item + "'");
+    }
+    uint32_t at = 0;
+    uint32_t peer = 0;
+    auto a = ParseU32(item.substr(0, colon), &at);
+    if (!a.ok()) return a;
+    auto b = ParseU32(item.substr(colon + 1), &peer);
+    if (!b.ok()) return b;
+    out->emplace_back(at, peer);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<ChaosPlan> ParseChaosPlan(const std::string& line) {
+  ChaosPlan plan;
+  std::istringstream in(line);
+  std::string token;
+  bool saw_seed = false;
+  while (in >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return util::Status::InvalidArgument("missing '=' in '" + token + "'");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    util::Status status = util::Status::Ok();
+    uint32_t u = 0;
+    if (key == "seed") {
+      char* end = nullptr;
+      plan.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        status = util::Status::InvalidArgument("bad seed '" + value + "'");
+      }
+      saw_seed = true;
+    } else if (key == "crashes") {
+      status = ParseCrashes(value, &plan.scheduled_crashes);
+    } else {
+      status = ParseU32(value, &u);
+      if (status.ok()) {
+        if (key == "peers") {
+          plan.num_peers = u;
+        } else if (key == "deg") {
+          plan.avg_degree = u;
+        } else if (key == "tuples") {
+          plan.tuples_per_peer = u;
+        } else if (key == "cluster") {
+          plan.cluster_pct = u;
+        } else if (key == "skew") {
+          plan.skew_pct = u;
+        } else if (key == "engine") {
+          if (u > 2) {
+            status = util::Status::InvalidArgument("bad engine kind");
+          } else {
+            plan.engine = static_cast<ChaosEngineKind>(u);
+          }
+        } else if (key == "queries") {
+          plan.num_queries = u;
+        } else if (key == "batches") {
+          plan.num_batches = u;
+        } else if (key == "m") {
+          plan.phase1_peers = u;
+        } else if (key == "quorum") {
+          plan.quorum_pct = u;
+        } else if (key == "rtx") {
+          plan.retransmits = u;
+        } else if (key == "ttl") {
+          plan.frame_ttl = u;
+        } else if (key == "bw") {
+          plan.batch_walkers = u != 0;
+        } else if (key == "reuse") {
+          plan.reuse_frame = u != 0;
+        } else if (key == "drop") {
+          plan.drop_pm = u;
+        } else if (key == "spike") {
+          plan.spike_pm = u;
+        } else if (key == "crash") {
+          plan.crash_pm = u;
+        } else if (key == "leave") {
+          plan.churn_leave_pm = u;
+        } else if (key == "rejoin") {
+          plan.churn_rejoin_pm = u;
+        } else if (key == "steps") {
+          plan.churn_steps = u;
+        } else if (key == "adv") {
+          plan.adversary_pm = u;
+        } else if (key == "behaviors") {
+          if (u > kBehaviorMaskAll) {
+            status = util::Status::InvalidArgument("bad behavior mask");
+          } else {
+            plan.behavior_mask = u;
+          }
+        } else {
+          status = util::Status::InvalidArgument("unknown key '" + key + "'");
+        }
+      }
+    }
+    if (!status.ok()) return status;
+  }
+  if (!saw_seed) {
+    return util::Status::InvalidArgument("plan line has no seed key");
+  }
+  if (plan.num_peers < 4 || plan.num_queries == 0 || plan.num_batches == 0 ||
+      plan.phase1_peers < 2) {
+    return util::Status::InvalidArgument("plan fails basic bounds");
+  }
+  return plan;
+}
+
+}  // namespace p2paqp::verify

@@ -1,0 +1,104 @@
+// Seed-deterministic chaos plans for the property-based protocol harness.
+//
+// A ChaosPlan is the *entire* input of one randomized protocol run: world
+// shape, workload, engine choice, fault regime, churn regime and adversary
+// coalition — every field derived from a single 64-bit seed, so a failing
+// run is reproduced by its seed alone. Fields are kept integral (per-mille
+// for probabilities) so the one-line text serialization round-trips exactly,
+// bit for bit: a counterexample pasted from a CI log replays the identical
+// run on any machine.
+//
+// The design follows the proptest layering (see SNIPPETS.md): generation,
+// execution (runner.h), oracles (invariants.h, history_checker.h) and
+// shrinking (shrink.h) are separate stages that all speak ChaosPlan.
+#ifndef P2PAQP_VERIFY_PROTOCOL_CHAOS_PLAN_H_
+#define P2PAQP_VERIFY_PROTOCOL_CHAOS_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace p2paqp::verify {
+
+// Which execution layer the plan drives.
+enum class ChaosEngineKind : uint32_t {
+  kScheduler = 0,  // Multi-query scheduler, shared sample frame.
+  kTwoPhase = 1,   // Synchronous two-phase engine, one query at a time.
+  kAsync = 2,      // Event-driven session with mid-query churn.
+};
+
+struct ChaosPlan {
+  uint64_t seed = 0;
+
+  // --- World ---------------------------------------------------------------
+  uint32_t num_peers = 64;
+  uint32_t avg_degree = 6;
+  uint32_t tuples_per_peer = 20;
+  uint32_t cluster_pct = 25;  // Partitioner cluster level, percent.
+  uint32_t skew_pct = 20;     // Zipf skew, percent.
+
+  // --- Workload ------------------------------------------------------------
+  ChaosEngineKind engine = ChaosEngineKind::kScheduler;
+  uint32_t num_queries = 2;
+  uint32_t num_batches = 1;
+  uint32_t phase1_peers = 16;
+  uint32_t quorum_pct = 25;   // min_observation_quorum, percent.
+  uint32_t retransmits = 2;
+  uint32_t frame_ttl = 4;
+  bool batch_walkers = true;
+  bool reuse_frame = true;
+
+  // --- Faults (per-mille probabilities) ------------------------------------
+  uint32_t drop_pm = 0;
+  uint32_t spike_pm = 0;
+  uint32_t crash_pm = 0;
+  // (at_message, peer) deterministic crashes; peer 0 (the sink) is invalid.
+  std::vector<std::pair<uint32_t, uint32_t>> scheduled_crashes;
+
+  // --- Churn between batches (per-mille per step) --------------------------
+  uint32_t churn_leave_pm = 0;
+  uint32_t churn_rejoin_pm = 0;
+  uint32_t churn_steps = 0;  // Steps applied between consecutive batches.
+
+  // --- Adversary -----------------------------------------------------------
+  uint32_t adversary_pm = 0;   // Coalition fraction, per-mille.
+  uint32_t behavior_mask = 0;  // Bit i = net::AdversaryBehavior(i) active.
+
+  bool faults_enabled() const {
+    return drop_pm > 0 || spike_pm > 0 || crash_pm > 0 ||
+           !scheduled_crashes.empty();
+  }
+  bool churn_enabled() const {
+    return churn_steps > 0 && (churn_leave_pm > 0 || churn_rejoin_pm > 0);
+  }
+  bool adversary_enabled() const {
+    return adversary_pm > 0 && behavior_mask != 0;
+  }
+  // True when any adversarial behavior can bias the estimate (degree lies,
+  // value corruption, hijacked selection, replayed quorum inflation) — such
+  // plans are exempt from the unbiasedness envelope oracle.
+  bool value_attack() const { return adversary_enabled(); }
+};
+
+// Derives a complete plan from one seed. Identical seeds yield identical
+// plans on every platform (integer arithmetic only).
+ChaosPlan GenerateChaosPlan(uint64_t seed);
+
+// Number of active stressors: one per nonzero fault knob, one per scheduled
+// crash, one for churn, one per adversary behavior bit, plus the workload
+// surplus beyond the minimal one-query/one-batch run. The shrinker minimizes
+// this; the seeded-bug acceptance test requires the shrunk counterexample to
+// land at <= 5.
+size_t PlanComplexity(const ChaosPlan& plan);
+
+// One-line `key=value` serialization (space-separated, stable key order).
+// SerializeChaosPlan(ParseChaosPlan(s)) == s for any line it produced.
+std::string SerializeChaosPlan(const ChaosPlan& plan);
+util::Result<ChaosPlan> ParseChaosPlan(const std::string& line);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_PROTOCOL_CHAOS_PLAN_H_

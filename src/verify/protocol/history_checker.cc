@@ -1,0 +1,111 @@
+#include "verify/protocol/history_checker.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace p2paqp::verify {
+
+namespace {
+
+constexpr size_t kMaxViolations = 32;
+
+void Report(std::vector<std::string>* violations, const net::HistoryEvent& e,
+            const std::string& rule) {
+  if (violations->size() >= kMaxViolations) return;
+  violations->push_back(rule + ": " + e.ToString());
+}
+
+}  // namespace
+
+std::vector<std::string> CheckHistory(
+    const std::vector<net::HistoryEvent>& events) {
+  std::vector<std::string> violations;
+  uint64_t sends = 0;
+  uint64_t outcomes = 0;  // delivers + drops.
+  std::set<graph::NodeId> down;
+  // Pending (fired but unconsumed) timeouts per directed flow.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, uint64_t> pending_timeouts;
+  std::set<uint64_t> accepted_tags;
+  // Peers that have ever been down, and whether a walker token has been
+  // delivered to them since their latest down transition.
+  std::set<graph::NodeId> ever_down;
+  std::set<graph::NodeId> token_since_rebirth;
+
+  for (const net::HistoryEvent& e : events) {
+    switch (e.kind) {
+      case net::HistoryEventKind::kSend:
+        ++sends;
+        if (down.count(e.from) || down.count(e.to)) {
+          Report(&violations, e, "send involves a down peer");
+        }
+        if (e.type == net::MessageType::kWalker && ever_down.count(e.from) &&
+            !token_since_rebirth.count(e.from)) {
+          Report(&violations, e,
+                 "walker forwarded by a reborn peer that never received a "
+                 "token in its current incarnation");
+        }
+        break;
+      case net::HistoryEventKind::kDeliver:
+        ++outcomes;
+        if (outcomes > sends) {
+          Report(&violations, e, "delivery outcome without a matching send");
+        }
+        if (down.count(e.from) || down.count(e.to)) {
+          Report(&violations, e, "delivery involves a down peer");
+        }
+        if (e.type == net::MessageType::kWalker) {
+          token_since_rebirth.insert(e.to);
+        }
+        break;
+      case net::HistoryEventKind::kDrop:
+        ++outcomes;
+        if (outcomes > sends) {
+          Report(&violations, e, "drop outcome without a matching send");
+        }
+        break;
+      case net::HistoryEventKind::kTimeout:
+        ++pending_timeouts[{e.from, e.to}];
+        break;
+      case net::HistoryEventKind::kRetransmit: {
+        auto it = pending_timeouts.find({e.from, e.to});
+        if (it == pending_timeouts.end() || it->second == 0) {
+          Report(&violations, e, "retransmit without a preceding timeout");
+        } else {
+          --it->second;
+        }
+        break;
+      }
+      case net::HistoryEventKind::kPeerDown:
+        down.insert(e.from);
+        ever_down.insert(e.from);
+        token_since_rebirth.erase(e.from);
+        break;
+      case net::HistoryEventKind::kPeerUp:
+        down.erase(e.from);
+        break;
+      case net::HistoryEventKind::kExpire:
+        break;
+      case net::HistoryEventKind::kDedupAccept:
+        if (e.tag != 0 && !accepted_tags.insert(e.tag).second) {
+          Report(&violations, e, "reply tag accepted more than once");
+        }
+        break;
+      case net::HistoryEventKind::kDedupDrop:
+        if (e.tag != 0 && !accepted_tags.count(e.tag)) {
+          Report(&violations, e,
+                 "duplicate dropped for a tag that was never accepted");
+        }
+        break;
+    }
+  }
+  if (sends != outcomes && violations.size() < kMaxViolations) {
+    violations.push_back("history conservation broken: " +
+                         std::to_string(sends) + " sends vs " +
+                         std::to_string(outcomes) + " outcomes");
+  }
+  return violations;
+}
+
+}  // namespace p2paqp::verify

@@ -1,0 +1,39 @@
+// Black-box protocol history checker (Maelstrom/Elle style).
+//
+// Validates a recorded net::HistoryRecorder log purely from the outside —
+// no access to engine internals, only the externally visible event stream.
+// The rules are causality invariants that no single component can check
+// locally because they span components and time:
+//
+//   1. Conservation: every send resolves to exactly one deliver-or-drop
+//      (running prefix and final equality).
+//   2. Liveness: no send or deliver involves a peer that is currently down
+//      (drops may — the crash that killed the message precedes them).
+//   3. Timeout ordering: every retransmit on a (from, to) flow consumes a
+//      prior unconsumed timeout on the same flow.
+//   4. Dedup soundness: a tag is accepted at most once, and a dedup-drop
+//      only happens for a tag that was previously accepted (the sink cannot
+//      recognize a duplicate of something it never counted). Catches the
+//      injected kDisableReplyDedup bug as a double-accept.
+//   5. Walker-session continuity: a peer that has been down may only forward
+//      a walker token delivered to it after its latest rebirth. Catches a
+//      reborn peer resuming a walk session that died with its previous
+//      incarnation (the churn-rejoin stale-token bug).
+#ifndef P2PAQP_VERIFY_PROTOCOL_HISTORY_CHECKER_H_
+#define P2PAQP_VERIFY_PROTOCOL_HISTORY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "net/history.h"
+
+namespace p2paqp::verify {
+
+// Returns human-readable violations (empty = history is valid). Reporting is
+// capped at 32 violations per run to keep failing output readable.
+std::vector<std::string> CheckHistory(
+    const std::vector<net::HistoryEvent>& events);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_PROTOCOL_HISTORY_CHECKER_H_

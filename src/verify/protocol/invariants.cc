@@ -1,0 +1,166 @@
+#include "verify/protocol/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace p2paqp::verify {
+
+namespace {
+
+constexpr double kZ95 = 1.959963984540054;
+
+std::string Describe(const AnswerRecord& record, const std::string& rule) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: query=%llu batch=%llu", rule.c_str(),
+                static_cast<unsigned long long>(record.query_index),
+                static_cast<unsigned long long>(record.batch_index));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> CheckAnswerInvariants(
+    const ChaosPlan& plan, const std::vector<AnswerRecord>& answers) {
+  std::vector<std::string> violations;
+  const bool calm = !plan.faults_enabled() && !plan.churn_enabled() &&
+                    !plan.adversary_enabled();
+  const size_t quorum1 = static_cast<size_t>(
+      std::ceil(plan.quorum_pct / 100.0 *
+                static_cast<double>(plan.phase1_peers)));
+  for (const AnswerRecord& record : answers) {
+    if (!record.ok) {
+      // Failure isolation: a plan with no stressor of any kind must answer
+      // every query (any failure is a protocol bug, not bad luck).
+      if (calm) {
+        violations.push_back(
+            Describe(record, "query failed on a stressor-free plan") + " (" +
+            record.error + ")");
+      }
+      continue;
+    }
+    const core::ApproximateAnswer& a = record.answer;
+    // Quorum honored: the phase-I request size is the plan's m for every
+    // engine, so a successful answer must report at least the quorum floor
+    // of delivered phase-I observations. Catches kSkipQuorumCheck.
+    if (a.phase1_peers < quorum1) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    " (phase1 delivered %zu < quorum %zu of m=%u)",
+                    a.phase1_peers, quorum1, plan.phase1_peers);
+      violations.push_back(
+          Describe(record, "answer accepted below observation quorum") + buf);
+    }
+    // Degraded-answer CI monotonicity: loss must never shrink the interval
+    // below the plain normal CI of the reported variance.
+    double base_ci = kZ95 * std::sqrt(std::max(a.variance, 0.0));
+    if (a.observations_lost > 0 && a.ci_half_width_95 < base_ci * (1 - 1e-9)) {
+      violations.push_back(Describe(
+          record, "degraded answer narrowed its CI below the base interval"));
+    }
+    if (a.observations_lost > 0 && !a.degraded) {
+      violations.push_back(
+          Describe(record, "lost observations but degraded flag not set"));
+    }
+    // Unbiasedness envelope, non-Byzantine plans only: the estimate must
+    // land within a generous band around the exact answer (either vintage:
+    // churn legitimately moves the truth mid-run). The band is deliberately
+    // loose — 10 half-widths plus 60% of the total-aggregate scale — so it
+    // never flags honest sampling noise, only gross corruption such as
+    // double-counted duplicate replies.
+    if (!plan.value_attack()) {
+      double err = std::min(std::fabs(a.estimate - record.truth_before),
+                            std::fabs(a.estimate - record.truth_after));
+      double scale = std::max({std::fabs(record.truth_total),
+                               std::fabs(record.truth_before), 1.0});
+      double band = 10.0 * a.ci_half_width_95 + 0.6 * scale;
+      if (err > band) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      " (estimate=%.1f truth=%.1f/%.1f band=%.1f)",
+                      a.estimate, record.truth_before, record.truth_after,
+                      band);
+        violations.push_back(
+            Describe(record, "estimate outside the unbiasedness envelope") +
+            buf);
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> CheckFrameAccounting(
+    const ChaosPlan& plan, const std::vector<FrameBatchRecord>& batches) {
+  std::vector<std::string> violations;
+  for (const FrameBatchRecord& b : batches) {
+    char buf[192];
+    // Hits are selections reused from earlier batches; there can never be
+    // more of them than the batch carried in. Catches kDoubleCountFrameHits.
+    if (b.stats.frame_hits > b.carry) {
+      std::snprintf(buf, sizeof(buf),
+                    "frame hits exceed carried selections: batch=%llu "
+                    "hits=%zu carry=%zu",
+                    static_cast<unsigned long long>(b.batch_index),
+                    b.stats.frame_hits, b.carry);
+      violations.push_back(buf);
+    }
+    // Top-up conservation: the frame grows by exactly the fresh selections
+    // recorded as misses (the carry after expiry plus misses is the final
+    // size; nothing else may append).
+    if (b.frame_after != b.carry + b.stats.frame_misses) {
+      std::snprintf(buf, sizeof(buf),
+                    "frame growth mismatch: batch=%llu carry=%zu misses=%zu "
+                    "final=%zu",
+                    static_cast<unsigned long long>(b.batch_index), b.carry,
+                    b.stats.frame_misses, b.frame_after);
+      violations.push_back(buf);
+    }
+    // A plan that discards the frame between batches must never report hits.
+    if (!plan.reuse_frame && b.stats.frame_hits > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "frame hits on a reuse-disabled plan: batch=%llu hits=%zu",
+                    static_cast<unsigned long long>(b.batch_index),
+                    b.stats.frame_hits);
+      violations.push_back(buf);
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> CheckCostConservation(
+    const net::CostSnapshot& delta, uint64_t history_sends,
+    uint64_t history_delivers, uint64_t history_drops) {
+  std::vector<std::string> violations;
+  char buf[192];
+  if (!delta.MessagesConserve()) {
+    std::snprintf(buf, sizeof(buf),
+                  "cost ledger broken: %llu messages vs %llu delivered + "
+                  "%llu dropped",
+                  static_cast<unsigned long long>(delta.messages),
+                  static_cast<unsigned long long>(delta.messages_delivered),
+                  static_cast<unsigned long long>(delta.messages_dropped));
+    violations.push_back(buf);
+  }
+  if (history_sends != delta.messages) {
+    std::snprintf(buf, sizeof(buf),
+                  "history/ledger disagree on sends: %llu events vs %llu "
+                  "charged messages",
+                  static_cast<unsigned long long>(history_sends),
+                  static_cast<unsigned long long>(delta.messages));
+    violations.push_back(buf);
+  }
+  if (history_delivers != delta.messages_delivered ||
+      history_drops != delta.messages_dropped) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "history/ledger disagree on outcomes: %llu/%llu events vs %llu/%llu",
+        static_cast<unsigned long long>(history_delivers),
+        static_cast<unsigned long long>(history_drops),
+        static_cast<unsigned long long>(delta.messages_delivered),
+        static_cast<unsigned long long>(delta.messages_dropped));
+    violations.push_back(buf);
+  }
+  return violations;
+}
+
+}  // namespace p2paqp::verify

@@ -1,0 +1,66 @@
+// Invariant oracles evaluated after every generated chaos run.
+//
+// Each oracle states a property that must hold for ANY plan (or any plan in
+// a guarded subclass, e.g. non-Byzantine), so the harness needs no
+// per-plan expected values — the classic property-testing contract. The
+// oracles deliberately read only black-box outputs (answers, cost deltas,
+// frame stats, the event history), never engine internals.
+#ifndef P2PAQP_VERIFY_PROTOCOL_INVARIANTS_H_
+#define P2PAQP_VERIFY_PROTOCOL_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/multi_query.h"
+#include "core/two_phase.h"
+#include "net/cost.h"
+#include "verify/protocol/chaos_plan.h"
+
+namespace p2paqp::verify {
+
+// One executed query as the harness observed it.
+struct AnswerRecord {
+  uint64_t query_index = 0;
+  uint64_t batch_index = 0;
+  bool ok = false;
+  core::ApproximateAnswer answer;  // Valid only when ok.
+  std::string error;               // Status message when !ok.
+  // Exact answers at issue time and at answer time (they differ when churn
+  // or crashes removed peers mid-run; the envelope accepts either vintage).
+  double truth_before = 0.0;
+  double truth_after = 0.0;
+  // Exact total aggregate (N for COUNT, all-tuples sum for SUM) at answer
+  // time — the paper's error normalizer.
+  double truth_total = 0.0;
+};
+
+// Frame bookkeeping for one scheduler batch.
+struct FrameBatchRecord {
+  uint64_t batch_index = 0;
+  size_t carry = 0;        // QueryScheduler::batch_carry() for this batch.
+  size_t frame_before = 0; // Frame size entering ExecuteBatch.
+  size_t frame_after = 0;  // Frame size after ExecuteBatch.
+  core::SampleFrameStats stats;  // Per-batch (BatchResult::frame).
+};
+
+// Per-answer oracles: quorum honored, degraded-CI monotonicity, failure
+// isolation, and (for non-Byzantine plans) the estimate envelope.
+std::vector<std::string> CheckAnswerInvariants(
+    const ChaosPlan& plan, const std::vector<AnswerRecord>& answers);
+
+// Frame-hit/top-up accounting: hits never exceed the carried selections,
+// and the frame grows by exactly the recorded misses (top-up conservation).
+std::vector<std::string> CheckFrameAccounting(
+    const ChaosPlan& plan, const std::vector<FrameBatchRecord>& batches);
+
+// Cost-ledger conservation (messages == delivered + dropped) and agreement
+// between the ledger and the recorded history (every charged message has a
+// send event, every send an outcome event).
+std::vector<std::string> CheckCostConservation(
+    const net::CostSnapshot& delta, uint64_t history_sends,
+    uint64_t history_delivers, uint64_t history_drops);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_PROTOCOL_INVARIANTS_H_

@@ -1,0 +1,136 @@
+#include "verify/protocol/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "verify/protocol/runner.h"
+
+namespace p2paqp::verify {
+
+namespace {
+
+// One candidate simplification. Returns false when the plan is already at
+// the target (no-op), so the fixpoint loop skips the predicate run.
+using Mutation = std::function<bool(ChaosPlan*)>;
+
+bool ShrinkU32(uint32_t* field, uint32_t target) {
+  if (*field <= target) return false;
+  *field = target;
+  return true;
+}
+
+bool HalveU32Toward(uint32_t* field, uint32_t floor) {
+  if (*field <= floor) return false;
+  *field = std::max(floor, *field / 2);
+  return true;
+}
+
+// The candidate list, ordered most-simplifying first: workload collapse and
+// whole-stressor removal before rate halving and world shrinking, so the
+// fixpoint reaches small complexity with few predicate runs.
+std::vector<Mutation> BuildMutations(const ChaosPlan& current) {
+  std::vector<Mutation> mutations;
+
+  // Workload collapse.
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->num_batches, 1); });
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->num_queries, 1); });
+
+  // Whole-stressor removal.
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->drop_pm, 0); });
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->spike_pm, 0); });
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->crash_pm, 0); });
+  for (size_t i = 0; i < current.scheduled_crashes.size(); ++i) {
+    mutations.push_back([i](ChaosPlan* p) {
+      if (i >= p->scheduled_crashes.size()) return false;
+      p->scheduled_crashes.erase(p->scheduled_crashes.begin() +
+                                 static_cast<long>(i));
+      return true;
+    });
+  }
+  mutations.push_back([](ChaosPlan* p) {
+    if (p->churn_steps == 0 && p->churn_leave_pm == 0 &&
+        p->churn_rejoin_pm == 0) {
+      return false;
+    }
+    p->churn_steps = 0;
+    p->churn_leave_pm = 0;
+    p->churn_rejoin_pm = 0;
+    return true;
+  });
+  for (uint32_t bit = 0; bit < 7; ++bit) {
+    mutations.push_back([bit](ChaosPlan* p) {
+      if ((p->behavior_mask & (1u << bit)) == 0) return false;
+      p->behavior_mask &= ~(1u << bit);
+      return true;
+    });
+  }
+  mutations.push_back([](ChaosPlan* p) {
+    if (p->behavior_mask != 0 || p->adversary_pm == 0) return false;
+    p->adversary_pm = 0;  // Coalition with no behavior left: delete it.
+    return true;
+  });
+
+  // Rate halving (when outright removal did not preserve the failure).
+  mutations.push_back([](ChaosPlan* p) { return HalveU32Toward(&p->drop_pm, 0); });
+  mutations.push_back([](ChaosPlan* p) { return HalveU32Toward(&p->crash_pm, 0); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->adversary_pm, 20); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->churn_leave_pm, 1); });
+
+  // Workload / world shrinking toward the generator floors.
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->retransmits, 0); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->num_queries, 1); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->phase1_peers, 8); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->num_peers, 32); });
+  mutations.push_back(
+      [](ChaosPlan* p) { return HalveU32Toward(&p->tuples_per_peer, 5); });
+  mutations.push_back([](ChaosPlan* p) { return ShrinkU32(&p->frame_ttl, 1); });
+  mutations.push_back([](ChaosPlan* p) {
+    bool changed = !p->batch_walkers || !p->reuse_frame;
+    p->batch_walkers = true;  // Generator defaults = simplest configuration.
+    p->reuse_frame = true;
+    return changed;
+  });
+
+  return mutations;
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkChaosPlan(const ChaosPlan& failing,
+                              const PlanPredicate& still_fails,
+                              size_t max_runs) {
+  ShrinkOutcome outcome;
+  outcome.plan = failing;
+  // Fixpoint: sweep the whole candidate list; restart whenever a sweep
+  // accepted anything (an accepted mutation can enable further ones, e.g.
+  // clearing the last behavior bit unlocks deleting the coalition).
+  bool progress = true;
+  while (progress && outcome.runs < max_runs) {
+    progress = false;
+    for (const Mutation& mutate : BuildMutations(outcome.plan)) {
+      if (outcome.runs >= max_runs) break;
+      ChaosPlan candidate = outcome.plan;
+      if (!mutate(&candidate)) continue;
+      ++outcome.runs;
+      if (still_fails(candidate)) {
+        outcome.plan = candidate;
+        ++outcome.accepted;
+        progress = true;
+      }
+    }
+  }
+  return outcome;
+}
+
+ShrinkOutcome ShrinkChaosPlan(const ChaosPlan& failing, size_t max_runs) {
+  return ShrinkChaosPlan(
+      failing, [](const ChaosPlan& p) { return RunChaosPlan(p).failed(); },
+      max_runs);
+}
+
+}  // namespace p2paqp::verify

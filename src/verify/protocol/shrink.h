@@ -1,0 +1,43 @@
+// Counterexample minimization for failing chaos plans.
+//
+// Classic property-testing shrinking, specialized to the plan structure: a
+// greedy deterministic fixpoint that tries semantic simplifications (drop a
+// scheduled crash, zero a fault rate, clear an adversary behavior bit,
+// disable churn, collapse the workload to one query / one batch, shrink the
+// world) and keeps a mutation if and only if the mutated plan STILL fails
+// the predicate. The result is a locally-minimal plan: no single remaining
+// simplification preserves the failure. Deterministic: same input plan +
+// same predicate => same shrunk plan, always.
+#ifndef P2PAQP_VERIFY_PROTOCOL_SHRINK_H_
+#define P2PAQP_VERIFY_PROTOCOL_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "verify/protocol/chaos_plan.h"
+
+namespace p2paqp::verify {
+
+// True when the (mutated) plan still reproduces the failure being minimized.
+using PlanPredicate = std::function<bool(const ChaosPlan&)>;
+
+struct ShrinkOutcome {
+  ChaosPlan plan;      // The minimized still-failing plan.
+  size_t runs = 0;     // Predicate evaluations spent.
+  size_t accepted = 0; // Mutations that preserved the failure.
+};
+
+// Minimizes `failing` under `still_fails` (which must hold for `failing`
+// itself — the input is returned unchanged otherwise). `max_runs` bounds the
+// total predicate evaluations; the fixpoint usually converges well before a
+// couple hundred runs.
+ShrinkOutcome ShrinkChaosPlan(const ChaosPlan& failing,
+                              const PlanPredicate& still_fails,
+                              size_t max_runs = 256);
+
+// Convenience: minimizes under "RunChaosPlan(plan).failed()".
+ShrinkOutcome ShrinkChaosPlan(const ChaosPlan& failing, size_t max_runs = 256);
+
+}  // namespace p2paqp::verify
+
+#endif  // P2PAQP_VERIFY_PROTOCOL_SHRINK_H_

@@ -1,0 +1,151 @@
+// Property-based protocol fuzzer: generate seed-derived chaos plans, run
+// each through every invariant oracle and the black-box history checker,
+// shrink any failure to a minimal counterexample and print its one-line
+// serialized form (paste it back with --replay to reproduce).
+//
+//   chaos_fuzz --plans=200 --start-seed=1            # fuzz a seed range
+//   chaos_fuzz --replay="seed=7 peers=64 ..."        # re-run one plan line
+//   chaos_fuzz --plans=5000 --out=failures.plans     # long fuzz, save fails
+//
+// Exit status: 0 when every plan passed, 1 on any oracle violation, 2 on
+// usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "verify/protocol/chaos_plan.h"
+#include "verify/protocol/runner.h"
+#include "verify/protocol/shrink.h"
+
+namespace p2paqp {
+namespace {
+
+struct Options {
+  uint64_t plans = 200;
+  uint64_t start_seed = 1;
+  std::string replay;   // One-line plan to re-run instead of fuzzing.
+  std::string out;      // Append failing (shrunk) plan lines here.
+  bool shrink = true;   // Minimize failures before reporting.
+  bool verbose = false; // Per-plan progress lines.
+};
+
+void PrintHelp() {
+  std::puts(
+      "chaos_fuzz — property-based protocol chaos harness\n\n"
+      "  --plans=N        number of generated plans to run (default 200)\n"
+      "  --start-seed=N   first seed of the range (default 1)\n"
+      "  --replay=LINE    re-run one serialized plan line and exit\n"
+      "  --out=FILE       append failing shrunk plan lines to FILE\n"
+      "  --no-shrink      report raw failures without minimizing\n"
+      "  --verbose        per-plan progress\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+void ReportFailure(const verify::ChaosRunReport& report, const Options& opt) {
+  std::printf("FAIL seed=%llu violations=%zu\n",
+              static_cast<unsigned long long>(report.plan.seed),
+              report.violations.size());
+  for (const std::string& v : report.violations) {
+    std::printf("  - %s\n", v.c_str());
+  }
+  verify::ChaosPlan minimal = report.plan;
+  if (opt.shrink) {
+    verify::ShrinkOutcome shrunk = verify::ShrinkChaosPlan(report.plan);
+    minimal = shrunk.plan;
+    std::printf("  shrunk in %zu runs (%zu accepted) to complexity %zu\n",
+                shrunk.runs, shrunk.accepted,
+                verify::PlanComplexity(minimal));
+  }
+  std::string line = verify::SerializeChaosPlan(minimal);
+  std::printf("  counterexample: %s\n", line.c_str());
+  if (!opt.out.empty()) {
+    std::ofstream f(opt.out, std::ios::app);
+    f << line << "\n";
+  }
+}
+
+int Run(const Options& opt) {
+  if (!opt.replay.empty()) {
+    auto plan = verify::ParseChaosPlan(opt.replay);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad plan line: %s\n",
+                   plan.status().message().c_str());
+      return 2;
+    }
+    verify::ChaosRunReport report = verify::RunChaosPlan(*plan);
+    std::printf("replay seed=%llu digest=%016llx events=%zu answers=%zu/%zu\n",
+                static_cast<unsigned long long>(report.plan.seed),
+                static_cast<unsigned long long>(report.digest),
+                report.history_events, report.answers_ok,
+                report.answers_ok + report.answers_failed);
+    if (!report.failed()) {
+      std::puts("PASS");
+      return 0;
+    }
+    ReportFailure(report, opt);
+    return 1;
+  }
+
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < opt.plans; ++i) {
+    uint64_t seed = opt.start_seed + i;
+    verify::ChaosPlan plan = verify::GenerateChaosPlan(seed);
+    verify::ChaosRunReport report = verify::RunChaosPlan(plan);
+    if (opt.verbose || report.failed()) {
+      std::printf("plan %llu/%llu seed=%llu engine=%u complexity=%zu %s\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(opt.plans),
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned>(plan.engine),
+                  verify::PlanComplexity(plan),
+                  report.failed() ? "FAIL" : "ok");
+    }
+    if (report.failed()) {
+      ++failures;
+      ReportFailure(report, opt);
+    }
+  }
+  std::printf("%llu/%llu plans passed\n",
+              static_cast<unsigned long long>(opt.plans - failures),
+              static_cast<unsigned long long>(opt.plans));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace p2paqp
+
+int main(int argc, char** argv) {
+  p2paqp::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (p2paqp::ParseFlag(argv[i], "--plans", &value)) {
+      opt.plans = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (p2paqp::ParseFlag(argv[i], "--start-seed", &value)) {
+      opt.start_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (p2paqp::ParseFlag(argv[i], "--replay", &value)) {
+      opt.replay = value;
+    } else if (p2paqp::ParseFlag(argv[i], "--out", &value)) {
+      opt.out = value;
+    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
+      opt.shrink = false;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      p2paqp::PrintHelp();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      p2paqp::PrintHelp();
+      return 2;
+    }
+  }
+  return p2paqp::Run(opt);
+}
