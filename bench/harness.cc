@@ -43,6 +43,10 @@ struct BenchTelemetry {
   double sched_wall_s = 0.0;
   double sched_messages = 0.0;
   double sched_frame_hits = 0.0;
+  // Scale-world telemetry (bench/scale_world.cc); zero for binaries that
+  // never build the scale world.
+  double bytes_per_peer = 0.0;
+  double events_per_sec = 0.0;
 };
 
 BenchTelemetry& Telemetry() {
@@ -72,6 +76,13 @@ void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
   t.sched_wall_s += wall_s;
   t.sched_messages += messages;
   t.sched_frame_hits += frame_hits;
+}
+
+void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec) {
+  BenchTelemetry& t = Telemetry();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.bytes_per_peer = bytes_per_peer;
+  t.events_per_sec = events_per_sec;
 }
 
 // Normalized error per op (Sec. 5.5: errors in [0, 1]).
@@ -508,7 +519,9 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"mean_trimmed_mass\": %.6f,\n"
                "  \"queries_per_sec\": %.3f,\n"
                "  \"messages_per_query\": %.3f,\n"
-               "  \"frame_hits\": %.1f\n"
+               "  \"frame_hits\": %.1f,\n"
+               "  \"bytes_per_peer\": %.1f,\n"
+               "  \"events_per_sec\": %.1f\n"
                "}\n",
                io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
@@ -520,7 +533,7 @@ void EmitFigure(const std::string& title, const std::string& setup,
                t.sched_queries > 0
                    ? t.sched_messages / static_cast<double>(t.sched_queries)
                    : 0.0,
-               t.sched_frame_hits);
+               t.sched_frame_hits, t.bytes_per_peer, t.events_per_sec);
   std::fclose(f);
 }
 

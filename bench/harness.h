@@ -140,6 +140,13 @@ RunStats RunBaselineExperiment(const World& world, const RunConfig& config,
 void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
                               double frame_hits);
 
+// Records the scale-world telemetry (bench/scale_world.cc): the world's
+// resident footprint per peer and the event core's drain rate. Feeds the
+// identically named `bytes_per_peer` / `events_per_sec` JSON fields, which
+// tools/bench_gate.py gates as an upper resp. lower bound whenever the
+// committed baseline recorded them (see docs/PERFORMANCE.md, "Scale tier").
+void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec);
+
 // Resolves the predicate for a run (explicit predicate wins; otherwise the
 // target selectivity against Zipf(world.zipf_skew)).
 query::RangePredicate ResolvePredicate(const World& world,

@@ -1,0 +1,121 @@
+// Scale series: the 1M-peer super-peer world (docs/PERFORMANCE.md, "Scale
+// tier"). Builds the same world as tests/scale_test.cc — scaled by
+// P2PAQP_SCALE, so the CI quick pass at 0.05 exercises a 50k-peer version
+// of the identical pipeline — and answers one full-domain COUNT through the
+// event-driven engine.
+//
+// Ships the two gated metrics to the BENCH telemetry:
+//   * bytes_per_peer — resident graph + peer-state + tuple bytes per peer
+//     (upper-bounded by tools/bench_gate.py; the compressed-CSR contract);
+//   * events_per_sec — event-core drain rate over the COUNT's event trace
+//     (lower-bounded, threads-matched).
+#include <algorithm>
+#include <chrono>
+
+#include "core/async_engine.h"
+#include "core/catalog.h"
+#include "data/generator.h"
+#include "data/partitioner.h"
+#include "harness.h"
+#include "net/network.h"
+#include "query/query.h"
+#include "topology/super_peer.h"
+#include "util/rng.h"
+
+namespace p2paqp::bench {
+namespace {
+
+constexpr size_t kFullScalePeers = 1000000;
+constexpr size_t kTuplesPerPeer = 2;
+constexpr graph::NodeId kSink = 0;  // A super-peer: well-connected sink.
+
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
+  const double scale = ScaleFactor();
+  const size_t num_peers = std::max(
+      static_cast<size_t>(static_cast<double>(kFullScalePeers) * scale),
+      static_cast<size_t>(20000));
+
+  auto build_start = std::chrono::steady_clock::now();
+  topology::SuperPeerParams topo;
+  topo.num_nodes = num_peers;
+  topo.super_fraction = 0.02;
+  topo.core_edges_per_super = 4;
+  topo.leaf_connections = 2;
+  util::Rng topo_rng(20060403);
+  auto topology = topology::MakeSuperPeer(topo, topo_rng);
+  if (!topology.ok()) return 1;
+
+  data::DatasetParams dataset;
+  dataset.num_tuples = num_peers * kTuplesPerPeer;
+  dataset.skew = 0.2;
+  util::Rng data_rng(271828);
+  auto table_data = data::GenerateDataset(dataset, data_rng);
+  if (!table_data.ok()) return 1;
+  data::PartitionParams partition;
+  partition.cluster_level = 0.25;
+  partition.bfs_root = kSink;
+  auto databases = data::PartitionAcrossPeers(*table_data, topology->graph,
+                                              partition, data_rng);
+  if (!databases.ok()) return 1;
+
+  net::NetworkParams params;
+  params.parallel_peer_init = true;
+  auto network = net::SimulatedNetwork::Make(
+      std::move(topology->graph), std::move(*databases), params, 314159);
+  if (!network.ok()) return 1;
+  const double build_s = Seconds(build_start);
+  const double bytes_per_peer = static_cast<double>(network->MemoryBytes()) /
+                                static_cast<double>(num_peers);
+
+  core::SystemCatalog catalog =
+      core::MakeCatalog(network->graph(), /*jump=*/4, /*burn_in=*/24);
+  core::AsyncParams async;
+  async.engine.phase1_peers = 48;
+  async.engine.tuples_per_peer = kTuplesPerPeer;
+  async.engine.cv_repeats = 4;
+  async.walkers = 4;
+  async.walk.jump = 4;
+  async.walk.burn_in = 24;
+  core::AsyncQuerySession session(&*network, catalog, async);
+
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 100};
+  query.required_error = 0.5;
+  util::Rng rng(999331);
+  auto query_start = std::chrono::steady_clock::now();
+  auto report = session.Execute(query, kSink, rng);
+  const double query_s = Seconds(query_start);
+  if (!report.ok()) return 1;
+  const double events_per_sec =
+      query_s > 0.0 ? static_cast<double>(report->events) / query_s : 0.0;
+
+  RecordScaleTelemetry(bytes_per_peer, events_per_sec);
+
+  util::AsciiTable out({"peers", "build_s", "bytes_per_peer", "events",
+                        "events_per_sec", "estimate"});
+  out.AddRow({util::AsciiTable::FormatInt(static_cast<int64_t>(num_peers)),
+              util::AsciiTable::FormatDouble(build_s, 2),
+              util::AsciiTable::FormatDouble(bytes_per_peer, 1),
+              util::AsciiTable::FormatInt(
+                  static_cast<int64_t>(report->events)),
+              util::AsciiTable::FormatDouble(events_per_sec, 0),
+              util::AsciiTable::FormatDouble(report->answer.estimate, 0)});
+  EmitFigure("Scale series: super-peer world, full-domain COUNT",
+             "super_fraction=0.02, core_edges=4, leaf_connections=2, "
+             "CL=0.25, Z=0.2",
+             out, io);
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp::bench
+
+int main(int argc, char** argv) { return p2paqp::bench::Run(argc, argv); }

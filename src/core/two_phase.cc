@@ -127,7 +127,7 @@ size_t AuditObservationDegrees(net::SimulatedNetwork* network,
   std::vector<graph::NodeId> suspected;
   for (const auto& [peer, claimed] : audited) {
     if (claimed == 0) continue;
-    std::span<const graph::NodeId> real = network->graph().neighbors(peer);
+    graph::NeighborRange real = network->graph().neighbors(peer);
     size_t confirms = 0;
     size_t denials = 0;
     for (size_t probe = 0; probe < policy.degree_audit_probes; ++probe) {

@@ -28,6 +28,9 @@ class LocalDatabase {
   }
   void Clear() { tuples_.clear(); }
 
+  // Heap bytes held by the tuple storage (memory-per-peer accounting).
+  size_t MemoryBytes() const { return tuples_.capacity() * sizeof(Tuple); }
+
   // COUNT(*) WHERE value BETWEEN lo AND hi over all local tuples.
   int64_t Count(Value lo, Value hi) const;
 

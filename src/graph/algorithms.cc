@@ -49,14 +49,16 @@ std::vector<NodeId> DfsOrder(const Graph& graph, NodeId root) {
   std::vector<bool> seen(graph.num_nodes(), false);
   std::vector<NodeId> order;
   std::vector<NodeId> stack = {root};
+  std::vector<NodeId> scratch;
   seen[root] = true;
   while (!stack.empty()) {
     NodeId u = stack.back();
     stack.pop_back();
     order.push_back(u);
-    auto span = graph.neighbors(u);
-    // Push in reverse so the smallest-id neighbor is expanded first.
-    for (auto it = span.rbegin(); it != span.rend(); ++it) {
+    // Push in reverse so the smallest-id neighbor is expanded first (the
+    // compressed neighbor view only decodes forward, so buffer one list).
+    graph.CopyNeighbors(u, &scratch);
+    for (auto it = scratch.rbegin(); it != scratch.rend(); ++it) {
       if (!seen[*it]) {
         seen[*it] = true;
         stack.push_back(*it);

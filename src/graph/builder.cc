@@ -1,19 +1,36 @@
 #include "graph/builder.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace p2paqp::graph {
+namespace {
+
+// UINT64_MAX is unreachable as a key: it would need a == b == 0xFFFFFFFF,
+// which AddEdge rejects as a self loop before hashing.
+constexpr uint64_t kEmptySlot = ~0ULL;
+
+// splitmix64 finalizer — full-avalanche over the packed (min, max) key.
+uint64_t HashKey(uint64_t key) {
+  key += 0x9E3779B97F4A7C15ULL;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31);
+}
+
+size_t CeilPow2(size_t v) {
+  size_t cap = 1;
+  while (cap < v) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
 
 GraphBuilder::GraphBuilder(size_t num_nodes, size_t expected_edges)
-    : adjacency_(num_nodes) {
+    : degrees_(num_nodes, 0) {
   if (expected_edges == 0 || num_nodes == 0) return;
   edges_.reserve(expected_edges);
-  // Each undirected edge lands in two adjacency lists; round up so the
-  // expected-degree guess covers even distributions exactly.
-  size_t expected_degree = (2 * expected_edges + num_nodes - 1) / num_nodes;
-  for (std::vector<NodeId>& list : adjacency_) {
-    list.reserve(expected_degree);
-  }
+  GrowTable(expected_edges);
 }
 
 uint64_t GraphBuilder::EdgeKey(NodeId a, NodeId b) {
@@ -21,7 +38,104 @@ uint64_t GraphBuilder::EdgeKey(NodeId a, NodeId b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+void GraphBuilder::GrowTable(size_t min_capacity) {
+  // Target < 60% load after accommodating min_capacity entries.
+  size_t cap = CeilPow2(std::max<size_t>(64, min_capacity * 5 / 3 + 1));
+  std::vector<uint64_t> fresh(cap, kEmptySlot);
+  size_t mask = cap - 1;
+  for (uint64_t key : table_) {
+    if (key == kEmptySlot) continue;
+    size_t slot = HashKey(key) & mask;
+    while (fresh[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    fresh[slot] = key;
+  }
+  table_ = std::move(fresh);
+}
+
+bool GraphBuilder::TableInsert(uint64_t key) {
+  if (table_.empty() || (table_used_ + 1) * 5 >= table_.size() * 3) {
+    GrowTable(std::max<size_t>(table_used_ + 1, table_.size()));
+  }
+  size_t mask = table_.size() - 1;
+  size_t slot = HashKey(key) & mask;
+  while (table_[slot] != kEmptySlot) {
+    if (table_[slot] == key) return false;
+    slot = (slot + 1) & mask;
+  }
+  table_[slot] = key;
+  ++table_used_;
+  return true;
+}
+
 bool GraphBuilder::AddEdge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  if (a >= degrees_.size() || b >= degrees_.size()) return false;
+  uint64_t key = EdgeKey(a, b);
+  if (!TableInsert(key)) return false;
+  edges_.push_back(key);
+  ++degrees_[a];
+  ++degrees_[b];
+  return true;
+}
+
+bool GraphBuilder::HasEdge(NodeId a, NodeId b) const {
+  if (a == b || a >= degrees_.size() || b >= degrees_.size()) return false;
+  if (table_.empty()) return false;
+  uint64_t key = EdgeKey(a, b);
+  size_t mask = table_.size() - 1;
+  size_t slot = HashKey(key) & mask;
+  while (table_[slot] != kEmptySlot) {
+    if (table_[slot] == key) return true;
+    slot = (slot + 1) & mask;
+  }
+  return false;
+}
+
+Graph GraphBuilder::Build() {
+  const size_t n = degrees_.size();
+  // Counting sort of the edge log into flat CSR: prefix-sum the degrees,
+  // scatter both directions of each edge, then sort each node's slice.
+  std::vector<size_t> offsets(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + degrees_[u];
+  }
+  std::vector<NodeId> flat(2 * edges_.size());
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (uint64_t key : edges_) {
+    auto a = static_cast<NodeId>(key >> 32);
+    auto b = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    flat[cursor[a]++] = b;
+    flat[cursor[b]++] = a;
+  }
+  // Release the build-time state before the Graph encodes (keeps the peak
+  // at log + table + CSR, not log + table + CSR + stream).
+  std::vector<uint64_t>().swap(edges_);
+  std::vector<uint64_t>().swap(table_);
+  table_used_ = 0;
+  std::vector<uint32_t>(n, 0).swap(degrees_);
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(flat.begin() + static_cast<ptrdiff_t>(offsets[u]),
+              flat.begin() + static_cast<ptrdiff_t>(offsets[u + 1]));
+  }
+  return Graph(n, offsets, flat);
+}
+
+LegacyGraphBuilder::LegacyGraphBuilder(size_t num_nodes, size_t expected_edges)
+    : adjacency_(num_nodes) {
+  if (expected_edges == 0 || num_nodes == 0) return;
+  edges_.reserve(expected_edges);
+  size_t expected_degree = (2 * expected_edges + num_nodes - 1) / num_nodes;
+  for (std::vector<NodeId>& list : adjacency_) {
+    list.reserve(expected_degree);
+  }
+}
+
+uint64_t LegacyGraphBuilder::EdgeKey(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+bool LegacyGraphBuilder::AddEdge(NodeId a, NodeId b) {
   if (a == b) return false;
   if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
   if (!edges_.insert(EdgeKey(a, b)).second) return false;
@@ -31,12 +145,12 @@ bool GraphBuilder::AddEdge(NodeId a, NodeId b) {
   return true;
 }
 
-bool GraphBuilder::HasEdge(NodeId a, NodeId b) const {
+bool LegacyGraphBuilder::HasEdge(NodeId a, NodeId b) const {
   if (a == b || a >= adjacency_.size() || b >= adjacency_.size()) return false;
   return edges_.count(EdgeKey(a, b)) > 0;
 }
 
-Graph GraphBuilder::Build() {
+Graph LegacyGraphBuilder::Build() {
   edges_.clear();
   num_edges_ = 0;
   return Graph(std::exchange(adjacency_, {}));

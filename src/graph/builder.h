@@ -1,7 +1,22 @@
 // Incremental construction of immutable Graphs with edge deduplication.
+//
+// The builder is the only mutable stage of the graph pipeline, and at
+// million-peer scale it dominates peak memory, so it stores nothing but
+// flat arrays: an insertion-ordered log of canonical 8-byte edge keys, an
+// open-addressing dedup table over those keys, and a per-node degree
+// counter. Build() counting-sorts the log into a flat CSR and hands it to
+// the compressed Graph constructor. The old vector-of-vectors +
+// unordered_set builder (~100+ bytes/edge of node/bucket overhead) survives
+// as LegacyGraphBuilder strictly for the golden-digest A/B tests.
+//
+// AddEdge accept/reject semantics are bit-identical to the legacy builder
+// (reject self loops, out-of-range endpoints, duplicates — in that order);
+// the topology generators' RNG streams depend on this feedback, so the
+// golden digests in tests/topology_golden_test.cc pin it.
 #ifndef P2PAQP_GRAPH_BUILDER_H_
 #define P2PAQP_GRAPH_BUILDER_H_
 
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -12,16 +27,55 @@ namespace p2paqp::graph {
 // Accumulates undirected edges; ignores self loops and duplicates.
 class GraphBuilder {
  public:
-  // `expected_edges` pre-sizes the dedup index and the per-node adjacency
-  // vectors (assuming roughly even degrees), so bulk construction — e.g.
-  // the 22k-node Gnutella topology — avoids rehashing and per-push
-  // reallocation. 0 = no reservation.
+  // `expected_edges` pre-sizes the edge log and the dedup table so bulk
+  // construction avoids rehashing. 0 = no reservation.
   explicit GraphBuilder(size_t num_nodes, size_t expected_edges = 0);
 
   // Adds {a, b}; returns false (and does nothing) if the edge is a self loop,
-  // already present, or out of range.
+  // out of range, or already present.
   bool AddEdge(NodeId a, NodeId b);
 
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  size_t num_nodes() const { return degrees_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  uint32_t degree(NodeId node) const { return degrees_[node]; }
+
+  // Finalizes into a compressed-CSR Graph. The builder is left empty.
+  Graph Build();
+
+  // Exact heap footprint of the builder's flat state (edge log + dedup
+  // table + degree counters). The bounded-memory unit test asserts this
+  // stays O(edges + nodes) with small constants.
+  size_t MemoryBytes() const {
+    return degrees_.capacity() * sizeof(uint32_t) +
+           edges_.capacity() * sizeof(uint64_t) +
+           table_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  static uint64_t EdgeKey(NodeId a, NodeId b);
+
+  // Inserts `key` into the open-addressing table; returns false if it was
+  // already present. Grows at 60% load.
+  bool TableInsert(uint64_t key);
+  void GrowTable(size_t min_capacity);
+
+  std::vector<uint32_t> degrees_;
+  std::vector<uint64_t> edges_;  // Canonical keys, insertion order.
+  std::vector<uint64_t> table_;  // Power-of-two open addressing.
+  size_t table_used_ = 0;
+};
+
+// The pre-PR-7 builder, kept only so tests can A/B the streaming builder
+// against it (golden digests, accept/reject parity). Do not use in new
+// code: its per-node vectors and hash-set buckets blow up peak memory at
+// high node counts.
+class LegacyGraphBuilder {
+ public:
+  explicit LegacyGraphBuilder(size_t num_nodes, size_t expected_edges = 0);
+
+  bool AddEdge(NodeId a, NodeId b);
   bool HasEdge(NodeId a, NodeId b) const;
 
   size_t num_nodes() const { return adjacency_.size(); }
@@ -30,7 +84,6 @@ class GraphBuilder {
     return static_cast<uint32_t>(adjacency_[node].size());
   }
 
-  // Finalizes into a CSR Graph. The builder is left empty.
   Graph Build();
 
  private:

@@ -1,52 +1,102 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace p2paqp::graph {
 
-Graph::Graph(std::vector<std::vector<NodeId>> adjacency) {
-  size_t n = adjacency.size();
-  offsets_.resize(n + 1, 0);
-  size_t total = 0;
-  for (size_t u = 0; u < n; ++u) {
-    total += adjacency[u].size();
-    offsets_[u + 1] = total;
+void Graph::AppendList(const NodeId* list, uint32_t deg) {
+  offsets_.push_back(static_cast<uint32_t>(encoded_.size()));
+  varint::Encode(deg, &encoded_);
+  if (deg == 0) return;
+  varint::Encode(list[0], &encoded_);
+  for (uint32_t i = 1; i < deg; ++i) {
+    P2PAQP_DCHECK(list[i] > list[i - 1])
+        << "neighbor list not strictly increasing at " << list[i];
+    varint::Encode(list[i] - list[i - 1] - 1, &encoded_);
   }
-  neighbors_.reserve(total);
-  min_degree_ = n == 0 ? 0 : static_cast<uint32_t>(-1);
+}
+
+void Graph::FinishEncoding() {
+  P2PAQP_CHECK_LT(encoded_.size(),
+                  static_cast<size_t>(std::numeric_limits<uint32_t>::max()))
+      << "encoded adjacency stream exceeds the uint32 offset range";
+  offsets_.push_back(static_cast<uint32_t>(encoded_.size()));
+  encoded_.shrink_to_fit();
+  offsets_.shrink_to_fit();
+}
+
+Graph::Graph(std::vector<std::vector<NodeId>> adjacency) {
+  num_nodes_ = adjacency.size();
+  size_t total = 0;
+  for (const auto& list : adjacency) total += list.size();
+  P2PAQP_CHECK_EQ(total % 2, 0u) << "adjacency lists are not symmetric";
+  num_edges_ = total / 2;
+  offsets_.reserve(num_nodes_ + 1);
+  // Degree byte + first-neighbor varint + ~1 byte/gap is the common case;
+  // reserve generously enough to avoid regrowth, shrink at the end.
+  encoded_.reserve(2 * num_nodes_ + 3 * total);
+  min_degree_ = num_nodes_ == 0 ? 0 : static_cast<uint32_t>(-1);
   max_degree_ = 0;
-  for (size_t u = 0; u < n; ++u) {
+  for (size_t u = 0; u < num_nodes_; ++u) {
     auto& list = adjacency[u];
     std::sort(list.begin(), list.end());
     for (NodeId v : list) {
-      P2PAQP_DCHECK(v < n) << "edge endpoint out of range: " << v;
+      P2PAQP_DCHECK(v < num_nodes_) << "edge endpoint out of range: " << v;
       P2PAQP_DCHECK(v != u) << "self loop at node " << u;
-      neighbors_.push_back(v);
     }
     auto deg = static_cast<uint32_t>(list.size());
+    AppendList(list.data(), deg);
     min_degree_ = std::min(min_degree_, deg);
     max_degree_ = std::max(max_degree_, deg);
   }
-  P2PAQP_CHECK_EQ(neighbors_.size() % 2, 0u)
-      << "adjacency lists are not symmetric";
+  FinishEncoding();
+}
+
+Graph::Graph(size_t num_nodes, const std::vector<size_t>& offsets,
+             const std::vector<NodeId>& flat) {
+  P2PAQP_CHECK_EQ(offsets.size(), num_nodes + 1);
+  P2PAQP_CHECK_EQ(offsets.back(), flat.size());
+  P2PAQP_CHECK_EQ(flat.size() % 2, 0u) << "flat CSR is not symmetric";
+  num_nodes_ = num_nodes;
+  num_edges_ = flat.size() / 2;
+  offsets_.reserve(num_nodes_ + 1);
+  encoded_.reserve(2 * num_nodes_ + 3 * flat.size());
+  min_degree_ = num_nodes_ == 0 ? 0 : static_cast<uint32_t>(-1);
+  max_degree_ = 0;
+  for (size_t u = 0; u < num_nodes_; ++u) {
+    auto deg = static_cast<uint32_t>(offsets[u + 1] - offsets[u]);
+    AppendList(flat.data() + offsets[u], deg);
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+  }
+  FinishEncoding();
+}
+
+void Graph::CopyNeighbors(NodeId node, std::vector<NodeId>* out) const {
+  out->clear();
+  auto range = neighbors(node);
+  out->reserve(range.size());
+  for (NodeId v : range) out->push_back(v);
 }
 
 bool Graph::HasEdge(NodeId a, NodeId b) const {
-  if (a >= num_nodes() || b >= num_nodes()) return false;
-  auto span = neighbors(a);
-  return std::binary_search(span.begin(), span.end(), b);
+  if (a >= num_nodes_ || b >= num_nodes_) return false;
+  // Scan the shorter list; it is sorted, so the scan exits early.
+  if (degree(a) > degree(b)) std::swap(a, b);
+  return neighbors(a).contains(b);
 }
 
 double Graph::average_degree() const {
-  if (num_nodes() == 0) return 0.0;
-  return 2.0 * static_cast<double>(num_edges()) /
-         static_cast<double>(num_nodes());
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(num_nodes_);
 }
 
 double Graph::StationaryProbability(NodeId node) const {
-  P2PAQP_CHECK_GT(num_edges(), 0u);
+  P2PAQP_CHECK_GT(num_edges_, 0u);
   return static_cast<double>(degree(node)) /
-         (2.0 * static_cast<double>(num_edges()));
+         (2.0 * static_cast<double>(num_edges_));
 }
 
 }  // namespace p2paqp::graph

@@ -1,15 +1,27 @@
-// Compact undirected graph in compressed-sparse-row form.
+// Compact undirected graph in delta/varint-compressed CSR form.
 //
 // Models the unstructured P2P overlay G = (P, E) from Sec. 3.1 of the paper:
 // vertices are peers, edges are open connections. The representation is
 // immutable once built (see graph/builder.h); topology changes from churn are
 // layered on top by net::SimulatedNetwork via liveness masks rather than by
 // mutating the graph.
+//
+// Storage layout (docs/PERFORMANCE.md has the full accounting): one byte
+// stream holding, per node, `[varint degree][varint first][varint gap-1]...`
+// over the sorted neighbor list, plus a uint32 byte-offset table indexed by
+// node. Neighbor ids in a sorted list are strictly increasing, so every gap
+// is >= 1; the expected gap is ~num_nodes/degree, i.e. 2-byte varints at
+// Gnutella scale and 3-byte at 1M+ peers with uniformly spread ids (less
+// for clustered/hierarchical layouts where neighbor ids are nearby). At
+// Gnutella-like average degree (~4.7) that is ~12 bytes/node of adjacency +
+// 4 of offset, versus 8-byte offsets + 4 bytes per directed edge (~27) for
+// the uncompressed CSR it replaced.
 #ifndef P2PAQP_GRAPH_GRAPH_H_
 #define P2PAQP_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <span>
+#include <iterator>
 #include <vector>
 
 #include "util/logging.h"
@@ -21,28 +33,163 @@ using NodeId = uint32_t;
 // Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+namespace varint {
+
+// LEB128. Decodes one value; returns the position one past it. The single
+// byte fast path covers every value < 128 — at P2P degrees that is the
+// degree byte and almost every gap.
+inline const uint8_t* Decode(const uint8_t* p, uint32_t* out) {
+  uint32_t byte = *p++;
+  if (byte < 0x80) {
+    *out = byte;
+    return p;
+  }
+  uint32_t value = byte & 0x7F;
+  int shift = 7;
+  do {
+    byte = *p++;
+    value |= (byte & 0x7F) << shift;
+    shift += 7;
+  } while (byte >= 0x80);
+  *out = value;
+  return p;
+}
+
+inline void Encode(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace varint
+
+// Lazily-decoded view of one node's neighbor list. Values come back in
+// ascending order; the underlying bytes stay compressed, so iteration is a
+// running prefix sum over gaps. Forward iteration is the native operation;
+// `operator[]` decodes from the front and costs O(i).
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+
+    NodeId operator*() const { return current_; }
+
+    iterator& operator++() {
+      if (--remaining_ > 0) {
+        uint32_t gap;
+        p_ = varint::Decode(p_, &gap);
+        current_ += gap + 1;
+      }
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    // Positions within one range are uniquely identified by the count of
+    // values still to come, which also makes the end sentinel trivial.
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.remaining_ == b.remaining_;
+    }
+
+   private:
+    friend class NeighborRange;
+    iterator(const uint8_t* p, uint32_t remaining)
+        : p_(p), remaining_(remaining) {
+      if (remaining_ > 0) p_ = varint::Decode(p_, &current_);
+    }
+
+    const uint8_t* p_ = nullptr;
+    uint32_t remaining_ = 0;
+    NodeId current_ = 0;
+  };
+
+  NeighborRange() = default;
+  NeighborRange(const uint8_t* block, uint32_t degree)
+      : block_(block), degree_(degree) {}
+
+  size_t size() const { return degree_; }
+  bool empty() const { return degree_ == 0; }
+
+  iterator begin() const { return iterator(block_, degree_); }
+  iterator end() const { return iterator(nullptr, 0); }
+
+  NodeId front() const {
+    P2PAQP_DCHECK(degree_ > 0);
+    return *begin();
+  }
+
+  // O(i + 1) decode from the block start; meant for single random probes
+  // (walk steps, audit slots), not for nested loops — copy into a vector
+  // for those (see graph/metrics.cc).
+  NodeId operator[](size_t i) const {
+    P2PAQP_DCHECK(i < degree_) << i;
+    iterator it = begin();
+    for (size_t k = 0; k < i; ++k) ++it;
+    return *it;
+  }
+
+  // Sorted early-exit membership scan.
+  bool contains(NodeId v) const {
+    for (NodeId u : *this) {
+      if (u >= v) return u == v;
+    }
+    return false;
+  }
+
+ private:
+  const uint8_t* block_ = nullptr;  // First-neighbor varint (past degree).
+  uint32_t degree_ = 0;
+};
+
 // Immutable undirected simple graph (no self edges, no parallel edges).
 class Graph {
  public:
   Graph() = default;
 
   // `adjacency[u]` lists the neighbors of u; must be symmetric and free of
-  // self loops / duplicates (GraphBuilder guarantees this).
+  // self loops / duplicates (GraphBuilder guarantees this). Retained for
+  // small hand-built graphs and the legacy A/B builder; large worlds come
+  // through the flat-CSR constructor below.
   explicit Graph(std::vector<std::vector<NodeId>> adjacency);
 
-  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  size_t num_edges() const { return neighbors_.size() / 2; }
+  // Streaming path used by GraphBuilder: `offsets` has num_nodes+1 entries
+  // and `flat[offsets[u]..offsets[u+1])` is u's sorted neighbor list.
+  Graph(size_t num_nodes, const std::vector<size_t>& offsets,
+        const std::vector<NodeId>& flat);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return num_edges_; }
 
   uint32_t degree(NodeId node) const {
-    P2PAQP_DCHECK(node < num_nodes()) << node;
-    return static_cast<uint32_t>(offsets_[node + 1] - offsets_[node]);
+    P2PAQP_DCHECK(node < num_nodes_) << node;
+    uint32_t deg;
+    varint::Decode(encoded_.data() + offsets_[node], &deg);
+    return deg;
   }
 
-  std::span<const NodeId> neighbors(NodeId node) const {
-    P2PAQP_DCHECK(node < num_nodes()) << node;
-    return {neighbors_.data() + offsets_[node],
-            neighbors_.data() + offsets_[node + 1]};
+  NeighborRange neighbors(NodeId node) const {
+    P2PAQP_DCHECK(node < num_nodes_) << node;
+    const uint8_t* p = encoded_.data() + offsets_[node];
+    uint32_t deg;
+    p = varint::Decode(p, &deg);
+    return NeighborRange(p, deg);
   }
+
+  // Decodes `node`'s list into `out` (cleared first) for call sites that
+  // need repeated random access or reverse iteration.
+  void CopyNeighbors(NodeId node, std::vector<NodeId>* out) const;
 
   bool HasEdge(NodeId a, NodeId b) const;
 
@@ -54,9 +201,25 @@ class Graph {
   // deg(node) / 2|E| (Sec. 3.3).
   double StationaryProbability(NodeId node) const;
 
+  // Heap footprint of the adjacency structure (encoded stream + offset
+  // table); the numerator of the gated bytes_per_peer metric.
+  size_t MemoryBytes() const {
+    return encoded_.capacity() * sizeof(uint8_t) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
  private:
-  std::vector<size_t> offsets_;     // num_nodes()+1 entries.
-  std::vector<NodeId> neighbors_;  // Sorted within each node's range.
+  // Appends one sorted list to `encoded_` and records its offset/degree.
+  void AppendList(const NodeId* list, uint32_t deg);
+  void FinishEncoding();
+
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  std::vector<uint8_t> encoded_;
+  // Byte offsets into encoded_, num_nodes_+1 entries. uint32 keeps the
+  // table at 4 bytes/node and caps the stream at 4 GiB — ~50x headroom over
+  // a 10M-peer overlay at Gnutella degrees (CHECKed in FinishEncoding).
+  std::vector<uint32_t> offsets_;
   uint32_t min_degree_ = 0;
   uint32_t max_degree_ = 0;
 };

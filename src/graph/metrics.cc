@@ -44,8 +44,9 @@ double EstimateClusteringCoefficient(const Graph& graph, size_t num_probes,
   }
   double total = 0.0;
   size_t counted = 0;
+  std::vector<NodeId> nbrs;
   for (NodeId u : probes) {
-    auto nbrs = graph.neighbors(u);
+    graph.CopyNeighbors(u, &nbrs);
     if (nbrs.size() < 2) continue;
     size_t closed = 0;
     for (size_t i = 0; i < nbrs.size(); ++i) {

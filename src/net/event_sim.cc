@@ -4,7 +4,34 @@
 #include <iterator>
 #include <utility>
 
+#include "util/parallel.h"
+
 namespace p2paqp::net {
+
+size_t EventQueue::ResolveShards() {
+  size_t threads = util::ParallelThreads();
+  size_t shards = 1;
+  while (shards < threads && shards < kMaxShards) shards <<= 1;
+  return shards;
+}
+
+EventQueue::EventQueue() : EventQueue(ResolveShards()) {}
+
+EventQueue::EventQueue(size_t shards) {
+  P2PAQP_CHECK_GT(shards, 0u);
+  P2PAQP_CHECK_EQ(shards & (shards - 1), 0u)
+      << "shard count must be a power of two";
+  shards_.resize(shards);
+  shard_mask_ = shards - 1;
+}
+
+size_t EventQueue::pending() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.heap.size() + shard.sorted.size();
+  }
+  return total;
+}
 
 uint32_t EventQueue::AcquireSlot(Callback callback) {
   if (free_head_ != kNoSlot) {
@@ -28,57 +55,78 @@ void EventQueue::ReleaseSlot(uint32_t slot) {
   free_head_ = slot;
 }
 
-void EventQueue::SiftUp(size_t index) {
-  Handle moving = heap_[index];
+void EventQueue::SiftUp(Shard& shard, size_t index) {
+  auto& heap = shard.heap;
+  Handle moving = heap[index];
   while (index > 0) {
     size_t parent = (index - 1) / 4;
-    if (!Earlier(moving, heap_[parent])) break;
-    heap_[index] = heap_[parent];
+    if (!Earlier(moving, heap[parent])) break;
+    heap[index] = heap[parent];
     index = parent;
   }
-  heap_[index] = moving;
+  heap[index] = moving;
 }
 
-void EventQueue::SiftDown(size_t index) {
-  const size_t size = heap_.size();
-  Handle moving = heap_[index];
+void EventQueue::SiftDown(Shard& shard, size_t index) {
+  auto& heap = shard.heap;
+  const size_t size = heap.size();
+  Handle moving = heap[index];
   for (;;) {
     size_t first_child = index * 4 + 1;
     if (first_child >= size) break;
     size_t last_child = first_child + 4 < size ? first_child + 4 : size;
     size_t best = first_child;
     for (size_t child = first_child + 1; child < last_child; ++child) {
-      if (Earlier(heap_[child], heap_[best])) best = child;
+      if (Earlier(heap[child], heap[best])) best = child;
     }
-    if (!Earlier(heap_[best], moving)) break;
-    heap_[index] = heap_[best];
+    if (!Earlier(heap[best], moving)) break;
+    heap[index] = heap[best];
     index = best;
   }
-  heap_[index] = moving;
+  heap[index] = moving;
 }
 
-EventQueue::Handle EventQueue::PopHeap() {
-  Handle top = heap_[0];
-  Handle last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_[0] = last;
-    SiftDown(0);
+EventQueue::Handle EventQueue::PopHeap(Shard& shard) {
+  auto& heap = shard.heap;
+  Handle top = heap[0];
+  Handle last = heap.back();
+  heap.pop_back();
+  if (!heap.empty()) {
+    heap[0] = last;
+    SiftDown(shard, 0);
   }
   return top;
 }
 
-void EventQueue::Flush() {
+void EventQueue::Flush(Shard& shard) {
   // Both inputs are strictly totally ordered (unique sequences), so the
   // merged order — and therefore every later pop — is independent of when
-  // flushes happen.
-  std::sort(heap_.begin(), heap_.end(), Later);
-  scratch_.clear();
-  scratch_.reserve(sorted_.size() + heap_.size());
-  std::merge(sorted_.begin(), sorted_.end(), heap_.begin(), heap_.end(),
-             std::back_inserter(scratch_), Later);
-  sorted_.swap(scratch_);
-  heap_.clear();
+  // flushes happen and of which shard an event landed in.
+  std::sort(shard.heap.begin(), shard.heap.end(), Later);
+  shard.scratch.clear();
+  shard.scratch.reserve(shard.sorted.size() + shard.heap.size());
+  std::merge(shard.sorted.begin(), shard.sorted.end(), shard.heap.begin(),
+             shard.heap.end(), std::back_inserter(shard.scratch), Later);
+  shard.sorted.swap(shard.scratch);
+  shard.heap.clear();
+}
+
+bool EventQueue::PeekShard(const Shard& shard, Handle* out,
+                           bool* from_heap) const {
+  if (shard.sorted.empty()) {
+    if (shard.heap.empty()) return false;
+    *out = shard.heap[0];
+    *from_heap = true;
+    return true;
+  }
+  if (shard.heap.empty() || Earlier(shard.sorted.back(), shard.heap[0])) {
+    *out = shard.sorted.back();
+    *from_heap = false;
+    return true;
+  }
+  *out = shard.heap[0];
+  *from_heap = true;
+  return true;
 }
 
 void EventQueue::ScheduleAt(double at, Callback callback) {
@@ -86,32 +134,48 @@ void EventQueue::ScheduleAt(double at, Callback callback) {
   P2PAQP_CHECK_LT(next_sequence_, uint64_t{1} << (64 - kSlotBits))
       << "event sequence space exhausted";
   uint32_t slot = AcquireSlot(std::move(callback));
-  heap_.push_back(Handle{at, (next_sequence_++ << kSlotBits) | slot});
-  SiftUp(heap_.size() - 1);
-  if (heap_.size() >= kFlushThreshold) Flush();
+  // Round-robin by sequence: assignment balances load exactly and has no
+  // effect on pop order (the (at, key) total order is global).
+  Shard& shard = shards_[next_sequence_ & shard_mask_];
+  shard.heap.push_back(Handle{at, (next_sequence_++ << kSlotBits) | slot});
+  SiftUp(shard, shard.heap.size() - 1);
+  if (shard.heap.size() >= kFlushThreshold) Flush(shard);
 }
 
 bool EventQueue::RunOne() {
-  Handle top;
-  if (sorted_.empty()) {
-    if (heap_.empty()) return false;
-    top = PopHeap();
-  } else if (heap_.empty() || Earlier(sorted_.back(), heap_[0])) {
-    top = sorted_.back();
-    sorted_.pop_back();
+  size_t best_shard = 0;
+  bool best_from_heap = false;
+  bool found = false;
+  Handle top{};
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Handle candidate;
+    bool from_heap;
+    if (!PeekShard(shards_[s], &candidate, &from_heap)) continue;
+    if (!found || Earlier(candidate, top)) {
+      top = candidate;
+      best_shard = s;
+      best_from_heap = from_heap;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  Shard& shard = shards_[best_shard];
+  if (best_from_heap) {
+    PopHeap(shard);
   } else {
-    top = PopHeap();
+    shard.sorted.pop_back();
   }
   now_ = top.at;
   ++executed_;
-  // Pull the NEXT pop's slab slot toward the cache while this callback runs;
-  // pop order is unrelated to slab order, so this access misses otherwise.
-  if (!sorted_.empty()) {
-    __builtin_prefetch(&slab_[static_cast<uint32_t>(sorted_.back().key) &
+  // Pull the winning shard's NEXT pop candidates toward the cache while
+  // this callback runs; pop order is unrelated to slab order, so these
+  // accesses miss otherwise.
+  if (!shard.sorted.empty()) {
+    __builtin_prefetch(&slab_[static_cast<uint32_t>(shard.sorted.back().key) &
                               kSlotMask]);
   }
-  if (!heap_.empty()) {
-    __builtin_prefetch(&slab_[static_cast<uint32_t>(heap_[0].key) &
+  if (!shard.heap.empty()) {
+    __builtin_prefetch(&slab_[static_cast<uint32_t>(shard.heap[0].key) &
                               kSlotMask]);
   }
   // The callback is moved out before the slot is released, so it may safely
@@ -133,9 +197,13 @@ double EventQueue::RunUntilEmpty(uint64_t max_events) {
 
 void EventQueue::Reserve(size_t events) {
   slab_.reserve(events);
-  sorted_.reserve(events);
-  scratch_.reserve(events);
-  heap_.reserve(events < kFlushThreshold ? events : kFlushThreshold);
+  size_t per_shard = events / shards_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.sorted.reserve(per_shard);
+    shard.scratch.reserve(per_shard);
+    shard.heap.reserve(per_shard < kFlushThreshold ? per_shard
+                                                   : kFlushThreshold);
+  }
 }
 
 }  // namespace p2paqp::net

@@ -19,12 +19,19 @@
 //    back. Pop compares heap-min against sorted-back, so the earliest
 //    pending event is always O(1)-visible and a million-deep backlog costs
 //    sequential merges instead of a pointer-chasing sift per pop.
+//  * The two tiers are SHARDED: events round-robin (by sequence number)
+//    across S partitions, where S derives from the P2PAQP_THREADS knob
+//    (clamped to a power of two in [1, 16]). Each shard keeps its own
+//    near-heap and far array, so a flush merges into a far array 1/S the
+//    size — a million-peer backlog pays S-fold less merge traffic — and
+//    pop takes the global minimum across the S shard heads.
 //
 // Pop order depends only on the strict (time, sequence) total order — never
-// on flush timing — so execution is deterministic and simultaneous events
-// run FIFO. See bench/micro_benchmarks.cc (BM_EventQueue* vs
-// BM_EventQueueLegacy*) for the throughput comparison against the previous
-// std::priority_queue-of-std::function implementation.
+// on flush timing or the shard count — so execution is bit-identical for
+// any P2PAQP_THREADS setting and simultaneous events run FIFO. See
+// bench/micro_benchmarks.cc (BM_EventQueue* vs BM_EventQueueLegacy*) for
+// the throughput comparison against the previous std::priority_queue
+// implementation, and docs/PERFORMANCE.md for the sharding design.
 #ifndef P2PAQP_NET_EVENT_SIM_H_
 #define P2PAQP_NET_EVENT_SIM_H_
 
@@ -40,9 +47,15 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  // Shard count resolved from P2PAQP_THREADS at construction (see
+  // ResolveShards); pass `shards` explicitly to pin it in tests.
+  EventQueue();
+  explicit EventQueue(size_t shards);
+
   double now() const { return now_; }
-  size_t pending() const { return heap_.size() + sorted_.size(); }
+  size_t pending() const;
   uint64_t executed() const { return executed_; }
+  size_t num_shards() const { return shards_.size(); }
 
   // Schedules `callback` at absolute simulated time `at` (>= now).
   void ScheduleAt(double at, Callback callback);
@@ -71,15 +84,25 @@ class EventQueue {
   // tie-break for simultaneous events (2^40 scheduled events per queue).
   static constexpr uint32_t kSlotBits = 24;
   static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
-  // Near-heap size at which it is merged into the sorted far array. 64k
-  // 16-byte handles = 1 MiB: L2-resident, so near-term sifts stay cheap.
+  // Near-heap size at which a shard is merged into its sorted far array.
+  // 64k 16-byte handles = 1 MiB: L2-resident, so near-term sifts stay
+  // cheap. Per shard, so deep backlogs flush at the same cadence as the
+  // unsharded core but merge into a far array 1/S the size.
   static constexpr size_t kFlushThreshold = size_t{1} << 16;
+  static constexpr size_t kMaxShards = 16;
 
   // Small heap handle: ordering key only, the callback stays in its slab
   // slot. Strictly totally ordered (sequences are unique).
   struct Handle {
     double at;
     uint64_t key;
+  };
+
+  // One partition of the two-tier ordering structure.
+  struct Shard {
+    std::vector<Handle> heap;     // Near tier: flat 4-ary min-heap.
+    std::vector<Handle> sorted;   // Far tier: sorted descending.
+    std::vector<Handle> scratch;  // Merge buffer, reused across flushes.
   };
 
   static bool Earlier(const Handle& a, const Handle& b) {
@@ -95,19 +118,23 @@ class EventQueue {
     uint32_t next_free = kNoSlot;
   };
 
+  static size_t ResolveShards();
+
   uint32_t AcquireSlot(Callback callback);
   void ReleaseSlot(uint32_t slot);
-  void SiftUp(size_t index);
-  void SiftDown(size_t index);
-  Handle PopHeap();
-  // Sorts the near heap and merges it into the sorted far array.
-  void Flush();
+  void SiftUp(Shard& shard, size_t index);
+  void SiftDown(Shard& shard, size_t index);
+  Handle PopHeap(Shard& shard);
+  // Sorts the shard's near heap and merges it into its sorted far array.
+  void Flush(Shard& shard);
+  // Earliest event of one shard (heap-min vs sorted-back); returns false
+  // when the shard is empty. `from_heap` reports which tier holds it.
+  bool PeekShard(const Shard& shard, Handle* out, bool* from_heap) const;
 
   std::vector<Slot> slab_;
   uint32_t free_head_ = kNoSlot;
-  std::vector<Handle> heap_;    // Near tier: flat 4-ary min-heap.
-  std::vector<Handle> sorted_;  // Far tier: sorted descending.
-  std::vector<Handle> scratch_; // Merge buffer, reused across flushes.
+  std::vector<Shard> shards_;
+  uint64_t shard_mask_ = 0;  // shards_.size() - 1 (power of two).
   double now_ = 0.0;
   uint64_t next_sequence_ = 0;
   uint64_t executed_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace p2paqp::net {
 
 util::Result<SimulatedNetwork> SimulatedNetwork::Make(
@@ -19,15 +21,40 @@ util::Result<SimulatedNetwork> SimulatedNetwork::Make(
       params.tuples_scanned_per_ms <= 0.0) {
     return util::Status::InvalidArgument("bad network parameters");
   }
+  PeerStore peers(graph.num_nodes());
+  if (params.parallel_peer_init) {
+    // Scale path: every block draws its identities from its own
+    // index-derived RNG stream, so construction parallelizes across
+    // P2PAQP_THREADS while staying bit-identical for any thread count (the
+    // block layout is fixed by the peer count alone). This is a different
+    // stream than the serial draw below — only opt in for new worlds.
+    util::ParallelFor(peers.num_blocks(), [&](size_t b) {
+      util::Rng block_rng = util::TaskRng(seed, b);
+      auto& block = peers.block(b);
+      auto first = static_cast<graph::NodeId>(peers.block_first(b));
+      for (size_t k = 0; k < block.size(); ++k) {
+        auto id = static_cast<graph::NodeId>(first + k);
+        auto ipv4 = static_cast<uint32_t>(block_rng.Next64());
+        auto port = static_cast<uint16_t>(block_rng.UniformInt(1024, 65535));
+        block[k] = Peer(id, ipv4, port, RandomCapabilities(block_rng));
+        if (!databases.empty()) {
+          block[k].set_database(std::move(databases[id]));
+        }
+      }
+    });
+    return SimulatedNetwork(std::move(graph), std::move(peers), params,
+                            util::Rng(util::MixSeed(seed ^ 0x5CA1EULL)));
+  }
+  // Serial path: the per-peer identity draws and the network RNG handoff
+  // reproduce the pre-PeerStore stream exactly — seeded regression worlds
+  // depend on it.
   util::Rng rng(seed);
-  std::vector<Peer> peers;
-  peers.reserve(graph.num_nodes());
-  for (graph::NodeId id = 0; id < graph.num_nodes(); ++id) {
+  for (graph::NodeId id = 0; id < peers.size(); ++id) {
     auto ipv4 = static_cast<uint32_t>(rng.Next64());
     auto port = static_cast<uint16_t>(rng.UniformInt(1024, 65535));
-    peers.emplace_back(id, ipv4, port, RandomCapabilities(rng));
+    peers[id] = Peer(id, ipv4, port, RandomCapabilities(rng));
     if (!databases.empty()) {
-      peers.back().set_database(std::move(databases[id]));
+      peers[id].set_database(std::move(databases[id]));
     }
   }
   return SimulatedNetwork(std::move(graph), std::move(peers), params,
@@ -286,36 +313,65 @@ void SimulatedNetwork::RecordLocalExecution(graph::NodeId peer_id,
 }
 
 int64_t SimulatedNetwork::TotalTuples() const {
+  // Per-block partials, reduced serially in block order: exact 64-bit sums,
+  // so the result is bit-identical for any thread count.
+  auto partials = util::ParallelMap(peers_.num_blocks(), [this](size_t b) {
+    int64_t total = 0;
+    for (const Peer& p : peers_.block(b)) {
+      if (p.alive()) total += static_cast<int64_t>(p.database().size());
+    }
+    return total;
+  });
   int64_t total = 0;
-  for (const Peer& p : peers_) {
-    if (p.alive()) total += static_cast<int64_t>(p.database().size());
-  }
+  for (int64_t partial : partials) total += partial;
   return total;
 }
 
 int64_t SimulatedNetwork::ExactCount(data::Value lo, data::Value hi) const {
+  auto partials = util::ParallelMap(peers_.num_blocks(), [&](size_t b) {
+    int64_t total = 0;
+    for (const Peer& p : peers_.block(b)) {
+      if (p.alive()) total += p.database().Count(lo, hi);
+    }
+    return total;
+  });
   int64_t total = 0;
-  for (const Peer& p : peers_) {
-    if (p.alive()) total += p.database().Count(lo, hi);
-  }
+  for (int64_t partial : partials) total += partial;
   return total;
 }
 
 int64_t SimulatedNetwork::ExactSum(data::Value lo, data::Value hi) const {
+  auto partials = util::ParallelMap(peers_.num_blocks(), [&](size_t b) {
+    int64_t total = 0;
+    for (const Peer& p : peers_.block(b)) {
+      if (p.alive()) total += p.database().Sum(lo, hi);
+    }
+    return total;
+  });
   int64_t total = 0;
-  for (const Peer& p : peers_) {
-    if (p.alive()) total += p.database().Sum(lo, hi);
-  }
+  for (int64_t partial : partials) total += partial;
   return total;
 }
 
 double SimulatedNetwork::ExactMedian() const {
-  std::vector<double> values;
-  for (const Peer& p : peers_) {
-    if (!p.alive()) continue;
-    for (const data::Tuple& t : p.database().tuples()) {
-      values.push_back(static_cast<double>(t.value));
+  // Collect per block, concatenate in block order (same value order as the
+  // old serial scan), then select.
+  auto blocks = util::ParallelMap(peers_.num_blocks(), [this](size_t b) {
+    std::vector<double> values;
+    for (const Peer& p : peers_.block(b)) {
+      if (!p.alive()) continue;
+      for (const data::Tuple& t : p.database().tuples()) {
+        values.push_back(static_cast<double>(t.value));
+      }
     }
+    return values;
+  });
+  std::vector<double> values;
+  size_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  values.reserve(total);
+  for (auto& block : blocks) {
+    values.insert(values.end(), block.begin(), block.end());
   }
   P2PAQP_CHECK(!values.empty());
   size_t mid = values.size() / 2;

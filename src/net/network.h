@@ -19,6 +19,7 @@
 #include "net/history.h"
 #include "net/message.h"
 #include "net/peer.h"
+#include "net/peer_store.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -31,6 +32,11 @@ struct NetworkParams {
   double hop_latency_jitter_ms = 20.0;
   // Local scan speed used for the CPU-cost component of latency.
   double tuples_scanned_per_ms = 5000.0;
+  // Draw peer identities block-parallel from index-derived RNG streams
+  // (bit-identical for any P2PAQP_THREADS, but a DIFFERENT stream than the
+  // serial default — existing seeded worlds depend on the serial draw
+  // order, so only new scale-tier worlds opt in).
+  bool parallel_peer_init = false;
 };
 
 class SimulatedNetwork {
@@ -176,16 +182,26 @@ class SimulatedNetwork {
   HistoryRecorder* history() { return history_; }
 
   // --- Ground truth (oracle access for evaluation only) -------------------
+  // Block-parallel over the peer store with a serial block-order reduction,
+  // so million-peer oracles scale with P2PAQP_THREADS yet stay
+  // bit-identical for any thread count.
   int64_t TotalTuples() const;
   int64_t ExactCount(data::Value lo, data::Value hi) const;
   int64_t ExactSum(data::Value lo, data::Value hi) const;
   // Exact median of all tuple values across alive peers.
   double ExactMedian() const;
 
+  // Heap footprint of the world: compressed adjacency + peer state
+  // (identities, liveness, local databases). Divided by num_peers() this is
+  // the gated bytes_per_peer metric (docs/PERFORMANCE.md).
+  size_t MemoryBytes() const {
+    return graph_.MemoryBytes() + peers_.MemoryBytes();
+  }
+
   util::Rng& rng() { return rng_; }
 
  private:
-  SimulatedNetwork(graph::Graph graph, std::vector<Peer> peers,
+  SimulatedNetwork(graph::Graph graph, PeerStore peers,
                    const NetworkParams& params, util::Rng rng)
       : graph_(std::move(graph)),
         peers_(std::move(peers)),
@@ -201,7 +217,7 @@ class SimulatedNetwork {
                      graph::NodeId to, uint32_t batch);
 
   graph::Graph graph_;
-  std::vector<Peer> peers_;
+  PeerStore peers_;
   NetworkParams params_;
   size_t num_alive_;
   CostTracker cost_;

@@ -46,6 +46,19 @@ graph::NodeId OverlayManager::PickContact(util::Rng& rng) const {
   }
 }
 
+void OverlayManager::RecordBootstrapHandshake(graph::NodeId joiner,
+                                              graph::NodeId contact) {
+  if (history_ == nullptr) return;
+  history_->Record(HistoryEventKind::kSend, MessageType::kPing, joiner,
+                   contact);
+  history_->Record(HistoryEventKind::kDeliver, MessageType::kPing, joiner,
+                   contact);
+  history_->Record(HistoryEventKind::kSend, MessageType::kPong, contact,
+                   joiner);
+  history_->Record(HistoryEventKind::kDeliver, MessageType::kPong, contact,
+                   joiner);
+}
+
 bool OverlayManager::AddEdge(graph::NodeId a, graph::NodeId b) {
   if (a == b || a >= adjacency_.size() || b >= adjacency_.size()) return false;
   if (!active_[a] || !active_[b]) return false;
@@ -78,11 +91,15 @@ util::Result<graph::NodeId> OverlayManager::Join(size_t connections,
   adjacency_.emplace_back();
   active_.push_back(true);
   ++num_active_;
+  if (history_ != nullptr) {
+    history_->Record(HistoryEventKind::kPeerUp, MessageType::kPing, id, id);
+  }
   size_t want = std::min(connections, num_active_ - 1);
   size_t attempts = 0;
   while (Degree(id) < want && attempts < 50 * want + 50) {
     ++attempts;
-    AddEdge(id, PickContact(rng));
+    graph::NodeId contact = PickContact(rng);
+    if (AddEdge(id, contact)) RecordBootstrapHandshake(id, contact);
   }
   return id;
 }
@@ -94,6 +111,9 @@ void OverlayManager::Leave(graph::NodeId id) {
   for (graph::NodeId v : neighbors) RemoveEdge(id, v);
   active_[id] = false;
   --num_active_;
+  if (history_ != nullptr) {
+    history_->Record(HistoryEventKind::kPeerDown, MessageType::kPing, id, id);
+  }
 }
 
 util::Status OverlayManager::Rejoin(graph::NodeId id, size_t connections,
@@ -109,11 +129,15 @@ util::Status OverlayManager::Rejoin(graph::NodeId id, size_t connections,
   }
   active_[id] = true;
   ++num_active_;
+  if (history_ != nullptr) {
+    history_->Record(HistoryEventKind::kPeerUp, MessageType::kPing, id, id);
+  }
   size_t want = std::min(connections, num_active_ - 1);
   size_t attempts = 0;
   while (Degree(id) < want && attempts < 50 * want + 50) {
     ++attempts;
-    AddEdge(id, PickContact(rng));
+    graph::NodeId contact = PickContact(rng);
+    if (AddEdge(id, contact)) RecordBootstrapHandshake(id, contact);
   }
   return util::Status::Ok();
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "net/history.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -24,6 +25,14 @@ class OverlayManager {
  public:
   // Seeds the overlay from an existing topology.
   explicit OverlayManager(const graph::Graph& seed);
+
+  // Optional protocol-history tap (not owned; may be nullptr). When set,
+  // Join/Rejoin record the bootstrap as observable traffic — a Ping to each
+  // contact answered by a Pong — plus the peer-liveness transition, and
+  // Leave records the departure. This puts the overlay-evolution path under
+  // the same black-box checker as the transport (a Pong from a peer no Ping
+  // reached, or an edge to a departed node, becomes a checkable violation).
+  void set_history(HistoryRecorder* history) { history_ = history; }
 
   // Number of node slots ever allocated (departed nodes keep their id).
   size_t num_nodes() const { return adjacency_.size(); }
@@ -64,10 +73,14 @@ class OverlayManager {
   // remain reachable targets).
   graph::NodeId PickContact(util::Rng& rng) const;
 
+  // Records the Ping/Pong handshake behind one accepted bootstrap edge.
+  void RecordBootstrapHandshake(graph::NodeId joiner, graph::NodeId contact);
+
   std::vector<std::vector<graph::NodeId>> adjacency_;
   std::vector<bool> active_;
   size_t num_active_ = 0;
   size_t num_edges_ = 0;
+  HistoryRecorder* history_ = nullptr;
 };
 
 }  // namespace p2paqp::net

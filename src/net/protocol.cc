@@ -12,6 +12,9 @@ FloodResult GnutellaProtocol::Flood(MessageType request, MessageType reply,
   if (!network_->IsAlive(origin)) return result;
   std::vector<bool> seen(network_->num_peers(), false);
   seen[origin] = true;
+  // BFS tree parents: the reverse path each reply rides hop by hop.
+  std::vector<graph::NodeId> parent(network_->num_peers(), origin);
+  HistoryRecorder* history = network_->history();
   // Queue of (node, depth).
   std::deque<std::pair<graph::NodeId, uint32_t>> queue = {{origin, 0}};
   while (!queue.empty() && result.reached.size() < max_peers) {
@@ -22,18 +25,31 @@ FloodResult GnutellaProtocol::Flood(MessageType request, MessageType reply,
       if (seen[v]) continue;
       seen[v] = true;
       if (!network_->IsAlive(v)) continue;
-      // Request hop u -> v, then the reply goes straight back to the origin
-      // (Gnutella routes replies on the reverse path; we charge one message
-      // per reverse hop in bulk as depth+1 messages).
+      // Request hop u -> v, then the reply retraces the BFS tree back to
+      // the origin (Gnutella routes replies on the reverse path), one
+      // charged message per hop. A hop touching a peer that crashed after
+      // forwarding the request (scheduled mid-flood crash) loses the reply
+      // there without a charge, exactly like SendAlongEdge refusing a dead
+      // endpoint — so the history checker never sees a send from the grave.
       if (!network_->SendAlongEdge(request, u, v).ok()) continue;
-      for (uint32_t h = 0; h < depth + 1; ++h) {
+      parent[v] = u;
+      bool reply_reached_origin = true;
+      for (graph::NodeId hop_from = v; hop_from != origin;
+           hop_from = parent[hop_from]) {
+        graph::NodeId hop_to = parent[hop_from];
+        if (!network_->IsAlive(hop_from) || !network_->IsAlive(hop_to)) {
+          reply_reached_origin = false;
+          break;
+        }
         network_->cost().RecordMessage(DefaultPayloadBytes(reply));
+        network_->cost().RecordDelivered();
+        if (history != nullptr) {
+          history->Record(HistoryEventKind::kSend, reply, hop_from, hop_to);
+          history->Record(HistoryEventKind::kDeliver, reply, hop_from,
+                          hop_to);
+        }
       }
-      // Reverse-path replies succeed whenever the request hop did (faults
-      // were already resolved on the forward hop); mark them delivered so
-      // the message-conservation ledger stays balanced.
-      network_->cost().RecordDelivered(depth + 1);
-      result.reached.push_back(v);
+      if (reply_reached_origin) result.reached.push_back(v);
       result.max_depth = std::max(result.max_depth, depth + 1);
       queue.emplace_back(v, depth + 1);
       if (result.reached.size() >= max_peers) break;

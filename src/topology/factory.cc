@@ -1,9 +1,12 @@
 #include "topology/factory.h"
 
+#include <algorithm>
+
 #include "topology/clustered.h"
 #include "topology/gnutella.h"
 #include "topology/power_law.h"
 #include "topology/random.h"
+#include "topology/super_peer.h"
 
 namespace p2paqp::topology {
 
@@ -17,6 +20,8 @@ const char* TopologyKindToString(TopologyKind kind) {
       return "erdos_renyi";
     case TopologyKind::kGnutella:
       return "gnutella";
+    case TopologyKind::kSuperPeer:
+      return "super_peer";
   }
   return "unknown";
 }
@@ -56,6 +61,28 @@ util::Result<Topology> MakeTopology(const TopologyConfig& config,
       if (!graph.ok()) return graph.status();
       return Topology{std::move(graph).value(),
                       std::vector<uint32_t>(config.num_nodes, 0)};
+    }
+    case TopologyKind::kSuperPeer: {
+      SuperPeerParams params;
+      params.num_nodes = config.num_nodes;
+      params.super_fraction = config.super_fraction;
+      params.leaf_connections = config.leaf_connections;
+      // Spend whatever num_edges leaves after the per-leaf connections on
+      // the core mesh.
+      auto num_supers = static_cast<size_t>(
+          config.super_fraction * static_cast<double>(config.num_nodes));
+      num_supers = std::max<size_t>(num_supers, 2);
+      size_t leaf_edges =
+          (config.num_nodes - num_supers) * config.leaf_connections;
+      params.core_edges_per_super =
+          config.num_edges > leaf_edges
+              ? std::max<size_t>(1, (config.num_edges - leaf_edges) /
+                                        num_supers)
+              : 1;
+      auto result = MakeSuperPeer(params, rng);
+      if (!result.ok()) return result.status();
+      return Topology{std::move(result.value().graph),
+                      std::move(result.value().partition)};
     }
   }
   return util::Status::InvalidArgument("unknown topology kind");

@@ -17,6 +17,7 @@ enum class TopologyKind {
   kClustered,   // s power-law sub-graphs + cut edges (paper's synthetic).
   kErdosRenyi,  // Uniform random control.
   kGnutella,    // Calibrated 2001 crawl stand-in.
+  kSuperPeer,   // Two-tier ultrapeer core + leaves (scale-era hierarchy).
 };
 
 const char* TopologyKindToString(TopologyKind kind);
@@ -28,6 +29,9 @@ struct TopologyConfig {
   // Only for kClustered:
   size_t num_subgraphs = 2;
   size_t cut_edges = 1000;
+  // Only for kSuperPeer (core density is derived from num_edges):
+  double super_fraction = 0.02;
+  size_t leaf_connections = 2;
 };
 
 struct Topology {

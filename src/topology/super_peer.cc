@@ -1,0 +1,105 @@
+#include "topology/super_peer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+
+namespace p2paqp::topology {
+
+util::Result<SuperPeerTopology> MakeSuperPeer(const SuperPeerParams& params,
+                                              util::Rng& rng) {
+  const size_t n = params.num_nodes;
+  if (n < 4) {
+    return util::Status::InvalidArgument("need at least four nodes");
+  }
+  if (params.super_fraction <= 0.0 || params.super_fraction >= 1.0) {
+    return util::Status::InvalidArgument("super_fraction must be in (0, 1)");
+  }
+  auto num_supers = static_cast<size_t>(
+      std::llround(params.super_fraction * static_cast<double>(n)));
+  num_supers = std::min(std::max<size_t>(num_supers, 2), n - 1);
+  if (params.leaf_connections < 1 || params.leaf_connections > num_supers) {
+    return util::Status::InvalidArgument(
+        "leaf_connections must be in [1, num_supers]");
+  }
+  size_t core_per_super =
+      std::min(std::max<size_t>(params.core_edges_per_super, 1),
+               num_supers - 1);
+
+  const size_t num_leaves = n - num_supers;
+  const size_t expected_edges =
+      num_supers * core_per_super + num_leaves * params.leaf_connections;
+  graph::GraphBuilder builder(n, expected_edges);
+
+  // Degree-proportional draw list over the CORE only: one entry per core
+  // edge endpoint plus one per adopted leaf, so a busy super keeps
+  // attracting both mesh edges and leaves. Leaves never enter the list.
+  std::vector<graph::NodeId> weighted_supers;
+  weighted_supers.reserve(2 * num_supers * core_per_super + num_leaves);
+
+  // Core mesh: preferential attachment over the supers, seeded by a clique
+  // large enough to provide attachment targets.
+  size_t seed_size = std::min(num_supers, core_per_super + 1);
+  for (graph::NodeId a = 0; a < seed_size; ++a) {
+    for (graph::NodeId b = a + 1; b < seed_size; ++b) {
+      if (builder.AddEdge(a, b)) {
+        weighted_supers.push_back(a);
+        weighted_supers.push_back(b);
+      }
+    }
+  }
+  for (auto u = static_cast<graph::NodeId>(seed_size); u < num_supers; ++u) {
+    size_t attached = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = 50 * core_per_super + 50;
+    while (attached < core_per_super && attempts < max_attempts) {
+      ++attempts;
+      graph::NodeId target =
+          weighted_supers[rng.UniformIndex(weighted_supers.size())];
+      if (builder.AddEdge(u, target)) {
+        weighted_supers.push_back(u);
+        weighted_supers.push_back(target);
+        ++attached;
+      }
+    }
+    if (attached == 0) {
+      builder.AddEdge(u, u - 1);
+      weighted_supers.push_back(u);
+      weighted_supers.push_back(u - 1);
+    }
+  }
+
+  // Leaves: one degree-biased home super, then uniform backups. A rejected
+  // home draw (already adopted this leaf — impossible for the first edge,
+  // so only backups collide) retries uniformly, bounded.
+  std::vector<uint32_t> partition(n, 0);
+  for (graph::NodeId super = 0; super < num_supers; ++super) {
+    partition[super] = super;
+  }
+  for (auto leaf = static_cast<graph::NodeId>(num_supers); leaf < n; ++leaf) {
+    graph::NodeId home =
+        weighted_supers[rng.UniformIndex(weighted_supers.size())];
+    builder.AddEdge(leaf, home);
+    weighted_supers.push_back(home);
+    partition[leaf] = home;
+    size_t attempts = 0;
+    size_t backups = params.leaf_connections - 1;
+    while (backups > 0 && attempts < 50 * params.leaf_connections + 50) {
+      ++attempts;
+      auto backup = static_cast<graph::NodeId>(rng.UniformIndex(num_supers));
+      if (builder.AddEdge(leaf, backup)) --backups;
+    }
+  }
+
+  SuperPeerTopology out;
+  out.graph = builder.Build();
+  out.partition = std::move(partition);
+  out.super_peers.reserve(num_supers);
+  for (graph::NodeId super = 0; super < num_supers; ++super) {
+    out.super_peers.push_back(super);
+  }
+  return out;
+}
+
+}  // namespace p2paqp::topology

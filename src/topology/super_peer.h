@@ -1,0 +1,51 @@
+// Super-peer / hierarchical overlay (the scale-era Gnutella shape).
+//
+// Post-2001 Gnutella and FastTrack moved from a flat random graph to a
+// two-tier hierarchy: a small core of well-provisioned "ultrapeers" keeps
+// the overlay mesh, and every ordinary leaf holds a handful of connections
+// into that core only. For the paper's estimators this is the adversarial
+// scenario axis: the stationary distribution concentrates on the core
+// (leaves have tiny degree, supers huge), so jump-parameter walks and
+// Horvitz-Thompson reweighting are stressed exactly where the analysis in
+// Sec. 3.3 predicts. Generation streams through GraphBuilder in bounded
+// memory: a preferential-attachment core over the supers, then one
+// degree-biased home super plus uniform backup supers per leaf.
+#ifndef P2PAQP_TOPOLOGY_SUPER_PEER_H_
+#define P2PAQP_TOPOLOGY_SUPER_PEER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace p2paqp::topology {
+
+struct SuperPeerParams {
+  size_t num_nodes = 100000;
+  // Fraction of nodes promoted into the super-peer core (node ids
+  // [0, round(fraction * num_nodes))).
+  double super_fraction = 0.02;
+  // Preferential-attachment edges per super within the core mesh.
+  size_t core_edges_per_super = 4;
+  // Connections per leaf: one degree-biased home super (rich-get-richer,
+  // mirroring how real ultrapeers advertise capacity) plus uniform backups.
+  size_t leaf_connections = 2;
+};
+
+struct SuperPeerTopology {
+  graph::Graph graph;
+  // Home super-peer id per node (supers map to themselves). Doubles as the
+  // cluster partition for the data generator's clustered placement.
+  std::vector<uint32_t> partition;
+  // The core, i.e. node ids [0, num_supers).
+  std::vector<graph::NodeId> super_peers;
+};
+
+util::Result<SuperPeerTopology> MakeSuperPeer(const SuperPeerParams& params,
+                                              util::Rng& rng);
+
+}  // namespace p2paqp::topology
+
+#endif  // P2PAQP_TOPOLOGY_SUPER_PEER_H_

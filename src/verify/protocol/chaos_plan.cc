@@ -27,7 +27,7 @@ ChaosPlan GenerateChaosPlan(uint64_t seed) {
   plan.cluster_pct = static_cast<uint32_t>(rng.UniformInt(0, 100));
   plan.skew_pct = static_cast<uint32_t>(rng.UniformInt(0, 100));
 
-  plan.engine = static_cast<ChaosEngineKind>(rng.UniformInt(0, 2));
+  plan.engine = static_cast<ChaosEngineKind>(rng.UniformInt(0, 3));
   plan.num_queries = static_cast<uint32_t>(rng.UniformInt(1, 8));
   plan.num_batches = static_cast<uint32_t>(rng.UniformInt(1, 3));
   plan.phase1_peers = static_cast<uint32_t>(rng.UniformInt(8, 32));
@@ -191,7 +191,7 @@ util::Result<ChaosPlan> ParseChaosPlan(const std::string& line) {
         } else if (key == "skew") {
           plan.skew_pct = u;
         } else if (key == "engine") {
-          if (u > 2) {
+          if (u > 3) {
             status = util::Status::InvalidArgument("bad engine kind");
           } else {
             plan.engine = static_cast<ChaosEngineKind>(u);

@@ -28,6 +28,7 @@ enum class ChaosEngineKind : uint32_t {
   kScheduler = 0,  // Multi-query scheduler, shared sample frame.
   kTwoPhase = 1,   // Synchronous two-phase engine, one query at a time.
   kAsync = 2,      // Event-driven session with mid-query churn.
+  kFlood = 3,      // BFS-flood baseline: reverse-path reply routing.
 };
 
 struct ChaosPlan {

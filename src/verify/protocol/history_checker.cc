@@ -32,6 +32,10 @@ std::vector<std::string> CheckHistory(
   // delivered to them since their latest down transition.
   std::set<graph::NodeId> ever_down;
   std::set<graph::NodeId> token_since_rebirth;
+  // Flood reply causality: a peer may only send (or forward) a Pong /
+  // QueryHit if the paired request reached it in its current incarnation.
+  std::set<graph::NodeId> ping_heard;
+  std::set<graph::NodeId> query_heard;
 
   for (const net::HistoryEvent& e : events) {
     switch (e.kind) {
@@ -46,6 +50,17 @@ std::vector<std::string> CheckHistory(
                  "walker forwarded by a reborn peer that never received a "
                  "token in its current incarnation");
         }
+        if (e.type == net::MessageType::kPong && !ping_heard.count(e.from)) {
+          Report(&violations, e,
+                 "pong sent by a peer no ping reached in its current "
+                 "incarnation");
+        }
+        if (e.type == net::MessageType::kQueryHit &&
+            !query_heard.count(e.from)) {
+          Report(&violations, e,
+                 "query hit sent by a peer no query reached in its current "
+                 "incarnation");
+        }
         break;
       case net::HistoryEventKind::kDeliver:
         ++outcomes;
@@ -58,6 +73,8 @@ std::vector<std::string> CheckHistory(
         if (e.type == net::MessageType::kWalker) {
           token_since_rebirth.insert(e.to);
         }
+        if (e.type == net::MessageType::kPing) ping_heard.insert(e.to);
+        if (e.type == net::MessageType::kQuery) query_heard.insert(e.to);
         break;
       case net::HistoryEventKind::kDrop:
         ++outcomes;
@@ -81,6 +98,8 @@ std::vector<std::string> CheckHistory(
         down.insert(e.from);
         ever_down.insert(e.from);
         token_since_rebirth.erase(e.from);
+        ping_heard.erase(e.from);
+        query_heard.erase(e.from);
         break;
       case net::HistoryEventKind::kPeerUp:
         down.erase(e.from);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/async_engine.h"
+#include "core/baselines.h"
 #include "core/catalog.h"
 #include "core/hybrid.h"
 #include "core/multi_query.h"
@@ -282,6 +283,11 @@ ChaosRunReport RunChaosPlan(const ChaosPlan& plan) {
     async_params.churn_interval_ms = 40.0;
   }
   core::AsyncQuerySession async(&network, catalog, async_params);
+  // BFS-flood baseline: the two-phase plan fed by FloodCollect samples, so
+  // the chaos sweep exercises the reverse-path reply routing (per-hop
+  // QueryHit sends the history checker audits for causality).
+  std::unique_ptr<core::TwoPhaseEngine> flood = core::MakeBaselineEngine(
+      &network, catalog, engine, core::BaselineKind::kBfs);
 
   for (uint32_t batch = 0; batch < plan.num_batches; ++batch) {
     std::vector<double> truth_before(queries.size());
@@ -318,6 +324,12 @@ ChaosRunReport RunChaosPlan(const ChaosPlan& plan) {
           } else {
             answers.push_back(r.status());
           }
+        }
+        break;
+      }
+      case ChaosEngineKind::kFlood: {
+        for (const query::AggregateQuery& q : queries) {
+          answers.push_back(flood->Execute(q, kSink, run_rng));
         }
         break;
       }

@@ -111,5 +111,58 @@ TEST(GraphBuilderTest, BuildDrainsBuilder) {
   EXPECT_EQ(builder.num_edges(), 0u);
 }
 
+// The pre-PR-7 builder held a std::vector per node plus an unordered_set
+// bucket per edge — >100 bytes/edge of overhead at high node counts. The
+// streaming builder stores flat arrays only; its exact accounting must stay
+// under 4 bytes/node + ~30 bytes/edge (8B log entry + <=13.4B table slot at
+// the 60% load ceiling, doubled transiently by growth headroom).
+TEST(GraphBuilderTest, BoundedMemoryAtHighNodeCounts) {
+  constexpr size_t kNodes = 100000;
+  constexpr size_t kEdges = 400000;
+  GraphBuilder builder(kNodes, kEdges);
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  size_t peak = builder.MemoryBytes();
+  while (builder.num_edges() < kEdges) {
+    auto a = static_cast<NodeId>(next() % kNodes);
+    auto b = static_cast<NodeId>(next() % kNodes);
+    builder.AddEdge(a, b);
+    peak = std::max(peak, builder.MemoryBytes());
+  }
+  EXPECT_LE(peak, 4 * kNodes + 60 * kEdges)
+      << "builder peak " << peak << " bytes for " << kEdges << " edges";
+  Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), kEdges);
+  // The compressed graph itself beats the uncompressed CSR it replaced
+  // (8-byte offsets + 4 bytes per directed edge).
+  EXPECT_LT(g.MemoryBytes(), 8 * kNodes + 8 * kEdges);
+}
+
+// Delta gaps above 127 exercise the multi-byte varint path.
+TEST(GraphTest, WideIdGapsRoundTrip) {
+  constexpr size_t kNodes = 3000000;
+  GraphBuilder builder(kNodes);
+  ASSERT_TRUE(builder.AddEdge(0, 2999999));
+  ASSERT_TRUE(builder.AddEdge(0, 150));
+  ASSERT_TRUE(builder.AddEdge(0, 70000));
+  ASSERT_TRUE(builder.AddEdge(5, 6));
+  Graph g = builder.Build();
+  std::vector<NodeId> nbrs;
+  g.CopyNeighbors(0, &nbrs);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{150, 70000, 2999999}));
+  EXPECT_TRUE(g.HasEdge(2999999, 0));
+  EXPECT_TRUE(g.HasEdge(0, 70000));
+  EXPECT_FALSE(g.HasEdge(0, 70001));
+  EXPECT_EQ(g.neighbors(0)[2], 2999999u);
+  EXPECT_EQ(g.neighbors(0).front(), 150u);
+  EXPECT_TRUE(g.neighbors(0).contains(70000u));
+  EXPECT_FALSE(g.neighbors(0).contains(71000u));
+}
+
 }  // namespace
 }  // namespace p2paqp::graph

@@ -4,7 +4,9 @@
 
 #include "graph/algorithms.h"
 #include "graph/builder.h"
+#include "net/history.h"
 #include "topology/power_law.h"
+#include "verify/protocol/history_checker.h"
 
 namespace p2paqp::net {
 namespace {
@@ -140,6 +142,47 @@ TEST(OverlayManagerTest, JoinFailsOnEmptyOverlay) {
   overlay.Leave(2);
   util::Rng rng(7);
   EXPECT_FALSE(overlay.Join(2, rng).ok());
+}
+
+TEST(OverlayManagerTest, HistoryRecordsBootstrapHandshakes) {
+  OverlayManager overlay(MakeTriangle());
+  HistoryRecorder history;
+  overlay.set_history(&history);
+  util::Rng rng(11);
+  auto id = overlay.Join(2, rng);
+  ASSERT_TRUE(id.ok());
+  size_t join_edges = overlay.Degree(*id);
+  overlay.Leave(1);
+  ASSERT_TRUE(overlay.Rejoin(1, 2, rng).ok());
+  size_t rejoin_edges = overlay.Degree(1);
+  overlay.set_history(nullptr);
+  // Join: one kPeerUp + a Ping/Pong pair per accepted edge. Leave/Rejoin:
+  // kPeerDown, then kPeerUp + fresh handshakes.
+  EXPECT_EQ(history.Count(HistoryEventKind::kPeerUp), 2u);
+  EXPECT_EQ(history.Count(HistoryEventKind::kPeerDown), 1u);
+  size_t handshakes = join_edges + rejoin_edges;
+  EXPECT_EQ(history.Count(HistoryEventKind::kSend), 2 * handshakes);
+  EXPECT_EQ(history.Count(HistoryEventKind::kDeliver), 2 * handshakes);
+  // The black-box checker accepts the whole evolution: every Pong follows a
+  // Ping delivered to its sender in the current incarnation, no traffic
+  // touches a departed node, sends and outcomes conserve.
+  auto violations = verify::CheckHistory(history.events());
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(OverlayManagerTest, HistoryFlagsHandshakeFromStaleIncarnation) {
+  // Regression oracle for the rule itself: replaying a pre-death handshake
+  // (Pong from a contact that never re-heard a Ping) must be flagged.
+  HistoryRecorder history;
+  history.Record(HistoryEventKind::kSend, MessageType::kPing, 3, 1);
+  history.Record(HistoryEventKind::kDeliver, MessageType::kPing, 3, 1);
+  history.Record(HistoryEventKind::kPeerDown, MessageType::kPing, 1, 1);
+  history.Record(HistoryEventKind::kPeerUp, MessageType::kPing, 1, 1);
+  history.Record(HistoryEventKind::kSend, MessageType::kPong, 1, 3);
+  history.Record(HistoryEventKind::kDeliver, MessageType::kPong, 1, 3);
+  auto violations = verify::CheckHistory(history.events());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("no ping reached"), std::string::npos);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include "graph/builder.h"
 #include "net/churn.h"
+#include "net/history.h"
 #include "net/network.h"
 #include "net/protocol.h"
+#include "verify/protocol/history_checker.h"
 
 namespace p2paqp::net {
 namespace {
@@ -232,6 +234,61 @@ TEST(ProtocolTest, FloodCollectGathersRequestedPeers) {
   for (graph::NodeId peer : reached) {
     EXPECT_LE(std::abs(static_cast<int>(peer) - 10), 3);
   }
+}
+
+TEST(ProtocolTest, FloodRepliesRecordPerHopHistory) {
+  SimulatedNetwork network = MakePathNetwork(8);
+  HistoryRecorder history;
+  network.set_history(&history);
+  GnutellaProtocol protocol(&network);
+  FloodResult result = protocol.FloodQuery(0, 3);
+  network.set_history(nullptr);
+  ASSERT_EQ(result.reached.size(), 3u);
+  // Path graph from node 0: peer at depth d sends its QueryHit through d
+  // reverse hops, every one a first-class history event in lockstep with
+  // the ledger (3 requests + 1+2+3 reply hops).
+  EXPECT_EQ(history.Count(HistoryEventKind::kSend),
+            network.cost_snapshot().messages);
+  EXPECT_EQ(history.Count(HistoryEventKind::kDeliver),
+            network.cost_snapshot().messages_delivered);
+  EXPECT_EQ(history.Count(HistoryEventKind::kSend), 9u);
+  // Reverse hops carry real per-hop endpoints: node 2 forwards node 3's
+  // hit, so a QueryHit send from an intermediate relay must appear.
+  bool forwarded_hit = false;
+  for (const HistoryEvent& e : history.events()) {
+    if (e.kind == HistoryEventKind::kSend &&
+        e.type == MessageType::kQueryHit && e.from == 2 && e.to == 1) {
+      forwarded_hit = true;
+    }
+  }
+  EXPECT_TRUE(forwarded_hit);
+  auto violations = verify::CheckHistory(history.events());
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(ProtocolTest, FloodReplyDiesSilentlyAtCrashedRelay) {
+  SimulatedNetwork network = MakePathNetwork(8);
+  HistoryRecorder history;
+  network.set_history(&history);
+  GnutellaProtocol protocol(&network);
+  // Crash relay 3 when the injector sees the fifth request hop (4 -> 5):
+  // by then 3 already answered, but every deeper reply must route through
+  // its corpse.
+  FaultPlan plan;
+  plan.scheduled_crashes = {ScheduledCrash{/*at_message=*/4, /*peer=*/3}};
+  network.InstallFaultPlan(plan, 99);
+  FloodResult result = protocol.FloodQuery(0, 7);
+  network.set_history(nullptr);
+  // Peers behind the dead relay answered but their hits never reached the
+  // origin, so they are not reported reached.
+  EXPECT_EQ(result.reached, (std::vector<graph::NodeId>{1, 2, 3, 4}));
+  // No send may involve the dead peer after its crash, and the ledger must
+  // still conserve: the lost replies were never charged.
+  auto violations = verify::CheckHistory(history.events());
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  const CostSnapshot& cost = network.cost_snapshot();
+  EXPECT_EQ(cost.messages, cost.messages_delivered + cost.messages_dropped);
+  EXPECT_EQ(history.Count(HistoryEventKind::kSend), cost.messages);
 }
 
 TEST(ProtocolTest, FloodSkipsDeadRegions) {

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "net/churn.h"
+#include "net/history.h"
 #include "net/network.h"
 #include "topology/factory.h"
 #include "util/bug_injection.h"
@@ -89,7 +90,7 @@ TEST(ChaosPlanTest, GeneratorCoversEveryEngineAndStressor) {
     saw_churn |= plan.churn_enabled();
     saw_adversary |= plan.adversary_enabled();
   }
-  EXPECT_EQ(engines.size(), 3u);
+  EXPECT_EQ(engines.size(), 4u);
   EXPECT_TRUE(saw_faults);
   EXPECT_TRUE(saw_churn);
   EXPECT_TRUE(saw_adversary);
@@ -289,6 +290,53 @@ TEST(ProtocolRegressionTest, IncarnationBumpsOnRebirthOnly) {
   EXPECT_EQ(network->peer(3).incarnation(), base);
   network->SetAlive(3, true);  // Rebirth: exactly one bump.
   EXPECT_EQ(network->peer(3).incarnation(), base + 1);
+}
+
+// The reply-causality rule: a Pong or QueryHit may only leave a peer the
+// paired request reached in its current incarnation. Hand-built histories
+// pin the rule from both sides.
+TEST(ProtocolRegressionTest, ReplyWithoutRequestIsFlagged) {
+  net::HistoryRecorder history;
+  // Peer 5 emits a QueryHit although no kQuery was ever delivered to it.
+  history.Record(net::HistoryEventKind::kSend, net::MessageType::kQueryHit, 5,
+                 0);
+  history.Record(net::HistoryEventKind::kDeliver, net::MessageType::kQueryHit,
+                 5, 0);
+  auto violations = verify::CheckHistory(history.events());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("no query reached"), std::string::npos);
+}
+
+TEST(ProtocolRegressionTest, ReplyAfterRebirthIsFlagged) {
+  net::HistoryRecorder history;
+  // Peer 7 hears a Ping, dies, rejoins — its pre-death license to Pong died
+  // with the old incarnation.
+  history.Record(net::HistoryEventKind::kSend, net::MessageType::kPing, 0, 7);
+  history.Record(net::HistoryEventKind::kDeliver, net::MessageType::kPing, 0,
+                 7);
+  history.Record(net::HistoryEventKind::kPeerDown, net::MessageType::kPing, 7,
+                 7);
+  history.Record(net::HistoryEventKind::kPeerUp, net::MessageType::kPing, 7,
+                 7);
+  history.Record(net::HistoryEventKind::kSend, net::MessageType::kPong, 7, 0);
+  history.Record(net::HistoryEventKind::kDeliver, net::MessageType::kPong, 7,
+                 0);
+  auto violations = verify::CheckHistory(history.events());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("no ping reached"), std::string::npos);
+}
+
+TEST(ProtocolRegressionTest, RequestThenReplyIsClean) {
+  net::HistoryRecorder history;
+  history.Record(net::HistoryEventKind::kSend, net::MessageType::kQuery, 0, 5);
+  history.Record(net::HistoryEventKind::kDeliver, net::MessageType::kQuery, 0,
+                 5);
+  history.Record(net::HistoryEventKind::kSend, net::MessageType::kQueryHit, 5,
+                 0);
+  history.Record(net::HistoryEventKind::kDeliver, net::MessageType::kQueryHit,
+                 5, 0);
+  auto violations = verify::CheckHistory(history.events());
+  EXPECT_TRUE(violations.empty()) << violations.front();
 }
 
 TEST(ProtocolRegressionTest, TransportConservesUnderFaultsAndRecordsHistory) {

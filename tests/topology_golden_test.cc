@@ -1,0 +1,146 @@
+// Golden-digest regression tests for the topology generators.
+//
+// Every generator consumes its RNG stream *through* GraphBuilder feedback
+// (stub pairing retries on rejected duplicates, preferential attachment
+// reads builder degrees), so any change to the builder's accept/reject
+// semantics or to the graph's edge ordering silently reshuffles every
+// topology in the repo. These digests were captured from the pre-PR-7
+// vector-of-vectors builder and uncompressed CSR; the streaming builder and
+// the delta/varint-compressed Graph must reproduce them bit for bit.
+//
+// The A/B tests additionally drive the retained LegacyGraphBuilder against
+// the streaming GraphBuilder edge-by-edge on shared random sequences,
+// asserting decision parity — the stronger property the digests sample.
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "topology/clustered.h"
+#include "topology/gnutella.h"
+#include "topology/power_law.h"
+#include "topology/random.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace p2paqp {
+namespace {
+
+// FNV-1a over (num_nodes, num_edges, then each edge (u, v) with u < v in
+// CSR order), every value mixed as 8 little-endian bytes.
+uint64_t EdgeDigest(const graph::Graph& g) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((value >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+    }
+  };
+  mix(g.num_nodes());
+  mix(g.num_edges());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        mix(u);
+        mix(v);
+      }
+    }
+  }
+  return h;
+}
+
+TEST(TopologyGolden, GnutellaSnapshot) {
+  util::Rng rng(20060403);
+  topology::GnutellaParams params;
+  params.num_nodes = 2256;
+  params.num_edges = 5232;
+  auto g = topology::MakeGnutellaSnapshot(params, rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(EdgeDigest(*g), 0xAE315F1510E0814EULL);
+}
+
+TEST(TopologyGolden, PowerLawWithEdgeCount) {
+  util::Rng rng(42);
+  auto g = topology::MakePowerLawWithEdgeCount(2000, 8000, rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(EdgeDigest(*g), 0x0E5523A430F079AEULL);
+}
+
+TEST(TopologyGolden, BarabasiAlbert) {
+  util::Rng rng(7);
+  auto g = topology::MakeBarabasiAlbert(1500, 3, rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(EdgeDigest(*g), 0x6058F0C96056607CULL);
+}
+
+TEST(TopologyGolden, Clustered) {
+  util::Rng rng(99);
+  topology::ClusteredParams params;
+  params.num_nodes = 2000;
+  params.num_edges = 9000;
+  params.num_subgraphs = 3;
+  params.cut_edges = 120;
+  auto t = topology::MakeClustered(params, rng);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(EdgeDigest(t->graph), 0xCA2E08AE737529ACULL);
+}
+
+TEST(TopologyGolden, ErdosRenyi) {
+  util::Rng rng(1234);
+  auto g = topology::MakeErdosRenyi(2000, 6000, rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(EdgeDigest(*g), 0xDDA47CFC74133F3DULL);
+}
+
+// Streaming vs legacy builder: identical accept/reject decisions and an
+// identical final graph on a dense random edge sequence (with deliberate
+// self loops, duplicates, and out-of-range endpoints mixed in).
+TEST(BuilderParity, DecisionAndDigestMatchLegacy) {
+  constexpr size_t kNodes = 500;
+  constexpr size_t kAttempts = 20000;
+  util::Rng rng(0xB11DE2);
+  graph::GraphBuilder fresh(kNodes, 4000);
+  graph::LegacyGraphBuilder legacy(kNodes, 4000);
+  for (size_t i = 0; i < kAttempts; ++i) {
+    // ~2% out-of-range endpoints, self loops arise naturally.
+    auto a = static_cast<graph::NodeId>(rng.UniformIndex(kNodes + 10));
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(kNodes + 10));
+    ASSERT_EQ(fresh.AddEdge(a, b), legacy.AddEdge(a, b))
+        << "decision diverged at attempt " << i << " on {" << a << "," << b
+        << "}";
+    if (i % 997 == 0 && a < kNodes && b < kNodes) {
+      ASSERT_EQ(fresh.HasEdge(a, b), legacy.HasEdge(a, b));
+      ASSERT_EQ(fresh.degree(a), legacy.degree(a));
+    }
+  }
+  ASSERT_EQ(fresh.num_edges(), legacy.num_edges());
+  graph::Graph g1 = fresh.Build();
+  graph::Graph g2 = legacy.Build();
+  EXPECT_EQ(EdgeDigest(g1), EdgeDigest(g2));
+}
+
+// The digest must see identical neighbor *order*, not just the edge set:
+// compare full adjacency between the two builds.
+TEST(BuilderParity, NeighborListsMatchLegacy) {
+  constexpr size_t kNodes = 200;
+  util::Rng rng(77);
+  graph::GraphBuilder fresh(kNodes);
+  graph::LegacyGraphBuilder legacy(kNodes);
+  for (size_t i = 0; i < 3000; ++i) {
+    auto a = static_cast<graph::NodeId>(rng.UniformIndex(kNodes));
+    auto b = static_cast<graph::NodeId>(rng.UniformIndex(kNodes));
+    ASSERT_EQ(fresh.AddEdge(a, b), legacy.AddEdge(a, b));
+  }
+  graph::Graph g1 = fresh.Build();
+  graph::Graph g2 = legacy.Build();
+  ASSERT_EQ(g1.num_nodes(), g2.num_nodes());
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  std::vector<graph::NodeId> n1, n2;
+  for (graph::NodeId u = 0; u < g1.num_nodes(); ++u) {
+    g1.CopyNeighbors(u, &n1);
+    g2.CopyNeighbors(u, &n2);
+    ASSERT_EQ(n1, n2) << "adjacency diverged at node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace p2paqp

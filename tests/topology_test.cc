@@ -7,6 +7,7 @@
 #include "topology/gnutella.h"
 #include "topology/power_law.h"
 #include "topology/random.h"
+#include "topology/super_peer.h"
 
 namespace p2paqp::topology {
 namespace {
@@ -190,7 +191,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyFactoryTest,
                          ::testing::Values(TopologyKind::kPowerLaw,
                                            TopologyKind::kClustered,
                                            TopologyKind::kErdosRenyi,
-                                           TopologyKind::kGnutella),
+                                           TopologyKind::kGnutella,
+                                           TopologyKind::kSuperPeer),
                          [](const auto& info) {
                            return TopologyKindToString(info.param);
                          });
@@ -198,6 +200,64 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyFactoryTest,
 TEST(TopologyFactoryTest, KindNames) {
   EXPECT_STREQ(TopologyKindToString(TopologyKind::kGnutella), "gnutella");
   EXPECT_STREQ(TopologyKindToString(TopologyKind::kClustered), "clustered");
+  EXPECT_STREQ(TopologyKindToString(TopologyKind::kSuperPeer), "super_peer");
+}
+
+TEST(SuperPeerTest, TwoTierStructure) {
+  util::Rng rng(2024);
+  SuperPeerParams params;
+  params.num_nodes = 5000;
+  params.super_fraction = 0.02;
+  params.core_edges_per_super = 4;
+  params.leaf_connections = 2;
+  auto topo = MakeSuperPeer(params, rng);
+  ASSERT_TRUE(topo.ok());
+  const auto& g = topo->graph;
+  ASSERT_EQ(g.num_nodes(), 5000u);
+  EXPECT_TRUE(graph::IsConnected(g));
+  ASSERT_EQ(topo->super_peers.size(), 100u);
+  // Leaves connect ONLY into the core, with at most leaf_connections links;
+  // their home super is recorded in the partition.
+  for (graph::NodeId leaf = 100; leaf < 5000; ++leaf) {
+    auto deg = g.degree(leaf);
+    ASSERT_GE(deg, 1u);
+    ASSERT_LE(deg, params.leaf_connections);
+    bool home_adjacent = false;
+    for (graph::NodeId v : g.neighbors(leaf)) {
+      ASSERT_LT(v, 100u) << "leaf " << leaf << " connected to leaf " << v;
+      if (v == topo->partition[leaf]) home_adjacent = true;
+    }
+    ASSERT_TRUE(home_adjacent);
+  }
+  // The stationary mass concentrates on the core: the busiest super should
+  // dwarf any leaf.
+  EXPECT_GT(g.max_degree(), 10 * params.leaf_connections);
+}
+
+TEST(SuperPeerTest, RejectsBadParams) {
+  util::Rng rng(1);
+  SuperPeerParams params;
+  params.num_nodes = 2;
+  EXPECT_FALSE(MakeSuperPeer(params, rng).ok());
+  params = SuperPeerParams{};
+  params.super_fraction = 1.5;
+  EXPECT_FALSE(MakeSuperPeer(params, rng).ok());
+  params = SuperPeerParams{};
+  params.num_nodes = 1000;
+  params.leaf_connections = 0;
+  EXPECT_FALSE(MakeSuperPeer(params, rng).ok());
+}
+
+TEST(SuperPeerTest, DeterministicForSeed) {
+  SuperPeerParams params;
+  params.num_nodes = 2000;
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  auto a = MakeSuperPeer(params, rng1);
+  auto b = MakeSuperPeer(params, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  EXPECT_EQ(a->partition, b->partition);
 }
 
 }  // namespace

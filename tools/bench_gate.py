@@ -18,6 +18,16 @@ benchmark regressed:
                         cost is batch-amortized, so mean_messages is 0 and
                         this field carries the real message signal). Only
                         checked when the baseline recorded a nonzero value.
+  * bytes_per_peer    > baseline * (1 + --bytes-tolerance), default +10%.
+                        The scale world's resident footprint per peer
+                        (bench/scale_world.cc) is a deterministic layout
+                        property, so it is gated regardless of threads.
+                        Only checked when the baseline recorded it.
+  * events_per_sec    < baseline * (1 - --events-tolerance), default -25%.
+                        The event core's drain rate — a LOWER bound, and a
+                        wall-clock quantity, so only compared when
+                        `threads` matches the baseline. Only checked when
+                        the baseline recorded it.
 
 Comparison rules:
 
@@ -75,11 +85,37 @@ def compare(name, base, fresh, args):
                 f"{name}: {field} {fresh_msgs:.1f} vs baseline "
                 f"{base_msgs:.1f} OK")
 
+    base_bpp = base.get("bytes_per_peer", 0.0)
+    if base_bpp > 0.0:
+        fresh_bpp = fresh.get("bytes_per_peer", 0.0)
+        bpp_limit = base_bpp * (1.0 + args.bytes_tolerance)
+        if fresh_bpp > bpp_limit:
+            failures.append(
+                f"{name}: bytes_per_peer {fresh_bpp:.1f} > {bpp_limit:.1f} "
+                f"(baseline {base_bpp:.1f} +{args.bytes_tolerance:.0%})")
+        else:
+            notes.append(
+                f"{name}: bytes_per_peer {fresh_bpp:.1f} vs baseline "
+                f"{base_bpp:.1f} OK")
+
     if base.get("threads") != fresh.get("threads"):
         notes.append(
             f"{name}: wall-time SKIP (threads {fresh.get('threads')} != "
             f"baseline {base.get('threads')})")
         return failures, notes
+
+    base_eps = base.get("events_per_sec", 0.0)
+    if base_eps > 0.0:
+        fresh_eps = fresh.get("events_per_sec", 0.0)
+        eps_floor = base_eps * (1.0 - args.events_tolerance)
+        if fresh_eps < eps_floor:
+            failures.append(
+                f"{name}: events_per_sec {fresh_eps:.0f} < {eps_floor:.0f} "
+                f"(baseline {base_eps:.0f} -{args.events_tolerance:.0%})")
+        else:
+            notes.append(
+                f"{name}: events_per_sec {fresh_eps:.0f} vs baseline "
+                f"{base_eps:.0f} OK")
     base_wall = base.get("wall_time_s", 0.0)
     fresh_wall = fresh.get("wall_time_s", 0.0)
     wall_limit = base_wall * (1.0 + args.wall_tolerance) + args.wall_floor
@@ -108,6 +144,10 @@ def main():
                         help="absolute wall-time slack in seconds")
     parser.add_argument("--messages-tolerance", type=float, default=0.10,
                         help="allowed fractional message-count growth")
+    parser.add_argument("--bytes-tolerance", type=float, default=0.10,
+                        help="allowed fractional bytes_per_peer growth")
+    parser.add_argument("--events-tolerance", type=float, default=0.25,
+                        help="allowed fractional events_per_sec drop")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baselines)
