@@ -47,6 +47,7 @@ struct BenchTelemetry {
   // never build the scale world.
   double bytes_per_peer = 0.0;
   double events_per_sec = 0.0;
+  double steady_allocs_per_event = 0.0;
 };
 
 BenchTelemetry& Telemetry() {
@@ -78,11 +79,13 @@ void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
   t.sched_frame_hits += frame_hits;
 }
 
-void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec) {
+void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec,
+                          double steady_allocs_per_event) {
   BenchTelemetry& t = Telemetry();
   std::lock_guard<std::mutex> lock(t.mu);
   t.bytes_per_peer = bytes_per_peer;
   t.events_per_sec = events_per_sec;
+  t.steady_allocs_per_event = steady_allocs_per_event;
 }
 
 // Normalized error per op (Sec. 5.5: errors in [0, 1]).
@@ -521,7 +524,8 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"messages_per_query\": %.3f,\n"
                "  \"frame_hits\": %.1f,\n"
                "  \"bytes_per_peer\": %.1f,\n"
-               "  \"events_per_sec\": %.1f\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"steady_state_allocs_per_event\": %.3f\n"
                "}\n",
                io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
@@ -533,7 +537,8 @@ void EmitFigure(const std::string& title, const std::string& setup,
                t.sched_queries > 0
                    ? t.sched_messages / static_cast<double>(t.sched_queries)
                    : 0.0,
-               t.sched_frame_hits, t.bytes_per_peer, t.events_per_sec);
+               t.sched_frame_hits, t.bytes_per_peer, t.events_per_sec,
+               t.steady_allocs_per_event);
   std::fclose(f);
 }
 

@@ -141,11 +141,14 @@ void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
                               double frame_hits);
 
 // Records the scale-world telemetry (bench/scale_world.cc): the world's
-// resident footprint per peer and the event core's drain rate. Feeds the
-// identically named `bytes_per_peer` / `events_per_sec` JSON fields, which
-// tools/bench_gate.py gates as an upper resp. lower bound whenever the
+// resident footprint per peer, the event core's steady-state drain rate, and
+// the heap allocations per drained event on the warm path. Feeds the
+// identically named `bytes_per_peer` / `events_per_sec` /
+// `steady_state_allocs_per_event` JSON fields, which tools/bench_gate.py
+// gates as an upper bound, a lower bound, resp. exactly-zero whenever the
 // committed baseline recorded them (see docs/PERFORMANCE.md, "Scale tier").
-void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec);
+void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec,
+                          double steady_allocs_per_event);
 
 // Resolves the predicate for a run (explicit predicate wins; otherwise the
 // target selectivity against Zipf(world.zipf_skew)).

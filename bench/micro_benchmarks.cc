@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/aqp.h"
+#include "net/arena.h"
 #include "net/event_sim.h"
 #include "util/alias_table.h"
 #include "util/parallel.h"
@@ -256,6 +257,99 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kEvents));
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(4096);
+
+// Batched step events: `width` walkers all pending at the same tick, each
+// step rescheduling its walker one tick later — the async engine's hop
+// pattern. One pop gathers the whole tick into a single RunSteps call, so
+// this measures the batch kernel's dispatch cost per hop (compare
+// BM_EventQueueChurn, which pays the full per-callback pop for each event).
+void BM_EventQueueStepBatch(benchmark::State& state) {
+  const auto width = static_cast<uint64_t>(state.range(0));
+  constexpr uint64_t kEvents = 1 << 16;
+  struct Stepper final : public net::StepHandler {
+    net::EventQueue* queue = nullptr;
+    uint64_t executed = 0;
+    uint64_t budget = 0;
+    void RunSteps(const uint32_t* args, size_t n) override {
+      for (size_t i = 0; i < n; ++i) {
+        ++executed;
+        if (budget > 0) {
+          --budget;
+          queue->ScheduleStepAfter(1.0, this, args[i]);
+        }
+      }
+    }
+  };
+  for (auto _ : state) {
+    net::EventQueue queue;
+    queue.Reserve(width);
+    Stepper stepper;
+    stepper.queue = &queue;
+    stepper.budget = kEvents - width;
+    for (uint64_t i = 0; i < width; ++i) {
+      queue.ScheduleStepAt(0.0, &stepper, static_cast<uint32_t>(i));
+    }
+    queue.RunUntilEmpty(kEvents + 1);
+    benchmark::DoNotOptimize(stepper.executed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kEvents));
+}
+BENCHMARK(BM_EventQueueStepBatch)->Arg(4)->Arg(64)->Arg(4096);
+
+// The reply-payload shape the async engine parks in its arena.
+struct BenchPayload {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  double values[6] = {};
+};
+
+// Slot recycling at a bounded live set: the steady state acquires and
+// releases the same cache-warm cells through the LIFO free list.
+void BM_ArenaAcquireRelease(benchmark::State& state) {
+  const auto live = static_cast<size_t>(state.range(0));
+  constexpr uint64_t kOps = 1 << 16;
+  std::vector<net::ArenaHandle> handles(live);
+  for (auto _ : state) {
+    net::SlotArena<BenchPayload> arena;
+    arena.Reserve(live);
+    for (size_t i = 0; i < live; ++i) handles[i] = arena.Acquire();
+    uint64_t sum = 0;
+    for (uint64_t op = 0; op < kOps; ++op) {
+      size_t slot = op % live;
+      arena.at(handles[slot]).a = op;
+      sum += arena.at(handles[slot]).a;
+      arena.Release(handles[slot]);
+      handles[slot] = arena.Acquire();
+    }
+    for (size_t i = 0; i < live; ++i) arena.Release(handles[i]);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kOps));
+}
+BENCHMARK(BM_ArenaAcquireRelease)->Arg(16)->Arg(1024);
+
+// The allocation pattern the arena replaced: one new/delete per in-flight
+// payload.
+void BM_ArenaHeapBaseline(benchmark::State& state) {
+  const auto live = static_cast<size_t>(state.range(0));
+  constexpr uint64_t kOps = 1 << 16;
+  std::vector<BenchPayload*> payloads(live);
+  for (auto _ : state) {
+    for (size_t i = 0; i < live; ++i) payloads[i] = new BenchPayload;
+    uint64_t sum = 0;
+    for (uint64_t op = 0; op < kOps; ++op) {
+      size_t slot = op % live;
+      payloads[slot]->a = op;
+      sum += payloads[slot]->a;
+      delete payloads[slot];
+      payloads[slot] = new BenchPayload;
+    }
+    for (size_t i = 0; i < live; ++i) delete payloads[i];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kOps));
+}
+BENCHMARK(BM_ArenaHeapBaseline)->Arg(16)->Arg(1024);
 
 void BM_EndToEndCountQuery(benchmark::State& state) {
   net::SimulatedNetwork& network = SharedNetwork();

@@ -4,11 +4,17 @@
 // of the identical pipeline — and answers one full-domain COUNT through the
 // event-driven engine.
 //
-// Ships the two gated metrics to the BENCH telemetry:
+// Ships the three gated metrics to the BENCH telemetry:
 //   * bytes_per_peer — resident graph + peer-state + tuple bytes per peer
 //     (upper-bounded by tools/bench_gate.py; the compressed-CSR contract);
 //   * events_per_sec — event-core drain rate over the COUNT's event trace
-//     (lower-bounded, threads-matched).
+//     (lower-bounded, threads-matched). Measured on a *warm* session: a
+//     first identical query absorbs first-touch page faults and buffer
+//     growth, the repeat measures the steady state the zero-allocation
+//     contract is about;
+//   * steady_state_allocs_per_event — heap allocations inside the warm
+//     query's event-loop drains divided by its event count (pinned to
+//     exactly 0 by the gate; the arena/inline-callback contract).
 #include <algorithm>
 #include <chrono>
 
@@ -89,25 +95,56 @@ int Run(int argc, char** argv) {
   query.op = query::AggregateOp::kCount;
   query.predicate = query::RangePredicate{1, 100};
   query.required_error = 0.5;
-  util::Rng rng(999331);
-  auto query_start = std::chrono::steady_clock::now();
-  auto report = session.Execute(query, kSink, rng);
-  const double query_s = Seconds(query_start);
-  if (!report.ok()) return 1;
+  // Warm-up: same query, fresh identically-seeded RNG, so the session's
+  // arena, scratches and event slabs grow to their plateau and the touched
+  // world pages fault in. The walk itself replays identically (its draws
+  // come from the query RNG); only hop-latency jitter differs.
+  {
+    util::Rng warm_rng(999331);
+    auto warm = session.Execute(query, kSink, warm_rng);
+    if (!warm.ok()) return 1;
+  }
+  // Measured repeats: aggregate events over several warm queries so the
+  // drain rate reflects the event core, not timer granularity on a
+  // sub-millisecond trace. A query visits a bounded peer set regardless of
+  // world size (~500 events), so the repeat count is a flat 128: roughly a
+  // 0.1-0.3s timed window at any scale, well above scheduler/timer noise.
+  constexpr size_t kMeasuredRepeats = 128;
+  uint64_t total_events = 0;
+  uint64_t total_drain_allocs = 0;
+  double total_query_s = 0.0;
+  core::AsyncQueryReport last;
+  for (size_t repeat = 0; repeat < kMeasuredRepeats; ++repeat) {
+    util::Rng rng(999331);
+    auto query_start = std::chrono::steady_clock::now();
+    auto report = session.Execute(query, kSink, rng);
+    total_query_s += Seconds(query_start);
+    if (!report.ok()) return 1;
+    total_events += report->events;
+    total_drain_allocs += report->drain_allocs;
+    last = *report;
+  }
   const double events_per_sec =
-      query_s > 0.0 ? static_cast<double>(report->events) / query_s : 0.0;
+      total_query_s > 0.0
+          ? static_cast<double>(total_events) / total_query_s
+          : 0.0;
+  const double steady_allocs_per_event =
+      total_events > 0 ? static_cast<double>(total_drain_allocs) /
+                             static_cast<double>(total_events)
+                       : 0.0;
 
-  RecordScaleTelemetry(bytes_per_peer, events_per_sec);
+  RecordScaleTelemetry(bytes_per_peer, events_per_sec,
+                       steady_allocs_per_event);
 
   util::AsciiTable out({"peers", "build_s", "bytes_per_peer", "events",
-                        "events_per_sec", "estimate"});
+                        "events_per_sec", "allocs_per_event", "estimate"});
   out.AddRow({util::AsciiTable::FormatInt(static_cast<int64_t>(num_peers)),
               util::AsciiTable::FormatDouble(build_s, 2),
               util::AsciiTable::FormatDouble(bytes_per_peer, 1),
-              util::AsciiTable::FormatInt(
-                  static_cast<int64_t>(report->events)),
+              util::AsciiTable::FormatInt(static_cast<int64_t>(last.events)),
               util::AsciiTable::FormatDouble(events_per_sec, 0),
-              util::AsciiTable::FormatDouble(report->answer.estimate, 0)});
+              util::AsciiTable::FormatDouble(steady_allocs_per_event, 3),
+              util::AsciiTable::FormatDouble(last.answer.estimate, 0)});
   EmitFigure("Scale series: super-peer world, full-domain COUNT",
              "super_fraction=0.02, core_edges=4, leaf_connections=2, "
              "CL=0.25, Z=0.2",

@@ -12,9 +12,14 @@
 #ifndef P2PAQP_CORE_ASYNC_ENGINE_H_
 #define P2PAQP_CORE_ASYNC_ENGINE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "core/two_phase.h"
+#include "net/arena.h"
 #include "net/churn.h"
 #include "net/event_sim.h"
+#include "query/local_executor.h"
 
 namespace p2paqp::core {
 
@@ -40,6 +45,44 @@ struct AsyncQueryReport {
   // Phase boundaries (when the last reply of each phase arrived).
   double phase1_done_ms = 0.0;
   uint64_t events = 0;
+  // Heap allocations made on the calling thread while the two phases' event
+  // loops drained — the steady-state send/deliver/timeout path. 0 on a warm
+  // session in fault-free runs; bench/scale_world.cc divides by `events` for
+  // the gated steady_state_allocs_per_event metric.
+  uint64_t drain_allocs = 0;
+};
+
+// Hot-path working storage owned by a session and reused across phases and
+// queries. Capacities plateau after the first query (reply arena at the
+// peak in-flight reply count, scratches at the sub-sample budget and the
+// maximum live degree), which is what makes the drain windows measured by
+// AsyncQueryReport::drain_allocs allocation-free once warm.
+struct AsyncHotBuffers {
+  // In-flight reply payloads: one recycled slot per reply copy racing to
+  // the sink, released when the copy arrives (accepted or deduped).
+  net::SlotArena<PeerObservation> reply_arena;
+  // Per-selection local-scan scratch (sampled indices, measures, sampler
+  // marks).
+  query::LocalExecScratch exec;
+  // Per-hop live-neighbor buffer shared by all walkers (steps are serial on
+  // the event clock).
+  std::vector<graph::NodeId> neighbors;
+  // Sink-side reply dedup, one flag per selection_seq of the current phase.
+  // A seq is issued to exactly one peer per collection round and tampering
+  // never rewrites reply identity, so the paper's (peer, selection_seq) tag
+  // collapses to the seq alone — a flat byte per selection instead of an
+  // ordered set of pairs.
+  std::vector<uint8_t> seen_seq;
+  // Walker state, struct-of-arrays: the batched step kernel walks these
+  // linearly and prefetches the *next* walkers' adjacency while decoding the
+  // current one's (graph::Graph::PrefetchOffset/PrefetchNeighbors).
+  std::vector<graph::NodeId> walker_current;
+  std::vector<size_t> walker_burn_left;
+  std::vector<size_t> walker_since_selection;
+  std::vector<size_t> walker_remaining;
+  // Incarnation of walker_current captured when it received the token; a
+  // mismatch at hop time means the holder died and rejoined between events.
+  std::vector<uint64_t> walker_incarnation;
 };
 
 class AsyncQuerySession {
@@ -52,21 +95,30 @@ class AsyncQuerySession {
   util::Result<AsyncQueryReport> Execute(const query::AggregateQuery& query,
                                          graph::NodeId sink, util::Rng& rng);
 
+  // Recycling telemetry of the reply-payload arena (tests assert live() == 0
+  // and acquired() == released() once a query drains, even when churn kills
+  // peers with replies in flight).
+  const net::ArenaStats& reply_arena_stats() const {
+    return buffers_.reply_arena.stats();
+  }
+
  private:
   // Runs one phase: `count` selections spread over the walkers; returns the
   // collected observations and completes when the last reply arrives.
   // Fault-tolerant like TwoPhaseEngine::CollectObservations: lost walker
   // tokens are re-issued by the sink with a fresh burn-in, lost replies are
   // retransmitted, and residual losses are reported through `stats` —
-  // hard-failing only below engine.min_observation_quorum.
+  // hard-failing only below engine.min_observation_quorum. Allocations made
+  // while the event loop drains are added to `*drain_allocs`.
   util::Result<std::vector<PeerObservation>> RunPhase(
       net::EventQueue& events, const query::AggregateQuery& query,
       graph::NodeId sink, size_t count, util::Rng& rng,
-      TwoPhaseEngine::CollectionStats* stats);
+      TwoPhaseEngine::CollectionStats* stats, uint64_t* drain_allocs);
 
   net::SimulatedNetwork* network_;
   SystemCatalog catalog_;
   AsyncParams params_;
+  AsyncHotBuffers buffers_;
 };
 
 }  // namespace p2paqp::core

@@ -125,9 +125,13 @@ size_t AuditObservationDegrees(net::SimulatedNetwork* network,
     if (!seen) audited.emplace_back(obs.peer, obs.degree);
   }
   std::vector<graph::NodeId> suspected;
+  // One decode per audited peer, reused across its probes: NeighborRange's
+  // operator[] re-decodes the varint list from the front on every call,
+  // which made this nested probe loop quadratic in degree.
+  std::vector<graph::NodeId> real;
   for (const auto& [peer, claimed] : audited) {
     if (claimed == 0) continue;
-    graph::NeighborRange real = network->graph().neighbors(peer);
+    network->graph().CopyNeighbors(peer, &real);
     size_t confirms = 0;
     size_t denials = 0;
     for (size_t probe = 0; probe < policy.degree_audit_probes; ++probe) {

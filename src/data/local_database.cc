@@ -36,22 +36,31 @@ double LocalDatabase::MedianValue() const {
   return (static_cast<double>(values[mid - 1]) + upper) / 2.0;
 }
 
-std::vector<std::pair<size_t, size_t>> LocalDatabase::SampleBlockSpans(
-    size_t k, size_t block_size, util::Rng& rng) const {
+void LocalDatabase::SampleBlockSpansInto(
+    size_t k, size_t block_size, util::Rng& rng, util::SampleScratch* scratch,
+    std::vector<std::pair<size_t, size_t>>* out) const {
   P2PAQP_CHECK_GT(block_size, 0u);
-  std::vector<std::pair<size_t, size_t>> spans;
+  out->clear();
   if (k >= tuples_.size()) {
-    if (!tuples_.empty()) spans.emplace_back(0, tuples_.size());
-    return spans;
+    if (!tuples_.empty()) out->emplace_back(0, tuples_.size());
+    return;
   }
   size_t num_blocks = (tuples_.size() + block_size - 1) / block_size;
   size_t want_blocks = std::min(num_blocks, (k + block_size - 1) / block_size);
-  spans.reserve(want_blocks);
-  for (size_t block : rng.SampleIndices(num_blocks, want_blocks)) {
+  if (out->capacity() < want_blocks) out->reserve(want_blocks);
+  rng.SampleIndicesInto(num_blocks, want_blocks, scratch, &scratch->draws);
+  for (size_t block : scratch->draws) {
     size_t begin = block * block_size;
     size_t end = std::min(begin + block_size, tuples_.size());
-    spans.emplace_back(begin, end);
+    out->emplace_back(begin, end);
   }
+}
+
+std::vector<std::pair<size_t, size_t>> LocalDatabase::SampleBlockSpans(
+    size_t k, size_t block_size, util::Rng& rng) const {
+  util::SampleScratch scratch;
+  std::vector<std::pair<size_t, size_t>> spans;
+  SampleBlockSpansInto(k, block_size, rng, &scratch, &spans);
   return spans;
 }
 
@@ -68,14 +77,26 @@ Table LocalDatabase::SampleBlockLevel(size_t k, size_t block_size,
   return out;
 }
 
+void LocalDatabase::SampleTupleIndicesInto(size_t k, util::Rng& rng,
+                                           util::SampleScratch* scratch,
+                                           std::vector<size_t>* out) const {
+  if (k >= tuples_.size()) {
+    // Copy-everything short-circuit: identity order, no randomness consumed
+    // (matches Sample() and SampleTupleIndices()).
+    out->clear();
+    if (out->capacity() < tuples_.size()) out->reserve(tuples_.size());
+    for (size_t i = 0; i < tuples_.size(); ++i) out->push_back(i);
+    return;
+  }
+  rng.SampleIndicesInto(tuples_.size(), k, scratch, out);
+}
+
 std::vector<size_t> LocalDatabase::SampleTupleIndices(size_t k,
                                                       util::Rng& rng) const {
-  if (k >= tuples_.size()) {
-    std::vector<size_t> all(tuples_.size());
-    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-    return all;
-  }
-  return rng.SampleIndices(tuples_.size(), k);
+  util::SampleScratch scratch;
+  std::vector<size_t> out;
+  SampleTupleIndicesInto(k, rng, &scratch, &out);
+  return out;
 }
 
 Table LocalDatabase::Sample(size_t k, util::Rng& rng) const {

@@ -52,6 +52,13 @@ class LocalDatabase {
   // matching Sample()'s copy-everything short-circuit.
   std::vector<size_t> SampleTupleIndices(size_t k, util::Rng& rng) const;
 
+  // Scratch-reusing SampleTupleIndices: identical indices from the identical
+  // RNG stream, but every buffer lives in `scratch`/`out`, so the per-visit
+  // hot path samples without allocating once the buffers are warm.
+  void SampleTupleIndicesInto(size_t k, util::Rng& rng,
+                              util::SampleScratch* scratch,
+                              std::vector<size_t>* out) const;
+
   // Block-level sample (Sec. 4: "sub-sampling can be more efficient than
   // scanning the entire local database — e.g., by block-level sampling in
   // which only a small number of disk blocks are retrieved"): the table is
@@ -68,6 +75,12 @@ class LocalDatabase {
   // randomness is consumed.
   std::vector<std::pair<size_t, size_t>> SampleBlockSpans(
       size_t k, size_t block_size, util::Rng& rng) const;
+
+  // Scratch-reusing SampleBlockSpans (same spans, same RNG stream, no fresh
+  // allocations once `scratch`/`out` are warm).
+  void SampleBlockSpansInto(size_t k, size_t block_size, util::Rng& rng,
+                            util::SampleScratch* scratch,
+                            std::vector<std::pair<size_t, size_t>>* out) const;
 
  private:
   Table tuples_;

@@ -191,6 +191,21 @@ class Graph {
   // need repeated random access or reverse iteration.
   void CopyNeighbors(NodeId node, std::vector<NodeId>* out) const;
 
+  // Software-prefetch pair for batched walker stepping. Neighbor decode on a
+  // random node is two dependent misses — the offset-table entry, then the
+  // varint block it points at — so a batch kernel hides them with a two-deep
+  // pipeline: PrefetchOffset(walker i+2's node) and PrefetchNeighbors
+  // (walker i+1's node, whose offset the previous iteration pulled in)
+  // before decoding walker i. Hints only; never changes results.
+  void PrefetchOffset(NodeId node) const {
+    P2PAQP_DCHECK(node < num_nodes_) << node;
+    __builtin_prefetch(offsets_.data() + node);
+  }
+  void PrefetchNeighbors(NodeId node) const {
+    P2PAQP_DCHECK(node < num_nodes_) << node;
+    __builtin_prefetch(encoded_.data() + offsets_[node]);
+  }
+
   bool HasEdge(NodeId a, NodeId b) const;
 
   uint32_t min_degree() const { return min_degree_; }

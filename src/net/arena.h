@@ -1,0 +1,188 @@
+// Slab arena for steady-state message payloads and callback state.
+//
+// The event-driven engine used to copy every in-flight reply payload into a
+// std::function capture — one heap allocation per reply event. SlotArena
+// gives those payloads a recycled home: slots live in fixed-size chunks
+// (stable addresses, no relocation on growth), a freed slot goes to the head
+// of a LIFO free list so the steady state reuses the same cache-warm cells,
+// and the chunk spine only grows while the pending set hits a new high-water
+// mark — i.e. during warm-up, never in the steady state the
+// steady_state_allocs_per_event == 0 gate measures.
+//
+// Slots are generation-tagged: Acquire() hands out a handle carrying the
+// slot's current generation, Release() bumps it. A handle that outlives its
+// slot — a reply consumed twice, a walker session resumed after its peer
+// died and the slot was recycled for a new incarnation — trips a CHECK
+// instead of silently aliasing another in-flight payload. Under
+// AddressSanitizer the payload bytes of a free slot are additionally
+// poisoned, so even raw-pointer access to a released payload reports at the
+// exact faulting load (the CI sanitize job's arena pass relies on this).
+#ifndef P2PAQP_NET_ARENA_H_
+#define P2PAQP_NET_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define P2PAQP_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define P2PAQP_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef P2PAQP_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace p2paqp::net {
+
+// Opaque reference to one acquired slot. Value-semantic and 8 bytes, so it
+// rides inside an InlineCallback capture where the payload itself would not.
+struct ArenaHandle {
+  uint32_t index = UINT32_MAX;
+  uint32_t generation = 0;
+
+  bool valid() const { return index != UINT32_MAX; }
+};
+
+// Running totals for tests and telemetry (tests/net_fault_test.cc asserts
+// full recycling under churn: live() == 0 and acquired() == released() once
+// a query drains).
+struct ArenaStats {
+  uint64_t acquired = 0;
+  uint64_t released = 0;
+  size_t live = 0;
+  size_t high_water = 0;
+  size_t capacity = 0;
+};
+
+template <typename T>
+class SlotArena {
+ public:
+  static constexpr size_t kChunkShift = 10;  // 1024 slots per chunk.
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+
+  SlotArena() = default;
+  SlotArena(SlotArena&&) = default;
+  SlotArena& operator=(SlotArena&&) = default;
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+
+  ~SlotArena() {
+#ifdef P2PAQP_ARENA_ASAN
+    // Chunk teardown runs destructors over every slot; lift the free-slot
+    // poison first so teardown itself is not reported.
+    for (uint32_t index = 0; index < bump_; ++index) {
+      ASAN_UNPOISON_MEMORY_REGION(&SlotAt(index).value, sizeof(T));
+    }
+#endif
+  }
+
+  // Pre-sizes the chunk spine for `n` simultaneous live slots so warm-up
+  // does not allocate either.
+  void Reserve(size_t n) {
+    size_t chunks = (n + kChunkSize - 1) >> kChunkShift;
+    chunks_.reserve(chunks);
+    while (chunks_.size() < chunks) AppendChunk();
+  }
+
+  // Takes a free slot (LIFO reuse) or extends the bump frontier. The slot's
+  // previous payload contents are unspecified; callers overwrite.
+  ArenaHandle Acquire() {
+    uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      free_head_ = SlotAt(index).next_free;
+    } else {
+      if ((bump_ >> kChunkShift) == chunks_.size()) AppendChunk();
+      index = bump_++;
+    }
+    Slot& slot = SlotAt(index);
+    slot.next_free = kLive;
+#ifdef P2PAQP_ARENA_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(&slot.value, sizeof(T));
+#endif
+    ++stats_.acquired;
+    ++stats_.live;
+    if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+    return ArenaHandle{index, slot.generation};
+  }
+
+  // Payload access; the handle must be live and from the current
+  // incarnation of the slot.
+  T& at(ArenaHandle h) {
+    Slot& slot = CheckedSlot(h);
+    return slot.value;
+  }
+
+  // Returns the slot to the free list and invalidates every outstanding
+  // handle to it (generation bump). Double-release and
+  // release-through-a-stale-handle CHECK.
+  void Release(ArenaHandle h) {
+    Slot& slot = CheckedSlot(h);
+    ++slot.generation;
+    slot.next_free = free_head_;
+    free_head_ = h.index;
+#ifdef P2PAQP_ARENA_ASAN
+    ASAN_POISON_MEMORY_REGION(&slot.value, sizeof(T));
+#endif
+    ++stats_.released;
+    --stats_.live;
+  }
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  static constexpr uint32_t kNone = UINT32_MAX;
+  static constexpr uint32_t kLive = UINT32_MAX - 1;
+
+  struct Slot {
+    T value{};
+    // Incremented on every Release; a handle is valid only while its
+    // generation matches.
+    uint32_t generation = 0;
+    // Free-list link; kLive marks an acquired slot.
+    uint32_t next_free = kNone;
+  };
+
+  Slot& SlotAt(uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  Slot& CheckedSlot(ArenaHandle h) {
+    P2PAQP_CHECK(h.index < bump_) << "arena handle out of range: " << h.index;
+    Slot& slot = SlotAt(h.index);
+    P2PAQP_CHECK(slot.next_free == kLive)
+        << "arena handle to a free slot: " << h.index;
+    P2PAQP_CHECK(slot.generation == h.generation)
+        << "stale arena handle: slot " << h.index << " generation "
+        << slot.generation << " vs handle " << h.generation;
+    return slot;
+  }
+
+  void AppendChunk() {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    stats_.capacity += kChunkSize;
+#ifdef P2PAQP_ARENA_ASAN
+    // Fresh slots are not live yet; keep their payload bytes poisoned until
+    // Acquire() hands them out.
+    for (size_t k = 0; k < kChunkSize; ++k) {
+      ASAN_POISON_MEMORY_REGION(&chunks_.back()[k].value, sizeof(T));
+    }
+#endif
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t free_head_ = kNone;
+  uint32_t bump_ = 0;  // First never-acquired slot index.
+  ArenaStats stats_;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_ARENA_H_

@@ -33,26 +33,26 @@ size_t EventQueue::pending() const {
   return total;
 }
 
-uint32_t EventQueue::AcquireSlot(Callback callback) {
-  if (free_head_ != kNoSlot) {
-    uint32_t slot = free_head_;
-    free_head_ = slab_[slot].next_free;
-    slab_[slot].callback = std::move(callback);
-    slab_[slot].next_free = kNoSlot;
+uint32_t EventQueue::AcquireSlot(Shard& shard) {
+  if (shard.free_head != kNoSlot) {
+    uint32_t slot = shard.free_head;
+    shard.free_head = shard.slab[slot].next_free;
+    shard.slab[slot].next_free = kNoSlot;
     return slot;
   }
-  uint32_t slot = static_cast<uint32_t>(slab_.size());
+  uint32_t slot = static_cast<uint32_t>(shard.slab.size());
   P2PAQP_CHECK_LT(slot, kSlotMask) << "event slab exhausted";
-  slab_.push_back(Slot{std::move(callback), kNoSlot});
+  shard.slab.emplace_back();
   return slot;
 }
 
-void EventQueue::ReleaseSlot(uint32_t slot) {
+void EventQueue::ReleaseSlot(Shard& shard, uint32_t slot) {
   // Drop the callback's captures immediately; the slot goes to the head of
-  // the free list so the hot loop reuses the same few slots.
-  slab_[slot].callback = nullptr;
-  slab_[slot].next_free = free_head_;
-  free_head_ = slot;
+  // its shard's free list so the hot loop reuses the same few slots.
+  shard.slab[slot].callback = nullptr;
+  shard.slab[slot].handler = nullptr;
+  shard.slab[slot].next_free = shard.free_head;
+  shard.free_head = slot;
 }
 
 void EventQueue::SiftUp(Shard& shard, size_t index) {
@@ -129,60 +129,114 @@ bool EventQueue::PeekShard(const Shard& shard, Handle* out,
   return true;
 }
 
-void EventQueue::ScheduleAt(double at, Callback callback) {
-  P2PAQP_CHECK_GE(at, now_) << "cannot schedule in the past";
-  P2PAQP_CHECK_LT(next_sequence_, uint64_t{1} << (64 - kSlotBits))
-      << "event sequence space exhausted";
-  uint32_t slot = AcquireSlot(std::move(callback));
-  // Round-robin by sequence: assignment balances load exactly and has no
-  // effect on pop order (the (at, key) total order is global).
-  Shard& shard = shards_[next_sequence_ & shard_mask_];
+bool EventQueue::PeekGlobal(Handle* out, size_t* shard,
+                            bool* from_heap) const {
+  bool found = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Handle candidate;
+    bool candidate_from_heap;
+    if (!PeekShard(shards_[s], &candidate, &candidate_from_heap)) continue;
+    if (!found || Earlier(candidate, *out)) {
+      *out = candidate;
+      *shard = s;
+      *from_heap = candidate_from_heap;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void EventQueue::PopFrom(size_t shard, bool from_heap) {
+  if (from_heap) {
+    PopHeap(shards_[shard]);
+  } else {
+    shards_[shard].sorted.pop_back();
+  }
+}
+
+void EventQueue::Push(double at, Shard& shard, uint32_t slot) {
   shard.heap.push_back(Handle{at, (next_sequence_++ << kSlotBits) | slot});
   SiftUp(shard, shard.heap.size() - 1);
   if (shard.heap.size() >= kFlushThreshold) Flush(shard);
 }
 
+void EventQueue::ScheduleAt(double at, Callback callback) {
+  P2PAQP_CHECK_GE(at, now_) << "cannot schedule in the past";
+  P2PAQP_CHECK_LT(next_sequence_, uint64_t{1} << (64 - kSlotBits))
+      << "event sequence space exhausted";
+  // Round-robin by sequence: assignment balances load exactly and has no
+  // effect on pop order (the (at, key) total order is global).
+  Shard& shard = shards_[next_sequence_ & shard_mask_];
+  uint32_t slot = AcquireSlot(shard);
+  shard.slab[slot].callback = std::move(callback);
+  Push(at, shard, slot);
+}
+
+void EventQueue::ScheduleStepAt(double at, StepHandler* handler,
+                                uint32_t arg) {
+  P2PAQP_CHECK_GE(at, now_) << "cannot schedule in the past";
+  P2PAQP_CHECK_LT(next_sequence_, uint64_t{1} << (64 - kSlotBits))
+      << "event sequence space exhausted";
+  P2PAQP_CHECK(handler != nullptr);
+  Shard& shard = shards_[next_sequence_ & shard_mask_];
+  uint32_t slot = AcquireSlot(shard);
+  shard.slab[slot].handler = handler;
+  shard.slab[slot].arg = arg;
+  Push(at, shard, slot);
+}
+
 bool EventQueue::RunOne() {
-  size_t best_shard = 0;
-  bool best_from_heap = false;
-  bool found = false;
-  Handle top{};
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    Handle candidate;
-    bool from_heap;
-    if (!PeekShard(shards_[s], &candidate, &from_heap)) continue;
-    if (!found || Earlier(candidate, top)) {
-      top = candidate;
-      best_shard = s;
-      best_from_heap = from_heap;
-      found = true;
-    }
-  }
-  if (!found) return false;
-  Shard& shard = shards_[best_shard];
-  if (best_from_heap) {
-    PopHeap(shard);
-  } else {
-    shard.sorted.pop_back();
-  }
+  Handle top;
+  size_t best_shard;
+  bool best_from_heap;
+  if (!PeekGlobal(&top, &best_shard, &best_from_heap)) return false;
+  PopFrom(best_shard, best_from_heap);
   now_ = top.at;
   ++executed_;
+  Shard& shard = shards_[best_shard];
   // Pull the winning shard's NEXT pop candidates toward the cache while
   // this callback runs; pop order is unrelated to slab order, so these
   // accesses miss otherwise.
   if (!shard.sorted.empty()) {
-    __builtin_prefetch(&slab_[static_cast<uint32_t>(shard.sorted.back().key) &
-                              kSlotMask]);
+    __builtin_prefetch(
+        &shard.slab[static_cast<uint32_t>(shard.sorted.back().key) &
+                    kSlotMask]);
   }
   if (!shard.heap.empty()) {
-    __builtin_prefetch(&slab_[static_cast<uint32_t>(shard.heap[0].key) &
-                              kSlotMask]);
+    __builtin_prefetch(
+        &shard.slab[static_cast<uint32_t>(shard.heap[0].key) & kSlotMask]);
+  }
+  uint32_t slot = static_cast<uint32_t>(top.key) & kSlotMask;
+  if (shard.slab[slot].handler != nullptr) {
+    // Typed step: gather the maximal run of simultaneous pops bound for the
+    // same handler into one batch. Pops come off in exact (time, sequence)
+    // order and anything RunSteps schedules gets a later sequence than every
+    // gathered member, so the batch is indistinguishable from running its
+    // members one at a time — the determinism digests do not move.
+    StepHandler* handler = shard.slab[slot].handler;
+    step_args_.clear();
+    step_args_.push_back(shard.slab[slot].arg);
+    ReleaseSlot(shard, slot);
+    Handle next;
+    size_t next_shard;
+    bool next_from_heap;
+    while (PeekGlobal(&next, &next_shard, &next_from_heap) &&
+           next.at == top.at) {
+      Shard& other = shards_[next_shard];
+      uint32_t next_slot = static_cast<uint32_t>(next.key) & kSlotMask;
+      if (other.slab[next_slot].handler != handler) break;
+      PopFrom(next_shard, next_from_heap);
+      ++executed_;
+      step_args_.push_back(other.slab[next_slot].arg);
+      ReleaseSlot(other, next_slot);
+    }
+    handler->RunSteps(step_args_.data(), step_args_.size());
+    return true;
   }
   // The callback is moved out before the slot is released, so it may safely
   // schedule new events (which can reuse the freed slot) while running.
-  uint32_t slot = static_cast<uint32_t>(top.key) & kSlotMask;
-  Callback callback = std::move(slab_[slot].callback);
-  ReleaseSlot(slot);
+  Callback callback = std::move(shard.slab[slot].callback);
+  ReleaseSlot(shard, slot);
   callback();
   return true;
 }
@@ -196,14 +250,15 @@ double EventQueue::RunUntilEmpty(uint64_t max_events) {
 }
 
 void EventQueue::Reserve(size_t events) {
-  slab_.reserve(events);
   size_t per_shard = events / shards_.size() + 1;
   for (Shard& shard : shards_) {
+    shard.slab.reserve(per_shard);
     shard.sorted.reserve(per_shard);
     shard.scratch.reserve(per_shard);
     shard.heap.reserve(per_shard < kFlushThreshold ? per_shard
                                                    : kFlushThreshold);
   }
+  if (step_args_.capacity() < events) step_args_.reserve(events);
 }
 
 }  // namespace p2paqp::net

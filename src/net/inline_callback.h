@@ -1,0 +1,131 @@
+// Move-only small-buffer callable for the event core's slab slots.
+//
+// std::function heap-allocates whenever a callback's captures outgrow its
+// ~16-byte small-object buffer — which, at one scheduled event per walker
+// hop / reply / timeout, made the allocator the hottest function in the
+// event-driven engine. InlineCallback stores up to kInlineBytes of capture
+// state directly inside the slab slot: constructing, moving and destroying a
+// hot-path event touches no allocator at all, which is what the
+// steady_state_allocs_per_event == 0 gate measures (docs/PERFORMANCE.md).
+//
+// Callables larger than the buffer still work — they fall back to a single
+// heap cell — so cold callers (test fixtures, large one-off closures) need
+// no changes. Hot-path captures are kept small by design: a runtime pointer
+// plus an arena handle (net/arena.h) instead of by-value payloads.
+#ifndef P2PAQP_NET_INLINE_CALLBACK_H_
+#define P2PAQP_NET_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p2paqp::net {
+
+class InlineCallback {
+ public:
+  // 48 bytes covers every steady-state capture set (a pointer-sized runtime
+  // reference, an arena handle, a couple of PODs) while keeping the slab
+  // slot — buffer + dispatch table pointer — within one cache line.
+  static constexpr size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      // Cold fallback: one heap cell, owned through the dispatch table.
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) {
+    Destroy();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*static_cast<Fn*>(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* storage) { static_cast<Fn*>(storage)->~Fn(); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Cell(void* storage) {
+      return *static_cast<Fn**>(storage);
+    }
+    static void Invoke(void* storage) { (*Cell(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      *static_cast<Fn**>(dst) = Cell(src);
+    }
+    static void Destroy(void* storage) { delete Cell(storage); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_INLINE_CALLBACK_H_

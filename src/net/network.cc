@@ -7,6 +7,18 @@
 
 namespace p2paqp::net {
 
+namespace {
+
+// Block-parallel regions over the PeerStore use the static partition: lane l
+// always owns the same contiguous block range (and, with P2PAQP_PIN_THREADS,
+// the same core), so the blocks a lane initializes are the blocks it later
+// scans. Results are bit-identical to the dynamic partition — only the
+// index -> thread placement changes.
+constexpr util::ParallelOptions kStaticBlocks{
+    .threads = 0, .partition = util::Partition::kStatic};
+
+}  // namespace
+
 util::Result<SimulatedNetwork> SimulatedNetwork::Make(
     graph::Graph graph, std::vector<data::LocalDatabase> databases,
     const NetworkParams& params, uint64_t seed) {
@@ -41,7 +53,7 @@ util::Result<SimulatedNetwork> SimulatedNetwork::Make(
           block[k].set_database(std::move(databases[id]));
         }
       }
-    });
+    }, kStaticBlocks);
     return SimulatedNetwork(std::move(graph), std::move(peers), params,
                             util::Rng(util::MixSeed(seed ^ 0x5CA1EULL)));
   }
@@ -99,10 +111,16 @@ void SimulatedNetwork::SetAlive(graph::NodeId id, bool alive) {
 std::vector<graph::NodeId> SimulatedNetwork::AliveNeighbors(
     graph::NodeId id) const {
   std::vector<graph::NodeId> out;
-  for (graph::NodeId v : graph_.neighbors(id)) {
-    if (peers_[v].alive()) out.push_back(v);
-  }
+  AliveNeighborsInto(id, &out);
   return out;
+}
+
+void SimulatedNetwork::AliveNeighborsInto(graph::NodeId id,
+                                          std::vector<graph::NodeId>* out) const {
+  out->clear();
+  for (graph::NodeId v : graph_.neighbors(id)) {
+    if (peers_[v].alive()) out->push_back(v);
+  }
 }
 
 uint32_t SimulatedNetwork::AliveDegree(graph::NodeId id) const {
@@ -321,7 +339,7 @@ int64_t SimulatedNetwork::TotalTuples() const {
       if (p.alive()) total += static_cast<int64_t>(p.database().size());
     }
     return total;
-  });
+  }, kStaticBlocks);
   int64_t total = 0;
   for (int64_t partial : partials) total += partial;
   return total;
@@ -334,7 +352,7 @@ int64_t SimulatedNetwork::ExactCount(data::Value lo, data::Value hi) const {
       if (p.alive()) total += p.database().Count(lo, hi);
     }
     return total;
-  });
+  }, kStaticBlocks);
   int64_t total = 0;
   for (int64_t partial : partials) total += partial;
   return total;
@@ -347,7 +365,7 @@ int64_t SimulatedNetwork::ExactSum(data::Value lo, data::Value hi) const {
       if (p.alive()) total += p.database().Sum(lo, hi);
     }
     return total;
-  });
+  }, kStaticBlocks);
   int64_t total = 0;
   for (int64_t partial : partials) total += partial;
   return total;
@@ -365,7 +383,7 @@ double SimulatedNetwork::ExactMedian() const {
       }
     }
     return values;
-  });
+  }, kStaticBlocks);
   std::vector<double> values;
   size_t total = 0;
   for (const auto& block : blocks) total += block.size();

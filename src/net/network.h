@@ -94,6 +94,12 @@ class SimulatedNetwork {
   // Neighbors of `id` that are currently alive.
   std::vector<graph::NodeId> AliveNeighbors(graph::NodeId id) const;
 
+  // Scratch-reusing AliveNeighbors: decodes into `out` (cleared first), so
+  // per-hop callers reuse one warmed buffer instead of allocating a fresh
+  // vector every hop.
+  void AliveNeighborsInto(graph::NodeId id,
+                          std::vector<graph::NodeId>* out) const;
+
   // Degree counting only alive neighbors — what a live walker observes.
   uint32_t AliveDegree(graph::NodeId id) const;
 

@@ -19,11 +19,14 @@ struct RowAccumulator {
   int64_t count = 0;
   double sum = 0.0;
   double total_sum = 0.0;
-  std::vector<double> values;
+  // Borrowed from the caller's scratch so repeat visits reuse capacity.
+  std::vector<double>& values;
 
-  explicit RowAccumulator(const AggregateQuery& q, size_t expected_rows)
-      : query(q) {
-    values.reserve(expected_rows);
+  RowAccumulator(const AggregateQuery& q, size_t expected_rows,
+                 std::vector<double>& buffer)
+      : query(q), values(buffer) {
+    values.clear();
+    if (values.capacity() < expected_rows) values.reserve(expected_rows);
   }
 
   void Add(const data::Tuple& t) {
@@ -58,6 +61,14 @@ LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
 LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
                             const AggregateQuery& query,
                             const SubSamplePolicy& policy, util::Rng& rng) {
+  LocalExecScratch scratch;
+  return ExecuteLocal(db, query, policy, rng, &scratch);
+}
+
+LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
+                            const AggregateQuery& query,
+                            const SubSamplePolicy& policy, util::Rng& rng,
+                            LocalExecScratch* scratch) {
   const uint64_t t = policy.t;
   LocalAggregate result;
   result.local_tuples = db.size();
@@ -70,15 +81,19 @@ LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
   // Scan the selected rows in place — no per-visit Table materialization.
   // The sampled row order matches the old Sample()/SampleBlockLevel() copies
   // exactly (same RNG stream), so accumulation is bit-identical.
-  RowAccumulator acc(query, subsample ? static_cast<size_t>(t) : all.size());
+  RowAccumulator acc(query, subsample ? static_cast<size_t>(t) : all.size(),
+                     scratch->values);
   if (!subsample) {
     for (const data::Tuple& tuple : all) acc.Add(tuple);
   } else if (policy.mode == SubSampleMode::kBlockLevel) {
-    for (auto [begin, end] : db.SampleBlockSpans(t, policy.block_size, rng)) {
+    db.SampleBlockSpansInto(t, policy.block_size, rng, &scratch->sample,
+                            &scratch->spans);
+    for (auto [begin, end] : scratch->spans) {
       for (size_t i = begin; i < end; ++i) acc.Add(all[i]);
     }
   } else {
-    for (size_t index : db.SampleTupleIndices(t, rng)) acc.Add(all[index]);
+    db.SampleTupleIndicesInto(t, rng, &scratch->sample, &scratch->indices);
+    for (size_t index : scratch->indices) acc.Add(all[index]);
   }
 
   result.processed_tuples = acc.values.size();

@@ -8,6 +8,8 @@
 #define P2PAQP_QUERY_LOCAL_EXECUTOR_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "data/local_database.h"
 #include "query/query.h"
@@ -57,10 +59,30 @@ struct SubSamplePolicy {
   size_t block_size = 8;
 };
 
+// Reusable working storage for ExecuteLocal. One visit needs the processed
+// rows' measures (quantile input), the sampled tuple indices or block spans,
+// and the sampler's own scratch; capacities plateau at the sub-sampling
+// budget, so a warmed scratch makes every later visit allocation-free — the
+// property the event-driven engine's zero-allocation steady state is built
+// on (docs/PERFORMANCE.md).
+struct LocalExecScratch {
+  std::vector<double> values;
+  std::vector<size_t> indices;
+  std::vector<std::pair<size_t, size_t>> spans;
+  util::SampleScratch sample;
+};
+
 // Executes `query` on `db` under the given sub-sampling policy.
 LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
                             const AggregateQuery& query,
                             const SubSamplePolicy& policy, util::Rng& rng);
+
+// Scratch-reusing variant: identical result from the identical RNG stream,
+// with all working storage in `scratch`.
+LocalAggregate ExecuteLocal(const data::LocalDatabase& db,
+                            const AggregateQuery& query,
+                            const SubSamplePolicy& policy, util::Rng& rng,
+                            LocalExecScratch* scratch);
 
 // Convenience: uniform tuple sampling with budget `t` (t == 0 disables
 // sub-sampling, i.e. always scans everything).

@@ -71,7 +71,8 @@ util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
   if (params_.variant == WalkVariant::kLazy && rng.Bernoulli(0.5)) {
     return current;  // Lazy self-loop: no traffic.
   }
-  std::vector<graph::NodeId> neighbors = network_->AliveNeighbors(current);
+  std::vector<graph::NodeId>& neighbors = neighbor_scratch_;
+  network_->AliveNeighborsInto(current, &neighbors);
   // An adversarial token holder may forward only to colluding neighbors
   // (walk hijack); the uniform draw below then picks among colluders. One
   // draw is consumed either way, so adversary-free runs are untouched.

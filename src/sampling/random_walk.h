@@ -128,6 +128,10 @@ class RandomWalk {
 
   net::SimulatedNetwork* network_;
   WalkParams params_;
+  // Per-hop live-neighbor buffer, reused across every Step of every
+  // collection: capacity plateaus at the walk's maximum live degree, so the
+  // synchronous hop loop stops allocating once warm.
+  std::vector<graph::NodeId> neighbor_scratch_;
 };
 
 }  // namespace p2paqp::sampling

@@ -1,0 +1,85 @@
+// Counting replacements for the global allocation functions (alloc_guard.h).
+//
+// Every operator new variant funnels into CountedAlloc/CountedAllocAligned,
+// which bump the calling thread's counter and defer to malloc, so sanitizer
+// builds keep their malloc interposition (poisoning, leak detection) and the
+// count is identical across build types. The deallocation family mirrors the
+// allocation one exactly — plain and array forms share a representation, so
+// both families forward to the same free().
+#include "util/alloc_guard.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace p2paqp::util {
+
+namespace {
+
+thread_local uint64_t t_allocations = 0;
+
+void* CountedAlloc(std::size_t size) {
+  ++t_allocations;
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocNothrow(std::size_t size) noexcept {
+  ++t_allocations;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t alignment) {
+  ++t_allocations;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (size == 0) size = alignment;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+uint64_t ThreadAllocations() { return t_allocations; }
+
+}  // namespace p2paqp::util
+
+void* operator new(std::size_t size) {
+  return p2paqp::util::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return p2paqp::util::CountedAlloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return p2paqp::util::CountedAllocNothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return p2paqp::util::CountedAllocNothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return p2paqp::util::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return p2paqp::util::CountedAllocAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

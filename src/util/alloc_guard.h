@@ -1,0 +1,54 @@
+// Allocation-counting test hook for the zero-allocation hot-path contract.
+//
+// alloc_guard.cc replaces the global operator new/delete family with a
+// malloc-backed implementation that bumps a thread-local counter on every
+// allocation. The counter makes "this code path performs zero heap
+// allocations" a testable property instead of a code-review promise:
+// tests/zero_alloc_test.cc asserts it for the event-driven engine's steady
+// state, bench/scale_world.cc ships it to the BENCH telemetry as
+// `steady_state_allocs_per_event`, and tools/bench_gate.py pins that metric
+// to exactly 0 (docs/PERFORMANCE.md, "Zero-allocation message path").
+//
+// The hook is always linked (the replacement operators live in the main
+// library), so release binaries pay one thread-local increment per
+// allocation — noise against the cost of the allocation itself — and every
+// build measures the same thing. Deallocation is not counted: the contract
+// being enforced is "no allocation per event", and frees pair with the
+// allocations that are already visible in the count.
+#ifndef P2PAQP_UTIL_ALLOC_GUARD_H_
+#define P2PAQP_UTIL_ALLOC_GUARD_H_
+
+#include <cstdint>
+
+namespace p2paqp::util {
+
+// Heap allocations (operator new family) performed by the calling thread
+// since it started. Monotone; wraps only after 2^64 allocations.
+uint64_t ThreadAllocations();
+
+// RAII window over the calling thread's allocation counter.
+//
+//   util::AllocGuard guard;
+//   ... hot loop ...
+//   EXPECT_EQ(guard.allocations(), 0u);
+//
+// Only counts the constructing thread; cross-thread allocations (the
+// parallel layer's workers) are intentionally out of scope — the
+// zero-allocation contract is about the serial event loop.
+class AllocGuard {
+ public:
+  AllocGuard() : start_(ThreadAllocations()) {}
+
+  // Restarts the window at the current count.
+  void Reset() { start_ = ThreadAllocations(); }
+
+  // Allocations on this thread since construction / the last Reset().
+  uint64_t allocations() const { return ThreadAllocations() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace p2paqp::util
+
+#endif  // P2PAQP_UTIL_ALLOC_GUARD_H_

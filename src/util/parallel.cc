@@ -7,6 +7,11 @@
 
 #include "util/logging.h"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace p2paqp::util {
 
 namespace {
@@ -25,19 +30,35 @@ size_t ParallelThreads() {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+bool PinThreadsEnabled() {
+  const char* env = std::getenv("P2PAQP_PIN_THREADS");
+  return env != nullptr && std::atol(env) > 0;
+}
+
 bool InParallelWorker() { return tls_in_parallel_worker; }
 
-// Shared state for one Run(): workers claim indices from `next` until it
-// passes `n`, count completions in `done`, and record the lowest-indexed
-// exception under `mu`.
+// Shared state for one Run()/RunStatic(): dynamic batches claim indices from
+// `next` until it passes `n`; static batches give lane l to one fixed thread.
+// Either way completions count in `done` and the lowest-indexed exception is
+// recorded under `mu`.
 struct ThreadPool::Batch {
   size_t n = 0;
   const std::function<void(size_t)>* fn = nullptr;
+  bool is_static = false;
+  uint64_t seq = 0;  // Distinguishes batches so a thread runs each once.
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex mu;
   size_t first_error_index = std::numeric_limits<size_t>::max();
   std::exception_ptr error;
+
+  void RecordError(size_t index) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index < first_error_index) {
+      first_error_index = index;
+      error = std::current_exception();
+    }
+  }
 
   // Claims and runs tasks until the index space is exhausted. A throwing
   // task still counts as done — remaining tasks keep running, and the
@@ -50,14 +71,23 @@ struct ThreadPool::Batch {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (i < first_error_index) {
-          first_error_index = i;
-          error = std::current_exception();
-        }
+        RecordError(i);
       }
       done.fetch_add(1, std::memory_order_acq_rel);
     }
+  }
+
+  // Static mode: runs exactly `lane`, the caller's fixed assignment. A
+  // throwing lane abandons its own remaining work but every other lane
+  // still runs; the lowest-indexed throwing lane wins.
+  void DrainLane(size_t lane) {
+    if (lane >= n) return;
+    try {
+      (*fn)(lane);
+    } catch (...) {
+      RecordError(lane);
+    }
+    done.fetch_add(1, std::memory_order_acq_rel);
   }
 
   bool AllDone() const {
@@ -65,11 +95,28 @@ struct ThreadPool::Batch {
   }
 };
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, bool pin) {
   P2PAQP_CHECK_GT(num_threads, 0u);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+#ifdef __linux__
+    if (pin) {
+      // Worker i hosts static lane i+1; lane 0 stays on the (unpinned)
+      // caller. One core per lane keeps a lane's PeerStore blocks and
+      // arenas resident in that core's cache across regions.
+      unsigned ncpu = std::thread::hardware_concurrency();
+      if (ncpu > 1) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<int>((i + 1) % ncpu), &set);
+        pthread_setaffinity_np(workers_.back().native_handle(), sizeof(set),
+                               &set);
+      }
+    }
+#else
+    (void)pin;
+#endif
   }
 }
 
@@ -82,23 +129,36 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_in_parallel_worker = true;
+  uint64_t last_seq = 0;
   while (true) {
     Batch* batch = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
-      if (batch_ == nullptr) return;  // stop_ and nothing left to drain.
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && batch_->seq != last_seq);
+      });
+      if (batch_ == nullptr || batch_->seq == last_seq) {
+        return;  // stop_ and nothing new to drain.
+      }
       batch = batch_;
+      last_seq = batch->seq;
       ++active_workers_;
     }
-    batch->Drain();
+    if (batch->is_static) {
+      batch->DrainLane(worker_index + 1);
+    } else {
+      batch->Drain();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      // Drain only returns once the index space is exhausted; stop handing
-      // the batch to late-waking workers.
-      if (batch_ == batch) batch_ = nullptr;
+      // Dynamic drains only return once the index space is exhausted; a
+      // static batch is finished when every lane has reported done. Either
+      // way, stop handing the batch to late-waking threads.
+      if (batch_ == batch && (!batch->is_static || batch->AllDone())) {
+        batch_ = nullptr;
+      }
       --active_workers_;
     }
     idle_cv_.notify_all();
@@ -113,6 +173,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     P2PAQP_CHECK(batch_ == nullptr) << "concurrent ThreadPool::Run calls";
+    batch.seq = ++next_batch_seq_;
     batch_ = &batch;
   }
   work_cv_.notify_all();
@@ -132,6 +193,33 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   if (batch.error) std::rethrow_exception(batch.error);
 }
 
+void ThreadPool::RunStatic(size_t lanes,
+                           const std::function<void(size_t)>& fn) {
+  if (lanes == 0) return;
+  P2PAQP_CHECK_LE(lanes, workers_.size() + 1)
+      << "static lanes exceed pool width";
+  Batch batch;
+  batch.n = lanes;
+  batch.fn = &fn;
+  batch.is_static = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    P2PAQP_CHECK(batch_ == nullptr) << "concurrent ThreadPool::Run calls";
+    batch.seq = ++next_batch_seq_;
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  batch.DrainLane(0);  // The caller is lane 0.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] {
+      return active_workers_ == 0 && batch.AllDone();
+    });
+    if (batch_ == &batch) batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  const ParallelOptions& options) {
   size_t threads = options.threads != 0 ? options.threads : ParallelThreads();
@@ -142,8 +230,19 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   }
   // The caller participates in the drain, so spawn one fewer worker than
   // the requested concurrency.
-  ThreadPool pool(threads - 1);
-  pool.Run(n, fn);
+  ThreadPool pool(threads - 1, PinThreadsEnabled());
+  if (options.partition == Partition::kStatic) {
+    pool.RunStatic(threads, [&fn, n, threads](size_t lane) {
+      // Contiguous per-lane ranges: lane l always owns the same indices for
+      // a given (n, threads), running on the same (optionally pinned)
+      // thread every region.
+      size_t begin = lane * n / threads;
+      size_t end = (lane + 1) * n / threads;
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  } else {
+    pool.Run(n, fn);
+  }
 }
 
 Rng TaskRng(uint64_t base_seed, size_t index) {

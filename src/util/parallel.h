@@ -51,9 +51,15 @@ bool InParallelWorker();
 // Fixed-size, work-stealing-free thread pool. Workers block on a condition
 // variable until Run() publishes a batch, then claim indices from an atomic
 // counter until the batch is exhausted. The destructor joins all workers.
+//
+// With `pin` (or the P2PAQP_PIN_THREADS env knob) each worker is pinned to
+// one CPU at spawn: lane l of a static-partition region then always executes
+// on the same core, so the PeerStore blocks and event-shard arenas a lane
+// touches stay in that core's cache (and, on multi-socket hosts, its NUMA
+// node). Pinning never changes results — only placement.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads, bool pin = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -67,28 +73,56 @@ class ThreadPool {
   // reporting is as deterministic as the results themselves.
   void Run(size_t n, const std::function<void(size_t)>& fn);
 
+  // Static-lane variant: exactly `lanes` tasks, and lane l > 0 runs on
+  // worker l-1 (lane 0 runs on the caller) — no atomic claiming, so the
+  // lane -> thread mapping is identical on every call. The shard-affine
+  // partition for PeerStore block scans: lane l always touches the same
+  // contiguous blocks with the same (possibly pinned) worker.
+  void RunStatic(size_t lanes, const std::function<void(size_t)>& fn);
+
  private:
   struct Batch;
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // Workers wait here for a batch / stop.
   std::condition_variable idle_cv_;  // Run() waits here for batch completion.
   Batch* batch_ = nullptr;           // Current batch, guarded by mu_.
   size_t active_workers_ = 0;        // Workers inside Drain(), guarded by mu_.
+  uint64_t next_batch_seq_ = 0;      // Batch identity, guarded by mu_.
   bool stop_ = false;
   std::vector<std::thread> workers_;
+};
+
+// How a parallel region maps indices onto lanes.
+enum class Partition {
+  // Workers claim indices dynamically from a shared counter (default;
+  // best for irregular task costs).
+  kDynamic = 0,
+  // Lane l of L owns the contiguous range [l*n/L, (l+1)*n/L) and lanes map
+  // to fixed threads, so the index -> thread assignment is stable across
+  // every region with the same (n, L). Used for PeerStore block loops: the
+  // blocks a lane initializes are the blocks it later scans, keeping each
+  // shard's pages hot in one core's cache instead of strided across all of
+  // them.
+  kStatic,
 };
 
 struct ParallelOptions {
   // Explicit thread count; 0 defers to ParallelThreads() (the env knob).
   size_t threads = 0;
+  Partition partition = Partition::kDynamic;
 };
+
+// True when the P2PAQP_PIN_THREADS env knob requests CPU-pinned workers.
+bool PinThreadsEnabled();
 
 // Order-independent parallel loop: fn(i) for i in [0, n). Runs inline, in
 // index order, when the resolved thread count is 1, n < 2, or the caller is
 // itself a pool worker. fn must not touch shared mutable state (see file
 // comment); exceptions propagate with lowest-index-wins selection.
+// Partition::kStatic only changes which thread runs which index — results
+// are bit-identical either way, per the contract above.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  const ParallelOptions& options = {});
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "util/alias_table.h"
 
@@ -65,29 +64,60 @@ size_t Rng::WeightedIndex(const AliasTable& table) {
   return table.Sample(*this);
 }
 
-std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+void Rng::SampleIndicesInto(size_t n, size_t k, SampleScratch* scratch,
+                            std::vector<size_t>* out) {
   P2PAQP_CHECK_LE(k, n);
-  std::vector<size_t> out;
-  out.reserve(k);
-  if (k == 0) return out;
+  out->clear();
+  if (k == 0) return;
+  if (out->capacity() < k) out->reserve(k);
   if (k * 3 >= n) {
     // Dense case: partial Fisher-Yates over the identity permutation.
-    std::vector<size_t> all(n);
+    std::vector<size_t>& all = scratch->identity;
+    all.resize(n);
     for (size_t i = 0; i < n; ++i) all[i] = i;
     for (size_t i = 0; i < k; ++i) {
       size_t j = i + UniformIndex(n - i);
       std::swap(all[i], all[j]);
-      out.push_back(all[i]);
+      out->push_back(all[i]);
     }
-    return out;
+    return;
   }
-  // Sparse case: rejection sampling against a hash set.
-  std::unordered_set<size_t> seen;
-  seen.reserve(k * 2);
-  while (out.size() < k) {
+  // Sparse case: rejection sampling. The membership structure only affects
+  // cost, never the accept/reject decision, so the consumed stream matches
+  // the old hash-set implementation draw for draw. Small k scans the output
+  // so far (k^2/2 compares, no storage beyond `out`); larger k uses
+  // generation-stamped marks, which reset in O(1) per call once the stamp
+  // vector is warm. The k*k threshold keeps the stamp resize (O(n), paid
+  // once per scratch) from dominating small samples out of huge domains.
+  if (k * k <= n) {
+    while (out->size() < k) {
+      size_t candidate = UniformIndex(n);
+      if (std::find(out->begin(), out->end(), candidate) != out->end()) {
+        continue;
+      }
+      out->push_back(candidate);
+    }
+    return;
+  }
+  std::vector<uint32_t>& stamp = scratch->stamp;
+  if (stamp.size() < n) stamp.resize(n, 0);
+  if (++scratch->generation == 0) {
+    std::fill(stamp.begin(), stamp.end(), 0);
+    scratch->generation = 1;
+  }
+  const uint32_t gen = scratch->generation;
+  while (out->size() < k) {
     size_t candidate = UniformIndex(n);
-    if (seen.insert(candidate).second) out.push_back(candidate);
+    if (stamp[candidate] == gen) continue;
+    stamp[candidate] = gen;
+    out->push_back(candidate);
   }
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  SampleScratch scratch;
+  std::vector<size_t> out;
+  SampleIndicesInto(n, k, &scratch, &out);
   return out;
 }
 

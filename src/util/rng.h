@@ -19,6 +19,24 @@ class AliasTable;
 // Mixes a 64-bit seed (splitmix64 finalizer); used for seed derivation.
 uint64_t MixSeed(uint64_t seed);
 
+// Reusable buffers for Rng::SampleIndicesInto (and the scratch-based
+// sampling variants built on it). Capacities plateau at the largest n the
+// holder ever samples from, so a warmed scratch makes repeated sampling
+// allocation-free — the property the per-visit hot path in
+// query::ExecuteLocal relies on.
+struct SampleScratch {
+  // Dense case: partial Fisher-Yates permutation buffer.
+  std::vector<size_t> identity;
+  // Sparse case: generation-stamped membership marks (stamp[i] ==
+  // generation means index i was already drawn this call). Bumping the
+  // generation resets membership in O(1) instead of clearing.
+  std::vector<uint32_t> stamp;
+  uint32_t generation = 0;
+  // Spare index buffer for callers that layer one sample over another
+  // (data::LocalDatabase::SampleBlockSpansInto).
+  std::vector<size_t> draws;
+};
+
 // Seeded pseudo-random generator wrapping std::mt19937_64.
 class Rng {
  public:
@@ -89,6 +107,12 @@ class Rng {
   // k distinct indices uniformly from [0, n), in random order. Requires
   // k <= n. O(k) expected time for k << n, O(n) otherwise.
   std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  // Scratch-reusing SampleIndices: identical draws, identical output order,
+  // but all working storage lives in `scratch` and `out` (cleared first), so
+  // a warmed caller samples without allocating.
+  void SampleIndicesInto(size_t n, size_t k, SampleScratch* scratch,
+                         std::vector<size_t>* out);
 
   // Floyd's algorithm-backed sample of k elements without replacement.
   template <typename T>

@@ -184,6 +184,143 @@ TEST(EventQueueTest, DeepBacklogOrderedAcrossShards) {
   }
 }
 
+// Collects every RunSteps call: which args arrived together and in what
+// order, so the batching tests can assert both the grouping and the FIFO
+// contract.
+struct RecordingHandler final : public StepHandler {
+  std::vector<std::vector<uint32_t>> batches;
+  void RunSteps(const uint32_t* args, size_t n) override {
+    batches.emplace_back(args, args + n);
+  }
+};
+
+TEST(EventQueueStepTest, SimultaneousStepsBatchInScheduleOrder) {
+  EventQueue queue;
+  RecordingHandler handler;
+  for (uint32_t i = 0; i < 5; ++i) queue.ScheduleStepAt(10.0, &handler, i);
+  queue.RunUntilEmpty();
+  ASSERT_EQ(handler.batches.size(), 1u);
+  EXPECT_EQ(handler.batches[0], (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.executed(), 5u);  // Each step counts as one event.
+}
+
+TEST(EventQueueStepTest, DistinctTimesDoNotBatch) {
+  EventQueue queue;
+  RecordingHandler handler;
+  queue.ScheduleStepAt(10.0, &handler, 0);
+  queue.ScheduleStepAt(20.0, &handler, 1);
+  queue.RunUntilEmpty();
+  ASSERT_EQ(handler.batches.size(), 2u);
+  EXPECT_EQ(handler.batches[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(handler.batches[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(EventQueueStepTest, DistinctHandlersSplitASharedTick) {
+  // A batch is maximal over CONSECUTIVE pops with the same handler: an
+  // interleaved schedule for two handlers at one tick yields one batch per
+  // handler run, preserving global FIFO.
+  EventQueue queue;
+  RecordingHandler a;
+  RecordingHandler b;
+  queue.ScheduleStepAt(5.0, &a, 0);
+  queue.ScheduleStepAt(5.0, &a, 1);
+  queue.ScheduleStepAt(5.0, &b, 2);
+  queue.ScheduleStepAt(5.0, &a, 3);
+  queue.RunUntilEmpty();
+  ASSERT_EQ(a.batches.size(), 2u);
+  EXPECT_EQ(a.batches[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(a.batches[1], (std::vector<uint32_t>{3}));
+  ASSERT_EQ(b.batches.size(), 1u);
+  EXPECT_EQ(b.batches[0], (std::vector<uint32_t>{2}));
+}
+
+TEST(EventQueueStepTest, CallbackAtSameTickSplitsTheBatch) {
+  // A plain callback scheduled between two step runs executes in its FIFO
+  // slot — the gather never hops over it.
+  EventQueue queue;
+  RecordingHandler handler;
+  std::vector<int> callback_at;
+  queue.ScheduleStepAt(5.0, &handler, 0);
+  queue.ScheduleAt(5.0, [&] {
+    callback_at.push_back(static_cast<int>(handler.batches.size()));
+  });
+  queue.ScheduleStepAt(5.0, &handler, 1);
+  queue.RunUntilEmpty();
+  ASSERT_EQ(handler.batches.size(), 2u);
+  EXPECT_EQ(handler.batches[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(handler.batches[1], (std::vector<uint32_t>{1}));
+  // The callback saw exactly one batch done: it ran between them.
+  EXPECT_EQ(callback_at, (std::vector<int>{1}));
+}
+
+TEST(EventQueueStepTest, StepsScheduledInsideABatchRunAfterIt) {
+  // Anything a step schedules carries a later sequence than every member of
+  // its batch — even at the same timestamp it lands in a later batch.
+  EventQueue queue;
+  struct Chaining final : public StepHandler {
+    EventQueue* queue = nullptr;
+    std::vector<std::vector<uint32_t>> batches;
+    void RunSteps(const uint32_t* args, size_t n) override {
+      batches.emplace_back(args, args + n);
+      for (size_t i = 0; i < n; ++i) {
+        if (args[i] < 10) {
+          queue->ScheduleStepAfter(0.0, this, args[i] + 10);
+        }
+      }
+    }
+  };
+  Chaining handler;
+  handler.queue = &queue;
+  queue.ScheduleStepAt(1.0, &handler, 0);
+  queue.ScheduleStepAt(1.0, &handler, 1);
+  queue.RunUntilEmpty();
+  ASSERT_EQ(handler.batches.size(), 2u);
+  EXPECT_EQ(handler.batches[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(handler.batches[1], (std::vector<uint32_t>{10, 11}));
+}
+
+TEST(EventQueueStepTest, BatchingIsIdenticalForAnyShardCount) {
+  // The batch boundaries derive from the (time, sequence) pop order alone,
+  // so every shard count produces the same RunSteps grouping.
+  std::vector<std::vector<std::vector<uint32_t>>> per_shard_batches;
+  for (size_t shards : {1u, 2u, 8u}) {
+    EventQueue queue(shards);
+    RecordingHandler handler;
+    util::Rng rng(321);
+    for (uint32_t i = 0; i < 500; ++i) {
+      queue.ScheduleStepAt(static_cast<double>(rng.UniformInt(0, 19)),
+                           &handler, i);
+    }
+    queue.RunUntilEmpty();
+    per_shard_batches.push_back(handler.batches);
+  }
+  EXPECT_EQ(per_shard_batches[0], per_shard_batches[1]);
+  EXPECT_EQ(per_shard_batches[0], per_shard_batches[2]);
+}
+
+TEST(EventQueueStepTest, StepsAndCallbacksShareSlabsAcrossReuse) {
+  // Steady-state recycling: a bounded pending set of mixed step/callback
+  // events keeps slab capacity flat while sequences keep climbing.
+  EventQueue queue;
+  struct SelfStepper final : public StepHandler {
+    EventQueue* queue = nullptr;
+    uint64_t steps = 0;
+    void RunSteps(const uint32_t* args, size_t n) override {
+      for (size_t i = 0; i < n; ++i) {
+        steps += 1;
+        if (steps + n - i <= 2000) queue->ScheduleStepAfter(1.0, this, args[i]);
+      }
+    }
+  };
+  SelfStepper stepper;
+  stepper.queue = &queue;
+  queue.Reserve(8);
+  for (uint32_t w = 0; w < 4; ++w) queue.ScheduleStepAt(0.0, &stepper, w);
+  queue.RunUntilEmpty();
+  EXPECT_GE(stepper.steps, 1996u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
 TEST(EventQueueDeathTest, NonPowerOfTwoShardCountAborts) {
   EXPECT_DEATH(EventQueue queue(3), "power of two");
 }

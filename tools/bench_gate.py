@@ -28,6 +28,15 @@ benchmark regressed:
                         wall-clock quantity, so only compared when
                         `threads` matches the baseline. Only checked when
                         the baseline recorded it.
+  * steady_state_allocs_per_event
+                        must be EXACTLY 0 whenever the baseline carries the
+                        field. The warm event-loop drain performs no heap
+                        allocation by contract (slot arenas + inline event
+                        closures, see docs/PERFORMANCE.md); any nonzero
+                        value is a leak of the zero-allocation path, not
+                        noise, so there is no tolerance knob. Checked
+                        regardless of thread count (the drain is
+                        bit-deterministic across P2PAQP_THREADS).
 
 Comparison rules:
 
@@ -97,6 +106,16 @@ def compare(name, base, fresh, args):
             notes.append(
                 f"{name}: bytes_per_peer {fresh_bpp:.1f} vs baseline "
                 f"{base_bpp:.1f} OK")
+
+    if "steady_state_allocs_per_event" in base:
+        fresh_allocs = fresh.get("steady_state_allocs_per_event", 0.0)
+        if fresh_allocs > 0.0:
+            failures.append(
+                f"{name}: steady_state_allocs_per_event {fresh_allocs:.3f} "
+                f"> 0 (the warm drain must not allocate)")
+        else:
+            notes.append(
+                f"{name}: steady_state_allocs_per_event 0 OK")
 
     if base.get("threads") != fresh.get("threads"):
         notes.append(
