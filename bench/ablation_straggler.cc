@@ -1,0 +1,195 @@
+// Ablation: straggler resilience under heavy-tailed latency.
+//
+// The paper's walks assume prompt peers; under a Pareto(alpha=1.1) reply
+// tail plus a 10% "slow coalition" (alive but consistently 20x tardy), one
+// straggler stalls a walker and the PR 1 fixed-timeout retransmit turns the
+// tail into a wall-clock cliff. This ablation peels the resilience layer
+// apart on the event-driven engine, whose makespan is the true end-to-end
+// query wall time: Walk-Not-Wait alone (fork past tardy transits), hedged
+// replies + jittered backoff alone (race duplicate replies out of the
+// slowest decile), the full stack with the health breaker, and the full
+// stack under a deadline (anytime answers). Expected shape: the fixed
+// timer's p99 is dominated by the largest single tail draw; Walk-Not-Wait
+// and hedging each cut deep into it and compose to well over the 3x p99
+// improvement the acceptance bar asks for, at an unchanged mean error
+// (unbiasedness is proven separately at 5.5 sigma by
+// tests/statistical/stat_straggler_test.cc).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "harness.h"
+#include "net/fault.h"
+#include "net/health.h"
+#include "util/parallel.h"
+
+namespace p2paqp::bench {
+namespace {
+
+constexpr graph::NodeId kSink = 0;
+constexpr size_t kReps = 48;
+
+struct Arm {
+  const char* name;
+  net::StragglerPolicy policy;
+  double deadline_ms = 0.0;
+};
+
+struct ArmStats {
+  double mean_error = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hedges = 0.0;
+  double skips = 0.0;
+  double deadline_hit_rate = 0.0;
+  size_t failures = 0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ArmStats RunArm(const World& world, const query::AggregateQuery& query,
+                const Arm& arm) {
+  struct Rep {
+    double error = -1.0;
+    double makespan_ms = 0.0;
+    double hedges = 0.0;
+    double skips = 0.0;
+    bool deadline_hit = false;
+  };
+  std::vector<Rep> reps = util::ParallelMap(kReps, [&](size_t rep) {
+    // Every repetition gets its own clone: the tail stream and the slow
+    // coalition are redrawn from the clone seed, so the p99 samples the
+    // regime, not one frozen draw.
+    World clone = CloneWorld(world, 9100 + rep);
+    core::AsyncParams params;
+    params.engine.phase1_peers = 80;
+    params.engine.straggler = arm.policy;
+    params.engine.deadline_ms = arm.deadline_ms;
+    params.walkers = 4;
+    params.walk.jump = clone.catalog.suggested_jump;
+    params.walk.burn_in = clone.catalog.suggested_burn_in;
+    core::AsyncQuerySession session(&clone.network, clone.catalog, params);
+    util::Rng rng(4300 + rep);
+    Rep out;
+    auto report = session.Execute(query, kSink, rng);
+    if (!report.ok()) return out;
+    out.error = NormalizedError(clone, query, report->answer.estimate);
+    out.makespan_ms = report->makespan_ms;
+    out.hedges = static_cast<double>(report->answer.hedges_sent);
+    out.skips = static_cast<double>(report->answer.stragglers_skipped);
+    out.deadline_hit = report->answer.deadline_hit;
+    return out;
+  });
+  ArmStats stats;
+  std::vector<double> makespans;
+  size_t hits = 0;
+  for (const Rep& rep : reps) {
+    if (rep.error < 0.0) {
+      ++stats.failures;
+      continue;
+    }
+    stats.mean_error += rep.error;
+    stats.hedges += rep.hedges;
+    stats.skips += rep.skips;
+    if (rep.deadline_hit) ++hits;
+    makespans.push_back(rep.makespan_ms);
+  }
+  const double n =
+      makespans.empty() ? 1.0 : static_cast<double>(makespans.size());
+  stats.mean_error /= n;
+  stats.hedges /= n;
+  stats.skips /= n;
+  stats.deadline_hit_rate = static_cast<double>(hits) / n;
+  stats.p50_ms = Percentile(makespans, 0.50);
+  stats.p99_ms = Percentile(makespans, 0.99);
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  const BenchIo io = ParseBenchIo(argc, argv);
+  World world = BuildWorld(WorldConfig{});
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  auto zipf = util::ZipfGenerator::Make(100, world.zipf_skew);
+  query.predicate = query::PredicateForSelectivity(*zipf, 1, 0.30);
+  query.required_error = 0.10;
+
+  // The straggler regime every arm faces: heavy Pareto reply tail, 10% of
+  // peers consistently 20x tardy, sink exempt from the coalition draft.
+  net::FaultPlan plan;
+  plan.tail = net::LatencyTail::kPareto;
+  plan.tail_scale_ms = 10.0;
+  plan.tail_alpha = 1.1;
+  plan.slow_fraction = 0.1;
+  plan.slow_factor = 20.0;
+  plan.crash_immune = {kSink};
+  world.network.InstallFaultPlan(plan, 6060);
+
+  net::StragglerPolicy fixed_timer;  // The PR 1 baseline: wait it out.
+  fixed_timer.retransmit_timeout_ms = 2000.0;
+
+  net::StragglerPolicy wnw;
+  wnw.walk_not_wait = true;
+
+  net::StragglerPolicy hedge;
+  hedge.hedged_replies = true;
+  hedge.exponential_backoff = true;
+
+  net::StragglerPolicy full;
+  full.walk_not_wait = true;
+  full.hedged_replies = true;
+  full.exponential_backoff = true;
+  full.health_tracking = true;
+
+  std::vector<Arm> arms = {
+      {"fixed-timeout-2000ms", fixed_timer},
+      {"walk-not-wait", wnw},
+      {"hedge+backoff", hedge},
+      {"full-stack", full},
+      {"full+deadline", full, /*deadline_ms=*/60000.0},
+  };
+
+  util::AsciiTable table({"policy", "error", "p50_ms", "p99_ms",
+                          "p99_speedup", "hedges", "skips", "dl_hit"});
+  double fixed_p99 = 0.0;
+  double full_p99 = 0.0;
+  double full_dl_hit_rate = 0.0;
+  for (const Arm& arm : arms) {
+    ArmStats stats = RunArm(world, query, arm);
+    if (arm.policy.retransmit_timeout_ms > 0.0) fixed_p99 = stats.p99_ms;
+    if (arm.deadline_ms > 0.0) {
+      full_dl_hit_rate = stats.deadline_hit_rate;
+    } else if (arm.policy.walk_not_wait && arm.policy.hedged_replies) {
+      full_p99 = stats.p99_ms;
+    }
+    const double speedup =
+        fixed_p99 > 0.0 && stats.p99_ms > 0.0 ? fixed_p99 / stats.p99_ms
+                                              : 1.0;
+    table.AddRow({arm.name, util::AsciiTable::FormatPercent(stats.mean_error),
+                  util::AsciiTable::FormatDouble(stats.p50_ms, 0),
+                  util::AsciiTable::FormatDouble(stats.p99_ms, 0),
+                  util::AsciiTable::FormatDouble(speedup, 2),
+                  util::AsciiTable::FormatDouble(stats.hedges, 1),
+                  util::AsciiTable::FormatDouble(stats.skips, 1),
+                  util::AsciiTable::FormatPercent(stats.deadline_hit_rate)});
+  }
+  RecordStragglerTelemetry(full_p99, full_dl_hit_rate);
+
+  EmitFigure(
+      "Ablation: straggler resilience (Pareto tail + slow coalition)",
+      "COUNT, selectivity=30%, Pareto(x_m=10ms, alpha=1.1), 10% coalition "
+      "at 20x, async engine, 48 reps; acceptance bar: full-stack p99 >= 3x "
+      "better than fixed-timeout",
+      table, io);
+  return 0;
+}
+
+}  // namespace
+}  // namespace p2paqp::bench
+
+int main(int argc, char** argv) { return p2paqp::bench::Run(argc, argv); }

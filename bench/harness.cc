@@ -48,6 +48,10 @@ struct BenchTelemetry {
   double bytes_per_peer = 0.0;
   double events_per_sec = 0.0;
   double steady_allocs_per_event = 0.0;
+  // Straggler-tier telemetry (heavy-tail latency regimes); zero for
+  // binaries that never run one.
+  double p99_query_wall_ms = 0.0;
+  double deadline_hit_rate = 0.0;
 };
 
 BenchTelemetry& Telemetry() {
@@ -86,6 +90,14 @@ void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec,
   t.bytes_per_peer = bytes_per_peer;
   t.events_per_sec = events_per_sec;
   t.steady_allocs_per_event = steady_allocs_per_event;
+}
+
+void RecordStragglerTelemetry(double p99_query_wall_ms,
+                              double deadline_hit_rate) {
+  BenchTelemetry& t = Telemetry();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.p99_query_wall_ms = p99_query_wall_ms;
+  t.deadline_hit_rate = deadline_hit_rate;
 }
 
 // Normalized error per op (Sec. 5.5: errors in [0, 1]).
@@ -525,7 +537,9 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"frame_hits\": %.1f,\n"
                "  \"bytes_per_peer\": %.1f,\n"
                "  \"events_per_sec\": %.1f,\n"
-               "  \"steady_state_allocs_per_event\": %.3f\n"
+               "  \"steady_state_allocs_per_event\": %.3f,\n"
+               "  \"p99_query_wall_ms\": %.1f,\n"
+               "  \"deadline_hit_rate\": %.4f\n"
                "}\n",
                io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
@@ -538,7 +552,8 @@ void EmitFigure(const std::string& title, const std::string& setup,
                    ? t.sched_messages / static_cast<double>(t.sched_queries)
                    : 0.0,
                t.sched_frame_hits, t.bytes_per_peer, t.events_per_sec,
-               t.steady_allocs_per_event);
+               t.steady_allocs_per_event, t.p99_query_wall_ms,
+               t.deadline_hit_rate);
   std::fclose(f);
 }
 

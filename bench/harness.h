@@ -150,6 +150,15 @@ void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
 void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec,
                           double steady_allocs_per_event);
 
+// Records the straggler-tier telemetry: the 99th-percentile simulated query
+// wall time (event-clock makespan, so deterministic for a fixed seed) and
+// the fraction of queries whose deadline fired, answered anytime. Feeds the
+// `p99_query_wall_ms` / `deadline_hit_rate` JSON fields, which
+// tools/bench_gate.py gates as upper bounds whenever the committed baseline
+// recorded them (tail-latency handling must not regress silently).
+void RecordStragglerTelemetry(double p99_query_wall_ms,
+                              double deadline_hit_rate);
+
 // Resolves the predicate for a run (explicit predicate wins; otherwise the
 // target selectivity against Zipf(world.zipf_skew)).
 query::RangePredicate ResolvePredicate(const World& world,

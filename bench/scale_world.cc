@@ -14,11 +14,17 @@
 //     contract is about;
 //   * steady_state_allocs_per_event — heap allocations inside the warm
 //     query's event-loop drains divided by its event count (pinned to
-//     exactly 0 by the gate; the arena/inline-callback contract).
+//     exactly 0 by the gate; the arena/inline-callback contract);
+//   * p99_query_wall_ms / deadline_hit_rate — tail behavior of the same
+//     COUNT under a Pareto-tail + slow-coalition regime, answered by the
+//     full straggler-resilience stack under a deadline (both upper-bounded;
+//     see DESIGN.md, "Straggler semantics").
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "core/async_engine.h"
+#include "net/fault.h"
 #include "core/catalog.h"
 #include "data/generator.h"
 #include "data/partitioner.h"
@@ -136,15 +142,59 @@ int Run(int argc, char** argv) {
   RecordScaleTelemetry(bytes_per_peer, events_per_sec,
                        steady_allocs_per_event);
 
+  // Straggler tier: the same COUNT under a heavy Pareto tail plus a 10%
+  // slow coalition, answered by the full resilience stack (Walk-Not-Wait,
+  // health breaker, hedging, backoff) under a deadline pinned to 4x the
+  // fault-free makespan. The per-query simulated wall time and the anytime
+  // rate are deterministic for the fixed seeds, so tools/bench_gate.py
+  // upper-bounds both: a regression here means tail handling got worse.
+  net::FaultPlan straggler;
+  straggler.tail = net::LatencyTail::kPareto;
+  straggler.tail_scale_ms = 10.0;
+  straggler.tail_alpha = 1.1;
+  straggler.slow_fraction = 0.1;
+  straggler.slow_factor = 20.0;
+  straggler.crash_immune = {kSink};
+  network->InstallFaultPlan(straggler, 6071);
+  core::AsyncParams resilient = async;
+  resilient.engine.straggler.walk_not_wait = true;
+  resilient.engine.straggler.health_tracking = true;
+  resilient.engine.straggler.hedged_replies = true;
+  resilient.engine.straggler.exponential_backoff = true;
+  resilient.engine.deadline_ms = 4.0 * last.makespan_ms;
+  core::AsyncQuerySession straggler_session(&*network, catalog, resilient);
+  constexpr size_t kStragglerRepeats = 64;
+  std::vector<double> makespans;
+  makespans.reserve(kStragglerRepeats);
+  size_t deadline_hits = 0;
+  for (size_t repeat = 0; repeat < kStragglerRepeats; ++repeat) {
+    util::Rng rng(515000 + repeat);
+    auto report = straggler_session.Execute(query, kSink, rng);
+    if (!report.ok()) return 1;
+    makespans.push_back(report->makespan_ms);
+    if (report->answer.deadline_hit) ++deadline_hits;
+  }
+  network->InstallFaultPlan(net::FaultPlan{}, 0);
+  std::sort(makespans.begin(), makespans.end());
+  const double p99_query_wall_ms =
+      makespans[(makespans.size() * 99) / 100];
+  const double deadline_hit_rate =
+      static_cast<double>(deadline_hits) /
+      static_cast<double>(kStragglerRepeats);
+  RecordStragglerTelemetry(p99_query_wall_ms, deadline_hit_rate);
+
   util::AsciiTable out({"peers", "build_s", "bytes_per_peer", "events",
-                        "events_per_sec", "allocs_per_event", "estimate"});
+                        "events_per_sec", "allocs_per_event", "estimate",
+                        "p99_query_ms", "deadline_hits"});
   out.AddRow({util::AsciiTable::FormatInt(static_cast<int64_t>(num_peers)),
               util::AsciiTable::FormatDouble(build_s, 2),
               util::AsciiTable::FormatDouble(bytes_per_peer, 1),
               util::AsciiTable::FormatInt(static_cast<int64_t>(last.events)),
               util::AsciiTable::FormatDouble(events_per_sec, 0),
               util::AsciiTable::FormatDouble(steady_allocs_per_event, 3),
-              util::AsciiTable::FormatDouble(last.answer.estimate, 0)});
+              util::AsciiTable::FormatDouble(last.answer.estimate, 0),
+              util::AsciiTable::FormatDouble(p99_query_wall_ms, 0),
+              util::AsciiTable::FormatPercent(deadline_hit_rate)});
   EmitFigure("Scale series: super-peer world, full-domain COUNT",
              "super_fraction=0.02, core_edges=4, leaf_connections=2, "
              "CL=0.25, Z=0.2",

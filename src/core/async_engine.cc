@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -56,7 +58,8 @@ class PhaseRuntime final : public net::StepHandler {
                graph::NodeId sink, size_t count, util::Rng& rng,
                net::HistoryRecorder* history, uint64_t dedup_round,
                AsyncHotBuffers& buffers,
-               std::vector<PeerObservation>& observations)
+               std::vector<PeerObservation>& observations, double deadline_ms,
+               size_t* retry_budget)
       : network_(network),
         params_(params),
         events_(events),
@@ -67,6 +70,8 @@ class PhaseRuntime final : public net::StepHandler {
         dedup_round_(dedup_round),
         buf_(buffers),
         observations_(observations),
+        deadline_(deadline_ms),
+        retry_budget_(retry_budget),
         hops_left_(100 * (params.walk.burn_in * params.walkers +
                           count * params.walk.jump) +
                    1000),
@@ -117,16 +122,37 @@ class PhaseRuntime final : public net::StepHandler {
   size_t retransmits = 0;
   size_t selections = 0;
   size_t duplicates = 0;
+  size_t hedges = 0;
+  size_t straggler_skips = 0;
+  // Latches once the event clock reaches the query deadline: walker steps
+  // stop scheduling new work and later-than-deadline replies are discarded,
+  // so the queue drains naturally instead of being truncated (the ledger
+  // and the reply arena still balance).
+  bool deadline_hit = false;
+  // When the sink last learned something it needed: the latest accepted
+  // reply or final walker termination. The queue keeps draining past this
+  // instant (losing hedge copies, deduped replays), but that drain is
+  // bookkeeping, not waiting — the phase's wall clock stops here.
+  double done_ms = 0.0;
 
  private:
-  // One walker hop arriving at a new peer. Identical draws, costs, history
-  // records and fault semantics as the closure-per-hop implementation this
-  // replaced — only the state layout (SoA indexed by `w`) changed.
+  // One walker hop arriving at a new peer. On the straggler-free default
+  // policy: identical draws, costs, history records and fault semantics as
+  // the closure-per-hop implementation this replaced — only the state
+  // layout (SoA indexed by `w`) changed. DrawPeerTailDelay consumes no
+  // draws without a tail regime, so legacy replay digests are untouched.
   void StepWalker(uint32_t w) {
+    if (events_.now() >= deadline_) {
+      // Anytime semantics: no new walker work at or past the deadline.
+      // In-flight replies drain on their own (and are dropped on arrival).
+      deadline_hit = true;
+      WalkerDone();
+      return;
+    }
     if (hops_left_ == 0) {
       // Hop budget exhausted: the token expires and its remaining
       // selections are lost (the quorum check decides the phase's fate).
-      --active_walkers_;
+      WalkerDone();
       return;
     }
     --hops_left_;
@@ -143,43 +169,97 @@ class PhaseRuntime final : public net::StepHandler {
         network_->peer(holder).incarnation() != buf_.walker_incarnation[w] ||
         neighbors.empty();
     if (!token_lost) {
+      const net::StragglerPolicy& sp = params_.engine.straggler;
       graph::NodeId next = neighbors[rng_.UniformIndex(neighbors.size())];
-      util::Status sent =
-          network_->SendAlongEdge(net::MessageType::kWalker, holder, next);
-      if (sent.ok()) {
-        // The synchronous ledger summed this hop's latency; the event clock
-        // is authoritative here, so draw the event delay independently.
-        buf_.walker_current[w] = next;
-        buf_.walker_incarnation[w] = network_->peer(next).incarnation();
-        if (buf_.walker_burn_left[w] > 0) {
-          --buf_.walker_burn_left[w];
-        } else if (++buf_.walker_since_selection[w] >= params_.walk.jump) {
-          buf_.walker_since_selection[w] = 0;
-          --buf_.walker_remaining[w];
-          SelectPeer(next);
+      const bool selection_due =
+          buf_.walker_burn_left[w] == 0 &&
+          buf_.walker_since_selection[w] + 1 >= params_.walk.jump;
+      // Circuit breaker: a tripped neighbor is not worth sending the token
+      // to — fork immediately, for free. Selection-due hops are exempt (the
+      // tripped peer's probability of being *selected* must stay exactly
+      // proportional to its degree), as are hops with no untripped
+      // alternative (a walk boxed in by bad peers must still make progress).
+      if (sp.health_tracking && !selection_due && neighbors.size() > 1 &&
+          buf_.health.Tripped(next) &&
+          HasUntrippedAlternative(neighbors, next)) {
+        ForkPastStraggler(w, holder, next, /*token_sent=*/false,
+                          /*transit_ms=*/0.0, /*wait_ms=*/0.0,
+                          /*selection_due=*/false);
+        return;
+      }
+      if (sp.walk_not_wait) {
+        // Walk-Not-Wait: draw the hop's full transit (wire delay plus the
+        // neighbor's straggler tail) up front. Past the adaptive budget the
+        // token is still sent — on a selection-due hop the tardy peer is
+        // selected *in absentia*, preserving selection probabilities — but
+        // the walk refuses to wait: it forks from the holder once the
+        // budget elapses.
+        const double tail_ms = network_->DrawPeerTailDelay(next, rng_);
+        const double transit = network_->DrawHopLatency() + tail_ms;
+        const double budget = HopBudgetMs();
+        ObserveHop(transit);
+        if (transit > budget && neighbors.size() > 1) {
+          ForkPastStraggler(w, holder, next, /*token_sent=*/true, transit,
+                            /*wait_ms=*/budget, selection_due);
+          return;
         }
-        if (buf_.walker_remaining[w] > 0) {
+        util::Status sent =
+            network_->SendAlongEdge(net::MessageType::kWalker, holder, next);
+        if (sent.ok()) {
+          if (sp.health_tracking) buf_.health.Record(next, transit, true);
+          AdvanceWalker(w, next, tail_ms);
+          if (buf_.walker_remaining[w] > 0) {
+            events_.ScheduleStepAfter(transit, this, w);
+          } else {
+            WalkerDone();  // All selections gathered.
+          }
+          return;
+        }
+        if (sp.health_tracking) buf_.health.Record(next, 0.0, false);
+        if (network_->IsAlive(holder) && network_->AliveDegree(holder) > 0) {
           events_.ScheduleStepAfter(network_->DrawHopLatency(), this, w);
-        } else {
-          --active_walkers_;  // All selections gathered.
+          return;
         }
-        return;
+        token_lost = true;
+      } else {
+        util::Status sent =
+            network_->SendAlongEdge(net::MessageType::kWalker, holder, next);
+        if (sent.ok()) {
+          // The synchronous ledger summed this hop's latency; the event
+          // clock is authoritative here, so draw the event delay
+          // independently. The neighbor's straggler tail (0 draws without a
+          // tail regime) delays both its reply and the next hop.
+          const double tail_ms = network_->DrawPeerTailDelay(next, rng_);
+          AdvanceWalker(w, next, tail_ms);
+          if (buf_.walker_remaining[w] > 0) {
+            const double transit = network_->DrawHopLatency() + tail_ms;
+            if (sp.health_tracking) {
+              buf_.health.Record(next, transit, true);
+              ObserveHop(transit);
+            }
+            events_.ScheduleStepAfter(transit, this, w);
+          } else {
+            WalkerDone();  // All selections gathered.
+          }
+          return;
+        }
+        if (sp.health_tracking) buf_.health.Record(next, 0.0, false);
+        // The hop was lost in transit (drop, or the chosen neighbor crashed
+        // on receipt). A live holder with a live route still has the token:
+        // link-level retransmit after a timeout.
+        if (network_->IsAlive(holder) && network_->AliveDegree(holder) > 0) {
+          events_.ScheduleStepAfter(network_->DrawHopLatency(), this, w);
+          return;
+        }
+        token_lost = true;
       }
-      // The hop was lost in transit (drop, or the chosen neighbor crashed
-      // on receipt). A live holder with a live route still has the token:
-      // link-level retransmit after a timeout.
-      if (network_->IsAlive(holder) && network_->AliveDegree(holder) > 0) {
-        events_.ScheduleStepAfter(network_->DrawHopLatency(), this, w);
-        return;
-      }
-      token_lost = true;
     }
     // The token is gone: its holder crashed or stranded with no live
     // route. The sink re-issues it with a *fresh burn-in* — a token
     // restarted at the sink is no longer stationary-distributed.
     if (!network_->IsAlive(sink_) || network_->AliveDegree(sink_) == 0 ||
         restarts_left_ == 0) {
-      --active_walkers_;  // Unrecoverable: selections lost.
+      WalkerDone();  // Unrecoverable: selections lost.
       return;
     }
     --restarts_left_;
@@ -191,12 +271,142 @@ class PhaseRuntime final : public net::StepHandler {
     events_.ScheduleStepAfter(network_->DrawHopLatency(), this, w);
   }
 
+  // Successful hop bookkeeping shared by the legacy and Walk-Not-Wait
+  // branches: advance the token, consume burn-in, select when due.
+  // `reply_extra_ms` folds the token's tardy inbound transit into the
+  // reply's departure (a slow peer cannot scan before the token arrives).
+  void AdvanceWalker(uint32_t w, graph::NodeId next, double reply_extra_ms) {
+    buf_.walker_current[w] = next;
+    buf_.walker_incarnation[w] = network_->peer(next).incarnation();
+    if (buf_.walker_burn_left[w] > 0) {
+      --buf_.walker_burn_left[w];
+    } else if (++buf_.walker_since_selection[w] >= params_.walk.jump) {
+      buf_.walker_since_selection[w] = 0;
+      --buf_.walker_remaining[w];
+      SelectPeer(next, reply_extra_ms);
+    }
+  }
+
+  // Walk-Not-Wait fork: give up on a tardy (token_sent) or breaker-tripped
+  // (!token_sent) neighbor. With token_sent the token genuinely goes out —
+  // charged like any hop, and when the hop was selection-due the tardy peer
+  // is selected *in absentia* (its scan and reply proceed with the tardy
+  // transit folded in), so selection probabilities are exactly those of the
+  // unforked walk. The walk itself treats the fork as a *lazy self-loop*:
+  // the walker stays at the holder, waits out `wait_ms`, and redraws — no
+  // burn-in reset, no counter reset. Self-loops preserve detailed balance
+  // for the degree-stationary distribution, so forking never conditions
+  // the trajectory on having avoided slow peers (a re-burn-in here would:
+  // the restarted chain mixes under the forked kernel and warps the holder
+  // distribution toward slow-free neighborhoods). Breaker skips send
+  // nothing and wait for nothing; they only fire on non-selection-due hops.
+  void ForkPastStraggler(uint32_t w, graph::NodeId holder, graph::NodeId next,
+                         bool token_sent, double transit_ms, double wait_ms,
+                         bool selection_due) {
+    ++straggler_skips;
+    if (history_ != nullptr) {
+      history_->Record(net::HistoryEventKind::kStragglerSkip,
+                       net::MessageType::kWalker, holder, next);
+    }
+    if (token_sent) {
+      util::Status sent =
+          network_->SendAlongEdge(net::MessageType::kWalker, holder, next);
+      if (params_.engine.straggler.health_tracking) {
+        buf_.health.Record(next, transit_ms, sent.ok());
+      }
+      if (sent.ok() && selection_due) {
+        buf_.walker_since_selection[w] = 0;
+        --buf_.walker_remaining[w];
+        SelectPeer(next, transit_ms);
+      }
+    }
+    if (buf_.walker_remaining[w] == 0) {
+      WalkerDone();
+      return;
+    }
+    events_.ScheduleStepAfter(wait_ms, this, w);
+  }
+
+  bool HasUntrippedAlternative(const std::vector<graph::NodeId>& neighbors,
+                               graph::NodeId skip) const {
+    for (graph::NodeId n : neighbors) {
+      if (n != skip && !buf_.health.Tripped(n)) return true;
+    }
+    return false;
+  }
+
+  // One walker token retired (selections gathered, expired, or lost). The
+  // last termination stamps the phase clock: a token that died with
+  // selections outstanding is the moment the sink's walk gave up on them.
+  void WalkerDone() {
+    if (--active_walkers_ == 0 && events_.now() > done_ms) {
+      done_ms = events_.now();
+    }
+  }
+
+  // Spends one unit of the query-scoped retry/hedge budget; false when
+  // exhausted (SIZE_MAX = unlimited, the no-policy default).
+  bool ConsumeRetry() {
+    if (*retry_budget_ == 0) return false;
+    if (*retry_budget_ != SIZE_MAX) --*retry_budget_;
+    return true;
+  }
+
+  // Adaptive Walk-Not-Wait hop budget: a multiple of the EWMA hop transit,
+  // floored so a quiet network cannot shrink it below ~2 nominal hops.
+  // Infinite until a few hops have been observed (never fork blind).
+  double HopBudgetMs() const {
+    if (hop_samples_ < 3) return std::numeric_limits<double>::infinity();
+    const net::StragglerPolicy& sp = params_.engine.straggler;
+    double budget = sp.hop_budget_factor * hop_ewma_;
+    double floor = sp.hop_budget_floor_ms > 0.0
+                       ? sp.hop_budget_floor_ms
+                       : 2.0 * network_->NominalHopLatencyMs();
+    return budget < floor ? floor : budget;
+  }
+
+  // Sink-side hedge timer: a reply slower than this multiple of the EWMA
+  // reply latency gets one duplicate. Infinite until warmed up.
+  double HedgeDueMs() const {
+    if (reply_samples_ < 3) return std::numeric_limits<double>::infinity();
+    const net::StragglerPolicy& sp = params_.engine.straggler;
+    double due = sp.hedge_delay_factor * reply_ewma_;
+    double floor = network_->NominalHopLatencyMs();
+    return due < floor ? floor : due;
+  }
+
+  // Winsorized EWMAs feeding the adaptive budgets: a single straggler
+  // observation must not drag the budget up to straggler scale, so samples
+  // are clamped to 8x the running mean before folding in.
+  void ObserveHop(double transit_ms) {
+    const double alpha = params_.engine.straggler.ewma_alpha;
+    double clamped = hop_samples_ > 0 && transit_ms > 8.0 * hop_ewma_
+                         ? 8.0 * hop_ewma_
+                         : transit_ms;
+    hop_ewma_ = hop_samples_ == 0 ? clamped
+                                  : (1.0 - alpha) * hop_ewma_ + alpha * clamped;
+    ++hop_samples_;
+  }
+
+  void ObserveReply(double delay_ms) {
+    const double alpha = params_.engine.straggler.ewma_alpha;
+    double clamped = reply_samples_ > 0 && delay_ms > 8.0 * reply_ewma_
+                         ? 8.0 * reply_ewma_
+                         : delay_ms;
+    reply_ewma_ = reply_samples_ == 0
+                      ? clamped
+                      : (1.0 - alpha) * reply_ewma_ + alpha * clamped;
+    ++reply_samples_;
+  }
+
   // One selected peer: scan locally (scan-time delay), then the reply races
   // back to the sink over direct IP (half-hop delay, like SendDirect). A
   // reply lost to faults is retransmitted after a sink-side timeout (each
-  // attempt adds its own wire delay); a crashed endpoint cannot retry and
-  // the observation is lost.
-  void SelectPeer(graph::NodeId peer) {
+  // attempt adds its own wire delay, plus the policy's backoff wait when
+  // one is configured); a crashed endpoint cannot retry and the observation
+  // is lost. `extra_reply_delay_ms` is the tardy inbound token transit: the
+  // peer cannot scan before the token reaches it.
+  void SelectPeer(graph::NodeId peer, double extra_reply_delay_ms = 0.0) {
     query::LocalAggregate aggregate = query::ExecuteLocal(
         network_->peer(peer).database(), query_,
         query::SubSamplePolicy{.t = params_.engine.tuples_per_peer,
@@ -217,12 +427,22 @@ class PhaseRuntime final : public net::StepHandler {
     // Adversarial tampering happens at the sender: misreported degree,
     // corrupted aggregates, and possibly replayed duplicate copies.
     size_t replays = TamperObservation(network_->adversary(), &obs);
-    double delay = scan_ms;
+    const net::StragglerPolicy& sp = params_.engine.straggler;
+    double delay = scan_ms + extra_reply_delay_ms;
     bool delivered = false;
     for (size_t attempt = 0; attempt <= params_.engine.reply_retransmits;
          ++attempt) {
       if (attempt > 0) {
+        if (!ConsumeRetry()) break;
         ++retransmits;
+        double wait = net::RetryBackoffMs(sp, attempt, rng_);
+        if (wait > 0.0) {
+          // The retry leaves at its actual (jittered) schedule time: the
+          // backoff wait lands in the cost ledger and in the copy's
+          // arrival delay, not just in the history trace.
+          delay += wait;
+          network_->cost().RecordLatency(wait);
+        }
         if (history_ != nullptr) {
           history_->Record(net::HistoryEventKind::kTimeout,
                            net::MessageType::kAggregateReply, peer, sink_);
@@ -236,7 +456,37 @@ class PhaseRuntime final : public net::StepHandler {
       }
       if (!network_->IsAlive(peer) || !network_->IsAlive(sink_)) break;
     }
-    if (delivered) DeliverReply(obs, delay);
+    if (sp.health_tracking) buf_.health.Record(peer, delay, delivered);
+    if (delivered) {
+      ObserveReply(delay);
+      DeliverReply(obs, delay);
+      // Hedged retransmit: the sink's hedge timer fires before a straggling
+      // primary can arrive, so one duplicate copy goes out; whichever copy
+      // arrives first is accepted, the other is absorbed by the
+      // (peer, selection_seq) dedup. Duplicating the *same* observation is
+      // bias-free — only the delivery race changes.
+      if (sp.hedged_replies) {
+        const double hedge_due = HedgeDueMs();
+        if (delay > hedge_due && ConsumeRetry()) {
+          ++hedges;
+          if (history_ != nullptr) {
+            const uint64_t tag =
+                net::DedupTag(dedup_round_, peer, obs.selection_seq);
+            history_->Record(net::HistoryEventKind::kHedgeDue,
+                             net::MessageType::kAggregateReply, peer, sink_);
+            history_->Record(net::HistoryEventKind::kHedge,
+                             net::MessageType::kAggregateReply, peer, sink_,
+                             1, tag);
+          }
+          // The duplicate is served from the peer's already-computed scan:
+          // it departs when the hedge timer fires, no second scan charge.
+          double hedge_delay = hedge_due;
+          if (SendReplyCopy(peer, &hedge_delay)) {
+            DeliverReply(obs, hedge_delay);
+          }
+        }
+      }
+    }
     // Replayed copies each cross the wire independently. A copy that
     // arrives after the original is deduped; if the original was lost, the
     // first surviving copy is accepted (indistinguishable from a
@@ -294,6 +544,23 @@ class PhaseRuntime final : public net::StepHandler {
     const PeerObservation reply = buf_.reply_arena.at(handle);
     buf_.reply_arena.Release(handle);
     --pending_replies_;
+    if (events_.now() > deadline_) {
+      // The sink answered at the deadline; this copy is late and counts as
+      // lost (a reply arriving *exactly at* the deadline is still taken).
+      // The expire record resolves the tag for the history checker's
+      // hedge-accounting rule. Only a copy the sink still *needed* latches
+      // the deadline flag — a losing hedge duplicate straggling in after
+      // its primary was accepted curtailed nothing.
+      if (buf_.seen_seq[reply.selection_seq] == 0) deadline_hit = true;
+      if (history_ != nullptr) {
+        history_->Record(net::HistoryEventKind::kExpire,
+                         net::MessageType::kAggregateReply, reply.peer, sink_,
+                         1,
+                         net::DedupTag(dedup_round_, reply.peer,
+                                       reply.selection_seq));
+      }
+      return;
+    }
     const uint64_t tag =
         net::DedupTag(dedup_round_, reply.peer, reply.selection_seq);
     P2PAQP_DCHECK(reply.selection_seq < buf_.seen_seq.size());
@@ -309,6 +576,7 @@ class PhaseRuntime final : public net::StepHandler {
       return;
     }
     observations_.push_back(reply);  // Reply reached the sink.
+    if (events_.now() > done_ms) done_ms = events_.now();
     if (history_ != nullptr) {
       history_->Record(net::HistoryEventKind::kDedupAccept,
                        net::MessageType::kAggregateReply, reply.peer, sink_,
@@ -326,10 +594,18 @@ class PhaseRuntime final : public net::StepHandler {
   const uint64_t dedup_round_;
   AsyncHotBuffers& buf_;
   std::vector<PeerObservation>& observations_;
-  size_t hops_left_;      // Global hop budget across all walkers.
-  size_t restarts_left_;  // Global token-restart budget.
+  const double deadline_;  // Absolute event-clock instant; +inf = none.
+  size_t* retry_budget_;   // Query-scoped; shared across both phases.
+  size_t hops_left_;       // Global hop budget across all walkers.
+  size_t restarts_left_;   // Global token-restart budget.
   size_t active_walkers_ = 0;
   size_t pending_replies_ = 0;
+  // Adaptive-budget state (Walk-Not-Wait and hedging), warmed by the first
+  // few observed transits/replies of the query itself.
+  double hop_ewma_ = 0.0;
+  size_t hop_samples_ = 0;
+  double reply_ewma_ = 0.0;
+  size_t reply_samples_ = 0;
 };
 
 }  // namespace
@@ -348,9 +624,18 @@ AsyncQuerySession::AsyncQuerySession(net::SimulatedNetwork* network,
 util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     net::EventQueue& events, const query::AggregateQuery& query,
     graph::NodeId sink, size_t count, util::Rng& rng,
-    TwoPhaseEngine::CollectionStats* stats, uint64_t* drain_allocs) {
+    TwoPhaseEngine::CollectionStats* stats, uint64_t* drain_allocs,
+    double deadline_ms, size_t* retry_budget, double* elapsed_ms) {
   net::HistoryRecorder* history = network_->history();
   const uint64_t dedup_round = history != nullptr ? history->NextRound() : 0;
+  // The queue's clock is monotone across phases (a fresh phase starts where
+  // the previous drain ended), so the phase-relative deadline budget is
+  // rebased to an absolute instant here and all phase timing is measured
+  // from `phase_start`.
+  const double phase_start = events.now();
+  const double deadline_abs = std::isfinite(deadline_ms)
+                                  ? phase_start + deadline_ms
+                                  : deadline_ms;
 
   // Pre-size everything the drain touches, so the event loop below — the
   // steady-state window AllocGuard measures — does not grow a buffer even
@@ -373,12 +658,17 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
   buffers_.walker_incarnation.reserve(params_.walkers);
   // Pending set: one hop event per walker plus the replies in flight (the
   // adversary's replayed copies can push past it; that growth is amortized
-  // and absent from the gated fault-free configs).
-  buffers_.reply_arena.Reserve(count + 16);
-  events.Reserve(params_.walkers + count + 16);
+  // and absent from the gated fault-free configs). Hedging doubles the
+  // worst-case in-flight copies, so its slots are reserved *before* the
+  // drain too — the zero-allocation gate covers straggler runs.
+  const size_t reply_slots =
+      params_.engine.straggler.hedged_replies ? count * 2 : count;
+  buffers_.reply_arena.Reserve(reply_slots + 16);
+  events.Reserve(params_.walkers + reply_slots + 16);
 
   PhaseRuntime runtime(network_, params_, events, query, sink, count, rng,
-                       history, dedup_round, buffers_, observations);
+                       history, dedup_round, buffers_, observations,
+                       deadline_abs, retry_budget);
   runtime.Launch(count);
 
   // Mid-query churn rides the same event clock, stepping while the phase
@@ -393,11 +683,22 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
   events.RunUntilEmpty();
   if (drain_allocs != nullptr) *drain_allocs += alloc_guard.allocations();
 
+  if (elapsed_ms != nullptr) {
+    // A deadline-curtailed phase answers exactly when its budget runs out;
+    // otherwise the clock stops at the last needed arrival, not at the
+    // post-answer drain of losing duplicate copies.
+    *elapsed_ms = runtime.deadline_hit
+                      ? deadline_ms
+                      : std::max(runtime.done_ms, phase_start) - phase_start;
+  }
+
   const size_t delivered = observations.size();
   const auto quorum = static_cast<size_t>(
       std::ceil(params_.engine.min_observation_quorum *
                 static_cast<double>(count)));
-  if (count > 0 && delivered < quorum &&
+  // A deadline-curtailed phase waives the quorum: the caller returns an
+  // anytime answer with a widened CI instead of failing the query.
+  if (count > 0 && delivered < quorum && !runtime.deadline_hit &&
       !util::BugArmed(util::InjectedBug::kSkipQuorumCheck)) {
     return util::Status::Unavailable(
         "async observation quorum not met: " + std::to_string(delivered) +
@@ -410,6 +711,9 @@ util::Result<std::vector<PeerObservation>> AsyncQuerySession::RunPhase(
     stats->reply_retransmits = runtime.retransmits;
     stats->walk_restarts = runtime.restarts;
     stats->duplicate_replies = runtime.duplicates;
+    stats->hedges = runtime.hedges;
+    stats->straggler_skips = runtime.straggler_skips;
+    stats->deadline_hit = runtime.deadline_hit;
   }
   return std::move(observations);
 }
@@ -429,55 +733,96 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
   net::EventQueue events;
   uint64_t drain_allocs = 0;
 
+  const net::StragglerPolicy& sp = params_.engine.straggler;
+  const double deadline =
+      params_.engine.deadline_ms > 0.0
+          ? params_.engine.deadline_ms
+          : std::numeric_limits<double>::infinity();
+  // Retry/hedge allowance is query-scoped: both phases draw from one pot.
+  size_t retry_budget = sp.retry_budget == 0 ? SIZE_MAX : sp.retry_budget;
+  if (sp.health_tracking) {
+    // Reset allocates (flat per-peer arrays), so it happens here — per
+    // query, before any phase drains — keeping Record()/Tripped() free
+    // inside the measured event loops. Phase II inherits phase I's scores.
+    buffers_.health.Configure(sp);
+    buffers_.health.Reset(network_->num_peers());
+  }
+
   // ---- Phase I ----
   TwoPhaseEngine::CollectionStats phase1_stats;
+  double phase1_elapsed = 0.0;
+  double phase2_elapsed = 0.0;
   auto phase1 = RunPhase(events, query, sink, params_.engine.phase1_peers,
-                         rng, &phase1_stats, &drain_allocs);
+                         rng, &phase1_stats, &drain_allocs, deadline,
+                         &retry_budget, &phase1_elapsed);
   if (!phase1.ok()) return phase1.status();
-  if (phase1->size() < 2) {
+
+  double total_weight = catalog_.total_degree_weight();
+  TwoPhaseEngine::CollectionStats phase2_stats;
+  std::vector<PeerObservation> phase2_set;
+  double estimated_total = 0.0;
+  double cv_normalized = 0.0;
+  if (phase1->size() >= 2) {
+    CrossValidationResult cv = CrossValidate(ToWeighted(*phase1, query.op),
+                                             total_weight,
+                                             params_.engine.cv_repeats, rng);
+    estimated_total = EstimateTotal(*phase1, query.op, total_weight);
+    if (estimated_total <= 0.0 ||
+        params_.engine.normalization == ErrorNormalization::kQueryAnswer) {
+      estimated_total = std::fabs(cv.estimate);
+    }
+    cv_normalized =
+        estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
+    // Sized from the observations that actually arrived (== phase1_peers on
+    // the fault-free path): the cross-validation error was measured on
+    // those.
+    size_t phase2_peers = PhaseTwoSampleSize(
+        phase1->size(), cv_normalized, query.required_error,
+        params_.engine.min_phase2_peers,
+        params_.engine.max_phase2_peers == 0
+            ? network_->num_peers()
+            : params_.engine.max_phase2_peers);
+
+    // ---- Phase II ----
+    if (phase1_elapsed >= deadline) {
+      // Phase I consumed the whole deadline: phase II never launches and
+      // its entire request counts as lost.
+      phase2_stats.requested = phase2_peers;
+      phase2_stats.lost = phase2_peers;
+      phase2_stats.deadline_hit = true;
+    } else {
+      // Phase II inherits whatever deadline budget phase I left over.
+      const double remaining = std::isfinite(deadline)
+                                   ? deadline - phase1_elapsed
+                                   : deadline;
+      auto phase2 = RunPhase(events, query, sink, phase2_peers, rng,
+                             &phase2_stats, &drain_allocs, remaining,
+                             &retry_budget, &phase2_elapsed);
+      if (!phase2.ok()) return phase2.status();
+      phase2_set = std::move(*phase2);
+    }
+  } else if (!phase1_stats.deadline_hit) {
     return util::Status::Unavailable(
         "phase I delivered too few observations to cross-validate");
   }
-  double phase1_done = events.now();
+  // (Fewer than 2 phase-I observations under a deadline: fall through and
+  // answer anytime from whatever phase I scraped together.)
 
-  double total_weight = catalog_.total_degree_weight();
-  CrossValidationResult cv = CrossValidate(ToWeighted(*phase1, query.op),
-                                           total_weight,
-                                           params_.engine.cv_repeats, rng);
-  double estimated_total = EstimateTotal(*phase1, query.op, total_weight);
-  if (estimated_total <= 0.0 ||
-      params_.engine.normalization == ErrorNormalization::kQueryAnswer) {
-    estimated_total = std::fabs(cv.estimate);
-  }
-  double cv_normalized =
-      estimated_total == 0.0 ? 0.0 : cv.cv_error / estimated_total;
-  // Sized from the observations that actually arrived (== phase1_peers on
-  // the fault-free path): the cross-validation error was measured on those.
-  size_t phase2_peers = PhaseTwoSampleSize(
-      phase1->size(), cv_normalized, query.required_error,
-      params_.engine.min_phase2_peers,
-      params_.engine.max_phase2_peers == 0 ? network_->num_peers()
-                                           : params_.engine.max_phase2_peers);
-
-  // ---- Phase II ----
-  TwoPhaseEngine::CollectionStats phase2_stats;
-  auto phase2 = RunPhase(events, query, sink, phase2_peers, rng,
-                         &phase2_stats, &drain_allocs);
-  if (!phase2.ok()) return phase2.status();
-
+  const bool anytime = phase1_stats.deadline_hit || phase2_stats.deadline_hit;
   std::vector<PeerObservation> final_set;
-  if (params_.engine.include_phase1_observations) {
+  if (params_.engine.include_phase1_observations || anytime) {
+    // An anytime answer uses every observation that reached the sink.
     final_set = *phase1;
-    final_set.insert(final_set.end(), phase2->begin(), phase2->end());
+    final_set.insert(final_set.end(), phase2_set.begin(), phase2_set.end());
   } else {
-    final_set = *phase2;
+    final_set = phase2_set;
   }
 
   // Byzantine defenses, mirroring the synchronous engine.
   const RobustnessPolicy& policy = params_.engine.robustness;
   size_t suspected =
       AuditObservationDegrees(network_, policy, sink, &final_set, rng);
-  if (final_set.empty()) {
+  if (final_set.empty() && !anytime) {
     return util::Status::Unavailable(
         "degree audit rejected every observation");
   }
@@ -485,7 +830,12 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
 
   AsyncQueryReport report;
   report.answer.suspected_peers = suspected;
-  if (policy.enabled()) {
+  if (weighted.empty()) {
+    // Deadline fired before a single observation survived: the anytime
+    // answer is a zero estimate with maximal degradation, never an error.
+    report.answer.estimate = 0.0;
+    report.answer.variance = 0.0;
+  } else if (policy.enabled()) {
     RobustEstimate robust =
         RobustHorvitzThompson(weighted, total_weight, policy);
     report.answer.estimate = robust.estimate;
@@ -502,8 +852,13 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
       phase1_stats.walk_restarts + phase2_stats.walk_restarts;
   report.answer.duplicate_replies =
       phase1_stats.duplicate_replies + phase2_stats.duplicate_replies;
+  report.answer.deadline_hit = anytime;
+  report.answer.hedges_sent = phase1_stats.hedges + phase2_stats.hedges;
+  report.answer.stragglers_skipped =
+      phase1_stats.straggler_skips + phase2_stats.straggler_skips;
   report.answer.degraded = report.answer.observations_lost > 0 ||
-                           suspected > 0 || report.answer.trimmed_mass > 0.0;
+                           suspected > 0 ||
+                           report.answer.trimmed_mass > 0.0 || anytime;
   double inflation = 1.0;
   if (report.answer.observations_lost > 0) {
     size_t requested = phase1_stats.requested + phase2_stats.requested;
@@ -521,14 +876,27 @@ util::Result<AsyncQueryReport> AsyncQuerySession::Execute(
                                        : std::fabs(report.answer.estimate);
   report.answer.achieved_error =
       denom > 0.0 ? report.answer.ci_half_width_95 / denom : 0.0;
+  if (anytime && final_set.size() < 2) {
+    // No usable spread: an anytime answer built from 0-1 observations has
+    // no defensible CI, so report total relative error instead of a
+    // spuriously perfect one.
+    report.answer.achieved_error = 1.0;
+  }
   report.answer.phase1_peers = phase1->size();
-  report.answer.phase2_peers = phase2->size();
+  report.answer.phase2_peers = phase2_set.size();
   report.answer.cost = net::CostDelta(network_->cost_snapshot(), before);
   report.answer.sample_tuples = report.answer.cost.tuples_sampled;
-  // The event clock, not the sequential sum, is the real latency.
-  report.answer.cost.latency_ms = events.now();
-  report.makespan_ms = events.now();
-  report.phase1_done_ms = phase1_done;
+  // The event clock, not the sequential sum, is the real latency — measured
+  // per phase up to the last arrival the sink needed. Losing hedge copies
+  // and deduped replays drain after the answer is ready (keeping the arena
+  // and ledger balanced) without counting as waiting, and an anytime answer
+  // is produced *at* the deadline.
+  const double total_elapsed = phase1_elapsed + phase2_elapsed;
+  const double end_ms =
+      anytime ? std::min(total_elapsed, deadline) : total_elapsed;
+  report.answer.cost.latency_ms = end_ms;
+  report.makespan_ms = end_ms;
+  report.phase1_done_ms = std::min(phase1_elapsed, end_ms);
   report.events = events.executed();
   report.drain_allocs = drain_allocs;
   return report;

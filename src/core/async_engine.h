@@ -83,6 +83,10 @@ struct AsyncHotBuffers {
   // Incarnation of walker_current captured when it received the token; a
   // mismatch at hop time means the holder died and rejoined between events.
   std::vector<uint64_t> walker_incarnation;
+  // Per-peer EWMA latency/failure scoreboard feeding the circuit breaker
+  // (straggler policy). Reset per query *before* the drain (flat arrays, so
+  // Record()/Tripped() are allocation-free inside the event loop).
+  net::PeerHealthBoard health;
 };
 
 class AsyncQuerySession {
@@ -110,10 +114,25 @@ class AsyncQuerySession {
   // retransmitted, and residual losses are reported through `stats` —
   // hard-failing only below engine.min_observation_quorum. Allocations made
   // while the event loop drains are added to `*drain_allocs`.
+  //
+  // `deadline_ms` is the query deadline budget REMAINING at phase start
+  // (+inf = none): walker steps at or past it stop scheduling work, replies
+  // arriving strictly after it are discarded as lost, and the quorum
+  // hard-fail is waived so the caller can return a deadline-degraded
+  // anytime answer. `retry_budget` is the query-scoped straggler
+  // retry/hedge allowance shared by both phases (SIZE_MAX = unlimited).
+  //
+  // `*elapsed_ms` receives the phase's wall clock: from phase start to the
+  // last arrival the sink *needed* (or exactly the remaining deadline when
+  // it fired). The event queue drains further — losing hedge copies and
+  // deduped replays resolve after the answer is ready so the ledger and the
+  // reply arena balance — but that drain is bookkeeping, not waiting, and
+  // never counts toward latency.
   util::Result<std::vector<PeerObservation>> RunPhase(
       net::EventQueue& events, const query::AggregateQuery& query,
       graph::NodeId sink, size_t count, util::Rng& rng,
-      TwoPhaseEngine::CollectionStats* stats, uint64_t* drain_allocs);
+      TwoPhaseEngine::CollectionStats* stats, uint64_t* drain_allocs,
+      double deadline_ms, size_t* retry_budget, double* elapsed_ms);
 
   net::SimulatedNetwork* network_;
   SystemCatalog catalog_;

@@ -211,6 +211,13 @@ std::string ApproximateAnswer::ToString() const {
                   suspected_peers, trimmed_mass, duplicate_replies);
     out += extra;
   }
+  if (deadline_hit || hedges_sent > 0 || stragglers_skipped > 0) {
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  " | STRAGGLER deadline_hit=%d hedges=%zu skips=%zu",
+                  deadline_hit ? 1 : 0, hedges_sent, stragglers_skipped);
+    out += extra;
+  }
   return out;
 }
 
@@ -226,7 +233,9 @@ TwoPhaseEngine::TwoPhaseEngine(net::SimulatedNetwork* network,
                                                         catalog.suggested_jump),
                                .burn_in = catalog.suggested_burn_in,
                                .variant = sampling::WalkVariant::kSimple,
-                               .max_hops = 0})),
+                               .max_hops = 0,
+                               .straggler = &params_.straggler,
+                               .health = &health_})),
       total_weight_(catalog.total_degree_weight()) {
   P2PAQP_CHECK(network_ != nullptr);
   P2PAQP_CHECK_GE(params_.phase1_peers, 2u);
@@ -256,13 +265,24 @@ size_t TwoPhaseEngine::MaxPhase2Peers() const {
 util::Result<std::vector<PeerObservation>>
 TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
                                     graph::NodeId sink, size_t count,
-                                    util::Rng& rng, CollectionStats* stats) {
+                                    util::Rng& rng, CollectionStats* stats,
+                                    size_t* retry_budget_left) {
+  const net::StragglerPolicy& sp = params_.straggler;
+  size_t local_budget = sp.retry_budget == 0 ? SIZE_MAX : sp.retry_budget;
+  size_t* budget =
+      retry_budget_left != nullptr ? retry_budget_left : &local_budget;
+  auto consume_retry = [budget]() {
+    if (*budget == 0) return false;
+    if (*budget != SIZE_MAX) --*budget;
+    return true;
+  };
   auto sampled = sampler_->SamplePeersResilient(sink, count, rng);
   if (!sampled.ok()) return sampled.status();
   std::vector<PeerObservation> observations;
   observations.reserve(sampled->visits.size());
   size_t retransmits = 0;
   size_t duplicates_dropped = 0;
+  size_t hedges = 0;
   net::AdversaryInjector* adversary = network_->adversary();
   net::HistoryRecorder* history = network_->history();
   const uint64_t dedup_round = history != nullptr ? history->NextRound() : 0;
@@ -305,7 +325,14 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
     bool delivered = false;
     for (size_t attempt = 0; attempt <= params_.reply_retransmits; ++attempt) {
       if (attempt > 0) {
+        if (!consume_retry()) break;
         ++retransmits;
+        // The retry leaves at its actual schedule time: the sink-side wait
+        // (fixed timer or jittered exponential backoff) lands in the ledger
+        // before the re-send is charged, so the latency a backoff plan
+        // reports is the latency the query actually spent waiting.
+        double wait = net::RetryBackoffMs(sp, attempt, rng);
+        if (wait > 0.0) network_->cost().RecordLatency(wait);
         // The sink's reply timer fires before it asks for the re-send.
         if (history != nullptr) {
           history->Record(net::HistoryEventKind::kTimeout,
@@ -316,13 +343,66 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
       }
       util::Status sent = network_->SendDirect(
           net::MessageType::kAggregateReply, visit.peer, sink);
+      if (sp.health_tracking) {
+        health_.Record(visit.peer,
+                       0.5 * network_->NominalHopLatencyMs() +
+                           network_->ExpectedPeerTailDelayMs(visit.peer),
+                       sent.ok());
+      }
       if (sent.ok()) {
         delivered = true;
         break;
       }
       if (!network_->IsAlive(visit.peer) || !network_->IsAlive(sink)) break;
     }
+    // Hedged duplicate toward predictably tardy peers: the sink's hedge
+    // timer (hedge_delay_factor x the nominal reply time) elapses before a
+    // straggler's reply can arrive, so it asks for one duplicate copy; the
+    // (peer, selection_seq) dedup absorbs double deliveries.
+    bool hedge_delivered = false;
+    if (sp.hedged_replies && network_->IsAlive(visit.peer) &&
+        network_->IsAlive(sink)) {
+      double hedge_due =
+          sp.hedge_delay_factor * network_->NominalHopLatencyMs();
+      if (network_->ExpectedPeerTailDelayMs(visit.peer) > hedge_due &&
+          consume_retry()) {
+        ++hedges;
+        hedge_delivered = network_
+                              ->SendDirect(net::MessageType::kAggregateReply,
+                                           visit.peer, sink)
+                              .ok();
+        // The hedge pair is recorded only when some copy survives: a pair
+        // where primary, retries and hedge were all lost in transit never
+        // resolves to an accepted observation, which is loss, not a
+        // dedup-accounting violation.
+        if (history != nullptr && (delivered || hedge_delivered)) {
+          history->Record(net::HistoryEventKind::kHedgeDue,
+                          net::MessageType::kAggregateReply, visit.peer, sink);
+          history->Record(net::HistoryEventKind::kHedge,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          1, tag);
+        }
+      }
+    }
     if (delivered) {
+      observations.push_back(obs);
+      if (history != nullptr) {
+        history->Record(net::HistoryEventKind::kDedupAccept,
+                        net::MessageType::kAggregateReply, visit.peer, sink, 1,
+                        tag);
+      }
+      if (hedge_delivered) {
+        ++duplicates_dropped;
+        if (history != nullptr) {
+          history->Record(net::HistoryEventKind::kDedupDrop,
+                          net::MessageType::kAggregateReply, visit.peer, sink,
+                          1, tag);
+        }
+      }
+    } else if (hedge_delivered) {
+      // The primary (and its retries) were lost but the hedged copy got
+      // through: it is the one accepted observation for this selection.
+      delivered = true;
       observations.push_back(obs);
       if (history != nullptr) {
         history->Record(net::HistoryEventKind::kDedupAccept,
@@ -384,6 +464,8 @@ TwoPhaseEngine::CollectObservations(const query::AggregateQuery& query,
     stats->reply_retransmits = retransmits;
     stats->walk_restarts = sampled->restarts;
     stats->duplicate_replies = duplicates_dropped;
+    stats->hedges = hedges;
+    stats->straggler_skips = sampled->straggler_skips;
   }
   return observations;
 }
@@ -402,11 +484,19 @@ std::vector<WeightedObservation> TwoPhaseEngine::ToWeighted(
 util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
     const query::AggregateQuery& query, graph::NodeId sink, util::Rng& rng) {
   net::CostSnapshot before = network_->cost_snapshot();
+  const net::StragglerPolicy& sp = params_.straggler;
+  if (sp.enabled()) {
+    health_.Configure(sp);
+    health_.Reset(network_->num_peers());
+  }
+  // Query-scoped retry/hedge budget, shared by both phases.
+  size_t retry_budget_left =
+      sp.retry_budget == 0 ? SIZE_MAX : sp.retry_budget;
 
   // ---- Phase I: sniff the network. ----
   CollectionStats phase1_stats;
   auto phase1 = CollectObservations(query, sink, params_.phase1_peers, rng,
-                                    &phase1_stats);
+                                    &phase1_stats, &retry_budget_left);
   if (!phase1.ok()) return phase1.status();
   if (phase1->size() < 2) {
     return util::Status::Unavailable(
@@ -444,8 +534,8 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
 
   // ---- Phase II: execute the plan. ----
   CollectionStats phase2_stats;
-  auto phase2 =
-      CollectObservations(query, sink, phase2_peers, rng, &phase2_stats);
+  auto phase2 = CollectObservations(query, sink, phase2_peers, rng,
+                                    &phase2_stats, &retry_budget_left);
   if (!phase2.ok()) return phase2.status();
 
   std::vector<PeerObservation> final_set;
@@ -494,6 +584,9 @@ util::Result<ApproximateAnswer> TwoPhaseEngine::ExecuteCentral(
       phase1_stats.walk_restarts + phase2_stats.walk_restarts;
   answer.duplicate_replies =
       phase1_stats.duplicate_replies + phase2_stats.duplicate_replies;
+  answer.hedges_sent = phase1_stats.hedges + phase2_stats.hedges;
+  answer.stragglers_skipped =
+      phase1_stats.straggler_skips + phase2_stats.straggler_skips;
   answer.degraded = answer.observations_lost > 0 || suspected > 0 ||
                     answer.trimmed_mass > 0.0;
   double inflation = 1.0;

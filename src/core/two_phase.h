@@ -18,6 +18,7 @@
 #include "core/cross_validation.h"
 #include "core/estimator.h"
 #include "core/robust_estimator.h"
+#include "net/health.h"
 #include "net/network.h"
 #include "query/local_executor.h"
 #include "query/query.h"
@@ -74,6 +75,17 @@ struct EngineParams {
   // Sink-side defenses against lying peers (robust_estimator.h). The
   // all-default policy keeps the original estimation path bit-identical.
   RobustnessPolicy robustness;
+  // --- Straggler resilience (net/health.h) --------------------------------
+  // Walk-Not-Wait stepping, hedged replies, retransmit backoff and the
+  // health circuit breaker. All-default = off: legacy behavior and RNG
+  // streams, bit for bit.
+  net::StragglerPolicy straggler;
+  // Deadline on the simulated event clock (async engine only; 0 = none).
+  // When it fires mid-query, the engine stops launching work and returns an
+  // anytime answer: the current estimate over whatever replies arrived by
+  // the deadline, quorum bypassed, CI widened through the PR 1
+  // degraded-answer path, `deadline_hit` set.
+  double deadline_ms = 0.0;
 };
 
 // Pluggable peer-side result cache enabling the hybrid pre-computation
@@ -132,6 +144,15 @@ struct ApproximateAnswer {
   double trimmed_mass = 0.0;
   // Duplicate (replayed) replies the sink discarded before the quorum count.
   size_t duplicate_replies = 0;
+
+  // --- Straggler report (StragglerPolicy / EngineParams.deadline_ms) ------
+  // True when the deadline fired before collection finished: the answer is
+  // the anytime estimate over the replies that beat the deadline.
+  bool deadline_hit = false;
+  // Hedged duplicate replies the sink requested from slow peers.
+  size_t hedges_sent = 0;
+  // Walk-Not-Wait forks plus breaker skips across both phases.
+  size_t stragglers_skipped = 0;
 
   std::string ToString() const;
 };
@@ -202,6 +223,12 @@ class TwoPhaseEngine {
     size_t walk_restarts = 0;
     // Replayed/duplicate replies the sink dropped (never quorum-counted).
     size_t duplicate_replies = 0;
+    // Hedged duplicates issued to predicted-slow peers.
+    size_t hedges = 0;
+    // Walk-Not-Wait forks + breaker skips during sampling.
+    size_t straggler_skips = 0;
+    // The collection was cut short by EngineParams.deadline_ms.
+    bool deadline_hit = false;
   };
 
   // Visits `count` peers via the engine's sampler and returns their shipped
@@ -214,9 +241,14 @@ class TwoPhaseEngine {
   // reported through `stats` instead of failing the call. Hard-fails only
   // when fewer than params().min_observation_quorum of the requested
   // observations arrive (or on non-retryable errors such as a dead sink).
+  // `retry_budget_left` (optional) is the query-scoped budget shared across
+  // phases: retries and hedges decrement it and stop when it hits 0. When
+  // null and params().straggler.retry_budget > 0, each collection gets its
+  // own budget.
   util::Result<std::vector<PeerObservation>> CollectObservations(
       const query::AggregateQuery& query, graph::NodeId sink, size_t count,
-      util::Rng& rng, CollectionStats* stats = nullptr);
+      util::Rng& rng, CollectionStats* stats = nullptr,
+      size_t* retry_budget_left = nullptr);
 
   // Hybrid extension hook; pass nullptr to disable. Not owned.
   void set_cache(LocalResultCache* cache) { cache_ = cache; }
@@ -241,6 +273,10 @@ class TwoPhaseEngine {
   net::SimulatedNetwork* network_;
   SystemCatalog catalog_;
   EngineParams params_;
+  // Reply-latency/failure scoreboard feeding the walk's circuit breaker.
+  // Declared before sampler_ so the default sampler's WalkParams can point
+  // at it. Reset per Execute() when the straggler policy is enabled.
+  net::PeerHealthBoard health_;
   std::unique_ptr<sampling::PeerSampler> sampler_;
   double total_weight_;
   LocalResultCache* cache_ = nullptr;

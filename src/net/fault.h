@@ -31,6 +31,21 @@ struct ScheduledCrash {
   graph::NodeId peer = graph::kInvalidNode;
 };
 
+// Heavy-tailed per-message latency regime: a straggler is a peer that is
+// alive and will answer — eventually. Distinct from loss (drops) and from
+// the memoryless spike model: the tail distributions below put real mass at
+// multi-second delays, which is what makes fixed timeouts into wall-clock
+// cliffs and hedging/Walk-Not-Wait worth their message overhead.
+enum class LatencyTail {
+  kNone = 0,
+  // Pareto(x_m = tail_scale_ms, shape = tail_alpha): extra delay
+  // tail_scale_ms * (u^{-1/alpha} - 1), so typical messages pay ~0 and the
+  // tail is polynomial (alpha <= 2 has infinite variance).
+  kPareto,
+  // Lognormal with median tail_scale_ms and log-space sigma tail_sigma.
+  kLognormal,
+};
+
 struct FaultPlan {
   // Per-message probability that the message vanishes in transit (the
   // sender learns nothing; retransmission is the caller's job).
@@ -48,11 +63,32 @@ struct FaultPlan {
   // Peers the injector never crashes (typically the query sink).
   std::vector<graph::NodeId> crash_immune;
 
+  // --- Straggler regime ----------------------------------------------------
+  // Per-message heavy-tailed extra latency, drawn fresh for every message
+  // whose responding endpoint is the peer in question (so a hedged duplicate
+  // gets an independent draw — min-of-two is how hedging wins).
+  LatencyTail tail = LatencyTail::kNone;
+  double tail_scale_ms = 10.0;
+  double tail_alpha = 1.1;   // Pareto shape (smaller = heavier).
+  double tail_sigma = 1.0;   // Lognormal log-space sigma.
+  // Slow coalition: a seed-deterministic fraction of peers that are alive
+  // but *consistently* tardy — every message they answer is scaled by
+  // slow_factor (plus a tail_scale_ms floor, so a coalition exists even
+  // with tail == kNone). crash_immune peers are never drafted.
+  double slow_fraction = 0.0;
+  double slow_factor = 20.0;
+
+  bool straggler_enabled() const {
+    return tail != LatencyTail::kNone ||
+           (slow_fraction > 0.0 && slow_factor > 0.0);
+  }
+
   // True when any fault can ever fire. A default-constructed plan injects
   // nothing and is treated as "no injector installed".
   bool enabled() const {
     return drop_probability > 0.0 || spike_probability > 0.0 ||
-           crash_probability > 0.0 || !scheduled_crashes.empty();
+           crash_probability > 0.0 || !scheduled_crashes.empty() ||
+           straggler_enabled();
   }
 };
 
@@ -96,7 +132,9 @@ struct FaultDecision {
 
 class FaultInjector {
  public:
-  FaultInjector(FaultPlan plan, uint64_t seed);
+  // `num_peers` bounds the slow-coalition draft; 0 (the default, kept for
+  // direct-construction tests) means no coalition regardless of the plan.
+  FaultInjector(FaultPlan plan, uint64_t seed, size_t num_peers = 0);
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -112,6 +150,24 @@ class FaultInjector {
   uint64_t dropped() const { return dropped_; }
   uint64_t crashes() const { return crashes_; }
   uint64_t spikes() const { return spikes_; }
+  uint64_t tail_messages() const { return tail_messages_; }
+  double tail_delay_ms() const { return tail_delay_ms_; }
+  size_t slow_peers() const { return slow_peers_; }
+
+  // True when `peer` was drafted into the slow coalition at construction.
+  bool IsSlow(graph::NodeId peer) const;
+
+  // One straggler-delay draw for a message answered by `responder`, from the
+  // *caller's* RNG — for engine-side transit modelling (Walk-Not-Wait) where
+  // the draw must live on the event-deterministic query stream, not the
+  // injector's transport stream. Consumes RNG only when plan().tail != kNone
+  // (the coalition scaling is deterministic), so legacy streams are
+  // untouched under legacy plans.
+  double DrawTailDelay(graph::NodeId responder, util::Rng& rng);
+
+  // Deterministic expectation of DrawTailDelay for `responder` — lets the
+  // synchronous engine rank predictably-tardy peers without spending draws.
+  double ExpectedTailDelayMs(graph::NodeId responder) const;
 
   // Every injected fault, in injection order.
   const std::vector<FaultEvent>& trace() const { return trace_; }
@@ -126,6 +182,10 @@ class FaultInjector {
   uint64_t dropped_ = 0;
   uint64_t crashes_ = 0;
   uint64_t spikes_ = 0;
+  uint64_t tail_messages_ = 0;
+  double tail_delay_ms_ = 0.0;
+  size_t slow_peers_ = 0;
+  std::vector<uint8_t> slow_;
   std::vector<FaultEvent> trace_;
 };
 

@@ -1,0 +1,125 @@
+// Per-peer health scoreboard and the straggler-resilience policy knobs.
+//
+// The scoreboard is an EWMA latency + failure-rate tracker fed by the
+// engines as replies resolve; a pure-function circuit breaker on top of it
+// lets neighbor selection route around peers that have proven themselves
+// tardy or flaky. Skipped peers stay *selectable* (a skip is a lazy
+// self-loop that preserves the walk's stationary distribution, and
+// selection-due hops are never breaker-skipped), so Horvitz-Thompson
+// weights stay unbiased — the board only steers which transit edges the
+// walk is willing to wait on.
+//
+// Everything here is flat arrays + scalars: EnsureCapacity() is called in
+// the engines' reserve-before-drain block, after which Record()/Tripped()
+// are allocation-free inside the event loop (the zero-allocation gate
+// covers them).
+#ifndef P2PAQP_NET_HEALTH_H_
+#define P2PAQP_NET_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace p2paqp::net {
+
+// All straggler-resilience knobs in one struct so EngineParams carries a
+// single field. Default-constructed = everything off: engines behave (and
+// draw RNG) exactly as before this subsystem existed.
+struct StragglerPolicy {
+  // --- Walk-Not-Wait ------------------------------------------------------
+  // A walker whose next hop would take longer than the adaptive budget
+  // (hop_budget_factor x observed hop EWMA) gives up on the transit after
+  // the budget elapses instead of blocking. A fork is a lazy self-loop
+  // (stationary-distribution preserving), and the tardy peer is still
+  // selected in absentia on selection-due hops.
+  bool walk_not_wait = false;
+  double hop_budget_factor = 4.0;
+  // Budget floor so a lucky streak of fast hops cannot shrink the budget
+  // into hair-trigger territory (ms; 0 = derive from the nominal hop).
+  double hop_budget_floor_ms = 0.0;
+
+  // --- Hedged replies -----------------------------------------------------
+  // When a primary reply's modelled delay exceeds hedge_delay_factor x the
+  // reply-latency EWMA (the adaptive "slowest decile" cut), the sink sends
+  // one hedged duplicate; (peer, selection_seq) dedup absorbs double
+  // deliveries.
+  bool hedged_replies = false;
+  double hedge_delay_factor = 3.0;
+
+  // --- Retransmit backoff -------------------------------------------------
+  // Fixed sink-side wait charged to the ledger per retry (0 keeps the PR 1
+  // behavior of charging nothing), or exponential backoff from
+  // backoff_base_ms with deterministic seed-derived +/-jitter.
+  double retransmit_timeout_ms = 0.0;
+  bool exponential_backoff = false;
+  double backoff_base_ms = 120.0;
+  double backoff_jitter = 0.25;
+  // Per-query cap on retries + hedges combined (0 = unlimited).
+  size_t retry_budget = 0;
+
+  // --- Health scoreboard / circuit breaker --------------------------------
+  bool health_tracking = false;
+  double ewma_alpha = 0.2;
+  // Breaker trips when a peer has at least breaker_min_samples observations
+  // and either its failure EWMA crosses the threshold or its latency EWMA
+  // exceeds breaker_latency_factor x the global latency EWMA.
+  double breaker_failure_threshold = 0.6;
+  double breaker_latency_factor = 8.0;
+  size_t breaker_min_samples = 4;
+
+  bool enabled() const {
+    return walk_not_wait || hedged_replies || exponential_backoff ||
+           retransmit_timeout_ms > 0.0 || health_tracking || retry_budget > 0;
+  }
+};
+
+// Sink-side wait before retry `attempt` (1-based) under `policy`: the fixed
+// timer, or exponential backoff with jitter drawn from `rng`. Consumes RNG
+// only when exponential backoff with jitter is on, so legacy query streams
+// replay bit-identically under legacy policies.
+double RetryBackoffMs(const StragglerPolicy& policy, size_t attempt,
+                      util::Rng& rng);
+
+// EWMA latency + failure scoreboard over the peers a query has touched.
+class PeerHealthBoard {
+ public:
+  void Configure(const StragglerPolicy& policy) { policy_ = policy; }
+
+  // Grows the flat per-peer arrays (allocation happens HERE, outside the
+  // drain) and clears all statistics.
+  void Reset(size_t num_peers);
+
+  // Folds one resolved reply/hop into the peer's EWMAs. Failures update the
+  // failure rate only (there is no meaningful latency for a lost message).
+  void Record(graph::NodeId peer, double latency_ms, bool ok);
+
+  double LatencyEwma(graph::NodeId peer) const { return latency_[peer]; }
+  double FailureEwma(graph::NodeId peer) const { return failure_[peer]; }
+  uint32_t Samples(graph::NodeId peer) const { return samples_[peer]; }
+  double GlobalLatencyEwma() const { return global_latency_; }
+
+  // Circuit breaker: pure function of the recorded statistics.
+  bool Tripped(graph::NodeId peer) const;
+
+  // Number of touched peers currently past the breaker (telemetry; O(touched)).
+  size_t TrippedCount() const;
+  size_t TouchedPeers() const { return touched_.size(); }
+
+  bool empty() const { return latency_.empty(); }
+
+ private:
+  StragglerPolicy policy_;
+  std::vector<float> latency_;
+  std::vector<float> failure_;
+  std::vector<uint32_t> samples_;
+  std::vector<graph::NodeId> touched_;
+  double global_latency_ = 0.0;
+  uint64_t global_samples_ = 0;
+};
+
+}  // namespace p2paqp::net
+
+#endif  // P2PAQP_NET_HEALTH_H_

@@ -28,6 +28,12 @@ const char* HistoryEventKindToString(HistoryEventKind kind) {
       return "dedup_accept";
     case HistoryEventKind::kDedupDrop:
       return "dedup_drop";
+    case HistoryEventKind::kHedgeDue:
+      return "hedge_due";
+    case HistoryEventKind::kHedge:
+      return "hedge";
+    case HistoryEventKind::kStragglerSkip:
+      return "straggler_skip";
   }
   return "unknown";
 }

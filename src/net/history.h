@@ -33,9 +33,17 @@ enum class HistoryEventKind : uint8_t {
   kRetransmit,   // A reply re-attempt after a timeout.
   kPeerDown,     // Peer departed (churn or crash).
   kPeerUp,       // Peer (re)joined.
-  kExpire,       // A TTL lapsed (sample-frame epoch expiry).
+  kExpire,       // A TTL lapsed (frame epoch expiry, or a reply discarded
+                 // at the query deadline — then typed kAggregateReply with
+                 // its dedup tag).
   kDedupAccept,  // The sink counted a reply tag for the first time.
   kDedupDrop,    // The sink saw an already-counted tag and discarded it.
+  // Straggler resilience (appended after the PR 6 kinds so existing digests
+  // over kind values are untouched).
+  kHedgeDue,        // The sink's hedge timer for a pending reply elapsed.
+  kHedge,           // A hedged duplicate was issued (tag = the reply's dedup
+                    // tag; must follow a matching kHedgeDue on the flow).
+  kStragglerSkip,   // A walker forked past a tardy/tripped neighbor.
 };
 
 const char* HistoryEventKindToString(HistoryEventKind kind);

@@ -77,7 +77,8 @@ SimulatedNetwork SimulatedNetwork::Clone(uint64_t seed) const {
   SimulatedNetwork copy(graph_, peers_, params_, util::Rng(seed));
   copy.num_alive_ = num_alive_;
   if (fault_.has_value()) {
-    copy.fault_.emplace(fault_->plan(), util::MixSeed(seed ^ 0xFA177ULL));
+    copy.fault_.emplace(fault_->plan(), util::MixSeed(seed ^ 0xFA177ULL),
+                        peers_.size());
   }
   if (adversary_.has_value()) {
     copy.adversary_.emplace(adversary_->plan(),
@@ -158,7 +159,7 @@ void SimulatedNetwork::InstallFaultPlan(const FaultPlan& plan, uint64_t seed) {
     fault_.reset();
     return;
   }
-  fault_.emplace(plan, seed);
+  fault_.emplace(plan, seed, peers_.size());
 }
 
 void SimulatedNetwork::InstallAdversaryPlan(const AdversaryPlan& plan,

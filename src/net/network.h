@@ -169,6 +169,21 @@ class SimulatedNetwork {
   // One overlay-hop latency draw (base + jitter). Stateful: advances the
   // network's RNG.
   double DrawHopLatency() { return SampleHopLatency(); }
+  // Mean per-hop latency under the configured model (base + jitter mean):
+  // the yardstick for adaptive straggler budgets.
+  double NominalHopLatencyMs() const {
+    return params_.hop_latency_ms + params_.hop_latency_jitter_ms;
+  }
+  // One straggler-tail draw for a message answered by `responder`, from the
+  // caller's RNG (see FaultInjector::DrawTailDelay). 0 and no RNG consumed
+  // when no injector or no tail regime is installed.
+  double DrawPeerTailDelay(graph::NodeId responder, util::Rng& rng) {
+    return fault_.has_value() ? fault_->DrawTailDelay(responder, rng) : 0.0;
+  }
+  // Deterministic expectation of the above — prediction without draws.
+  double ExpectedPeerTailDelayMs(graph::NodeId responder) const {
+    return fault_.has_value() ? fault_->ExpectedTailDelayMs(responder) : 0.0;
+  }
   // Deterministic local-scan latency for `tuples` rows at `peer` (CPU-speed
   // scaled), matching what RecordLocalExecution charges.
   double LocalScanLatency(graph::NodeId peer, uint64_t tuples) const;

@@ -67,7 +67,8 @@ double RandomWalk::StationaryWeight(graph::NodeId node) const {
 }
 
 util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
-                                             util::Rng& rng) {
+                                             util::Rng& rng, bool allow_skip,
+                                             bool* skipped) {
   if (params_.variant == WalkVariant::kLazy && rng.Bernoulli(0.5)) {
     return current;  // Lazy self-loop: no traffic.
   }
@@ -82,7 +83,39 @@ util::Result<graph::NodeId> RandomWalk::Step(graph::NodeId current,
   if (neighbors.empty()) {
     return util::Status::Unavailable("walker stranded: no live neighbors");
   }
-  graph::NodeId next = neighbors[rng.UniformIndex(neighbors.size())];
+  size_t choice = rng.UniformIndex(neighbors.size());
+  graph::NodeId next = neighbors[choice];
+  if (allow_skip && params_.straggler != nullptr &&
+      params_.variant == WalkVariant::kSimple && neighbors.size() > 1) {
+    const net::StragglerPolicy& sp = *params_.straggler;
+    const bool tripped = sp.health_tracking && params_.health != nullptr &&
+                         params_.health->Tripped(next);
+    double wait_ms = 0.0;
+    bool tardy = false;
+    if (!tripped && sp.walk_not_wait) {
+      double budget = sp.hop_budget_factor * network_->NominalHopLatencyMs();
+      if (budget < sp.hop_budget_floor_ms) budget = sp.hop_budget_floor_ms;
+      if (network_->DrawPeerTailDelay(next, rng) > budget) {
+        // The holder only learns this transit is tardy by waiting the
+        // budget out; breaker skips (known-bad peers) pay nothing.
+        tardy = true;
+        wait_ms = budget;
+      }
+    }
+    if (tripped || tardy) {
+      if (wait_ms > 0.0) network_->cost().RecordLatency(wait_ms);
+      if (net::HistoryRecorder* history = network_->history()) {
+        history->Record(net::HistoryEventKind::kStragglerSkip,
+                        net::MessageType::kWalker, current, next);
+      }
+      if (skipped != nullptr) *skipped = true;
+      // Fork past the straggler as a lazy self-loop: the holder keeps the
+      // token and redraws on its next step. Self-loops preserve detailed
+      // balance for the degree-stationary distribution, so forking never
+      // conditions the trajectory on having avoided slow peers.
+      return current;
+    }
+  }
   if (params_.variant == WalkVariant::kMetropolisHastings) {
     // Accept with min(1, deg(u)/deg(v)); rejection = stay (no traffic).
     double du = network_->AliveDegree(current);
@@ -125,7 +158,12 @@ util::Result<WalkOutcome> RandomWalk::CollectResilient(graph::NodeId sink,
       truncate(util::Status::OutOfRange("walk exceeded hop budget"));
       break;
     }
-    auto next = Step(current, rng);
+    // Selection-due hops never fork: a tardy peer's probability of being
+    // *selected* must stay exactly proportional to its degree.
+    const bool selection_due =
+        warm && since_selection + 1 >= params_.jump;
+    bool skipped = false;
+    auto next = Step(current, rng, /*allow_skip=*/!selection_due, &skipped);
     if (!next.ok()) {
       if (!network_->IsAlive(sink)) {
         truncate(util::Status::Unavailable("sink departed mid-walk"));
@@ -161,6 +199,12 @@ util::Result<WalkOutcome> RandomWalk::CollectResilient(graph::NodeId sink,
     }
     current = next.value();
     ++outcome.stats.hops;
+    if (skipped) {
+      // Fork past a straggler: a lazy self-loop, so no counter resets — the
+      // chain stays stationary-distributed (see Step).
+      ++outcome.stats.straggler_skips;
+      continue;
+    }
     if (!warm) {
       if (--burn_left == 0) warm = true;
       continue;

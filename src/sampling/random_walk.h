@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/health.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -50,6 +51,18 @@ struct WalkParams {
   // that many query bodies behind a single shared header. 1 = the paper's
   // per-query walker, bit-identical to the pre-batching transport.
   uint32_t batch = 1;
+  // Straggler-resilience wiring (non-owning; both may be null = off; active
+  // for the kSimple variant only). With walk_not_wait, a non-selection-due
+  // hop whose chosen neighbor draws a tardy transit (tail delay above the
+  // hop budget) is abandoned after waiting out the budget; with
+  // health_tracking, hops toward breaker-tripped peers are abandoned
+  // immediately. A fork is a *lazy self-loop* — the holder keeps the token
+  // and redraws next step — which preserves detailed balance for the
+  // degree-stationary distribution, and selection-due hops never fork (the
+  // tardy peer stays exactly as selectable as its degree says), so
+  // Horvitz-Thompson weights stay unbiased.
+  const net::StragglerPolicy* straggler = nullptr;
+  net::PeerHealthBoard* health = nullptr;
 };
 
 // Overflow-safe automatic hop budget: ~100x the nominal walk length, doubled
@@ -75,6 +88,8 @@ struct WalkStats {
   size_t hops = 0;
   // Times the sink re-issued a lost walker token.
   size_t restarts = 0;
+  // Walk-Not-Wait forks and breaker skips (each a lazy self-loop hop).
+  size_t straggler_skips = 0;
 };
 
 // Result of a fault-tolerant collection: possibly fewer selections than
@@ -123,8 +138,11 @@ class RandomWalk {
 
  private:
   // One walker transition from `current`; returns the next peer (may equal
-  // `current` for lazy/rejected steps). Charges message costs for real hops.
-  util::Result<graph::NodeId> Step(graph::NodeId current, util::Rng& rng);
+  // `current` for lazy/rejected/forked steps). Charges message costs for
+  // real hops. When `allow_skip`, a tardy/tripped choice is abandoned as a
+  // lazy self-loop (`*skipped` set; no traffic, counters stay put).
+  util::Result<graph::NodeId> Step(graph::NodeId current, util::Rng& rng,
+                                   bool allow_skip, bool* skipped);
 
   net::SimulatedNetwork* network_;
   WalkParams params_;

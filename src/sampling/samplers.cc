@@ -14,6 +14,7 @@ util::Result<SampleOutcome> FromWalkOutcome(
   SampleOutcome out;
   out.visits = std::move(outcome->visits);
   out.restarts = outcome->stats.restarts;
+  out.straggler_skips = outcome->stats.straggler_skips;
   out.truncated = outcome->truncated;
   out.truncation = outcome->truncation;
   return out;
@@ -148,6 +149,7 @@ util::Result<SampleOutcome> ParallelWalkSampler::SamplePeersResilient(
     out.visits.insert(out.visits.end(), part->visits.begin(),
                       part->visits.end());
     out.restarts += part->stats.restarts;
+    out.straggler_skips += part->stats.straggler_skips;
     if (part->truncated) {
       // Keep whatever the other walkers gather; report the first cause.
       if (!out.truncated) out.truncation = part->truncation;

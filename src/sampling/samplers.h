@@ -21,6 +21,8 @@ namespace p2paqp::sampling {
 struct SampleOutcome {
   std::vector<PeerVisit> visits;
   size_t restarts = 0;
+  // Walk-Not-Wait forks / breaker skips the walk performed (see WalkParams).
+  size_t straggler_skips = 0;
   bool truncated = false;
   util::Status truncation;
 };

@@ -69,6 +69,23 @@ ChaosPlan GenerateChaosPlan(uint64_t seed) {
       plan.behavior_mask |= 1u << rng.UniformInt(0, kNumBehaviors - 1);
     }
   }
+  // Straggler regimes, appended after all legacy draws so existing seeds
+  // keep their legacy prefix (only the new suffix of the stream changes
+  // which plans they denote).
+  if (rng.Bernoulli(0.25)) {
+    plan.tail_kind = static_cast<uint32_t>(rng.UniformInt(1, 2));
+    plan.tail_scale_ms = static_cast<uint32_t>(rng.UniformInt(5, 40));
+    if (rng.Bernoulli(0.50)) {
+      plan.slow_pm = static_cast<uint32_t>(rng.UniformInt(20, 150));
+      plan.slow_factor = static_cast<uint32_t>(rng.UniformInt(5, 25));
+    }
+    plan.wnw = rng.Bernoulli(0.5);
+    plan.hedge = rng.Bernoulli(0.5);
+    plan.backoff = rng.Bernoulli(0.5);
+    if (plan.engine == ChaosEngineKind::kAsync && rng.Bernoulli(0.35)) {
+      plan.deadline_ms = static_cast<uint32_t>(rng.UniformInt(200, 3000));
+    }
+  }
   return plan;
 }
 
@@ -84,6 +101,12 @@ size_t PlanComplexity(const ChaosPlan& plan) {
       if (plan.behavior_mask & (1u << bit)) ++complexity;
     }
   }
+  if (plan.tail_kind != 0) ++complexity;
+  if (plan.slow_pm > 0) ++complexity;
+  if (plan.wnw) ++complexity;
+  if (plan.hedge) ++complexity;
+  if (plan.backoff) ++complexity;
+  if (plan.deadline_ms > 0) ++complexity;
   complexity += plan.num_queries - 1;
   complexity += plan.num_batches - 1;
   return complexity;
@@ -114,6 +137,15 @@ std::string SerializeChaosPlan(const ChaosPlan& plan) {
   out << " leave=" << plan.churn_leave_pm << " rejoin=" << plan.churn_rejoin_pm
       << " steps=" << plan.churn_steps << " adv=" << plan.adversary_pm
       << " behaviors=" << plan.behavior_mask;
+  // Straggler block is emitted only when some field is active, so legacy
+  // corpus lines (and their digests) round-trip byte for byte.
+  if (plan.straggler_enabled() || plan.straggler_policy_enabled()) {
+    out << " tail=" << plan.tail_kind << " tscale=" << plan.tail_scale_ms
+        << " slow=" << plan.slow_pm << " slowx=" << plan.slow_factor
+        << " wnw=" << (plan.wnw ? 1 : 0) << " hedge=" << (plan.hedge ? 1 : 0)
+        << " backoff=" << (plan.backoff ? 1 : 0)
+        << " dl=" << plan.deadline_ms;
+  }
   return out.str();
 }
 
@@ -232,6 +264,26 @@ util::Result<ChaosPlan> ParseChaosPlan(const std::string& line) {
           } else {
             plan.behavior_mask = u;
           }
+        } else if (key == "tail") {
+          if (u > 2) {
+            status = util::Status::InvalidArgument("bad tail kind");
+          } else {
+            plan.tail_kind = u;
+          }
+        } else if (key == "tscale") {
+          plan.tail_scale_ms = u;
+        } else if (key == "slow") {
+          plan.slow_pm = u;
+        } else if (key == "slowx") {
+          plan.slow_factor = u;
+        } else if (key == "wnw") {
+          plan.wnw = u != 0;
+        } else if (key == "hedge") {
+          plan.hedge = u != 0;
+        } else if (key == "backoff") {
+          plan.backoff = u != 0;
+        } else if (key == "dl") {
+          plan.deadline_ms = u;
         } else {
           status = util::Status::InvalidArgument("unknown key '" + key + "'");
         }

@@ -68,9 +68,23 @@ struct ChaosPlan {
   uint32_t adversary_pm = 0;   // Coalition fraction, per-mille.
   uint32_t behavior_mask = 0;  // Bit i = net::AdversaryBehavior(i) active.
 
+  // --- Stragglers (heavy-tailed latency + resilience policy) ---------------
+  uint32_t tail_kind = 0;      // 0=none, 1=Pareto, 2=lognormal.
+  uint32_t tail_scale_ms = 0;  // Tail scale (Pareto x_m / lognormal scale).
+  uint32_t slow_pm = 0;        // Slow-coalition fraction, per-mille.
+  uint32_t slow_factor = 0;    // Coalition tardiness multiplier (0 = default).
+  bool wnw = false;            // Walk-Not-Wait forking (+ health breaker).
+  bool hedge = false;          // Hedged duplicate replies.
+  bool backoff = false;        // Exponential backoff + jitter on retries.
+  uint32_t deadline_ms = 0;    // Anytime-answer deadline (async engine only).
+
+  bool straggler_enabled() const { return tail_kind != 0 || slow_pm > 0; }
+  bool straggler_policy_enabled() const {
+    return wnw || hedge || backoff || deadline_ms > 0;
+  }
   bool faults_enabled() const {
     return drop_pm > 0 || spike_pm > 0 || crash_pm > 0 ||
-           !scheduled_crashes.empty();
+           !scheduled_crashes.empty() || straggler_enabled();
   }
   bool churn_enabled() const {
     return churn_steps > 0 && (churn_leave_pm > 0 || churn_rejoin_pm > 0);

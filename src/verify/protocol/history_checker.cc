@@ -27,6 +27,13 @@ std::vector<std::string> CheckHistory(
   std::set<graph::NodeId> down;
   // Pending (fired but unconsumed) timeouts per directed flow.
   std::map<std::pair<graph::NodeId, graph::NodeId>, uint64_t> pending_timeouts;
+  // Pending (elapsed but unconsumed) hedge delays per directed flow, plus
+  // the tags whose selection was hedged and the tags discarded at a query
+  // deadline — a hedged pair must resolve to exactly one accepted
+  // observation unless the deadline threw both copies away.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, uint64_t> pending_hedges;
+  std::set<uint64_t> hedged_tags;
+  std::set<uint64_t> expired_tags;
   std::set<uint64_t> accepted_tags;
   // Peers that have ever been down, and whether a walker token has been
   // delivered to them since their latest down transition.
@@ -105,6 +112,32 @@ std::vector<std::string> CheckHistory(
         down.erase(e.from);
         break;
       case net::HistoryEventKind::kExpire:
+        // An aggregate reply expired at the query deadline: its tag is
+        // resolved without an accept (both copies of a hedged pair may end
+        // here when the deadline beats them).
+        if (e.type == net::MessageType::kAggregateReply && e.tag != 0) {
+          expired_tags.insert(e.tag);
+        }
+        break;
+      case net::HistoryEventKind::kHedgeDue:
+        ++pending_hedges[{e.from, e.to}];
+        break;
+      case net::HistoryEventKind::kHedge: {
+        auto it = pending_hedges.find({e.from, e.to});
+        if (it == pending_hedges.end() || it->second == 0) {
+          Report(&violations, e,
+                 "hedged duplicate sent before its hedge delay elapsed");
+        } else {
+          --it->second;
+        }
+        if (e.tag != 0 && !hedged_tags.insert(e.tag).second) {
+          Report(&violations, e, "selection hedged more than once");
+        }
+        break;
+      }
+      case net::HistoryEventKind::kStragglerSkip:
+        // Informational: a Walk-Not-Wait fork is not a send and needs no
+        // outcome; conservation is untouched.
         break;
       case net::HistoryEventKind::kDedupAccept:
         if (e.tag != 0 && !accepted_tags.insert(e.tag).second) {
@@ -123,6 +156,14 @@ std::vector<std::string> CheckHistory(
     violations.push_back("history conservation broken: " +
                          std::to_string(sends) + " sends vs " +
                          std::to_string(outcomes) + " outcomes");
+  }
+  for (uint64_t tag : hedged_tags) {
+    if (violations.size() >= kMaxViolations) break;
+    if (!accepted_tags.count(tag) && !expired_tags.count(tag)) {
+      violations.push_back(
+          "hedged selection resolved to no accepted observation: tag=" +
+          std::to_string(tag));
+    }
   }
   return violations;
 }

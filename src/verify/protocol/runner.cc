@@ -58,6 +58,11 @@ net::FaultPlan BuildFaultPlan(const ChaosPlan& plan) {
     fp.scheduled_crashes.push_back(net::ScheduledCrash{at, id});
   }
   fp.crash_immune = {kSink};
+  if (plan.tail_kind == 1) fp.tail = net::LatencyTail::kPareto;
+  if (plan.tail_kind == 2) fp.tail = net::LatencyTail::kLognormal;
+  if (plan.tail_scale_ms > 0) fp.tail_scale_ms = plan.tail_scale_ms;
+  fp.slow_fraction = plan.slow_pm / 1000.0;
+  if (plan.slow_factor > 0) fp.slow_factor = plan.slow_factor;
   return fp;
 }
 
@@ -255,6 +260,11 @@ ChaosRunReport RunChaosPlan(const ChaosPlan& plan) {
   engine.cv_repeats = 6;
   engine.reply_retransmits = plan.retransmits;
   engine.min_observation_quorum = plan.quorum_pct / 100.0;
+  engine.straggler.walk_not_wait = plan.wnw;
+  engine.straggler.health_tracking = plan.wnw;  // Breaker rides with WNW.
+  engine.straggler.hedged_replies = plan.hedge;
+  engine.straggler.exponential_backoff = plan.backoff;
+  engine.deadline_ms = plan.deadline_ms;  // Async engine only; others ignore.
 
   sampling::WalkParams walk;
   walk.jump = 4;

@@ -69,6 +69,35 @@ std::vector<Mutation> BuildMutations(const ChaosPlan& current) {
     p->adversary_pm = 0;  // Coalition with no behavior left: delete it.
     return true;
   });
+  mutations.push_back([](ChaosPlan* p) {
+    if (p->tail_kind == 0 && p->tail_scale_ms == 0) return false;
+    p->tail_kind = 0;
+    p->tail_scale_ms = 0;
+    return true;
+  });
+  mutations.push_back([](ChaosPlan* p) {
+    if (p->slow_pm == 0 && p->slow_factor == 0) return false;
+    p->slow_pm = 0;
+    p->slow_factor = 0;
+    return true;
+  });
+  mutations.push_back([](ChaosPlan* p) {
+    bool changed = p->wnw;
+    p->wnw = false;
+    return changed;
+  });
+  mutations.push_back([](ChaosPlan* p) {
+    bool changed = p->hedge;
+    p->hedge = false;
+    return changed;
+  });
+  mutations.push_back([](ChaosPlan* p) {
+    bool changed = p->backoff;
+    p->backoff = false;
+    return changed;
+  });
+  mutations.push_back(
+      [](ChaosPlan* p) { return ShrinkU32(&p->deadline_ms, 0); });
 
   // Rate halving (when outright removal did not preserve the failure).
   mutations.push_back([](ChaosPlan* p) { return HalveU32Toward(&p->drop_pm, 0); });

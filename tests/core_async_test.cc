@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault.h"
 #include "test_common.h"
 #include "util/statistics.h"
 
@@ -205,6 +206,105 @@ TEST_F(AsyncSessionTest, FailsBelowDefaultQuorumUnderHeavyLoss) {
   auto report = session.Execute(CountQuery(), 0, rng);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(AsyncSessionTest, DeadlineExactlyAtMakespanChangesNothing) {
+  // Probe on a twin network: the transport's latency stream is stateful, so
+  // the deadline run needs a fresh-but-identical world to replay against.
+  core::AsyncParams params = MakeParams(4);
+  TestNetwork twin = MakeTestNetwork(TestNetworkParams{});
+  core::AsyncQuerySession probe(&twin.network, twin.catalog, params);
+  util::Rng rng_a(21);
+  auto baseline = probe.Execute(CountQuery(), 0, rng_a);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // A reply arriving exactly at the deadline is still taken, so a deadline
+  // equal to the free-running makespan curtails nothing: same estimate, no
+  // anytime degradation, bit-identical clock.
+  params.engine.deadline_ms = baseline->makespan_ms;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng_b(21);
+  auto report = session.Execute(CountQuery(), 0, rng_b);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->answer.deadline_hit);
+  EXPECT_FALSE(report->answer.degraded);
+  EXPECT_EQ(report->answer.estimate, baseline->answer.estimate);
+  EXPECT_EQ(report->makespan_ms, baseline->makespan_ms);
+  EXPECT_EQ(report->events, baseline->events);
+}
+
+TEST_F(AsyncSessionTest, TightDeadlineProducesAnytimeAnswer) {
+  core::AsyncParams params = MakeParams(4);
+  TestNetwork twin = MakeTestNetwork(TestNetworkParams{});
+  core::AsyncQuerySession probe(&twin.network, twin.catalog, params);
+  util::Rng rng_a(22);
+  auto full = probe.Execute(CountQuery(), 0, rng_a);
+  ASSERT_TRUE(full.ok());
+
+  // A third of the free-running makespan: collection cannot finish, so the
+  // session must answer *at* the deadline from whatever arrived, widening
+  // the CI instead of failing the quorum.
+  params.engine.deadline_ms = full->makespan_ms / 3.0;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng_b(22);
+  auto report = session.Execute(CountQuery(), 0, rng_b);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->answer.deadline_hit);
+  EXPECT_TRUE(report->answer.degraded);
+  EXPECT_GT(report->answer.observations_lost, 0u);
+  EXPECT_GT(report->answer.achieved_error, 0.0);
+  EXPECT_DOUBLE_EQ(report->makespan_ms, params.engine.deadline_ms);
+  EXPECT_DOUBLE_EQ(report->answer.cost.latency_ms, report->makespan_ms);
+}
+
+TEST_F(AsyncSessionTest, DeadlineBeforeFirstReplyAnswersWithNothing) {
+  // 1ms is shorter than a single hop: the deadline fires before burn-in
+  // completes, no observation ever reaches the sink, and the contract is a
+  // maximally degraded anytime answer — never an error.
+  core::AsyncParams params = MakeParams(4);
+  params.engine.deadline_ms = 1.0;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng(23);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->answer.deadline_hit);
+  EXPECT_TRUE(report->answer.degraded);
+  EXPECT_EQ(report->answer.estimate, 0.0);
+  // Everything phase I requested counts as lost; phase II never launches.
+  EXPECT_EQ(report->answer.observations_lost, params.engine.phase1_peers);
+  EXPECT_EQ(report->answer.phase2_peers, 0u);
+  EXPECT_DOUBLE_EQ(report->answer.achieved_error, 1.0);
+  EXPECT_DOUBLE_EQ(report->makespan_ms, 1.0);
+}
+
+TEST_F(AsyncSessionTest, StragglerPolicyKeepsClockAndArenaHonest) {
+  net::FaultPlan plan;
+  plan.tail = net::LatencyTail::kPareto;
+  plan.tail_scale_ms = 10.0;
+  plan.tail_alpha = 1.1;
+  plan.slow_fraction = 0.1;
+  plan.slow_factor = 20.0;
+  plan.crash_immune = {0};
+  tn_->network.InstallFaultPlan(plan, 77);
+  core::AsyncParams params = MakeParams(4);
+  params.engine.straggler.walk_not_wait = true;
+  params.engine.straggler.health_tracking = true;
+  params.engine.straggler.hedged_replies = true;
+  params.engine.straggler.exponential_backoff = true;
+  core::AsyncQuerySession session(&tn_->network, tn_->catalog, params);
+  util::Rng rng(24);
+  auto report = session.Execute(CountQuery(), 0, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The resilience layer actually engaged under this tail regime...
+  EXPECT_GT(report->answer.hedges_sent + report->answer.stragglers_skipped,
+            0u);
+  // ...and a hedge's losing copy drains after the answer is ready: it
+  // balances the reply arena without ever inflating the measured makespan.
+  EXPECT_DOUBLE_EQ(report->answer.cost.latency_ms, report->makespan_ms);
+  const net::ArenaStats& arena = session.reply_arena_stats();
+  EXPECT_GT(arena.acquired, 0u);
+  EXPECT_EQ(arena.live, 0u);
+  EXPECT_EQ(arena.acquired, arena.released);
 }
 
 TEST_F(AsyncSessionTest, SumQueriesWork) {

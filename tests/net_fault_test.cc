@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/async_engine.h"
 #include "graph/builder.h"
 #include "net/churn.h"
@@ -241,6 +245,149 @@ TEST(FaultInjectorTest, AllZeroPlanIsBitIdentical) {
   EXPECT_EQ(a.walker_hops, b.walker_hops);
   EXPECT_EQ(a.bytes_shipped, b.bytes_shipped);
   EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+}
+
+// Straggler regime: heavy-tailed latency + the slow coalition. A straggler
+// is alive and answers eventually — the plan models it as extra delay, not
+// loss, and every piece of it is a pure function of (plan, seed, num_peers).
+
+TEST(StragglerPlanTest, TailOrCoalitionEnablesPlan) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.straggler_enabled());
+  // The scale/alpha defaults alone fire nothing.
+  plan.tail_scale_ms = 500.0;
+  EXPECT_FALSE(plan.enabled());
+  plan.tail = LatencyTail::kPareto;
+  EXPECT_TRUE(plan.straggler_enabled());
+  EXPECT_TRUE(plan.enabled());
+
+  FaultPlan coalition;
+  coalition.slow_fraction = 0.1;
+  EXPECT_TRUE(coalition.straggler_enabled());
+  coalition.slow_factor = 0.0;  // A factor of 0 is a no-op coalition.
+  EXPECT_FALSE(coalition.straggler_enabled());
+}
+
+TEST(StragglerTest, ParetoDrawsMatchClosedFormMean) {
+  FaultPlan plan;
+  plan.tail = LatencyTail::kPareto;
+  plan.tail_scale_ms = 50.0;
+  plan.tail_alpha = 3.0;  // Finite variance, so the sample mean converges.
+  FaultInjector injector(plan, 21, /*num_peers=*/16);
+  util::Rng rng(22);
+  const size_t kDraws = 20000;
+  double sum = 0.0;
+  double min_draw = 1e18;
+  for (size_t i = 0; i < kDraws; ++i) {
+    double d = injector.DrawTailDelay(3, rng);
+    ASSERT_GE(d, 0.0);
+    sum += d;
+    min_draw = std::min(min_draw, d);
+  }
+  // The shifted Pareto's floor is 0 (typical messages pay nothing) and
+  // E[extra] = scale / (alpha - 1) = 25ms.
+  EXPECT_LT(min_draw, 1.0);
+  EXPECT_NEAR(sum / kDraws, 25.0, 2.0);
+  EXPECT_DOUBLE_EQ(injector.ExpectedTailDelayMs(3), 25.0);
+}
+
+TEST(StragglerTest, LognormalDrawsMatchMedian) {
+  FaultPlan plan;
+  plan.tail = LatencyTail::kLognormal;
+  plan.tail_scale_ms = 40.0;  // The lognormal's median by construction.
+  plan.tail_sigma = 1.0;
+  FaultInjector injector(plan, 31, /*num_peers=*/16);
+  util::Rng rng(32);
+  std::vector<double> draws(20001);
+  for (double& d : draws) {
+    d = injector.DrawTailDelay(5, rng);
+    ASSERT_GT(d, 0.0);
+  }
+  std::nth_element(draws.begin(), draws.begin() + draws.size() / 2,
+                   draws.end());
+  EXPECT_NEAR(draws[draws.size() / 2], 40.0, 4.0);
+  EXPECT_DOUBLE_EQ(injector.ExpectedTailDelayMs(5),
+                   40.0 * std::exp(0.5));  // scale * e^{sigma^2/2}.
+}
+
+TEST(StragglerTest, CoalitionDraftIsSeedDeterministicAndImmuneAware) {
+  FaultPlan plan;
+  plan.slow_fraction = 0.25;
+  plan.crash_immune = {0, 1};
+  FaultInjector a(plan, 99, /*num_peers=*/400);
+  FaultInjector b(plan, 99, /*num_peers=*/400);
+  FaultInjector other_seed(plan, 100, /*num_peers=*/400);
+  EXPECT_EQ(a.slow_peers(), b.slow_peers());
+  size_t differs = 0;
+  for (graph::NodeId peer = 0; peer < 400; ++peer) {
+    EXPECT_EQ(a.IsSlow(peer), b.IsSlow(peer)) << "peer " << peer;
+    if (a.IsSlow(peer) != other_seed.IsSlow(peer)) ++differs;
+  }
+  // Immune peers (the sink) are never drafted; another seed redraws the
+  // coalition, so the determinism check above is not vacuous.
+  EXPECT_FALSE(a.IsSlow(0));
+  EXPECT_FALSE(a.IsSlow(1));
+  EXPECT_GT(differs, 0u);
+  EXPECT_NEAR(static_cast<double>(a.slow_peers()) / 400.0, 0.25, 0.07);
+}
+
+TEST(StragglerTest, CoalitionScalingConsumesNoRngWithoutATail) {
+  // The engine-side draw must leave the caller's stream untouched under
+  // tail == kNone: coalition scaling is deterministic, so legacy query
+  // streams replay bit-identically when only the coalition is configured.
+  FaultPlan plan;
+  plan.slow_fraction = 1.0;
+  plan.slow_factor = 20.0;
+  FaultInjector injector(plan, 5, /*num_peers=*/8);
+  ASSERT_TRUE(injector.IsSlow(2));
+  util::Rng drawn(77);
+  util::Rng untouched(77);
+  double d = injector.DrawTailDelay(2, drawn);
+  // With no tail the coalition pays exactly slow_factor * tail_scale_ms.
+  EXPECT_DOUBLE_EQ(d, 20.0 * plan.tail_scale_ms);
+  EXPECT_EQ(drawn.Next64(), untouched.Next64());
+}
+
+TEST(StragglerTest, CoalitionScalesExpectedDelay) {
+  FaultPlan plan;
+  plan.tail = LatencyTail::kPareto;
+  plan.tail_scale_ms = 10.0;
+  plan.tail_alpha = 2.0;  // E[extra] = 10ms.
+  plan.slow_fraction = 1.0;
+  plan.slow_factor = 20.0;
+  plan.crash_immune = {0};
+  FaultInjector injector(plan, 7, /*num_peers=*/4);
+  EXPECT_DOUBLE_EQ(injector.ExpectedTailDelayMs(0), 10.0);  // Immune: fast.
+  EXPECT_DOUBLE_EQ(injector.ExpectedTailDelayMs(1), 20.0 * (10.0 + 10.0));
+}
+
+TEST(StragglerTest, TransportChargesTailDelayToLedger) {
+  SimulatedNetwork plain = MakeRingNetwork(16, /*seed=*/3);
+  SimulatedNetwork tailed = MakeRingNetwork(16, /*seed=*/3);
+  FaultPlan plan;
+  plan.tail = LatencyTail::kPareto;
+  plan.tail_scale_ms = 10.0;
+  plan.tail_alpha = 1.1;
+  tailed.InstallFaultPlan(plan, 404);
+  const size_t kSends = 500;
+  for (size_t i = 0; i < kSends; ++i) {
+    graph::NodeId from = static_cast<graph::NodeId>(i % 16);
+    graph::NodeId to = static_cast<graph::NodeId>((i + 1) % 16);
+    EXPECT_TRUE(plain.SendAlongEdge(MessageType::kWalker, from, to).ok());
+    EXPECT_TRUE(tailed.SendAlongEdge(MessageType::kWalker, from, to).ok());
+  }
+  const FaultInjector* injector = tailed.fault_injector();
+  ASSERT_NE(injector, nullptr);
+  // Straggler delay is latency, never loss: everything delivered, every
+  // extra millisecond accounted in both the injector and the cost ledger.
+  EXPECT_EQ(injector->dropped(), 0u);
+  EXPECT_GT(injector->tail_messages(), 0u);
+  EXPECT_LE(injector->tail_messages(), kSends);
+  EXPECT_GT(injector->tail_delay_ms(), 0.0);
+  EXPECT_NEAR(tailed.cost_snapshot().latency_ms,
+              plain.cost_snapshot().latency_ms + injector->tail_delay_ms(),
+              1e-6);
+  EXPECT_EQ(tailed.cost_snapshot().messages, plain.cost_snapshot().messages);
 }
 
 // Arena recycling under adverse conditions (docs/PERFORMANCE.md,

@@ -37,6 +37,21 @@ benchmark regressed:
                         noise, so there is no tolerance knob. Checked
                         regardless of thread count (the drain is
                         bit-deterministic across P2PAQP_THREADS).
+  * p99_query_wall_ms > baseline * (1 + --p99-tolerance), default +10%.
+                        The straggler tier's tail latency: the 99th
+                        percentile *simulated* query makespan under the
+                        Pareto-tail regime (bench/scale_world.cc,
+                        bench/ablation_straggler.cc). A deterministic
+                        event-clock quantity, so it is checked regardless
+                        of threads; growth means Walk-Not-Wait/hedging got
+                        worse at routing around stragglers. Only checked
+                        when the baseline recorded a nonzero value.
+  * deadline_hit_rate > baseline + --deadline-hit-slack, default +0.02
+                        absolute. The fraction of straggler-tier queries
+                        forced into a deadline-degraded anytime answer —
+                        deterministic like p99, and a regression means more
+                        queries blow their budget. Only checked when the
+                        baseline recorded a nonzero value.
 
 Comparison rules:
 
@@ -117,6 +132,34 @@ def compare(name, base, fresh, args):
             notes.append(
                 f"{name}: steady_state_allocs_per_event 0 OK")
 
+    base_p99 = base.get("p99_query_wall_ms", 0.0)
+    if base_p99 > 0.0:
+        fresh_p99 = fresh.get("p99_query_wall_ms", 0.0)
+        p99_limit = base_p99 * (1.0 + args.p99_tolerance)
+        if fresh_p99 > p99_limit:
+            failures.append(
+                f"{name}: p99_query_wall_ms {fresh_p99:.1f} > "
+                f"{p99_limit:.1f} (baseline {base_p99:.1f} "
+                f"+{args.p99_tolerance:.0%})")
+        else:
+            notes.append(
+                f"{name}: p99_query_wall_ms {fresh_p99:.1f} vs baseline "
+                f"{base_p99:.1f} OK")
+
+    base_hit = base.get("deadline_hit_rate", 0.0)
+    if base_hit > 0.0:
+        fresh_hit = fresh.get("deadline_hit_rate", 0.0)
+        hit_limit = base_hit + args.deadline_hit_slack
+        if fresh_hit > hit_limit:
+            failures.append(
+                f"{name}: deadline_hit_rate {fresh_hit:.4f} > "
+                f"{hit_limit:.4f} (baseline {base_hit:.4f} "
+                f"+{args.deadline_hit_slack} absolute)")
+        else:
+            notes.append(
+                f"{name}: deadline_hit_rate {fresh_hit:.4f} vs baseline "
+                f"{base_hit:.4f} OK")
+
     if base.get("threads") != fresh.get("threads"):
         notes.append(
             f"{name}: wall-time SKIP (threads {fresh.get('threads')} != "
@@ -167,6 +210,10 @@ def main():
                         help="allowed fractional bytes_per_peer growth")
     parser.add_argument("--events-tolerance", type=float, default=0.25,
                         help="allowed fractional events_per_sec drop")
+    parser.add_argument("--p99-tolerance", type=float, default=0.10,
+                        help="allowed fractional p99_query_wall_ms growth")
+    parser.add_argument("--deadline-hit-slack", type=float, default=0.02,
+                        help="allowed absolute deadline_hit_rate growth")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baselines)
