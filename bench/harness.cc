@@ -48,6 +48,11 @@ struct BenchTelemetry {
   double bytes_per_peer = 0.0;
   double events_per_sec = 0.0;
   double steady_allocs_per_event = 0.0;
+  // Worker width the scale measurement actually used (0 = not a scale
+  // binary; the JSON `threads` field then falls back to ParallelThreads).
+  size_t measure_threads = 0;
+  // Peak RSS (MB) right after world construction; 0 = not recorded.
+  double world_build_peak_rss_mb = 0.0;
   // Straggler-tier telemetry (heavy-tail latency regimes); zero for
   // binaries that never run one.
   double p99_query_wall_ms = 0.0;
@@ -84,12 +89,16 @@ void RecordSchedulerTelemetry(size_t queries, double wall_s, double messages,
 }
 
 void RecordScaleTelemetry(double bytes_per_peer, double events_per_sec,
-                          double steady_allocs_per_event) {
+                          double steady_allocs_per_event,
+                          size_t measure_threads,
+                          double world_build_peak_rss_mb) {
   BenchTelemetry& t = Telemetry();
   std::lock_guard<std::mutex> lock(t.mu);
   t.bytes_per_peer = bytes_per_peer;
   t.events_per_sec = events_per_sec;
   t.steady_allocs_per_event = steady_allocs_per_event;
+  t.measure_threads = measure_threads;
+  t.world_build_peak_rss_mb = world_build_peak_rss_mb;
 }
 
 void RecordStragglerTelemetry(double p99_query_wall_ms,
@@ -538,10 +547,16 @@ void EmitFigure(const std::string& title, const std::string& setup,
                "  \"bytes_per_peer\": %.1f,\n"
                "  \"events_per_sec\": %.1f,\n"
                "  \"steady_state_allocs_per_event\": %.3f,\n"
+               "  \"world_build_peak_rss_mb\": %.1f,\n"
                "  \"p99_query_wall_ms\": %.1f,\n"
                "  \"deadline_hit_rate\": %.4f\n"
                "}\n",
-               io.name.c_str(), wall_s, util::ParallelThreads(), ScaleFactor(),
+               io.name.c_str(), wall_s,
+               // Scale binaries report the worker width their measurement
+               // actually ran at; everything else reports the env default.
+               t.measure_threads > 0 ? t.measure_threads
+                                     : util::ParallelThreads(),
+               ScaleFactor(),
                t.experiments, t.messages / n, t.bytes / n,
                t.peers_visited / n, t.observations_lost / n,
                t.suspected_peers / n, t.trimmed_mass / n,
@@ -552,8 +567,8 @@ void EmitFigure(const std::string& title, const std::string& setup,
                    ? t.sched_messages / static_cast<double>(t.sched_queries)
                    : 0.0,
                t.sched_frame_hits, t.bytes_per_peer, t.events_per_sec,
-               t.steady_allocs_per_event, t.p99_query_wall_ms,
-               t.deadline_hit_rate);
+               t.steady_allocs_per_event, t.world_build_peak_rss_mb,
+               t.p99_query_wall_ms, t.deadline_hit_rate);
   std::fclose(f);
 }
 

@@ -17,6 +17,7 @@
 #define P2PAQP_GRAPH_BUILDER_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <unordered_set>
 #include <vector>
 
@@ -24,12 +25,48 @@
 
 namespace p2paqp::graph {
 
+// Out-of-core construction knobs (docs/PERFORMANCE.md, "Out-of-core graph
+// construction"). With run_edges > 0 the builder spills its edge log to an
+// unlinked temp file in fixed-size sorted runs instead of growing an
+// in-memory log + flat CSR, and Build() k-way-merges the runs straight into
+// the varint encoder. Peak build memory then stays
+//   O(nodes + dedup table + run buffer + fan_in * read buffers)
+// instead of O(nodes + edges * ~24 B) — the knob that makes a 10M-peer
+// world constructible under the gated world_build_peak_rss_mb ceiling.
+struct SpillOptions {
+  // Accepted edges buffered between spills (each edge contributes two
+  // directed arcs of 8 bytes to the run). 0 disables spilling entirely:
+  // Build() uses the in-memory counting-sort path.
+  size_t run_edges = 0;
+  // Maximum runs merged in one pass; more runs first collapse through
+  // intermediate merge passes. Clamped to >= 2.
+  size_t merge_fan_in = 64;
+};
+
+// Resolves SpillOptions from the environment: P2PAQP_BUILD_SPILL_EDGES
+// (edges per run; unset or 0 = in-memory) and P2PAQP_BUILD_MERGE_FAN_IN
+// (default 64). Read per call so tests can flip the knobs between builds.
+SpillOptions SpillOptionsFromEnv();
+
 // Accumulates undirected edges; ignores self loops and duplicates.
 class GraphBuilder {
  public:
   // `expected_edges` pre-sizes the edge log and the dedup table so bulk
-  // construction avoids rehashing. 0 = no reservation.
+  // construction avoids rehashing. 0 = no reservation. Spill behavior comes
+  // from the environment (SpillOptionsFromEnv) unless overridden via
+  // set_spill before the first AddEdge.
   explicit GraphBuilder(size_t num_nodes, size_t expected_edges = 0);
+  ~GraphBuilder();
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+  GraphBuilder(GraphBuilder&& other) noexcept;
+  GraphBuilder& operator=(GraphBuilder&& other) noexcept;
+
+  // Overrides the environment-resolved spill knobs. Must be called before
+  // any edge is added (the accept/reject stream and the final graph are
+  // identical either way; only peak memory changes).
+  void set_spill(const SpillOptions& spill);
 
   // Adds {a, b}; returns false (and does nothing) if the edge is a self loop,
   // out of range, or already present.
@@ -38,22 +75,39 @@ class GraphBuilder {
   bool HasEdge(NodeId a, NodeId b) const;
 
   size_t num_nodes() const { return degrees_.size(); }
-  size_t num_edges() const { return edges_.size(); }
+  size_t num_edges() const { return num_edges_; }
   uint32_t degree(NodeId node) const { return degrees_[node]; }
 
   // Finalizes into a compressed-CSR Graph. The builder is left empty.
+  // Bit-identical output for any SpillOptions (tests/topology_golden_test.cc
+  // pins this with golden digests).
   Graph Build();
 
-  // Exact heap footprint of the builder's flat state (edge log + dedup
-  // table + degree counters). The bounded-memory unit test asserts this
-  // stays O(edges + nodes) with small constants.
+  // Exact heap footprint of the builder's flat state (edge log or run
+  // buffer + dedup table + degree counters). The bounded-memory unit tests
+  // assert this stays O(edges + nodes) in-memory and O(nodes + run size)
+  // when spilling.
   size_t MemoryBytes() const {
     return degrees_.capacity() * sizeof(uint32_t) +
            edges_.capacity() * sizeof(uint64_t) +
+           run_buffer_.capacity() * sizeof(uint64_t) +
            table_.capacity() * sizeof(uint64_t);
   }
 
+  // Bytes of spilled run data currently on disk (0 unless spilling).
+  size_t SpilledBytes() const { return spilled_arcs_ * sizeof(uint64_t); }
+
+  // Number of sorted runs spilled so far (tests force > merge_fan_in of
+  // them to cover the multi-pass merge).
+  size_t SpilledRuns() const { return runs_.size(); }
+
  private:
+  // One sorted run of directed arcs inside a spill file, in arc units.
+  struct Run {
+    uint64_t offset = 0;
+    uint64_t count = 0;
+  };
+
   static uint64_t EdgeKey(NodeId a, NodeId b);
 
   // Inserts `key` into the open-addressing table; returns false if it was
@@ -61,10 +115,30 @@ class GraphBuilder {
   bool TableInsert(uint64_t key);
   void GrowTable(size_t min_capacity);
 
+  // Sorts and appends the run buffer to the active spill file.
+  void FlushRun();
+  // Collapses runs_ through intermediate merge passes until at most
+  // merge_fan_in remain (ping-ponging between two unlinked temp files).
+  void CollapseRuns();
+  // In-memory counting-sort Build path (spilling disabled).
+  Graph BuildInMemory();
+  // External-merge Build path: k-way merge of the sorted runs streamed
+  // node-by-node into a GraphEncoder.
+  Graph BuildFromRuns();
+
   std::vector<uint32_t> degrees_;
-  std::vector<uint64_t> edges_;  // Canonical keys, insertion order.
+  std::vector<uint64_t> edges_;  // Canonical keys, insertion order (in-mem).
   std::vector<uint64_t> table_;  // Power-of-two open addressing.
   size_t table_used_ = 0;
+  size_t num_edges_ = 0;
+
+  // Out-of-core state (inert unless spill_.run_edges > 0).
+  SpillOptions spill_;
+  std::vector<uint64_t> run_buffer_;  // Directed arcs awaiting a spill.
+  std::vector<Run> runs_;
+  std::FILE* spill_file_ = nullptr;    // Unlinked (tmpfile): leak-proof.
+  std::FILE* scratch_file_ = nullptr;  // Merge-pass ping-pong target.
+  uint64_t spilled_arcs_ = 0;
 };
 
 // The pre-PR-7 builder, kept only so tests can A/B the streaming builder

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace p2paqp::graph {
 
@@ -24,6 +25,63 @@ void Graph::FinishEncoding() {
   offsets_.push_back(static_cast<uint32_t>(encoded_.size()));
   encoded_.shrink_to_fit();
   offsets_.shrink_to_fit();
+  RebindViews();
+}
+
+void Graph::CopyFrom(const Graph& other) {
+  num_nodes_ = other.num_nodes_;
+  num_edges_ = other.num_edges_;
+  min_degree_ = other.min_degree_;
+  max_degree_ = other.max_degree_;
+  backing_ = other.backing_;
+  if (backing_ != nullptr) {
+    // Mapped: share the backing, drop any owned storage.
+    encoded_.clear();
+    offsets_.clear();
+    encoded_view_ = other.encoded_view_;
+    offsets_view_ = other.offsets_view_;
+    encoded_size_ = other.encoded_size_;
+  } else {
+    encoded_ = other.encoded_;
+    offsets_ = other.offsets_;
+    RebindViews();
+  }
+}
+
+void Graph::MoveFrom(Graph&& other) noexcept {
+  num_nodes_ = other.num_nodes_;
+  num_edges_ = other.num_edges_;
+  min_degree_ = other.min_degree_;
+  max_degree_ = other.max_degree_;
+  backing_ = std::move(other.backing_);
+  encoded_ = std::move(other.encoded_);
+  offsets_ = std::move(other.offsets_);
+  if (backing_ != nullptr) {
+    encoded_view_ = other.encoded_view_;
+    offsets_view_ = other.offsets_view_;
+    encoded_size_ = other.encoded_size_;
+  } else {
+    RebindViews();
+  }
+  other.num_nodes_ = 0;
+  other.num_edges_ = 0;
+  other.encoded_view_ = nullptr;
+  other.offsets_view_ = nullptr;
+  other.encoded_size_ = 0;
+}
+
+Graph::Graph(size_t num_nodes, size_t num_edges, uint32_t min_degree,
+             uint32_t max_degree, const uint8_t* encoded,
+             const uint32_t* offsets, std::shared_ptr<const void> backing) {
+  P2PAQP_CHECK(backing != nullptr);
+  num_nodes_ = num_nodes;
+  num_edges_ = num_edges;
+  min_degree_ = min_degree;
+  max_degree_ = max_degree;
+  encoded_view_ = encoded;
+  offsets_view_ = offsets;
+  encoded_size_ = num_nodes > 0 ? offsets[num_nodes] : 0;
+  backing_ = std::move(backing);
 }
 
 Graph::Graph(std::vector<std::vector<NodeId>> adjacency) {
@@ -97,6 +155,33 @@ double Graph::StationaryProbability(NodeId node) const {
   P2PAQP_CHECK_GT(num_edges_, 0u);
   return static_cast<double>(degree(node)) /
          (2.0 * static_cast<double>(num_edges_));
+}
+
+GraphEncoder::GraphEncoder(size_t num_nodes, size_t expected_bytes)
+    : num_nodes_(num_nodes) {
+  graph_.num_nodes_ = num_nodes;
+  graph_.offsets_.reserve(num_nodes + 1);
+  if (expected_bytes > 0) graph_.encoded_.reserve(expected_bytes);
+  graph_.min_degree_ = num_nodes == 0 ? 0 : static_cast<uint32_t>(-1);
+  graph_.max_degree_ = 0;
+}
+
+void GraphEncoder::AppendList(const NodeId* list, uint32_t deg) {
+  P2PAQP_DCHECK(appended_ < num_nodes_);
+  graph_.AppendList(list, deg);
+  graph_.min_degree_ = std::min(graph_.min_degree_, deg);
+  graph_.max_degree_ = std::max(graph_.max_degree_, deg);
+  ++appended_;
+}
+
+Graph GraphEncoder::Finish(size_t num_edges) {
+  P2PAQP_CHECK_EQ(appended_, num_nodes_)
+      << "GraphEncoder finished before every node list was appended";
+  graph_.num_edges_ = num_edges;
+  graph_.FinishEncoding();
+  appended_ = 0;
+  num_nodes_ = 0;
+  return std::move(graph_);
 }
 
 }  // namespace p2paqp::graph

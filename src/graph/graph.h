@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <vector>
 
 #include "util/logging.h"
@@ -154,6 +155,16 @@ class NeighborRange {
 };
 
 // Immutable undirected simple graph (no self edges, no parallel edges).
+//
+// Storage is accessed exclusively through raw views (`encoded_view_`,
+// `offsets_view_`) so the same read path serves two backings:
+//   * owned — the vectors below, filled by the constructors / GraphEncoder;
+//   * external — a read-only region owned by someone else (an mmap'd world
+//     file from io::OpenMappedGraph), kept alive by `backing_` and shared
+//     by every copy of the Graph.
+// Copies of an owned graph deep-copy the vectors and re-point the views;
+// copies of a mapped graph just bump the backing refcount, so cloning a
+// 10M-peer world does not duplicate its adjacency.
 class Graph {
  public:
   Graph() = default;
@@ -169,19 +180,42 @@ class Graph {
   Graph(size_t num_nodes, const std::vector<size_t>& offsets,
         const std::vector<NodeId>& flat);
 
+  // Externally backed graph over an already-encoded CSR (the mmap loader).
+  // `offsets` must have num_nodes+1 entries and `encoded` must hold
+  // offsets[num_nodes] bytes; both must stay valid for as long as `backing`
+  // is alive. No validation beyond size checks — the io layer verifies the
+  // file digest/format before handing the region over.
+  Graph(size_t num_nodes, size_t num_edges, uint32_t min_degree,
+        uint32_t max_degree, const uint8_t* encoded, const uint32_t* offsets,
+        std::shared_ptr<const void> backing);
+
+  Graph(const Graph& other) { CopyFrom(other); }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Graph(Graph&& other) noexcept { MoveFrom(std::move(other)); }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
   size_t num_nodes() const { return num_nodes_; }
   size_t num_edges() const { return num_edges_; }
+
+  // True when the adjacency lives in externally owned (mmap) storage.
+  bool is_mapped() const { return backing_ != nullptr; }
 
   uint32_t degree(NodeId node) const {
     P2PAQP_DCHECK(node < num_nodes_) << node;
     uint32_t deg;
-    varint::Decode(encoded_.data() + offsets_[node], &deg);
+    varint::Decode(encoded_view_ + offsets_view_[node], &deg);
     return deg;
   }
 
   NeighborRange neighbors(NodeId node) const {
     P2PAQP_DCHECK(node < num_nodes_) << node;
-    const uint8_t* p = encoded_.data() + offsets_[node];
+    const uint8_t* p = encoded_view_ + offsets_view_[node];
     uint32_t deg;
     p = varint::Decode(p, &deg);
     return NeighborRange(p, deg);
@@ -199,11 +233,11 @@ class Graph {
   // before decoding walker i. Hints only; never changes results.
   void PrefetchOffset(NodeId node) const {
     P2PAQP_DCHECK(node < num_nodes_) << node;
-    __builtin_prefetch(offsets_.data() + node);
+    __builtin_prefetch(offsets_view_ + node);
   }
   void PrefetchNeighbors(NodeId node) const {
     P2PAQP_DCHECK(node < num_nodes_) << node;
-    __builtin_prefetch(encoded_.data() + offsets_[node]);
+    __builtin_prefetch(encoded_view_ + offsets_view_[node]);
   }
 
   bool HasEdge(NodeId a, NodeId b) const;
@@ -216,17 +250,35 @@ class Graph {
   // deg(node) / 2|E| (Sec. 3.3).
   double StationaryProbability(NodeId node) const;
 
-  // Heap footprint of the adjacency structure (encoded stream + offset
-  // table); the numerator of the gated bytes_per_peer metric.
+  // Resident footprint of the adjacency structure (encoded stream + offset
+  // table); the numerator of the gated bytes_per_peer metric. For a mapped
+  // graph this is the mapped CSR size — the pages a full scan faults in.
   size_t MemoryBytes() const {
-    return encoded_.capacity() * sizeof(uint8_t) +
-           offsets_.capacity() * sizeof(uint32_t);
+    return encoded_size_ +
+           (num_nodes_ > 0 ? (num_nodes_ + 1) * sizeof(uint32_t) : 0);
   }
 
+  // Raw CSR views for the io layer (serialization). The encoded stream is
+  // offsets()[num_nodes()] bytes long.
+  const uint8_t* encoded_bytes() const { return encoded_view_; }
+  const uint32_t* offsets() const { return offsets_view_; }
+
  private:
+  friend class GraphEncoder;
+
   // Appends one sorted list to `encoded_` and records its offset/degree.
   void AppendList(const NodeId* list, uint32_t deg);
   void FinishEncoding();
+  // Re-points the views after owned storage changed (copy/finish).
+  void RebindViews() {
+    if (backing_ == nullptr) {
+      encoded_view_ = encoded_.data();
+      offsets_view_ = offsets_.data();
+      encoded_size_ = encoded_.size();
+    }
+  }
+  void CopyFrom(const Graph& other);
+  void MoveFrom(Graph&& other) noexcept;
 
   size_t num_nodes_ = 0;
   size_t num_edges_ = 0;
@@ -235,8 +287,39 @@ class Graph {
   // table at 4 bytes/node and caps the stream at 4 GiB — ~50x headroom over
   // a 10M-peer overlay at Gnutella degrees (CHECKed in FinishEncoding).
   std::vector<uint32_t> offsets_;
+  // Read views: into the vectors above (owned) or into `backing_` (mapped).
+  const uint8_t* encoded_view_ = nullptr;
+  const uint32_t* offsets_view_ = nullptr;
+  size_t encoded_size_ = 0;
+  std::shared_ptr<const void> backing_;
   uint32_t min_degree_ = 0;
   uint32_t max_degree_ = 0;
+};
+
+// Incremental Graph construction for callers that stream node lists in id
+// order without materializing a flat CSR first — the out-of-core
+// GraphBuilder merge feeds each node's sorted neighbor run straight into
+// the varint encoder, so peak memory during the final encode is one node's
+// scratch list plus the growing encoded stream.
+class GraphEncoder {
+ public:
+  // `expected_bytes` pre-sizes the encoded stream (0 = default growth).
+  explicit GraphEncoder(size_t num_nodes, size_t expected_bytes = 0);
+
+  // Appends node `appended()`'s sorted neighbor list. Must be called exactly
+  // num_nodes times before Finish.
+  void AppendList(const NodeId* list, uint32_t deg);
+
+  size_t appended() const { return appended_; }
+
+  // Seals the graph; `num_edges` is the undirected edge count (the encoder
+  // saw each edge twice). The encoder is left empty.
+  Graph Finish(size_t num_edges);
+
+ private:
+  Graph graph_;
+  size_t num_nodes_ = 0;
+  size_t appended_ = 0;
 };
 
 }  // namespace p2paqp::graph

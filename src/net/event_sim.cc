@@ -251,13 +251,23 @@ double EventQueue::RunUntilEmpty(uint64_t max_events) {
 
 void EventQueue::Reserve(size_t events) {
   size_t per_shard = events / shards_.size() + 1;
-  for (Shard& shard : shards_) {
-    shard.slab.reserve(per_shard);
-    shard.sorted.reserve(per_shard);
-    shard.scratch.reserve(per_shard);
-    shard.heap.reserve(per_shard < kFlushThreshold ? per_shard
-                                                   : kFlushThreshold);
-  }
+  // Shard s is reserved from the static lane that owns index s, so each
+  // shard's slab and tier pages are first-touched — and on NUMA hosts
+  // placed — according to the same contiguous lane -> node map the pinned
+  // pool workers use. Reservation fills no slots, so placement is the only
+  // thing that changes; with P2PAQP_THREADS=1 this runs inline exactly as
+  // before.
+  util::ParallelFor(
+      shards_.size(),
+      [this, per_shard](size_t s) {
+        Shard& shard = shards_[s];
+        shard.slab.reserve(per_shard);
+        shard.sorted.reserve(per_shard);
+        shard.scratch.reserve(per_shard);
+        shard.heap.reserve(per_shard < kFlushThreshold ? per_shard
+                                                       : kFlushThreshold);
+      },
+      {.threads = 0, .partition = util::Partition::kStatic});
   if (step_args_.capacity() < events) step_args_.reserve(events);
 }
 

@@ -78,6 +78,12 @@ class EventQueue {
   EventQueue();
   explicit EventQueue(size_t shards);
 
+  // The shard count a default-constructed queue resolves right now: the
+  // power-of-two clamp of P2PAQP_THREADS into [1, 16]. Exposed so bench
+  // telemetry can record the worker width the measurement actually used
+  // (bench/scale_world.cc's `threads` field) without constructing a queue.
+  static size_t ResolvedShards() { return ResolveShards(); }
+
   double now() const { return now_; }
   size_t pending() const;
   uint64_t executed() const { return executed_; }

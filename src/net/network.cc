@@ -33,14 +33,18 @@ util::Result<SimulatedNetwork> SimulatedNetwork::Make(
       params.tuples_scanned_per_ms <= 0.0) {
     return util::Status::InvalidArgument("bad network parameters");
   }
-  PeerStore peers(graph.num_nodes());
   if (params.parallel_peer_init) {
     // Scale path: every block draws its identities from its own
     // index-derived RNG stream, so construction parallelizes across
     // P2PAQP_THREADS while staying bit-identical for any thread count (the
     // block layout is fixed by the peer count alone). This is a different
     // stream than the serial draw below — only opt in for new worlds.
+    // Block storage is deferred to the region: the static lane that owns a
+    // block allocates it (InitBlock), so its pages are first-touched — and
+    // on NUMA hosts placed — on the node that later scans it.
+    PeerStore peers(graph.num_nodes(), PeerStore::DeferBlocks{});
     util::ParallelFor(peers.num_blocks(), [&](size_t b) {
+      peers.InitBlock(b);
       util::Rng block_rng = util::TaskRng(seed, b);
       auto& block = peers.block(b);
       auto first = static_cast<graph::NodeId>(peers.block_first(b));
@@ -60,6 +64,7 @@ util::Result<SimulatedNetwork> SimulatedNetwork::Make(
   // Serial path: the per-peer identity draws and the network RNG handoff
   // reproduce the pre-PeerStore stream exactly — seeded regression worlds
   // depend on it.
+  PeerStore peers(graph.num_nodes());
   util::Rng rng(seed);
   for (graph::NodeId id = 0; id < peers.size(); ++id) {
     auto ipv4 = static_cast<uint32_t>(rng.Next64());

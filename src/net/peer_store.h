@@ -23,13 +23,29 @@ class PeerStore {
   static constexpr size_t kBlockShift = 16;
   static constexpr size_t kBlockSize = size_t{1} << kBlockShift;
 
+  // Tag for the deferred (first-touch) constructor below.
+  struct DeferBlocks {};
+
   PeerStore() = default;
   explicit PeerStore(size_t n) : size_(n) {
     blocks_.resize((n + kBlockSize - 1) >> kBlockShift);
-    for (size_t b = 0; b < blocks_.size(); ++b) {
-      size_t first = b << kBlockShift;
-      blocks_[b].resize(n - first < kBlockSize ? n - first : kBlockSize);
-    }
+    for (size_t b = 0; b < blocks_.size(); ++b) InitBlock(b);
+  }
+
+  // Deferred layout: the block table exists but no block's Peer storage is
+  // allocated yet. The parallel world-build path calls InitBlock(b) from
+  // the static lane that owns block b, so on NUMA hosts the first touch of
+  // a block's pages happens on the node whose pinned lane will keep
+  // scanning it. The block layout (and therefore every result) is
+  // identical to the eager constructor — only page placement differs.
+  PeerStore(size_t n, DeferBlocks) : size_(n) {
+    blocks_.resize((n + kBlockSize - 1) >> kBlockShift);
+  }
+
+  // Allocates (and first-touches) block b's Peer storage. Idempotent.
+  void InitBlock(size_t b) {
+    size_t first = b << kBlockShift;
+    blocks_[b].resize(size_ - first < kBlockSize ? size_ - first : kBlockSize);
   }
 
   size_t size() const { return size_; }

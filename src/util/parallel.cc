@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/numa.h"
 
 #ifdef __linux__
 #include <pthread.h>
@@ -97,6 +98,11 @@ struct ThreadPool::Batch {
 
 ThreadPool::ThreadPool(size_t num_threads, bool pin) {
   P2PAQP_CHECK_GT(num_threads, 0u);
+  // On multi-socket hosts pinning engages automatically (P2PAQP_NUMA=0
+  // opts out): without it the kernel migrates workers across nodes and the
+  // first-touch placement of PeerStore blocks / event-shard slabs is
+  // wasted. Single-node hosts keep pinning opt-in via `pin`.
+  pin = pin || NumaPlacementEnabled();
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -104,12 +110,14 @@ ThreadPool::ThreadPool(size_t num_threads, bool pin) {
     if (pin) {
       // Worker i hosts static lane i+1; lane 0 stays on the (unpinned)
       // caller. One core per lane keeps a lane's PeerStore blocks and
-      // arenas resident in that core's cache across regions.
-      unsigned ncpu = std::thread::hardware_concurrency();
-      if (ncpu > 1) {
+      // arenas resident in that core's cache across regions; the topology
+      // maps contiguous lane groups onto NUMA nodes (a single-node
+      // topology degenerates to lane % ncpu, the pre-NUMA behavior).
+      const NumaTopology& topo = NumaTopology::Effective();
+      if (topo.num_cpus() > 1) {
         cpu_set_t set;
         CPU_ZERO(&set);
-        CPU_SET(static_cast<int>((i + 1) % ncpu), &set);
+        CPU_SET(topo.CpuOfLane(i + 1, num_threads + 1), &set);
         pthread_setaffinity_np(workers_.back().native_handle(), sizeof(set),
                                &set);
       }
@@ -220,6 +228,17 @@ void ThreadPool::RunStatic(size_t lanes,
   if (batch.error) std::rethrow_exception(batch.error);
 }
 
+void ThreadPool::RunStaticRanges(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t lanes = workers_.size() + 1;
+  RunStatic(lanes, [&fn, n, lanes](size_t lane) {
+    // Contiguous per-lane ranges: lane l always owns the same indices for a
+    // given (n, lanes), running on the same (optionally pinned) thread
+    // every region — the one place this formula lives.
+    fn(lane, lane * n / lanes, (lane + 1) * n / lanes);
+  });
+}
+
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  const ParallelOptions& options) {
   size_t threads = options.threads != 0 ? options.threads : ParallelThreads();
@@ -232,12 +251,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   // the requested concurrency.
   ThreadPool pool(threads - 1, PinThreadsEnabled());
   if (options.partition == Partition::kStatic) {
-    pool.RunStatic(threads, [&fn, n, threads](size_t lane) {
-      // Contiguous per-lane ranges: lane l always owns the same indices for
-      // a given (n, threads), running on the same (optionally pinned)
-      // thread every region.
-      size_t begin = lane * n / threads;
-      size_t end = (lane + 1) * n / threads;
+    pool.RunStaticRanges(n, [&fn](size_t, size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) fn(i);
     });
   } else {

@@ -55,8 +55,11 @@ bool InParallelWorker();
 // With `pin` (or the P2PAQP_PIN_THREADS env knob) each worker is pinned to
 // one CPU at spawn: lane l of a static-partition region then always executes
 // on the same core, so the PeerStore blocks and event-shard arenas a lane
-// touches stay in that core's cache (and, on multi-socket hosts, its NUMA
-// node). Pinning never changes results — only placement.
+// touches stay in that core's cache. On multi-socket hosts pinning engages
+// automatically (unless P2PAQP_NUMA=0) and routes through
+// util::NumaTopology: lanes split into contiguous per-node groups, so the
+// pages a lane first-touches are allocated on the node that will keep
+// scanning them. Pinning never changes results — only placement.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads, bool pin = false);
@@ -79,6 +82,17 @@ class ThreadPool {
   // partition for PeerStore block scans: lane l always touches the same
   // contiguous blocks with the same (possibly pinned) worker.
   void RunStatic(size_t lanes, const std::function<void(size_t)>& fn);
+
+  // Static-partition range loop: splits [0, n) into num_threads() + 1
+  // contiguous lane ranges — lane l owns [l*n/L, (l+1)*n/L) — and invokes
+  // fn(lane, begin, end) with RunStatic's fixed lane -> thread map. The
+  // range derivation lives here, in the pool, so every static call site
+  // shares one partition formula instead of re-deriving bounds inside its
+  // lambda (and a region body needs no per-index division, which keeps the
+  // steady-state allocation/arithmetic profile of hot block loops flat).
+  // Lanes whose range is empty are still invoked with begin == end.
+  void RunStaticRanges(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
 
  private:
   struct Batch;

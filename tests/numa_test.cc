@@ -1,0 +1,194 @@
+// NUMA topology probing, lane placement math, and the placement-neutrality
+// contract: NUMA placement on or off must not change a single bit of any
+// result, for any P2PAQP_THREADS.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "topology/super_peer.h"
+#include "util/numa.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace p2paqp {
+namespace {
+
+// RAII env override; restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(NumaTopology, SingleNodeFallbackCoversAllCpus) {
+  util::NumaTopology topo = util::NumaTopology::SingleNode(8);
+  EXPECT_EQ(topo.num_nodes(), 1u);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.num_cpus(), 8u);
+  ASSERT_EQ(topo.nodes()[0].cpus.size(), 8u);
+  // Lane placement degenerates to lane % ncpu — the pre-NUMA behavior.
+  for (size_t lane = 0; lane < 20; ++lane) {
+    EXPECT_EQ(topo.NodeOfLane(lane, 20), 0u);
+    EXPECT_EQ(topo.CpuOfLane(lane, 20), static_cast<int>(lane % 8));
+  }
+}
+
+TEST(NumaTopology, TwoNodeLaneGroupsAreContiguousAndExhaustive) {
+  std::vector<util::NumaTopology::Node> nodes(2);
+  nodes[0].id = 0;
+  nodes[0].cpus = {0, 1, 2, 3};
+  nodes[1].id = 1;
+  nodes[1].cpus = {4, 5, 6, 7};
+  util::NumaTopology topo = util::NumaTopology::FromNodes(std::move(nodes));
+  ASSERT_TRUE(topo.multi_node());
+  EXPECT_EQ(topo.num_cpus(), 8u);
+
+  for (size_t lanes : {1u, 2u, 3u, 7u, 8u, 16u, 33u}) {
+    size_t prev = 0;
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      size_t node = topo.NodeOfLane(lane, lanes);
+      ASSERT_LT(node, 2u);
+      // Contiguous non-decreasing groups: lane l's node never precedes
+      // lane l-1's.
+      ASSERT_GE(node, prev) << "lane " << lane << " of " << lanes;
+      prev = node;
+      // The CPU must belong to the lane's node.
+      int cpu = topo.CpuOfLane(lane, lanes);
+      const auto& cpus = topo.nodes()[node].cpus;
+      EXPECT_NE(std::find(cpus.begin(), cpus.end(), cpu), cpus.end());
+    }
+    // Both nodes get lanes once there are at least two.
+    if (lanes >= 2) {
+      EXPECT_EQ(topo.NodeOfLane(0, lanes), 0u);
+      EXPECT_EQ(topo.NodeOfLane(lanes - 1, lanes), 1u);
+    }
+  }
+}
+
+TEST(NumaTopology, KnobForcesSingleNodeFallback) {
+  ScopedEnv off("P2PAQP_NUMA", "0");
+  EXPECT_FALSE(util::NumaPlacementEnabled());
+  EXPECT_FALSE(util::NumaTopology::Effective().multi_node());
+}
+
+TEST(NumaTopology, ProbedTopologyIsSane) {
+  const util::NumaTopology& topo = util::NumaTopology::Probed();
+  ASSERT_GE(topo.num_nodes(), 1u);
+  ASSERT_GE(topo.num_cpus(), 1u);
+  size_t cpus = 0;
+  for (const auto& node : topo.nodes()) {
+    EXPECT_FALSE(node.cpus.empty());
+    cpus += node.cpus.size();
+  }
+  EXPECT_EQ(cpus, topo.num_cpus());
+}
+
+// RunStaticRanges must cover [0, n) exactly once with contiguous,
+// ascending, per-lane ranges — the hoisted partition formula.
+TEST(RunStaticRanges, CoversIndexSpaceExactlyOnce) {
+  ScopedEnv threads("P2PAQP_THREADS", "4");
+  for (size_t n : {0u, 1u, 5u, 64u, 1000u}) {
+    util::ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.RunStaticRanges(n, [&](size_t lane, size_t begin, size_t end) {
+      EXPECT_LE(begin, end);
+      EXPECT_EQ(begin, lane * n / 4);
+      EXPECT_EQ(end, (lane + 1) * n / 4);
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+// The placement-neutrality contract end-to-end: the same world built with
+// NUMA placement enabled, disabled, and under different thread counts is
+// bit-identical (peer identities drawn through the parallel first-touch
+// init path).
+TEST(NumaDeterminism, WorldBuildIsBitIdenticalWithPlacementOnOrOff) {
+  constexpr size_t kPeers = 60000;
+  auto build_fingerprint = []() {
+    topology::SuperPeerParams topo;
+    topo.num_nodes = kPeers;
+    topo.super_fraction = 0.02;
+    topo.core_edges_per_super = 4;
+    topo.leaf_connections = 2;
+    util::Rng topo_rng(20060403);
+    auto topology = topology::MakeSuperPeer(topo, topo_rng);
+    EXPECT_TRUE(topology.ok());
+    net::NetworkParams params;
+    params.parallel_peer_init = true;
+    auto network = net::SimulatedNetwork::Make(std::move(topology->graph), {},
+                                               params, 314159);
+    EXPECT_TRUE(network.ok());
+    // FNV-1a over every peer's identity draws: any placement-induced
+    // change to the init order or RNG streams shows up here.
+    uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](uint64_t value) {
+      for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((value >> (8 * i)) & 0xFF)) * 0x100000001B3ULL;
+      }
+    };
+    for (size_t i = 0; i < network->num_peers(); ++i) {
+      const net::Peer& p = network->peer(static_cast<graph::NodeId>(i));
+      mix(p.ipv4());
+      mix(p.port());
+    }
+    return h;
+  };
+
+  uint64_t reference;
+  {
+    ScopedEnv numa_off("P2PAQP_NUMA", "0");
+    ScopedEnv threads("P2PAQP_THREADS", "1");
+    reference = build_fingerprint();
+  }
+  {
+    ScopedEnv numa_off("P2PAQP_NUMA", "0");
+    ScopedEnv threads("P2PAQP_THREADS", "4");
+    EXPECT_EQ(build_fingerprint(), reference);
+  }
+  {
+    ScopedEnv numa_on("P2PAQP_NUMA", "1");
+    ScopedEnv threads("P2PAQP_THREADS", "4");
+    ScopedEnv pin("P2PAQP_PIN_THREADS", "1");
+    EXPECT_EQ(build_fingerprint(), reference);
+  }
+  {
+    ScopedEnv numa_on("P2PAQP_NUMA", "1");
+    ScopedEnv threads("P2PAQP_THREADS", "3");
+    EXPECT_EQ(build_fingerprint(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace p2paqp

@@ -1,0 +1,129 @@
+// Ten-million-peer smoke (ctest label: scale): the 10M super-peer world
+// must construct THROUGH THE OUT-OF-CORE BUILDER — the spill knobs are
+// forced inside the test, with a run size small enough that the edge log
+// genuinely goes to disk and comes back through the k-way merge — stay
+// inside the same per-peer memory budget as the 1M tier, and answer a
+// COUNT end-to-end through the event engine.
+//
+// This is the smoke for the ten-million-peer contract
+// (docs/PERFORMANCE.md, "Out-of-core graph construction"): the nightly
+// scale job runs it, and the bench twin (bench/scale_world.cc at
+// P2PAQP_SCALE=10) gates the same configuration's world_build_peak_rss_mb.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/async_engine.h"
+#include "core/catalog.h"
+#include "data/generator.h"
+#include "data/partitioner.h"
+#include "net/network.h"
+#include "query/query.h"
+#include "topology/super_peer.h"
+#include "util/rng.h"
+
+namespace p2paqp {
+namespace {
+
+constexpr size_t kPeers = 10000000;
+constexpr size_t kTuplesPerPeer = 2;
+constexpr size_t kBytesPerPeerCeiling = 192;  // Same contract as the 1M tier.
+constexpr graph::NodeId kSink = 0;
+
+// RAII env override; restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Scale10MTest, SpillForcedWorldAnswersCountUnderMemoryBudget) {
+  // 1M accepted edges per run (~16 MB of arcs) against the world's ~21M
+  // edges: the builder must spill dozens of runs and collapse them through
+  // multi-pass merges (fan-in 8) — the small-knob forcing the scale CI job
+  // relies on. Worlds this size read the same knobs in production.
+  ScopedEnv spill("P2PAQP_BUILD_SPILL_EDGES", "1048576");
+  ScopedEnv fan_in("P2PAQP_BUILD_MERGE_FAN_IN", "8");
+
+  topology::SuperPeerParams topo;
+  topo.num_nodes = kPeers;
+  topo.super_fraction = 0.02;
+  topo.core_edges_per_super = 4;
+  topo.leaf_connections = 2;
+  util::Rng topo_rng(20060403);
+  auto topology = topology::MakeSuperPeer(topo, topo_rng);
+  ASSERT_TRUE(topology.ok());
+
+  data::DatasetParams dataset;
+  dataset.num_tuples = kPeers * kTuplesPerPeer;
+  dataset.skew = 0.2;
+  util::Rng data_rng(271828);
+  auto table = data::GenerateDataset(dataset, data_rng);
+  ASSERT_TRUE(table.ok());
+  data::PartitionParams partition;
+  partition.cluster_level = 0.25;
+  partition.bfs_root = kSink;
+  auto databases = data::PartitionAcrossPeers(*table, topology->graph,
+                                              partition, data_rng);
+  ASSERT_TRUE(databases.ok());
+
+  net::NetworkParams params;
+  params.parallel_peer_init = true;  // Thread-invariant first-touch init.
+  auto network = net::SimulatedNetwork::Make(
+      std::move(topology->graph), std::move(*databases), params, 314159);
+  ASSERT_TRUE(network.ok());
+  ASSERT_EQ(network->num_peers(), kPeers);
+
+  // Same per-peer accounting (and the same ceiling) as the 1M tier: going
+  // out of core must not cost resident bytes in the final world.
+  size_t bytes_per_peer = network->MemoryBytes() / kPeers;
+  EXPECT_LE(bytes_per_peer, kBytesPerPeerCeiling)
+      << "world resident size regressed: " << bytes_per_peer << " B/peer";
+
+  core::SystemCatalog catalog =
+      core::MakeCatalog(network->graph(), /*jump=*/4, /*burn_in=*/24);
+  core::AsyncParams async;
+  async.engine.phase1_peers = 48;
+  async.engine.tuples_per_peer = kTuplesPerPeer;
+  async.engine.cv_repeats = 4;
+  async.walkers = 4;
+  async.walk.jump = 4;
+  async.walk.burn_in = 24;
+  core::AsyncQuerySession session(&*network, catalog, async);
+
+  query::AggregateQuery query;
+  query.op = query::AggregateOp::kCount;
+  query.predicate = query::RangePredicate{1, 100};
+  query.required_error = 0.5;
+  util::Rng rng(999331);
+  auto report = session.Execute(query, kSink, rng);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->events, 0u);
+
+  double truth = static_cast<double>(network->TotalTuples());
+  EXPECT_EQ(truth, static_cast<double>(kPeers * kTuplesPerPeer));
+  EXPECT_GT(report->answer.estimate, truth / 10.0);
+  EXPECT_LT(report->answer.estimate, truth * 10.0);
+}
+
+}  // namespace
+}  // namespace p2paqp

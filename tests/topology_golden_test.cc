@@ -22,9 +22,36 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 
 namespace p2paqp {
 namespace {
+
+// RAII env override; restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
 
 // FNV-1a over (num_nodes, num_edges, then each edge (u, v) with u < v in
 // CSR order), every value mixed as 8 little-endian bytes.
@@ -89,6 +116,56 @@ TEST(TopologyGolden, ErdosRenyi) {
   auto g = topology::MakeErdosRenyi(2000, 6000, rng);
   ASSERT_TRUE(g.ok()) << g.status().ToString();
   EXPECT_EQ(EdgeDigest(*g), 0xDDA47CFC74133F3DULL);
+}
+
+// Every golden again, with the out-of-core builder forced through the env
+// knobs every generator's internal GraphBuilder reads: a tiny run size (so
+// thousands of runs spill) and the minimum fan-in (so the merge collapses
+// through multiple passes). The digests must not move — the spilling
+// builder is bit-identical to the in-memory one, accept/reject feedback
+// included, which is exactly what lets a 10M world build out of core
+// without re-deriving a single topology.
+TEST(TopologyGoldenSpilled, AllGeneratorsMatchInMemoryGoldens) {
+  ScopedEnv spill("P2PAQP_BUILD_SPILL_EDGES", "2048");
+  ScopedEnv fan_in("P2PAQP_BUILD_MERGE_FAN_IN", "2");
+  {
+    util::Rng rng(20060403);
+    topology::GnutellaParams params;
+    params.num_nodes = 2256;
+    params.num_edges = 5232;
+    auto g = topology::MakeGnutellaSnapshot(params, rng);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(EdgeDigest(*g), 0xAE315F1510E0814EULL);
+  }
+  {
+    util::Rng rng(42);
+    auto g = topology::MakePowerLawWithEdgeCount(2000, 8000, rng);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(EdgeDigest(*g), 0x0E5523A430F079AEULL);
+  }
+  {
+    util::Rng rng(7);
+    auto g = topology::MakeBarabasiAlbert(1500, 3, rng);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(EdgeDigest(*g), 0x6058F0C96056607CULL);
+  }
+  {
+    util::Rng rng(99);
+    topology::ClusteredParams params;
+    params.num_nodes = 2000;
+    params.num_edges = 9000;
+    params.num_subgraphs = 3;
+    params.cut_edges = 120;
+    auto t = topology::MakeClustered(params, rng);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(EdgeDigest(t->graph), 0xCA2E08AE737529ACULL);
+  }
+  {
+    util::Rng rng(1234);
+    auto g = topology::MakeErdosRenyi(2000, 6000, rng);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(EdgeDigest(*g), 0xDDA47CFC74133F3DULL);
+  }
 }
 
 // Streaming vs legacy builder: identical accept/reject decisions and an

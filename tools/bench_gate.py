@@ -28,6 +28,18 @@ benchmark regressed:
                         wall-clock quantity, so only compared when
                         `threads` matches the baseline. Only checked when
                         the baseline recorded it.
+  * world_build_peak_rss_mb
+                        > baseline * (1 + --rss-tolerance), default +15%.
+                        The process peak RSS right after world construction
+                        (bench/scale_world.cc): the high-water mark the
+                        out-of-core graph builder bounds. Dominated by
+                        deterministic allocation layout, so it is gated
+                        regardless of threads. Only checked when the
+                        baseline recorded a nonzero value. The 10M series
+                        (bench/baselines/scale/10m, run at P2PAQP_SCALE=10
+                        with P2PAQP_BUILD_SPILL_EDGES set) exists mostly
+                        for this bound: it proves a ten-million-peer world
+                        builds inside the spilling builder's memory budget.
   * steady_state_allocs_per_event
                         must be EXACTLY 0 whenever the baseline carries the
                         field. The warm event-loop drain performs no heap
@@ -122,6 +134,20 @@ def compare(name, base, fresh, args):
                 f"{name}: bytes_per_peer {fresh_bpp:.1f} vs baseline "
                 f"{base_bpp:.1f} OK")
 
+    base_rss = base.get("world_build_peak_rss_mb", 0.0)
+    if base_rss > 0.0:
+        fresh_rss = fresh.get("world_build_peak_rss_mb", 0.0)
+        rss_limit = base_rss * (1.0 + args.rss_tolerance)
+        if fresh_rss > rss_limit:
+            failures.append(
+                f"{name}: world_build_peak_rss_mb {fresh_rss:.1f} > "
+                f"{rss_limit:.1f} (baseline {base_rss:.1f} "
+                f"+{args.rss_tolerance:.0%})")
+        else:
+            notes.append(
+                f"{name}: world_build_peak_rss_mb {fresh_rss:.1f} vs "
+                f"baseline {base_rss:.1f} OK")
+
     if "steady_state_allocs_per_event" in base:
         fresh_allocs = fresh.get("steady_state_allocs_per_event", 0.0)
         if fresh_allocs > 0.0:
@@ -210,6 +236,9 @@ def main():
                         help="allowed fractional bytes_per_peer growth")
     parser.add_argument("--events-tolerance", type=float, default=0.25,
                         help="allowed fractional events_per_sec drop")
+    parser.add_argument("--rss-tolerance", type=float, default=0.15,
+                        help="allowed fractional world_build_peak_rss_mb "
+                             "growth")
     parser.add_argument("--p99-tolerance", type=float, default=0.10,
                         help="allowed fractional p99_query_wall_ms growth")
     parser.add_argument("--deadline-hit-slack", type=float, default=0.02,
